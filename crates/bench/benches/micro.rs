@@ -1,0 +1,102 @@
+//! Criterion micro-benchmarks of the substrates: XML parsing and
+//! serialization, canonical equivalence, content-model matching, query
+//! evaluation (batch and incremental), and optimizer search.
+
+use axml_bench::workload::{catalog, selective_query};
+use axml_query::eval::NoDocs;
+use axml_types::content::{Content, Item};
+use axml_xml::equiv::canonical_hash;
+use axml_xml::label::Label;
+use axml_xml::tree::Tree;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+fn bench_xml(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xml");
+    for n in [100usize, 1000] {
+        let tree = catalog(n, 0.1, 1);
+        let text = tree.serialize();
+        g.throughput(Throughput::Bytes(text.len() as u64));
+        g.bench_with_input(BenchmarkId::new("parse", n), &text, |b, t| {
+            b.iter(|| Tree::parse(black_box(t)).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("serialize", n), &tree, |b, t| {
+            b.iter(|| black_box(t).serialize())
+        });
+        g.bench_with_input(BenchmarkId::new("canonical_hash", n), &tree, |b, t| {
+            b.iter(|| canonical_hash(black_box(t), t.root()))
+        });
+    }
+    g.finish();
+}
+
+fn bench_content_model(c: &mut Criterion) {
+    let model = Content::seq([
+        Content::star(Content::choice([
+            Content::elem("a", "T"),
+            Content::elem("b", "T"),
+        ])),
+        Content::interleave([Content::elem("x", "T"), Content::elem("y", "T")]),
+        Content::opt(Content::Text),
+    ]);
+    let items: Vec<Item> = "ababbaab"
+        .chars()
+        .map(|ch| Item::Elem(Label::new(&ch.to_string())))
+        .chain([Item::Elem(Label::new("y")), Item::Elem(Label::new("x")), Item::Text])
+        .collect();
+    c.bench_function("content_model/deriv_match", |b| {
+        b.iter(|| black_box(&model).matches(black_box(&items)))
+    });
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut g = c.benchmark_group("query");
+    let q = selective_query();
+    for n in [100usize, 1000] {
+        let input = vec![catalog(n, 0.1, 2)];
+        g.bench_with_input(BenchmarkId::new("batch_eval", n), &input, |b, input| {
+            b.iter(|| {
+                q.eval_batch(std::slice::from_ref(black_box(input)))
+                    .unwrap()
+                    .len()
+            })
+        });
+    }
+    // incremental: cost of one push into an existing 200-tree state
+    let mut cont = q.continuous(&NoDocs).unwrap();
+    for i in 0..200 {
+        cont.push(0, catalog(5, 0.1, i)).unwrap();
+    }
+    let fresh = catalog(5, 0.1, 999);
+    g.bench_function("delta_push", |b| {
+        b.iter(|| {
+            let mut c2 = q.continuous(&NoDocs).unwrap();
+            c2.push(0, black_box(fresh.clone())).unwrap().len()
+        })
+    });
+    g.finish();
+}
+
+fn bench_optimizer(c: &mut Criterion) {
+    use axml_bench::workload::{naive_apply, two_peer};
+    use axml_core::cost::CostModel;
+    use axml_core::optimizer::Optimizer;
+    let (sys, client, server) = two_peer(catalog(300, 0.05, 3));
+    let model = CostModel::from_system(&sys);
+    let naive = naive_apply(selective_query(), client, server);
+    c.bench_function("optimizer/standard_search", |b| {
+        b.iter(|| {
+            Optimizer::standard()
+                .optimize(black_box(&model), client, black_box(&naive))
+                .cost
+        })
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_xml,
+    bench_content_model,
+    bench_query,
+    bench_optimizer
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Criterion benchmarks of evaluation *strategies*: wall-clock of the
+//! naive vs rewritten plans from experiments E1/E2/E6, including the full
+//! simulated messaging. These complement the byte/message tables of the
+//! `experiments` binary with host-CPU timing.
+
+use axml_bench::experiments::e1_pushing_selections::pushed_plan;
+use axml_bench::workload::{catalog, naive_apply, selective_query, two_peer};
+use axml_core::cost::CostModel;
+use axml_core::optimizer::Optimizer;
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_e1_strategies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e1_pushing_selections");
+    for sel in [0.01f64, 0.5] {
+        let tree = catalog(500, sel, 0xB1);
+        g.bench_with_input(
+            BenchmarkId::new("naive", format!("sel={sel}")),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    let (mut sys, client, server) = two_peer(tree.clone());
+                    let e = naive_apply(selective_query(), client, server);
+                    sys.eval(client, black_box(&e)).unwrap().len()
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("pushed", format!("sel={sel}")),
+            &tree,
+            |b, tree| {
+                b.iter(|| {
+                    let (mut sys, client, server) = two_peer(tree.clone());
+                    let e = pushed_plan(client, server);
+                    sys.eval(client, black_box(&e)).unwrap().len()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_optimize_then_run(c: &mut Criterion) {
+    let tree = catalog(300, 0.05, 0xB2);
+    c.bench_function("optimize_and_evaluate", |b| {
+        b.iter(|| {
+            let (mut sys, client, server) = two_peer(tree.clone());
+            let naive = naive_apply(selective_query(), client, server);
+            let model = CostModel::from_system(&sys);
+            let plan = Optimizer::standard().optimize(&model, client, &naive);
+            sys.eval(client, &plan.expr).unwrap().len()
+        })
+    });
+}
+
+criterion_group!(benches, bench_e1_strategies, bench_optimize_then_run);
+criterion_main!(benches);

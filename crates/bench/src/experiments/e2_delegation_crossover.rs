@@ -1,0 +1,77 @@
+//! **E2 — query delegation (rule 10): the plan-vs-data crossover.** Sweep
+//! the document size with a fixed selective query and compare the naive
+//! strategy (fetch the data) against delegation (ship the query).
+//!
+//! Expected shape: for tiny documents shipping the query *costs more* than
+//! shipping the data — delegation loses; past a crossover (document ≳ plan
+//! size) delegation wins, and the gap grows with the document. This is why
+//! rule (10) must be cost-based rather than always-on.
+
+use crate::report::{fmt_bytes, Report};
+use crate::workload::{catalog, measure, naive_apply, selective_query, two_peer};
+use axml_core::expr::{Expr, LocatedQuery, PeerRef, SendDest};
+
+/// Catalog sizes swept (number of packages).
+pub const SIZES: &[usize] = &[1, 2, 5, 10, 50, 100, 500, 1000];
+
+/// Selectivity (fraction of selected packages) — fixed.
+pub const SELECTIVITY: f64 = 0.05;
+
+/// Run E2.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E2",
+        "query delegation (rule 10): crossover vs document size",
+        vec!["pkgs", "doc B", "naive B", "delegated B", "winner"],
+    );
+    for &n in SIZES {
+        let tree = catalog(n, SELECTIVITY, 0xE2);
+        let doc_bytes = tree.serialized_size() as u64;
+        let q = selective_query();
+
+        let (mut sys, client, server) = two_peer(tree.clone());
+        let naive = naive_apply(q.clone(), client, server);
+        let (_n1, b1, _m1, _t1) = measure(&mut sys, client, &naive);
+
+        let delegated = Expr::EvalAt {
+            peer: server,
+            expr: Box::new(Expr::Send {
+                dest: SendDest::Peer(client),
+                payload: Box::new(Expr::Apply {
+                    query: LocatedQuery::new(q, client),
+                    args: vec![Expr::Doc {
+                        name: "catalog".into(),
+                        at: PeerRef::At(server),
+                    }],
+                }),
+            }),
+        };
+        let (mut sys2, client2, _server2) = two_peer(tree);
+        let (_n2, b2, _m2, _t2) = measure(&mut sys2, client2, &delegated);
+
+        r.row(vec![
+            n.to_string(),
+            fmt_bytes(doc_bytes),
+            fmt_bytes(b1),
+            fmt_bytes(b2),
+            if b2 < b1 { "delegated" } else { "naive" }.to_string(),
+        ]);
+    }
+    r.note("delegation ships the serialized plan (~constant); naive ships the document (linear)");
+    r.note("crossover sits where the document outgrows the plan");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn crossover_exists() {
+        let r = super::run();
+        let winners: Vec<&str> = r.rows.iter().map(|row| row[4].as_str()).collect();
+        assert_eq!(*winners.first().unwrap(), "naive", "tiny doc: plan > data");
+        assert_eq!(*winners.last().unwrap(), "delegated", "big doc: data > plan");
+        // monotone: once delegated wins it keeps winning
+        let first_del = winners.iter().position(|w| *w == "delegated").unwrap();
+        assert!(winners[first_del..].iter().all(|w| *w == "delegated"));
+    }
+}

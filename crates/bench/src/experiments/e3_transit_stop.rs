@@ -1,0 +1,92 @@
+//! **E3 — rule (12): intermediary stops, both directions.** A transfer
+//! `origin → edge` may relay through a gateway. Sweep the quality of the
+//! direct link while the two gateway legs stay LAN-fast.
+//!
+//! Expected shape: with a good direct link, relaying (two transfers) loses
+//! — rule (12) applied left-to-right removes the stop; as the direct link
+//! degrades the relay wins — right-to-left adds the stop. The paper:
+//! *"while it may seem that rule (12) should always be applied left to
+//! right, this is not always true!"*
+
+use crate::report::{fmt_bytes, Report};
+use crate::workload::{catalog, gateway, measure};
+use axml_core::expr::{Expr, PeerRef, SendDest};
+use axml_net::link::LinkCost;
+
+/// Direct-link bandwidth sweep (bytes/ms); latency fixed at 40 ms.
+pub const DIRECT_BANDWIDTHS: &[f64] = &[12_500.0, 2_500.0, 1_250.0, 250.0, 50.0, 10.0];
+
+/// Run E3.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E3",
+        "transit stops (rule 12): direct vs relay through a gateway",
+        vec![
+            "direct B/ms", "direct ms", "relay ms", "direct B", "relay B", "winner",
+        ],
+    );
+    for &bw in DIRECT_BANDWIDTHS {
+        let direct_link = LinkCost {
+            latency_ms: 40.0,
+            bytes_per_ms: bw,
+            per_msg_bytes: 256,
+        };
+        let tree = catalog(300, 0.1, 0xE3);
+        let fetch = |via_gateway: bool| {
+            let (mut sys, edge, origin, gw) = gateway(direct_link, tree.clone());
+            let inner = Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(origin),
+            };
+            let plan = if via_gateway {
+                // eval@gw(send(edge, eval@origin(send(gw, catalog))))
+                Expr::EvalAt {
+                    peer: gw,
+                    expr: Box::new(Expr::Send {
+                        dest: SendDest::Peer(edge),
+                        payload: Box::new(Expr::EvalAt {
+                            peer: origin,
+                            expr: Box::new(Expr::Send {
+                                dest: SendDest::Peer(gw),
+                                payload: Box::new(inner),
+                            }),
+                        }),
+                    }),
+                }
+            } else {
+                Expr::EvalAt {
+                    peer: origin,
+                    expr: Box::new(Expr::Send {
+                        dest: SendDest::Peer(edge),
+                        payload: Box::new(inner),
+                    }),
+                }
+            };
+            measure(&mut sys, edge, &plan)
+        };
+        let (_, bd, _, td) = fetch(false);
+        let (_, br, _, tr) = fetch(true);
+        r.row(vec![
+            format!("{bw:.0}"),
+            format!("{td:.1}"),
+            format!("{tr:.1}"),
+            fmt_bytes(bd),
+            fmt_bytes(br),
+            if tr < td { "relay" } else { "direct" }.to_string(),
+        ]);
+    }
+    r.note("relay always moves ~2x the bytes but uses only fast links");
+    r.note("crossover where the direct link's slowness outweighs the doubled volume");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn both_directions_win_somewhere() {
+        let r = super::run();
+        let winners: Vec<&str> = r.rows.iter().map(|row| row[5].as_str()).collect();
+        assert_eq!(*winners.first().unwrap(), "direct", "fast direct link");
+        assert_eq!(*winners.last().unwrap(), "relay", "terrible direct link");
+    }
+}

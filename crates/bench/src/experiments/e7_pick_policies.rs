@@ -1,0 +1,97 @@
+//! **E7 — definition (9): pick policies for generic references.** A
+//! client fetches `catalog@any` repeatedly from 4 mirrors at increasing
+//! distance, under each pick policy.
+//!
+//! Expected shape: `Closest` minimizes time; `First` is as good only if
+//! the first-registered replica happens to be the nearest; `RoundRobin`
+//! spreads load at a latency cost; `Random` sits in between. This is the
+//! "p's preferences" dimension the paper leaves open.
+
+use crate::report::{fmt_bytes, Report};
+use crate::workload::{catalog, mirrors};
+use axml_core::prelude::*;
+use std::collections::BTreeMap;
+
+/// Fetches per policy.
+pub const FETCHES: usize = 20;
+
+/// Run E7.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E7",
+        "generic-reference pick policies (definition 9)",
+        vec!["policy", "total B", "makespan ms", "max load", "mirrors used"],
+    );
+    let policies: Vec<(&str, PickPolicy)> = vec![
+        ("First", PickPolicy::First),
+        ("Closest", PickPolicy::Closest),
+        ("Random(7)", PickPolicy::Random(7)),
+        ("RoundRobin", PickPolicy::RoundRobin),
+    ];
+    for (name, policy) in policies {
+        let (mut sys, client, ms) = mirrors(4, catalog(120, 0.1, 0xE7));
+        sys.set_pick_policy(policy);
+        for _ in 0..FETCHES {
+            sys.eval(
+                client,
+                &Expr::Doc {
+                    name: "catalog".into(),
+                    at: PeerRef::Any,
+                },
+            )
+            .unwrap();
+        }
+        // load = responses served per mirror
+        let mut load: BTreeMap<PeerId, u64> = BTreeMap::new();
+        for &m in &ms {
+            let n = sys.stats().link(m, client).messages;
+            if n > 0 {
+                load.insert(m, n);
+            }
+        }
+        let max_load = load.values().copied().max().unwrap_or(0);
+        r.row(vec![
+            name.to_string(),
+            fmt_bytes(sys.stats().total_bytes()),
+            format!("{:.0}", sys.stats().makespan_ms()),
+            max_load.to_string(),
+            load.len().to_string(),
+        ]);
+    }
+    r.note("Closest minimizes latency; First honors registration order (farthest-first here)");
+    r.note("RoundRobin spreads load across all mirrors at a latency cost");
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn policies_differ_as_expected() {
+        let r = super::run();
+        let get = |name: &str, col: usize| -> f64 {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .unwrap()[col]
+                .trim_end_matches(" ms")
+                .parse()
+                .unwrap()
+        };
+        // Closest is the fastest policy; First (registered farthest-first)
+        // and the load-spreading policies pay latency for their choices.
+        assert!(get("Closest", 2) < get("First", 2));
+        assert!(get("Closest", 2) <= get("RoundRobin", 2));
+        assert!(get("Closest", 2) <= get("Random(7)", 2));
+        // RoundRobin uses all 4 mirrors; Closest exactly one.
+        let used = |name: &str| -> usize {
+            r.rows
+                .iter()
+                .find(|row| row[0] == name)
+                .unwrap()[4]
+                .parse()
+                .unwrap()
+        };
+        assert_eq!(used("Closest"), 1);
+        assert_eq!(used("RoundRobin"), 4);
+    }
+}

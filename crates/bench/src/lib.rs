@@ -1,0 +1,22 @@
+//! # axml-bench — the experiment harness
+//!
+//! The EDBT 2006 paper has **no empirical evaluation section** (no tables,
+//! no figures): its contribution is the algebra and the equivalence rules
+//! of §3. This crate is the evaluation the paper implies: for every rule
+//! (and for the worked Example 1), a deterministic experiment that measures
+//! the naive strategy against the rewritten one on the simulated network,
+//! sweeping the parameter that governs the trade-off. `EXPERIMENTS.md`
+//! indexes them (E1–E11) and records the measured shapes.
+//!
+//! Run everything with:
+//!
+//! ```text
+//! cargo run --release -p axml-bench --bin experiments
+//! cargo run --release -p axml-bench --bin experiments -- e1 e3   # subset
+//! ```
+//!
+//! Wall-clock micro-benchmarks (criterion) live in `benches/`.
+
+pub mod experiments;
+pub mod report;
+pub mod workload;

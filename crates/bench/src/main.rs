@@ -1,0 +1,28 @@
+//! The `experiments` binary: regenerates every table of `EXPERIMENTS.md`.
+//!
+//! ```text
+//! cargo run --release -p axml-bench --bin experiments          # all
+//! cargo run --release -p axml-bench --bin experiments -- e1 e8 # subset
+//! ```
+
+use axml_bench::experiments;
+
+fn main() {
+    let wanted: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let all = experiments::all();
+    let selected: Vec<_> = if wanted.is_empty() {
+        all
+    } else {
+        all.into_iter()
+            .filter(|(id, _)| wanted.iter().any(|w| w == id))
+            .collect()
+    };
+    if selected.is_empty() {
+        eprintln!("unknown experiment id; available: e1 … e11");
+        std::process::exit(2);
+    }
+    for (_, run) in selected {
+        let report = run();
+        println!("{report}");
+    }
+}

@@ -1,0 +1,128 @@
+//! Plain-text result tables, aligned and deterministic.
+
+use std::fmt;
+
+/// One experiment's output: a titled table plus free-form notes.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Experiment id, e.g. `"E1"`.
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Column headers.
+    pub headers: Vec<&'static str>,
+    /// Rows of pre-formatted cells.
+    pub rows: Vec<Vec<String>>,
+    /// Interpretation notes (the "shape" the paper predicts).
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Start a report.
+    pub fn new(id: &'static str, title: &'static str, headers: Vec<&'static str>) -> Self {
+        Report {
+            id,
+            title,
+            headers,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match headers"
+        );
+        self.rows.push(cells);
+    }
+
+    /// Append an interpretation note.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} — {} ===", self.id, self.title)?;
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, c) in cells.iter().enumerate() {
+                write!(f, "{:>w$}  ", c, w = widths[i])?;
+            }
+            writeln!(f)
+        };
+        let headers: Vec<String> = self.headers.iter().map(|s| s.to_string()).collect();
+        line(f, &headers)?;
+        let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+        writeln!(f, "{}", "-".repeat(total))?;
+        for row in &self.rows {
+            line(f, row)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  · {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Format a byte count compactly.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 1_000_000 {
+        format!("{:.2} MB", b as f64 / 1_000_000.0)
+    } else if b >= 1_000 {
+        format!("{:.1} KB", b as f64 / 1_000.0)
+    } else {
+        format!("{b} B")
+    }
+}
+
+/// Format a ratio (`a / b`) with a guard against division by zero.
+pub fn fmt_ratio(a: u64, b: u64) -> String {
+    if b == 0 {
+        "∞".to_string()
+    } else {
+        format!("{:.1}x", a as f64 / b as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut r = Report::new("E0", "demo", vec!["k", "bytes"]);
+        r.row(vec!["1".into(), "100".into()]);
+        r.row(vec!["100".into(), "2".into()]);
+        r.note("a note");
+        let s = r.to_string();
+        assert!(s.contains("E0 — demo"), "{s}");
+        assert!(s.contains("· a note"), "{s}");
+        assert!(s.lines().count() >= 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn row_width_checked() {
+        let mut r = Report::new("E0", "demo", vec!["a", "b"]);
+        r.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_bytes(12), "12 B");
+        assert_eq!(fmt_bytes(12_345), "12.3 KB");
+        assert_eq!(fmt_bytes(12_345_678), "12.35 MB");
+        assert_eq!(fmt_ratio(100, 10), "10.0x");
+        assert_eq!(fmt_ratio(1, 0), "∞");
+    }
+}

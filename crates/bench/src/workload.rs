@@ -1,0 +1,175 @@
+//! Workload generators: catalogs with a controllable selectivity knob,
+//! standard multi-peer scenarios, and the queries the experiments sweep.
+//!
+//! Everything is deterministic (seeded) so experiment tables are
+//! reproducible bit-for-bit.
+
+use axml_core::prelude::*;
+use axml_query::Query;
+use axml_xml::tree::Tree;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The size threshold used by the standard selective query: packages with
+/// `size > BIG_THRESHOLD` are "selected".
+pub const BIG_THRESHOLD: u32 = 100_000;
+
+/// Generate a catalog of `n` packages in which a `selectivity` fraction
+/// (0.0–1.0) exceeds [`BIG_THRESHOLD`].
+pub fn catalog(n: usize, selectivity: f64, seed: u64) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut t = Tree::new("catalog");
+    let root = t.root();
+    for i in 0..n {
+        let selected = (i as f64 + 0.5) / n as f64 <= selectivity;
+        let size = if selected {
+            BIG_THRESHOLD + 1 + rng.gen_range(0..10_000)
+        } else {
+            rng.gen_range(0..BIG_THRESHOLD / 2)
+        };
+        let p = t.add_element(root, "pkg");
+        t.set_attr(p, "name", format!("pkg-{i}")).unwrap();
+        t.add_text_element(p, "size", size.to_string());
+        t.add_text_element(
+            p,
+            "desc",
+            format!("package number {i}, a member of the synthetic catalog"),
+        );
+    }
+    t
+}
+
+/// The standard selective query over `$0` (decomposable: Example 1).
+pub fn selective_query() -> Query {
+    Query::parse(
+        "select-big",
+        &format!(
+            r#"for $p in $0//pkg where $p/size/text() > {BIG_THRESHOLD}
+               return <big name="{{$p/@name}}">{{$p/size}}</big>"#
+        ),
+    )
+    .unwrap()
+}
+
+/// A client–server pair over one WAN link, the catalog on the server.
+/// Returns `(system, client, server)`.
+pub fn two_peer(catalog_tree: Tree) -> (AxmlSystem, PeerId, PeerId) {
+    let mut sys = AxmlSystem::new();
+    let client = sys.add_peer("client");
+    let server = sys.add_peer("server");
+    sys.net_mut().set_link(client, server, LinkCost::wan());
+    sys.install_doc(server, "catalog", catalog_tree).unwrap();
+    (sys, client, server)
+}
+
+/// A gateway triangle: `edge ↔ origin` over a configurable (usually bad)
+/// link; both reach `gateway` over ordinary WAN links. Returns
+/// `(system, edge, origin, gateway)`.
+pub fn gateway(direct: LinkCost, catalog_tree: Tree) -> (AxmlSystem, PeerId, PeerId, PeerId) {
+    let mut sys = AxmlSystem::new();
+    let edge = sys.add_peer("edge");
+    let origin = sys.add_peer("origin");
+    let gw = sys.add_peer("gateway");
+    sys.net_mut().set_link(edge, origin, direct);
+    sys.net_mut().set_link(edge, gw, LinkCost::wan());
+    sys.net_mut().set_link(origin, gw, LinkCost::wan());
+    sys.install_doc(origin, "catalog", catalog_tree).unwrap();
+    (sys, edge, origin, gw)
+}
+
+/// One client plus `k` mirrors of the catalog at increasing distance
+/// (mirror 0 on LAN, the rest increasingly worse). Replicas are
+/// registered in the catalog farthest-first, so the `First` pick policy
+/// picks the *worst* mirror — separating it from `Closest`. Returns
+/// `(system, client, mirrors)`.
+pub fn mirrors(k: usize, catalog_tree: Tree) -> (AxmlSystem, PeerId, Vec<PeerId>) {
+    let mut sys = AxmlSystem::new();
+    let client = sys.add_peer("client");
+    let mut ms = Vec::with_capacity(k);
+    for i in 0..k {
+        let m = sys.add_peer(format!("mirror-{i}"));
+        let cost = LinkCost {
+            latency_ms: 1.0 + 30.0 * i as f64,
+            bytes_per_ms: 12_500.0 / (1.0 + i as f64),
+            per_msg_bytes: 64,
+        };
+        sys.net_mut().set_link(client, m, cost);
+        sys.install_doc(m, "catalog", catalog_tree.clone()).unwrap();
+        ms.push(m);
+    }
+    for &m in ms.iter().rev() {
+        sys.catalog_mut().add_doc_replica("catalog", m, "catalog");
+    }
+    (sys, client, ms)
+}
+
+/// The naive `q(catalog@server)` expression.
+pub fn naive_apply(q: Query, client: PeerId, server: PeerId) -> Expr {
+    Expr::Apply {
+        query: LocatedQuery::new(q, client),
+        args: vec![Expr::Doc {
+            name: "catalog".into(),
+            at: PeerRef::At(server),
+        }],
+    }
+}
+
+/// Measure one plan on a fresh system: `(n_results, bytes, msgs, makespan)`.
+pub fn measure(sys: &mut AxmlSystem, site: PeerId, e: &Expr) -> (usize, u64, u64, f64) {
+    sys.reset_stats();
+    let out = sys.eval(site, e).expect("plan evaluates");
+    (
+        out.len(),
+        sys.stats().total_bytes(),
+        sys.stats().total_messages(),
+        sys.stats().makespan_ms(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_selectivity_is_exact() {
+        for (n, sel) in [(100, 0.1), (200, 0.5), (50, 0.0), (80, 1.0)] {
+            let t = catalog(n, sel, 42);
+            let big = t
+                .descendants_labeled(t.root(), "size")
+                .filter(|&s| t.text(s).parse::<u32>().unwrap() > BIG_THRESHOLD)
+                .count();
+            assert_eq!(big, (n as f64 * sel).round() as usize, "n={n} sel={sel}");
+        }
+    }
+
+    #[test]
+    fn catalog_is_deterministic() {
+        let a = catalog(50, 0.2, 7);
+        let b = catalog(50, 0.2, 7);
+        assert_eq!(a.serialize(), b.serialize());
+        let c = catalog(50, 0.2, 8);
+        assert_ne!(a.serialize(), c.serialize());
+    }
+
+    #[test]
+    fn scenarios_build() {
+        let (sys, client, server) = two_peer(catalog(10, 0.5, 1));
+        assert_eq!(sys.peer_count(), 2);
+        assert!(sys.peer(server).docs.contains(&"catalog".into()));
+        let q = selective_query();
+        let e = naive_apply(q, client, server);
+        let mut sys = sys;
+        let (n, bytes, msgs, ms) = measure(&mut sys, client, &e);
+        assert_eq!(n, 5);
+        assert!(bytes > 0 && msgs == 2 && ms > 0.0);
+    }
+
+    #[test]
+    fn gateway_and_mirrors_build() {
+        let (sys, _e, origin, _g) = gateway(LinkCost::slow(), catalog(5, 0.2, 1));
+        assert!(sys.peer(origin).docs.contains(&"catalog".into()));
+        let (sys2, _c, ms) = mirrors(3, catalog(5, 0.2, 1));
+        assert_eq!(ms.len(), 3);
+        assert_eq!(sys2.catalog().doc_replicas(&"catalog".into()).len(), 3);
+    }
+}

@@ -1,0 +1,536 @@
+//! Continuous services and live AXML documents — §2.2.
+//!
+//! *"AXML also supports calls to continuous services. When such a call is
+//! activated, step 1 takes place just once, while steps 2 and 3, together,
+//! occur repeatedly … the response trees successively sent accumulate as
+//! siblings of the sc node."*
+//!
+//! [`AxmlSystem::activate_document`] parses a hosted document's `sc`
+//! elements and turns the `Immediate` ones into live [`Subscription`]s
+//! (performing the initial exchange); `@after` chains become subscriptions
+//! triggered by their predecessor's answers. [`AxmlSystem::feed`] appends a
+//! new tree to a source document and propagates: every subscription whose
+//! service reads that document re-evaluates and ships only its **new**
+//! results (multiset delta over canonical forms) to its sink — the forward
+//! list, or the `sc`'s parent by default.
+
+use crate::error::{CoreError, CoreResult};
+use crate::sc::{ActivationMode, ScNode, ScProvider};
+use crate::system::AxmlSystem;
+use axml_xml::equiv::{canonicalize, Canon};
+use axml_xml::ids::{DocName, NodeAddr, PeerId, ServiceName};
+use axml_xml::tree::Tree;
+use std::collections::HashMap;
+
+/// What causes a subscription to re-evaluate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Trigger {
+    /// A change of any of the provider-side documents the service reads.
+    DocChange(Vec<DocName>),
+    /// New answers of the sibling call with this `@id` (§2.2's
+    /// activate-after chaining).
+    AfterAnswer(String),
+}
+
+/// A live (continuous) service call.
+#[derive(Debug, Clone)]
+pub struct Subscription {
+    /// Subscription id.
+    pub id: u64,
+    /// The `sc`'s `@id`, if any (targets of `@after` chains).
+    pub sc_id: Option<String>,
+    /// The peer hosting the calling document.
+    pub caller: PeerId,
+    /// The resolved provider.
+    pub provider: PeerId,
+    /// The resolved service name.
+    pub service: ServiceName,
+    /// Parameter forests (shipped once, at activation — step 1).
+    pub params: Vec<Vec<Tree>>,
+    /// Where results accumulate.
+    pub sink: Vec<NodeAddr>,
+    /// What re-triggers evaluation.
+    pub trigger: Trigger,
+    /// Canonical multiset of everything delivered so far.
+    emitted: HashMap<Canon, usize>,
+    /// Total trees delivered.
+    pub delivered: usize,
+}
+
+impl AxmlSystem {
+    /// Activate the `sc` elements of a document hosted at `at` — §2.2's
+    /// activation, returning the new subscription ids. Results accumulate
+    /// as siblings of each `sc` (or at its `forw` targets); continuous
+    /// services keep streaming through [`AxmlSystem::feed`].
+    pub fn activate_document(&mut self, at: PeerId, doc: &DocName) -> CoreResult<Vec<u64>> {
+        self.check_peer(at)?;
+        let tree = self.peers[at.index()].doc(doc, at)?.clone();
+        let mut created = Vec::new();
+        for sc_node in ScNode::find_all(&tree, tree.root()) {
+            let sc = ScNode::parse(&tree, sc_node)?;
+            if sc.mode == ActivationMode::Lazy {
+                continue;
+            }
+            // Default sink: the sc's parent node in this document.
+            let sink = if sc.forward.is_empty() {
+                let parent = tree.parent(sc_node).ok_or_else(|| {
+                    CoreError::Malformed("sc element at document root".into())
+                })?;
+                vec![NodeAddr::new(at, doc.clone(), parent)]
+            } else {
+                sc.forward.clone()
+            };
+            let (provider, service) = match sc.provider {
+                ScProvider::Peer(p) => (p, sc.service.clone()),
+                ScProvider::Any => {
+                    let policy = self.pick_policy;
+                    self.catalog
+                        .pick_service(policy, at, &sc.service, &self.net)?
+                }
+            };
+            self.check_peer(provider)?;
+            let params: Vec<Vec<Tree>> = sc.params.iter().map(|p| vec![p.clone()]).collect();
+            // Step 1 happens once: ship the parameters now.
+            if provider != at {
+                self.transfer(
+                    at,
+                    provider,
+                    crate::message::AxmlMessage::Invoke {
+                        service: service.clone(),
+                        params: params.iter().map(|f| Self::serialize_forest(f)).collect(),
+                        forward: sink.clone(),
+                        call_id: self.next_call,
+                    },
+                )?;
+            }
+            let id = self.fresh_call_id();
+            let trigger = match &sc.mode {
+                ActivationMode::After(pred) => Trigger::AfterAnswer(pred.clone()),
+                _ => {
+                    let svc = self.peers[provider.index()].service(&service, provider)?;
+                    Trigger::DocChange(svc.query.doc_dependencies())
+                }
+            };
+            let sub = Subscription {
+                id,
+                sc_id: sc.id.clone(),
+                caller: at,
+                provider,
+                service,
+                params,
+                sink,
+                trigger,
+                emitted: HashMap::new(),
+                delivered: 0,
+            };
+            let is_after = matches!(sc.mode, ActivationMode::After(_));
+            self.subscriptions.push(sub);
+            created.push((id, is_after));
+        }
+        // Initial evaluation (steps 2–3) for non-`after` calls — done after
+        // *all* subscriptions exist, so `@after` chains see their triggers.
+        for &(id, is_after) in &created {
+            if !is_after {
+                self.pump_subscription(id)?;
+            }
+        }
+        Ok(created.into_iter().map(|(id, _)| id).collect())
+    }
+
+    /// Append `tree` under the root of `doc@at` and propagate through all
+    /// affected subscriptions. Returns the number of result trees
+    /// delivered downstream.
+    pub fn feed(&mut self, at: PeerId, doc: impl Into<DocName>, tree: Tree) -> CoreResult<usize> {
+        self.check_peer(at)?;
+        let doc = doc.into();
+        {
+            let d = self.peers[at.index()]
+                .docs
+                .get_mut(&doc)
+                .ok_or_else(|| CoreError::NoSuchDoc {
+                    doc: doc.clone(),
+                    at,
+                })?;
+            let root = d.tree().root();
+            d.tree_mut().graft(root, &tree, tree.root())?;
+        }
+        let affected: Vec<u64> = self
+            .subscriptions
+            .iter()
+            .filter(|s| {
+                s.provider == at
+                    && matches!(&s.trigger, Trigger::DocChange(docs) if docs.contains(&doc))
+            })
+            .map(|s| s.id)
+            .collect();
+        let mut delivered = 0;
+        for id in affected {
+            delivered += self.pump_subscription(id)?;
+        }
+        Ok(delivered)
+    }
+
+    /// Re-evaluate one subscription, deliver only new results, and fire
+    /// `@after` chains. Returns the number of trees delivered (including
+    /// chained deliveries).
+    pub fn pump_subscription(&mut self, id: u64) -> CoreResult<usize> {
+        let idx = self
+            .subscriptions
+            .iter()
+            .position(|s| s.id == id)
+            .ok_or_else(|| CoreError::Malformed(format!("no subscription {id}")))?;
+        let (provider, service, params, sink, caller, sc_id) = {
+            let s = &self.subscriptions[idx];
+            (
+                s.provider,
+                s.service.clone(),
+                s.params.clone(),
+                s.sink.clone(),
+                s.caller,
+                s.sc_id.clone(),
+            )
+        };
+        // Steps 2: the provider evaluates its query over the current state.
+        let svc = self.peers[provider.index()].service(&service, provider)?;
+        let query = svc.query.clone();
+        let results = query.eval_with_docs(&params, &self.peers[provider.index()])?;
+        // Delta: only what was never delivered before.
+        let fresh: Vec<Tree> = {
+            let s = &mut self.subscriptions[idx];
+            let mut budget = s.emitted.clone();
+            let mut fresh = Vec::new();
+            for t in results {
+                let c = canonicalize(&t, t.root());
+                match budget.get_mut(&c) {
+                    Some(n) if *n > 0 => *n -= 1,
+                    _ => fresh.push(t),
+                }
+            }
+            for t in &fresh {
+                *s.emitted.entry(canonicalize(t, t.root())).or_insert(0) += 1;
+            }
+            s.delivered += fresh.len();
+            fresh
+        };
+        if fresh.is_empty() {
+            return Ok(0);
+        }
+        // Step 3: ship to the sink (repeatedly, for continuous services).
+        self.deliver_to_nodes(provider, &sink, &fresh)?;
+        let mut total = fresh.len();
+        let _ = caller;
+        // §2.2: a call chained `after` this one activates per answer batch.
+        if let Some(my_id) = sc_id {
+            let chained: Vec<u64> = self
+                .subscriptions
+                .iter()
+                .filter(|s| matches!(&s.trigger, Trigger::AfterAnswer(p) if *p == my_id))
+                .map(|s| s.id)
+                .collect();
+            for c in chained {
+                total += self.pump_subscription(c)?;
+            }
+        }
+        Ok(total)
+    }
+
+    /// The live subscriptions.
+    pub fn subscriptions(&self) -> &[Subscription] {
+        &self.subscriptions
+    }
+
+    /// Cancel a subscription: the call stops streaming (results already
+    /// accumulated stay where they landed — AXML streams are append-only).
+    /// Returns whether a subscription with that id existed.
+    pub fn unsubscribe(&mut self, id: u64) -> bool {
+        let before = self.subscriptions.len();
+        self.subscriptions.retain(|s| s.id != id);
+        self.subscriptions.len() != before
+    }
+
+    /// Cancel every subscription created by documents hosted at `caller`.
+    /// Returns how many were removed.
+    pub fn unsubscribe_peer(&mut self, caller: PeerId) -> usize {
+        let before = self.subscriptions.len();
+        self.subscriptions.retain(|s| s.caller != caller);
+        before - self.subscriptions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_net::link::LinkCost;
+
+    /// client (p0) subscribes to a news service on server (p1).
+    fn news_system() -> (AxmlSystem, PeerId, PeerId) {
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.net_mut().set_link(client, server, LinkCost::wan());
+        sys.install_doc(
+            server,
+            "news",
+            Tree::parse(r#"<news><item topic="db">v0</item></news>"#).unwrap(),
+        )
+        .unwrap();
+        sys.register_declarative_service(
+            server,
+            "db-news",
+            r#"for $i in doc("news")/item where $i/@topic = "db" return {$i}"#,
+        )
+        .unwrap();
+        sys.install_doc(
+            client,
+            "digest",
+            Tree::parse(
+                r#"<digest><sc><peer>p1</peer><service>db-news</service></sc></digest>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        (sys, client, server)
+    }
+
+    #[test]
+    fn activation_delivers_initial_results() {
+        let (mut sys, client, _server) = news_system();
+        let subs = sys.activate_document(client, &"digest".into()).unwrap();
+        assert_eq!(subs.len(), 1);
+        let digest = sys.peer(client).docs.get(&"digest".into()).unwrap().tree();
+        // sc + 1 initial item under the root (sc's parent)
+        assert_eq!(digest.children(digest.root()).len(), 2);
+        assert!(digest.serialize().contains("v0"));
+    }
+
+    #[test]
+    fn feed_streams_only_new_results() {
+        let (mut sys, client, server) = news_system();
+        sys.activate_document(client, &"digest".into()).unwrap();
+        sys.reset_stats();
+        let delivered = sys
+            .feed(
+                server,
+                "news",
+                Tree::parse(r#"<item topic="db">v1</item>"#).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(delivered, 1, "only the new item crosses the wire");
+        let digest = sys.peer(client).docs.get(&"digest".into()).unwrap().tree();
+        assert!(digest.serialize().contains("v1"));
+        assert_eq!(
+            digest.children(digest.root()).len(),
+            3,
+            "v0 not re-delivered"
+        );
+        // exactly one data message server → client
+        assert_eq!(sys.stats().link(server, client).messages, 1);
+    }
+
+    #[test]
+    fn off_topic_items_not_delivered() {
+        let (mut sys, client, server) = news_system();
+        sys.activate_document(client, &"digest".into()).unwrap();
+        let delivered = sys
+            .feed(
+                server,
+                "news",
+                Tree::parse(r#"<item topic="ai">v2</item>"#).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(delivered, 0);
+        let digest = sys.peer(client).docs.get(&"digest".into()).unwrap().tree();
+        assert!(!digest.serialize().contains("v2"));
+    }
+
+    #[test]
+    fn forward_list_sinks_elsewhere() {
+        let (mut sys, client, server) = news_system();
+        let archive = sys.add_peer("archive");
+        sys.install_doc(archive, "log", Tree::parse("<log/>").unwrap())
+            .unwrap();
+        let log_root = sys.peer(archive).docs.get(&"log".into()).unwrap().tree().root();
+        sys.install_doc(
+            client,
+            "digest2",
+            {
+                let mut t = Tree::parse("<digest2/>").unwrap();
+                let root = t.root();
+                let sc = ScNode {
+                    id: None,
+                    provider: ScProvider::Peer(server),
+                    service: "db-news".into(),
+                    params: vec![],
+                    forward: vec![NodeAddr::new(archive, "log", log_root)],
+                    mode: ActivationMode::Immediate,
+                };
+                sc.write(&mut t, root);
+                t
+            },
+        )
+        .unwrap();
+        sys.activate_document(client, &"digest2".into()).unwrap();
+        sys.feed(
+            server,
+            "news",
+            Tree::parse(r#"<item topic="db">v9</item>"#).unwrap(),
+        )
+        .unwrap();
+        let log = sys.peer(archive).docs.get(&"log".into()).unwrap().tree();
+        assert_eq!(log.children(log.root()).len(), 2, "initial + v9");
+        let digest = sys.peer(client).docs.get(&"digest2".into()).unwrap().tree();
+        assert_eq!(
+            digest.children(digest.root()).len(),
+            1,
+            "nothing lands at the caller"
+        );
+    }
+
+    #[test]
+    fn after_chain_fires_per_answer() {
+        let (mut sys, client, server) = news_system();
+        // A logging service on the server, chained after the news call.
+        sys.register_declarative_service(server, "stamp", r#"doc("stamps")/mark"#)
+            .unwrap();
+        sys.install_doc(
+            server,
+            "stamps",
+            Tree::parse("<stamps><mark>seen</mark></stamps>").unwrap(),
+        )
+        .unwrap();
+        sys.install_doc(
+            client,
+            "chained",
+            Tree::parse(
+                r#"<chained>
+                     <sc id="first"><peer>p1</peer><service>db-news</service></sc>
+                     <sc after="first"><peer>p1</peer><service>stamp</service></sc>
+                   </chained>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sys.activate_document(client, &"chained".into()).unwrap();
+        let doc = sys.peer(client).docs.get(&"chained".into()).unwrap().tree();
+        // initial news answer triggered the chained stamp call
+        assert!(doc.serialize().contains("seen"));
+        let before = doc.children(doc.root()).len();
+        // another db item: news delivers, stamp re-fires but has no new
+        // marks to deliver (delta semantics)
+        sys.feed(
+            server,
+            "news",
+            Tree::parse(r#"<item topic="db">v1</item>"#).unwrap(),
+        )
+        .unwrap();
+        let doc = sys.peer(client).docs.get(&"chained".into()).unwrap().tree();
+        assert_eq!(doc.children(doc.root()).len(), before + 1);
+    }
+
+    #[test]
+    fn generic_provider_resolved_at_activation() {
+        let (mut sys, client, server) = news_system();
+        let mirror = sys.add_peer("mirror");
+        sys.net_mut().set_link(client, mirror, LinkCost::lan());
+        sys.install_doc(
+            mirror,
+            "news",
+            Tree::parse(r#"<news><item topic="db">v0</item></news>"#).unwrap(),
+        )
+        .unwrap();
+        sys.register_declarative_service(
+            mirror,
+            "db-news-m",
+            r#"for $i in doc("news")/item where $i/@topic = "db" return {$i}"#,
+        )
+        .unwrap();
+        sys.catalog_mut()
+            .add_service_replica("db-news-any", server, "db-news");
+        sys.catalog_mut()
+            .add_service_replica("db-news-any", mirror, "db-news-m");
+        sys.install_doc(
+            client,
+            "g",
+            Tree::parse(r#"<g><sc><peer>any</peer><service>db-news-any</service></sc></g>"#)
+                .unwrap(),
+        )
+        .unwrap();
+        sys.set_pick_policy(crate::pick::PickPolicy::Closest);
+        sys.activate_document(client, &"g".into()).unwrap();
+        let sub = &sys.subscriptions()[0];
+        assert_eq!(sub.provider, mirror, "closest replica picked");
+        assert_eq!(sub.delivered, 1);
+    }
+
+    #[test]
+    fn feed_unknown_doc_errors() {
+        let (mut sys, _client, server) = news_system();
+        assert!(sys
+            .feed(server, "nope", Tree::parse("<x/>").unwrap())
+            .is_err());
+    }
+}
+
+#[cfg(test)]
+mod unsubscribe_tests {
+    use super::*;
+    use axml_net::link::LinkCost;
+
+    #[test]
+    fn unsubscribe_stops_streaming() {
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.net_mut().set_link(client, server, LinkCost::wan());
+        sys.install_doc(server, "feed", Tree::parse("<feed/>").unwrap())
+            .unwrap();
+        sys.register_declarative_service(server, "items", r#"doc("feed")/item"#)
+            .unwrap();
+        sys.install_doc(
+            client,
+            "inbox",
+            Tree::parse(r#"<inbox><sc><peer>p1</peer><service>items</service></sc></inbox>"#)
+                .unwrap(),
+        )
+        .unwrap();
+        let ids = sys.activate_document(client, &"inbox".into()).unwrap();
+        sys.feed(server, "feed", Tree::parse("<item>a</item>").unwrap())
+            .unwrap();
+        assert!(sys.unsubscribe(ids[0]));
+        assert!(!sys.unsubscribe(ids[0]), "idempotent");
+        let delivered = sys
+            .feed(server, "feed", Tree::parse("<item>b</item>").unwrap())
+            .unwrap();
+        assert_eq!(delivered, 0, "cancelled subscription must not fire");
+        let inbox = sys.peer(client).docs.get(&"inbox".into()).unwrap().tree();
+        assert!(inbox.serialize().contains(">a<"), "earlier results stay");
+        assert!(!inbox.serialize().contains(">b<"));
+    }
+
+    #[test]
+    fn unsubscribe_peer_sweeps_all() {
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.install_doc(server, "feed", Tree::parse("<feed/>").unwrap())
+            .unwrap();
+        sys.register_declarative_service(server, "items", r#"doc("feed")/item"#)
+            .unwrap();
+        for name in ["inbox1", "inbox2"] {
+            sys.install_doc(
+                client,
+                name,
+                Tree::parse(&format!(
+                    r#"<{name}><sc><peer>p1</peer><service>items</service></sc></{name}>"#
+                ))
+                .unwrap(),
+            )
+            .unwrap();
+            sys.activate_document(client, &name.into()).unwrap();
+        }
+        assert_eq!(sys.subscriptions().len(), 2);
+        assert_eq!(sys.unsubscribe_peer(client), 2);
+        assert!(sys.subscriptions().is_empty());
+        assert_eq!(sys.unsubscribe_peer(client), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Error type for the AXML core.
+
+use axml_net::NetError;
+use axml_query::QueryError;
+use axml_types::TypeError;
+use axml_xml::ids::{DocName, PeerId, ServiceName};
+use axml_xml::XmlError;
+use std::fmt;
+
+/// Result alias for this crate.
+pub type CoreResult<T> = Result<T, CoreError>;
+
+/// Errors from the AXML system.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// An XML-level failure.
+    Xml(XmlError),
+    /// A query-level failure.
+    Query(QueryError),
+    /// A type-level failure.
+    Type(TypeError),
+    /// A network-level failure.
+    Net(NetError),
+    /// A peer id not registered with the system.
+    UnknownPeer(PeerId),
+    /// A document not found on a peer.
+    NoSuchDoc {
+        /// The missing document.
+        doc: DocName,
+        /// The peer it was looked up on.
+        at: PeerId,
+    },
+    /// A service not found on a peer.
+    NoSuchService {
+        /// The missing service.
+        service: ServiceName,
+        /// The peer it was looked up on.
+        at: PeerId,
+    },
+    /// A named query not found on a peer.
+    NoSuchQuery(String),
+    /// A generic (`@any`) reference with no registered replica.
+    EmptyEquivalenceClass(String),
+    /// Malformed `sc` element or expression tree.
+    Malformed(String),
+    /// An evaluation reached an unsupported shape.
+    Unsupported(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Xml(e) => write!(f, "xml: {e}"),
+            CoreError::Query(e) => write!(f, "query: {e}"),
+            CoreError::Type(e) => write!(f, "type: {e}"),
+            CoreError::Net(e) => write!(f, "net: {e}"),
+            CoreError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            CoreError::NoSuchDoc { doc, at } => write!(f, "no document `{doc}` at {at}"),
+            CoreError::NoSuchService { service, at } => {
+                write!(f, "no service `{service}` at {at}")
+            }
+            CoreError::NoSuchQuery(q) => write!(f, "no query `{q}`"),
+            CoreError::EmptyEquivalenceClass(c) => {
+                write!(f, "generic reference `{c}@any` has no replica")
+            }
+            CoreError::Malformed(m) => write!(f, "malformed: {m}"),
+            CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<XmlError> for CoreError {
+    fn from(e: XmlError) -> Self {
+        CoreError::Xml(e)
+    }
+}
+
+impl From<QueryError> for CoreError {
+    fn from(e: QueryError) -> Self {
+        CoreError::Query(e)
+    }
+}
+
+impl From<TypeError> for CoreError {
+    fn from(e: TypeError) -> Self {
+        CoreError::Type(e)
+    }
+}
+
+impl From<NetError> for CoreError {
+    fn from(e: NetError) -> Self {
+        CoreError::Net(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_froms() {
+        let e: CoreError = XmlError::InvalidNode { index: 3 }.into();
+        assert!(e.to_string().contains("xml:"));
+        let e: CoreError = QueryError::UnboundVariable("$x".into()).into();
+        assert!(e.to_string().contains("query:"));
+        let e: CoreError = NetError::UnknownPeer(PeerId(0)).into();
+        assert!(e.to_string().contains("net:"));
+        let e: CoreError = TypeError::DuplicateType("T".into()).into();
+        assert!(e.to_string().contains("type:"));
+        assert!(CoreError::NoSuchDoc {
+            doc: "d".into(),
+            at: PeerId(1)
+        }
+        .to_string()
+        .contains("p1"));
+        assert!(CoreError::EmptyEquivalenceClass("c".into())
+            .to_string()
+            .contains("c@any"));
+        assert!(CoreError::NoSuchService {
+            service: "s".into(),
+            at: PeerId(0)
+        }
+        .to_string()
+        .contains("s"));
+        assert!(CoreError::UnknownPeer(PeerId(7)).to_string().contains("p7"));
+        assert!(CoreError::NoSuchQuery("q".into()).to_string().contains("q"));
+        assert!(CoreError::Malformed("x".into()).to_string().contains("x"));
+        assert!(CoreError::Unsupported("y".into()).to_string().contains("y"));
+    }
+}

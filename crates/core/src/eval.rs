@@ -1,0 +1,865 @@
+//! Expression evaluation — definitions (1)–(9) of §3.2.
+//!
+//! `eval@p(e)` is implemented as [`AxmlSystem::eval`]`(p, e)`. It returns
+//! the forest that materializes **at peer `p`** and performs every side
+//! effect the paper describes: data/query shipping as real (simulated)
+//! messages, results accumulating under forward-list nodes, new documents
+//! and services installed.
+//!
+//! Mapping to the paper's definitions:
+//!
+//! | def. | case |
+//! |------|------|
+//! | (1)  | [`crate::expr::Expr::Tree`] at `p` — copy the tree, activating embedded `sc` nodes |
+//! | (2)  | [`crate::expr::Expr::Apply`] with a local definition |
+//! | (3)  | [`crate::expr::Expr::Send`] to a peer — value ∅, data moves |
+//! | (4)  | `Send` to a node list — appended under each `n@p` |
+//! | (5)  | `Tree`/`Doc` located remotely — the remote peer evaluates and ships back |
+//! | (6)  | [`crate::expr::Expr::Sc`] — params to provider, provider applies its query, results to the forward list |
+//! | (7)  | `Apply` with a remote definition — query and arguments shipped to the evaluation site |
+//! | (8)  | [`crate::expr::Expr::Deploy`] — a shipped query becomes a new service |
+//! | (9)  | `PeerRef::Any` / `ScProvider::Any` resolved via `pickDoc`/`pickService` |
+//!
+//! Simplifications vs. a production deployment (documented in DESIGN.md):
+//! evaluation is one-shot over current state (continuous propagation is in
+//! [`crate::continuous`]); remote evaluation requests ship the serialized
+//! expression and are charged like any other message; fan-out transfers
+//! are timed sequentially (the makespan is a sequential upper bound).
+
+use crate::error::{CoreError, CoreResult};
+use crate::expr::{Expr, PeerRef, SendDest};
+use crate::message::AxmlMessage;
+use crate::sc::{ActivationMode, ScNode, ScProvider};
+use crate::system::AxmlSystem;
+use axml_xml::ids::{NodeAddr, PeerId, ServiceName};
+use axml_xml::tree::{NodeId, Tree};
+
+impl AxmlSystem {
+    /// `eval@at(expr)` — evaluate the expression at a peer, returning the
+    /// forest left there.
+    pub fn eval(&mut self, at: PeerId, expr: &Expr) -> CoreResult<Vec<Tree>> {
+        self.check_peer(at)?;
+        match expr {
+            // ---- definitions (1)/(5): literal trees -------------------
+            Expr::Tree { tree, at: loc } => {
+                if loc == &at {
+                    let t = self.materialize_tree(at, tree)?;
+                    Ok(vec![t])
+                } else {
+                    self.fetch_remote(at, *loc, expr)
+                }
+            }
+
+            // ---- documents (+ definition (9) for d@any) ---------------
+            Expr::Doc { name, at: loc } => {
+                let (home, concrete) = match loc {
+                    PeerRef::At(p) => (*p, name.clone()),
+                    PeerRef::Any => {
+                        let policy = self.pick_policy;
+                        self.catalog.pick_doc(policy, at, name, &self.net)?
+                    }
+                };
+                if home == at {
+                    let tree = self.peers[at.index()].doc(&concrete, at)?.clone();
+                    Ok(vec![tree])
+                } else {
+                    let remote = Expr::Doc {
+                        name: concrete,
+                        at: PeerRef::At(home),
+                    };
+                    self.fetch_remote(at, home, &remote)
+                }
+            }
+
+            // ---- definitions (2)/(7): query application ---------------
+            Expr::Apply { query, args } => {
+                if query.query.arity() != args.len() {
+                    return Err(CoreError::Query(axml_query::QueryError::ArityMismatch {
+                        expected: query.query.arity(),
+                        got: args.len(),
+                    }));
+                }
+                // Definition (7): a remote definition is shipped to the
+                // evaluation site first.
+                if query.def_at != at {
+                    let def = query.query.to_xml().serialize();
+                    self.transfer(
+                        query.def_at,
+                        at,
+                        AxmlMessage::Data {
+                            payload: def,
+                            tag: "query-def",
+                        },
+                    )?;
+                }
+                // Arguments materialize at the evaluation site (remote data
+                // is fetched by the recursive definition (5)).
+                let mut forests = Vec::with_capacity(args.len());
+                for a in args {
+                    forests.push(self.eval(at, a)?);
+                }
+                let out = query
+                    .query
+                    .eval_with_docs(&forests, &self.peers[at.index()])?;
+                Ok(out)
+            }
+
+            // ---- definitions (3)/(4) + send-to-new-doc ----------------
+            Expr::Send { dest, payload } => {
+                let forest = self.eval(at, payload)?;
+                match dest {
+                    SendDest::Peer(q) => {
+                        if q != &at {
+                            self.transfer(
+                                at,
+                                *q,
+                                AxmlMessage::Data {
+                                    payload: Self::serialize_forest(&forest),
+                                    tag: "send",
+                                },
+                            )?;
+                        }
+                        // Definition (3): the send expression itself
+                        // evaluates to ∅; the data's arrival is the side
+                        // effect (captured by EvalAt delegation when the
+                        // destination is the delegating peer).
+                        Ok(Vec::new())
+                    }
+                    SendDest::Nodes(addrs) => {
+                        self.deliver_to_nodes(at, addrs, &forest)?;
+                        Ok(Vec::new())
+                    }
+                    SendDest::NewDoc { peer, name } => {
+                        if *peer != at {
+                            self.transfer(
+                                at,
+                                *peer,
+                                AxmlMessage::InstallDoc {
+                                    name: name.clone(),
+                                    payload: Self::serialize_forest(&forest),
+                                },
+                            )?;
+                        }
+                        let mut doc = Tree::new(name.as_str());
+                        let root = doc.root();
+                        for t in &forest {
+                            doc.graft(root, t, t.root()).expect("fresh root");
+                        }
+                        self.peers[peer.index()]
+                            .install_doc(axml_xml::store::Document::new(name.clone(), doc))?;
+                        Ok(Vec::new())
+                    }
+                }
+            }
+
+            // ---- definition (6): service calls ------------------------
+            Expr::Sc {
+                provider,
+                service,
+                params,
+                forward,
+            } => {
+                let provider = match provider {
+                    PeerRef::At(p) => ScProvider::Peer(*p),
+                    PeerRef::Any => ScProvider::Any,
+                };
+                let mut param_forests = Vec::with_capacity(params.len());
+                for p in params {
+                    param_forests.push(self.eval(at, p)?);
+                }
+                self.call_service(at, provider, service, param_forests, forward)
+            }
+
+            // ---- rules (14)–(16): delegated evaluation ----------------
+            Expr::EvalAt { peer, expr: inner } => {
+                let mut shipped;
+                let inner: &Expr = if *peer != at {
+                    // The delegated plan crosses the wire (embedded query
+                    // definitions travel with it).
+                    self.transfer(
+                        at,
+                        *peer,
+                        AxmlMessage::Request {
+                            expr_xml: inner.to_xml().serialize(),
+                        },
+                    )?;
+                    shipped = (**inner).clone();
+                    shipped.relocate_query_defs(*peer);
+                    &shipped
+                } else {
+                    inner
+                };
+                // Capture the common delegation shape: the inner expression
+                // sends its value straight back to us.
+                if let Expr::Send {
+                    dest: SendDest::Peer(back),
+                    payload,
+                } = inner
+                {
+                    if *back == at {
+                        let forest = self.eval(*peer, payload)?;
+                        if *peer != at {
+                            self.transfer(
+                                *peer,
+                                at,
+                                AxmlMessage::Data {
+                                    payload: Self::serialize_forest(&forest),
+                                    tag: "delegated-result",
+                                },
+                            )?;
+                        }
+                        return Ok(forest);
+                    }
+                }
+                // General case: the inner expression's sends address other
+                // locations; nothing lands here.
+                let _ = self.eval(*peer, inner)?;
+                Ok(Vec::new())
+            }
+
+            // ---- definition (8): code shipping ------------------------
+            Expr::Deploy {
+                to,
+                query,
+                as_service,
+            } => {
+                if query.def_at != *to {
+                    self.transfer(
+                        query.def_at,
+                        *to,
+                        AxmlMessage::DeployQuery {
+                            query_xml: query.query.to_xml().serialize(),
+                            as_service: as_service.clone(),
+                        },
+                    )?;
+                }
+                self.peers[to.index()].register_service(crate::service::Service::declarative(
+                    as_service.clone(),
+                    query.query.clone(),
+                ));
+                Ok(Vec::new())
+            }
+
+            // ---- sequencing (rule (13) plans) -------------------------
+            Expr::Seq(es) => {
+                let mut last = Vec::new();
+                for e in es {
+                    last = self.eval(at, e)?;
+                }
+                Ok(last)
+            }
+        }
+    }
+
+    /// Definition (5): `eval@at(x@loc)` for remote `x` — ship the request,
+    /// evaluate at the owner, ship the result back.
+    ///
+    /// The request *names* the remote datum rather than serializing it —
+    /// a literal `t@loc` is identified by reference (as the paper's `n@p`
+    /// node identifiers would), so fetching a tree never ships the tree's
+    /// own bytes in the request direction.
+    fn fetch_remote(&mut self, at: PeerId, loc: PeerId, expr: &Expr) -> CoreResult<Vec<Tree>> {
+        let request_xml = match expr {
+            Expr::Tree { tree, .. } => format!(
+                r#"<fetch kind="tree" at="p{}" ref="{:016x}"/>"#,
+                loc.0,
+                axml_xml::equiv::canonical_hash(tree, tree.root())
+            ),
+            other => other.to_xml().serialize(),
+        };
+        self.transfer(
+            at,
+            loc,
+            AxmlMessage::Request {
+                expr_xml: request_xml,
+            },
+        )?;
+        let mut local = expr.clone();
+        relocate(&mut local, loc);
+        let forest = self.eval(loc, &local)?;
+        self.transfer(
+            loc,
+            at,
+            AxmlMessage::Data {
+                payload: Self::serialize_forest(&forest),
+                tag: "fetch",
+            },
+        )?;
+        Ok(forest)
+    }
+
+    /// Definition (1) + (6): copy a tree, activating its immediate `sc`
+    /// elements. Results with an explicit forward list leave side effects
+    /// elsewhere; calls without one accumulate as siblings of the `sc`
+    /// node (§2.2 step 3), with the `sc` kept in place (AXML semantics —
+    /// the call may stream more later).
+    fn materialize_tree(&mut self, at: PeerId, tree: &Tree) -> CoreResult<Tree> {
+        let mut out = tree.clone();
+        let sc_nodes = ScNode::find_all(&out, out.root());
+        for sc_id in sc_nodes {
+            let sc = ScNode::parse(&out, sc_id)?;
+            if sc.mode != ActivationMode::Immediate {
+                continue;
+            }
+            let param_forests: Vec<Vec<Tree>> =
+                sc.params.iter().map(|p| vec![p.clone()]).collect();
+            let results =
+                self.call_service(at, sc.provider, &sc.service, param_forests, &sc.forward)?;
+            if sc.forward.is_empty() {
+                // insert as siblings of the sc node
+                let parent = out
+                    .parent(sc_id)
+                    .ok_or_else(|| CoreError::Malformed("sc at document root".into()))?;
+                for r in &results {
+                    out.graft(parent, r, r.root())?;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// §2.2's activation steps 1–3 / definition (6).
+    pub(crate) fn call_service(
+        &mut self,
+        caller: PeerId,
+        provider: ScProvider,
+        service: &ServiceName,
+        param_forests: Vec<Vec<Tree>>,
+        forward: &[NodeAddr],
+    ) -> CoreResult<Vec<Tree>> {
+        let (prov, concrete) = match provider {
+            ScProvider::Peer(p) => (p, service.clone()),
+            ScProvider::Any => {
+                let policy = self.pick_policy;
+                self.catalog
+                    .pick_service(policy, caller, service, &self.net)?
+            }
+        };
+        self.check_peer(prov)?;
+        let call_id = self.fresh_call_id();
+        // Step 1: params to the provider.
+        if prov != caller {
+            self.transfer(
+                caller,
+                prov,
+                AxmlMessage::Invoke {
+                    service: concrete.clone(),
+                    params: param_forests
+                        .iter()
+                        .map(|f| Self::serialize_forest(f))
+                        .collect(),
+                    forward: forward.to_vec(),
+                    call_id,
+                },
+            )?;
+        }
+        // Step 2: the provider applies its implementation query.
+        let svc = self.peers[prov.index()].service(&concrete, prov)?;
+        if svc.arity() != param_forests.len() {
+            return Err(CoreError::Query(axml_query::QueryError::ArityMismatch {
+                expected: svc.arity(),
+                got: param_forests.len(),
+            }));
+        }
+        let query = svc.query.clone();
+        let results = query.eval_with_docs(&param_forests, &self.peers[prov.index()])?;
+        // Step 3: results to the forward list (or back to the caller).
+        if forward.is_empty() {
+            if prov != caller {
+                self.transfer(
+                    prov,
+                    caller,
+                    AxmlMessage::Response {
+                        call_id,
+                        payload: Self::serialize_forest(&results),
+                    },
+                )?;
+            }
+            Ok(results)
+        } else {
+            self.deliver_to_nodes(prov, forward, &results)?;
+            Ok(Vec::new())
+        }
+    }
+
+    /// Definition (4): append a copy of each tree under each `n@p`.
+    pub(crate) fn deliver_to_nodes(
+        &mut self,
+        from: PeerId,
+        addrs: &[NodeAddr],
+        forest: &[Tree],
+    ) -> CoreResult<()> {
+        for addr in addrs {
+            self.check_peer(addr.peer)?;
+            if addr.peer != from {
+                self.transfer(
+                    from,
+                    addr.peer,
+                    AxmlMessage::Data {
+                        payload: Self::serialize_forest(forest),
+                        tag: "forward",
+                    },
+                )?;
+            }
+            self.graft_at(addr, forest)?;
+        }
+        Ok(())
+    }
+
+    /// Graft a forest under the addressed node.
+    pub(crate) fn graft_at(&mut self, addr: &NodeAddr, forest: &[Tree]) -> CoreResult<()> {
+        let peer = &mut self.peers[addr.peer.index()];
+        let doc = peer
+            .docs
+            .get_mut(&addr.doc)
+            .ok_or_else(|| CoreError::NoSuchDoc {
+                doc: addr.doc.clone(),
+                at: addr.peer,
+            })?;
+        let tree = doc.tree_mut();
+        if !tree.contains(addr.node) {
+            return Err(CoreError::Xml(axml_xml::XmlError::InvalidNode {
+                index: addr.node.index() as u32,
+            }));
+        }
+        for t in forest {
+            tree.graft(addr.node, t, t.root())?;
+        }
+        Ok(())
+    }
+}
+
+/// Re-pin the location of the outermost data reference to `loc` (used when
+/// the owner evaluates a fetched expression locally).
+fn relocate(expr: &mut Expr, loc: PeerId) {
+    match expr {
+        Expr::Tree { at, .. } => *at = loc,
+        Expr::Doc { at, .. } => *at = PeerRef::At(loc),
+        _ => {}
+    }
+}
+
+/// Find a node id inside a document by a simple label path (test/bench
+/// helper for building forward lists).
+pub fn node_by_path(tree: &Tree, path: &[&str]) -> Option<NodeId> {
+    let mut cur = tree.root();
+    for label in path {
+        cur = tree.first_child_labeled(cur, label)?;
+    }
+    Some(cur)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::LocatedQuery;
+    use axml_net::link::LinkCost;
+    use axml_query::Query;
+    use axml_xml::equiv::forest_equiv;
+
+    fn catalog_xml() -> &'static str {
+        r#"<catalog>
+             <pkg name="vim"><size>4000</size></pkg>
+             <pkg name="gcc"><size>90000</size></pkg>
+             <pkg name="vi"><size>100</size></pkg>
+           </catalog>"#
+    }
+
+    fn two_peer_system() -> (AxmlSystem, PeerId, PeerId) {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("client");
+        let b = sys.add_peer("server");
+        sys.net_mut().set_link(a, b, LinkCost::wan());
+        sys.install_doc(b, "catalog", Tree::parse(catalog_xml()).unwrap())
+            .unwrap();
+        (sys, a, b)
+    }
+
+    #[test]
+    fn def1_local_tree_is_identity() {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("a");
+        let t = Tree::parse("<x><y>1</y></x>").unwrap();
+        let out = sys
+            .eval(
+                a,
+                &Expr::Tree {
+                    tree: t.clone(),
+                    at: a,
+                },
+            )
+            .unwrap();
+        assert!(forest_equiv(&out, &[t]));
+        assert_eq!(sys.stats().total_messages(), 0, "local eval is free");
+    }
+
+    #[test]
+    fn def5_remote_doc_fetch() {
+        let (mut sys, a, _b) = two_peer_system();
+        let out = sys
+            .eval(
+                a,
+                &Expr::Doc {
+                    name: "catalog".into(),
+                    at: PeerRef::At(PeerId(1)),
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].serialized_size(), Tree::parse(catalog_xml()).unwrap().serialized_size());
+        // request + data back
+        assert_eq!(sys.stats().total_messages(), 2);
+        assert!(sys.stats().total_bytes() > out[0].serialized_size() as u64);
+    }
+
+    #[test]
+    fn def2_local_query_on_remote_doc_def7_style() {
+        let (mut sys, a, b) = two_peer_system();
+        let q = Query::parse(
+            "big",
+            r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#,
+        )
+        .unwrap();
+        let e = Expr::Apply {
+            query: LocatedQuery::new(q, a),
+            args: vec![Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(b),
+            }],
+        };
+        let out = sys.eval(a, &e).unwrap();
+        assert_eq!(out.len(), 2);
+        // naive strategy ships the whole catalog to a
+        let whole = Tree::parse(catalog_xml()).unwrap().serialized_size() as u64;
+        assert!(sys.stats().link(b, a).bytes >= whole);
+    }
+
+    #[test]
+    fn delegation_ships_less_for_selective_queries() {
+        // The rule-10/11 rewritten plan: push the selection to the data.
+        // Needs a catalog large enough that data dwarfs the shipped plan —
+        // the optimizer's cost model captures exactly this crossover.
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("client");
+        let b = sys.add_peer("server");
+        sys.net_mut().set_link(a, b, LinkCost::wan());
+        let mut big = String::from("<catalog>");
+        for i in 0..200 {
+            big.push_str(&format!(
+                r#"<pkg name="pkg{i}"><size>{}</size><desc>a package with a long description {i}</desc></pkg>"#,
+                if i % 50 == 0 { 5000 } else { 10 }
+            ));
+        }
+        big.push_str("</catalog>");
+        sys.install_doc(b, "catalog", Tree::parse(&big).unwrap()).unwrap();
+        let q = Query::parse(
+            "big",
+            r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#,
+        )
+        .unwrap();
+        let naive = Expr::Apply {
+            query: LocatedQuery::new(q.clone(), a),
+            args: vec![Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(b),
+            }],
+        };
+        let out_naive = sys.eval(a, &naive).unwrap();
+        let naive_bytes = sys.stats().total_bytes();
+        sys.reset_stats();
+
+        let delegated = Expr::EvalAt {
+            peer: b,
+            expr: Box::new(Expr::Send {
+                dest: SendDest::Peer(a),
+                payload: Box::new(Expr::Apply {
+                    query: LocatedQuery::new(q, a),
+                    args: vec![Expr::Doc {
+                        name: "catalog".into(),
+                        at: PeerRef::At(b),
+                    }],
+                }),
+            }),
+        };
+        let out_del = sys.eval(a, &delegated).unwrap();
+        let del_bytes = sys.stats().total_bytes();
+        assert!(forest_equiv(&out_naive, &out_del));
+        assert!(
+            del_bytes < naive_bytes,
+            "delegation must ship less: {del_bytes} vs {naive_bytes}"
+        );
+    }
+
+    #[test]
+    fn def3_send_to_peer_returns_empty() {
+        let (mut sys, a, b) = two_peer_system();
+        let e = Expr::Send {
+            dest: SendDest::Peer(a),
+            payload: Box::new(Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(b),
+            }),
+        };
+        // evaluated at b: catalog local, shipped to a, value ∅ at b
+        let out = sys.eval(b, &e).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(sys.stats().link(b, a).messages, 1);
+    }
+
+    #[test]
+    fn def4_send_to_nodes_appends() {
+        let (mut sys, a, b) = two_peer_system();
+        sys.install_doc(a, "inbox", Tree::parse("<inbox><new/></inbox>").unwrap())
+            .unwrap();
+        let inbox_tree = sys.peer(a).docs.get(&"inbox".into()).unwrap().tree();
+        let target = node_by_path(inbox_tree, &["new"]).unwrap();
+        let e = Expr::Send {
+            dest: SendDest::Nodes(vec![NodeAddr::new(a, "inbox", target)]),
+            payload: Box::new(Expr::Tree {
+                tree: Tree::parse("<alert>hi</alert>").unwrap(),
+                at: b,
+            }),
+        };
+        let out = sys.eval(b, &e).unwrap();
+        assert!(out.is_empty());
+        let inbox = sys.peer(a).docs.get(&"inbox".into()).unwrap().tree();
+        assert_eq!(
+            inbox.serialize(),
+            "<inbox><new><alert>hi</alert></new></inbox>"
+        );
+    }
+
+    #[test]
+    fn send_new_doc_installs_and_respects_uniqueness() {
+        let (mut sys, a, b) = two_peer_system();
+        let e = Expr::Send {
+            dest: SendDest::NewDoc {
+                peer: a,
+                name: "copy".into(),
+            },
+            payload: Box::new(Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(b),
+            }),
+        };
+        sys.eval(b, &e).unwrap();
+        assert!(sys.peer(a).docs.contains(&"copy".into()));
+        // the same name again violates §2.1 uniqueness
+        assert!(sys.eval(b, &e).is_err());
+    }
+
+    #[test]
+    fn def6_service_call_roundtrip() {
+        let (mut sys, a, b) = two_peer_system();
+        sys.register_declarative_service(
+            b,
+            "lookup",
+            r#"for $p in doc("catalog")//pkg where $p/@name = $0/text() return {$p/size}"#,
+        )
+        .unwrap();
+        let e = Expr::Sc {
+            provider: PeerRef::At(b),
+            service: "lookup".into(),
+            params: vec![Expr::Tree {
+                tree: Tree::parse("<q>gcc</q>").unwrap(),
+                at: a,
+            }],
+            forward: vec![],
+        };
+        let out = sys.eval(a, &e).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].serialize(), "<size>90000</size>");
+        // invoke + response
+        assert_eq!(sys.stats().total_messages(), 2);
+    }
+
+    #[test]
+    fn def6_forward_list_redirects_results() {
+        let (mut sys, a, b) = two_peer_system();
+        let c = sys.add_peer("archive");
+        sys.install_doc(c, "log", Tree::parse("<log/>").unwrap()).unwrap();
+        sys.register_declarative_service(b, "scan", r#"doc("catalog")//pkg/@name"#)
+            .unwrap();
+        let log_root = sys.peer(c).docs.get(&"log".into()).unwrap().tree().root();
+        let e = Expr::Sc {
+            provider: PeerRef::At(b),
+            service: "scan".into(),
+            params: vec![],
+            forward: vec![NodeAddr::new(c, "log", log_root)],
+        };
+        let out = sys.eval(a, &e).unwrap();
+        assert!(out.is_empty(), "results went to the forward list");
+        let log = sys.peer(c).docs.get(&"log".into()).unwrap().tree();
+        assert_eq!(log.children(log.root()).len(), 3);
+        // nothing shipped back to the caller
+        assert_eq!(sys.stats().link(b, a).messages, 0);
+        assert_eq!(sys.stats().link(b, c).messages, 1);
+    }
+
+    #[test]
+    fn def8_deploy_creates_service() {
+        let (mut sys, a, b) = two_peer_system();
+        let q = Query::parse("sel", r#"for $p in doc("catalog")//pkg return {$p/@name}"#)
+            .unwrap();
+        sys.eval(
+            a,
+            &Expr::Deploy {
+                to: b,
+                query: LocatedQuery::new(q, a),
+                as_service: "names".into(),
+            },
+        )
+        .unwrap();
+        assert!(sys.peer(b).services.contains_key(&"names".into()));
+        // and the deployed service is callable
+        let out = sys
+            .eval(
+                a,
+                &Expr::Sc {
+                    provider: PeerRef::At(b),
+                    service: "names".into(),
+                    params: vec![],
+                    forward: vec![],
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn def9_generic_doc_resolution() {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("a");
+        let b = sys.add_peer("b");
+        let c = sys.add_peer("c");
+        sys.net_mut().set_link(a, b, LinkCost::slow());
+        sys.net_mut().set_link(a, c, LinkCost::lan());
+        sys.install_replica(b, "cat", "cat-b", Tree::parse("<c><p>1</p></c>").unwrap())
+            .unwrap();
+        sys.install_replica(c, "cat", "cat-c", Tree::parse("<c><p>1</p></c>").unwrap())
+            .unwrap();
+        sys.set_pick_policy(crate::pick::PickPolicy::Closest);
+        let out = sys
+            .eval(
+                a,
+                &Expr::Doc {
+                    name: "cat".into(),
+                    at: PeerRef::Any,
+                },
+            )
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        // fetched from c (the cheap link), not b
+        assert!(sys.stats().link(c, a).messages > 0);
+        assert_eq!(sys.stats().link(b, a).messages, 0);
+    }
+
+    #[test]
+    fn sc_inside_tree_materializes() {
+        let (mut sys, a, b) = two_peer_system();
+        sys.register_declarative_service(b, "names", r#"doc("catalog")//pkg/@name"#)
+            .unwrap();
+        let doc = Tree::parse(
+            r#"<report><title>pkgs</title>
+               <sc><peer>p1</peer><service>names</service></sc></report>"#,
+        )
+        .unwrap();
+        let out = sys
+            .eval(a, &Expr::Tree { tree: doc, at: a })
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        let t = &out[0];
+        // 3 results + title + sc element still present
+        assert_eq!(t.children(t.root()).len(), 5);
+        let texts: Vec<String> = t
+            .children_labeled(t.root(), "text")
+            .map(|n| t.text(n))
+            .collect();
+        assert_eq!(texts, ["vim", "gcc", "vi"]);
+    }
+
+    #[test]
+    fn lazy_sc_not_activated() {
+        let (mut sys, a, b) = two_peer_system();
+        sys.register_declarative_service(b, "names", r#"doc("catalog")//pkg/@name"#)
+            .unwrap();
+        let doc = Tree::parse(
+            r#"<report><sc mode="lazy"><peer>p1</peer><service>names</service></sc></report>"#,
+        )
+        .unwrap();
+        let out = sys.eval(a, &Expr::Tree { tree: doc, at: a }).unwrap();
+        assert_eq!(out[0].children(out[0].root()).len(), 1, "sc untouched");
+        assert_eq!(sys.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn seq_returns_last_value() {
+        let (mut sys, a, b) = two_peer_system();
+        let e = Expr::Seq(vec![
+            Expr::Send {
+                dest: SendDest::NewDoc {
+                    peer: a,
+                    name: "tmp".into(),
+                },
+                payload: Box::new(Expr::Doc {
+                    name: "catalog".into(),
+                    at: PeerRef::At(b),
+                }),
+            },
+            Expr::Doc {
+                name: "tmp".into(),
+                at: PeerRef::At(a),
+            },
+        ]);
+        let out = sys.eval(a, &e).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].serialize().starts_with("<tmp>"));
+    }
+
+    #[test]
+    fn errors_propagate() {
+        let (mut sys, a, b) = two_peer_system();
+        assert!(matches!(
+            sys.eval(
+                a,
+                &Expr::Doc {
+                    name: "missing".into(),
+                    at: PeerRef::At(b)
+                }
+            ),
+            Err(CoreError::NoSuchDoc { .. })
+        ));
+        assert!(matches!(
+            sys.eval(
+                a,
+                &Expr::Sc {
+                    provider: PeerRef::At(b),
+                    service: "nope".into(),
+                    params: vec![],
+                    forward: vec![],
+                }
+            ),
+            Err(CoreError::NoSuchService { .. })
+        ));
+        assert!(sys.eval(PeerId(9), &Expr::Seq(vec![])).is_err());
+    }
+
+    #[test]
+    fn rule14_shape_eval_relocation_is_value_preserving() {
+        let (mut sys, a, b) = two_peer_system();
+        let direct = Expr::Doc {
+            name: "catalog".into(),
+            at: PeerRef::At(b),
+        };
+        let out1 = sys.eval(a, &direct).unwrap();
+        let relocated = Expr::EvalAt {
+            peer: b,
+            expr: Box::new(Expr::Send {
+                dest: SendDest::Peer(a),
+                payload: Box::new(direct),
+            }),
+        };
+        let out2 = sys.eval(a, &relocated).unwrap();
+        assert!(forest_equiv(&out1, &out2));
+    }
+}

@@ -1,0 +1,909 @@
+//! The algebra `E` of distributed AXML expressions — §3.1.
+//!
+//! > *"To model the various operations needed by our distributed data
+//! > management applications, we introduce here a simple language of AXML
+//! > expressions, denoted E."*
+//!
+//! The constructors map one-to-one to the paper's:
+//!
+//! | paper                                   | here |
+//! |-----------------------------------------|------|
+//! | `t@p`                                   | [`Expr::Tree`] |
+//! | `d@p`, `d@any`                          | [`Expr::Doc`] |
+//! | `q@p(t1, …, tn)`                        | [`Expr::Apply`] |
+//! | `send(p2, e)`, `send([n@p…], e)`, `send(d@p2, e)` | [`Expr::Send`] with [`SendDest`] |
+//! | `send(p2, q@p1)` (code shipping, def. (8)) | [`Expr::Deploy`] |
+//! | `sc(p\|any, s, params, forws)`          | [`Expr::Sc`] |
+//! | `eval@p(e)` as a *sub*-expression (rules (14)–(16)) | [`Expr::EvalAt`] |
+//! | store-then-reuse sequencing (rule (13)) | [`Expr::Seq`] |
+//!
+//! Expressions serialize to XML trees (*"an expression can be viewed
+//! (serialized) as an XML tree, whose root is labeled with the expression
+//! constructor"*) — that serialization is what crosses the simulated wire
+//! when computations are delegated, and its size is what the cost model
+//! charges for shipping *plans*.
+
+use crate::error::{CoreError, CoreResult};
+use axml_query::Query;
+use axml_xml::ids::{DocName, NodeAddr, PeerId, ServiceName};
+use axml_xml::tree::{NodeId, Tree};
+use std::fmt;
+
+/// A peer reference: concrete, or the generic `any` of §2.3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PeerRef {
+    /// A concrete peer.
+    At(PeerId),
+    /// Any peer holding a member of the equivalence class.
+    Any,
+}
+
+impl fmt::Display for PeerRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeerRef::At(p) => write!(f, "{p}"),
+            PeerRef::Any => write!(f, "any"),
+        }
+    }
+}
+
+/// A query together with the peer currently holding its definition; when a
+/// query is evaluated elsewhere, the definition's wire size is charged from
+/// `def_at` to the evaluation site (definitions (7)/(8)).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LocatedQuery {
+    /// The (shippable) query.
+    pub query: Query,
+    /// Where its definition lives.
+    pub def_at: PeerId,
+}
+
+impl LocatedQuery {
+    /// Pair a query with its home peer.
+    pub fn new(query: Query, def_at: PeerId) -> Self {
+        LocatedQuery { query, def_at }
+    }
+}
+
+/// Destinations of a `send` — §3.1's three data-sending forms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SendDest {
+    /// `send(p2, e)` — the value becomes the result of the enclosing
+    /// delegated evaluation at `p2`.
+    Peer(PeerId),
+    /// `send([n1@p1, …], e)` — append a copy under each listed node.
+    Nodes(Vec<NodeAddr>),
+    /// `send(d@p2, e)` — install the value as a *new* document `d` at `p2`.
+    NewDoc {
+        /// Hosting peer.
+        peer: PeerId,
+        /// New document name (must be fresh at `peer`).
+        name: DocName,
+    },
+}
+
+/// An AXML expression.
+#[derive(Debug, Clone)]
+pub enum Expr {
+    /// A literal tree pinned at a peer (`t@p`).
+    Tree {
+        /// The tree (may contain `sc` elements).
+        tree: Tree,
+        /// Its location.
+        at: PeerId,
+    },
+    /// A document reference (`d@p` / `d@any`).
+    Doc {
+        /// Document (or equivalence-class) name.
+        name: DocName,
+        /// Location, possibly generic.
+        at: PeerRef,
+    },
+    /// Query application `q(e1, …, en)`.
+    Apply {
+        /// The query and its definition's location.
+        query: LocatedQuery,
+        /// Argument expressions (arity must match).
+        args: Vec<Expr>,
+    },
+    /// Data shipping.
+    Send {
+        /// Where to.
+        dest: SendDest,
+        /// What (evaluated first, then copied — definition (3) notes the
+        /// copy).
+        payload: Box<Expr>,
+    },
+    /// A service call element, as an expression (§2.3 extended syntax).
+    Sc {
+        /// Providing peer, possibly generic.
+        provider: PeerRef,
+        /// Service name.
+        service: ServiceName,
+        /// Parameter expressions.
+        params: Vec<Expr>,
+        /// Forward list; empty = results return to the caller (the
+        /// default `forw` of §2.3).
+        forward: Vec<NodeAddr>,
+    },
+    /// Delegated evaluation `eval@p(e)` used inside expressions by rules
+    /// (14)–(16). The serialized `e` is shipped to `peer`, which evaluates
+    /// it; an inner `send` addresses the results.
+    EvalAt {
+        /// The peer that will run the evaluation.
+        peer: PeerId,
+        /// The delegated expression.
+        expr: Box<Expr>,
+    },
+    /// Code shipping `send(p2, q@p1)` — deploys the query as a new service
+    /// (definition (8)).
+    Deploy {
+        /// Receiving peer.
+        to: PeerId,
+        /// The shipped query.
+        query: LocatedQuery,
+        /// Name of the service created at `to`.
+        as_service: ServiceName,
+    },
+    /// Evaluate sub-expressions left to right; the value is the last one's
+    /// (used by rule (13)'s store-then-reuse plans).
+    Seq(Vec<Expr>),
+}
+
+impl Expr {
+    /// Direct sub-expressions.
+    pub fn children(&self) -> Vec<&Expr> {
+        match self {
+            Expr::Tree { .. } | Expr::Doc { .. } | Expr::Deploy { .. } => vec![],
+            Expr::Apply { args, .. } => args.iter().collect(),
+            Expr::Send { payload, .. } => vec![payload],
+            Expr::Sc { params, .. } => params.iter().collect(),
+            Expr::EvalAt { expr, .. } => vec![expr],
+            Expr::Seq(es) => es.iter().collect(),
+        }
+    }
+
+    /// Number of nodes in the expression tree.
+    pub fn size(&self) -> usize {
+        1 + self.children().iter().map(|c| c.size()).sum::<usize>()
+    }
+
+    /// All peers mentioned anywhere in the expression.
+    pub fn mentioned_peers(&self) -> Vec<PeerId> {
+        let mut out = Vec::new();
+        self.collect_peers(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_peers(&self, out: &mut Vec<PeerId>) {
+        match self {
+            Expr::Tree { at, .. } => out.push(*at),
+            Expr::Doc { at, .. } => {
+                if let PeerRef::At(p) = at {
+                    out.push(*p);
+                }
+            }
+            Expr::Apply { query, args } => {
+                out.push(query.def_at);
+                for a in args {
+                    a.collect_peers(out);
+                }
+            }
+            Expr::Send { dest, payload } => {
+                match dest {
+                    SendDest::Peer(p) => out.push(*p),
+                    SendDest::Nodes(addrs) => out.extend(addrs.iter().map(|a| a.peer)),
+                    SendDest::NewDoc { peer, .. } => out.push(*peer),
+                }
+                payload.collect_peers(out);
+            }
+            Expr::Sc {
+                provider,
+                params,
+                forward,
+                ..
+            } => {
+                if let PeerRef::At(p) = provider {
+                    out.push(*p);
+                }
+                out.extend(forward.iter().map(|a| a.peer));
+                for p in params {
+                    p.collect_peers(out);
+                }
+            }
+            Expr::EvalAt { peer, expr } => {
+                out.push(*peer);
+                expr.collect_peers(out);
+            }
+            Expr::Deploy { to, query, .. } => {
+                out.push(*to);
+                out.push(query.def_at);
+            }
+            Expr::Seq(es) => {
+                for e in es {
+                    e.collect_peers(out);
+                }
+            }
+        }
+    }
+
+    /// Rebuild this expression with sub-expression `index` (in
+    /// [`Expr::children`] order) replaced.
+    pub fn with_child(&self, index: usize, child: Expr) -> Expr {
+        let mut out = self.clone();
+        match &mut out {
+            Expr::Apply { args, .. } => args[index] = child,
+            Expr::Send { payload, .. } => {
+                assert_eq!(index, 0);
+                **payload = child;
+            }
+            Expr::Sc { params, .. } => params[index] = child,
+            Expr::EvalAt { expr, .. } => {
+                assert_eq!(index, 0);
+                **expr = child;
+            }
+            Expr::Seq(es) => es[index] = child,
+            Expr::Tree { .. } | Expr::Doc { .. } | Expr::Deploy { .. } => {
+                panic!("leaf expression has no children")
+            }
+        }
+        out
+    }
+
+    /// Mark everything the expression *carries inline* — query
+    /// definitions and literal trees — as residing at `to`. Called when
+    /// the expression is shipped: its serialization contains those
+    /// payloads, so after the transfer they live at the recipient and
+    /// must be neither re-fetched (definition (5)) nor re-charged
+    /// (definition (7)).
+    pub fn relocate_query_defs(&mut self, to: PeerId) {
+        match self {
+            Expr::Apply { query, args } => {
+                query.def_at = to;
+                for a in args {
+                    a.relocate_query_defs(to);
+                }
+            }
+            Expr::Deploy { query, .. } => query.def_at = to,
+            Expr::Send { payload, .. } => payload.relocate_query_defs(to),
+            Expr::Sc { params, .. } => {
+                for p in params {
+                    p.relocate_query_defs(to);
+                }
+            }
+            Expr::EvalAt { expr, .. } => expr.relocate_query_defs(to),
+            Expr::Seq(es) => {
+                for e in es {
+                    e.relocate_query_defs(to);
+                }
+            }
+            Expr::Tree { at, .. } => *at = to,
+            Expr::Doc { .. } => {}
+        }
+    }
+
+    /// Rewrite nested delegation *return* destinations from `old` to
+    /// `new`.
+    ///
+    /// Inside an expression evaluated at site `s`, a sub-expression
+    /// `EvalAt{p, Send{Peer(s), X}}` means "compute X at p and bring the
+    /// value back *here*". When a rewrite rule moves the enclosing
+    /// expression to a different evaluation site, those context-relative
+    /// returns must follow it — other `send` destinations (third-party
+    /// deliveries, node lists, new documents) are absolute and stay put.
+    /// Traversal stops at `EvalAt` boundaries (their bodies run in their
+    /// own context) except for the immediate return-send.
+    pub fn retarget_returns(&mut self, old: PeerId, new: PeerId) {
+        match self {
+            Expr::EvalAt { expr, .. } => {
+                if let Expr::Send {
+                    dest: SendDest::Peer(d),
+                    ..
+                } = &mut **expr
+                {
+                    if *d == old {
+                        *d = new;
+                    }
+                }
+            }
+            Expr::Apply { args, .. } => {
+                for a in args {
+                    a.retarget_returns(old, new);
+                }
+            }
+            Expr::Sc { params, .. } => {
+                for p in params {
+                    p.retarget_returns(old, new);
+                }
+            }
+            Expr::Seq(es) => {
+                for e in es {
+                    e.retarget_returns(old, new);
+                }
+            }
+            Expr::Send { payload, .. } => payload.retarget_returns(old, new),
+            Expr::Tree { .. } | Expr::Doc { .. } | Expr::Deploy { .. } => {}
+        }
+    }
+
+    /// A canonical string identity (used for memoization in the optimizer
+    /// and for equality in tests) — the compact XML serialization.
+    pub fn fingerprint(&self) -> String {
+        self.to_xml().serialize()
+    }
+
+    /// Wire size in bytes when this expression is shipped (delegations,
+    /// requests).
+    pub fn wire_size(&self) -> usize {
+        self.to_xml().serialized_size()
+    }
+
+    // -------------------- XML serialization ---------------------------
+
+    /// Serialize as an XML tree (§3.1).
+    pub fn to_xml(&self) -> Tree {
+        let mut t = Tree::new("expr");
+        let root = t.root();
+        self.write_xml(&mut t, root);
+        // unwrap the single-child wrapper: root becomes the constructor
+        let only = t.children(root)[0];
+        t.deep_copy(only)
+    }
+
+    fn write_xml(&self, t: &mut Tree, parent: NodeId) {
+        match self {
+            Expr::Tree { tree, at } => {
+                let el = t.add_element(parent, "tree");
+                t.set_attr(el, "at", at.index().to_string()).expect("element");
+                t.graft(el, tree, tree.root()).expect("element");
+            }
+            Expr::Doc { name, at } => {
+                let el = t.add_element(parent, "doc");
+                t.set_attr(el, "name", name.as_str()).expect("element");
+                t.set_attr(el, "at", at.to_string()).expect("element");
+            }
+            Expr::Apply { query, args } => {
+                let el = t.add_element(parent, "apply");
+                t.set_attr(el, "def-at", query.def_at.index().to_string())
+                    .expect("element");
+                let q = query.query.to_xml();
+                t.graft(el, &q, q.root()).expect("element");
+                let argsel = t.add_element(el, "args");
+                for a in args {
+                    a.write_xml(t, argsel);
+                }
+            }
+            Expr::Send { dest, payload } => {
+                let el = t.add_element(parent, "send");
+                match dest {
+                    SendDest::Peer(p) => {
+                        t.set_attr(el, "peer", p.index().to_string()).expect("element");
+                    }
+                    SendDest::Nodes(addrs) => {
+                        for a in addrs {
+                            t.add_text_element(el, "forw", format_addr(a));
+                        }
+                    }
+                    SendDest::NewDoc { peer, name } => {
+                        t.set_attr(el, "newdoc-peer", peer.index().to_string())
+                            .expect("element");
+                        t.set_attr(el, "newdoc-name", name.as_str()).expect("element");
+                    }
+                }
+                let pl = t.add_element(el, "payload");
+                payload.write_xml(t, pl);
+            }
+            Expr::Sc {
+                provider,
+                service,
+                params,
+                forward,
+            } => {
+                let el = t.add_element(parent, "sc");
+                t.add_text_element(el, "peer", provider.to_string());
+                t.add_text_element(el, "service", service.as_str());
+                for (i, p) in params.iter().enumerate() {
+                    let pe = t.add_element(el, format!("param{}", i + 1).as_str());
+                    p.write_xml(t, pe);
+                }
+                for a in forward {
+                    t.add_text_element(el, "forw", format_addr(a));
+                }
+            }
+            Expr::EvalAt { peer, expr } => {
+                let el = t.add_element(parent, "evalat");
+                t.set_attr(el, "peer", peer.index().to_string()).expect("element");
+                expr.write_xml(t, el);
+            }
+            Expr::Deploy {
+                to,
+                query,
+                as_service,
+            } => {
+                let el = t.add_element(parent, "deploy");
+                t.set_attr(el, "to", to.index().to_string()).expect("element");
+                t.set_attr(el, "as", as_service.as_str()).expect("element");
+                t.set_attr(el, "def-at", query.def_at.index().to_string())
+                    .expect("element");
+                let q = query.query.to_xml();
+                t.graft(el, &q, q.root()).expect("element");
+            }
+            Expr::Seq(es) => {
+                let el = t.add_element(parent, "seq");
+                for e in es {
+                    e.write_xml(t, el);
+                }
+            }
+        }
+    }
+
+    /// Parse an expression back from its XML form.
+    pub fn from_xml(t: &Tree, node: NodeId) -> CoreResult<Expr> {
+        let label = t
+            .label(node)
+            .ok_or_else(|| CoreError::Malformed("expression node is text".into()))?
+            .to_string();
+        let peer_attr = |attr: &str| -> CoreResult<PeerId> {
+            t.attr(node, attr)
+                .and_then(|v| v.parse::<u32>().ok())
+                .map(PeerId)
+                .ok_or_else(|| CoreError::Malformed(format!("<{label}> lacks @{attr}")))
+        };
+        match label.as_str() {
+            "tree" => {
+                let at = peer_attr("at")?;
+                let children = t.children(node);
+                if children.len() != 1 {
+                    return Err(CoreError::Malformed(
+                        "<tree> must wrap exactly one tree".into(),
+                    ));
+                }
+                Ok(Expr::Tree {
+                    tree: t.deep_copy(children[0]),
+                    at,
+                })
+            }
+            "doc" => {
+                let name = t
+                    .attr(node, "name")
+                    .ok_or_else(|| CoreError::Malformed("<doc> lacks @name".into()))?;
+                let at = match t.attr(node, "at") {
+                    Some("any") => PeerRef::Any,
+                    Some(s) => PeerRef::At(PeerId(s.trim_start_matches('p').parse().map_err(
+                        |_| CoreError::Malformed(format!("bad peer ref `{s}`")),
+                    )?)),
+                    None => return Err(CoreError::Malformed("<doc> lacks @at".into())),
+                };
+                Ok(Expr::Doc {
+                    name: DocName::new(name),
+                    at,
+                })
+            }
+            "apply" => {
+                let def_at = peer_attr("def-at")?;
+                let qnode = t
+                    .first_child_labeled(node, "query")
+                    .ok_or_else(|| CoreError::Malformed("<apply> lacks <query>".into()))?;
+                let query = Query::from_xml(t, qnode)?;
+                let argsel = t
+                    .first_child_labeled(node, "args")
+                    .ok_or_else(|| CoreError::Malformed("<apply> lacks <args>".into()))?;
+                let args = t
+                    .children(argsel)
+                    .iter()
+                    .map(|&c| Expr::from_xml(t, c))
+                    .collect::<CoreResult<Vec<_>>>()?;
+                Ok(Expr::Apply {
+                    query: LocatedQuery::new(query, def_at),
+                    args,
+                })
+            }
+            "send" => {
+                let payload_el = t
+                    .first_child_labeled(node, "payload")
+                    .ok_or_else(|| CoreError::Malformed("<send> lacks <payload>".into()))?;
+                let inner = t.children(payload_el);
+                if inner.len() != 1 {
+                    return Err(CoreError::Malformed(
+                        "<payload> must wrap exactly one expression".into(),
+                    ));
+                }
+                let payload = Box::new(Expr::from_xml(t, inner[0])?);
+                let dest = if let Some(p) = t.attr(node, "peer") {
+                    SendDest::Peer(PeerId(p.parse().map_err(|_| {
+                        CoreError::Malformed(format!("bad @peer `{p}`"))
+                    })?))
+                } else if let Some(p) = t.attr(node, "newdoc-peer") {
+                    SendDest::NewDoc {
+                        peer: PeerId(p.parse().map_err(|_| {
+                            CoreError::Malformed(format!("bad @newdoc-peer `{p}`"))
+                        })?),
+                        name: DocName::new(t.attr(node, "newdoc-name").ok_or_else(|| {
+                            CoreError::Malformed("<send> lacks @newdoc-name".into())
+                        })?),
+                    }
+                } else {
+                    let addrs = t
+                        .children_labeled(node, "forw")
+                        .map(|c| parse_addr(&t.text(c)))
+                        .collect::<CoreResult<Vec<_>>>()?;
+                    if addrs.is_empty() {
+                        return Err(CoreError::Malformed("<send> lacks a destination".into()));
+                    }
+                    SendDest::Nodes(addrs)
+                };
+                Ok(Expr::Send { dest, payload })
+            }
+            "sc" => {
+                let peer_el = t
+                    .first_child_labeled(node, "peer")
+                    .ok_or_else(|| CoreError::Malformed("<sc> lacks <peer>".into()))?;
+                let provider = match t.text(peer_el).as_str() {
+                    "any" => PeerRef::Any,
+                    s => PeerRef::At(PeerId(s.trim_start_matches('p').parse().map_err(
+                        |_| CoreError::Malformed(format!("bad provider `{s}`")),
+                    )?)),
+                };
+                let svc_el = t
+                    .first_child_labeled(node, "service")
+                    .ok_or_else(|| CoreError::Malformed("<sc> lacks <service>".into()))?;
+                let service = ServiceName::new(t.text(svc_el));
+                let mut params = Vec::new();
+                for i in 1.. {
+                    match t.first_child_labeled(node, &format!("param{i}")) {
+                        Some(pe) => {
+                            let inner = t.children(pe);
+                            if inner.len() != 1 {
+                                return Err(CoreError::Malformed(format!(
+                                    "<param{i}> must wrap exactly one expression"
+                                )));
+                            }
+                            params.push(Expr::from_xml(t, inner[0])?);
+                        }
+                        None => break,
+                    }
+                }
+                let forward = t
+                    .children_labeled(node, "forw")
+                    .map(|c| parse_addr(&t.text(c)))
+                    .collect::<CoreResult<Vec<_>>>()?;
+                Ok(Expr::Sc {
+                    provider,
+                    service,
+                    params,
+                    forward,
+                })
+            }
+            "evalat" => {
+                let peer = peer_attr("peer")?;
+                let inner = t.children(node);
+                if inner.len() != 1 {
+                    return Err(CoreError::Malformed(
+                        "<evalat> must wrap exactly one expression".into(),
+                    ));
+                }
+                Ok(Expr::EvalAt {
+                    peer,
+                    expr: Box::new(Expr::from_xml(t, inner[0])?),
+                })
+            }
+            "deploy" => {
+                let to = peer_attr("to")?;
+                let def_at = peer_attr("def-at")?;
+                let as_service = ServiceName::new(
+                    t.attr(node, "as")
+                        .ok_or_else(|| CoreError::Malformed("<deploy> lacks @as".into()))?,
+                );
+                let qnode = t
+                    .first_child_labeled(node, "query")
+                    .ok_or_else(|| CoreError::Malformed("<deploy> lacks <query>".into()))?;
+                Ok(Expr::Deploy {
+                    to,
+                    query: LocatedQuery::new(Query::from_xml(t, qnode)?, def_at),
+                    as_service,
+                })
+            }
+            "seq" => {
+                let es = t
+                    .children(node)
+                    .iter()
+                    .map(|&c| Expr::from_xml(t, c))
+                    .collect::<CoreResult<Vec<_>>>()?;
+                Ok(Expr::Seq(es))
+            }
+            other => Err(CoreError::Malformed(format!(
+                "unknown expression constructor <{other}>"
+            ))),
+        }
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Tree { tree, at } => {
+                write!(f, "tree[{}B]@{at}", tree.serialized_size())
+            }
+            Expr::Doc { name, at } => write!(f, "{name}@{at}"),
+            Expr::Apply { query, args } => {
+                write!(f, "{}@{}(", query.query, query.def_at)?;
+                for (i, a) in args.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, ")")
+            }
+            Expr::Send { dest, payload } => match dest {
+                SendDest::Peer(p) => write!(f, "send({p}, {payload})"),
+                SendDest::Nodes(a) => {
+                    write!(f, "send([")?;
+                    for (i, n) in a.iter().enumerate() {
+                        if i > 0 {
+                            write!(f, ", ")?;
+                        }
+                        write!(f, "{n}")?;
+                    }
+                    write!(f, "], {payload})")
+                }
+                SendDest::NewDoc { peer, name } => {
+                    write!(f, "send({name}@{peer}, {payload})")
+                }
+            },
+            Expr::Sc {
+                provider,
+                service,
+                params,
+                forward,
+            } => {
+                write!(f, "sc({provider}, {service}, [")?;
+                for (i, p) in params.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{p}")?;
+                }
+                write!(f, "], [")?;
+                for (i, a) in forward.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{a}")?;
+                }
+                write!(f, "])")
+            }
+            Expr::EvalAt { peer, expr } => write!(f, "eval@{peer}({expr})"),
+            Expr::Deploy {
+                to,
+                query,
+                as_service,
+            } => write!(f, "deploy({to}, {} as {as_service})", query.query),
+            Expr::Seq(es) => {
+                write!(f, "seq(")?;
+                for (i, e) in es.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, "; ")?;
+                    }
+                    write!(f, "{e}")?;
+                }
+                write!(f, ")")
+            }
+        }
+    }
+}
+
+/// Format a node address for the wire: `doc#index@pN`.
+pub fn format_addr(a: &NodeAddr) -> String {
+    format!("{}#{}@p{}", a.doc, a.node.index(), a.peer.0)
+}
+
+/// Parse a wire node address.
+pub fn parse_addr(s: &str) -> CoreResult<NodeAddr> {
+    let (doc, rest) = s
+        .split_once('#')
+        .ok_or_else(|| CoreError::Malformed(format!("bad node address `{s}`")))?;
+    let (idx, peer) = rest
+        .split_once("@p")
+        .ok_or_else(|| CoreError::Malformed(format!("bad node address `{s}`")))?;
+    let node = idx
+        .parse::<usize>()
+        .map_err(|_| CoreError::Malformed(format!("bad node index in `{s}`")))?;
+    let peer = peer
+        .parse::<u32>()
+        .map_err(|_| CoreError::Malformed(format!("bad peer in `{s}`")))?;
+    Ok(NodeAddr::new(
+        PeerId(peer),
+        doc,
+        NodeId::from_index(node),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_query() -> Query {
+        Query::parse("sel", r#"for $p in $0//pkg where $p/size/text() > 10 return {$p}"#)
+            .unwrap()
+    }
+
+    fn samples() -> Vec<Expr> {
+        let q = LocatedQuery::new(sample_query(), PeerId(0));
+        vec![
+            Expr::Tree {
+                tree: Tree::parse("<a><b>1</b></a>").unwrap(),
+                at: PeerId(2),
+            },
+            Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(PeerId(1)),
+            },
+            Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::Any,
+            },
+            Expr::Apply {
+                query: q.clone(),
+                args: vec![Expr::Doc {
+                    name: "catalog".into(),
+                    at: PeerRef::At(PeerId(1)),
+                }],
+            },
+            Expr::Send {
+                dest: SendDest::Peer(PeerId(0)),
+                payload: Box::new(Expr::Doc {
+                    name: "d".into(),
+                    at: PeerRef::At(PeerId(1)),
+                }),
+            },
+            Expr::Send {
+                dest: SendDest::Nodes(vec![
+                    NodeAddr::new(PeerId(1), "d1", NodeId::from_index(4)),
+                    NodeAddr::new(PeerId(2), "d2", NodeId::from_index(0)),
+                ]),
+                payload: Box::new(Expr::Tree {
+                    tree: Tree::parse("<x/>").unwrap(),
+                    at: PeerId(0),
+                }),
+            },
+            Expr::Send {
+                dest: SendDest::NewDoc {
+                    peer: PeerId(2),
+                    name: "fresh".into(),
+                },
+                payload: Box::new(Expr::Doc {
+                    name: "d".into(),
+                    at: PeerRef::At(PeerId(0)),
+                }),
+            },
+            Expr::Sc {
+                provider: PeerRef::Any,
+                service: "lookup".into(),
+                params: vec![Expr::Tree {
+                    tree: Tree::parse("<q>vim</q>").unwrap(),
+                    at: PeerId(0),
+                }],
+                forward: vec![NodeAddr::new(PeerId(0), "inbox", NodeId::from_index(0))],
+            },
+            Expr::EvalAt {
+                peer: PeerId(1),
+                expr: Box::new(Expr::Send {
+                    dest: SendDest::Peer(PeerId(0)),
+                    payload: Box::new(Expr::Doc {
+                        name: "d".into(),
+                        at: PeerRef::At(PeerId(1)),
+                    }),
+                }),
+            },
+            Expr::Deploy {
+                to: PeerId(2),
+                query: q,
+                as_service: "sel-svc".into(),
+            },
+            Expr::Seq(vec![
+                Expr::Send {
+                    dest: SendDest::NewDoc {
+                        peer: PeerId(0),
+                        name: "tmp".into(),
+                    },
+                    payload: Box::new(Expr::Doc {
+                        name: "d".into(),
+                        at: PeerRef::At(PeerId(1)),
+                    }),
+                },
+                Expr::Doc {
+                    name: "tmp".into(),
+                    at: PeerRef::At(PeerId(0)),
+                },
+            ]),
+        ]
+    }
+
+    #[test]
+    fn xml_roundtrip_all_constructors() {
+        for e in samples() {
+            let xml = e.to_xml();
+            let back = Expr::from_xml(&xml, xml.root())
+                .unwrap_or_else(|err| panic!("{err} for {}", xml.serialize()));
+            assert_eq!(e.fingerprint(), back.fingerprint(), "{e}");
+        }
+    }
+
+    #[test]
+    fn addresses_roundtrip() {
+        let a = NodeAddr::new(PeerId(3), "doc-x", NodeId::from_index(42));
+        assert_eq!(parse_addr(&format_addr(&a)).unwrap(), a);
+        assert!(parse_addr("garbage").is_err());
+        assert!(parse_addr("d#x@p1").is_err());
+        assert!(parse_addr("d#1@px").is_err());
+    }
+
+    #[test]
+    fn children_and_with_child() {
+        let e = samples().remove(3); // Apply
+        assert_eq!(e.children().len(), 1);
+        let replaced = e.with_child(
+            0,
+            Expr::Doc {
+                name: "other".into(),
+                at: PeerRef::At(PeerId(2)),
+            },
+        );
+        match &replaced {
+            Expr::Apply { args, .. } => {
+                assert!(matches!(&args[0], Expr::Doc { name, .. } if name.as_str() == "other"));
+            }
+            other => panic!("{other}"),
+        }
+    }
+
+    #[test]
+    fn size_counts_nodes() {
+        let es = samples();
+        assert_eq!(es[0].size(), 1);
+        assert_eq!(es[3].size(), 2);
+        assert_eq!(es[10].size(), 4);
+    }
+
+    #[test]
+    fn mentioned_peers_collected() {
+        let e = samples().remove(8); // EvalAt(1, Send(0, Doc@1))
+        assert_eq!(e.mentioned_peers(), vec![PeerId(0), PeerId(1)]);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let e = samples().remove(4);
+        assert_eq!(e.to_string(), "send(p0, d@p1)");
+        let sc = samples().remove(7);
+        assert!(sc.to_string().starts_with("sc(any, lookup"));
+    }
+
+    #[test]
+    fn wire_size_positive_and_stable() {
+        for e in samples() {
+            assert!(e.wire_size() > 10, "{e}");
+            assert_eq!(e.wire_size(), e.fingerprint().len());
+        }
+    }
+
+    #[test]
+    fn from_xml_rejects_malformed() {
+        for bad in [
+            "<unknown/>",
+            "<tree/>",
+            "<doc/>",
+            "<send><payload><doc name=\"d\" at=\"0\"/></payload></send>",
+            "<apply def-at=\"0\"/>",
+            "<evalat peer=\"0\"/>",
+            "<sc/>",
+            "<deploy to=\"1\"/>",
+        ] {
+            let t = Tree::parse(bad).unwrap();
+            assert!(Expr::from_xml(&t, t.root()).is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+
+//! # axml-core — distributed AXML: the paper's contribution
+//!
+//! This crate implements the full system of *"A Framework for Distributed
+//! XML Data Management"* (Abiteboul, Manolescu, Taropa — EDBT 2006):
+//!
+//! * **AXML documents** with `sc` (service call) elements, activation
+//!   modes, forward lists and generic (`any`) references ([`sc`]),
+//! * **peers** hosting documents, declarative services and queries
+//!   ([`peer`], [`service`], [`system`]),
+//! * the **algebra `E` of distributed expressions** ([`expr`]) and its
+//!   evaluation semantics, definitions (1)–(9) ([`eval`]),
+//! * **continuous services**: live subscriptions streaming deltas to
+//!   forward-list sinks ([`continuous`]), and replica maintenance for
+//!   generic document classes ([`replication`]),
+//! * **lazy and type-driven activation** of embedded calls ([`lazy`]),
+//! * the **equivalence rules (10)–(16)** as rewrite rules ([`rules`]),
+//!   a network-aware **cost model** ([`cost`]) and a **cost-based
+//!   optimizer** with explain traces ([`optimizer`]),
+//! * `pickDoc`/`pickService` policies for generic references ([`pick`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use axml_core::prelude::*;
+//! use axml_xml::tree::Tree;
+//!
+//! // Two peers over a WAN.
+//! let mut sys = AxmlSystem::new();
+//! let client = sys.add_peer("client");
+//! let server = sys.add_peer("server");
+//! sys.net_mut().set_link(client, server, LinkCost::wan());
+//!
+//! // The server hosts a catalog and a declarative service over it.
+//! sys.install_doc(server, "catalog", Tree::parse(
+//!     r#"<catalog><pkg name="vim"><size>4000</size></pkg></catalog>"#).unwrap()).unwrap();
+//! sys.register_declarative_service(server, "names",
+//!     r#"doc("catalog")//pkg/@name"#).unwrap();
+//!
+//! // The client calls it (definition (6)).
+//! let out = sys.eval(client, &Expr::Sc {
+//!     provider: PeerRef::At(server),
+//!     service: "names".into(),
+//!     params: vec![],
+//!     forward: vec![],
+//! }).unwrap();
+//! assert_eq!(out[0].text(out[0].root()), "vim");
+//! ```
+
+pub mod continuous;
+pub mod cost;
+pub mod error;
+pub mod eval;
+pub mod expr;
+pub mod lazy;
+pub mod message;
+pub mod optimizer;
+pub mod peer;
+pub mod pick;
+pub mod replication;
+pub mod rules;
+pub mod sc;
+pub mod service;
+pub mod system;
+
+pub use error::{CoreError, CoreResult};
+pub use expr::{Expr, LocatedQuery, PeerRef, SendDest};
+pub use system::AxmlSystem;
+
+/// Convenient glob import for applications.
+pub mod prelude {
+    pub use crate::continuous::{Subscription, Trigger};
+    pub use crate::cost::{Cost, CostModel};
+    pub use crate::error::{CoreError, CoreResult};
+    pub use crate::expr::{Expr, LocatedQuery, PeerRef, SendDest};
+    pub use crate::optimizer::{Explained, Optimizer};
+    pub use crate::pick::{Catalog, PickPolicy};
+    pub use crate::sc::{ActivationMode, ScNode, ScProvider};
+    pub use crate::service::Service;
+    pub use crate::system::AxmlSystem;
+    pub use axml_net::link::{LinkCost, Topology};
+    pub use axml_query::Query;
+    pub use axml_xml::ids::{DocName, NodeAddr, PeerId, QueryName, ServiceName};
+}

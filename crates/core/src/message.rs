@@ -1,0 +1,144 @@
+//! Wire messages exchanged between AXML peers.
+//!
+//! Each variant corresponds to one kind of interaction in the paper's
+//! evaluation semantics; the [`Payload`] impl reports exactly the bytes the
+//! cost model charges (XML payloads travel serialized; headers are modelled
+//! by the links' per-message overhead).
+
+use axml_net::Payload;
+use axml_xml::ids::{DocName, NodeAddr, ServiceName};
+
+/// A message between peers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AxmlMessage {
+    /// A serialized expression shipped for remote evaluation
+    /// (definitions (5)/(7), rules (14)–(16)).
+    Request {
+        /// The serialized expression tree.
+        expr_xml: String,
+    },
+    /// Data trees in transit (definitions (3)–(5)).
+    Data {
+        /// Serialized forest (concatenated tree serializations).
+        payload: String,
+        /// Optional human tag for traces.
+        tag: &'static str,
+    },
+    /// A service invocation: the `param_i` children shipped to the
+    /// provider (§2.2 step 1).
+    Invoke {
+        /// Target service.
+        service: ServiceName,
+        /// Serialized parameter forests, one string per parameter.
+        params: Vec<String>,
+        /// Forward list (where the provider must send results).
+        forward: Vec<NodeAddr>,
+        /// Correlation id.
+        call_id: u64,
+    },
+    /// A service response (§2.2 steps 2–3).
+    Response {
+        /// Correlation id.
+        call_id: u64,
+        /// Serialized result forest.
+        payload: String,
+    },
+    /// A shipped query definition, deployed as a new service
+    /// (definition (8)).
+    DeployQuery {
+        /// Serialized query (definition included).
+        query_xml: String,
+        /// Service name to install it under.
+        as_service: ServiceName,
+    },
+    /// A tree installed as a new document (`send(d@p2, t)`).
+    InstallDoc {
+        /// New document name.
+        name: DocName,
+        /// Serialized tree.
+        payload: String,
+    },
+}
+
+impl Payload for AxmlMessage {
+    fn wire_size(&self) -> usize {
+        match self {
+            AxmlMessage::Request { expr_xml } => expr_xml.len(),
+            AxmlMessage::Data { payload, .. } => payload.len(),
+            AxmlMessage::Invoke {
+                service,
+                params,
+                forward,
+                ..
+            } => {
+                service.len()
+                    + params.iter().map(String::len).sum::<usize>()
+                    + forward.len() * 24
+                    + 8
+            }
+            AxmlMessage::Response { payload, .. } => payload.len() + 8,
+            AxmlMessage::DeployQuery {
+                query_xml,
+                as_service,
+            } => query_xml.len() + as_service.len(),
+            AxmlMessage::InstallDoc { name, payload } => name.len() + payload.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_xml::ids::PeerId;
+    use axml_xml::tree::NodeId;
+
+    #[test]
+    fn sizes_reflect_payloads() {
+        assert_eq!(
+            AxmlMessage::Request {
+                expr_xml: "<doc/>".into()
+            }
+            .wire_size(),
+            6
+        );
+        assert_eq!(
+            AxmlMessage::Data {
+                payload: "x".repeat(100),
+                tag: "t"
+            }
+            .wire_size(),
+            100
+        );
+        let inv = AxmlMessage::Invoke {
+            service: "svc".into(),
+            params: vec!["<a/>".into(), "<b/>".into()],
+            forward: vec![NodeAddr::new(PeerId(0), "d", NodeId::from_index(0))],
+            call_id: 7,
+        };
+        assert_eq!(inv.wire_size(), 3 + 8 + 24 + 8);
+        assert_eq!(
+            AxmlMessage::Response {
+                call_id: 1,
+                payload: "1234".into()
+            }
+            .wire_size(),
+            12
+        );
+        assert_eq!(
+            AxmlMessage::DeployQuery {
+                query_xml: "q".repeat(10),
+                as_service: "ss".into()
+            }
+            .wire_size(),
+            12
+        );
+        assert_eq!(
+            AxmlMessage::InstallDoc {
+                name: "doc".into(),
+                payload: "<t/>".into()
+            }
+            .wire_size(),
+            7
+        );
+    }
+}

@@ -1,0 +1,309 @@
+//! The cost-based optimizer: best-first search over rule applications.
+//!
+//! §3.3 supplies equivalence rules; this module supplies the *"optimization
+//! methodology"*: starting from the naive expression, repeatedly apply
+//! every rule at every position ([`crate::rules::all_rewrites`]), estimate
+//! each candidate with the [`CostModel`], and keep expanding the most
+//! promising plans (beam search with memoization on expression
+//! fingerprints; small spaces are explored exhaustively). The result is an
+//! [`Explained`] plan carrying the rewrite trace, so callers — and the
+//! benchmarks — can see exactly which paper rules produced the final
+//! strategy.
+
+use crate::cost::{Cost, CostModel};
+use crate::expr::Expr;
+use crate::rules::{all_rewrites, standard_rules, OptContext, RewriteRule};
+use axml_xml::ids::PeerId;
+use std::collections::HashSet;
+
+/// An optimized plan with provenance.
+#[derive(Debug, Clone)]
+pub struct Explained {
+    /// The evaluation site.
+    pub site: PeerId,
+    /// The chosen expression.
+    pub expr: Expr,
+    /// Its estimated cost.
+    pub cost: Cost,
+    /// The sequence of rule names that produced it from the input.
+    pub trace: Vec<&'static str>,
+    /// How many candidate plans the search examined.
+    pub explored: usize,
+}
+
+impl std::fmt::Display for Explained {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "plan @{}: {}", self.site, self.expr)?;
+        writeln!(f, "  est. cost: {}", self.cost)?;
+        if self.trace.is_empty() {
+            writeln!(f, "  (already optimal under the rule set)")?;
+        } else {
+            writeln!(f, "  via: {}", self.trace.join(" → "))?;
+        }
+        write!(f, "  explored {} candidates", self.explored)
+    }
+}
+
+/// The rule-driven optimizer.
+pub struct Optimizer {
+    rules: Vec<Box<dyn RewriteRule>>,
+    /// How many of the cheapest open plans are expanded per round.
+    pub beam_width: usize,
+    /// Cap on total candidate expansions.
+    pub max_explored: usize,
+    /// Stop after this many expansion rounds without improving the best
+    /// plan (convergence cutoff; the rule space is shallow, so small
+    /// values lose nothing — see experiment E8).
+    pub stale_rounds: usize,
+}
+
+impl Optimizer {
+    /// All paper rules, beam 8, up to 2000 candidates, 3 stale rounds.
+    pub fn standard() -> Self {
+        Optimizer {
+            rules: standard_rules(),
+            beam_width: 8,
+            max_explored: 2000,
+            stale_rounds: 3,
+        }
+    }
+
+    /// An optimizer with a custom rule set (ablations).
+    pub fn with_rules(rules: Vec<Box<dyn RewriteRule>>) -> Self {
+        Optimizer {
+            rules,
+            beam_width: 8,
+            max_explored: 2000,
+            stale_rounds: 3,
+        }
+    }
+
+    /// Names of the active rules.
+    pub fn rule_names(&self) -> Vec<&'static str> {
+        self.rules.iter().map(|r| r.name()).collect()
+    }
+
+    /// Optimize `expr` for evaluation at `site` under `model`.
+    pub fn optimize(&self, model: &CostModel, site: PeerId, expr: &Expr) -> Explained {
+        let ctx = OptContext::new(model);
+        let initial_cost = model.estimate(site, expr).cost;
+        let mut best = Explained {
+            site,
+            expr: expr.clone(),
+            cost: initial_cost,
+            trace: Vec::new(),
+            explored: 1,
+        };
+        let mut seen: HashSet<String> = HashSet::new();
+        seen.insert(expr.fingerprint());
+        // Open list: (scalar cost, expr, trace). Kept sorted; cheap first.
+        let mut open: Vec<(f64, Expr, Vec<&'static str>)> =
+            vec![(initial_cost.scalar(), expr.clone(), Vec::new())];
+        let mut explored = 1usize;
+        let mut stale = 0usize;
+        while !open.is_empty() && explored < self.max_explored && stale <= self.stale_rounds {
+            let best_before = best.cost.scalar();
+            // Expand up to beam_width cheapest open plans.
+            open.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            open.truncate(self.beam_width.max(1) * 4);
+            let batch: Vec<_> = open.drain(..open.len().min(self.beam_width)).collect();
+            for (_, cur, trace) in batch {
+                for (rule, candidate) in all_rewrites(&self.rules, site, &cur, &ctx) {
+                    let fp = candidate.fingerprint();
+                    if !seen.insert(fp) {
+                        continue;
+                    }
+                    explored += 1;
+                    let cost = model.estimate(site, &candidate).cost;
+                    let mut t = trace.clone();
+                    t.push(rule);
+                    if cost.scalar() < best.cost.scalar() {
+                        best = Explained {
+                            site,
+                            expr: candidate.clone(),
+                            cost,
+                            trace: t.clone(),
+                            explored,
+                        };
+                    }
+                    open.push((cost.scalar(), candidate, t));
+                    if explored >= self.max_explored {
+                        break;
+                    }
+                }
+            }
+            if best.cost.scalar() < best_before {
+                stale = 0;
+            } else {
+                stale += 1;
+            }
+        }
+        best.explored = explored;
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::{LocatedQuery, PeerRef, SendDest};
+    use crate::system::AxmlSystem;
+    use axml_net::link::LinkCost;
+    use axml_query::Query;
+    use axml_xml::equiv::forest_equiv;
+    use axml_xml::tree::Tree;
+
+    fn catalog_xml(n: usize) -> String {
+        let mut xml = String::from("<catalog>");
+        for i in 0..n {
+            xml.push_str(&format!(
+                r#"<pkg name="package-{i}"><size>{}</size><desc>description {i} of a software package</desc></pkg>"#,
+                i * 137 % 10000
+            ));
+        }
+        xml.push_str("</catalog>");
+        xml
+    }
+
+    fn system() -> (AxmlSystem, PeerId, PeerId) {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("client");
+        let b = sys.add_peer("server");
+        sys.net_mut().set_link(a, b, LinkCost::wan());
+        sys.install_doc(b, "catalog", Tree::parse(&catalog_xml(200)).unwrap())
+            .unwrap();
+        (sys, a, b)
+    }
+
+    fn selective_apply(a: PeerId, b: PeerId) -> Expr {
+        let q = Query::parse(
+            "sel",
+            r#"for $p in $0//pkg where $p/size/text() > 9000 return <big>{$p/@name}</big>"#,
+        )
+        .unwrap();
+        Expr::Apply {
+            query: LocatedQuery::new(q, a),
+            args: vec![Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(b),
+            }],
+        }
+    }
+
+    #[test]
+    fn optimizer_beats_naive_on_selective_remote_query() {
+        let (sys, a, b) = system();
+        let model = CostModel::from_system(&sys);
+        let naive = selective_apply(a, b);
+        let opt = Optimizer::standard();
+        let plan = opt.optimize(&model, a, &naive);
+        assert!(
+            plan.cost.scalar() < model.scalar_cost(a, &naive),
+            "optimizer must improve: {plan}"
+        );
+        assert!(!plan.trace.is_empty());
+        // the winning strategy involves delegation or pushed selections
+        assert!(
+            plan.trace
+                .iter()
+                .any(|r| r.starts_with("R10") || r.starts_with("R11")),
+            "{:?}",
+            plan.trace
+        );
+        // and the optimized plan actually computes the same answer cheaper
+        let (mut s1, _, _) = (system().0, 0, 0);
+        let (mut s2, _, _) = (system().0, 0, 0);
+        let v1 = s1.eval(a, &naive).unwrap();
+        let v2 = s2.eval(a, &plan.expr).unwrap();
+        assert!(forest_equiv(&v1, &v2));
+        assert!(s2.stats().total_bytes() < s1.stats().total_bytes());
+    }
+
+    #[test]
+    fn local_plan_stays_put() {
+        let (sys, _a, b) = system();
+        let model = CostModel::from_system(&sys);
+        let local = Expr::Doc {
+            name: "catalog".into(),
+            at: PeerRef::At(b),
+        };
+        let opt = Optimizer::standard();
+        let plan = opt.optimize(&model, b, &local);
+        assert!(plan.trace.is_empty(), "local read can't be improved: {plan}");
+        assert_eq!(plan.cost.messages, 0.0);
+    }
+
+    #[test]
+    fn explain_renders() {
+        let (sys, a, b) = system();
+        let model = CostModel::from_system(&sys);
+        let plan = Optimizer::standard().optimize(&model, a, &selective_apply(a, b));
+        let s = plan.to_string();
+        assert!(s.contains("est. cost"), "{s}");
+        assert!(s.contains("via:"), "{s}");
+        assert!(s.contains("explored"), "{s}");
+    }
+
+    #[test]
+    fn ablated_optimizer_is_weaker() {
+        let (sys, a, b) = system();
+        let model = CostModel::from_system(&sys);
+        let naive = selective_apply(a, b);
+        let full = Optimizer::standard().optimize(&model, a, &naive);
+        let ablated = Optimizer::with_rules(vec![]).optimize(&model, a, &naive);
+        assert!(full.cost.scalar() < ablated.cost.scalar());
+        assert_eq!(ablated.explored, 1);
+        assert!(Optimizer::standard().rule_names().contains(&"R16-push-over-sc"));
+    }
+
+    #[test]
+    fn relay_found_when_triangle_inequality_fails() {
+        // a↔b is terrible, but a↔c and c↔b are fast: the optimizer should
+        // route the fetch through c (rule (12) right-to-left).
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("a");
+        let b = sys.add_peer("b");
+        let c = sys.add_peer("relay");
+        sys.net_mut().set_link(
+            a,
+            b,
+            LinkCost {
+                latency_ms: 500.0,
+                bytes_per_ms: 10.0,
+                per_msg_bytes: 256,
+            },
+        );
+        sys.net_mut().set_link(a, c, LinkCost::lan());
+        sys.net_mut().set_link(b, c, LinkCost::lan());
+        sys.install_doc(b, "catalog", Tree::parse(&catalog_xml(100)).unwrap())
+            .unwrap();
+        let model = CostModel::from_system(&sys);
+        let naive = Expr::EvalAt {
+            peer: b,
+            expr: Box::new(Expr::Send {
+                dest: SendDest::Peer(a),
+                payload: Box::new(Expr::Doc {
+                    name: "catalog".into(),
+                    at: PeerRef::At(b),
+                }),
+            }),
+        };
+        let plan = Optimizer::standard().optimize(&model, a, &naive);
+        assert!(
+            plan.trace.contains(&"R12-add-stop"),
+            "expected relay: {plan}"
+        );
+        // and the relayed plan really is equivalent
+        let mut sys2 = AxmlSystem::new();
+        let _ = (sys2.add_peer("a"), sys2.add_peer("b"), sys2.add_peer("relay"));
+        sys2.install_doc(b, "catalog", Tree::parse(&catalog_xml(100)).unwrap())
+            .unwrap();
+        let v1 = sys2.eval(a, &naive).unwrap();
+        let mut sys3 = AxmlSystem::new();
+        let _ = (sys3.add_peer("a"), sys3.add_peer("b"), sys3.add_peer("relay"));
+        sys3.install_doc(b, "catalog", Tree::parse(&catalog_xml(100)).unwrap())
+            .unwrap();
+        let v2 = sys3.eval(a, &plan.expr).unwrap();
+        assert!(forest_equiv(&v1, &v2));
+    }
+}

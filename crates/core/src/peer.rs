@@ -1,0 +1,160 @@
+//! Per-peer state: the documents and services a peer hosts.
+//!
+//! §3.3 calls the union of these across all peers the system **state Σ**;
+//! [`PeerState::snapshot`] contributes one peer's part of the Σ-comparison
+//! used to test rule soundness (`eval@p1(e1)(Σ) = eval@p2(e2)(Σ)`).
+
+use crate::error::{CoreError, CoreResult};
+use crate::service::Service;
+use axml_query::eval::DocResolver;
+use axml_query::Query;
+use axml_xml::equiv::{canonicalize, Canon};
+use axml_xml::ids::{DocName, PeerId, QueryName, ServiceName};
+use axml_xml::store::{DocStore, Document};
+use axml_xml::tree::Tree;
+use std::collections::BTreeMap;
+
+/// The local state of one peer.
+#[derive(Debug, Clone, Default)]
+pub struct PeerState {
+    /// Hosted documents.
+    pub docs: DocStore,
+    /// Registered services.
+    pub services: BTreeMap<ServiceName, Service>,
+    /// Named queries (definitions a peer owns but has not exposed as
+    /// services).
+    pub queries: BTreeMap<QueryName, Query>,
+}
+
+impl PeerState {
+    /// An empty peer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a document (fails on name clash — §2.1 uniqueness).
+    pub fn install_doc(&mut self, doc: Document) -> CoreResult<()> {
+        self.docs.insert(doc)?;
+        Ok(())
+    }
+
+    /// Fetch a document's tree.
+    pub fn doc(&self, name: &DocName, here: PeerId) -> CoreResult<&Tree> {
+        self.docs
+            .get(name)
+            .map(Document::tree)
+            .ok_or_else(|| CoreError::NoSuchDoc {
+                doc: name.clone(),
+                at: here,
+            })
+    }
+
+    /// Register a service (replacing any previous definition).
+    pub fn register_service(&mut self, service: Service) {
+        self.services.insert(service.name.clone(), service);
+    }
+
+    /// Look up a service.
+    pub fn service(&self, name: &ServiceName, here: PeerId) -> CoreResult<&Service> {
+        self.services
+            .get(name)
+            .ok_or_else(|| CoreError::NoSuchService {
+                service: name.clone(),
+                at: here,
+            })
+    }
+
+    /// Register a named query.
+    pub fn register_query(&mut self, name: impl Into<QueryName>, q: Query) {
+        self.queries.insert(name.into(), q);
+    }
+
+    /// Look up a named query.
+    pub fn query(&self, name: &QueryName) -> CoreResult<&Query> {
+        self.queries
+            .get(name)
+            .ok_or_else(|| CoreError::NoSuchQuery(name.to_string()))
+    }
+
+    /// A canonical snapshot of this peer's documents (name → canonical
+    /// form) and service names — one peer's contribution to Σ.
+    pub fn snapshot(&self) -> PeerSnapshot {
+        PeerSnapshot {
+            docs: self
+                .docs
+                .iter()
+                .map(|d| {
+                    (
+                        d.name().clone(),
+                        canonicalize(d.tree(), d.tree().root()),
+                    )
+                })
+                .collect(),
+            services: self.services.keys().cloned().collect(),
+        }
+    }
+}
+
+impl DocResolver for PeerState {
+    fn resolve(&self, name: &DocName) -> Option<&Tree> {
+        self.docs.get(name).map(Document::tree)
+    }
+}
+
+/// Canonical image of one peer's state, comparable across runs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerSnapshot {
+    /// Documents by name, canonicalized (sibling order erased).
+    pub docs: BTreeMap<DocName, Canon>,
+    /// Installed service names.
+    pub services: Vec<ServiceName>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn docs_and_services() {
+        let mut p = PeerState::new();
+        p.install_doc(Document::new("d", Tree::parse("<a/>").unwrap()))
+            .unwrap();
+        assert!(p.install_doc(Document::new("d", Tree::parse("<b/>").unwrap())).is_err());
+        assert!(p.doc(&"d".into(), PeerId(0)).is_ok());
+        assert!(matches!(
+            p.doc(&"missing".into(), PeerId(0)),
+            Err(CoreError::NoSuchDoc { .. })
+        ));
+        let q = Query::parse("q", "$0//x").unwrap();
+        p.register_service(Service::declarative("s", q.clone()));
+        assert!(p.service(&"s".into(), PeerId(0)).is_ok());
+        assert!(p.service(&"zz".into(), PeerId(0)).is_err());
+        p.register_query("qq", q);
+        assert!(p.query(&"qq".into()).is_ok());
+        assert!(p.query(&"zz".into()).is_err());
+    }
+
+    #[test]
+    fn snapshot_is_order_insensitive() {
+        let mut a = PeerState::new();
+        a.install_doc(Document::new("d", Tree::parse("<r><x/><y/></r>").unwrap()))
+            .unwrap();
+        let mut b = PeerState::new();
+        b.install_doc(Document::new("d", Tree::parse("<r><y/><x/></r>").unwrap()))
+            .unwrap();
+        assert_eq!(a.snapshot(), b.snapshot());
+        b.install_doc(Document::new("e", Tree::parse("<z/>").unwrap()))
+            .unwrap();
+        assert_ne!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn doc_resolver_impl() {
+        let mut p = PeerState::new();
+        p.install_doc(Document::new("cat", Tree::parse("<c><pkg/></c>").unwrap()))
+            .unwrap();
+        let q = Query::parse("q", r#"doc("cat")//pkg"#).unwrap();
+        let out = q.eval_with_docs(&[], &p).unwrap();
+        assert_eq!(out.len(), 1);
+    }
+}

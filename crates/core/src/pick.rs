@@ -1,0 +1,300 @@
+//! Generic documents/services and the `pickDoc`/`pickService` functions —
+//! §2.3 and definition (9).
+//!
+//! A generic reference `d@any` denotes *any* member of an equivalence
+//! class of replicas. The [`Catalog`] records the classes; a
+//! [`PickPolicy`] implements the paper's *"the implementation of an actual
+//! pick function at p depends on p's knowledge of the existing documents
+//! and services, p's preferences etc."* — we provide the obvious policies
+//! and benchmark them against each other (experiment E7).
+
+use crate::error::{CoreError, CoreResult};
+use axml_net::sim::Network;
+use axml_net::Payload;
+use axml_xml::ids::{DocName, PeerId, ServiceName};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// How a peer picks among the members of an equivalence class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PickPolicy {
+    /// The first registered replica (registration order).
+    First,
+    /// The replica with the cheapest link from the picking peer (for a
+    /// nominal 64 KiB transfer).
+    Closest,
+    /// Uniformly random with the given seed (deterministic runs).
+    Random(u64),
+    /// Round-robin over the class (spreads load).
+    RoundRobin,
+}
+
+/// The distributed catalog of equivalence classes.
+///
+/// The paper deliberately abstracts the network structure (*"we make no
+/// assumption about the structure of the peer network, e.g. whether a
+/// DHT-style index is present"*); the catalog models whatever lookup
+/// facility exists, and the cost model can charge a lookup if desired.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    docs: BTreeMap<DocName, Vec<(PeerId, DocName)>>,
+    services: BTreeMap<ServiceName, Vec<(PeerId, ServiceName)>>,
+    rr_state: BTreeMap<DocName, usize>,
+    rr_state_svc: BTreeMap<ServiceName, usize>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Declare `concrete@peer` a member of the document class `class`.
+    pub fn add_doc_replica(
+        &mut self,
+        class: impl Into<DocName>,
+        peer: PeerId,
+        concrete: impl Into<DocName>,
+    ) {
+        self.docs
+            .entry(class.into())
+            .or_default()
+            .push((peer, concrete.into()));
+    }
+
+    /// Declare `concrete@peer` a member of the service class `class`.
+    pub fn add_service_replica(
+        &mut self,
+        class: impl Into<ServiceName>,
+        peer: PeerId,
+        concrete: impl Into<ServiceName>,
+    ) {
+        self.services
+            .entry(class.into())
+            .or_default()
+            .push((peer, concrete.into()));
+    }
+
+    /// Members of a document class.
+    pub fn doc_replicas(&self, class: &DocName) -> &[(PeerId, DocName)] {
+        self.docs.get(class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Members of a service class.
+    pub fn service_replicas(&self, class: &ServiceName) -> &[(PeerId, ServiceName)] {
+        self.services.get(class).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// All document classes with their members.
+    pub fn doc_classes(&self) -> Vec<(DocName, Vec<(PeerId, DocName)>)> {
+        self.docs
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// All service classes with their members.
+    pub fn service_classes(&self) -> Vec<(ServiceName, Vec<(PeerId, ServiceName)>)> {
+        self.services
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// `pickDoc(d@any)` evaluated at `at` — definition (9).
+    pub fn pick_doc<M: Payload>(
+        &mut self,
+        policy: PickPolicy,
+        at: PeerId,
+        class: &DocName,
+        net: &Network<M>,
+    ) -> CoreResult<(PeerId, DocName)> {
+        let members = self
+            .docs
+            .get(class)
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| CoreError::EmptyEquivalenceClass(class.to_string()))?;
+        let idx = pick_index(
+            policy,
+            at,
+            members.iter().map(|(p, _)| *p),
+            net,
+            self.rr_state.entry(class.clone()).or_insert(0),
+        );
+        Ok(members[idx].clone())
+    }
+
+    /// `pickService(s@any)` evaluated at `at`.
+    pub fn pick_service<M: Payload>(
+        &mut self,
+        policy: PickPolicy,
+        at: PeerId,
+        class: &ServiceName,
+        net: &Network<M>,
+    ) -> CoreResult<(PeerId, ServiceName)> {
+        let members = self
+            .services
+            .get(class)
+            .filter(|v| !v.is_empty())
+            .ok_or_else(|| CoreError::EmptyEquivalenceClass(class.to_string()))?;
+        let idx = pick_index(
+            policy,
+            at,
+            members.iter().map(|(p, _)| *p),
+            net,
+            self.rr_state_svc.entry(class.clone()).or_insert(0),
+        );
+        Ok(members[idx].clone())
+    }
+}
+
+const NOMINAL_BYTES: usize = 64 * 1024;
+
+fn pick_index<M: Payload>(
+    policy: PickPolicy,
+    at: PeerId,
+    peers: impl Iterator<Item = PeerId>,
+    net: &Network<M>,
+    rr: &mut usize,
+) -> usize {
+    let peers: Vec<PeerId> = peers.collect();
+    match policy {
+        PickPolicy::First => 0,
+        PickPolicy::Closest => peers
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                let ca = net.link(at, **a).transfer_ms(NOMINAL_BYTES);
+                let cb = net.link(at, **b).transfer_ms(NOMINAL_BYTES);
+                ca.partial_cmp(&cb).unwrap_or(std::cmp::Ordering::Equal)
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0),
+        PickPolicy::Random(seed) => {
+            // Derive the choice from the seed, the site and the class size
+            // so repeated picks are deterministic but well spread.
+            let mut rng = StdRng::seed_from_u64(seed ^ ((at.0 as u64) << 32) ^ *rr as u64);
+            *rr += 1;
+            rng.gen_range(0..peers.len())
+        }
+        PickPolicy::RoundRobin => {
+            let i = *rr % peers.len();
+            *rr += 1;
+            i
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_net::link::LinkCost;
+
+    fn net3() -> Network<String> {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        let c = net.add_peer("c");
+        net.set_link(a, b, LinkCost::slow());
+        net.set_link(a, c, LinkCost::lan());
+        net.set_link(b, c, LinkCost::wan());
+        net
+    }
+
+    fn catalog() -> Catalog {
+        let mut cat = Catalog::new();
+        cat.add_doc_replica("cat", PeerId(1), "cat-on-b");
+        cat.add_doc_replica("cat", PeerId(2), "cat-on-c");
+        cat
+    }
+
+    #[test]
+    fn first_policy() {
+        let net = net3();
+        let mut cat = catalog();
+        let (p, name) = cat
+            .pick_doc(PickPolicy::First, PeerId(0), &"cat".into(), &net)
+            .unwrap();
+        assert_eq!((p, name.as_str()), (PeerId(1), "cat-on-b"));
+    }
+
+    #[test]
+    fn closest_policy_prefers_cheap_link() {
+        let net = net3();
+        let mut cat = catalog();
+        let (p, _) = cat
+            .pick_doc(PickPolicy::Closest, PeerId(0), &"cat".into(), &net)
+            .unwrap();
+        assert_eq!(p, PeerId(2), "lan link to c beats slow link to b");
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let net = net3();
+        let mut cat = catalog();
+        let p1 = cat
+            .pick_doc(PickPolicy::RoundRobin, PeerId(0), &"cat".into(), &net)
+            .unwrap()
+            .0;
+        let p2 = cat
+            .pick_doc(PickPolicy::RoundRobin, PeerId(0), &"cat".into(), &net)
+            .unwrap()
+            .0;
+        let p3 = cat
+            .pick_doc(PickPolicy::RoundRobin, PeerId(0), &"cat".into(), &net)
+            .unwrap()
+            .0;
+        assert_ne!(p1, p2);
+        assert_eq!(p1, p3);
+    }
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let net = net3();
+        let pick = |seed| {
+            let mut cat = catalog();
+            (0..5)
+                .map(|_| {
+                    cat.pick_doc(PickPolicy::Random(seed), PeerId(0), &"cat".into(), &net)
+                        .unwrap()
+                        .0
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(pick(42), pick(42));
+    }
+
+    #[test]
+    fn empty_class_errors() {
+        let net = net3();
+        let mut cat = Catalog::new();
+        assert!(matches!(
+            cat.pick_doc(PickPolicy::First, PeerId(0), &"none".into(), &net),
+            Err(CoreError::EmptyEquivalenceClass(_))
+        ));
+        assert!(cat
+            .pick_service(PickPolicy::First, PeerId(0), &"none".into(), &net)
+            .is_err());
+    }
+
+    #[test]
+    fn service_classes() {
+        let net = net3();
+        let mut cat = Catalog::new();
+        cat.add_service_replica("search", PeerId(1), "search-b");
+        cat.add_service_replica("search", PeerId(2), "search-c");
+        assert_eq!(cat.service_replicas(&"search".into()).len(), 2);
+        let (p, _) = cat
+            .pick_service(PickPolicy::Closest, PeerId(0), &"search".into(), &net)
+            .unwrap();
+        assert_eq!(p, PeerId(2));
+    }
+
+    #[test]
+    fn replica_introspection() {
+        let cat = catalog();
+        assert_eq!(cat.doc_replicas(&"cat".into()).len(), 2);
+        assert!(cat.doc_replicas(&"other".into()).is_empty());
+    }
+}

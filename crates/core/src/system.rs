@@ -1,0 +1,321 @@
+//! The AXML system: peers + network + catalog — the paper's state Σ.
+//!
+//! An [`AxmlSystem`] owns the simulated network, one [`PeerState`] per
+//! peer, and the generic-reference [`Catalog`]. Evaluation of expressions
+//! (definitions (1)–(9)) lives in [`crate::eval`]; continuous service
+//! machinery in [`crate::continuous`]; both drive every cross-peer byte
+//! through the system's internal `transfer` path so the statistics measure real wire
+//! traffic.
+
+use crate::error::{CoreError, CoreResult};
+use crate::message::AxmlMessage;
+use crate::peer::{PeerSnapshot, PeerState};
+use crate::pick::{Catalog, PickPolicy};
+use crate::service::Service;
+use axml_net::link::Topology;
+use axml_net::sim::Network;
+use axml_net::NetStats;
+use axml_query::Query;
+use axml_xml::ids::{DocName, PeerId, ServiceName};
+use axml_xml::store::Document;
+use axml_xml::tree::Tree;
+
+/// A complete simulated AXML deployment.
+pub struct AxmlSystem {
+    pub(crate) net: Network<AxmlMessage>,
+    pub(crate) peers: Vec<PeerState>,
+    pub(crate) catalog: Catalog,
+    pub(crate) pick_policy: PickPolicy,
+    pub(crate) next_call: u64,
+    pub(crate) subscriptions: Vec<crate::continuous::Subscription>,
+}
+
+impl AxmlSystem {
+    /// A system over an explicit network.
+    pub fn with_network(net: Network<AxmlMessage>) -> Self {
+        let peers = (0..net.peer_count()).map(|_| PeerState::new()).collect();
+        AxmlSystem {
+            net,
+            peers,
+            catalog: Catalog::new(),
+            pick_policy: PickPolicy::Closest,
+            next_call: 0,
+            subscriptions: Vec::new(),
+        }
+    }
+
+    /// A system over a standard topology.
+    pub fn with_topology(topology: &Topology) -> Self {
+        Self::with_network(Network::with_topology(topology))
+    }
+
+    /// A fresh empty system; add peers with [`AxmlSystem::add_peer`].
+    pub fn new() -> Self {
+        Self::with_network(Network::new())
+    }
+
+    /// Register a new peer.
+    pub fn add_peer(&mut self, name: impl Into<String>) -> PeerId {
+        let id = self.net.add_peer(name);
+        self.peers.push(PeerState::new());
+        id
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Immutable access to a peer's state.
+    pub fn peer(&self, p: PeerId) -> &PeerState {
+        &self.peers[p.index()]
+    }
+
+    /// Mutable access to a peer's state.
+    pub fn peer_mut(&mut self, p: PeerId) -> &mut PeerState {
+        &mut self.peers[p.index()]
+    }
+
+    /// The network (for link configuration).
+    pub fn net_mut(&mut self) -> &mut Network<AxmlMessage> {
+        &mut self.net
+    }
+
+    /// The network, read-only.
+    pub fn net(&self) -> &Network<AxmlMessage> {
+        &self.net
+    }
+
+    /// The catalog of generic references.
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// The catalog, read-only.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Set the `pickDoc`/`pickService` policy (definition (9)).
+    pub fn set_pick_policy(&mut self, policy: PickPolicy) {
+        self.pick_policy = policy;
+    }
+
+    /// The current pick policy.
+    pub fn pick_policy(&self) -> PickPolicy {
+        self.pick_policy
+    }
+
+    /// Install a document on a peer.
+    pub fn install_doc(
+        &mut self,
+        at: PeerId,
+        name: impl Into<DocName>,
+        tree: Tree,
+    ) -> CoreResult<()> {
+        self.check_peer(at)?;
+        self.peers[at.index()].install_doc(Document::new(name, tree))
+    }
+
+    /// Install a document and register it in a generic equivalence class.
+    pub fn install_replica(
+        &mut self,
+        at: PeerId,
+        class: impl Into<DocName>,
+        concrete: impl Into<DocName>,
+        tree: Tree,
+    ) -> CoreResult<()> {
+        let class = class.into();
+        let concrete = concrete.into();
+        self.install_doc(at, concrete.clone(), tree)?;
+        self.catalog.add_doc_replica(class, at, concrete);
+        Ok(())
+    }
+
+    /// Register a declarative service on a peer.
+    pub fn register_service(&mut self, at: PeerId, service: Service) -> CoreResult<()> {
+        self.check_peer(at)?;
+        self.peers[at.index()].register_service(service);
+        Ok(())
+    }
+
+    /// Shorthand: register a continuous declarative service from source.
+    pub fn register_declarative_service(
+        &mut self,
+        at: PeerId,
+        name: impl Into<ServiceName>,
+        query_src: &str,
+    ) -> CoreResult<()> {
+        let name = name.into();
+        let q = Query::parse(name.as_str(), query_src)?;
+        self.register_service(at, Service::declarative(name, q))
+    }
+
+    /// Transfer statistics so far.
+    pub fn stats(&self) -> &NetStats {
+        self.net.stats()
+    }
+
+    /// Zero the statistics (keeps state Σ).
+    pub fn reset_stats(&mut self) {
+        self.net.reset_stats();
+    }
+
+    /// Simulated time (ms).
+    pub fn now_ms(&self) -> f64 {
+        self.net.now_ms()
+    }
+
+    /// The full state Σ as canonical snapshots (one per peer) — used to
+    /// verify the §3.3 equivalence `eval@p1(e1)(Σ) = eval@p2(e2)(Σ)`.
+    pub fn snapshot(&self) -> Vec<PeerSnapshot> {
+        self.peers.iter().map(PeerState::snapshot).collect()
+    }
+
+    /// All generic document classes with their members (cost-model view).
+    pub fn catalog_view(&self) -> Vec<(DocName, Vec<(PeerId, DocName)>)> {
+        self.catalog.doc_classes()
+    }
+
+    /// All generic service classes with their members (cost-model view).
+    pub fn catalog_service_view(&self) -> Vec<(ServiceName, Vec<(PeerId, ServiceName)>)> {
+        self.catalog.service_classes()
+    }
+
+    pub(crate) fn check_peer(&self, p: PeerId) -> CoreResult<()> {
+        if p.index() < self.peers.len() {
+            Ok(())
+        } else {
+            Err(CoreError::UnknownPeer(p))
+        }
+    }
+
+    /// Move one message across the wire: sends it and immediately delivers
+    /// it (evaluation is depth-first, so at most the messages we just sent
+    /// are in flight). Returns the arrival time.
+    pub(crate) fn transfer(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        msg: AxmlMessage,
+    ) -> CoreResult<f64> {
+        self.check_peer(from)?;
+        self.check_peer(to)?;
+        self.net.try_send(from, to, msg)?;
+        let (_to, _msg, at) = self
+            .net
+            .recv()
+            .expect("transfer: just-sent message must be deliverable");
+        Ok(at)
+    }
+
+    /// Serialize a forest for the wire (concatenated compact trees).
+    pub(crate) fn serialize_forest(forest: &[Tree]) -> String {
+        let mut out = String::new();
+        for t in forest {
+            out.push_str(&t.serialize());
+        }
+        out
+    }
+
+    /// Fresh correlation id.
+    pub(crate) fn fresh_call_id(&mut self) -> u64 {
+        let id = self.next_call;
+        self.next_call += 1;
+        id
+    }
+}
+
+impl Default for AxmlSystem {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_net::link::LinkCost;
+
+    #[test]
+    fn build_system() {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("alice");
+        let b = sys.add_peer("bob");
+        assert_eq!(sys.peer_count(), 2);
+        sys.net_mut().set_link(a, b, LinkCost::wan());
+        sys.install_doc(a, "d", Tree::parse("<x/>").unwrap()).unwrap();
+        assert!(sys.peer(a).docs.contains(&"d".into()));
+        assert!(sys.install_doc(a, "d", Tree::parse("<y/>").unwrap()).is_err());
+        assert!(sys
+            .install_doc(PeerId(9), "e", Tree::parse("<x/>").unwrap())
+            .is_err());
+    }
+
+    #[test]
+    fn topology_constructor() {
+        let sys = AxmlSystem::with_topology(&Topology::Uniform {
+            n: 5,
+            cost: LinkCost::wan(),
+        });
+        assert_eq!(sys.peer_count(), 5);
+    }
+
+    #[test]
+    fn replica_installation() {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("a");
+        let b = sys.add_peer("b");
+        sys.install_replica(a, "cat", "cat-a", Tree::parse("<c/>").unwrap())
+            .unwrap();
+        sys.install_replica(b, "cat", "cat-b", Tree::parse("<c/>").unwrap())
+            .unwrap();
+        assert_eq!(sys.catalog().doc_replicas(&"cat".into()).len(), 2);
+    }
+
+    #[test]
+    fn service_registration() {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("a");
+        sys.register_declarative_service(a, "scan", "for $x in $0//pkg return {$x}")
+            .unwrap();
+        assert!(sys.peer(a).services.contains_key(&"scan".into()));
+        assert!(sys
+            .register_declarative_service(PeerId(3), "x", "$0")
+            .is_err());
+    }
+
+    #[test]
+    fn transfer_accounts_bytes() {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("a");
+        let b = sys.add_peer("b");
+        sys.net_mut().set_link(a, b, LinkCost::wan());
+        sys.transfer(
+            a,
+            b,
+            AxmlMessage::Data {
+                payload: "x".repeat(100),
+                tag: "test",
+            },
+        )
+        .unwrap();
+        assert_eq!(sys.stats().total_messages(), 1);
+        assert!(sys.stats().total_bytes() >= 100);
+        assert!(sys.now_ms() > 0.0);
+        sys.reset_stats();
+        assert_eq!(sys.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn snapshot_captures_sigma() {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("a");
+        let _b = sys.add_peer("b");
+        let before = sys.snapshot();
+        sys.install_doc(a, "d", Tree::parse("<x/>").unwrap()).unwrap();
+        let after = sys.snapshot();
+        assert_ne!(before, after);
+        assert_eq!(after.len(), 2);
+    }
+}

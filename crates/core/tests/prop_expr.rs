@@ -1,0 +1,163 @@
+//! Property tests over *randomly generated expressions* (not just the
+//! seed shapes): the wire format round-trips, evaluation is total on
+//! well-formed expressions, delegation wrapping preserves values, and the
+//! optimizer never changes answers.
+
+use axml_core::cost::CostModel;
+use axml_core::prelude::*;
+use axml_xml::equiv::forest_equiv;
+use axml_xml::tree::Tree;
+use proptest::prelude::*;
+
+const N_PEERS: u32 = 3;
+
+fn build_system() -> AxmlSystem {
+    let mut sys = AxmlSystem::new();
+    for i in 0..N_PEERS {
+        sys.add_peer(format!("p{i}"));
+    }
+    for a in 0..N_PEERS {
+        for b in (a + 1)..N_PEERS {
+            sys.net_mut().set_link(PeerId(a), PeerId(b), LinkCost::wan());
+        }
+    }
+    for p in 0..N_PEERS {
+        let mut xml = String::from("<catalog>");
+        for i in 0..10 {
+            xml.push_str(&format!(
+                r#"<pkg name="p{p}-{i}"><size>{}</size></pkg>"#,
+                i * 1000
+            ));
+        }
+        xml.push_str("</catalog>");
+        sys.install_doc(PeerId(p), "catalog", Tree::parse(&xml).unwrap())
+            .unwrap();
+        sys.register_declarative_service(PeerId(p), "all", r#"doc("catalog")//pkg"#)
+            .unwrap();
+    }
+    sys
+}
+
+/// A generator of well-formed expressions over the fixed 3-peer system.
+/// Depth-bounded; every generated expression is evaluable at any peer.
+fn arb_expr() -> impl Strategy<Value = Expr> {
+    let peer = (0..N_PEERS).prop_map(PeerId);
+    let leaf = prop_oneof![
+        peer.clone().prop_map(|p| Expr::Doc {
+            name: "catalog".into(),
+            at: PeerRef::At(p),
+        }),
+        (peer.clone(), 0usize..5).prop_map(|(p, k)| Expr::Tree {
+            tree: Tree::parse(&format!("<lit><v>{k}</v></lit>")).unwrap(),
+            at: p,
+        }),
+    ];
+    leaf.prop_recursive(3, 12, 2, move |inner| {
+        let peer = (0..N_PEERS).prop_map(PeerId);
+        prop_oneof![
+            // unary query over any sub-expression
+            (inner.clone(), peer.clone(), 0usize..3).prop_map(|(arg, def_at, qi)| {
+                let srcs = [
+                    "$0//pkg",
+                    r#"for $x in $0//pkg where $x/size/text() > 4000 return <big>{$x/@name}</big>"#,
+                    "for $x in $0//v return <got>{$x/text()}</got>",
+                ];
+                Expr::Apply {
+                    query: LocatedQuery::new(Query::parse("q", srcs[qi]).unwrap(), def_at),
+                    args: vec![arg],
+                }
+            }),
+            // service call with a generated parameter
+            (inner.clone(), peer.clone()).prop_map(|(_param, p)| Expr::Sc {
+                provider: PeerRef::At(p),
+                service: "all".into(),
+                params: vec![],
+                forward: vec![],
+            }),
+            // delegation wrapper (rule 14 shape) — built via the same
+            // retargeting discipline the rules use
+            (inner.clone(), peer).prop_map(|(e, p)| {
+                let mut moved = e;
+                // returns inside `moved` previously targeted "wherever the
+                // caller is"; the generator only builds evaluation-site-
+                // independent leaves below EvalAt, so a plain wrap works
+                // when we send back to the future evaluation site — which
+                // the evaluating property supplies as site 0.
+                moved.retarget_returns(PeerId(0), p);
+                Expr::EvalAt {
+                    peer: p,
+                    expr: Box::new(Expr::Send {
+                        dest: SendDest::Peer(PeerId(0)),
+                        payload: Box::new(moved),
+                    }),
+                }
+            }),
+            // sequencing
+            proptest::collection::vec(inner, 1..3).prop_map(Expr::Seq),
+        ]
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The XML wire format round-trips every generated expression.
+    #[test]
+    fn wire_roundtrip(e in arb_expr()) {
+        let xml = e.to_xml();
+        let back = Expr::from_xml(&xml, xml.root()).unwrap();
+        prop_assert_eq!(e.fingerprint(), back.fingerprint());
+        prop_assert_eq!(e.wire_size(), back.wire_size());
+    }
+
+    /// Evaluation at peer 0 is total (no panics, no spurious errors) and
+    /// deterministic.
+    #[test]
+    fn eval_total_and_deterministic(e in arb_expr()) {
+        let mut s1 = build_system();
+        let mut s2 = build_system();
+        let v1 = s1.eval(PeerId(0), &e).unwrap();
+        let v2 = s2.eval(PeerId(0), &e).unwrap();
+        prop_assert!(forest_equiv(&v1, &v2));
+        prop_assert_eq!(s1.stats().total_bytes(), s2.stats().total_bytes());
+    }
+
+    /// The optimizer preserves the value of arbitrary expressions and
+    /// never estimates its output worse than the input.
+    #[test]
+    fn optimizer_value_preserving(e in arb_expr()) {
+        let sys = build_system();
+        let model = CostModel::from_system(&sys);
+        let plan = Optimizer::standard().optimize(&model, PeerId(0), &e);
+        prop_assert!(plan.cost.scalar() <= model.scalar_cost(PeerId(0), &e) + 1e-9);
+        let mut s1 = build_system();
+        let mut s2 = build_system();
+        let v1 = s1.eval(PeerId(0), &e).unwrap();
+        let v2 = s2.eval(PeerId(0), &plan.expr).unwrap();
+        prop_assert!(
+            forest_equiv(&v1, &v2),
+            "trace {:?}\n naive: {}\n opt:   {}",
+            plan.trace, e, plan.expr
+        );
+    }
+
+    /// Delegating any expression to any peer and shipping the value back
+    /// (rule (14)) preserves it.
+    #[test]
+    fn rule_14_holds_for_random_expressions(e in arb_expr(), target in 0..N_PEERS) {
+        let mut s1 = build_system();
+        let v1 = s1.eval(PeerId(0), &e).unwrap();
+        let mut moved = e.clone();
+        moved.retarget_returns(PeerId(0), PeerId(target));
+        let wrapped = Expr::EvalAt {
+            peer: PeerId(target),
+            expr: Box::new(Expr::Send {
+                dest: SendDest::Peer(PeerId(0)),
+                payload: Box::new(moved),
+            }),
+        };
+        let mut s2 = build_system();
+        let v2 = s2.eval(PeerId(0), &wrapped).unwrap();
+        prop_assert!(forest_equiv(&v1, &v2), "e = {e}");
+    }
+}

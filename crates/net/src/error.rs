@@ -1,0 +1,51 @@
+//! Error types for the network substrate.
+
+use axml_xml::ids::PeerId;
+use std::fmt;
+
+/// Result alias for this crate.
+pub type NetResult<T> = Result<T, NetError>;
+
+/// Errors from the network simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetError {
+    /// A peer id is not registered with the network.
+    UnknownPeer(PeerId),
+    /// No link is configured between two peers.
+    NoLink(PeerId, PeerId),
+    /// The link between two peers is administratively down (failure
+    /// injection / partition).
+    LinkDown(PeerId, PeerId),
+    /// A malformed configuration (e.g. zero bandwidth).
+    BadConfig(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
+            NetError::NoLink(a, b) => write!(f, "no link between {a} and {b}"),
+            NetError::LinkDown(a, b) => write!(f, "link {a} ↔ {b} is down"),
+            NetError::BadConfig(msg) => write!(f, "bad network config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays() {
+        assert_eq!(NetError::UnknownPeer(PeerId(4)).to_string(), "unknown peer p4");
+        assert!(NetError::NoLink(PeerId(0), PeerId(1))
+            .to_string()
+            .contains("p0"));
+        assert!(NetError::LinkDown(PeerId(0), PeerId(1))
+            .to_string()
+            .contains("down"));
+        assert!(NetError::BadConfig("x".into()).to_string().contains("x"));
+    }
+}

@@ -1,0 +1,74 @@
+#![warn(missing_docs)]
+
+//! # axml-net — the simulated peer network substrate
+//!
+//! The paper assumes *"a finite set of peers"*, each a context of
+//! computation hosting documents and services (§2), exchanging service
+//! calls, responses, data trees and shipped queries. Its §3 optimizations
+//! trade **messages × bytes × link costs** against each other; to measure
+//! them reproducibly we substitute the authors' real WAN with a
+//! **discrete-event simulator**:
+//!
+//! * [`sim::Network`] — peers, a virtual clock, and an event queue
+//!   delivering messages in timestamp order (deterministic tie-breaking);
+//! * [`link::LinkCost`] — per-link latency, bandwidth and per-message
+//!   overhead; [`link::Topology`] builders for uniform, star and
+//!   clustered-WAN shapes;
+//! * [`stats::NetStats`] — per-link and global bytes/message counters and
+//!   the simulated makespan: exactly the quantities every experiment in
+//!   `EXPERIMENTS.md` reports.
+//!
+//! The simulator is generic over the message type (anything implementing
+//! [`Payload`]), so this crate stays independent of the AXML semantics —
+//! `axml-core` instantiates it with its own message enum.
+//!
+//! ```
+//! use axml_net::sim::Network;
+//! use axml_net::link::LinkCost;
+//! use axml_net::Payload;
+//!
+//! struct Msg(&'static str);
+//! impl Payload for Msg {
+//!     fn wire_size(&self) -> usize { self.0.len() }
+//! }
+//!
+//! let mut net: Network<Msg> = Network::new();
+//! let a = net.add_peer("a");
+//! let b = net.add_peer("b");
+//! net.set_link(a, b, LinkCost::wan());
+//! net.send(a, b, Msg("hello"));
+//! let (to, msg, at) = net.recv().unwrap();
+//! assert_eq!(to, b);
+//! assert_eq!(msg.0, "hello");
+//! assert!(at > 0.0);
+//! assert_eq!(net.stats().total_bytes(), 5 + LinkCost::wan().per_msg_bytes as u64);
+//! ```
+
+pub mod error;
+pub mod link;
+pub mod sim;
+pub mod stats;
+
+pub use error::{NetError, NetResult};
+pub use link::{LinkCost, Topology};
+pub use sim::Network;
+pub use stats::NetStats;
+
+/// Anything that can cross a link: reports its own wire size in bytes.
+pub trait Payload {
+    /// Serialized size in bytes (headers excluded; links add their own
+    /// per-message overhead).
+    fn wire_size(&self) -> usize;
+}
+
+impl Payload for String {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}
+
+impl Payload for &str {
+    fn wire_size(&self) -> usize {
+        self.len()
+    }
+}

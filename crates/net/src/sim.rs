@@ -1,0 +1,378 @@
+//! The discrete-event network simulator.
+//!
+//! A [`Network`] owns the peer table, the link matrix, a virtual clock and
+//! an event queue. [`Network::send`] computes the message's arrival time
+//! from the link cost, charges the statistics, and enqueues a delivery
+//! event; [`Network::recv`] pops the earliest pending delivery and advances
+//! the clock to it. Ties are broken by send order, so runs are fully
+//! deterministic.
+//!
+//! The simulator is generic over the message type ([`crate::Payload`]);
+//! `axml-core` drives it with AXML messages, tests with plain strings.
+
+use crate::error::{NetError, NetResult};
+use crate::link::{LinkCost, Topology};
+use crate::stats::NetStats;
+use crate::Payload;
+use axml_xml::ids::PeerId;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+struct Event<M> {
+    at: f64,
+    seq: u64,
+    from: PeerId,
+    to: PeerId,
+    msg: M,
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for Event<M> {}
+
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert so the earliest event wins;
+        // equal times resolve in send order.
+        other
+            .at
+            .partial_cmp(&self.at)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A simulated network of peers.
+pub struct Network<M> {
+    peer_names: Vec<String>,
+    links: Vec<Vec<LinkCost>>,
+    down: Vec<Vec<bool>>,
+    queue: BinaryHeap<Event<M>>,
+    stats: NetStats,
+    clock_ms: f64,
+    seq: u64,
+}
+
+impl<M: Payload> Network<M> {
+    /// An empty network.
+    pub fn new() -> Self {
+        Network {
+            peer_names: Vec::new(),
+            links: Vec::new(),
+            down: Vec::new(),
+            queue: BinaryHeap::new(),
+            stats: NetStats::new(),
+            clock_ms: 0.0,
+            seq: 0,
+        }
+    }
+
+    /// Build a network from a topology; peers are named `p0 … pn-1`.
+    pub fn with_topology(topology: &Topology) -> Self {
+        let mut net = Network::new();
+        let n = topology.peer_count();
+        for i in 0..n {
+            net.add_peer(format!("p{i}"));
+        }
+        for a in 0..n {
+            for b in 0..n {
+                net.links[a][b] = topology.link(a, b);
+            }
+        }
+        net
+    }
+
+    /// Register a peer; links to every existing peer default to
+    /// [`LinkCost::lan`] (and to [`LinkCost::local`] for itself).
+    pub fn add_peer(&mut self, name: impl Into<String>) -> PeerId {
+        let id = PeerId(self.peer_names.len() as u32);
+        self.peer_names.push(name.into());
+        for row in &mut self.links {
+            row.push(LinkCost::lan());
+        }
+        let mut row = vec![LinkCost::lan(); self.peer_names.len()];
+        row[id.index()] = LinkCost::local();
+        self.links.push(row);
+        for row in &mut self.down {
+            row.push(false);
+        }
+        self.down.push(vec![false; self.peer_names.len()]);
+        id
+    }
+
+    /// Inject a failure: both directions of the link become unusable
+    /// until [`Network::restore_link`]. Sending over a down link returns
+    /// [`NetError::LinkDown`] from [`Network::try_send`] (the infallible
+    /// [`Network::send`] panics).
+    pub fn fail_link(&mut self, a: PeerId, b: PeerId) {
+        self.down[a.index()][b.index()] = true;
+        self.down[b.index()][a.index()] = true;
+    }
+
+    /// Undo a [`Network::fail_link`].
+    pub fn restore_link(&mut self, a: PeerId, b: PeerId) {
+        self.down[a.index()][b.index()] = false;
+        self.down[b.index()][a.index()] = false;
+    }
+
+    /// Is the directed link currently usable?
+    pub fn link_up(&self, from: PeerId, to: PeerId) -> bool {
+        !self.down[from.index()][to.index()]
+    }
+
+    /// Number of peers.
+    pub fn peer_count(&self) -> usize {
+        self.peer_names.len()
+    }
+
+    /// All peer ids.
+    pub fn peers(&self) -> impl Iterator<Item = PeerId> {
+        (0..self.peer_names.len() as u32).map(PeerId)
+    }
+
+    /// The display name of a peer.
+    pub fn peer_name(&self, p: PeerId) -> NetResult<&str> {
+        self.peer_names
+            .get(p.index())
+            .map(String::as_str)
+            .ok_or(NetError::UnknownPeer(p))
+    }
+
+    /// Configure both directions of a link.
+    pub fn set_link(&mut self, a: PeerId, b: PeerId, cost: LinkCost) {
+        self.links[a.index()][b.index()] = cost;
+        self.links[b.index()][a.index()] = cost;
+    }
+
+    /// Configure one direction of a link.
+    pub fn set_link_directed(&mut self, from: PeerId, to: PeerId, cost: LinkCost) {
+        self.links[from.index()][to.index()] = cost;
+    }
+
+    /// The cost of the directed link `from → to`.
+    pub fn link(&self, from: PeerId, to: PeerId) -> LinkCost {
+        self.links[from.index()][to.index()]
+    }
+
+    /// Send `msg` from `from` to `to`; returns the arrival time (ms).
+    ///
+    /// The message is charged against the link immediately and delivered
+    /// when the clock reaches the arrival time ([`Network::recv`]).
+    pub fn send(&mut self, from: PeerId, to: PeerId, msg: M) -> f64 {
+        self.try_send(from, to, msg)
+            .expect("send over a down link — use try_send to handle failures")
+    }
+
+    /// Fallible send: errors when the link is down (failure injection).
+    pub fn try_send(&mut self, from: PeerId, to: PeerId, msg: M) -> NetResult<f64> {
+        assert!(from.index() < self.peer_names.len(), "unknown sender {from}");
+        assert!(to.index() < self.peer_names.len(), "unknown receiver {to}");
+        if from != to && self.down[from.index()][to.index()] {
+            return Err(NetError::LinkDown(from, to));
+        }
+        let cost = self.links[from.index()][to.index()];
+        let size = msg.wire_size();
+        let transfer = cost.transfer_ms(size);
+        let at = self.clock_ms + transfer;
+        self.stats
+            .record(from, to, cost.charged_bytes(size), transfer, at);
+        self.queue.push(Event {
+            at,
+            seq: self.seq,
+            from,
+            to,
+            msg,
+        });
+        self.seq += 1;
+        Ok(at)
+    }
+
+    /// Deliver the earliest pending message, advancing the clock to its
+    /// arrival time. Returns `(recipient, message, arrival_ms)`.
+    pub fn recv(&mut self) -> Option<(PeerId, M, f64)> {
+        let ev = self.queue.pop()?;
+        if ev.at > self.clock_ms {
+            self.clock_ms = ev.at;
+        }
+        Some((ev.to, ev.msg, ev.at))
+    }
+
+    /// Deliver the earliest pending message together with its sender.
+    pub fn recv_from(&mut self) -> Option<(PeerId, PeerId, M, f64)> {
+        let ev = self.queue.pop()?;
+        if ev.at > self.clock_ms {
+            self.clock_ms = ev.at;
+        }
+        Some((ev.from, ev.to, ev.msg, ev.at))
+    }
+
+    /// Are deliveries pending?
+    pub fn has_pending(&self) -> bool {
+        !self.queue.is_empty()
+    }
+
+    /// Number of queued deliveries.
+    pub fn pending_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Current simulated time in milliseconds.
+    pub fn now_ms(&self) -> f64 {
+        self.clock_ms
+    }
+
+    /// Advance the clock (models local computation time).
+    pub fn advance(&mut self, ms: f64) {
+        assert!(ms >= 0.0, "time only moves forward");
+        self.clock_ms += ms;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    /// Reset statistics (keeps peers, links, clock and queue).
+    pub fn reset_stats(&mut self) {
+        self.stats.reset();
+    }
+}
+
+impl<M: Payload> Default for Network<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_per_send_order_on_ties() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link(a, b, LinkCost::local());
+        net.send(a, b, "first".to_string());
+        net.send(a, b, "second".to_string());
+        assert_eq!(net.recv().unwrap().1, "first");
+        assert_eq!(net.recv().unwrap().1, "second");
+        assert!(net.recv().is_none());
+    }
+
+    #[test]
+    fn arrival_order_by_time() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        let c = net.add_peer("c");
+        net.set_link(a, b, LinkCost::slow());
+        net.set_link(a, c, LinkCost::lan());
+        net.send(a, b, "slow".to_string());
+        net.send(a, c, "fast".to_string());
+        let (to1, m1, t1) = net.recv().unwrap();
+        assert_eq!((to1, m1.as_str()), (c, "fast"));
+        let (to2, m2, t2) = net.recv().unwrap();
+        assert_eq!((to2, m2.as_str()), (b, "slow"));
+        assert!(t1 < t2);
+        assert!((net.now_ms() - t2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stats_are_charged_on_send() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link(a, b, LinkCost::wan());
+        net.send(a, b, "x".repeat(1000));
+        assert_eq!(net.stats().total_messages(), 1);
+        assert_eq!(
+            net.stats().total_bytes(),
+            1000 + LinkCost::wan().per_msg_bytes as u64
+        );
+    }
+
+    #[test]
+    fn local_send_is_free() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let at = net.send(a, a, "self".to_string());
+        assert_eq!(at, 0.0);
+        assert_eq!(net.stats().total_bytes(), 0);
+        let (to, msg, _) = net.recv().unwrap();
+        assert_eq!((to, msg.as_str()), (a, "self"));
+    }
+
+    #[test]
+    fn topology_construction() {
+        let net: Network<String> = Network::with_topology(&Topology::Clustered {
+            clusters: vec![2, 2],
+            intra: LinkCost::lan(),
+            inter: LinkCost::wan(),
+        });
+        assert_eq!(net.peer_count(), 4);
+        assert_eq!(net.link(PeerId(0), PeerId(1)), LinkCost::lan());
+        assert_eq!(net.link(PeerId(0), PeerId(2)), LinkCost::wan());
+        assert_eq!(net.link(PeerId(3), PeerId(3)), LinkCost::local());
+        assert_eq!(net.peer_name(PeerId(2)).unwrap(), "p2");
+        assert!(net.peer_name(PeerId(9)).is_err());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link(a, b, LinkCost::lan());
+        net.advance(10.0);
+        assert_eq!(net.now_ms(), 10.0);
+        let at = net.send(a, b, "m".to_string());
+        assert!(at > 10.0);
+        net.recv();
+        assert!(net.now_ms() >= at);
+    }
+
+    #[test]
+    fn directed_links() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link_directed(a, b, LinkCost::slow());
+        net.set_link_directed(b, a, LinkCost::lan());
+        assert_eq!(net.link(a, b), LinkCost::slow());
+        assert_eq!(net.link(b, a), LinkCost::lan());
+    }
+
+    #[test]
+    fn recv_from_reports_sender() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.send(a, b, "hi".to_string());
+        let (from, to, msg, _) = net.recv_from().unwrap();
+        assert_eq!((from, to, msg.as_str()), (a, b, "hi"));
+    }
+
+    #[test]
+    fn pending_introspection() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        assert!(!net.has_pending());
+        net.send(a, a, "x".to_string());
+        assert!(net.has_pending());
+        assert_eq!(net.pending_len(), 1);
+        net.recv();
+        assert!(!net.has_pending());
+    }
+}

@@ -1,0 +1,519 @@
+//! Surface abstract syntax of the query language.
+//!
+//! The grammar (see [`crate::parser`]) is a compact FLWR fragment:
+//!
+//! ```text
+//! query    ::= flwr | path
+//! flwr     ::= clause+ 'return' template
+//! clause   ::= 'for' '$'name 'in' path
+//!            | 'let' '$'name ':=' path
+//!            | 'where' cond
+//! path     ::= start step*
+//! start    ::= '$'N          (parameter N)
+//!            | '$'name       (bound variable)
+//!            | 'doc' '(' string ')'
+//! step     ::= '/' test pred* | '//' test pred*
+//! test     ::= name | '*' | 'text()' | '@'name
+//! pred     ::= '[' cond ']'
+//! cond     ::= or-combination of comparisons, contains(), exists(),
+//!              count(path) op N
+//! template ::= '<'name attrs'>' (template | '{' path '}' | text)* '</'name'>'
+//! ```
+//!
+//! Every AST node renders back to source via `Display`; `parse(render(q))`
+//! yields the same AST (property-tested), which is how queries travel as
+//! text inside serialized expressions (§3.1 of the paper).
+
+use std::fmt;
+
+/// The reserved variable name used internally for relative (context) paths
+/// inside predicates. The parser rewrites `version = "1"` into a path
+/// starting at this variable; lowering binds it to the predicate's context
+/// node, and `Display` renders such paths back in relative form.
+pub const REL_VAR: &str = "\u{b7}ctx\u{b7}";
+
+/// Where a path starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PathStart {
+    /// `$N` — the N-th query parameter (a forest of input trees).
+    Param(usize),
+    /// `$name` — a variable bound by an enclosing `for`/`let`.
+    Var(String),
+    /// `doc("name")` — a document resolved by the evaluation context.
+    Doc(String),
+}
+
+/// Navigation axis of a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Axis {
+    /// `/` — children.
+    Child,
+    /// `//` — descendants (excluding self).
+    Descendant,
+}
+
+/// What a step selects.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeTest {
+    /// A child/descendant element with this label.
+    Label(String),
+    /// Any element: `*`.
+    Wildcard,
+    /// `text()` — string value of the context node (terminal step).
+    Text,
+    /// `@name` — attribute value (terminal step).
+    Attr(String),
+}
+
+/// One path step with optional predicates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Step {
+    /// Axis.
+    pub axis: Axis,
+    /// Node test.
+    pub test: NodeTest,
+    /// Bracketed predicates, all of which must hold.
+    pub preds: Vec<Cond>,
+}
+
+/// A path expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Path {
+    /// Starting point.
+    pub start: PathStart,
+    /// Steps applied left to right.
+    pub steps: Vec<Step>,
+}
+
+impl Path {
+    /// A bare reference to a parameter or variable (no steps).
+    pub fn start_only(start: PathStart) -> Self {
+        Path {
+            start,
+            steps: Vec::new(),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    /// Surface token.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "=",
+            CmpOp::Ne => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::Le => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::Ge => ">=",
+        }
+    }
+}
+
+/// Right-hand side of a comparison.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Operand {
+    /// A string literal.
+    Literal(String),
+    /// Another path (joins!).
+    Path(Path),
+}
+
+/// A boolean condition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// Conjunction.
+    And(Box<Cond>, Box<Cond>),
+    /// Disjunction.
+    Or(Box<Cond>, Box<Cond>),
+    /// Negation: `not(c)`.
+    Not(Box<Cond>),
+    /// Existential comparison between the atomized `lhs` and `rhs`.
+    Cmp {
+        /// Left side path.
+        lhs: Path,
+        /// Operator.
+        op: CmpOp,
+        /// Right side.
+        rhs: Operand,
+    },
+    /// `contains(path, "needle")` — substring test on any atom of `path`.
+    Contains {
+        /// The haystack path.
+        path: Path,
+        /// The literal needle.
+        needle: String,
+    },
+    /// `exists(path)` — the path matches at least one node/atom.
+    Exists(Path),
+    /// `count(path) op N` — cardinality comparison (aggregate).
+    CountCmp {
+        /// The counted path.
+        path: Path,
+        /// Operator.
+        op: CmpOp,
+        /// The literal bound.
+        n: u64,
+    },
+}
+
+/// One FLWR clause.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Clause {
+    /// `for $var in path` — iterate matches one at a time.
+    For {
+        /// Variable name (without `$`).
+        var: String,
+        /// Source path.
+        source: Path,
+    },
+    /// `let $var := path` — bind the whole match sequence.
+    Let {
+        /// Variable name (without `$`).
+        var: String,
+        /// Bound path.
+        path: Path,
+    },
+    /// `where cond` — filter.
+    Where(Cond),
+}
+
+/// An XML construction template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Template {
+    /// `<label attr=…>children</label>`.
+    Element {
+        /// Element label.
+        label: String,
+        /// Attributes; values may be literals or spliced paths.
+        attrs: Vec<(String, AttrTemplate)>,
+        /// Children templates.
+        children: Vec<Template>,
+    },
+    /// Literal text.
+    Text(String),
+    /// `{ path }` — copy every node matched by the path (elements are
+    /// deep-copied; atoms become text nodes).
+    Splice(Path),
+}
+
+/// An attribute value in a template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrTemplate {
+    /// A literal string.
+    Literal(String),
+    /// `{ path }` — the space-joined atomization of the path.
+    Splice(Path),
+}
+
+/// A complete parsed query body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryBody {
+    /// A full FLWR block.
+    Flwr {
+        /// The clauses in order.
+        clauses: Vec<Clause>,
+        /// The `return` template.
+        ret: Template,
+    },
+    /// A bare path: shorthand for *copy every match*.
+    Bare(Path),
+}
+
+// ---------------------------------------------------------------------
+// Rendering back to source.
+// ---------------------------------------------------------------------
+
+impl fmt::Display for PathStart {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathStart::Param(i) => write!(f, "${i}"),
+            PathStart::Var(v) => write!(f, "${v}"),
+            PathStart::Doc(d) => write!(f, "doc(\"{d}\")"),
+        }
+    }
+}
+
+impl fmt::Display for NodeTest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NodeTest::Label(l) => f.write_str(l),
+            NodeTest::Wildcard => f.write_str("*"),
+            NodeTest::Text => f.write_str("text()"),
+            NodeTest::Attr(a) => write!(f, "@{a}"),
+        }
+    }
+}
+
+impl fmt::Display for Step {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.axis {
+            Axis::Child => write!(f, "/{}", self.test)?,
+            Axis::Descendant => write!(f, "//{}", self.test)?,
+        }
+        for p in &self.preds {
+            write!(f, "[{p}]")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut steps = self.steps.as_slice();
+        match &self.start {
+            // Relative predicate paths render without the internal context
+            // variable: `version[…]/x`, not `$·ctx·/version[…]/x`.
+            PathStart::Var(v) if v == REL_VAR => {
+                if let Some((first, rest)) = steps.split_first() {
+                    write!(f, "{}", first.test)?;
+                    for p in &first.preds {
+                        write!(f, "[{p}]")?;
+                    }
+                    steps = rest;
+                } else {
+                    // A bare context reference cannot be parsed back; it is
+                    // never produced by the parser.
+                    write!(f, ".")?;
+                }
+            }
+            start => write!(f, "{start}")?,
+        }
+        for s in steps {
+            write!(f, "{s}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Literal(s) => write!(f, "\"{}\"", escape_lit(s)),
+            Operand::Path(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Cond::And(a, b) => write!(f, "({a} and {b})"),
+            Cond::Or(a, b) => write!(f, "({a} or {b})"),
+            Cond::Not(c) => write!(f, "not({c})"),
+            Cond::Cmp { lhs, op, rhs } => write!(f, "{lhs} {} {rhs}", op.symbol()),
+            Cond::Contains { path, needle } => {
+                write!(f, "contains({path}, \"{}\")", escape_lit(needle))
+            }
+            Cond::Exists(p) => write!(f, "exists({p})"),
+            Cond::CountCmp { path, op, n } => {
+                write!(f, "count({path}) {} {n}", op.symbol())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Clause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Clause::For { var, source } => write!(f, "for ${var} in {source}"),
+            Clause::Let { var, path } => write!(f, "let ${var} := {path}"),
+            Clause::Where(c) => write!(f, "where {c}"),
+        }
+    }
+}
+
+impl fmt::Display for AttrTemplate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrTemplate::Literal(s) => write!(f, "\"{}\"", escape_lit(s)),
+            AttrTemplate::Splice(p) => write!(f, "\"{{{p}}}\""),
+        }
+    }
+}
+
+impl fmt::Display for Template {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Template::Element {
+                label,
+                attrs,
+                children,
+            } => {
+                write!(f, "<{label}")?;
+                for (n, v) in attrs {
+                    write!(f, " {n}={v}")?;
+                }
+                if children.is_empty() {
+                    write!(f, "/>")
+                } else {
+                    write!(f, ">")?;
+                    for c in children {
+                        write!(f, "{c}")?;
+                    }
+                    write!(f, "</{label}>")
+                }
+            }
+            Template::Text(t) => f.write_str(&escape_template_text(t)),
+            Template::Splice(p) => write!(f, "{{{p}}}"),
+        }
+    }
+}
+
+impl fmt::Display for QueryBody {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryBody::Flwr { clauses, ret } => {
+                for c in clauses {
+                    write!(f, "{c} ")?;
+                }
+                write!(f, "return {ret}")
+            }
+            QueryBody::Bare(p) => write!(f, "{p}"),
+        }
+    }
+}
+
+fn escape_lit(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+fn escape_template_text(s: &str) -> String {
+    // `&` first (it appears in the other escapes), then `<`, `{`, `}`.
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('{', "{{")
+        .replace('}', "}}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(start: PathStart, steps: Vec<Step>) -> Path {
+        Path { start, steps }
+    }
+
+    fn step(axis: Axis, test: NodeTest) -> Step {
+        Step {
+            axis,
+            test,
+            preds: vec![],
+        }
+    }
+
+    #[test]
+    fn path_rendering() {
+        let path = p(
+            PathStart::Param(0),
+            vec![
+                step(Axis::Descendant, NodeTest::Label("pkg".into())),
+                step(Axis::Child, NodeTest::Attr("name".into())),
+            ],
+        );
+        assert_eq!(path.to_string(), "$0//pkg/@name");
+    }
+
+    #[test]
+    fn cond_rendering() {
+        let c = Cond::And(
+            Box::new(Cond::Cmp {
+                lhs: p(
+                    PathStart::Var("x".into()),
+                    vec![step(Axis::Child, NodeTest::Label("v".into()))],
+                ),
+                op: CmpOp::Ge,
+                rhs: Operand::Literal("2".into()),
+            }),
+            Box::new(Cond::Exists(p(PathStart::Var("x".into()), vec![]))),
+        );
+        assert_eq!(c.to_string(), r#"($x/v >= "2" and exists($x))"#);
+    }
+
+    #[test]
+    fn template_rendering() {
+        let t = Template::Element {
+            label: "hit".into(),
+            attrs: vec![(
+                "name".into(),
+                AttrTemplate::Splice(p(
+                    PathStart::Var("x".into()),
+                    vec![step(Axis::Child, NodeTest::Attr("name".into()))],
+                )),
+            )],
+            children: vec![
+                Template::Text("score: ".into()),
+                Template::Splice(p(PathStart::Var("x".into()), vec![])),
+            ],
+        };
+        assert_eq!(
+            t.to_string(),
+            r#"<hit name="{$x/@name}">score: {$x}</hit>"#
+        );
+    }
+
+    #[test]
+    fn flwr_rendering() {
+        let body = QueryBody::Flwr {
+            clauses: vec![
+                Clause::For {
+                    var: "x".into(),
+                    source: p(
+                        PathStart::Param(0),
+                        vec![step(Axis::Descendant, NodeTest::Label("pkg".into()))],
+                    ),
+                },
+                Clause::Where(Cond::Contains {
+                    path: p(
+                        PathStart::Var("x".into()),
+                        vec![step(Axis::Child, NodeTest::Attr("name".into()))],
+                    ),
+                    needle: "vi".into(),
+                }),
+            ],
+            ret: Template::Splice(p(PathStart::Var("x".into()), vec![])),
+        };
+        assert_eq!(
+            body.to_string(),
+            r#"for $x in $0//pkg where contains($x/@name, "vi") return {$x}"#
+        );
+    }
+
+    #[test]
+    fn literal_escaping() {
+        let c = Cond::Cmp {
+            lhs: p(PathStart::Param(0), vec![]),
+            op: CmpOp::Eq,
+            rhs: Operand::Literal(r#"say "hi"\now"#.into()),
+        };
+        let rendered = c.to_string();
+        assert!(rendered.contains(r#"\"hi\""#), "{rendered}");
+        assert!(rendered.contains(r"\\now"), "{rendered}");
+    }
+
+    #[test]
+    fn cmp_symbols() {
+        assert_eq!(CmpOp::Eq.symbol(), "=");
+        assert_eq!(CmpOp::Ne.symbol(), "!=");
+        assert_eq!(CmpOp::Lt.symbol(), "<");
+        assert_eq!(CmpOp::Le.symbol(), "<=");
+        assert_eq!(CmpOp::Gt.symbol(), ">");
+        assert_eq!(CmpOp::Ge.symbol(), ">=");
+    }
+}

@@ -1,0 +1,774 @@
+//! Hand-written recursive-descent parser for the query language.
+//!
+//! See [`crate::ast`] for the grammar. The parser is whitespace-lenient
+//! between tokens and reports errors with character offsets.
+
+use crate::ast::*;
+use crate::error::{QueryError, QueryResult};
+
+/// Parse a query body from source text.
+pub fn parse_query(src: &str) -> QueryResult<QueryBody> {
+    let mut p = P::new(src);
+    p.ws();
+    let body = if p.peek_kw("for") || p.peek_kw("let") || p.peek_kw("where") {
+        p.parse_flwr()?
+    } else {
+        let path = p.parse_path()?;
+        QueryBody::Bare(path)
+    };
+    p.ws();
+    if !p.done() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(body)
+}
+
+/// Parse a standalone path (used by tests and tools).
+pub fn parse_path(src: &str) -> QueryResult<Path> {
+    let mut p = P::new(src);
+    p.ws();
+    let path = p.parse_path()?;
+    p.ws();
+    if !p.done() {
+        return Err(p.err("unexpected trailing input"));
+    }
+    Ok(path)
+}
+
+struct P<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> P<'a> {
+    fn new(src: &'a str) -> Self {
+        P { src, pos: 0 }
+    }
+
+    fn err(&self, msg: impl Into<String>) -> QueryError {
+        QueryError::Syntax {
+            msg: msg.into(),
+            offset: self.pos,
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.src.len()
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn ws(&mut self) {
+        while matches!(self.peek(), Some(c) if c.is_whitespace()) {
+            self.bump();
+        }
+    }
+
+    fn eat(&mut self, s: &str) -> bool {
+        if self.rest().starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> QueryResult<()> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    /// Does a keyword start here (followed by a non-name char)?
+    fn peek_kw(&self, kw: &str) -> bool {
+        let r = self.rest();
+        r.starts_with(kw)
+            && !r[kw.len()..]
+                .chars()
+                .next()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_')
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek_kw(kw) {
+            self.pos += kw.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_name(&mut self) -> QueryResult<String> {
+        let start = self.pos;
+        match self.peek() {
+            Some(c) if c.is_alphabetic() || c == '_' => {
+                self.bump();
+            }
+            _ => return Err(self.err("expected a name")),
+        }
+        while matches!(self.peek(), Some(c) if c.is_alphanumeric() || c == '_' || c == '-' || c == '.' || c == ':')
+        {
+            self.bump();
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    fn parse_string(&mut self) -> QueryResult<String> {
+        self.expect("\"")?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(out),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('n') => out.push('\n'),
+                    Some(c) => return Err(self.err(format!("bad escape `\\{c}`"))),
+                    None => return Err(self.err("unterminated string")),
+                },
+                Some(c) => out.push(c),
+                None => return Err(self.err("unterminated string")),
+            }
+        }
+    }
+
+    // --- FLWR ---------------------------------------------------------
+
+    fn parse_flwr(&mut self) -> QueryResult<QueryBody> {
+        let mut clauses = Vec::new();
+        loop {
+            self.ws();
+            if self.eat_kw("for") {
+                self.ws();
+                let var = self.parse_dollar_name()?;
+                self.ws();
+                if !self.eat_kw("in") {
+                    return Err(self.err("expected `in`"));
+                }
+                self.ws();
+                let source = self.parse_path()?;
+                clauses.push(Clause::For { var, source });
+            } else if self.eat_kw("let") {
+                self.ws();
+                let var = self.parse_dollar_name()?;
+                self.ws();
+                self.expect(":=")?;
+                self.ws();
+                let path = self.parse_path()?;
+                clauses.push(Clause::Let { var, path });
+            } else if self.eat_kw("where") {
+                self.ws();
+                let c = self.parse_cond()?;
+                clauses.push(Clause::Where(c));
+            } else if self.eat_kw("return") {
+                self.ws();
+                let ret = self.parse_template()?;
+                if clauses.is_empty() {
+                    return Err(self.err("`return` without any clause"));
+                }
+                return Ok(QueryBody::Flwr { clauses, ret });
+            } else {
+                return Err(self.err("expected `for`, `let`, `where` or `return`"));
+            }
+        }
+    }
+
+    fn parse_dollar_name(&mut self) -> QueryResult<String> {
+        self.expect("$")?;
+        if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            return Err(self.err("`for`/`let` variables must be named, not numeric"));
+        }
+        self.parse_name()
+    }
+
+    // --- paths ----------------------------------------------------------
+
+    fn parse_path(&mut self) -> QueryResult<Path> {
+        let start = if self.eat("$") {
+            if matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                let s = self.pos;
+                while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                    self.bump();
+                }
+                let n: usize = self.src[s..self.pos]
+                    .parse()
+                    .map_err(|_| self.err("bad parameter index"))?;
+                PathStart::Param(n)
+            } else {
+                PathStart::Var(self.parse_name()?)
+            }
+        } else if self.peek_kw("doc") {
+            self.eat_kw("doc");
+            self.ws();
+            self.expect("(")?;
+            self.ws();
+            let name = self.parse_string()?;
+            self.ws();
+            self.expect(")")?;
+            PathStart::Doc(name)
+        } else {
+            return Err(self.err("expected `$var`, `$N` or `doc(\"…\")`"));
+        };
+        let steps = self.parse_steps()?;
+        Ok(Path { start, steps })
+    }
+
+    /// A relative path inside a predicate: starts with a test directly.
+    fn parse_rel_path(&mut self) -> QueryResult<Path> {
+        let test = self.parse_test()?;
+        let mut preds = Vec::new();
+        while self.peek() == Some('[') {
+            self.bump();
+            self.ws();
+            let c = self.parse_cond()?;
+            self.ws();
+            self.expect("]")?;
+            preds.push(c);
+        }
+        let first = Step {
+            axis: Axis::Child,
+            test,
+            preds,
+        };
+        let mut steps = vec![first];
+        steps.extend(self.parse_steps()?);
+        Ok(Path {
+            start: PathStart::Var(REL_VAR.to_string()),
+            steps,
+        })
+    }
+
+    fn parse_steps(&mut self) -> QueryResult<Vec<Step>> {
+        let mut steps = Vec::new();
+        loop {
+            let axis = if self.rest().starts_with("//") {
+                self.pos += 2;
+                Axis::Descendant
+            } else if self.peek() == Some('/') {
+                self.bump();
+                Axis::Child
+            } else {
+                return Ok(steps);
+            };
+            let test = self.parse_test()?;
+            let mut preds = Vec::new();
+            while self.peek() == Some('[') {
+                self.bump();
+                self.ws();
+                let c = self.parse_cond()?;
+                self.ws();
+                self.expect("]")?;
+                preds.push(c);
+            }
+            steps.push(Step { axis, test, preds });
+        }
+    }
+
+    fn parse_test(&mut self) -> QueryResult<NodeTest> {
+        if self.eat("@") {
+            Ok(NodeTest::Attr(self.parse_name()?))
+        } else if self.eat("*") {
+            Ok(NodeTest::Wildcard)
+        } else if self.peek_kw("text") {
+            let save = self.pos;
+            self.eat_kw("text");
+            if self.eat("()") {
+                Ok(NodeTest::Text)
+            } else {
+                // An element actually named `text`.
+                self.pos = save;
+                Ok(NodeTest::Label(self.parse_name()?))
+            }
+        } else {
+            Ok(NodeTest::Label(self.parse_name()?))
+        }
+    }
+
+    // --- conditions ------------------------------------------------------
+
+    fn parse_cond(&mut self) -> QueryResult<Cond> {
+        let mut lhs = self.parse_and()?;
+        loop {
+            self.ws();
+            if self.eat_kw("or") {
+                self.ws();
+                let rhs = self.parse_and()?;
+                lhs = Cond::Or(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_and(&mut self) -> QueryResult<Cond> {
+        let mut lhs = self.parse_prim_cond()?;
+        loop {
+            self.ws();
+            if self.eat_kw("and") {
+                self.ws();
+                let rhs = self.parse_prim_cond()?;
+                lhs = Cond::And(Box::new(lhs), Box::new(rhs));
+            } else {
+                return Ok(lhs);
+            }
+        }
+    }
+
+    fn parse_prim_cond(&mut self) -> QueryResult<Cond> {
+        self.ws();
+        if self.peek_kw("not") {
+            self.eat_kw("not");
+            self.ws();
+            self.expect("(")?;
+            let c = self.parse_cond()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(Cond::Not(Box::new(c)));
+        }
+        if self.peek_kw("contains") {
+            self.eat_kw("contains");
+            self.ws();
+            self.expect("(")?;
+            self.ws();
+            let path = self.parse_cond_path()?;
+            self.ws();
+            self.expect(",")?;
+            self.ws();
+            let needle = self.parse_string()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(Cond::Contains { path, needle });
+        }
+        if self.peek_kw("count") {
+            self.eat_kw("count");
+            self.ws();
+            self.expect("(")?;
+            self.ws();
+            let path = self.parse_cond_path()?;
+            self.ws();
+            self.expect(")")?;
+            self.ws();
+            let op = if self.eat("!=") {
+                CmpOp::Ne
+            } else if self.eat("<=") {
+                CmpOp::Le
+            } else if self.eat(">=") {
+                CmpOp::Ge
+            } else if self.eat("=") {
+                CmpOp::Eq
+            } else if self.eat("<") {
+                CmpOp::Lt
+            } else if self.eat(">") {
+                CmpOp::Gt
+            } else {
+                return Err(self.err("expected a comparison operator after count(…)"));
+            };
+            self.ws();
+            let n = self
+                .parse_number()?
+                .parse::<u64>()
+                .map_err(|_| self.err("count(…) compares against a non-negative integer"))?;
+            return Ok(Cond::CountCmp { path, op, n });
+        }
+        if self.peek_kw("exists") {
+            self.eat_kw("exists");
+            self.ws();
+            self.expect("(")?;
+            self.ws();
+            let p = self.parse_cond_path()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(Cond::Exists(p));
+        }
+        if self.peek() == Some('(') {
+            self.bump();
+            let c = self.parse_cond()?;
+            self.ws();
+            self.expect(")")?;
+            return Ok(c);
+        }
+        // A comparison.
+        let lhs = self.parse_cond_path()?;
+        self.ws();
+        let op = if self.eat("!=") {
+            CmpOp::Ne
+        } else if self.eat("<=") {
+            CmpOp::Le
+        } else if self.eat(">=") {
+            CmpOp::Ge
+        } else if self.eat("=") {
+            CmpOp::Eq
+        } else if self.eat("<") {
+            CmpOp::Lt
+        } else if self.eat(">") {
+            CmpOp::Gt
+        } else {
+            return Err(self.err("expected a comparison operator"));
+        };
+        self.ws();
+        let rhs = if self.peek() == Some('"') {
+            Operand::Literal(self.parse_string()?)
+        } else if matches!(self.peek(), Some(c) if c.is_ascii_digit() || c == '-') {
+            Operand::Literal(self.parse_number()?)
+        } else {
+            Operand::Path(self.parse_cond_path()?)
+        };
+        Ok(Cond::Cmp { lhs, op, rhs })
+    }
+
+    /// A path in condition position: absolute (`$…`, `doc(…)`) or relative
+    /// (starts with a test, resolved against the predicate's context node).
+    fn parse_cond_path(&mut self) -> QueryResult<Path> {
+        match self.peek() {
+            Some('$') => self.parse_path(),
+            Some(_) if self.peek_kw("doc") => self.parse_path(),
+            Some(c) if c.is_alphabetic() || c == '_' || c == '@' || c == '*' => {
+                self.parse_rel_path()
+            }
+            _ => Err(self.err("expected a path")),
+        }
+    }
+
+    fn parse_number(&mut self) -> QueryResult<String> {
+        let start = self.pos;
+        if self.peek() == Some('-') {
+            self.bump();
+        }
+        let mut saw = false;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            saw = true;
+            self.bump();
+        }
+        if self.peek() == Some('.') {
+            self.bump();
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.bump();
+            }
+        }
+        if !saw {
+            return Err(self.err("expected a number"));
+        }
+        Ok(self.src[start..self.pos].to_string())
+    }
+
+    // --- templates -------------------------------------------------------
+
+    fn parse_template(&mut self) -> QueryResult<Template> {
+        self.ws();
+        match self.peek() {
+            Some('<') => self.parse_template_element(),
+            Some('{') => self.parse_splice(),
+            _ => Err(self.err("expected `<element>` or `{path}` after `return`")),
+        }
+    }
+
+    fn parse_splice(&mut self) -> QueryResult<Template> {
+        self.expect("{")?;
+        self.ws();
+        let p = self.parse_path()?;
+        self.ws();
+        self.expect("}")?;
+        Ok(Template::Splice(p))
+    }
+
+    fn parse_template_element(&mut self) -> QueryResult<Template> {
+        self.expect("<")?;
+        let label = self.parse_name()?;
+        let mut attrs = Vec::new();
+        loop {
+            self.ws();
+            match self.peek() {
+                Some('/') => {
+                    self.expect("/>")?;
+                    return Ok(Template::Element {
+                        label,
+                        attrs,
+                        children: vec![],
+                    });
+                }
+                Some('>') => {
+                    self.bump();
+                    break;
+                }
+                Some(c) if c.is_alphabetic() || c == '_' => {
+                    let aname = self.parse_name()?;
+                    self.ws();
+                    self.expect("=")?;
+                    self.ws();
+                    attrs.push((aname, self.parse_attr_template()?));
+                }
+                _ => return Err(self.err("malformed template tag")),
+            }
+        }
+        // children until </label>
+        let mut children = Vec::new();
+        loop {
+            if self.rest().starts_with("</") {
+                self.pos += 2;
+                let close = self.parse_name()?;
+                if close != label {
+                    return Err(self.err(format!(
+                        "mismatched template tag: `{label}` closed by `{close}`"
+                    )));
+                }
+                self.ws();
+                self.expect(">")?;
+                return Ok(Template::Element {
+                    label,
+                    attrs,
+                    children,
+                });
+            }
+            match self.peek() {
+                Some('<') => children.push(self.parse_template_element()?),
+                Some('{') if self.rest().starts_with("{{") => {
+                    children.push(self.parse_template_text()?)
+                }
+                Some('{') => children.push(self.parse_splice()?),
+                Some(_) => children.push(self.parse_template_text()?),
+                None => return Err(self.err(format!("unterminated template `<{label}>`"))),
+            }
+        }
+    }
+
+    fn parse_attr_template(&mut self) -> QueryResult<AttrTemplate> {
+        self.expect("\"")?;
+        if self.peek() == Some('{') {
+            self.bump();
+            self.ws();
+            let p = self.parse_path()?;
+            self.ws();
+            self.expect("}")?;
+            self.expect("\"")?;
+            return Ok(AttrTemplate::Splice(p));
+        }
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some('"') => return Ok(AttrTemplate::Literal(out)),
+                Some('\\') => match self.bump() {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some(c) => return Err(self.err(format!("bad escape `\\{c}`"))),
+                    None => return Err(self.err("unterminated attribute")),
+                },
+                Some(c) => out.push(c),
+                None => return Err(self.err("unterminated attribute")),
+            }
+        }
+    }
+
+    fn parse_template_text(&mut self) -> QueryResult<Template> {
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None | Some('<') => break,
+                Some('{') if self.rest().starts_with("{{") => {
+                    self.pos += 2;
+                    out.push('{');
+                }
+                Some('}') if self.rest().starts_with("}}") => {
+                    self.pos += 2;
+                    out.push('}');
+                }
+                Some('{') | Some('}') => break,
+                Some('&') => {
+                    if self.eat("&lt;") {
+                        out.push('<');
+                    } else if self.eat("&amp;") {
+                        out.push('&');
+                    } else if self.eat("&gt;") {
+                        out.push('>');
+                    } else {
+                        return Err(self.err("bad entity in template text"));
+                    }
+                }
+                Some(_) => {
+                    let c = self.bump().expect("peeked");
+                    out.push(c);
+                }
+            }
+        }
+        Ok(Template::Text(out))
+    }
+}
+
+pub use crate::ast::REL_VAR;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bare_path() {
+        let q = parse_query("$0//pkg/@name").unwrap();
+        match q {
+            QueryBody::Bare(p) => assert_eq!(p.to_string(), "$0//pkg/@name"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn doc_path() {
+        let p = parse_path(r#"doc("catalog")/pkg"#).unwrap();
+        assert_eq!(p.start, PathStart::Doc("catalog".into()));
+        assert_eq!(p.to_string(), r#"doc("catalog")/pkg"#);
+    }
+
+    #[test]
+    fn full_flwr() {
+        let src = r#"for $p in $0//pkg where $p/@name = "vim" and exists($p/deps) return <hit v="{$p/version}">{$p/deps}</hit>"#;
+        let q = parse_query(src).unwrap();
+        match &q {
+            QueryBody::Flwr { clauses, .. } => assert_eq!(clauses.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_display() {
+        let srcs = [
+            r#"for $p in $0//pkg where $p/@name = "vim" return {$p}"#,
+            r#"for $a in $0/x for $b in $1//y where $a/k = $b/k return <j>{$a}{$b}</j>"#,
+            r#"let $v := $0//version where $v/text() != "0" return <out>{$v}</out>"#,
+            "$0//pkg",
+            r#"for $x in doc("d")/item where contains($x/@id, "a-b") or not(exists($x/old)) return <r/>"#,
+            r#"$0//pkg[version = "9.1"][@name != "x"]/deps[exists(dep)]"#,
+            r#"for $x in $0//pkg[deps/dep = "glibc"] return <r a="{$x/@name}"/>"#,
+        ];
+        for src in srcs {
+            let q1 = parse_query(src).unwrap();
+            let rendered = q1.to_string();
+            let q2 = parse_query(&rendered)
+                .unwrap_or_else(|e| panic!("reparse of `{rendered}` failed: {e}"));
+            assert_eq!(q1, q2, "{src}");
+        }
+    }
+
+    #[test]
+    fn relative_paths_in_predicates() {
+        let p = parse_path(r#"$0//pkg[version = "9.1"][@name != "x"]"#).unwrap();
+        let step = &p.steps[0];
+        assert_eq!(step.preds.len(), 2);
+        match &step.preds[0] {
+            Cond::Cmp { lhs, .. } => {
+                assert_eq!(lhs.start, PathStart::Var(REL_VAR.to_string()));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn numbers_as_literals() {
+        let q = parse_query(r#"for $x in $0//v where $x/text() >= 2.5 return {$x}"#).unwrap();
+        match q {
+            QueryBody::Flwr { clauses, .. } => match &clauses[1] {
+                Clause::Where(Cond::Cmp { rhs, .. }) => {
+                    assert_eq!(rhs, &Operand::Literal("2.5".into()));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn template_text_and_escapes() {
+        let q = parse_query(
+            r#"for $x in $0/a return <out>literal {{braces}} &lt;tag&gt; &amp; {$x}</out>"#,
+        )
+        .unwrap();
+        match q {
+            QueryBody::Flwr { ret, .. } => {
+                let rendered = ret.to_string();
+                let reparsed = parse_query(&format!("for $x in $0/a return {rendered}")).unwrap();
+                match reparsed {
+                    QueryBody::Flwr { ret: r2, .. } => assert_eq!(ret, r2),
+                    _ => unreachable!(),
+                }
+                match &ret {
+                    Template::Element { children, .. } => {
+                        assert!(matches!(&children[0], Template::Text(t)
+                            if t == "literal {braces} <tag> & "));
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_step_vs_text_element() {
+        let p1 = parse_path("$x/text()").unwrap();
+        assert_eq!(p1.steps[0].test, NodeTest::Text);
+        let p2 = parse_path("$x/text").unwrap();
+        assert_eq!(p2.steps[0].test, NodeTest::Label("text".into()));
+    }
+
+    #[test]
+    fn wildcard_and_attr_tests() {
+        let p = parse_path("$x/*/@id").unwrap();
+        assert_eq!(p.steps[0].test, NodeTest::Wildcard);
+        assert_eq!(p.steps[1].test, NodeTest::Attr("id".into()));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse_query("").is_err());
+        assert!(parse_query("for $x in").is_err());
+        assert!(parse_query("for $x in $0 return").is_err());
+        assert!(parse_query("return <a/>").is_err());
+        assert!(parse_query("for $1 in $0 return <a/>").is_err());
+        assert!(parse_query(r#"for $x in $0 where $x = return <a/>"#).is_err());
+        assert!(parse_query("for $x in $0 return <a></b>").is_err());
+        assert!(parse_query("for $x in $0 return <a>").is_err());
+        assert!(parse_query("$0//pkg extra").is_err());
+        assert!(parse_query(r#"for $x in $0 where $x < "y"#).is_err());
+        assert!(parse_path("doc(unquoted)").is_err());
+    }
+
+    #[test]
+    fn let_clause() {
+        let q = parse_query(r#"let $all := $0//pkg where exists($all) return <n>{$all}</n>"#)
+            .unwrap();
+        match q {
+            QueryBody::Flwr { clauses, .. } => {
+                assert!(matches!(&clauses[0], Clause::Let { var, .. } if var == "all"));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_parens_and_precedence() {
+        // and binds tighter than or
+        let q = parse_query(
+            r#"for $x in $0 where $x/a = "1" or $x/b = "2" and $x/c = "3" return <r/>"#,
+        )
+        .unwrap();
+        match q {
+            QueryBody::Flwr { clauses, .. } => match &clauses[1] {
+                Clause::Where(Cond::Or(_, rhs)) => {
+                    assert!(matches!(**rhs, Cond::And(_, _)));
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,568 @@
+//! The logical algebra: query plans.
+//!
+//! A [`Plan`] is a chain of operators feeding a construction template:
+//!
+//! ```text
+//! Construct(template)
+//!   └─ Filter(pred)            (0..n of these, in any position)
+//!        └─ ForEach($x ← path) (one per `for` clause)
+//!             └─ Unit
+//! ```
+//!
+//! Operators consume and produce *binding tuples* (assignments of variables
+//! to nodes/atoms/sequences). `Unit` emits the single empty tuple; each
+//! `ForEach` flat-maps a path over its input tuples; `Construct` turns each
+//! surviving tuple into one (or more, for bare splices) result trees.
+//!
+//! Plans are plain data with structural equality — the rewrite rules of
+//! [`crate::rewrite`] and the distributed optimizer of `axml-core`
+//! manipulate them directly, DataFusion-style.
+
+use crate::ast::{Axis, CmpOp};
+use axml_xml::ids::DocName;
+use axml_xml::label::Label;
+use std::fmt;
+
+/// Index of a variable slot in the binding tuple.
+pub type VarId = usize;
+
+/// An external input of the plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SourceRef {
+    /// The `i`-th query parameter (a forest).
+    Param(usize),
+    /// A named document, resolved at evaluation time.
+    Doc(DocName),
+}
+
+/// Where a compiled path starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StartRef {
+    /// An external source.
+    Source(SourceRef),
+    /// A bound variable.
+    Var(VarId),
+    /// The context node of the enclosing predicate.
+    Context,
+}
+
+/// Compiled node test.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanTest {
+    /// Element with this label.
+    Label(Label),
+    /// Any element.
+    Wildcard,
+    /// String value (terminal).
+    Text,
+    /// Attribute value (terminal).
+    Attr(Label),
+}
+
+/// One compiled path step.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlanStep {
+    /// Axis.
+    pub axis: Axis,
+    /// Test.
+    pub test: PlanTest,
+    /// Predicates (context = the candidate node).
+    pub preds: Vec<PredPlan>,
+}
+
+/// A compiled path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathPlan {
+    /// Start.
+    pub start: StartRef,
+    /// Steps.
+    pub steps: Vec<PlanStep>,
+}
+
+impl PathPlan {
+    /// A path that just references a variable.
+    pub fn var(v: VarId) -> Self {
+        PathPlan {
+            start: StartRef::Var(v),
+            steps: Vec::new(),
+        }
+    }
+
+    /// A path that scans a parameter's forest roots.
+    pub fn param(i: usize) -> Self {
+        PathPlan {
+            start: StartRef::Source(SourceRef::Param(i)),
+            steps: Vec::new(),
+        }
+    }
+
+    /// Does any part of this path (including nested predicates) reference
+    /// the given parameter?
+    pub fn references_param(&self, i: usize) -> bool {
+        if self.start == StartRef::Source(SourceRef::Param(i)) {
+            return true;
+        }
+        self.steps
+            .iter()
+            .any(|s| s.preds.iter().any(|p| p.references_param(i)))
+    }
+
+    /// Does this path (including nested predicates) reference variable `v`?
+    pub fn references_var(&self, v: VarId) -> bool {
+        if self.start == StartRef::Var(v) {
+            return true;
+        }
+        self.steps
+            .iter()
+            .any(|s| s.preds.iter().any(|p| p.references_var(v)))
+    }
+}
+
+/// Compiled comparison operand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OperandPlan {
+    /// Literal string.
+    Literal(String),
+    /// Path.
+    Path(PathPlan),
+}
+
+/// Compiled boolean predicate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PredPlan {
+    /// Conjunction.
+    And(Box<PredPlan>, Box<PredPlan>),
+    /// Disjunction.
+    Or(Box<PredPlan>, Box<PredPlan>),
+    /// Negation.
+    Not(Box<PredPlan>),
+    /// Existential comparison.
+    Cmp {
+        /// Left path.
+        lhs: PathPlan,
+        /// Operator.
+        op: CmpOp,
+        /// Right operand.
+        rhs: OperandPlan,
+    },
+    /// Substring test.
+    Contains {
+        /// Haystack path.
+        path: PathPlan,
+        /// Needle.
+        needle: String,
+    },
+    /// Non-emptiness test.
+    Exists(PathPlan),
+    /// Cardinality comparison: `count(path) op n`.
+    CountCmp {
+        /// Counted path.
+        path: PathPlan,
+        /// Operator.
+        op: CmpOp,
+        /// Bound.
+        n: u64,
+    },
+}
+
+impl PredPlan {
+    fn paths(&self, f: &mut impl FnMut(&PathPlan)) {
+        match self {
+            PredPlan::And(a, b) | PredPlan::Or(a, b) => {
+                a.paths(f);
+                b.paths(f);
+            }
+            PredPlan::Not(c) => c.paths(f),
+            PredPlan::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                if let OperandPlan::Path(p) = rhs {
+                    f(p);
+                }
+            }
+            PredPlan::Contains { path, .. } => f(path),
+            PredPlan::Exists(p) => f(p),
+            PredPlan::CountCmp { path, .. } => f(path),
+        }
+    }
+
+    /// Does the predicate reference parameter `i` anywhere?
+    pub fn references_param(&self, i: usize) -> bool {
+        let mut found = false;
+        self.paths(&mut |p| found |= p.references_param(i));
+        found
+    }
+
+    /// Does the predicate reference variable `v` anywhere?
+    pub fn references_var(&self, v: VarId) -> bool {
+        let mut found = false;
+        self.paths(&mut |p| found |= p.references_var(v));
+        found
+    }
+
+    /// Variables referenced, in no particular order.
+    pub fn referenced_vars(&self) -> Vec<VarId> {
+        let mut vars = Vec::new();
+        self.paths(&mut |p| {
+            if let StartRef::Var(v) = p.start {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        });
+        vars
+    }
+}
+
+/// Compiled construction template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TemplatePlan {
+    /// An element with attribute and child templates.
+    Element {
+        /// Label.
+        label: Label,
+        /// Attributes.
+        attrs: Vec<(Label, AttrTplPlan)>,
+        /// Children.
+        children: Vec<TemplatePlan>,
+    },
+    /// Literal text.
+    Text(String),
+    /// Copy every node/atom the path yields.
+    Splice(PathPlan),
+}
+
+impl TemplatePlan {
+    fn paths(&self, f: &mut impl FnMut(&PathPlan)) {
+        match self {
+            TemplatePlan::Element {
+                attrs, children, ..
+            } => {
+                for (_, a) in attrs {
+                    if let AttrTplPlan::Splice(p) = a {
+                        f(p);
+                    }
+                }
+                for c in children {
+                    c.paths(f);
+                }
+            }
+            TemplatePlan::Text(_) => {}
+            TemplatePlan::Splice(p) => f(p),
+        }
+    }
+
+    /// Variables referenced by the template.
+    pub fn referenced_vars(&self) -> Vec<VarId> {
+        let mut vars = Vec::new();
+        self.paths(&mut |p| {
+            if let StartRef::Var(v) = p.start {
+                if !vars.contains(&v) {
+                    vars.push(v);
+                }
+            }
+        });
+        vars
+    }
+
+    /// Does the template reference parameter `i`?
+    pub fn references_param(&self, i: usize) -> bool {
+        let mut found = false;
+        self.paths(&mut |p| found |= p.references_param(i));
+        found
+    }
+}
+
+/// Compiled attribute template.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttrTplPlan {
+    /// Literal value.
+    Literal(String),
+    /// Space-joined atomization of a path.
+    Splice(PathPlan),
+}
+
+/// A plan operator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Op {
+    /// Emits one empty binding tuple.
+    Unit,
+    /// Flat-maps `path` over input tuples, binding each match to `var`.
+    ForEach {
+        /// Bound variable slot.
+        var: VarId,
+        /// Source path.
+        path: PathPlan,
+        /// Upstream operator.
+        input: Box<Op>,
+    },
+    /// Binds `var` to the whole match sequence of `path`.
+    LetBind {
+        /// Bound variable slot.
+        var: VarId,
+        /// Bound path.
+        path: PathPlan,
+        /// Upstream operator.
+        input: Box<Op>,
+    },
+    /// Keeps tuples satisfying `pred`.
+    Filter {
+        /// The predicate.
+        pred: PredPlan,
+        /// Upstream operator.
+        input: Box<Op>,
+    },
+}
+
+impl Op {
+    /// Upstream operator, if any.
+    pub fn input(&self) -> Option<&Op> {
+        match self {
+            Op::Unit => None,
+            Op::ForEach { input, .. } | Op::LetBind { input, .. } | Op::Filter { input, .. } => {
+                Some(input)
+            }
+        }
+    }
+
+    /// Depth of the operator chain (Unit = 1).
+    pub fn chain_len(&self) -> usize {
+        1 + self.input().map_or(0, Op::chain_len)
+    }
+
+    /// Visit every path in this operator chain (not templates).
+    pub fn for_each_path(&self, f: &mut impl FnMut(&PathPlan)) {
+        match self {
+            Op::Unit => {}
+            Op::ForEach { path, input, .. } | Op::LetBind { path, input, .. } => {
+                f(path);
+                path.steps
+                    .iter()
+                    .for_each(|s| s.preds.iter().for_each(|p| p.paths(f)));
+                input.for_each_path(f);
+            }
+            Op::Filter { pred, input } => {
+                pred.paths(f);
+                input.for_each_path(f);
+            }
+        }
+    }
+}
+
+/// A complete compiled query plan.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Plan {
+    /// Number of input parameters (`$0 … $arity-1`).
+    pub arity: usize,
+    /// Number of variable slots used by the operator chain.
+    pub n_vars: usize,
+    /// The binding-producing chain.
+    pub ops: Op,
+    /// The output template.
+    pub template: TemplatePlan,
+}
+
+impl Plan {
+    /// How many `ForEach`/`LetBind` operators scan parameter `i` directly
+    /// (their path *starts* at the parameter).
+    pub fn scans_of_param(&self, i: usize) -> usize {
+        let mut n = 0;
+        let mut cur = Some(&self.ops);
+        while let Some(op) = cur {
+            if let Op::ForEach { path, .. } | Op::LetBind { path, .. } = op {
+                if path.start == StartRef::Source(SourceRef::Param(i)) {
+                    n += 1;
+                }
+            }
+            cur = op.input();
+        }
+        n
+    }
+
+    /// Does the plan reference parameter `i` anywhere at all (scan,
+    /// predicate or template)?
+    pub fn references_param(&self, i: usize) -> bool {
+        let mut found = self.template.references_param(i);
+        self.ops.for_each_path(&mut |p| found |= p.references_param(i));
+        found
+    }
+}
+
+// ------------------------------------------------------------------
+// Display (EXPLAIN output)
+// ------------------------------------------------------------------
+
+impl fmt::Display for StartRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartRef::Source(SourceRef::Param(i)) => write!(f, "${i}"),
+            StartRef::Source(SourceRef::Doc(d)) => write!(f, "doc({d})"),
+            StartRef::Var(v) => write!(f, "?{v}"),
+            StartRef::Context => write!(f, "."),
+        }
+    }
+}
+
+impl fmt::Display for PathPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.start)?;
+        for s in &self.steps {
+            let sep = match s.axis {
+                Axis::Child => "/",
+                Axis::Descendant => "//",
+            };
+            match &s.test {
+                PlanTest::Label(l) => write!(f, "{sep}{l}")?,
+                PlanTest::Wildcard => write!(f, "{sep}*")?,
+                PlanTest::Text => write!(f, "{sep}text()")?,
+                PlanTest::Attr(a) => write!(f, "{sep}@{a}")?,
+            }
+            for p in &s.preds {
+                write!(f, "[{p}]")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for PredPlan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PredPlan::And(a, b) => write!(f, "({a} and {b})"),
+            PredPlan::Or(a, b) => write!(f, "({a} or {b})"),
+            PredPlan::Not(c) => write!(f, "not({c})"),
+            PredPlan::Cmp { lhs, op, rhs } => match rhs {
+                OperandPlan::Literal(l) => write!(f, "{lhs} {} \"{l}\"", op.symbol()),
+                OperandPlan::Path(p) => write!(f, "{lhs} {} {p}", op.symbol()),
+            },
+            PredPlan::Contains { path, needle } => write!(f, "contains({path}, \"{needle}\")"),
+            PredPlan::Exists(p) => write!(f, "exists({p})"),
+            PredPlan::CountCmp { path, op, n } => {
+                write!(f, "count({path}) {} {n}", op.symbol())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Construct")?;
+        let mut cur = Some(&self.ops);
+        let mut depth = 1;
+        while let Some(op) = cur {
+            let pad = "  ".repeat(depth);
+            match op {
+                Op::Unit => writeln!(f, "{pad}Unit")?,
+                Op::ForEach { var, path, .. } => writeln!(f, "{pad}ForEach ?{var} ← {path}")?,
+                Op::LetBind { var, path, .. } => writeln!(f, "{pad}Let ?{var} := {path}")?,
+                Op::Filter { pred, .. } => writeln!(f, "{pad}Filter {pred}")?,
+            }
+            cur = op.input();
+            depth += 1;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_plan() -> Plan {
+        // for ?0 in $0//pkg where ?0/@name = "vim" return <hit>{?0}</hit>
+        let scan = Op::ForEach {
+            var: 0,
+            path: PathPlan {
+                start: StartRef::Source(SourceRef::Param(0)),
+                steps: vec![PlanStep {
+                    axis: Axis::Descendant,
+                    test: PlanTest::Label(Label::new("pkg")),
+                    preds: vec![],
+                }],
+            },
+            input: Box::new(Op::Unit),
+        };
+        let filt = Op::Filter {
+            pred: PredPlan::Cmp {
+                lhs: PathPlan {
+                    start: StartRef::Var(0),
+                    steps: vec![PlanStep {
+                        axis: Axis::Child,
+                        test: PlanTest::Attr(Label::new("name")),
+                        preds: vec![],
+                    }],
+                },
+                op: CmpOp::Eq,
+                rhs: OperandPlan::Literal("vim".into()),
+            },
+            input: Box::new(scan),
+        };
+        Plan {
+            arity: 1,
+            n_vars: 1,
+            ops: filt,
+            template: TemplatePlan::Element {
+                label: Label::new("hit"),
+                attrs: vec![],
+                children: vec![TemplatePlan::Splice(PathPlan::var(0))],
+            },
+        }
+    }
+
+    #[test]
+    fn structure_queries() {
+        let p = sample_plan();
+        assert_eq!(p.scans_of_param(0), 1);
+        assert_eq!(p.scans_of_param(1), 0);
+        assert!(p.references_param(0));
+        assert!(!p.references_param(1));
+        assert_eq!(p.ops.chain_len(), 3);
+    }
+
+    #[test]
+    fn references() {
+        let p = sample_plan();
+        if let Op::Filter { pred, .. } = &p.ops {
+            assert!(pred.references_var(0));
+            assert!(!pred.references_var(1));
+            assert_eq!(pred.referenced_vars(), vec![0]);
+            assert!(!pred.references_param(0));
+        } else {
+            panic!("expected filter on top");
+        }
+        assert_eq!(p.template.referenced_vars(), vec![0]);
+    }
+
+    #[test]
+    fn display_explains() {
+        let p = sample_plan();
+        let s = p.to_string();
+        assert!(s.contains("Construct"), "{s}");
+        assert!(s.contains("Filter ?0/@name = \"vim\""), "{s}");
+        assert!(s.contains("ForEach ?0 ← $0//pkg"), "{s}");
+        assert!(s.contains("Unit"), "{s}");
+    }
+
+    #[test]
+    fn plan_equality_is_structural() {
+        assert_eq!(sample_plan(), sample_plan());
+        let mut other = sample_plan();
+        other.template = TemplatePlan::Text("x".into());
+        assert_ne!(sample_plan(), other);
+    }
+
+    #[test]
+    fn path_reference_helpers() {
+        let p = PathPlan {
+            start: StartRef::Var(2),
+            steps: vec![PlanStep {
+                axis: Axis::Child,
+                test: PlanTest::Wildcard,
+                preds: vec![PredPlan::Exists(PathPlan::param(3))],
+            }],
+        };
+        assert!(p.references_var(2));
+        assert!(!p.references_var(0));
+        assert!(p.references_param(3));
+        assert!(!p.references_param(0));
+    }
+}

@@ -1,0 +1,491 @@
+//! The top-level [`Query`] object: a named, declaratively-defined,
+//! shippable query.
+//!
+//! §2.2: declarative services are implemented by *"declarative XML query
+//! statements, possibly parameterized"* whose definitions are **visible to
+//! other peers**. A [`Query`] therefore carries its own definition and can
+//! be serialized to an XML tree ([`Query::to_xml`]) — this is what crosses
+//! the wire when the algebra ships code (`send(p2, q@p1)`, definition (8)).
+//!
+//! A query is either a *leaf* (parsed source + compiled plan) or a
+//! *composition* `q1(q2, …, qn)` (§3.3, rule (11)): the inner queries all
+//! consume the composition's inputs, and the outer query consumes their
+//! results.
+
+use crate::ast::QueryBody;
+use crate::delta::ContinuousEval;
+use crate::error::{QueryError, QueryResult};
+use crate::eval::{DocResolver, Forest, NoDocs};
+use crate::lower::lower;
+use crate::parser::parse_query;
+use crate::plan::Plan;
+use crate::rewrite;
+use axml_xml::ids::QueryName;
+use axml_xml::tree::Tree;
+use std::fmt;
+use std::sync::Arc;
+
+/// A named query: the unit the algebra ships, delegates and composes.
+#[derive(Clone)]
+pub struct Query {
+    name: QueryName,
+    arity: usize,
+    kind: Arc<QueryKind>,
+}
+
+#[allow(clippy::large_enum_variant)] // Leaf is by far the common case
+enum QueryKind {
+    Leaf {
+        source: String,
+        #[allow(dead_code)]
+        body: QueryBody,
+        plan: Plan,
+    },
+    Composed {
+        outer: Query,
+        inners: Vec<Query>,
+    },
+}
+
+impl Query {
+    /// Parse a query from source text. The arity is the number of
+    /// parameters actually referenced (`$0 … $N`).
+    pub fn parse(name: impl Into<QueryName>, src: &str) -> QueryResult<Self> {
+        Self::parse_with_arity(name, src, 0)
+    }
+
+    /// Parse with a minimum arity (for services whose signature declares
+    /// more parameters than the body reads).
+    pub fn parse_with_arity(
+        name: impl Into<QueryName>,
+        src: &str,
+        min_arity: usize,
+    ) -> QueryResult<Self> {
+        let body = parse_query(src)?;
+        let plan = lower(&body, min_arity)?;
+        Ok(Query {
+            name: name.into(),
+            arity: plan.arity,
+            kind: Arc::new(QueryKind::Leaf {
+                source: src.to_string(),
+                body,
+                plan,
+            }),
+        })
+    }
+
+    /// Build a query directly from a plan (used by rewrites). The source
+    /// text is regenerated best-effort for display.
+    pub fn from_plan(name: impl Into<QueryName>, plan: Plan) -> Self {
+        Query {
+            name: name.into(),
+            arity: plan.arity,
+            kind: Arc::new(QueryKind::Leaf {
+                source: format!("<compiled>\n{plan}"),
+                body: QueryBody::Bare(crate::ast::Path::start_only(
+                    crate::ast::PathStart::Param(0),
+                )),
+                plan,
+            }),
+        }
+    }
+
+    /// Compose `outer(inners…)` — rule (11). The outer query's arity must
+    /// equal the number of inner queries; all inner queries must agree on
+    /// their own arity, which becomes the composition's arity.
+    pub fn compose(
+        name: impl Into<QueryName>,
+        outer: Query,
+        inners: Vec<Query>,
+    ) -> QueryResult<Self> {
+        if outer.arity() != inners.len() {
+            return Err(QueryError::ArityMismatch {
+                expected: outer.arity(),
+                got: inners.len(),
+            });
+        }
+        let arity = inners.iter().map(Query::arity).max().unwrap_or(0);
+        Ok(Query {
+            name: name.into(),
+            arity,
+            kind: Arc::new(QueryKind::Composed { outer, inners }),
+        })
+    }
+
+    /// The query's name.
+    pub fn name(&self) -> &QueryName {
+        &self.name
+    }
+
+    /// Number of input parameters.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// Is this a composition?
+    pub fn is_composed(&self) -> bool {
+        matches!(&*self.kind, QueryKind::Composed { .. })
+    }
+
+    /// The compiled plan of a leaf query.
+    pub fn plan(&self) -> Option<&Plan> {
+        match &*self.kind {
+            QueryKind::Leaf { plan, .. } => Some(plan),
+            QueryKind::Composed { .. } => None,
+        }
+    }
+
+    /// The outer/inner structure of a composition.
+    pub fn composition(&self) -> Option<(&Query, &[Query])> {
+        match &*self.kind {
+            QueryKind::Composed { outer, inners } => Some((outer, inners)),
+            QueryKind::Leaf { .. } => None,
+        }
+    }
+
+    /// Names of all `doc("…")` sources the query reads, across leaves and
+    /// compositions — the documents whose changes can change the query's
+    /// answer (used by the continuous-service trigger logic).
+    pub fn doc_dependencies(&self) -> Vec<axml_xml::ids::DocName> {
+        use crate::plan::{SourceRef, StartRef};
+        let mut out: Vec<axml_xml::ids::DocName> = Vec::new();
+        let mut add_from_plan = |plan: &Plan| {
+            let mut record = |p: &crate::plan::PathPlan| {
+                if let StartRef::Source(SourceRef::Doc(d)) = &p.start {
+                    if !out.contains(d) {
+                        out.push(d.clone());
+                    }
+                }
+            };
+            plan.ops.for_each_path(&mut record);
+            let mut probe = plan.clone();
+            crate::rewrite::map_paths(&mut probe, &mut |p| record(p));
+        };
+        match &*self.kind {
+            QueryKind::Leaf { plan, .. } => add_from_plan(plan),
+            QueryKind::Composed { outer, inners } => {
+                for d in outer.doc_dependencies() {
+                    if !out.contains(&d) {
+                        out.push(d);
+                    }
+                }
+                for q in inners {
+                    for d in q.doc_dependencies() {
+                        if !out.contains(&d) {
+                            out.push(d);
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// The source text of a leaf query.
+    pub fn source(&self) -> Option<&str> {
+        match &*self.kind {
+            QueryKind::Leaf { source, .. } => Some(source),
+            QueryKind::Composed { .. } => None,
+        }
+    }
+
+    /// Evaluate over input forests with no external documents.
+    pub fn eval_batch(&self, inputs: &[Forest]) -> QueryResult<Vec<Tree>> {
+        self.eval_with_docs(inputs, &NoDocs)
+    }
+
+    /// Evaluate over input forests, resolving `doc(…)` via `docs`.
+    pub fn eval_with_docs(
+        &self,
+        inputs: &[Forest],
+        docs: &dyn DocResolver,
+    ) -> QueryResult<Vec<Tree>> {
+        match &*self.kind {
+            QueryKind::Leaf { plan, .. } => plan.eval(inputs, docs),
+            QueryKind::Composed { outer, inners } => {
+                let mid: Vec<Forest> = inners
+                    .iter()
+                    .map(|q| q.eval_with_docs(inputs, docs))
+                    .collect::<QueryResult<_>>()?;
+                outer.eval_with_docs(&mid, docs)
+            }
+        }
+    }
+
+    /// Start a continuous (incremental) evaluation of a **leaf** query.
+    pub fn continuous<'d>(&self, docs: &'d dyn DocResolver) -> QueryResult<ContinuousEval<'d>> {
+        match &*self.kind {
+            QueryKind::Leaf { plan, .. } => Ok(ContinuousEval::new(plan.clone(), docs)),
+            QueryKind::Composed { .. } => Err(QueryError::NotApplicable(
+                "continuous evaluation of compositions: evaluate stage by stage".into(),
+            )),
+        }
+    }
+
+    /// Example 1 — decompose into `(outer, pushed)` with
+    /// `self ≡ outer ∘ pushed`, where `pushed` carries the selections.
+    pub fn decompose_selection(&self) -> Option<(Query, Query)> {
+        let plan = self.plan()?;
+        let (outer, pushed) = rewrite::decompose_selection(plan)?;
+        Some((
+            Query::from_plan(format!("{}·outer", self.name).as_str(), outer),
+            Query::from_plan(format!("{}·pushed", self.name).as_str(), pushed),
+        ))
+    }
+
+    /// Local optimization: fold a `where` clause into a path predicate.
+    pub fn push_filter_into_path(&self) -> Option<Query> {
+        let plan = self.plan()?;
+        let folded = rewrite::push_filter_into_path(plan)?;
+        Some(Query::from_plan(self.name.as_str(), folded))
+    }
+
+    // ---------------- wire format -------------------------------------
+
+    /// Serialize the query (definition included) as an XML tree — §3.1:
+    /// *"An expression can be viewed (serialized) as an XML tree."*
+    pub fn to_xml(&self) -> Tree {
+        let mut t = Tree::new("query");
+        let root = t.root();
+        self.write_xml(&mut t, root);
+        t
+    }
+
+    fn write_xml(&self, t: &mut Tree, at: axml_xml::tree::NodeId) {
+        t.set_attr(at, "name", self.name.as_str())
+            .expect("query elements are elements");
+        t.set_attr(at, "arity", self.arity.to_string())
+            .expect("query elements are elements");
+        match &*self.kind {
+            QueryKind::Leaf { source, .. } => {
+                t.add_text_element(at, "source", source.clone());
+            }
+            QueryKind::Composed { outer, inners } => {
+                let comp = t.add_element(at, "compose");
+                let o = t.add_element(comp, "query");
+                outer.write_xml(t, o);
+                for q in inners {
+                    let i = t.add_element(comp, "query");
+                    q.write_xml(t, i);
+                }
+            }
+        }
+    }
+
+    /// Rebuild a query from its XML serialization.
+    pub fn from_xml(tree: &Tree, node: axml_xml::tree::NodeId) -> QueryResult<Query> {
+        let name = tree
+            .attr(node, "name")
+            .ok_or_else(|| QueryError::Internal("query element lacks @name".into()))?
+            .to_string();
+        let arity: usize = tree
+            .attr(node, "arity")
+            .and_then(|a| a.parse().ok())
+            .ok_or_else(|| QueryError::Internal("query element lacks @arity".into()))?;
+        if let Some(src_el) = tree.first_child_labeled(node, "source") {
+            let src = tree.text(src_el);
+            return Query::parse_with_arity(name.as_str(), &src, arity);
+        }
+        if let Some(comp) = tree.first_child_labeled(node, "compose") {
+            let parts: Vec<_> = tree.children_labeled(comp, "query").collect();
+            if parts.is_empty() {
+                return Err(QueryError::Internal("empty composition".into()));
+            }
+            let outer = Query::from_xml(tree, parts[0])?;
+            let inners = parts[1..]
+                .iter()
+                .map(|&n| Query::from_xml(tree, n))
+                .collect::<QueryResult<Vec<_>>>()?;
+            return Query::compose(name.as_str(), outer, inners);
+        }
+        Err(QueryError::Internal(
+            "query element has neither <source> nor <compose>".into(),
+        ))
+    }
+
+    /// Wire size of the shipped query (definition included) — what the
+    /// cost model charges for code shipping (rule (10), definition (8)).
+    pub fn wire_size(&self) -> usize {
+        self.to_xml().serialized_size()
+    }
+}
+
+impl PartialEq for Query {
+    fn eq(&self, other: &Self) -> bool {
+        if self.arity != other.arity {
+            return false;
+        }
+        match (&*self.kind, &*other.kind) {
+            (QueryKind::Leaf { plan: a, .. }, QueryKind::Leaf { plan: b, .. }) => a == b,
+            (
+                QueryKind::Composed {
+                    outer: oa,
+                    inners: ia,
+                },
+                QueryKind::Composed {
+                    outer: ob,
+                    inners: ib,
+                },
+            ) => oa == ob && ia == ib,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Query {}
+
+impl fmt::Debug for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &*self.kind {
+            QueryKind::Leaf { source, .. } => {
+                write!(f, "Query({} /{}: {source})", self.name, self.arity)
+            }
+            QueryKind::Composed { outer, inners } => {
+                write!(f, "Query({} = {:?}(", self.name, outer.name)?;
+                for (i, q) in inners.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{:?}", q.name)?;
+                }
+                write!(f, "))")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.name, self.arity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_xml::equiv::forest_equiv;
+
+    fn catalog() -> Tree {
+        Tree::parse(
+            r#"<catalog>
+                 <pkg name="vim"><size>4000</size></pkg>
+                 <pkg name="gcc"><size>90000</size></pkg>
+                 <pkg name="vi"><size>100</size></pkg>
+               </catalog>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn parse_and_eval() {
+        let q = Query::parse("big", r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#)
+            .unwrap();
+        assert_eq!(q.arity(), 1);
+        assert_eq!(q.name().as_str(), "big");
+        let out = q.eval_batch(&[vec![catalog()]]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(q.source().unwrap().contains("for $p"));
+        assert!(!q.is_composed());
+    }
+
+    #[test]
+    fn composition_evaluates_stagewise() {
+        let inner = Query::parse("sel", r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p}"#)
+            .unwrap();
+        let outer = Query::parse("fmt", "for $t in $0 return <big>{$t/@name}</big>").unwrap();
+        let q = Query::compose("pipeline", outer, vec![inner]).unwrap();
+        assert!(q.is_composed());
+        assert_eq!(q.arity(), 1);
+        let out = q.eval_batch(&[vec![catalog()]]).unwrap();
+        let rendered: Vec<_> = out.iter().map(Tree::serialize).collect();
+        assert_eq!(rendered, ["<big>vim</big>", "<big>gcc</big>"]);
+    }
+
+    #[test]
+    fn compose_checks_arity() {
+        let unary = Query::parse("u", "for $t in $0 return {$t}").unwrap();
+        let e = Query::compose("bad", unary.clone(), vec![unary.clone(), unary]).unwrap_err();
+        assert!(matches!(e, QueryError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn decompose_equivalence_rule11() {
+        let q = Query::parse(
+            "q",
+            r#"for $p in $0//pkg where $p/size/text() > 1000 return <big>{$p/@name}</big>"#,
+        )
+        .unwrap();
+        let (outer, pushed) = q.decompose_selection().unwrap();
+        let composed = Query::compose("q'", outer, vec![pushed]).unwrap();
+        let a = q.eval_batch(&[vec![catalog()]]).unwrap();
+        let b = composed.eval_batch(&[vec![catalog()]]).unwrap();
+        assert!(forest_equiv(&a, &b));
+    }
+
+    #[test]
+    fn xml_roundtrip_leaf() {
+        let q = Query::parse("lookup", r#"for $p in $0//pkg where $p/@name = "vim" return {$p}"#)
+            .unwrap();
+        let xml = q.to_xml();
+        let back = Query::from_xml(&xml, xml.root()).unwrap();
+        assert_eq!(q, back);
+        assert!(q.wire_size() > 20);
+    }
+
+    #[test]
+    fn xml_roundtrip_composed() {
+        let inner = Query::parse("i", "for $p in $0//pkg return {$p}").unwrap();
+        let outer = Query::parse("o", "for $t in $0 return <w>{$t}</w>").unwrap();
+        let q = Query::compose("c", outer, vec![inner]).unwrap();
+        let xml = q.to_xml();
+        let back = Query::from_xml(&xml, xml.root()).unwrap();
+        assert_eq!(q, back);
+        let a = q.eval_batch(&[vec![catalog()]]).unwrap();
+        let b = back.eval_batch(&[vec![catalog()]]).unwrap();
+        assert!(forest_equiv(&a, &b));
+    }
+
+    #[test]
+    fn from_xml_rejects_garbage() {
+        let t = Tree::parse("<query/>").unwrap();
+        assert!(Query::from_xml(&t, t.root()).is_err());
+        let t2 = Tree::parse(r#"<query name="q" arity="0"/>"#).unwrap();
+        assert!(Query::from_xml(&t2, t2.root()).is_err());
+    }
+
+    #[test]
+    fn continuous_from_query() {
+        let q = Query::parse("watch", "for $p in $0//pkg return {$p/@name}").unwrap();
+        let mut c = q.continuous(&NoDocs).unwrap();
+        let out = c.push(0, catalog()).unwrap();
+        assert_eq!(out.len(), 3);
+        // compositions refuse
+        let comp = Query::compose(
+            "c",
+            Query::parse("o", "for $t in $0 return {$t}").unwrap(),
+            vec![q],
+        )
+        .unwrap();
+        assert!(comp.continuous(&NoDocs).is_err());
+    }
+
+    #[test]
+    fn display_and_debug() {
+        let q = Query::parse("q", "$0//pkg").unwrap();
+        assert_eq!(q.to_string(), "q/1");
+        assert!(format!("{q:?}").contains("$0//pkg"));
+    }
+
+    #[test]
+    fn push_filter_query_api() {
+        let q = Query::parse(
+            "q",
+            r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p}"#,
+        )
+        .unwrap();
+        let folded = q.push_filter_into_path().unwrap();
+        let a = q.eval_batch(&[vec![catalog()]]).unwrap();
+        let b = folded.eval_batch(&[vec![catalog()]]).unwrap();
+        assert!(forest_equiv(&a, &b));
+    }
+}

@@ -1,0 +1,431 @@
+//! Plan rewrites: query decomposition and local optimizations.
+//!
+//! These are the query-level building blocks of the paper's §3.3:
+//!
+//! * [`decompose_selection`] produces the Example-1 shape `q ≡ q1(σ(q2))`:
+//!   a *pushed* query (scan + all selections, returning copies of the
+//!   matched elements) and an *outer* query (the construction, running
+//!   over the transferred forest). `axml-core`'s rule R11/PushSelections
+//!   combines it with query delegation (rule 10) to ship `σ(q2)` to the
+//!   data's peer and only transfer the selected subset.
+//! * [`push_filter_into_path`] folds a `where` clause into a path
+//!   predicate — a purely local simplification used as an ablation.
+//! * [`rename_var`]/[`map_paths`] are the supporting plumbing.
+
+use crate::plan::{
+    AttrTplPlan, Op, OperandPlan, PathPlan, Plan, PlanTest, PredPlan, StartRef, TemplatePlan,
+    VarId,
+};
+
+/// Apply `f` to every path in the plan (operator chain, nested predicates
+/// and template).
+pub fn map_paths(plan: &mut Plan, f: &mut impl FnMut(&mut PathPlan)) {
+    fn in_path(p: &mut PathPlan, f: &mut impl FnMut(&mut PathPlan)) {
+        // Visit nested predicate paths first, then the path itself.
+        for s in &mut p.steps {
+            for pred in &mut s.preds {
+                in_pred(pred, f);
+            }
+        }
+        f(p);
+    }
+    fn in_pred(pred: &mut PredPlan, f: &mut impl FnMut(&mut PathPlan)) {
+        match pred {
+            PredPlan::And(a, b) | PredPlan::Or(a, b) => {
+                in_pred(a, f);
+                in_pred(b, f);
+            }
+            PredPlan::Not(c) => in_pred(c, f),
+            PredPlan::Cmp { lhs, rhs, .. } => {
+                in_path(lhs, f);
+                if let OperandPlan::Path(p) = rhs {
+                    in_path(p, f);
+                }
+            }
+            PredPlan::Contains { path, .. } => in_path(path, f),
+            PredPlan::Exists(p) => in_path(p, f),
+            PredPlan::CountCmp { path, .. } => in_path(path, f),
+        }
+    }
+    fn in_tpl(t: &mut TemplatePlan, f: &mut impl FnMut(&mut PathPlan)) {
+        match t {
+            TemplatePlan::Element {
+                attrs, children, ..
+            } => {
+                for (_, a) in attrs {
+                    if let AttrTplPlan::Splice(p) = a {
+                        in_path(p, f);
+                    }
+                }
+                for c in children {
+                    in_tpl(c, f);
+                }
+            }
+            TemplatePlan::Text(_) => {}
+            TemplatePlan::Splice(p) => in_path(p, f),
+        }
+    }
+    fn in_op(op: &mut Op, f: &mut impl FnMut(&mut PathPlan)) {
+        match op {
+            Op::Unit => {}
+            Op::ForEach { path, input, .. } | Op::LetBind { path, input, .. } => {
+                in_path(path, f);
+                in_op(input, f);
+            }
+            Op::Filter { pred, input } => {
+                in_pred(pred, f);
+                in_op(input, f);
+            }
+        }
+    }
+    in_op(&mut plan.ops, f);
+    in_tpl(&mut plan.template, f);
+}
+
+/// Rename variable `from` to `to` in every path of the plan (start refs
+/// only; binding sites are the caller's responsibility).
+pub fn rename_var(plan: &mut Plan, from: VarId, to: VarId) {
+    map_paths(plan, &mut |p| {
+        if p.start == StartRef::Var(from) {
+            p.start = StartRef::Var(to);
+        }
+    });
+}
+
+/// Decompose `q` into `(outer, pushed)` such that
+/// `q(F) ≡ outer(pushed(F))` for every forest `F` — Example 1's
+/// `q ≡ q1(σ(q2))` with the selection σ kept inside `pushed`.
+///
+/// Applies when the plan is a chain of `Filter`s over a **single**
+/// `ForEach` that yields *element* nodes, and both the filters and the
+/// template reference only that variable. Returns `None` otherwise.
+///
+/// * `pushed` — same scan and filters, returning a copy of each match;
+///   same arity as `q`.
+/// * `outer` — unary: iterates the forest produced by `pushed` and runs
+///   the original construction on each tree.
+pub fn decompose_selection(q: &Plan) -> Option<(Plan, Plan)> {
+    // Walk the chain: Filters* over one ForEach over Unit.
+    let mut filters: Vec<&PredPlan> = Vec::new();
+    let mut cur = &q.ops;
+    let (var, path) = loop {
+        match cur {
+            Op::Filter { pred, input } => {
+                filters.push(pred);
+                cur = input;
+            }
+            Op::ForEach { var, path, input } => {
+                if !matches!(**input, Op::Unit) {
+                    return None; // more than one binding clause
+                }
+                break (*var, path);
+            }
+            _ => return None,
+        }
+    };
+    // The scan must produce element nodes (atoms don't survive the copy
+    // round-trip with identical shape).
+    match path.steps.last().map(|s| &s.test) {
+        None | Some(PlanTest::Label(_)) | Some(PlanTest::Wildcard) => {}
+        Some(PlanTest::Text) | Some(PlanTest::Attr(_)) => return None,
+    }
+    // Vacuous decompositions would loop. A query whose template is a bare
+    // copy of the scanned variable decomposes into itself plus an identity
+    // outer; one with no filters and no steps is already an "outer".
+    if q.template == TemplatePlan::Splice(PathPlan::var(var))
+        || (filters.is_empty() && path.steps.is_empty())
+    {
+        return None;
+    }
+    // Filters and template must depend only on `var` (no params/docs).
+    for pred in &filters {
+        let mut clean = true;
+        let mut check = |p: &PathPlan| {
+            clean &= matches!(p.start, StartRef::Var(v) if v == var)
+                || p.start == StartRef::Context;
+        };
+        // reuse map_paths on a clone to inspect
+        visit_pred_paths(pred, &mut check);
+        if !clean {
+            return None;
+        }
+    }
+    {
+        let mut clean = true;
+        let mut probe_plan = Plan {
+            arity: q.arity,
+            n_vars: q.n_vars,
+            ops: Op::Unit,
+            template: q.template.clone(),
+        };
+        map_paths(&mut probe_plan, &mut |p| {
+            clean &= matches!(p.start, StartRef::Var(v) if v == var)
+                || p.start == StartRef::Context;
+        });
+        if !clean {
+            return None;
+        }
+    }
+
+    // pushed: original scan + filters, template = copy of the match.
+    let mut ops = Op::ForEach {
+        var,
+        path: path.clone(),
+        input: Box::new(Op::Unit),
+    };
+    for pred in filters.iter().rev() {
+        ops = Op::Filter {
+            pred: (*pred).clone(),
+            input: Box::new(ops),
+        };
+    }
+    let pushed = Plan {
+        arity: q.arity,
+        n_vars: q.n_vars,
+        ops,
+        template: TemplatePlan::Splice(PathPlan::var(var)),
+    };
+
+    // outer: iterate the transferred forest, construct.
+    let mut outer = Plan {
+        arity: 1,
+        n_vars: 1,
+        ops: Op::ForEach {
+            var: 0,
+            path: PathPlan::param(0),
+            input: Box::new(Op::Unit),
+        },
+        template: q.template.clone(),
+    };
+    rename_var(&mut outer, var, 0);
+    Some((outer, pushed))
+}
+
+/// Visit every path of a predicate, including paths nested inside step
+/// predicates.
+fn visit_pred_paths(pred: &PredPlan, f: &mut impl FnMut(&PathPlan)) {
+    fn path_deep(p: &PathPlan, f: &mut impl FnMut(&PathPlan)) {
+        for s in &p.steps {
+            for pr in &s.preds {
+                visit_pred_paths(pr, f);
+            }
+        }
+        f(p);
+    }
+    match pred {
+        PredPlan::And(a, b) | PredPlan::Or(a, b) => {
+            visit_pred_paths(a, f);
+            visit_pred_paths(b, f);
+        }
+        PredPlan::Not(c) => visit_pred_paths(c, f),
+        PredPlan::Cmp { lhs, rhs, .. } => {
+            path_deep(lhs, f);
+            if let OperandPlan::Path(p) = rhs {
+                path_deep(p, f);
+            }
+        }
+        PredPlan::Contains { path, .. } => path_deep(path, f),
+        PredPlan::Exists(p) => path_deep(p, f),
+        PredPlan::CountCmp { path, .. } => path_deep(path, f),
+    }
+}
+
+/// Fold a `Filter` that sits directly above a `ForEach` into the scan
+/// path's final step predicate, when the filter only looks *downward* from
+/// the scanned variable. A purely local rewrite: the plan computes the
+/// same results with one fewer operator.
+pub fn push_filter_into_path(q: &Plan) -> Option<Plan> {
+    // Find the lowest Filter directly above the ForEach it constrains.
+    let Op::Filter { pred, input } = find_filter_over_foreach(&q.ops)? else {
+        return None;
+    };
+    let Op::ForEach { var, path, input: scan_input } = &**input else {
+        return None;
+    };
+    if path.steps.is_empty() {
+        return None; // no step to attach the predicate to
+    }
+    // Predicate must reference only `var`.
+    let mut only_var = true;
+    visit_pred_paths(pred, &mut |p| {
+        only_var &= matches!(p.start, StartRef::Var(v) if v == *var);
+    });
+    if !only_var {
+        return None;
+    }
+    // Rewrite `var`-rooted paths to context-rooted.
+    let mut rewritten = pred.clone();
+    rewrite_pred_to_context(&mut rewritten, *var);
+    let mut new_path = path.clone();
+    new_path
+        .steps
+        .last_mut()
+        .expect("steps checked non-empty")
+        .preds
+        .push(rewritten);
+    let new_scan = Op::ForEach {
+        var: *var,
+        path: new_path,
+        input: scan_input.clone(),
+    };
+    let mut out = q.clone();
+    replace_filter_over_foreach(&mut out.ops, new_scan);
+    Some(out)
+}
+
+fn find_filter_over_foreach(op: &Op) -> Option<&Op> {
+    match op {
+        Op::Filter { input, .. } if matches!(**input, Op::ForEach { .. }) => Some(op),
+        _ => op.input().and_then(find_filter_over_foreach),
+    }
+}
+
+fn replace_filter_over_foreach(op: &mut Op, replacement: Op) {
+    let is_target = matches!(op, Op::Filter { input, .. } if matches!(**input, Op::ForEach { .. }));
+    if is_target {
+        *op = replacement;
+        return;
+    }
+    match op {
+        Op::Unit => {}
+        Op::ForEach { input, .. } | Op::LetBind { input, .. } | Op::Filter { input, .. } => {
+            replace_filter_over_foreach(input, replacement)
+        }
+    }
+}
+
+fn rewrite_pred_to_context(pred: &mut PredPlan, var: VarId) {
+    let rewrite = &mut |p: &mut PathPlan| {
+        if p.start == StartRef::Var(var) {
+            p.start = StartRef::Context;
+        }
+    };
+    fn go(pred: &mut PredPlan, f: &mut impl FnMut(&mut PathPlan)) {
+        match pred {
+            PredPlan::And(a, b) | PredPlan::Or(a, b) => {
+                go(a, f);
+                go(b, f);
+            }
+            PredPlan::Not(c) => go(c, f),
+            PredPlan::Cmp { lhs, rhs, .. } => {
+                f(lhs);
+                if let OperandPlan::Path(p) = rhs {
+                    f(p);
+                }
+            }
+            PredPlan::Contains { path, .. } => f(path),
+            PredPlan::Exists(p) => f(p),
+            PredPlan::CountCmp { path, .. } => f(path),
+        }
+    }
+    go(pred, rewrite);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::NoDocs;
+    use crate::lower::lower;
+    use crate::parser::parse_query;
+    use axml_xml::equiv::forest_equiv;
+    use axml_xml::tree::Tree;
+
+    fn plan(src: &str) -> Plan {
+        lower(&parse_query(src).unwrap(), 1).unwrap()
+    }
+
+    fn catalog() -> Tree {
+        Tree::parse(
+            r#"<catalog>
+                 <pkg name="vim"><size>4000</size></pkg>
+                 <pkg name="gcc"><size>90000</size></pkg>
+                 <pkg name="vi"><size>100</size></pkg>
+               </catalog>"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn decompose_preserves_semantics() {
+        let q = plan(
+            r#"for $p in $0//pkg where $p/size/text() > 1000
+               return <big name="{$p/@name}">{$p/size}</big>"#,
+        );
+        let (outer, pushed) = decompose_selection(&q).expect("should decompose");
+        let input = vec![catalog()];
+        let direct = q.eval(std::slice::from_ref(&input), &NoDocs).unwrap();
+        let shipped = pushed.eval(&[input], &NoDocs).unwrap();
+        let composed = outer.eval(std::slice::from_ref(&shipped), &NoDocs).unwrap();
+        assert!(forest_equiv(&direct, &composed));
+        // and the pushed result is the smaller selected subset
+        assert_eq!(shipped.len(), 2);
+    }
+
+    #[test]
+    fn decompose_rejects_joins() {
+        let q = plan(r#"for $a in $0/x for $b in $0/y return <r>{$a}{$b}</r>"#);
+        assert!(decompose_selection(&q).is_none());
+    }
+
+    #[test]
+    fn decompose_rejects_atom_scans() {
+        let q = plan(r#"for $a in $0//pkg/@name return <r>{$a}</r>"#);
+        assert!(decompose_selection(&q).is_none());
+    }
+
+    #[test]
+    fn decompose_rejects_param_in_filter() {
+        let q = plan(r#"for $a in $0/x where $1/flag/text() = "on" return {$a}"#);
+        // filter mentions $1, not only the variable
+        let q2 = Plan { arity: 2, ..q };
+        assert!(decompose_selection(&q2).is_none());
+    }
+
+    #[test]
+    fn decompose_bare_scan_without_filters() {
+        let q = plan(r#"for $p in $0//pkg return <n>{$p/@name}</n>"#);
+        let (outer, pushed) = decompose_selection(&q).expect("filter-free decompose");
+        let input = vec![catalog()];
+        let direct = q.eval(std::slice::from_ref(&input), &NoDocs).unwrap();
+        let composed = outer
+            .eval(&[pushed.eval(&[input], &NoDocs).unwrap()], &NoDocs)
+            .unwrap();
+        assert!(forest_equiv(&direct, &composed));
+    }
+
+    #[test]
+    fn push_filter_folds_into_predicate() {
+        let q = plan(r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#);
+        let folded = push_filter_into_path(&q).expect("should fold");
+        assert_eq!(folded.ops.chain_len(), 2, "Filter merged away");
+        let direct = q.eval(&[vec![catalog()]], &NoDocs).unwrap();
+        let opt = folded.eval(&[vec![catalog()]], &NoDocs).unwrap();
+        assert!(forest_equiv(&direct, &opt));
+    }
+
+    #[test]
+    fn push_filter_rejects_cross_var() {
+        let q = plan(r#"for $a in $0/x for $b in $0/y where $a/k = $b/k return <r/>"#);
+        assert!(push_filter_into_path(&q).is_none());
+    }
+
+    #[test]
+    fn push_filter_rejects_stepless_scan() {
+        let q = plan(r#"for $t in $0 where $t/k/text() = "1" return {$t}"#);
+        assert!(push_filter_into_path(&q).is_none());
+    }
+
+    #[test]
+    fn rename_var_rewrites_starts() {
+        let mut q = plan(r#"for $p in $0//pkg return <n>{$p/@name}</n>"#);
+        rename_var(&mut q, 0, 7);
+        let mut seen = false;
+        map_paths(&mut q, &mut |p| {
+            if p.start == StartRef::Var(7) {
+                seen = true;
+            }
+            assert_ne!(p.start, StartRef::Var(0));
+        });
+        assert!(seen);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property tests for the query subsystem:
+//!
+//! * display ∘ parse round-trips,
+//! * continuous (delta) evaluation ≡ batch re-evaluation,
+//! * `decompose_selection` and `push_filter_into_path` preserve semantics
+//!   on random inputs — these are the query-level halves of the paper's
+//!   equivalence rules (10)/(11).
+
+use axml_query::eval::NoDocs;
+use axml_query::Query;
+use axml_xml::equiv::forest_equiv;
+use axml_xml::tree::Tree;
+use proptest::prelude::*;
+
+/// Random package catalogs: the workload family used across the repo.
+fn arb_catalog() -> impl Strategy<Value = Tree> {
+    proptest::collection::vec(
+        (
+            "[a-z]{1,6}",
+            0u32..100_000,
+            proptest::collection::vec("[a-z]{1,5}", 0..3),
+        ),
+        0..8,
+    )
+    .prop_map(|pkgs| {
+        let mut t = Tree::new("catalog");
+        let root = t.root();
+        for (name, size, deps) in pkgs {
+            let p = t.add_element(root, "pkg");
+            t.set_attr(p, "name", name).unwrap();
+            t.add_text_element(p, "size", size.to_string());
+            if !deps.is_empty() {
+                let d = t.add_element(p, "deps");
+                for dep in deps {
+                    t.add_text_element(d, "dep", dep);
+                }
+            }
+        }
+        t
+    })
+}
+
+/// A pool of query sources exercising different operator shapes.
+fn query_pool() -> Vec<&'static str> {
+    vec![
+        r#"for $p in $0//pkg where $p/size/text() > 5000 return <big>{$p/@name}</big>"#,
+        r#"for $p in $0//pkg where contains($p/@name, "a") return {$p}"#,
+        r#"for $p in $0//pkg[deps/dep = "ab"] return <d n="{$p/@name}"/>"#,
+        r#"for $p in $0//pkg where not(exists($p/deps)) return <leaf>{$p/@name}</leaf>"#,
+        "$0//dep",
+        r#"for $a in $0//pkg for $b in $0//pkg where $a/size/text() < $b/size/text() return <lt/>"#,
+        r#"let $all := $0//pkg where exists($all) return <count>{$all/@name}</count>"#,
+        r#"for $p in $0//pkg where $p/size/text() >= 100 and $p/size/text() <= 50000 return {$p/size}"#,
+        r#"for $p in $0//pkg where count($p/deps/dep) >= 2 return <multi>{$p/@name}</multi>"#,
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    (0..query_pool().len()).prop_map(|i| Query::parse("q", query_pool()[i]).unwrap())
+}
+
+/// The monotone subset: every result, once produced, stays in the batch
+/// answer as the input grows. (The `let`-aggregation query is excluded:
+/// its single output tree *changes* with the input, and the continuous
+/// evaluator — matching the paper's append-only stream semantics — emits
+/// additions without retracting.)
+fn arb_monotone_query() -> impl Strategy<Value = Query> {
+    let pool: Vec<&str> = query_pool()
+        .into_iter()
+        .filter(|s| !s.starts_with("let"))
+        .collect();
+    (0..pool.len()).prop_map(move |i| Query::parse("q", pool[i]).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Continuous evaluation emits, across a whole stream, exactly the
+    /// batch result over the accumulated forest.
+    #[test]
+    fn delta_equals_batch(
+        q in arb_monotone_query(),
+        stream in proptest::collection::vec(arb_catalog(), 1..6),
+    ) {
+        let mut cont = q.continuous(&NoDocs).unwrap();
+        let mut emitted = Vec::new();
+        for t in &stream {
+            emitted.extend(cont.push(0, t.clone()).unwrap());
+        }
+        let batch = q.eval_batch(&[stream]).unwrap();
+        prop_assert!(forest_equiv(&emitted, &batch),
+            "continuous {} vs batch {}", emitted.len(), batch.len());
+    }
+
+    /// Decomposition (Example 1 / rule 11) preserves results whenever it
+    /// applies.
+    #[test]
+    fn decompose_preserves(
+        q in arb_query(),
+        input in proptest::collection::vec(arb_catalog(), 0..4),
+    ) {
+        if let Some((outer, pushed)) = q.decompose_selection() {
+            let direct = q.eval_batch(std::slice::from_ref(&input)).unwrap();
+            let mid = pushed.eval_batch(&[input]).unwrap();
+            let composed = outer.eval_batch(std::slice::from_ref(&mid)).unwrap();
+            prop_assert!(forest_equiv(&direct, &composed));
+            prop_assert!(mid.len() >= composed.len() || composed.is_empty()
+                || mid.len() == composed.len());
+        }
+    }
+
+    /// Folding a filter into a path predicate preserves results.
+    #[test]
+    fn push_filter_preserves(
+        q in arb_query(),
+        input in proptest::collection::vec(arb_catalog(), 0..4),
+    ) {
+        if let Some(folded) = q.push_filter_into_path() {
+            let a = q.eval_batch(std::slice::from_ref(&input)).unwrap();
+            let b = folded.eval_batch(&[input]).unwrap();
+            prop_assert!(forest_equiv(&a, &b));
+        }
+    }
+
+    /// Query XML serialization round-trips and preserves semantics.
+    #[test]
+    fn wire_roundtrip(
+        q in arb_query(),
+        input in proptest::collection::vec(arb_catalog(), 0..3),
+    ) {
+        let xml = q.to_xml();
+        let back = Query::from_xml(&xml, xml.root()).unwrap();
+        prop_assert_eq!(&q, &back);
+        let a = q.eval_batch(std::slice::from_ref(&input)).unwrap();
+        let b = back.eval_batch(&[input]).unwrap();
+        prop_assert!(forest_equiv(&a, &b));
+    }
+
+    /// Composition evaluates stage-wise identically to manual piping.
+    #[test]
+    fn composition_is_piping(
+        input in proptest::collection::vec(arb_catalog(), 0..4),
+    ) {
+        let inner = Query::parse("i", r#"for $p in $0//pkg where $p/size/text() > 100 return {$p}"#).unwrap();
+        let outer = Query::parse("o", "for $t in $0 return <w>{$t/@name}</w>").unwrap();
+        let comp = Query::compose("c", outer.clone(), vec![inner.clone()]).unwrap();
+        let direct = comp.eval_batch(std::slice::from_ref(&input)).unwrap();
+        let piped = outer.eval_batch(&[inner.eval_batch(&[input]).unwrap()]).unwrap();
+        prop_assert!(forest_equiv(&direct, &piped));
+    }
+
+    /// Estimation sanity: non-negative and zero on empty input.
+    #[test]
+    fn estimates_sane(q in arb_query(), input in proptest::collection::vec(arb_catalog(), 0..4)) {
+        use axml_query::estimate::{estimate, ForestStats};
+        if let Some(plan) = q.plan() {
+            let e = estimate(plan, &[ForestStats::collect(&input)]);
+            prop_assert!(e.cardinality >= 0.0);
+            prop_assert!(e.bytes >= 0.0);
+            if input.is_empty() {
+                prop_assert_eq!(e.cardinality, 0.0);
+            }
+        }
+    }
+}

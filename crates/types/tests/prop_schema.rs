@@ -1,0 +1,172 @@
+//! Property tests for schema validation: instances *generated from* a
+//! schema always validate; targeted mutations always invalidate.
+
+use axml_types::content::Content;
+use axml_types::schema::{Schema, SchemaBuilder, TypeName};
+use axml_xml::tree::{NodeId, Tree};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A recursive catalog-ish schema exercising every combinator.
+fn schema() -> Schema {
+    SchemaBuilder::new()
+        .ty(
+            "RootT",
+            Content::seq([
+                Content::elem("meta", "MetaT"),
+                Content::star(Content::elem("entry", "EntryT")),
+            ]),
+        )
+        .ty(
+            "MetaT",
+            Content::interleave([
+                Content::elem("owner", "TextT"),
+                Content::opt(Content::elem("mirror", "TextT")),
+            ]),
+        )
+        .ty(
+            "EntryT",
+            Content::seq([
+                Content::elem("name", "TextT"),
+                Content::choice([
+                    Content::elem("version", "TextT"),
+                    Content::elem("snapshot", "TextT"),
+                ]),
+                Content::plus(Content::elem("file", "FileT")),
+            ]),
+        )
+        .ty("FileT", Content::opt(Content::Text))
+        .ty("TextT", Content::opt(Content::Text))
+        .build()
+        .unwrap()
+}
+
+/// Generate a tree that satisfies `ty` by construction.
+fn generate(schema: &Schema, label: &str, ty: &TypeName, rng: &mut StdRng, depth: usize) -> Tree {
+    let mut t = Tree::new(label);
+    let root = t.root();
+    fill(schema, &mut t, root, ty, rng, depth);
+    t
+}
+
+fn fill(schema: &Schema, t: &mut Tree, at: NodeId, ty: &TypeName, rng: &mut StdRng, depth: usize) {
+    if ty.is_any() {
+        return;
+    }
+    let et = schema.get(ty).expect("generated types exist").clone();
+    emit(schema, t, at, &et.content, rng, depth);
+}
+
+fn emit(
+    schema: &Schema,
+    t: &mut Tree,
+    at: NodeId,
+    c: &Content,
+    rng: &mut StdRng,
+    depth: usize,
+) {
+    match c {
+        Content::Empty | Content::Void => {}
+        Content::Text => {
+            t.add_text(at, format!("txt{}", rng.gen_range(0..100)));
+        }
+        Content::AnyItem => {
+            t.add_element(at, "anything");
+        }
+        Content::Elem(label, child_ty) => {
+            let el = t.add_element(at, label.clone());
+            if depth > 0 {
+                fill(schema, t, el, child_ty, rng, depth - 1);
+            } else if let Some(et) = schema.get(child_ty) {
+                // depth exhausted: only recurse if the type requires content
+                if !et.content.nullable() {
+                    fill(schema, t, el, child_ty, rng, 0);
+                }
+            }
+        }
+        Content::Seq(cs) => {
+            for c in cs {
+                emit(schema, t, at, c, rng, depth);
+            }
+        }
+        Content::Choice(cs) => {
+            let pick = rng.gen_range(0..cs.len());
+            emit(schema, t, at, &cs[pick], rng, depth);
+        }
+        Content::Opt(inner) => {
+            if rng.gen_bool(0.5) {
+                emit(schema, t, at, inner, rng, depth);
+            }
+        }
+        Content::Star(inner) => {
+            for _ in 0..rng.gen_range(0..3) {
+                emit(schema, t, at, inner, rng, depth);
+            }
+        }
+        Content::Plus(inner) => {
+            for _ in 0..rng.gen_range(1..3) {
+                emit(schema, t, at, inner, rng, depth);
+            }
+        }
+        Content::Interleave(cs) => {
+            // emit each operand once, in a random order
+            let mut order: Vec<usize> = (0..cs.len()).collect();
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            for i in order {
+                emit(schema, t, at, &cs[i], rng, depth);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Generated instances always validate.
+    #[test]
+    fn generated_instances_validate(seed in any::<u64>()) {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = generate(&s, "root", &"RootT".into(), &mut rng, 4);
+        s.validate(&t, "RootT")
+            .unwrap_or_else(|e| panic!("{e}\n{}", t.pretty()));
+    }
+
+    /// Removing any *required* child invalidates; the validator is not
+    /// fooled by structure elsewhere in the tree.
+    #[test]
+    fn dropping_required_meta_invalidates(seed in any::<u64>()) {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = generate(&s, "root", &"RootT".into(), &mut rng, 4);
+        let meta = t.first_child_labeled(t.root(), "meta").expect("meta is required");
+        let owner = t.first_child_labeled(meta, "owner").expect("owner is required");
+        t.detach(owner).unwrap();
+        prop_assert!(s.validate(&t, "RootT").is_err());
+    }
+
+    /// Injecting a stray element under a closed content model invalidates.
+    #[test]
+    fn stray_child_invalidates(seed in any::<u64>()) {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut t = generate(&s, "root", &"RootT".into(), &mut rng, 4);
+        let meta = t.first_child_labeled(t.root(), "meta").unwrap();
+        t.add_element(meta, "intruder");
+        prop_assert!(s.validate(&t, "RootT").is_err());
+    }
+
+    /// Validation is insensitive to serialization round-trips.
+    #[test]
+    fn validation_survives_roundtrip(seed in any::<u64>()) {
+        let s = schema();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let t = generate(&s, "root", &"RootT".into(), &mut rng, 3);
+        let back = Tree::parse(&t.serialize()).unwrap();
+        prop_assert!(s.validate(&back, "RootT").is_ok());
+    }
+}

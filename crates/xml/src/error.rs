@@ -1,0 +1,99 @@
+//! Error types for XML parsing and tree manipulation.
+
+use std::fmt;
+
+/// Result alias used across the crate.
+pub type XmlResult<T> = Result<T, XmlError>;
+
+/// Errors raised while parsing or manipulating XML trees.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum XmlError {
+    /// Lexical or grammatical error in the input text, with 1-based
+    /// line/column of the offending position.
+    Parse {
+        /// Human-readable description of what went wrong.
+        msg: String,
+        /// 1-based line of the error.
+        line: u32,
+        /// 1-based column of the error.
+        col: u32,
+    },
+    /// A [`crate::tree::NodeId`] did not belong to the tree it was used with.
+    InvalidNode {
+        /// The raw index that was out of range or detached.
+        index: u32,
+    },
+    /// An operation that requires an element node was given a text node.
+    NotAnElement {
+        /// The raw index of the offending node.
+        index: u32,
+    },
+    /// Structural misuse, e.g. attaching a node to itself or re-attaching a
+    /// node that already has a parent.
+    Structure(String),
+    /// A document name was already in use in a [`crate::store::DocStore`].
+    DuplicateDocument(String),
+    /// A document name was not found in a [`crate::store::DocStore`].
+    NoSuchDocument(String),
+}
+
+impl fmt::Display for XmlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            XmlError::Parse { msg, line, col } => {
+                write!(f, "XML parse error at {line}:{col}: {msg}")
+            }
+            XmlError::InvalidNode { index } => write!(f, "invalid node id {index}"),
+            XmlError::NotAnElement { index } => {
+                write!(f, "node {index} is not an element")
+            }
+            XmlError::Structure(msg) => write!(f, "tree structure error: {msg}"),
+            XmlError::DuplicateDocument(d) => write!(f, "document `{d}` already exists"),
+            XmlError::NoSuchDocument(d) => write!(f, "document `{d}` not found"),
+        }
+    }
+}
+
+impl std::error::Error for XmlError {}
+
+impl XmlError {
+    /// Construct a parse error at the given 1-based position.
+    pub fn parse(msg: impl Into<String>, line: u32, col: u32) -> Self {
+        XmlError::Parse {
+            msg: msg.into(),
+            line,
+            col,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_position() {
+        let e = XmlError::parse("unexpected `<`", 3, 14);
+        let s = e.to_string();
+        assert!(s.contains("3:14"), "{s}");
+        assert!(s.contains("unexpected"), "{s}");
+    }
+
+    #[test]
+    fn display_other_variants() {
+        assert_eq!(
+            XmlError::InvalidNode { index: 7 }.to_string(),
+            "invalid node id 7"
+        );
+        assert!(XmlError::DuplicateDocument("d".into())
+            .to_string()
+            .contains("already exists"));
+        assert!(XmlError::NoSuchDocument("d".into())
+            .to_string()
+            .contains("not found"));
+        assert!(XmlError::NotAnElement { index: 1 }
+            .to_string()
+            .contains("not an element"));
+        assert!(XmlError::Structure("cycle".into()).to_string().contains("cycle"));
+    }
+}

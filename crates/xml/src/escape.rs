@@ -1,0 +1,103 @@
+//! Escaping and unescaping of XML character data and attribute values.
+
+/// Escape text content: `&`, `<`, `>` are replaced by entities.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape an attribute value (double-quoted): also escapes `"`.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Number of bytes `escape_text(s)` would produce, without allocating.
+pub fn escaped_text_len(s: &str) -> usize {
+    s.chars()
+        .map(|c| match c {
+            '&' => 5,
+            '<' | '>' => 4,
+            _ => c.len_utf8(),
+        })
+        .sum()
+}
+
+/// Resolve one entity (the text between `&` and `;`). Supports the five
+/// predefined entities and decimal/hex character references.
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X"))
+            {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = name.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(code)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_text() {
+        assert_eq!(escape_text("a<b&c>d"), "a&lt;b&amp;c&gt;d");
+        assert_eq!(escape_text("plain"), "plain");
+        assert_eq!(escape_text(r#"quote " stays"#), r#"quote " stays"#);
+    }
+
+    #[test]
+    fn escapes_attr() {
+        assert_eq!(escape_attr(r#"a"b<c"#), "a&quot;b&lt;c");
+    }
+
+    #[test]
+    fn escaped_len_matches() {
+        for s in ["", "plain", "a<b&c>d", "ünïcode <&>", "\"q\""] {
+            assert_eq!(escaped_text_len(s), escape_text(s).len(), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn entities_resolve() {
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#x1F600"), Some('😀'));
+        assert_eq!(resolve_entity("bogus"), None);
+        assert_eq!(resolve_entity("#xZZ"), None);
+        assert_eq!(resolve_entity("#xD800"), None, "surrogates are invalid");
+    }
+}

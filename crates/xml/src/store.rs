@@ -1,0 +1,224 @@
+//! Documents `d@p` and the per-peer document store.
+//!
+//! §2.1: *"An XML document is a tuple (t, d) where t is an XML tree and d a
+//! document name. No two documents can agree on the values of (d, p)."* —
+//! a [`DocStore`] enforces exactly that uniqueness for one peer.
+
+use crate::error::{XmlError, XmlResult};
+use crate::ids::DocName;
+use crate::tree::{NodeId, Tree};
+use std::collections::BTreeMap;
+
+/// A named XML document (the tuple `(t, d)`), hosted by one peer.
+#[derive(Debug, Clone)]
+pub struct Document {
+    name: DocName,
+    tree: Tree,
+}
+
+impl Document {
+    /// Create a document from a name and a tree.
+    pub fn new(name: impl Into<DocName>, tree: Tree) -> Self {
+        Document {
+            name: name.into(),
+            tree,
+        }
+    }
+
+    /// The document name `d`.
+    pub fn name(&self) -> &DocName {
+        &self.name
+    }
+
+    /// The document's tree.
+    pub fn tree(&self) -> &Tree {
+        &self.tree
+    }
+
+    /// Mutable access to the tree (service responses accumulate here).
+    pub fn tree_mut(&mut self) -> &mut Tree {
+        &mut self.tree
+    }
+
+    /// Consume the document, yielding its tree.
+    pub fn into_tree(self) -> Tree {
+        self.tree
+    }
+}
+
+/// The set of documents hosted by one peer. Names are unique.
+#[derive(Debug, Default, Clone)]
+pub struct DocStore {
+    docs: BTreeMap<DocName, Document>,
+}
+
+impl DocStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a new document. Fails if the name is taken — the paper's
+    /// `send(d@p2, t)` requires *"d was not previously in use on p2"*.
+    pub fn insert(&mut self, doc: Document) -> XmlResult<()> {
+        if self.docs.contains_key(doc.name()) {
+            return Err(XmlError::DuplicateDocument(doc.name().to_string()));
+        }
+        self.docs.insert(doc.name().clone(), doc);
+        Ok(())
+    }
+
+    /// Install or replace a document (used by replication maintenance,
+    /// which is outside the uniqueness rule).
+    pub fn insert_or_replace(&mut self, doc: Document) {
+        self.docs.insert(doc.name().clone(), doc);
+    }
+
+    /// Look up a document by name.
+    pub fn get(&self, name: &DocName) -> Option<&Document> {
+        self.docs.get(name)
+    }
+
+    /// Look up a document by name, mutably.
+    pub fn get_mut(&mut self, name: &DocName) -> Option<&mut Document> {
+        self.docs.get_mut(name)
+    }
+
+    /// Like [`DocStore::get`] but with a typed error.
+    pub fn require(&self, name: &DocName) -> XmlResult<&Document> {
+        self.get(name)
+            .ok_or_else(|| XmlError::NoSuchDocument(name.to_string()))
+    }
+
+    /// Like [`DocStore::get_mut`] but with a typed error.
+    pub fn require_mut(&mut self, name: &DocName) -> XmlResult<&mut Document> {
+        self.docs
+            .get_mut(name)
+            .ok_or_else(|| XmlError::NoSuchDocument(name.to_string()))
+    }
+
+    /// Remove a document, returning it.
+    pub fn remove(&mut self, name: &DocName) -> Option<Document> {
+        self.docs.remove(name)
+    }
+
+    /// True if a document with this name exists.
+    pub fn contains(&self, name: &DocName) -> bool {
+        self.docs.contains_key(name)
+    }
+
+    /// Number of documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when the store holds no documents.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Iterate documents in name order (deterministic).
+    pub fn iter(&self) -> impl Iterator<Item = &Document> {
+        self.docs.values()
+    }
+
+    /// Document names in order.
+    pub fn names(&self) -> impl Iterator<Item = &DocName> {
+        self.docs.keys()
+    }
+
+    /// Total wire size of all documents (storage accounting).
+    pub fn total_size(&self) -> usize {
+        self.docs.values().map(|d| d.tree().serialized_size()).sum()
+    }
+
+    /// Resolve a node inside a document: convenience for forward lists.
+    pub fn node(&self, name: &DocName, node: NodeId) -> XmlResult<&Tree> {
+        let doc = self.require(name)?;
+        if !doc.tree().contains(node) {
+            return Err(XmlError::InvalidNode {
+                index: node.index() as u32,
+            });
+        }
+        Ok(doc.tree())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(name: &str, xml: &str) -> Document {
+        Document::new(name, Tree::parse(xml).unwrap())
+    }
+
+    #[test]
+    fn uniqueness_enforced() {
+        let mut s = DocStore::new();
+        s.insert(doc("d1", "<a/>")).unwrap();
+        let e = s.insert(doc("d1", "<b/>")).unwrap_err();
+        assert!(matches!(e, XmlError::DuplicateDocument(_)));
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&"d1".into()).unwrap().tree().serialize(), "<a/>");
+    }
+
+    #[test]
+    fn replace_overrides() {
+        let mut s = DocStore::new();
+        s.insert(doc("d1", "<a/>")).unwrap();
+        s.insert_or_replace(doc("d1", "<b/>"));
+        assert_eq!(s.get(&"d1".into()).unwrap().tree().serialize(), "<b/>");
+    }
+
+    #[test]
+    fn require_errors() {
+        let mut s = DocStore::new();
+        assert!(matches!(
+            s.require(&"nope".into()),
+            Err(XmlError::NoSuchDocument(_))
+        ));
+        assert!(s.require_mut(&"nope".into()).is_err());
+        s.insert(doc("d", "<a/>")).unwrap();
+        assert!(s.require(&"d".into()).is_ok());
+    }
+
+    #[test]
+    fn iteration_is_name_ordered() {
+        let mut s = DocStore::new();
+        s.insert(doc("zz", "<a/>")).unwrap();
+        s.insert(doc("aa", "<a/>")).unwrap();
+        let names: Vec<_> = s.names().map(|n| n.to_string()).collect();
+        assert_eq!(names, ["aa", "zz"]);
+    }
+
+    #[test]
+    fn sizes_and_removal() {
+        let mut s = DocStore::new();
+        s.insert(doc("d", "<a><b>xy</b></a>")).unwrap();
+        assert_eq!(s.total_size(), "<a><b>xy</b></a>".len());
+        assert!(!s.is_empty());
+        let d = s.remove(&"d".into()).unwrap();
+        assert_eq!(d.into_tree().serialize(), "<a><b>xy</b></a>");
+        assert!(s.is_empty());
+        assert_eq!(s.total_size(), 0);
+    }
+
+    #[test]
+    fn node_lookup_validates() {
+        let mut s = DocStore::new();
+        s.insert(doc("d", "<a><b/></a>")).unwrap();
+        use crate::tree::NodeId;
+        assert!(s.node(&"d".into(), NodeId::from_index(0)).is_ok());
+        assert!(s.node(&"d".into(), NodeId::from_index(99)).is_err());
+        assert!(s.node(&"x".into(), NodeId::from_index(0)).is_err());
+    }
+
+    #[test]
+    fn document_mutation() {
+        let mut d = doc("d", "<a/>");
+        let r = d.tree().root();
+        d.tree_mut().add_text_element(r, "b", "1");
+        assert_eq!(d.tree().serialize(), "<a><b>1</b></a>");
+        assert_eq!(d.name().as_str(), "d");
+    }
+}

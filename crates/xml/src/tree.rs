@@ -1,0 +1,672 @@
+//! Arena-backed unranked, unordered XML trees.
+//!
+//! The paper (§2.1) views an XML tree as *unranked and unordered*: each
+//! internal node has a label from `L` and an identifier from `N`, each leaf
+//! a label (we also model text leaves, which the paper elides). A [`Tree`]
+//! owns all of its nodes in a single `Vec` arena; a [`NodeId`] is an index
+//! into that arena. This gives O(1) navigation, cheap copies of subtrees,
+//! and stable identifiers — the paper's `n` in `n@p` — for the lifetime of
+//! the tree.
+//!
+//! Sibling *storage* order is preserved (it makes serialization
+//! deterministic and debugging sane) but carries no semantics: equivalence
+//! ([`crate::equiv`]) and query evaluation treat children as a multiset.
+
+use crate::error::{XmlError, XmlResult};
+use crate::label::Label;
+use std::fmt;
+
+/// Identifier of a node inside one [`Tree`] — an element of the paper's
+/// node-id set `N`, scoped to the owning document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// The arena index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Rebuild an id from a raw index (used when decoding node addresses
+    /// received over the network).
+    pub fn from_index(i: usize) -> Self {
+        NodeId(u32::try_from(i).expect("node index exceeds u32"))
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// What a node is: an element with a label and attributes, or a text leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NodeKind {
+    /// An internal (or leaf) element node: `<label a="v">…</label>`.
+    Element {
+        /// The element label from `L`.
+        label: Label,
+        /// Attributes in insertion order. Names are unique.
+        attrs: Vec<(Label, String)>,
+    },
+    /// A text leaf.
+    Text(String),
+}
+
+/// One node of the arena.
+#[derive(Debug, Clone)]
+pub struct Node {
+    pub(crate) kind: NodeKind,
+    pub(crate) parent: Option<NodeId>,
+    pub(crate) children: Vec<NodeId>,
+}
+
+impl Node {
+    /// The node's kind.
+    pub fn kind(&self) -> &NodeKind {
+        &self.kind
+    }
+
+    /// The node's parent, if it is not the root (or detached).
+    pub fn parent(&self) -> Option<NodeId> {
+        self.parent
+    }
+
+    /// The node's children, in storage order.
+    pub fn children(&self) -> &[NodeId] {
+        &self.children
+    }
+
+    /// The element label, if this is an element.
+    pub fn label(&self) -> Option<&Label> {
+        match &self.kind {
+            NodeKind::Element { label, .. } => Some(label),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// The text content, if this is a text leaf.
+    pub fn as_text(&self) -> Option<&str> {
+        match &self.kind {
+            NodeKind::Text(t) => Some(t),
+            NodeKind::Element { .. } => None,
+        }
+    }
+
+    /// True for element nodes.
+    pub fn is_element(&self) -> bool {
+        matches!(self.kind, NodeKind::Element { .. })
+    }
+}
+
+/// An unranked, unordered XML tree owning its nodes in an arena.
+#[derive(Clone)]
+pub struct Tree {
+    nodes: Vec<Node>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Create a tree whose root is an element labeled `root_label`.
+    pub fn new(root_label: impl Into<Label>) -> Self {
+        let root = Node {
+            kind: NodeKind::Element {
+                label: root_label.into(),
+                attrs: Vec::new(),
+            },
+            parent: None,
+            children: Vec::new(),
+        };
+        Tree {
+            nodes: vec![root],
+            root: NodeId(0),
+        }
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// Number of nodes ever allocated in the arena (including detached
+    /// tombstones). Use [`Tree::subtree_size`] of the root for live counts.
+    pub fn arena_len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of nodes reachable from the root.
+    pub fn live_len(&self) -> usize {
+        self.subtree_size(self.root)
+    }
+
+    /// Access a node. Panics on an id not from this tree.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id.index()]
+    }
+
+    fn node_mut(&mut self, id: NodeId) -> &mut Node {
+        &mut self.nodes[id.index()]
+    }
+
+    /// Is `id` a valid index in this arena?
+    pub fn contains(&self, id: NodeId) -> bool {
+        id.index() < self.nodes.len()
+    }
+
+    /// The element label of `id`, or `None` for text nodes.
+    pub fn label(&self, id: NodeId) -> Option<&Label> {
+        self.node(id).label()
+    }
+
+    /// Children of `id`, in storage order.
+    pub fn children(&self, id: NodeId) -> &[NodeId] {
+        &self.node(id).children
+    }
+
+    /// Parent of `id`.
+    pub fn parent(&self, id: NodeId) -> Option<NodeId> {
+        self.node(id).parent
+    }
+
+    /// Allocate a detached element node.
+    pub fn new_element(&mut self, label: impl Into<Label>) -> NodeId {
+        self.alloc(NodeKind::Element {
+            label: label.into(),
+            attrs: Vec::new(),
+        })
+    }
+
+    /// Allocate a detached text node.
+    pub fn new_text(&mut self, text: impl Into<String>) -> NodeId {
+        self.alloc(NodeKind::Text(text.into()))
+    }
+
+    fn alloc(&mut self, kind: NodeKind) -> NodeId {
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(Node {
+            kind,
+            parent: None,
+            children: Vec::new(),
+        });
+        id
+    }
+
+    /// Attach a detached node as a child of `parent`.
+    pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> XmlResult<()> {
+        if !self.contains(parent) {
+            return Err(XmlError::InvalidNode {
+                index: parent.0,
+            });
+        }
+        if !self.contains(child) {
+            return Err(XmlError::InvalidNode { index: child.0 });
+        }
+        if parent == child {
+            return Err(XmlError::Structure("cannot attach a node to itself".into()));
+        }
+        if !self.node(parent).is_element() {
+            return Err(XmlError::NotAnElement { index: parent.0 });
+        }
+        if self.node(child).parent.is_some() {
+            return Err(XmlError::Structure(format!(
+                "node {child} already has a parent; detach it first"
+            )));
+        }
+        // Reject cycles: parent must not be a descendant of child.
+        let mut cur = Some(parent);
+        while let Some(c) = cur {
+            if c == child {
+                return Err(XmlError::Structure(
+                    "attachment would create a cycle".into(),
+                ));
+            }
+            cur = self.node(c).parent;
+        }
+        self.node_mut(child).parent = Some(parent);
+        self.node_mut(parent).children.push(child);
+        Ok(())
+    }
+
+    /// Convenience: allocate and attach an element child, returning its id.
+    pub fn add_element(&mut self, parent: NodeId, label: impl Into<Label>) -> NodeId {
+        let id = self.new_element(label);
+        self.append_child(parent, id)
+            .expect("add_element: parent must be a valid element");
+        id
+    }
+
+    /// Convenience: allocate and attach a text child, returning its id.
+    pub fn add_text(&mut self, parent: NodeId, text: impl Into<String>) -> NodeId {
+        let id = self.new_text(text);
+        self.append_child(parent, id)
+            .expect("add_text: parent must be a valid element");
+        id
+    }
+
+    /// Convenience: `<label>text</label>` under `parent`.
+    pub fn add_text_element(
+        &mut self,
+        parent: NodeId,
+        label: impl Into<Label>,
+        text: impl Into<String>,
+    ) -> NodeId {
+        let el = self.add_element(parent, label);
+        self.add_text(el, text);
+        el
+    }
+
+    /// Detach `id` from its parent. The subtree stays in the arena (it can
+    /// be re-attached) but is no longer reachable from the root.
+    pub fn detach(&mut self, id: NodeId) -> XmlResult<()> {
+        if !self.contains(id) {
+            return Err(XmlError::InvalidNode { index: id.0 });
+        }
+        if id == self.root {
+            return Err(XmlError::Structure("cannot detach the root".into()));
+        }
+        if let Some(p) = self.node(id).parent {
+            let siblings = &mut self.node_mut(p).children;
+            siblings.retain(|&c| c != id);
+            self.node_mut(id).parent = None;
+        }
+        Ok(())
+    }
+
+    /// Set an attribute on an element (replacing an existing value).
+    pub fn set_attr(
+        &mut self,
+        id: NodeId,
+        name: impl Into<Label>,
+        value: impl Into<String>,
+    ) -> XmlResult<()> {
+        let name = name.into();
+        let value = value.into();
+        match &mut self.node_mut(id).kind {
+            NodeKind::Element { attrs, .. } => {
+                if let Some(slot) = attrs.iter_mut().find(|(n, _)| *n == name) {
+                    slot.1 = value;
+                } else {
+                    attrs.push((name, value));
+                }
+                Ok(())
+            }
+            NodeKind::Text(_) => Err(XmlError::NotAnElement { index: id.0 }),
+        }
+    }
+
+    /// Read an attribute value.
+    pub fn attr(&self, id: NodeId, name: &str) -> Option<&str> {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs
+                .iter()
+                .find(|(n, _)| n.as_str() == name)
+                .map(|(_, v)| v.as_str()),
+            NodeKind::Text(_) => None,
+        }
+    }
+
+    /// All attributes of an element (empty for text nodes).
+    pub fn attrs(&self, id: NodeId) -> &[(Label, String)] {
+        match &self.node(id).kind {
+            NodeKind::Element { attrs, .. } => attrs,
+            NodeKind::Text(_) => &[],
+        }
+    }
+
+    /// Concatenated text of all text descendants of `id` (the XPath
+    /// `string()` value).
+    pub fn text(&self, id: NodeId) -> String {
+        let mut out = String::new();
+        self.collect_text(id, &mut out);
+        out
+    }
+
+    fn collect_text(&self, id: NodeId, out: &mut String) {
+        match &self.node(id).kind {
+            NodeKind::Text(t) => out.push_str(t),
+            NodeKind::Element { .. } => {
+                for &c in &self.node(id).children {
+                    self.collect_text(c, out);
+                }
+            }
+        }
+    }
+
+    /// Preorder traversal of the subtree rooted at `id` (including `id`).
+    pub fn descendants_with_self(&self, id: NodeId) -> Descendants<'_> {
+        Descendants {
+            tree: self,
+            stack: vec![id],
+        }
+    }
+
+    /// Preorder traversal of the strict descendants of `id`.
+    pub fn descendants(&self, id: NodeId) -> Descendants<'_> {
+        let mut stack: Vec<NodeId> = self.children(id).to_vec();
+        stack.reverse();
+        Descendants { tree: self, stack }
+    }
+
+    /// Child elements of `id` with the given label.
+    pub fn children_labeled<'a>(
+        &'a self,
+        id: NodeId,
+        label: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.children(id)
+            .iter()
+            .copied()
+            .filter(move |&c| self.label(c).is_some_and(|l| l.as_str() == label))
+    }
+
+    /// First child element with the given label.
+    pub fn first_child_labeled(&self, id: NodeId, label: &str) -> Option<NodeId> {
+        self.children_labeled(id, label).next()
+    }
+
+    /// Descendant elements (preorder, excluding `id`) with the given label.
+    pub fn descendants_labeled<'a>(
+        &'a self,
+        id: NodeId,
+        label: &'a str,
+    ) -> impl Iterator<Item = NodeId> + 'a {
+        self.descendants(id)
+            .filter(move |&n| self.label(n).is_some_and(|l| l.as_str() == label))
+    }
+
+    /// Number of nodes in the subtree rooted at `id`.
+    pub fn subtree_size(&self, id: NodeId) -> usize {
+        self.descendants_with_self(id).count()
+    }
+
+    /// Depth of the subtree rooted at `id` (a single node has depth 1).
+    pub fn depth(&self, id: NodeId) -> usize {
+        1 + self
+            .children(id)
+            .iter()
+            .map(|&c| self.depth(c))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Extract the subtree rooted at `id` into a fresh, compact [`Tree`].
+    ///
+    /// If `id` is a text node, it is wrapped — the result's root is always
+    /// an element — so callers should normally pass elements.
+    pub fn deep_copy(&self, id: NodeId) -> Tree {
+        match &self.node(id).kind {
+            NodeKind::Element { label, attrs } => {
+                let mut t = Tree::new(label.clone());
+                if let NodeKind::Element { attrs: ra, .. } = &mut t.nodes[0].kind {
+                    *ra = attrs.clone();
+                }
+                let root = t.root();
+                for &c in self.children(id) {
+                    self.copy_into(c, &mut t, root);
+                }
+                t
+            }
+            NodeKind::Text(s) => {
+                let mut t = Tree::new("text");
+                let root = t.root();
+                t.add_text(root, s.clone());
+                t
+            }
+        }
+    }
+
+    fn copy_into(&self, id: NodeId, dst: &mut Tree, dst_parent: NodeId) {
+        match &self.node(id).kind {
+            NodeKind::Element { label, attrs } => {
+                let el = dst.add_element(dst_parent, label.clone());
+                if let NodeKind::Element { attrs: ra, .. } = &mut dst.node_mut(el).kind {
+                    *ra = attrs.clone();
+                }
+                for &c in self.children(id) {
+                    self.copy_into(c, dst, el);
+                }
+            }
+            NodeKind::Text(s) => {
+                dst.add_text(dst_parent, s.clone());
+            }
+        }
+    }
+
+    /// Copy the subtree of `src` rooted at `src_node` under `parent` in
+    /// `self`; returns the id of the copied root in `self`.
+    pub fn graft(&mut self, parent: NodeId, src: &Tree, src_node: NodeId) -> XmlResult<NodeId> {
+        if !self.node(parent).is_element() {
+            return Err(XmlError::NotAnElement { index: parent.0 });
+        }
+        Ok(self.graft_rec(parent, src, src_node))
+    }
+
+    fn graft_rec(&mut self, parent: NodeId, src: &Tree, src_node: NodeId) -> NodeId {
+        match &src.node(src_node).kind {
+            NodeKind::Element { label, attrs } => {
+                let el = self.add_element(parent, label.clone());
+                if let NodeKind::Element { attrs: ra, .. } = &mut self.node_mut(el).kind {
+                    *ra = attrs.clone();
+                }
+                for &c in src.children(src_node) {
+                    self.graft_rec(el, src, c);
+                }
+                el
+            }
+            NodeKind::Text(s) => self.add_text(parent, s.clone()),
+        }
+    }
+
+    /// Replace the children of `id` with nothing (prune the subtree below).
+    pub fn clear_children(&mut self, id: NodeId) {
+        let children = std::mem::take(&mut self.node_mut(id).children);
+        for c in children {
+            self.node_mut(c).parent = None;
+        }
+    }
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tree({})", self.serialize_node(self.root))
+    }
+}
+
+impl PartialEq for Tree {
+    /// *Ordered* structural equality of the live trees (labels, attributes
+    /// and children in storage order). For the AXML model's unordered
+    /// equivalence use [`crate::equiv::tree_equiv`] instead.
+    fn eq(&self, other: &Self) -> bool {
+        fn node_eq(a: &Tree, na: NodeId, b: &Tree, nb: NodeId) -> bool {
+            match (&a.node(na).kind, &b.node(nb).kind) {
+                (NodeKind::Text(x), NodeKind::Text(y)) => x == y,
+                (
+                    NodeKind::Element {
+                        label: la,
+                        attrs: aa,
+                    },
+                    NodeKind::Element {
+                        label: lb,
+                        attrs: ab,
+                    },
+                ) => {
+                    la == lb
+                        && aa == ab
+                        && a.children(na).len() == b.children(nb).len()
+                        && a.children(na)
+                            .iter()
+                            .zip(b.children(nb))
+                            .all(|(&ca, &cb)| node_eq(a, ca, b, cb))
+                }
+                _ => false,
+            }
+        }
+        node_eq(self, self.root, other, other.root)
+    }
+}
+
+impl Eq for Tree {}
+
+/// Preorder iterator over a subtree. See [`Tree::descendants_with_self`].
+pub struct Descendants<'a> {
+    tree: &'a Tree,
+    stack: Vec<NodeId>,
+}
+
+impl Iterator for Descendants<'_> {
+    type Item = NodeId;
+
+    fn next(&mut self) -> Option<NodeId> {
+        let id = self.stack.pop()?;
+        // Push children reversed so the traversal visits them in storage
+        // order (purely cosmetic: order is non-semantic).
+        for &c in self.tree.children(id).iter().rev() {
+            self.stack.push(c);
+        }
+        Some(id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Tree {
+        let mut t = Tree::new("catalog");
+        let r = t.root();
+        let p1 = t.add_element(r, "pkg");
+        t.set_attr(p1, "name", "vim").unwrap();
+        t.add_text_element(p1, "version", "9.1");
+        let p2 = t.add_element(r, "pkg");
+        t.set_attr(p2, "name", "gcc").unwrap();
+        t.add_text_element(p2, "version", "13.2");
+        t
+    }
+
+    #[test]
+    fn build_and_navigate() {
+        let t = sample();
+        let r = t.root();
+        assert_eq!(t.label(r).unwrap().as_str(), "catalog");
+        assert_eq!(t.children(r).len(), 2);
+        let pkgs: Vec<_> = t.children_labeled(r, "pkg").collect();
+        assert_eq!(pkgs.len(), 2);
+        assert_eq!(t.attr(pkgs[0], "name"), Some("vim"));
+        assert_eq!(t.attr(pkgs[1], "name"), Some("gcc"));
+        assert_eq!(t.parent(pkgs[0]), Some(r));
+        assert_eq!(t.parent(r), None);
+    }
+
+    #[test]
+    fn text_aggregation() {
+        let t = sample();
+        let r = t.root();
+        assert_eq!(t.text(r), "9.113.2");
+        let v = t.descendants_labeled(r, "version").next().unwrap();
+        assert_eq!(t.text(v), "9.1");
+    }
+
+    #[test]
+    fn preorder_counts() {
+        let t = sample();
+        // catalog, 2×(pkg, version, text) = 7
+        assert_eq!(t.subtree_size(t.root()), 7);
+        assert_eq!(t.descendants(t.root()).count(), 6);
+        assert_eq!(t.depth(t.root()), 4);
+    }
+
+    #[test]
+    fn detach_and_reattach() {
+        let mut t = sample();
+        let r = t.root();
+        let pkg = t.first_child_labeled(r, "pkg").unwrap();
+        t.detach(pkg).unwrap();
+        assert_eq!(t.children(r).len(), 1);
+        assert_eq!(t.parent(pkg), None);
+        t.append_child(r, pkg).unwrap();
+        assert_eq!(t.children(r).len(), 2);
+        assert!(t.detach(r).is_err(), "root cannot be detached");
+    }
+
+    #[test]
+    fn append_rejects_cycles_and_double_parents() {
+        let mut t = Tree::new("a");
+        let r = t.root();
+        let b = t.add_element(r, "b");
+        let c = t.add_element(b, "c");
+        // b already has a parent
+        assert!(matches!(
+            t.append_child(c, b),
+            Err(XmlError::Structure(_))
+        ));
+        t.detach(b).unwrap();
+        // now attaching b under its own descendant c is a cycle
+        assert!(matches!(
+            t.append_child(c, b),
+            Err(XmlError::Structure(_))
+        ));
+        assert!(t.append_child(r, b).is_ok());
+        // self-attachment
+        let d = t.new_element("d");
+        assert!(t.append_child(d, d).is_err());
+    }
+
+    #[test]
+    fn append_rejects_text_parent() {
+        let mut t = Tree::new("a");
+        let r = t.root();
+        let txt = t.add_text(r, "hello");
+        let e = t.new_element("e");
+        assert!(matches!(
+            t.append_child(txt, e),
+            Err(XmlError::NotAnElement { .. })
+        ));
+    }
+
+    #[test]
+    fn deep_copy_is_compact_and_equal() {
+        let t = sample();
+        let pkg = t.first_child_labeled(t.root(), "pkg").unwrap();
+        let sub = t.deep_copy(pkg);
+        assert_eq!(sub.label(sub.root()).unwrap().as_str(), "pkg");
+        assert_eq!(sub.attr(sub.root(), "name"), Some("vim"));
+        assert_eq!(sub.live_len(), 3);
+        assert_eq!(sub.arena_len(), 3);
+    }
+
+    #[test]
+    fn graft_copies_subtree() {
+        let src = sample();
+        let mut dst = Tree::new("mirror");
+        let got = dst.graft(dst.root(), &src, src.root()).unwrap();
+        assert_eq!(dst.label(got).unwrap().as_str(), "catalog");
+        assert_eq!(dst.subtree_size(dst.root()), 8);
+        // grafting under a text node fails
+        let txt = dst.add_text(dst.root(), "x");
+        assert!(dst.graft(txt, &src, src.root()).is_err());
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut t = Tree::new("a");
+        let r = t.root();
+        t.set_attr(r, "k", "1").unwrap();
+        t.set_attr(r, "k", "2").unwrap();
+        assert_eq!(t.attr(r, "k"), Some("2"));
+        assert_eq!(t.attrs(r).len(), 1);
+        let txt = t.add_text(r, "x");
+        assert!(t.set_attr(txt, "k", "v").is_err());
+        assert!(t.attr(txt, "k").is_none());
+        assert!(t.attrs(txt).is_empty());
+    }
+
+    #[test]
+    fn clear_children_prunes() {
+        let mut t = sample();
+        let r = t.root();
+        t.clear_children(r);
+        assert_eq!(t.children(r).len(), 0);
+        assert_eq!(t.live_len(), 1);
+    }
+}

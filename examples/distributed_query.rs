@@ -1,0 +1,222 @@
+//! Distributed query optimization, rule by rule.
+//!
+//! Run with: `cargo run --example distributed_query`
+//!
+//! Walks through the paper's §3.3 equivalence rules on concrete
+//! scenarios, printing for each the naive plan, the rewritten plan, the
+//! rule trace, and the measured traffic of both. The scenarios are the
+//! same shapes the benchmark suite sweeps (see EXPERIMENTS.md).
+
+use axml::core::cost::CostModel;
+use axml::core::rules;
+use axml::prelude::*;
+use axml::xml::tree::Tree;
+
+fn catalog(n: usize) -> Tree {
+    let mut xml = String::from("<catalog>");
+    for i in 0..n {
+        xml.push_str(&format!(
+            r#"<pkg name="pkg-{i}"><size>{}</size><desc>package number {i} of the demo catalog</desc></pkg>"#,
+            (i * 61) % 10_000
+        ));
+    }
+    xml.push_str("</catalog>");
+    Tree::parse(&xml).unwrap()
+}
+
+/// Evaluate a plan on a fresh system, returning (results, bytes, ms).
+fn measure(build: &dyn Fn() -> AxmlSystem, site: PeerId, e: &Expr) -> (usize, u64, f64) {
+    let mut sys = build();
+    let out = sys.eval(site, e).unwrap();
+    (
+        out.len(),
+        sys.stats().total_bytes(),
+        sys.stats().makespan_ms(),
+    )
+}
+
+fn show(title: &str, build: &dyn Fn() -> AxmlSystem, site: PeerId, naive: &Expr) {
+    println!("\n————— {title} —————");
+    let sys = build();
+    let model = CostModel::from_system(&sys);
+    let plan = Optimizer::standard().optimize(&model, site, naive);
+    let (n1, b1, t1) = measure(build, site, naive);
+    let (n2, b2, t2) = measure(build, site, &plan.expr);
+    assert_eq!(n1, n2, "optimizer must preserve answers");
+    println!("naive:     {naive}");
+    println!("optimized: {}", plan.expr);
+    println!(
+        "rules:     {}",
+        if plan.trace.is_empty() {
+            "(none applicable)".to_string()
+        } else {
+            plan.trace.join(" → ")
+        }
+    );
+    println!("results:   {n1} trees");
+    println!("naive      {b1:>9} B  {t1:>9.1} ms");
+    println!("optimized  {b2:>9} B  {t2:>9.1} ms   ({:.1}x bytes)", b1 as f64 / b2.max(1) as f64);
+}
+
+fn main() {
+    let a = PeerId(0);
+    let b = PeerId(1);
+    let c = PeerId(2);
+
+    // ---- scenario 1: pushing selections (Example 1, rules 10+11) -------
+    let build1 = || {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("client");
+        let b = sys.add_peer("data");
+        sys.net_mut().set_link(a, b, LinkCost::wan());
+        sys.install_doc(b, "catalog", catalog(400)).unwrap();
+        sys
+    };
+    let sel = Query::parse(
+        "sel",
+        r#"for $p in $0//pkg where $p/size/text() > 9000 return <hit>{$p/@name}</hit>"#,
+    )
+    .unwrap();
+    show(
+        "Example 1: pushing selections over a WAN",
+        &build1,
+        a,
+        &Expr::Apply {
+            query: LocatedQuery::new(sel, a),
+            args: vec![Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(b),
+            }],
+        },
+    );
+
+    // ---- scenario 2: rule 16, pushing a query over a service call ------
+    let build2 = || {
+        let mut sys = build1();
+        sys.register_declarative_service(
+            PeerId(1),
+            "all-pkgs",
+            r#"for $p in doc("catalog")//pkg return {$p}"#,
+        )
+        .unwrap();
+        sys
+    };
+    let fmt = Query::parse(
+        "fmt",
+        r#"for $t in $0 where $t/size/text() > 9000 return <w>{$t/@name}</w>"#,
+    )
+    .unwrap();
+    show(
+        "Rule 16: pushing a query over a service call",
+        &build2,
+        a,
+        &Expr::Apply {
+            query: LocatedQuery::new(fmt, a),
+            args: vec![Expr::Sc {
+                provider: PeerRef::At(b),
+                service: "all-pkgs".into(),
+                params: vec![],
+                forward: vec![],
+            }],
+        },
+    );
+
+    // ---- scenario 3: rule 12 R2L, relaying through a gateway -----------
+    let build3 = || {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("edge");
+        let b = sys.add_peer("origin");
+        let g = sys.add_peer("gateway");
+        // terrible direct link, good links via the gateway
+        sys.net_mut().set_link(
+            a,
+            b,
+            LinkCost {
+                latency_ms: 400.0,
+                bytes_per_ms: 20.0,
+                per_msg_bytes: 256,
+            },
+        );
+        sys.net_mut().set_link(a, g, LinkCost::lan());
+        sys.net_mut().set_link(b, g, LinkCost::lan());
+        sys.install_doc(b, "catalog", catalog(200)).unwrap();
+        sys
+    };
+    show(
+        "Rule 12 (R→L): data in transit stops at a gateway",
+        &build3,
+        a,
+        &Expr::EvalAt {
+            peer: b,
+            expr: Box::new(Expr::Send {
+                dest: SendDest::Peer(a),
+                payload: Box::new(Expr::Doc {
+                    name: "catalog".into(),
+                    at: PeerRef::At(b),
+                }),
+            }),
+        },
+    );
+
+    // ---- scenario 4: rule 13, sharing a repeated transfer ---------------
+    let build4 = build1;
+    let join = Query::parse(
+        "selfjoin",
+        r#"for $x in $0//pkg for $y in $1//pkg
+           where $x/size/text() = $y/size/text() and $x/@name != $y/@name
+           return <dup a="{$x/@name}" b="{$y/@name}"/>"#,
+    )
+    .unwrap();
+    let remote = Expr::Doc {
+        name: "catalog".into(),
+        at: PeerRef::At(b),
+    };
+    show(
+        "Rule 13: sharing one transfer between two uses",
+        &build4,
+        a,
+        &Expr::Apply {
+            query: LocatedQuery::new(join, a),
+            args: vec![remote.clone(), remote],
+        },
+    );
+
+    // ---- scenario 5: rule 9, replica choice ------------------------------
+    let build5 = || {
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("client");
+        let b = sys.add_peer("far-mirror");
+        let c = sys.add_peer("near-mirror");
+        sys.net_mut().set_link(a, b, LinkCost::slow());
+        sys.net_mut().set_link(a, c, LinkCost::lan());
+        sys.net_mut().set_link(b, c, LinkCost::wan());
+        sys.install_replica(b, "cat", "catalog", catalog(200)).unwrap();
+        sys.install_replica(c, "cat", "catalog", catalog(200)).unwrap();
+        sys.set_pick_policy(PickPolicy::First); // naive: first registered (far!)
+        sys
+    };
+    show(
+        "Rule 9: generic document, replica selection",
+        &build5,
+        a,
+        &Expr::Doc {
+            name: "cat".into(),
+            at: PeerRef::Any,
+        },
+    );
+    let _ = c;
+
+    // ---- rule inventory --------------------------------------------------
+    println!("\nactive rule set:");
+    for r in rules::standard_rules() {
+        println!(
+            "  {:22} {}",
+            r.name(),
+            if r.preserves_sigma() {
+                "Σ-preserving"
+            } else {
+                "extends Σ (materializing)"
+            }
+        );
+    }
+}

@@ -1,0 +1,134 @@
+//! Lazy activation, type-driven activation and partition resilience.
+//!
+//! Run with: `cargo run --example lazy_and_resilient`
+//!
+//! Three short acts:
+//!
+//! 1. **Lazy AXML** (§2.2, the \[2\] policy): a portal document embeds
+//!    `mode="lazy"` calls to a news service and a stock service; a query
+//!    asking only for news fires only the news call.
+//! 2. **Type-driven activation** (the \[6\] policy): the same portal must
+//!    reach a schema type that requires at least one `news` element; calls
+//!    are activated until it validates.
+//! 3. **Partition resilience**: the client–server link fails; the
+//!    optimizer reroutes the fetch through a relay peer (rule (12)
+//!    right-to-left) and the query still answers.
+
+use axml::core::cost::CostModel;
+use axml::prelude::*;
+use axml::types::content::Content;
+use axml::xml::tree::Tree;
+
+fn main() {
+    let mut sys = AxmlSystem::new();
+    let client = sys.add_peer("client");
+    let server = sys.add_peer("server");
+    let relay = sys.add_peer("relay");
+    sys.net_mut().set_link(client, server, LinkCost::wan());
+    sys.net_mut().set_link(client, relay, LinkCost::lan());
+    sys.net_mut().set_link(server, relay, LinkCost::lan());
+
+    // Server-side data + two declarative services with typed outputs.
+    sys.install_doc(
+        server,
+        "wire",
+        Tree::parse(
+            r#"<wire><item kind="news">Algebraic optimizers ship</item>
+                     <item kind="stock">AXML +42%</item></wire>"#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    for (svc, kind, out_label) in [("news-svc", "news", "news"), ("stock-svc", "stock", "stock")] {
+        let q = Query::parse(
+            svc,
+            &format!(
+                r#"for $i in doc("wire")/item where $i/@kind = "{kind}" return <{out_label}>{{$i/text()}}</{out_label}>"#
+            ),
+        )
+        .unwrap();
+        sys.register_service(
+            server,
+            Service::declarative(svc, q).with_signature(Signature::new(
+                vec![],
+                TreeType::new(out_label, axml::types::schema::TypeName::any()),
+            )),
+        )
+        .unwrap();
+    }
+
+    // The portal document: two lazy calls.
+    sys.install_doc(
+        client,
+        "portal",
+        Tree::parse(
+            r#"<portal>
+                 <sc mode="lazy"><peer>p1</peer><service>news-svc</service></sc>
+                 <sc mode="lazy"><peer>p1</peer><service>stock-svc</service></sc>
+               </portal>"#,
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    // ---- act 1: lazy query evaluation ----------------------------------
+    println!("== act 1: lazy activation ==");
+    let q = Query::parse("want-news", "$0//news").unwrap();
+    let (results, activated) = sys.query_document(client, &"portal".into(), &q).unwrap();
+    println!(
+        "query `$0//news`: {} result(s), {activated} of 2 lazy calls fired",
+        results.len()
+    );
+    for r in &results {
+        println!("  {}", r.serialize());
+    }
+    assert_eq!(activated, 1, "the stock call never fires");
+
+    // ---- act 2: type-driven activation ----------------------------------
+    println!("\n== act 2: type-driven activation ==");
+    let schema = SchemaBuilder::new()
+        .ty(
+            "PortalT",
+            Content::interleave([
+                Content::plus(Content::elem("news", "AnyT")),
+                Content::plus(Content::elem("stock", "AnyT")),
+            ]),
+        )
+        .ty("AnyT", Content::any())
+        .build()
+        .unwrap();
+    let fired = sys
+        .activate_to_type(client, &"portal".into(), &schema, &"PortalT".into())
+        .unwrap();
+    println!("activated {fired} more call(s) to reach type PortalT");
+    let portal = sys.peer(client).docs.get(&"portal".into()).unwrap().tree();
+    schema.validate(portal, "PortalT").unwrap();
+    println!("portal now validates: {}", portal.serialize());
+
+    // ---- act 3: partition resilience -------------------------------------
+    println!("\n== act 3: partition resilience ==");
+    sys.net_mut().fail_link(client, server);
+    let fetch = Expr::EvalAt {
+        peer: server,
+        expr: Box::new(Expr::Send {
+            dest: SendDest::Peer(client),
+            payload: Box::new(Expr::Doc {
+                name: "wire".into(),
+                at: PeerRef::At(server),
+            }),
+        }),
+    };
+    match sys.eval(client, &fetch) {
+        Err(e) => println!("direct fetch fails as expected: {e}"),
+        Ok(_) => unreachable!("the link is down"),
+    }
+    let model = CostModel::from_system(&sys);
+    let plan = Optimizer::standard().optimize(&model, client, &fetch);
+    println!("optimizer reroutes via: {}", plan.trace.join(" → "));
+    let out = sys.eval(client, &plan.expr).unwrap();
+    println!(
+        "fetched {} tree(s) through the relay despite the partition",
+        out.len()
+    );
+    assert_eq!(out.len(), 1);
+}

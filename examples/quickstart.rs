@@ -1,0 +1,77 @@
+//! Quickstart: two peers, one catalog, one query — naive vs. optimized.
+//!
+//! Run with: `cargo run --example quickstart`
+//!
+//! A client peer queries a package catalog hosted on a server across a
+//! WAN link. The naive strategy (definition (7) of the paper) ships the
+//! whole catalog to the client; the optimizer applies the equivalence
+//! rules of §3.3 (query delegation / pushed selections) and ships only
+//! the selected subset.
+
+use axml::prelude::*;
+use axml::xml::tree::Tree;
+
+fn main() {
+    // ---- build the system --------------------------------------------
+    let mut sys = AxmlSystem::new();
+    let client = sys.add_peer("client");
+    let server = sys.add_peer("server");
+    sys.net_mut().set_link(client, server, LinkCost::wan());
+
+    // A catalog with 500 packages, of which only a handful are large.
+    let mut xml = String::from("<catalog>");
+    for i in 0..500 {
+        let size = if i % 100 == 0 { 50_000 + i } else { i % 1000 };
+        xml.push_str(&format!(
+            r#"<pkg name="package-{i}"><size>{size}</size><summary>example package number {i}</summary></pkg>"#
+        ));
+    }
+    xml.push_str("</catalog>");
+    let catalog = Tree::parse(&xml).expect("well-formed catalog");
+    println!(
+        "catalog: 500 packages, {} bytes serialized",
+        catalog.serialized_size()
+    );
+    sys.install_doc(server, "catalog", catalog).unwrap();
+
+    // ---- the query -----------------------------------------------------
+    let q = Query::parse(
+        "find-big",
+        r#"for $p in $0//pkg where $p/size/text() > 10000
+           return <big name="{$p/@name}">{$p/size}</big>"#,
+    )
+    .unwrap();
+    println!("query: {}", q.source().unwrap().trim());
+
+    // ---- naive evaluation ----------------------------------------------
+    let naive = Expr::Apply {
+        query: LocatedQuery::new(q.clone(), client),
+        args: vec![Expr::Doc {
+            name: "catalog".into(),
+            at: PeerRef::At(server),
+        }],
+    };
+    let results = sys.eval(client, &naive).unwrap();
+    println!("\n== naive strategy (ship the catalog, filter locally) ==");
+    println!("results: {} packages", results.len());
+    println!("traffic: {}", sys.stats());
+
+    // ---- optimized evaluation -------------------------------------------
+    let naive_bytes = sys.stats().total_bytes();
+    sys.reset_stats();
+    let model = CostModel::from_system(&sys);
+    let plan = Optimizer::standard().optimize(&model, client, &naive);
+    println!("== optimizer ==");
+    println!("{plan}");
+    let results2 = sys.eval(client, &plan.expr).unwrap();
+    println!("\n== optimized strategy ==");
+    println!("results: {} packages", results2.len());
+    println!("traffic: {}", sys.stats());
+
+    assert!(forest_equiv(&results, &results2), "same answers");
+    let opt_bytes = sys.stats().total_bytes();
+    println!(
+        "bytes shipped: naive {naive_bytes} → optimized {opt_bytes} ({:.1}x less)",
+        naive_bytes as f64 / opt_bytes as f64
+    );
+}

@@ -1,0 +1,131 @@
+//! The software-distribution application of §4 (the EDOS project
+//! scenario referenced by the paper's extended version).
+//!
+//! Run with: `cargo run --example software_distribution`
+//!
+//! Setup: a vendor publishes a package catalog; two mirrors replicate it
+//! (a generic document class `catalog@any`); clients in two regions
+//! subscribe to security updates through continuous services and query
+//! distributed metadata. This exercises: generic documents + pick
+//! policies (§2.3/def. (9)), continuous services (§2.2), forward lists,
+//! and the optimizer across a clustered WAN.
+
+use axml::prelude::*;
+use axml::xml::tree::Tree;
+
+fn catalog(n: usize) -> Tree {
+    let mut xml = String::from("<catalog>");
+    for i in 0..n {
+        xml.push_str(&format!(
+            r#"<pkg name="pkg-{i}" arch="x86_64"><version>1.{}</version><size>{}</size></pkg>"#,
+            i % 7,
+            (i * 997) % 100_000
+        ));
+    }
+    xml.push_str("</catalog>");
+    Tree::parse(&xml).unwrap()
+}
+
+fn main() {
+    // ---- topology: vendor + 2 mirrors + 2 clients ----------------------
+    // Clusters: {vendor, mirror-eu}, {mirror-us, client-us}, {client-eu}
+    let mut sys = AxmlSystem::new();
+    let vendor = sys.add_peer("vendor");
+    let mirror_eu = sys.add_peer("mirror-eu");
+    let mirror_us = sys.add_peer("mirror-us");
+    let client_eu = sys.add_peer("client-eu");
+    let client_us = sys.add_peer("client-us");
+    for (a, b, cost) in [
+        (vendor, mirror_eu, LinkCost::lan()),
+        (vendor, mirror_us, LinkCost::wan()),
+        (vendor, client_eu, LinkCost::wan()),
+        (vendor, client_us, LinkCost::slow()),
+        (mirror_eu, client_eu, LinkCost::lan()),
+        (mirror_eu, mirror_us, LinkCost::wan()),
+        (mirror_eu, client_us, LinkCost::slow()),
+        (mirror_us, client_us, LinkCost::lan()),
+        (mirror_us, client_eu, LinkCost::slow()),
+        (client_eu, client_us, LinkCost::slow()),
+    ] {
+        sys.net_mut().set_link(a, b, cost);
+    }
+
+    // ---- replicated catalog (generic document class) -------------------
+    let cat = catalog(300);
+    println!("catalog: 300 packages, {} bytes", cat.serialized_size());
+    sys.install_replica(vendor, "catalog", "catalog", cat.clone()).unwrap();
+    sys.install_replica(mirror_eu, "catalog", "catalog", cat.clone()).unwrap();
+    sys.install_replica(mirror_us, "catalog", "catalog", cat).unwrap();
+    sys.set_pick_policy(PickPolicy::Closest);
+
+    // ---- a client queries the generic catalog --------------------------
+    let q = Query::parse(
+        "want",
+        r#"for $p in $0//pkg where $p/size/text() > 90000 return <get>{$p/@name}</get>"#,
+    )
+    .unwrap();
+    let naive = Expr::Apply {
+        query: LocatedQuery::new(q, client_us),
+        args: vec![Expr::Doc {
+            name: "catalog".into(),
+            at: PeerRef::Any, // "some replica" — the system picks
+        }],
+    };
+    println!("\n== client-us queries catalog@any, naive ==");
+    let out = sys.eval(client_us, &naive).unwrap();
+    println!("{} large packages; traffic: {}", out.len(), sys.stats());
+
+    sys.reset_stats();
+    let model = CostModel::from_system(&sys);
+    let plan = Optimizer::standard().optimize(&model, client_us, &naive);
+    println!("== optimized (rule trace: {}) ==", plan.trace.join(" → "));
+    let out2 = sys.eval(client_us, &plan.expr).unwrap();
+    assert!(forest_equiv(&out, &out2));
+    println!("{} large packages; traffic: {}", out2.len(), sys.stats());
+
+    // ---- security-update subscriptions (continuous services) -----------
+    println!("== security-update subscriptions ==");
+    sys.install_doc(vendor, "advisories", Tree::parse("<advisories/>").unwrap())
+        .unwrap();
+    sys.register_declarative_service(
+        vendor,
+        "security-feed",
+        r#"for $a in doc("advisories")/advisory where $a/@severity = "critical" return {$a}"#,
+    )
+    .unwrap();
+    for (client, name) in [(client_eu, "inbox-eu"), (client_us, "inbox-us")] {
+        sys.install_doc(
+            client,
+            name,
+            Tree::parse(&format!(
+                r#"<{name}><sc><peer>p0</peer><service>security-feed</service></sc></{name}>"#
+            ))
+            .unwrap(),
+        )
+        .unwrap();
+        sys.activate_document(client, &name.into()).unwrap();
+    }
+    sys.reset_stats();
+
+    // The vendor publishes three advisories; only critical ones stream out.
+    for (id, severity) in [(101, "low"), (102, "critical"), (103, "critical")] {
+        let delivered = sys
+            .feed(
+                vendor,
+                "advisories",
+                Tree::parse(&format!(
+                    r#"<advisory id="{id}" severity="{severity}"><pkg>pkg-{id}</pkg></advisory>"#
+                ))
+                .unwrap(),
+            )
+            .unwrap();
+        println!("advisory {id} ({severity}): {delivered} deliveries");
+    }
+    for (client, name) in [(client_eu, "inbox-eu"), (client_us, "inbox-us")] {
+        let inbox = sys.peer(client).docs.get(&name.into()).unwrap().tree();
+        let received = inbox.children(inbox.root()).len() - 1; // minus the sc
+        println!("{name}: {received} advisories received");
+        assert_eq!(received, 2);
+    }
+    println!("subscription traffic: {}", sys.stats());
+}

@@ -1,0 +1,133 @@
+//! Continuous services: live documents that keep filling themselves.
+//!
+//! Run with: `cargo run --example subscription`
+//!
+//! §2.2 of the paper: *"AXML also supports calls to continuous services
+//! … the response trees successively sent accumulate as siblings of the
+//! sc node"*, and calls may be chained: *"if a service call sc1 must be
+//! activated just after sc2 … sc1 will be activated after handling every
+//! answer to sc2."* This example builds a small news/alerting pipeline:
+//!
+//!   newsroom ──(db-news, continuous)──▶ reader digest
+//!                      │ @after
+//!                      ▼
+//!             notify service → pager document on a third peer
+//!
+//! and streams items through it, printing what crosses the wire.
+
+use axml::prelude::*;
+use axml::xml::tree::Tree;
+
+fn main() {
+    let mut sys = AxmlSystem::new();
+    let reader = sys.add_peer("reader");
+    let newsroom = sys.add_peer("newsroom");
+    let pager = sys.add_peer("pager");
+    sys.net_mut().set_link(reader, newsroom, LinkCost::wan());
+    sys.net_mut().set_link(reader, pager, LinkCost::lan());
+    sys.net_mut().set_link(newsroom, pager, LinkCost::wan());
+
+    // The newsroom state: a stream of items, plus a marker board.
+    sys.install_doc(newsroom, "wire", Tree::parse("<wire/>").unwrap())
+        .unwrap();
+    sys.install_doc(
+        newsroom,
+        "board",
+        Tree::parse("<board><mark>news-batch-processed</mark></board>").unwrap(),
+    )
+    .unwrap();
+
+    // Continuous service: database-topic items only.
+    sys.register_declarative_service(
+        newsroom,
+        "db-news",
+        r#"for $i in doc("wire")/item where $i/@topic = "databases" return <story>{$i/title}</story>"#,
+    )
+    .unwrap();
+    // A second service used by the @after chain.
+    sys.register_declarative_service(newsroom, "ack", r#"doc("board")/mark"#)
+        .unwrap();
+
+    // The pager's inbox (forward-list target).
+    sys.install_doc(pager, "alerts", Tree::parse("<alerts/>").unwrap())
+        .unwrap();
+    let alerts_root = sys
+        .peer(pager)
+        .docs
+        .get(&"alerts".into())
+        .unwrap()
+        .tree()
+        .root();
+
+    // The reader's digest: a live AXML document with a chained call whose
+    // results go straight to the pager (explicit forw — §2.3).
+    let digest_xml = format!(
+        r#"<digest>
+             <sc id="news"><peer>p1</peer><service>db-news</service></sc>
+             <sc after="news"><peer>p1</peer><service>ack</service>
+               <forw>alerts#{}@p2</forw></sc>
+           </digest>"#,
+        alerts_root.index()
+    );
+    sys.install_doc(reader, "digest", Tree::parse(&digest_xml).unwrap())
+        .unwrap();
+
+    println!("activating the digest document (sc elements become subscriptions)…");
+    let subs = sys.activate_document(reader, &"digest".into()).unwrap();
+    println!("  {} subscriptions created", subs.len());
+    for s in sys.subscriptions() {
+        println!(
+            "  sub {}: {} @ {} → {} sink(s), trigger {:?}",
+            s.id,
+            s.service,
+            s.provider,
+            s.sink.len(),
+            s.trigger
+        );
+    }
+
+    // ---- stream items through -------------------------------------------
+    let items = [
+        ("databases", "A fully algebraic distributed XML engine"),
+        ("sports", "Local team wins"),
+        ("databases", "Continuous queries considered delightful"),
+        ("weather", "Rain expected"),
+        ("databases", "Optimizers everywhere"),
+    ];
+    for (topic, title) in items {
+        sys.reset_stats();
+        let delivered = sys
+            .feed(
+                newsroom,
+                "wire",
+                Tree::parse(&format!(
+                    r#"<item topic="{topic}"><title>{title}</title></item>"#
+                ))
+                .unwrap(),
+            )
+            .unwrap();
+        println!(
+            "\nfeed [{topic:9}] {title:45} → {delivered} delivery(ies), {} B on the wire",
+            sys.stats().total_bytes()
+        );
+    }
+
+    // ---- final state ------------------------------------------------------
+    let digest = sys.peer(reader).docs.get(&"digest".into()).unwrap().tree();
+    let stories = digest.descendants_labeled(digest.root(), "story").count();
+    println!("\nreader digest now holds {stories} stories:");
+    for s in digest.descendants_labeled(digest.root(), "story") {
+        println!("  - {}", digest.text(s));
+    }
+    assert_eq!(stories, 3, "three database stories were streamed");
+
+    let alerts = sys.peer(pager).docs.get(&"alerts".into()).unwrap().tree();
+    println!(
+        "pager alerts document: {}",
+        alerts.serialize()
+    );
+    assert!(
+        alerts.serialize().contains("news-batch-processed"),
+        "the @after chain delivered the ack to the pager"
+    );
+}

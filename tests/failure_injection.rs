@@ -1,0 +1,100 @@
+//! Failure injection: partitioned links surface as typed errors, and the
+//! optimizer routes around them (rule (12) right-to-left finds a relay).
+
+use axml::core::cost::CostModel;
+use axml::prelude::*;
+use axml::xml::tree::Tree;
+
+fn catalog(n: usize) -> Tree {
+    let mut xml = String::from("<catalog>");
+    for i in 0..n {
+        xml.push_str(&format!(
+            r#"<pkg name="pkg-{i}"><size>{}</size></pkg>"#,
+            i * 97 % 9999
+        ));
+    }
+    xml.push_str("</catalog>");
+    Tree::parse(&xml).unwrap()
+}
+
+fn triangle() -> (AxmlSystem, PeerId, PeerId, PeerId) {
+    let mut sys = AxmlSystem::new();
+    let a = sys.add_peer("a");
+    let b = sys.add_peer("b");
+    let c = sys.add_peer("relay");
+    sys.net_mut().set_link(a, b, LinkCost::wan());
+    sys.net_mut().set_link(a, c, LinkCost::wan());
+    sys.net_mut().set_link(b, c, LinkCost::wan());
+    sys.install_doc(b, "catalog", catalog(100)).unwrap();
+    (sys, a, b, c)
+}
+
+#[test]
+fn eval_across_down_link_fails_cleanly() {
+    let (mut sys, a, b, _c) = triangle();
+    sys.net_mut().fail_link(a, b);
+    let e = Expr::Doc {
+        name: "catalog".into(),
+        at: PeerRef::At(b),
+    };
+    let err = sys.eval(a, &e).unwrap_err();
+    assert!(
+        err.to_string().contains("down"),
+        "expected a LinkDown error, got: {err}"
+    );
+    // restore and retry: works again
+    sys.net_mut().restore_link(a, b);
+    assert_eq!(sys.eval(a, &e).unwrap().len(), 1);
+}
+
+#[test]
+fn continuous_delivery_fails_when_partitioned() {
+    let (mut sys, a, b, _c) = triangle();
+    sys.register_declarative_service(b, "feed", r#"doc("catalog")//pkg/@name"#)
+        .unwrap();
+    sys.install_doc(
+        a,
+        "inbox",
+        Tree::parse(r#"<inbox><sc><peer>p1</peer><service>feed</service></sc></inbox>"#).unwrap(),
+    )
+    .unwrap();
+    sys.activate_document(a, &"inbox".into()).unwrap();
+    sys.net_mut().fail_link(a, b);
+    let err = sys
+        .feed(b, "catalog", Tree::parse(r#"<pkg name="new"><size>1</size></pkg>"#).unwrap())
+        .unwrap_err();
+    assert!(err.to_string().contains("down"), "{err}");
+}
+
+#[test]
+fn optimizer_routes_around_partition() {
+    let (mut sys, a, b, c) = triangle();
+    sys.net_mut().fail_link(a, b);
+    let model = CostModel::from_system(&sys);
+    // The naive-but-explicit fetch plan crosses the dead link.
+    let direct = Expr::EvalAt {
+        peer: b,
+        expr: Box::new(Expr::Send {
+            dest: SendDest::Peer(a),
+            payload: Box::new(Expr::Doc {
+                name: "catalog".into(),
+                at: PeerRef::At(b),
+            }),
+        }),
+    };
+    let plan = Optimizer::standard().optimize(&model, a, &direct);
+    assert!(
+        plan.trace.contains(&"R12-add-stop"),
+        "expected a relay plan, got {:?}",
+        plan.trace
+    );
+    // The relayed plan actually evaluates despite the partition…
+    let out = sys.eval(a, &plan.expr).unwrap();
+    assert_eq!(out.len(), 1);
+    // …moving bytes b→relay→a only.
+    assert_eq!(sys.stats().link(b, a).messages, 0);
+    assert!(sys.stats().link(b, c).bytes > 0);
+    assert!(sys.stats().link(c, a).bytes > 0);
+    // and the direct plan still fails, proving the rewrite was necessary.
+    assert!(sys.eval(a, &direct).is_err());
+}

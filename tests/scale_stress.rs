@@ -1,0 +1,157 @@
+//! Scale and determinism stress tests: larger peer counts, replicated
+//! classes under concurrent-looking update sequences, and bit-for-bit
+//! reproducibility of whole runs.
+
+use axml::core::cost::CostModel;
+use axml::prelude::*;
+use axml::xml::tree::Tree;
+
+fn catalog(n: usize, seed: usize) -> Tree {
+    let mut xml = String::from("<catalog>");
+    for i in 0..n {
+        xml.push_str(&format!(
+            r#"<pkg name="pkg-{seed}-{i}"><size>{}</size></pkg>"#,
+            (i * 7919 + seed * 31) % 100_000
+        ));
+    }
+    xml.push_str("</catalog>");
+    Tree::parse(&xml).unwrap()
+}
+
+/// A 24-peer clustered system: 3 sites of 8; data on one peer per site.
+fn big_system() -> AxmlSystem {
+    let mut sys = AxmlSystem::with_topology(&Topology::Clustered {
+        clusters: vec![8, 8, 8],
+        intra: LinkCost::lan(),
+        inter: LinkCost::wan(),
+    });
+    for (site, data_peer) in [(0u32, 0u32), (1, 8), (2, 16)] {
+        // Replicas are equivalent (same content) — the §2.3 premise.
+        sys.install_replica(
+            PeerId(data_peer),
+            "cat",
+            format!("cat-{site}"),
+            catalog(120, 0),
+        )
+        .unwrap();
+    }
+    sys
+}
+
+#[test]
+fn many_clients_query_generic_catalog() {
+    let mut sys = big_system();
+    sys.set_pick_policy(PickPolicy::Closest);
+    let q = Query::parse(
+        "sel",
+        r#"for $p in $0//pkg where $p/size/text() > 90000 return {$p/@name}"#,
+    )
+    .unwrap();
+    // Every non-data peer runs the same query against cat@any.
+    let mut sizes = Vec::new();
+    for p in 0..24u32 {
+        if [0, 8, 16].contains(&p) {
+            continue;
+        }
+        let e = Expr::Apply {
+            query: LocatedQuery::new(q.clone(), PeerId(p)),
+            args: vec![Expr::Doc {
+                name: "cat".into(),
+                at: PeerRef::Any,
+            }],
+        };
+        let out = sys.eval(PeerId(p), &e).unwrap();
+        sizes.push(out.len());
+    }
+    // All replicas are equivalent, so every client gets the same answer.
+    assert_eq!(sizes.len(), 21);
+    assert!(sizes.iter().all(|&s| s == sizes[0]), "{sizes:?}");
+    assert!(sizes[0] > 0);
+    // Closest keeps all fetches intra-site: no inter-cluster data at all.
+    for a in 0..8u32 {
+        for b in 8..24u32 {
+            assert_eq!(
+                sys.stats().link(PeerId(b), PeerId(a)).messages,
+                0,
+                "inter-cluster transfer {b}→{a}"
+            );
+        }
+    }
+}
+
+#[test]
+fn optimizer_handles_two_dozen_peers() {
+    let sys = big_system();
+    let model = CostModel::from_system(&sys);
+    let q = Query::parse(
+        "sel",
+        r#"for $p in $0//pkg where $p/size/text() > 90000 return {$p/@name}"#,
+    )
+    .unwrap();
+    let naive = Expr::Apply {
+        query: LocatedQuery::new(q, PeerId(1)),
+        args: vec![Expr::Doc {
+            name: "cat-1".into(),
+            at: PeerRef::At(PeerId(8)),
+        }],
+    };
+    let t0 = std::time::Instant::now();
+    let plan = Optimizer::standard().optimize(&model, PeerId(1), &naive);
+    assert!(
+        t0.elapsed().as_millis() < 5_000,
+        "search must stay interactive at 24 peers"
+    );
+    assert!(plan.cost.scalar() < model.scalar_cost(PeerId(1), &naive));
+}
+
+#[test]
+fn long_update_sequences_keep_replicas_consistent() {
+    let mut sys = big_system();
+    // interleave updates originating from each site
+    for i in 0..30 {
+        let origin = PeerId([0u32, 8, 16][i % 3]);
+        sys.feed_replicas(
+            origin,
+            &"cat".into(),
+            Tree::parse(&format!(r#"<pkg name="upd-{i}"><size>{}</size></pkg>"#, i * 1000))
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(sys.replicas_consistent(&"cat".into()).unwrap(), "after update {i}");
+    }
+    // 30 updates × 2 sibling transfers each
+    assert_eq!(sys.stats().total_messages(), 60);
+}
+
+#[test]
+fn whole_runs_are_deterministic() {
+    let run = || -> (String, u64, String) {
+        let mut sys = big_system();
+        sys.set_pick_policy(PickPolicy::Random(1234));
+        let q = Query::parse(
+            "sel",
+            r#"for $p in $0//pkg where $p/size/text() > 50000 return <r>{$p/@name}</r>"#,
+        )
+        .unwrap();
+        let mut transcript = String::new();
+        for p in [1u32, 9, 17, 2, 10] {
+            let e = Expr::Apply {
+                query: LocatedQuery::new(q.clone(), PeerId(p)),
+                args: vec![Expr::Doc {
+                    name: "cat".into(),
+                    at: PeerRef::Any,
+                }],
+            };
+            let out = sys.eval(PeerId(p), &e).unwrap();
+            transcript.push_str(&format!("{p}:{};", out.len()));
+        }
+        sys.feed_replicas(PeerId(0), &"cat".into(), Tree::parse("<pkg name=\"x\"/>").unwrap())
+            .unwrap();
+        (
+            transcript,
+            sys.stats().total_bytes(),
+            format!("{:.6}", sys.stats().makespan_ms()),
+        )
+    };
+    assert_eq!(run(), run(), "simulation must be bit-for-bit reproducible");
+}
