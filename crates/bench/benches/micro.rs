@@ -92,11 +92,45 @@ fn bench_optimizer(c: &mut Criterion) {
     });
 }
 
+fn bench_observability(c: &mut Criterion) {
+    use axml_bench::workload::{naive_apply, two_peer};
+    use axml_core::prelude::VecSink;
+
+    // The acceptance bar for the tracing layer: with no sink installed
+    // the `Obs::emit(|| …)` closures must be dead weight (< 2 % vs. the
+    // same instrumented code path — compare these two numbers).
+    let naive = |sys: &mut axml_core::AxmlSystem, client, server| {
+        let e = naive_apply(selective_query(), client, server);
+        sys.eval(client, &e).unwrap()
+    };
+    let mut g = c.benchmark_group("observability");
+    g.bench_function("eval/no_sink", |b| {
+        let (mut sys, client, server) = two_peer(catalog(200, 0.05, 4));
+        b.iter(|| {
+            sys.reset_stats();
+            naive(&mut sys, client, server).len()
+        })
+    });
+    g.bench_function("eval/vec_sink", |b| {
+        let (mut sys, client, server) = two_peer(catalog(200, 0.05, 4));
+        let sink = VecSink::new();
+        sys.set_trace_sink(Box::new(sink.clone()));
+        b.iter(|| {
+            sys.reset_stats();
+            let n = naive(&mut sys, client, server).len();
+            black_box(sink.take());
+            n
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_xml,
     bench_content_model,
     bench_query,
-    bench_optimizer
+    bench_optimizer,
+    bench_observability
 );
 criterion_main!(benches);

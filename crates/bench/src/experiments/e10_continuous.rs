@@ -74,7 +74,41 @@ pub fn run() -> Report {
     }
     r.note("recompute reprocesses the whole prefix per arrival: quadratic total work");
     r.note("the semi-naive evaluator touches only the new tree: linear total work");
+    r.attach_run(live_subscription_snapshot());
     r
+}
+
+/// The same delta semantics on a live two-peer system, as an
+/// observability snapshot: one subscription, two feeds (the second is a
+/// duplicate, so the delta cache suppresses it).
+fn live_subscription_snapshot() -> axml_core::prelude::RunReport {
+    use axml_core::prelude::*;
+    let mut sys = AxmlSystem::new();
+    let provider = sys.add_peer("provider");
+    let client = sys.add_peer("client");
+    sys.net_mut().set_link(provider, client, LinkCost::wan());
+    sys.install_doc(provider, "feed", Tree::parse("<feed/>").unwrap())
+        .unwrap();
+    sys.register_declarative_service(
+        provider,
+        "items",
+        r#"for $i in doc("feed")/item return {$i}"#,
+    )
+    .unwrap();
+    sys.install_doc(
+        client,
+        "inbox",
+        Tree::parse(r#"<inbox><sc><peer>p0</peer><service>items</service></sc></inbox>"#).unwrap(),
+    )
+    .unwrap();
+    sys.activate_document(client, &"inbox".into()).unwrap();
+    sys.feed(provider, "feed", Tree::parse("<item>a</item>").unwrap())
+        .unwrap();
+    // the same item again: the already-delivered copy is suppressed by the
+    // delta cache; only the new (multiset) copy ships
+    sys.feed(provider, "feed", Tree::parse("<item>a</item>").unwrap())
+        .unwrap();
+    sys.run_report("E10 live subscription (delta shipping)")
 }
 
 #[cfg(test)]

@@ -66,6 +66,16 @@ pub fn run() -> Report {
     };
 
     let (full_bytes, full_ms, full_trace) = evaluate(standard_rules());
+    // observability snapshot of the full-rule-set configuration
+    {
+        let sys = build();
+        let model = CostModel::from_system(&sys);
+        let mut sys2 = build();
+        let plan =
+            Optimizer::standard().optimize_with(&model, site, &naive, sys2.obs_mut());
+        let _ = sys2.eval(site, &plan.expr).unwrap();
+        r.attach_run(sys2.run_report("E11 full rule set"));
+    }
     r.row(vec![
         "full rule set".into(),
         fmt_bytes(full_bytes),

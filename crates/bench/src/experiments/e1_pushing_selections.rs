@@ -64,6 +64,8 @@ pub fn run() -> Report {
         let (n2, b2, _m2, t2) = measure(&mut sys2, client2, &plan);
 
         assert_eq!(n1, n2, "strategies must agree");
+        // representative observability snapshot (last σ wins)
+        r.attach_run(sys2.run_report(format!("E1 pushed plan (σ={:.0}%)", sel * 100.0)));
         r.row(vec![
             format!("{:.0}", sel * 100.0),
             n1.to_string(),

@@ -48,6 +48,7 @@ pub fn run() -> Report {
         };
         let (mut sys2, client2, _server2) = two_peer(tree);
         let (_n2, b2, _m2, _t2) = measure(&mut sys2, client2, &delegated);
+        r.attach_run(sys2.run_report(format!("E2 delegated plan ({n} pkgs)")));
 
         r.row(vec![
             n.to_string(),

@@ -32,7 +32,7 @@ pub fn run() -> Report {
             per_msg_bytes: 256,
         };
         let tree = catalog(300, 0.1, 0xE3);
-        let fetch = |via_gateway: bool| {
+        let fetch = |r: &mut Report, via_gateway: bool| {
             let (mut sys, edge, origin, gw) = gateway(direct_link, tree.clone());
             let inner = Expr::Doc {
                 name: "catalog".into(),
@@ -62,10 +62,14 @@ pub fn run() -> Report {
                     }),
                 }
             };
-            measure(&mut sys, edge, &plan)
+            let out = measure(&mut sys, edge, &plan);
+            if via_gateway {
+                r.attach_run(sys.run_report(format!("E3 relay plan (direct {bw:.0} B/ms)")));
+            }
+            out
         };
-        let (_, bd, _, td) = fetch(false);
-        let (_, br, _, tr) = fetch(true);
+        let (_, bd, _, td) = fetch(&mut r, false);
+        let (_, br, _, tr) = fetch(&mut r, true);
         r.row(vec![
             format!("{bw:.0}"),
             format!("{td:.1}"),

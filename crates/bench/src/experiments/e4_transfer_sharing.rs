@@ -77,6 +77,7 @@ pub fn run() -> Report {
         ]);
         let (n2, b2, _m2, _t2) = measure(&mut sys2, client2, &shared);
         assert_eq!(n1, n2, "strategies must agree at k={k}");
+        r.attach_run(sys2.run_report(format!("E4 shared plan (k={k})")));
         r.row(vec![
             k.to_string(),
             n1.to_string(),

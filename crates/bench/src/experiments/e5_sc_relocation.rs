@@ -60,7 +60,7 @@ pub fn run() -> Report {
         vec!["param entries", "at-coord B", "relocated B", "ratio", "results"],
     );
     for &n in PARAM_SIZES {
-        let run_with = |relocate: bool| -> (u64, usize) {
+        let run_with = |r: &mut Report, relocate: bool| -> (u64, usize) {
             let (mut sys, coordinator, provider, archive) = build(n);
             let vault_root = sys
                 .peer(archive)
@@ -87,14 +87,17 @@ pub fn run() -> Report {
                 sc
             };
             sys.eval(coordinator, &plan).unwrap();
+            if relocate {
+                r.attach_run(sys.run_report(format!("E5 relocated plan ({n} param entries)")));
+            }
             let vault = sys.peer(archive).docs.get(&"vault".into()).unwrap().tree();
             (
                 sys.stats().total_bytes(),
                 vault.children(vault.root()).len(),
             )
         };
-        let (naive_b, n1) = run_with(false);
-        let (reloc_b, n2) = run_with(true);
+        let (naive_b, n1) = run_with(&mut r, false);
+        let (reloc_b, n2) = run_with(&mut r, true);
         assert_eq!(n1, n2, "identical results from either site");
         r.row(vec![
             n.to_string(),

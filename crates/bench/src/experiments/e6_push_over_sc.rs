@@ -61,6 +61,12 @@ pub fn run() -> Report {
         let (mut sys2, client2, _server2) = build();
         let (n2, b2, _m2, _t2) = measure(&mut sys2, client2, &plan.expr);
         assert_eq!(n1, n2, "optimizer must preserve the answer");
+        // Re-run the search against this system's observability handle so
+        // the attached report shows the rule attempt/accept counters
+        // alongside the pushed plan's traffic.
+        let model2 = CostModel::from_system(&sys2);
+        let _ = Optimizer::standard().optimize_with(&model2, client2, &naive, sys2.obs_mut());
+        r.attach_run(sys2.run_report(format!("E6 pushed plan (σ={:.0}%)", sel * 100.0)));
 
         r.row(vec![
             format!("{:.0}", sel * 100.0),

@@ -50,6 +50,7 @@ pub fn run() -> Report {
             }
         }
         let max_load = load.values().copied().max().unwrap_or(0);
+        r.attach_run(sys.run_report(format!("E7 policy {name}")));
         r.row(vec![
             name.to_string(),
             fmt_bytes(sys.stats().total_bytes()),

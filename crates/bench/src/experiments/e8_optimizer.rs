@@ -121,6 +121,9 @@ pub fn run() -> Report {
         let mut s2 = build();
         let (n2, b2, _, _) = measure(&mut s2, site, &plan.expr);
         assert_eq!(n1, n2, "{name}: answers must agree");
+        // attach the search + optimized-run snapshot for this shape
+        let _ = Optimizer::standard().optimize_with(&model, site, &naive, s2.obs_mut());
+        r.attach_run(s2.run_report(format!("E8 optimized plan ({name})")));
         r.row(vec![
             name.to_string(),
             fmt_bytes(b1),

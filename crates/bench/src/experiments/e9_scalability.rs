@@ -57,6 +57,7 @@ pub fn run() -> Report {
         sys.reset_stats();
         sys.feed(provider, "feed", Tree::parse("<item>measured</item>").unwrap())
             .unwrap();
+        r.attach_run(sys.run_report(format!("E9 fan-out ({n} subscribers, one item)")));
         r.row(vec![
             "fan-out".into(),
             n.to_string(),

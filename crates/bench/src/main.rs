@@ -1,14 +1,27 @@
 //! The `experiments` binary: regenerates every table of `EXPERIMENTS.md`.
 //!
 //! ```text
-//! cargo run --release -p axml-bench --bin experiments          # all
-//! cargo run --release -p axml-bench --bin experiments -- e1 e8 # subset
+//! cargo run --release -p axml-bench --bin experiments            # all
+//! cargo run --release -p axml-bench --bin experiments -- e1 e8   # subset
+//! cargo run --release -p axml-bench --bin experiments -- --json  # JSON array
 //! ```
 
 use axml_bench::experiments;
 
 fn main() {
-    let wanted: Vec<String> = std::env::args().skip(1).map(|s| s.to_lowercase()).collect();
+    let mut json = false;
+    let wanted: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .map(|s| s.to_lowercase())
+        .collect();
     let all = experiments::all();
     let selected: Vec<_> = if wanted.is_empty() {
         all
@@ -21,8 +34,13 @@ fn main() {
         eprintln!("unknown experiment id; available: e1 … e11");
         std::process::exit(2);
     }
-    for (_, run) in selected {
-        let report = run();
-        println!("{report}");
+    let reports: Vec<_> = selected.into_iter().map(|(_, run)| run()).collect();
+    if json {
+        let items: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", items.join(","));
+    } else {
+        for report in &reports {
+            println!("{report}");
+        }
     }
 }

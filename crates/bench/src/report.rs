@@ -1,8 +1,13 @@
-//! Plain-text result tables, aligned and deterministic.
+//! Experiment result reporting: aligned plain-text tables, optional
+//! attached [`RunReport`]s, and a JSON exporter (`--json` on the
+//! `experiments` binary).
 
+use axml_obs::json::{array, JsonObject};
+use axml_obs::RunReport;
 use std::fmt;
 
-/// One experiment's output: a titled table plus free-form notes.
+/// One experiment's output: a titled table plus free-form notes, plus an
+/// optional observability snapshot of a representative run.
 #[derive(Debug, Clone)]
 pub struct Report {
     /// Experiment id, e.g. `"E1"`.
@@ -15,6 +20,9 @@ pub struct Report {
     pub rows: Vec<Vec<String>>,
     /// Interpretation notes (the "shape" the paper predicts).
     pub notes: Vec<String>,
+    /// Observability snapshot of one representative configuration
+    /// (definition counts, rule applications, per-peer traffic).
+    pub run: Option<RunReport>,
 }
 
 impl Report {
@@ -26,6 +34,7 @@ impl Report {
             headers,
             rows: Vec::new(),
             notes: Vec::new(),
+            run: None,
         }
     }
 
@@ -42,6 +51,33 @@ impl Report {
     /// Append an interpretation note.
     pub fn note(&mut self, s: impl Into<String>) {
         self.notes.push(s.into());
+    }
+
+    /// Attach the observability snapshot of a representative run.
+    pub fn attach_run(&mut self, run: RunReport) {
+        self.run = Some(run);
+    }
+
+    /// The report as a JSON object: id, title, headers, rows, notes, and
+    /// the attached run report (if any).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("id", self.id).str("title", self.title);
+        o.str_array("headers", self.headers.iter().copied());
+        let rows = array(self.rows.iter().map(|row| {
+            let cells: Vec<String> = row
+                .iter()
+                .map(|c| format!("\"{}\"", axml_obs::json::escape(c)))
+                .collect();
+            format!("[{}]", cells.join(","))
+        }));
+        o.raw("rows", &rows);
+        o.str_array("notes", self.notes.iter().map(String::as_str));
+        match &self.run {
+            Some(run) => o.raw("run", &run.to_json()),
+            None => o.raw("run", "null"),
+        };
+        o.finish()
     }
 }
 
@@ -69,6 +105,10 @@ impl fmt::Display for Report {
         }
         for n in &self.notes {
             writeln!(f, "  · {n}")?;
+        }
+        if let Some(run) = &self.run {
+            writeln!(f)?;
+            write!(f, "{run}")?;
         }
         Ok(())
     }
@@ -115,6 +155,22 @@ mod tests {
     fn row_width_checked() {
         let mut r = Report::new("E0", "demo", vec!["a", "b"]);
         r.row(vec!["only-one".into()]);
+    }
+
+    #[test]
+    fn json_export() {
+        let mut r = Report::new("E0", "demo", vec!["k", "bytes"]);
+        r.row(vec!["1".into(), "100".into()]);
+        r.note("shape \"note\"");
+        let json = r.to_json();
+        assert!(json.contains("\"id\":\"E0\""), "{json}");
+        assert!(json.contains("\"rows\":[[\"1\",\"100\"]]"), "{json}");
+        assert!(json.contains("\\\"note\\\""), "escaped: {json}");
+        assert!(json.contains("\"run\":null"), "{json}");
+        let run = RunReport::new("rep", &axml_obs::EvalMetrics::new(), &axml_net::NetStats::new());
+        r.attach_run(run);
+        assert!(r.to_json().contains("\"run\":{\"title\":\"rep\""));
+        assert!(r.to_string().contains("=== rep ==="));
     }
 
     #[test]

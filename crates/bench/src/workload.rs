@@ -7,8 +7,7 @@
 use axml_core::prelude::*;
 use axml_query::Query;
 use axml_xml::tree::Tree;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use axml_prng::SplitMix64;
 
 /// The size threshold used by the standard selective query: packages with
 /// `size > BIG_THRESHOLD` are "selected".
@@ -17,13 +16,13 @@ pub const BIG_THRESHOLD: u32 = 100_000;
 /// Generate a catalog of `n` packages in which a `selectivity` fraction
 /// (0.0–1.0) exceeds [`BIG_THRESHOLD`].
 pub fn catalog(n: usize, selectivity: f64, seed: u64) -> Tree {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let mut t = Tree::new("catalog");
     let root = t.root();
     for i in 0..n {
         let selected = (i as f64 + 0.5) / n as f64 <= selectivity;
         let size = if selected {
-            BIG_THRESHOLD + 1 + rng.gen_range(0..10_000)
+            BIG_THRESHOLD + 1 + rng.gen_range(0..10_000u32)
         } else {
             rng.gen_range(0..BIG_THRESHOLD / 2)
         };

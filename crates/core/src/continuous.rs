@@ -17,6 +17,7 @@
 use crate::error::{CoreError, CoreResult};
 use crate::sc::{ActivationMode, ScNode, ScProvider};
 use crate::system::AxmlSystem;
+use axml_obs::TraceEvent;
 use axml_xml::equiv::{canonicalize, Canon};
 use axml_xml::ids::{DocName, NodeAddr, PeerId, ServiceName};
 use axml_xml::tree::Tree;
@@ -104,6 +105,16 @@ impl AxmlSystem {
                 )?;
             }
             let id = self.fresh_call_id();
+            self.obs.metrics.service_calls += 1;
+            let now = self.now_ms();
+            let service_name = service.as_str().to_string();
+            self.obs.emit(|| TraceEvent::ServiceCall {
+                caller: at,
+                provider,
+                service: service_name,
+                call_id: id,
+                at_ms: now,
+            });
             let trigger = match &sc.mode {
                 ActivationMode::After(pred) => Trigger::AfterAnswer(pred.clone()),
                 _ => {
@@ -195,6 +206,7 @@ impl AxmlSystem {
         let query = svc.query.clone();
         let results = query.eval_with_docs(&params, &self.peers[provider.index()])?;
         // Delta: only what was never delivered before.
+        let recomputed = results.len();
         let fresh: Vec<Tree> = {
             let s = &mut self.subscriptions[idx];
             let mut budget = s.emitted.clone();
@@ -212,6 +224,18 @@ impl AxmlSystem {
             s.delivered += fresh.len();
             fresh
         };
+        let suppressed = recomputed - fresh.len();
+        self.obs.metrics.delta_fresh += fresh.len() as u64;
+        self.obs.metrics.delta_suppressed += suppressed as u64;
+        let now = self.now_ms();
+        let fresh_n = fresh.len();
+        self.obs.emit(|| TraceEvent::SubscriptionDelta {
+            subscription: id,
+            provider,
+            fresh: fresh_n,
+            suppressed,
+            at_ms: now,
+        });
         if fresh.is_empty() {
             return Ok(0);
         }

@@ -31,6 +31,7 @@ use crate::expr::{Expr, PeerRef, SendDest};
 use crate::message::AxmlMessage;
 use crate::sc::{ActivationMode, ScNode, ScProvider};
 use crate::system::AxmlSystem;
+use axml_obs::TraceEvent;
 use axml_xml::ids::{NodeAddr, PeerId, ServiceName};
 use axml_xml::tree::{NodeId, Tree};
 
@@ -43,6 +44,7 @@ impl AxmlSystem {
             // ---- definitions (1)/(5): literal trees -------------------
             Expr::Tree { tree, at: loc } => {
                 if loc == &at {
+                    self.record_def(1, at, "tree");
                     let t = self.materialize_tree(at, tree)?;
                     Ok(vec![t])
                 } else {
@@ -55,11 +57,13 @@ impl AxmlSystem {
                 let (home, concrete) = match loc {
                     PeerRef::At(p) => (*p, name.clone()),
                     PeerRef::Any => {
+                        self.record_def(9, at, "pickDoc");
                         let policy = self.pick_policy;
                         self.catalog.pick_doc(policy, at, name, &self.net)?
                     }
                 };
                 if home == at {
+                    self.record_def(1, at, "doc");
                     let tree = self.peers[at.index()].doc(&concrete, at)?.clone();
                     Ok(vec![tree])
                 } else {
@@ -82,6 +86,7 @@ impl AxmlSystem {
                 // Definition (7): a remote definition is shipped to the
                 // evaluation site first.
                 if query.def_at != at {
+                    self.record_def(7, at, "apply");
                     let def = query.query.to_xml().serialize();
                     self.transfer(
                         query.def_at,
@@ -91,6 +96,8 @@ impl AxmlSystem {
                             tag: "query-def",
                         },
                     )?;
+                } else {
+                    self.record_def(2, at, "apply");
                 }
                 // Arguments materialize at the evaluation site (remote data
                 // is fetched by the recursive definition (5)).
@@ -109,6 +116,7 @@ impl AxmlSystem {
                 let forest = self.eval(at, payload)?;
                 match dest {
                     SendDest::Peer(q) => {
+                        self.record_def(3, at, "send");
                         if q != &at {
                             self.transfer(
                                 at,
@@ -126,10 +134,12 @@ impl AxmlSystem {
                         Ok(Vec::new())
                     }
                     SendDest::Nodes(addrs) => {
+                        self.record_def(4, at, "send-nodes");
                         self.deliver_to_nodes(at, addrs, &forest)?;
                         Ok(Vec::new())
                     }
                     SendDest::NewDoc { peer, name } => {
+                        self.record_def(3, at, "send-newdoc");
                         if *peer != at {
                             self.transfer(
                                 at,
@@ -172,6 +182,11 @@ impl AxmlSystem {
 
             // ---- rules (14)–(16): delegated evaluation ----------------
             Expr::EvalAt { peer, expr: inner } => {
+                self.obs.metrics.delegations += 1;
+                let now = self.now_ms();
+                let (from, to) = (at, *peer);
+                self.obs
+                    .emit(|| TraceEvent::Delegation { from, to, at_ms: now });
                 let mut shipped;
                 let inner: &Expr = if *peer != at {
                     // The delegated plan crosses the wire (embedded query
@@ -223,6 +238,7 @@ impl AxmlSystem {
                 query,
                 as_service,
             } => {
+                self.record_def(8, at, "deploy");
                 if query.def_at != *to {
                     self.transfer(
                         query.def_at,
@@ -242,6 +258,7 @@ impl AxmlSystem {
 
             // ---- sequencing (rule (13) plans) -------------------------
             Expr::Seq(es) => {
+                self.obs.metrics.seq_steps += es.len() as u64;
                 let mut last = Vec::new();
                 for e in es {
                     last = self.eval(at, e)?;
@@ -259,6 +276,7 @@ impl AxmlSystem {
     /// node identifiers would), so fetching a tree never ships the tree's
     /// own bytes in the request direction.
     fn fetch_remote(&mut self, at: PeerId, loc: PeerId, expr: &Expr) -> CoreResult<Vec<Tree>> {
+        self.record_def(5, at, "fetch");
         let request_xml = match expr {
             Expr::Tree { tree, .. } => format!(
                 r#"<fetch kind="tree" at="p{}" ref="{:016x}"/>"#,
@@ -330,13 +348,24 @@ impl AxmlSystem {
         let (prov, concrete) = match provider {
             ScProvider::Peer(p) => (p, service.clone()),
             ScProvider::Any => {
+                self.record_def(9, caller, "pickService");
                 let policy = self.pick_policy;
                 self.catalog
                     .pick_service(policy, caller, service, &self.net)?
             }
         };
         self.check_peer(prov)?;
+        self.record_def(6, caller, "sc");
+        self.obs.metrics.service_calls += 1;
         let call_id = self.fresh_call_id();
+        let now = self.now_ms();
+        self.obs.emit(|| TraceEvent::ServiceCall {
+            caller,
+            provider: prov,
+            service: concrete.as_str().to_string(),
+            call_id,
+            at_ms: now,
+        });
         // Step 1: params to the provider.
         if prov != caller {
             self.transfer(
@@ -380,6 +409,19 @@ impl AxmlSystem {
             self.deliver_to_nodes(prov, forward, &results)?;
             Ok(Vec::new())
         }
+    }
+
+    /// Count one firing of paper definition `def` and, when a trace sink
+    /// is attached, stream the matching [`TraceEvent::Definition`].
+    fn record_def(&mut self, def: u8, peer: PeerId, expr: &'static str) {
+        self.obs.metrics.record_def(def);
+        let at_ms = self.net.now_ms();
+        self.obs.emit(|| TraceEvent::Definition {
+            def,
+            peer,
+            expr,
+            at_ms,
+        });
     }
 
     /// Definition (4): append a copy of each tree under each `n@p`.

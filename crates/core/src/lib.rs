@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # axml-core — distributed AXML: the paper's contribution
 //!
@@ -19,6 +19,20 @@
 //!   a network-aware **cost model** ([`cost`]) and a **cost-based
 //!   optimizer** with explain traces ([`optimizer`]),
 //! * `pickDoc`/`pickService` policies for generic references ([`pick`]).
+//!
+//! ## Observability
+//!
+//! Every evaluation step is observable: the evaluator, optimizer and
+//! subscription engine record `axml_obs` [`TraceEvent`](axml_obs::TraceEvent)s
+//! (definition fired, rule applied, message sent, delta shipped) through
+//! an optional [`TraceSink`](axml_obs::TraceSink) — zero-cost when none
+//! is installed — and aggregate [`EvalMetrics`](axml_obs::EvalMetrics)
+//! that reconcile *exactly* with the network layer's `NetStats`. Use
+//! [`AxmlSystem::set_trace_sink`](system::AxmlSystem::set_trace_sink) to
+//! attach a sink and
+//! [`AxmlSystem::run_report`](system::AxmlSystem::run_report) for a
+//! text/JSON [`RunReport`](axml_obs::RunReport). See `OBSERVABILITY.md`
+//! at the repository root for the full mapping to the paper.
 //!
 //! ## Quickstart
 //!
@@ -80,6 +94,7 @@ pub mod prelude {
     pub use crate::service::Service;
     pub use crate::system::AxmlSystem;
     pub use axml_net::link::{LinkCost, Topology};
+    pub use axml_obs::{EvalMetrics, Obs, RunReport, TraceEvent, VecSink};
     pub use axml_query::Query;
     pub use axml_xml::ids::{DocName, NodeAddr, PeerId, QueryName, ServiceName};
 }

@@ -60,6 +60,22 @@ pub enum AxmlMessage {
     },
 }
 
+impl AxmlMessage {
+    /// A short static label for metrics/traces. `Data` messages report
+    /// their tag ("send", "fetch", "forward", …) so the per-kind traffic
+    /// breakdown distinguishes the definition that produced them.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            AxmlMessage::Request { .. } => "request",
+            AxmlMessage::Data { tag, .. } => tag,
+            AxmlMessage::Invoke { .. } => "invoke",
+            AxmlMessage::Response { .. } => "response",
+            AxmlMessage::DeployQuery { .. } => "deploy-query",
+            AxmlMessage::InstallDoc { .. } => "install-doc",
+        }
+    }
+}
+
 impl Payload for AxmlMessage {
     fn wire_size(&self) -> usize {
         match self {

@@ -13,6 +13,7 @@
 use crate::cost::{Cost, CostModel};
 use crate::expr::Expr;
 use crate::rules::{all_rewrites, standard_rules, OptContext, RewriteRule};
+use axml_obs::{Obs, TraceEvent};
 use axml_xml::ids::PeerId;
 use std::collections::HashSet;
 
@@ -85,7 +86,27 @@ impl Optimizer {
 
     /// Optimize `expr` for evaluation at `site` under `model`.
     pub fn optimize(&self, model: &CostModel, site: PeerId, expr: &Expr) -> Explained {
+        self.optimize_with(model, site, expr, &mut Obs::new())
+    }
+
+    /// [`Optimizer::optimize`] with instrumentation: per-rule attempt and
+    /// acceptance counters, cost-model invocation and memo hit counters,
+    /// and — when `obs` has a sink — a [`TraceEvent::RuleAttempted`] per
+    /// candidate plus a final [`TraceEvent::PlanChosen`].
+    ///
+    /// Typically called as
+    /// `opt.optimize_with(&model, site, &e, sys.obs_mut())` so the search
+    /// shows up in the same report as the evaluation (`CostModel` copies
+    /// what it needs from the system, so the borrows don't conflict).
+    pub fn optimize_with(
+        &self,
+        model: &CostModel,
+        site: PeerId,
+        expr: &Expr,
+        obs: &mut Obs,
+    ) -> Explained {
         let ctx = OptContext::new(model);
+        obs.metrics.cost_estimates += 1;
         let initial_cost = model.estimate(site, expr).cost;
         let mut best = Explained {
             site,
@@ -96,6 +117,7 @@ impl Optimizer {
         };
         let mut seen: HashSet<String> = HashSet::new();
         seen.insert(expr.fingerprint());
+        obs.metrics.memo_misses += 1;
         // Open list: (scalar cost, expr, trace). Kept sorted; cheap first.
         let mut open: Vec<(f64, Expr, Vec<&'static str>)> =
             vec![(initial_cost.scalar(), expr.clone(), Vec::new())];
@@ -111,13 +133,23 @@ impl Optimizer {
                 for (rule, candidate) in all_rewrites(&self.rules, site, &cur, &ctx) {
                     let fp = candidate.fingerprint();
                     if !seen.insert(fp) {
+                        obs.metrics.memo_hits += 1;
                         continue;
                     }
+                    obs.metrics.memo_misses += 1;
                     explored += 1;
+                    obs.metrics.cost_estimates += 1;
                     let cost = model.estimate(site, &candidate).cost;
                     let mut t = trace.clone();
                     t.push(rule);
-                    if cost.scalar() < best.cost.scalar() {
+                    let accepted = cost.scalar() < best.cost.scalar();
+                    obs.metrics.record_rule(rule, accepted);
+                    obs.emit(|| TraceEvent::RuleAttempted {
+                        rule,
+                        accepted,
+                        cost: cost.scalar(),
+                    });
+                    if accepted {
                         best = Explained {
                             site,
                             expr: candidate.clone(),
@@ -139,6 +171,12 @@ impl Optimizer {
             }
         }
         best.explored = explored;
+        obs.emit(|| TraceEvent::PlanChosen {
+            site,
+            explored,
+            cost: best.cost.scalar(),
+            trace: best.trace.clone(),
+        });
         best
     }
 }

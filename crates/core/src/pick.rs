@@ -12,8 +12,7 @@ use crate::error::{CoreError, CoreResult};
 use axml_net::sim::Network;
 use axml_net::Payload;
 use axml_xml::ids::{DocName, PeerId, ServiceName};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use axml_prng::SplitMix64;
 use std::collections::BTreeMap;
 
 /// How a peer picks among the members of an equivalence class.
@@ -174,7 +173,7 @@ fn pick_index<M: Payload>(
         PickPolicy::Random(seed) => {
             // Derive the choice from the seed, the site and the class size
             // so repeated picks are deterministic but well spread.
-            let mut rng = StdRng::seed_from_u64(seed ^ ((at.0 as u64) << 32) ^ *rr as u64);
+            let mut rng = SplitMix64::new(seed ^ ((at.0 as u64) << 32) ^ *rr as u64);
             *rr += 1;
             rng.gen_range(0..peers.len())
         }

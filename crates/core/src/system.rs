@@ -14,7 +14,8 @@ use crate::pick::{Catalog, PickPolicy};
 use crate::service::Service;
 use axml_net::link::Topology;
 use axml_net::sim::Network;
-use axml_net::NetStats;
+use axml_net::{NetStats, Payload};
+use axml_obs::{EvalMetrics, Obs, RunReport, TraceEvent, TraceSink};
 use axml_query::Query;
 use axml_xml::ids::{DocName, PeerId, ServiceName};
 use axml_xml::store::Document;
@@ -28,6 +29,7 @@ pub struct AxmlSystem {
     pub(crate) pick_policy: PickPolicy,
     pub(crate) next_call: u64,
     pub(crate) subscriptions: Vec<crate::continuous::Subscription>,
+    pub(crate) obs: Obs,
 }
 
 impl AxmlSystem {
@@ -41,6 +43,7 @@ impl AxmlSystem {
             pick_policy: PickPolicy::Closest,
             next_call: 0,
             subscriptions: Vec::new(),
+            obs: Obs::new(),
         }
     }
 
@@ -156,9 +159,43 @@ impl AxmlSystem {
         self.net.stats()
     }
 
-    /// Zero the statistics (keeps state Σ).
+    /// Zero the statistics **and** the evaluation metrics (keeps state Σ).
+    /// Resetting both together preserves the metrics↔stats reconciliation
+    /// invariant checked by [`axml_obs::EvalMetrics::reconciles_with`].
     pub fn reset_stats(&mut self) {
         self.net.reset_stats();
+        self.obs.metrics.reset();
+    }
+
+    /// The observability handle (metrics + optional trace sink).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
+    /// Mutable observability handle.
+    pub fn obs_mut(&mut self) -> &mut Obs {
+        &mut self.obs
+    }
+
+    /// The evaluation metrics so far.
+    pub fn metrics(&self) -> &EvalMetrics {
+        &self.obs.metrics
+    }
+
+    /// Attach a trace sink; every evaluation step streams
+    /// [`TraceEvent`]s into it until detached.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.obs.set_sink(sink);
+    }
+
+    /// Detach the trace sink (tracing reverts to zero-cost).
+    pub fn clear_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.obs.clear_sink()
+    }
+
+    /// Snapshot metrics + network stats as a [`RunReport`].
+    pub fn run_report(&self, title: impl Into<String>) -> RunReport {
+        RunReport::new(title, &self.obs.metrics, self.net.stats())
     }
 
     /// Simulated time (ms).
@@ -201,11 +238,21 @@ impl AxmlSystem {
     ) -> CoreResult<f64> {
         self.check_peer(from)?;
         self.check_peer(to)?;
+        let kind = msg.kind();
+        let charged = self.net.link(from, to).charged_bytes(msg.wire_size()) as u64;
         self.net.try_send(from, to, msg)?;
         let (_to, _msg, at) = self
             .net
             .recv()
             .expect("transfer: just-sent message must be deliverable");
+        self.obs.metrics.record_message(from, to, kind, charged);
+        self.obs.emit(|| TraceEvent::MessageSent {
+            from,
+            to,
+            kind,
+            bytes: charged,
+            at_ms: at,
+        });
         Ok(at)
     }
 

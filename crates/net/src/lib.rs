@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # axml-net — the simulated peer network substrate
 //!
@@ -52,7 +52,7 @@ pub mod stats;
 pub use error::{NetError, NetResult};
 pub use link::{LinkCost, Topology};
 pub use sim::Network;
-pub use stats::NetStats;
+pub use stats::{LinkStats, NetStats, PeerTraffic};
 
 /// Anything that can cross a link: reports its own wire size in bytes.
 pub trait Payload {

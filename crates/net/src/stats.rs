@@ -13,6 +13,19 @@ pub struct LinkStats {
     pub bytes: u64,
 }
 
+/// Send/receive totals for one peer, derived from the per-link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeerTraffic {
+    /// Messages this peer sent over the network.
+    pub sent_messages: u64,
+    /// Charged bytes this peer sent.
+    pub sent_bytes: u64,
+    /// Messages this peer received.
+    pub recv_messages: u64,
+    /// Charged bytes this peer received.
+    pub recv_bytes: u64,
+}
+
 /// Aggregated statistics of a simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
@@ -78,6 +91,21 @@ impl NetStats {
     /// Iterate per-link counters in deterministic order.
     pub fn links(&self) -> impl Iterator<Item = (PeerId, PeerId, LinkStats)> + '_ {
         self.per_link.iter().map(|(&(a, b), &s)| (a, b, s))
+    }
+
+    /// Aggregate the per-link counters into a per-peer send/receive
+    /// breakdown, in peer-id order. Peers with no traffic are absent.
+    pub fn per_peer(&self) -> Vec<(PeerId, PeerTraffic)> {
+        let mut acc: BTreeMap<PeerId, PeerTraffic> = BTreeMap::new();
+        for (&(from, to), s) in &self.per_link {
+            let f = acc.entry(from).or_default();
+            f.sent_messages += s.messages;
+            f.sent_bytes += s.bytes;
+            let t = acc.entry(to).or_default();
+            t.recv_messages += s.messages;
+            t.recv_bytes += s.bytes;
+        }
+        acc.into_iter().collect()
     }
 
     /// Reset all counters (e.g. between benchmark phases).
@@ -149,6 +177,24 @@ mod tests {
         let out = s.to_string();
         assert!(out.contains("p0 → p1"), "{out}");
         assert!(out.contains("1 msgs"), "{out}");
+    }
+
+    #[test]
+    fn per_peer_aggregates_links() {
+        let mut s = NetStats::new();
+        s.record(PeerId(0), PeerId(1), 100, 5.0, 5.0);
+        s.record(PeerId(0), PeerId(2), 10, 1.0, 6.0);
+        s.record(PeerId(1), PeerId(0), 7, 0.5, 6.5);
+        let pp = s.per_peer();
+        assert_eq!(pp.len(), 3);
+        let p0 = pp[0].1;
+        assert_eq!(pp[0].0, PeerId(0));
+        assert_eq!(p0.sent_messages, 2);
+        assert_eq!(p0.sent_bytes, 110);
+        assert_eq!(p0.recv_messages, 1);
+        assert_eq!(p0.recv_bytes, 7);
+        let p2 = pp[2].1;
+        assert_eq!(p2, PeerTraffic { recv_messages: 1, recv_bytes: 10, ..Default::default() });
     }
 
     #[test]

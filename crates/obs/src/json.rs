@@ -1,0 +1,143 @@
+//! A minimal hand-rolled JSON writer (no serde in the dependency tree).
+//!
+//! Produces compact, valid JSON: string escaping per RFC 8259, numbers
+//! rendered via Rust's shortest-roundtrip float formatting (integers
+//! stay integral), `NaN`/infinities — which JSON cannot represent —
+//! rendered as `null`.
+
+use std::fmt::Write;
+
+/// Escape a string for embedding in a JSON document (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render a float as a JSON number (`null` for non-finite values).
+pub fn number(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".into();
+    }
+    if x == x.trunc() && x.abs() < 9e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+/// Incremental JSON object builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Start an empty object.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        let _ = write!(self.buf, "\"{}\":", escape(k));
+    }
+
+    /// Add a string field.
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "\"{}\"", escape(v));
+        self
+    }
+
+    /// Add a numeric field.
+    pub fn num(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&number(v));
+        self
+    }
+
+    /// Add a boolean field.
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Add a field whose value is pre-rendered JSON (object, array, …).
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
+    /// Add an array-of-strings field.
+    pub fn str_array<'a>(&mut self, k: &str, vs: impl IntoIterator<Item = &'a str>) -> &mut Self {
+        let items: Vec<String> = vs
+            .into_iter()
+            .map(|s| format!("\"{}\"", escape(s)))
+            .collect();
+        self.raw(k, &format!("[{}]", items.join(",")))
+    }
+
+    /// Finish, returning `{...}`.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Render pre-rendered JSON values as an array.
+pub fn array(items: impl IntoIterator<Item = String>) -> String {
+    let items: Vec<String> = items.into_iter().collect();
+    format!("[{}]", items.join(","))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escaping() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
+        assert_eq!(escape("plain é 中"), "plain é 中");
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(number(3.0), "3");
+        assert_eq!(number(3.25), "3.25");
+        assert_eq!(number(-0.5), "-0.5");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn objects_and_arrays() {
+        let mut o = JsonObject::new();
+        o.str("name", "e1").num("n", 2.0).bool("ok", true);
+        o.str_array("rules", ["R10", "R11"]);
+        o.raw("inner", "{\"x\":1}");
+        let s = o.finish();
+        assert_eq!(
+            s,
+            r#"{"name":"e1","n":2,"ok":true,"rules":["R10","R11"],"inner":{"x":1}}"#
+        );
+        assert_eq!(array(["1".into(), "2".into()]), "[1,2]");
+        assert_eq!(array(std::iter::empty()), "[]");
+    }
+}

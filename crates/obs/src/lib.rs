@@ -1,0 +1,129 @@
+#![deny(missing_docs)]
+
+//! # axml-obs — observability for distributed AXML evaluation
+//!
+//! The paper's contribution is an algebra whose value is only visible
+//! through *measurement*: rules (10)–(16) are validated by comparing the
+//! traffic and makespan of equivalent plans. This crate is the
+//! instrumentation layer that makes those comparisons precise:
+//!
+//! * [`trace::TraceEvent`] — a structured event stream (definition
+//!   fired, rule attempted, message sent, subscription delta shipped)
+//!   recorded through the zero-cost-when-disabled [`trace::TraceSink`]
+//!   trait. When no sink is attached, the entire tracing path is one
+//!   branch on an `Option` — event payloads are built inside closures
+//!   and never constructed.
+//! * [`metrics::EvalMetrics`] — always-on cheap counters: expressions
+//!   evaluated per paper definition (1)–(9), rewrite-rule applications
+//!   attempted/accepted per rule, cost-model invocations, optimizer
+//!   memo hits, continuous-delta suppression, and a per-kind/per-link
+//!   message breakdown that reconciles *exactly* with
+//!   [`axml_net::NetStats`].
+//! * [`report::RunReport`] — a human-readable + JSON summary combining
+//!   both with the network statistics, emitted by the experiment
+//!   harness and the examples.
+//!
+//! See `OBSERVABILITY.md` at the repository root for a guided tour.
+
+pub mod json;
+pub mod metrics;
+pub mod report;
+pub mod trace;
+
+pub use metrics::{EvalMetrics, MsgStats, RuleStats};
+pub use report::RunReport;
+pub use trace::{TraceEvent, TraceSink, VecSink};
+
+/// The observability handle: metrics plus an optional trace sink.
+///
+/// Embedded in `AxmlSystem` (one per system) and passed to the optimizer
+/// explicitly. [`Obs::emit`] takes a closure so that event construction
+/// — allocations included — happens only when a sink is attached.
+#[derive(Default)]
+pub struct Obs {
+    /// Cumulative counters (always on; plain integer increments).
+    pub metrics: EvalMetrics,
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl Obs {
+    /// A fresh handle with no sink and zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a trace sink; subsequent events stream into it. Returns
+    /// the previously attached sink, if any.
+    pub fn set_sink(&mut self, sink: Box<dyn TraceSink>) -> Option<Box<dyn TraceSink>> {
+        self.sink.replace(sink)
+    }
+
+    /// Detach the current sink (tracing reverts to zero-cost).
+    pub fn clear_sink(&mut self) -> Option<Box<dyn TraceSink>> {
+        self.sink.take()
+    }
+
+    /// Whether a sink is attached.
+    pub fn enabled(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Record an event. `build` runs only if a sink is attached, so the
+    /// disabled path costs a single branch.
+    #[inline]
+    pub fn emit(&mut self, build: impl FnOnce() -> TraceEvent) {
+        if let Some(sink) = self.sink.as_mut() {
+            sink.record(build());
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("metrics", &self.metrics)
+            .field("sink", &self.sink.as_ref().map(|_| "attached"))
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_xml::ids::PeerId;
+
+    #[test]
+    fn emit_is_lazy_without_sink() {
+        let mut obs = Obs::new();
+        let mut built = false;
+        obs.emit(|| {
+            built = true;
+            TraceEvent::Definition {
+                def: 1,
+                peer: PeerId(0),
+                expr: "tree",
+                at_ms: 0.0,
+            }
+        });
+        assert!(!built, "closure must not run with no sink attached");
+        assert!(!obs.enabled());
+    }
+
+    #[test]
+    fn emit_streams_into_sink() {
+        let mut obs = Obs::new();
+        let sink = VecSink::new();
+        assert!(obs.set_sink(Box::new(sink.clone())).is_none());
+        assert!(obs.enabled());
+        obs.emit(|| TraceEvent::Definition {
+            def: 5,
+            peer: PeerId(2),
+            expr: "doc",
+            at_ms: 1.5,
+        });
+        assert_eq!(sink.len(), 1);
+        assert!(obs.clear_sink().is_some());
+        obs.emit(|| unreachable!("sink detached"));
+        assert_eq!(sink.len(), 1);
+    }
+}

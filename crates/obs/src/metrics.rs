@@ -1,0 +1,308 @@
+//! Per-phase evaluation metrics: cheap, always-on counters.
+//!
+//! Unlike [`crate::trace`] events (off unless a sink is attached),
+//! metrics are plain integer increments and stay on permanently — they
+//! are the numbers the experiment tables and `RunReport`s are built
+//! from. The message counters intentionally mirror
+//! [`axml_net::NetStats`] semantics (local deliveries free, bytes =
+//! payload + per-message link overhead) so the two can be reconciled
+//! exactly; [`EvalMetrics::reconciles_with`] checks it.
+
+use crate::json::{JsonObject, array};
+use axml_net::NetStats;
+use axml_xml::ids::PeerId;
+use std::collections::BTreeMap;
+
+/// Attempt/accept counters for one rewrite rule.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RuleStats {
+    /// Candidate plans this rule produced during search.
+    pub attempted: u64,
+    /// How many of them became the best plan so far.
+    pub accepted: u64,
+}
+
+/// Message/byte counters for one message kind or link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MsgStats {
+    /// Messages counted.
+    pub messages: u64,
+    /// Charged bytes (payload + per-message link overhead).
+    pub bytes: u64,
+}
+
+/// Cumulative evaluation metrics for one `AxmlSystem` (or one optimizer
+/// run, when passed standalone).
+#[derive(Debug, Clone, Default)]
+pub struct EvalMetrics {
+    /// `defs[d]` = number of expression evaluations that fired paper
+    /// definition `d` (index 0 unused).
+    defs: [u64; 10],
+    /// Delegated evaluations (`eval@p`, the rules (14)–(16) plan shape).
+    pub delegations: u64,
+    /// Sequence steps evaluated (rule (13) plan shape).
+    pub seq_steps: u64,
+    /// Service activations (§2.2 step 1), one-shot and continuous.
+    pub service_calls: u64,
+    /// Cost-model estimates requested by the optimizer.
+    pub cost_estimates: u64,
+    /// Optimizer memo hits: candidates pruned because their fingerprint
+    /// was already explored.
+    pub memo_hits: u64,
+    /// Optimizer memo misses: fingerprints seen for the first time.
+    pub memo_misses: u64,
+    /// Continuous-subscription results delivered (never seen before).
+    pub delta_fresh: u64,
+    /// Continuous-subscription results recomputed but suppressed by the
+    /// per-subscription delta cache — re-delivery avoided.
+    pub delta_suppressed: u64,
+    rules: BTreeMap<&'static str, RuleStats>,
+    by_kind: BTreeMap<&'static str, MsgStats>,
+    per_link: BTreeMap<(PeerId, PeerId), MsgStats>,
+}
+
+impl EvalMetrics {
+    /// Zeroed metrics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Count one firing of paper definition `def` (1–9).
+    pub fn record_def(&mut self, def: u8) {
+        debug_assert!((1..=9).contains(&def), "definitions are numbered 1-9");
+        self.defs[def as usize] += 1;
+    }
+
+    /// Evaluations counted for definition `def`.
+    pub fn def_count(&self, def: u8) -> u64 {
+        self.defs.get(def as usize).copied().unwrap_or(0)
+    }
+
+    /// `(definition, count)` for all definitions with nonzero counts.
+    pub fn defs(&self) -> Vec<(u8, u64)> {
+        (1..=9u8)
+            .filter_map(|d| {
+                let n = self.defs[d as usize];
+                (n > 0).then_some((d, n))
+            })
+            .collect()
+    }
+
+    /// Count one rule application attempt (and acceptance).
+    pub fn record_rule(&mut self, rule: &'static str, accepted: bool) {
+        let e = self.rules.entry(rule).or_default();
+        e.attempted += 1;
+        if accepted {
+            e.accepted += 1;
+        }
+    }
+
+    /// Per-rule attempt/accept counters, in name order.
+    pub fn rules(&self) -> impl Iterator<Item = (&'static str, RuleStats)> + '_ {
+        self.rules.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Counters for one rule.
+    pub fn rule(&self, name: &str) -> RuleStats {
+        self.rules.get(name).copied().unwrap_or_default()
+    }
+
+    /// Count one cross-peer message of `bytes` charged bytes (local
+    /// deliveries, `from == to`, are free and ignored — matching
+    /// [`NetStats`]).
+    pub fn record_message(&mut self, from: PeerId, to: PeerId, kind: &'static str, bytes: u64) {
+        if from == to {
+            return;
+        }
+        let k = self.by_kind.entry(kind).or_default();
+        k.messages += 1;
+        k.bytes += bytes;
+        let l = self.per_link.entry((from, to)).or_default();
+        l.messages += 1;
+        l.bytes += bytes;
+    }
+
+    /// Message counters by kind, in name order.
+    pub fn messages_by_kind(&self) -> impl Iterator<Item = (&'static str, MsgStats)> + '_ {
+        self.by_kind.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Message counters per directed link, in id order.
+    pub fn per_link(&self) -> impl Iterator<Item = (PeerId, PeerId, MsgStats)> + '_ {
+        self.per_link.iter().map(|(&(a, b), &v)| (a, b, v))
+    }
+
+    /// Total messages counted.
+    pub fn total_messages(&self) -> u64 {
+        self.per_link.values().map(|s| s.messages).sum()
+    }
+
+    /// Total charged bytes counted.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_link.values().map(|s| s.bytes).sum()
+    }
+
+    /// Optimizer memo hit rate in `[0, 1]` (`None` before any search).
+    pub fn memo_hit_rate(&self) -> Option<f64> {
+        let total = self.memo_hits + self.memo_misses;
+        (total > 0).then(|| self.memo_hits as f64 / total as f64)
+    }
+
+    /// Continuous-delta suppression rate in `[0, 1]` — the fraction of
+    /// recomputed results the cache kept off the wire (`None` before
+    /// any pump).
+    pub fn delta_suppression_rate(&self) -> Option<f64> {
+        let total = self.delta_fresh + self.delta_suppressed;
+        (total > 0).then(|| self.delta_suppressed as f64 / total as f64)
+    }
+
+    /// Whether the per-link message/byte counters agree **exactly** with
+    /// the network statistics — they must, whenever metrics and stats
+    /// were reset together (both count payload + per-message overhead on
+    /// every cross-peer transfer).
+    pub fn reconciles_with(&self, stats: &NetStats) -> bool {
+        let theirs: Vec<(PeerId, PeerId, u64, u64)> = stats
+            .links()
+            .map(|(a, b, s)| (a, b, s.messages, s.bytes))
+            .collect();
+        let ours: Vec<(PeerId, PeerId, u64, u64)> = self
+            .per_link()
+            .map(|(a, b, s)| (a, b, s.messages, s.bytes))
+            .collect();
+        theirs == ours
+    }
+
+    /// Zero every counter.
+    pub fn reset(&mut self) {
+        *self = Self::default();
+    }
+
+    /// The metrics as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        let defs = array(self.defs().into_iter().map(|(d, n)| {
+            let mut e = JsonObject::new();
+            e.num("def", d as f64).num("count", n as f64);
+            e.finish()
+        }));
+        o.raw("definitions", &defs);
+        o.num("delegations", self.delegations as f64);
+        o.num("seq_steps", self.seq_steps as f64);
+        o.num("service_calls", self.service_calls as f64);
+        let rules = array(self.rules().map(|(name, r)| {
+            let mut e = JsonObject::new();
+            e.str("rule", name)
+                .num("attempted", r.attempted as f64)
+                .num("accepted", r.accepted as f64);
+            e.finish()
+        }));
+        o.raw("rules", &rules);
+        o.num("cost_estimates", self.cost_estimates as f64);
+        o.num("memo_hits", self.memo_hits as f64);
+        o.num("memo_misses", self.memo_misses as f64);
+        o.num("delta_fresh", self.delta_fresh as f64);
+        o.num("delta_suppressed", self.delta_suppressed as f64);
+        let kinds = array(self.messages_by_kind().map(|(kind, m)| {
+            let mut e = JsonObject::new();
+            e.str("kind", kind)
+                .num("messages", m.messages as f64)
+                .num("bytes", m.bytes as f64);
+            e.finish()
+        }));
+        o.raw("messages_by_kind", &kinds);
+        let links = array(self.per_link().map(|(a, b, m)| {
+            let mut e = JsonObject::new();
+            e.num("from", a.0 as f64)
+                .num("to", b.0 as f64)
+                .num("messages", m.messages as f64)
+                .num("bytes", m.bytes as f64);
+            e.finish()
+        }));
+        o.raw("per_link", &links);
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn def_counters() {
+        let mut m = EvalMetrics::new();
+        m.record_def(1);
+        m.record_def(5);
+        m.record_def(5);
+        assert_eq!(m.def_count(5), 2);
+        assert_eq!(m.def_count(2), 0);
+        assert_eq!(m.defs(), vec![(1, 1), (5, 2)]);
+    }
+
+    #[test]
+    fn rule_counters() {
+        let mut m = EvalMetrics::new();
+        m.record_rule("R11-push-select", true);
+        m.record_rule("R11-push-select", false);
+        m.record_rule("R10-delegate", false);
+        assert_eq!(
+            m.rule("R11-push-select"),
+            RuleStats {
+                attempted: 2,
+                accepted: 1
+            }
+        );
+        let names: Vec<_> = m.rules().map(|(n, _)| n).collect();
+        assert_eq!(names, ["R10-delegate", "R11-push-select"], "name order");
+    }
+
+    #[test]
+    fn message_counters_skip_local() {
+        let mut m = EvalMetrics::new();
+        m.record_message(PeerId(0), PeerId(1), "fetch", 100);
+        m.record_message(PeerId(0), PeerId(1), "fetch", 50);
+        m.record_message(PeerId(2), PeerId(2), "fetch", 999);
+        assert_eq!(m.total_messages(), 2);
+        assert_eq!(m.total_bytes(), 150);
+        let kinds: Vec<_> = m.messages_by_kind().collect();
+        assert_eq!(kinds.len(), 1);
+        assert_eq!(kinds[0].1.bytes, 150);
+    }
+
+    #[test]
+    fn reconciliation_against_netstats() {
+        let mut m = EvalMetrics::new();
+        let mut s = NetStats::new();
+        m.record_message(PeerId(0), PeerId(1), "send", 128);
+        s.record(PeerId(0), PeerId(1), 128, 1.0, 1.0);
+        assert!(m.reconciles_with(&s));
+        s.record(PeerId(1), PeerId(0), 64, 1.0, 2.0);
+        assert!(!m.reconciles_with(&s), "diverged counters must not pass");
+    }
+
+    #[test]
+    fn rates() {
+        let mut m = EvalMetrics::new();
+        assert_eq!(m.memo_hit_rate(), None);
+        assert_eq!(m.delta_suppression_rate(), None);
+        m.memo_hits = 3;
+        m.memo_misses = 1;
+        m.delta_fresh = 1;
+        m.delta_suppressed = 3;
+        assert_eq!(m.memo_hit_rate(), Some(0.75));
+        assert_eq!(m.delta_suppression_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn reset_and_json() {
+        let mut m = EvalMetrics::new();
+        m.record_def(2);
+        m.record_message(PeerId(0), PeerId(1), "send", 10);
+        m.record_rule("R12-add-stop", false);
+        let json = m.to_json();
+        assert!(json.contains("\"definitions\":[{\"def\":2,\"count\":1}]"), "{json}");
+        assert!(json.contains("\"rule\":\"R12-add-stop\""), "{json}");
+        m.reset();
+        assert_eq!(m.total_messages(), 0);
+        assert!(m.defs().is_empty());
+    }
+}

@@ -1,0 +1,196 @@
+//! Run reports: one summary object per evaluated plan or experiment,
+//! renderable as aligned human-readable text (`Display`) or compact
+//! JSON ([`RunReport::to_json`]).
+//!
+//! A report is a *snapshot*: construct it after the run with
+//! [`RunReport::new`] and the metrics/stats of that moment are copied
+//! in, including a `reconciled` flag recording whether the metrics
+//! layer and the network layer agreed message-for-message and
+//! byte-for-byte.
+
+use crate::json::{JsonObject, array};
+use crate::metrics::EvalMetrics;
+use axml_net::NetStats;
+
+/// A snapshot summary of one run: evaluation metrics + network stats.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Report title (experiment id, example name, …).
+    pub title: String,
+    /// The metrics snapshot.
+    pub metrics: EvalMetrics,
+    /// The network-statistics snapshot.
+    pub stats: NetStats,
+    /// Whether `metrics`' per-link counters matched `stats` exactly at
+    /// snapshot time.
+    pub reconciled: bool,
+}
+
+impl RunReport {
+    /// Snapshot `metrics` and `stats` under `title`.
+    pub fn new(title: impl Into<String>, metrics: &EvalMetrics, stats: &NetStats) -> Self {
+        Self {
+            title: title.into(),
+            metrics: metrics.clone(),
+            stats: stats.clone(),
+            reconciled: metrics.reconciles_with(stats),
+        }
+    }
+
+    /// The report as a compact JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.str("title", &self.title);
+        o.bool("reconciled", self.reconciled);
+        o.raw("metrics", &self.metrics.to_json());
+        let mut net = JsonObject::new();
+        net.num("messages", self.stats.total_messages() as f64)
+            .num("bytes", self.stats.total_bytes() as f64)
+            .num("makespan_ms", self.stats.makespan_ms())
+            .num("weighted_cost_ms", self.stats.weighted_cost_ms());
+        let peers = array(self.stats.per_peer().into_iter().map(|(p, t)| {
+            let mut e = JsonObject::new();
+            e.num("peer", p.0 as f64)
+                .num("sent_messages", t.sent_messages as f64)
+                .num("sent_bytes", t.sent_bytes as f64)
+                .num("recv_messages", t.recv_messages as f64)
+                .num("recv_bytes", t.recv_bytes as f64);
+            e.finish()
+        }));
+        net.raw("per_peer", &peers);
+        o.raw("net", &net.finish());
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let m = &self.metrics;
+        writeln!(f, "=== {} ===", self.title)?;
+        writeln!(
+            f,
+            "network    : {} msgs, {} bytes, makespan {:.2} ms, weighted cost {:.2} ms",
+            self.stats.total_messages(),
+            self.stats.total_bytes(),
+            self.stats.makespan_ms(),
+            self.stats.weighted_cost_ms(),
+        )?;
+        writeln!(
+            f,
+            "reconciled : {}",
+            if self.reconciled { "yes (metrics == net stats)" } else { "NO — counters diverged" }
+        )?;
+        let defs = m.defs();
+        if !defs.is_empty() {
+            write!(f, "definitions:")?;
+            for (d, n) in defs {
+                write!(f, " ({d})x{n}")?;
+            }
+            writeln!(f)?;
+        }
+        if m.delegations + m.seq_steps + m.service_calls > 0 {
+            writeln!(
+                f,
+                "plan shapes: {} delegations, {} seq steps, {} service calls",
+                m.delegations, m.seq_steps, m.service_calls
+            )?;
+        }
+        let rules: Vec<_> = m.rules().collect();
+        if !rules.is_empty() {
+            writeln!(f, "rewrites   : {} cost estimates", m.cost_estimates)?;
+            for (name, r) in rules {
+                writeln!(f, "  {name:<24} {:>5} attempted {:>5} accepted", r.attempted, r.accepted)?;
+            }
+            if let Some(rate) = m.memo_hit_rate() {
+                writeln!(
+                    f,
+                    "  memo: {} hits / {} misses ({:.1}% hit rate)",
+                    m.memo_hits,
+                    m.memo_misses,
+                    rate * 100.0
+                )?;
+            }
+        }
+        if let Some(rate) = m.delta_suppression_rate() {
+            writeln!(
+                f,
+                "deltas     : {} fresh, {} suppressed ({:.1}% suppression)",
+                m.delta_fresh,
+                m.delta_suppressed,
+                rate * 100.0
+            )?;
+        }
+        let kinds: Vec<_> = m.messages_by_kind().collect();
+        if !kinds.is_empty() {
+            writeln!(f, "messages by kind:")?;
+            for (kind, s) in kinds {
+                writeln!(f, "  {kind:<18} {:>5} msgs {:>10} bytes", s.messages, s.bytes)?;
+            }
+        }
+        let peers = self.stats.per_peer();
+        if !peers.is_empty() {
+            writeln!(f, "per peer:")?;
+            for (p, t) in peers {
+                writeln!(
+                    f,
+                    "  p{:<3} sent {:>5} msgs / {:>10} B   recv {:>5} msgs / {:>10} B",
+                    p.0, t.sent_messages, t.sent_bytes, t.recv_messages, t.recv_bytes
+                )?;
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_xml::ids::PeerId;
+
+    fn sample() -> RunReport {
+        let mut m = EvalMetrics::new();
+        let mut s = NetStats::new();
+        m.record_def(1);
+        m.record_def(5);
+        m.record_rule("R11-push-select", true);
+        m.record_message(PeerId(0), PeerId(1), "fetch", 120);
+        s.record(PeerId(0), PeerId(1), 120, 3.0, 3.0);
+        RunReport::new("sample", &m, &s)
+    }
+
+    #[test]
+    fn snapshot_reconciles() {
+        let r = sample();
+        assert!(r.reconciled);
+        assert_eq!(r.metrics.total_bytes(), r.stats.total_bytes());
+    }
+
+    #[test]
+    fn text_rendering() {
+        let text = sample().to_string();
+        assert!(text.contains("=== sample ==="), "{text}");
+        assert!(text.contains("(1)x1 (5)x1"), "{text}");
+        assert!(text.contains("R11-push-select"), "{text}");
+        assert!(text.contains("reconciled : yes"), "{text}");
+        assert!(text.contains("p0"), "{text}");
+    }
+
+    #[test]
+    fn json_rendering() {
+        let json = sample().to_json();
+        assert!(json.contains("\"title\":\"sample\""), "{json}");
+        assert!(json.contains("\"reconciled\":true"), "{json}");
+        assert!(json.contains("\"per_peer\":[{\"peer\":0"), "{json}");
+        assert!(json.contains("\"makespan_ms\":3"), "{json}");
+    }
+
+    #[test]
+    fn divergence_is_flagged() {
+        let m = EvalMetrics::new();
+        let mut s = NetStats::new();
+        s.record(PeerId(0), PeerId(1), 10, 1.0, 1.0);
+        let r = RunReport::new("bad", &m, &s);
+        assert!(!r.reconciled);
+        assert!(r.to_string().contains("NO — counters diverged"));
+    }
+}

@@ -1,0 +1,430 @@
+//! Structured trace events and sinks.
+//!
+//! # Mapping events to the paper
+//!
+//! Each [`TraceEvent`] kind corresponds to a numbered construct of
+//! *A Framework for Distributed XML Data Management* (EDBT 2006):
+//!
+//! | event | paper construct |
+//! |-------|-----------------|
+//! | [`TraceEvent::Definition`] with `def` 1–9 | evaluation definitions (1)–(9), §3.2: (1) local tree/doc, (2) local query application, (3) send to a peer, (4) send to a node list, (5) remote fetch, (6) service call, (7) remote-definition application, (8) query deployment, (9) `pickDoc`/`pickService` resolution of `@any` |
+//! | [`TraceEvent::Delegation`] | `eval@p(…)` relocation — the plan shapes produced by rules (14)–(16), §3.3 |
+//! | [`TraceEvent::RuleAttempted`] | one application of an equivalence rule (10)–(16) during optimizer search |
+//! | [`TraceEvent::PlanChosen`] | the end of a §3.3 optimization: the winning rewrite chain |
+//! | [`TraceEvent::MessageSent`] | a wire transfer charged by the cost model (any definition that moves data) |
+//! | [`TraceEvent::ServiceCall`] | §2.2 activation step 1 (parameters to the provider) |
+//! | [`TraceEvent::SubscriptionDelta`] | §2.2 continuous services: steps 2–3 repeating, shipping only never-delivered results |
+//!
+//! Events carry the acting peer(s), the expression-node kind where
+//! meaningful, and the simulated timestamp (`at_ms`, from the
+//! discrete-event network clock). Optimizer events carry estimated
+//! scalar cost instead of a timestamp — optimization is planning, not
+//! simulated execution.
+
+use axml_xml::ids::PeerId;
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// One observed step of evaluation, optimization, or streaming.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceEvent {
+    /// An evaluation definition fired at a peer.
+    Definition {
+        /// Paper definition number, 1–9 (see module docs).
+        def: u8,
+        /// The evaluating peer.
+        peer: PeerId,
+        /// The expression-node kind ("tree", "doc", "apply", "send",
+        /// "sc", "deploy", …).
+        expr: &'static str,
+        /// Simulated time when evaluation of this node began.
+        at_ms: f64,
+    },
+    /// A delegated evaluation (`eval@p`) — rules (14)–(16) plan shapes.
+    Delegation {
+        /// The delegating peer.
+        from: PeerId,
+        /// The peer evaluating the inner expression.
+        to: PeerId,
+        /// Simulated time at delegation.
+        at_ms: f64,
+    },
+    /// A message crossed a link (local deliveries are not traced, they
+    /// are free — matching [`axml_net::NetStats`] semantics).
+    MessageSent {
+        /// Sender.
+        from: PeerId,
+        /// Receiver.
+        to: PeerId,
+        /// Message kind: the `AxmlMessage` variant, refined by the data
+        /// tag ("request", "fetch", "send", "invoke", "response", …).
+        kind: &'static str,
+        /// Charged bytes (payload + the link's per-message overhead) —
+        /// identical to what [`axml_net::NetStats`] records.
+        bytes: u64,
+        /// Simulated arrival time.
+        at_ms: f64,
+    },
+    /// The optimizer tried one rewrite-rule application.
+    RuleAttempted {
+        /// Rule name (e.g. `"R11-push-select"`).
+        rule: &'static str,
+        /// Whether the candidate became the new best plan.
+        accepted: bool,
+        /// The candidate's estimated scalar cost.
+        cost: f64,
+    },
+    /// The optimizer finished a search.
+    PlanChosen {
+        /// The evaluation site optimized for.
+        site: PeerId,
+        /// Candidates examined.
+        explored: usize,
+        /// Estimated scalar cost of the winner.
+        cost: f64,
+        /// The winning rewrite chain (paper rule names).
+        trace: Vec<&'static str>,
+    },
+    /// A service call activated (§2.2 step 1 / definition (6)).
+    ServiceCall {
+        /// The calling peer.
+        caller: PeerId,
+        /// The resolved provider.
+        provider: PeerId,
+        /// The resolved (concrete) service name.
+        service: String,
+        /// Correlation id.
+        call_id: u64,
+        /// Simulated time at activation.
+        at_ms: f64,
+    },
+    /// A continuous subscription re-evaluated and shipped its delta.
+    SubscriptionDelta {
+        /// Subscription id.
+        subscription: u64,
+        /// The provider that re-evaluated.
+        provider: PeerId,
+        /// Trees delivered (never seen before by this subscription).
+        fresh: usize,
+        /// Trees recomputed but suppressed by the delta cache.
+        suppressed: usize,
+        /// Simulated time of the pump.
+        at_ms: f64,
+    },
+}
+
+impl TraceEvent {
+    /// Short kind tag, stable for filtering ("definition", "delegation",
+    /// "message", "rule", "plan", "service-call", "delta").
+    pub fn kind(&self) -> &'static str {
+        match self {
+            TraceEvent::Definition { .. } => "definition",
+            TraceEvent::Delegation { .. } => "delegation",
+            TraceEvent::MessageSent { .. } => "message",
+            TraceEvent::RuleAttempted { .. } => "rule",
+            TraceEvent::PlanChosen { .. } => "plan",
+            TraceEvent::ServiceCall { .. } => "service-call",
+            TraceEvent::SubscriptionDelta { .. } => "delta",
+        }
+    }
+
+    /// The event as a single JSON object.
+    pub fn to_json(&self) -> String {
+        use crate::json::JsonObject;
+        let mut o = JsonObject::new();
+        o.str("kind", self.kind());
+        match self {
+            TraceEvent::Definition {
+                def,
+                peer,
+                expr,
+                at_ms,
+            } => {
+                o.num("def", *def as f64);
+                o.num("peer", peer.0 as f64);
+                o.str("expr", expr);
+                o.num("at_ms", *at_ms);
+            }
+            TraceEvent::Delegation { from, to, at_ms } => {
+                o.num("from", from.0 as f64);
+                o.num("to", to.0 as f64);
+                o.num("at_ms", *at_ms);
+            }
+            TraceEvent::MessageSent {
+                from,
+                to,
+                kind,
+                bytes,
+                at_ms,
+            } => {
+                o.num("from", from.0 as f64);
+                o.num("to", to.0 as f64);
+                o.str("msg", kind);
+                o.num("bytes", *bytes as f64);
+                o.num("at_ms", *at_ms);
+            }
+            TraceEvent::RuleAttempted {
+                rule,
+                accepted,
+                cost,
+            } => {
+                o.str("rule", rule);
+                o.bool("accepted", *accepted);
+                o.num("cost", *cost);
+            }
+            TraceEvent::PlanChosen {
+                site,
+                explored,
+                cost,
+                trace,
+            } => {
+                o.num("site", site.0 as f64);
+                o.num("explored", *explored as f64);
+                o.num("cost", *cost);
+                o.str_array("trace", trace.iter().copied());
+            }
+            TraceEvent::ServiceCall {
+                caller,
+                provider,
+                service,
+                call_id,
+                at_ms,
+            } => {
+                o.num("caller", caller.0 as f64);
+                o.num("provider", provider.0 as f64);
+                o.str("service", service);
+                o.num("call_id", *call_id as f64);
+                o.num("at_ms", *at_ms);
+            }
+            TraceEvent::SubscriptionDelta {
+                subscription,
+                provider,
+                fresh,
+                suppressed,
+                at_ms,
+            } => {
+                o.num("subscription", *subscription as f64);
+                o.num("provider", provider.0 as f64);
+                o.num("fresh", *fresh as f64);
+                o.num("suppressed", *suppressed as f64);
+                o.num("at_ms", *at_ms);
+            }
+        }
+        o.finish()
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceEvent::Definition {
+                def,
+                peer,
+                expr,
+                at_ms,
+            } => write!(f, "[{at_ms:9.3}ms] def({def}) {expr} @{peer}"),
+            TraceEvent::Delegation { from, to, at_ms } => {
+                write!(f, "[{at_ms:9.3}ms] delegate {from} → {to}")
+            }
+            TraceEvent::MessageSent {
+                from,
+                to,
+                kind,
+                bytes,
+                at_ms,
+            } => write!(f, "[{at_ms:9.3}ms] msg {kind} {from} → {to} ({bytes} B)"),
+            TraceEvent::RuleAttempted {
+                rule,
+                accepted,
+                cost,
+            } => write!(
+                f,
+                "[ optimize ] {rule} cost {cost:.1} {}",
+                if *accepted { "✓ new best" } else { "· kept open" }
+            ),
+            TraceEvent::PlanChosen {
+                site,
+                explored,
+                cost,
+                trace,
+            } => write!(
+                f,
+                "[ optimize ] plan @{site}: cost {cost:.1}, explored {explored}, via {}",
+                if trace.is_empty() {
+                    "(input)".to_string()
+                } else {
+                    trace.join(" → ")
+                }
+            ),
+            TraceEvent::ServiceCall {
+                caller,
+                provider,
+                service,
+                call_id,
+                at_ms,
+            } => write!(
+                f,
+                "[{at_ms:9.3}ms] call #{call_id} {service} {caller} → {provider}"
+            ),
+            TraceEvent::SubscriptionDelta {
+                subscription,
+                provider,
+                fresh,
+                suppressed,
+                at_ms,
+            } => write!(
+                f,
+                "[{at_ms:9.3}ms] delta sub#{subscription} @{provider}: {fresh} fresh, {suppressed} suppressed"
+            ),
+        }
+    }
+}
+
+/// A consumer of trace events.
+///
+/// Implementations should be cheap: `record` is called inline from the
+/// evaluator's hot path whenever tracing is enabled.
+pub trait TraceSink {
+    /// Consume one event.
+    fn record(&mut self, event: TraceEvent);
+}
+
+/// A sink that buffers events in memory, shareable by cloning.
+///
+/// Keep a clone, hand the other to the system, read the events after
+/// the run:
+///
+/// ```
+/// use axml_obs::{Obs, TraceEvent, VecSink};
+/// let sink = VecSink::new();
+/// let mut obs = Obs::new();
+/// obs.set_sink(Box::new(sink.clone()));
+/// // ... run something that emits ...
+/// let events: Vec<TraceEvent> = sink.take();
+/// ```
+#[derive(Clone, Default)]
+pub struct VecSink {
+    events: Rc<RefCell<Vec<TraceEvent>>>,
+}
+
+impl VecSink {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of all events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.borrow().clone()
+    }
+
+    /// Drain the buffer, returning the recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.borrow_mut())
+    }
+
+    /// Number of buffered events.
+    pub fn len(&self) -> usize {
+        self.events.borrow().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.borrow().is_empty()
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.events.borrow_mut().push(event);
+    }
+}
+
+/// A sink that prints each event to stderr as it happens (debugging).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StderrSink;
+
+impl TraceSink for StderrSink {
+    fn record(&mut self, event: TraceEvent) {
+        eprintln!("{event}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sink_buffers_and_drains() {
+        let sink = VecSink::new();
+        let mut s2 = sink.clone();
+        s2.record(TraceEvent::Delegation {
+            from: PeerId(0),
+            to: PeerId(1),
+            at_ms: 3.0,
+        });
+        assert_eq!(sink.len(), 1);
+        assert!(!sink.is_empty());
+        let evs = sink.take();
+        assert_eq!(evs.len(), 1);
+        assert!(sink.is_empty());
+        assert_eq!(evs[0].kind(), "delegation");
+    }
+
+    #[test]
+    fn display_and_json_render_every_kind() {
+        let events = [
+            TraceEvent::Definition {
+                def: 6,
+                peer: PeerId(1),
+                expr: "sc",
+                at_ms: 0.5,
+            },
+            TraceEvent::Delegation {
+                from: PeerId(0),
+                to: PeerId(1),
+                at_ms: 1.0,
+            },
+            TraceEvent::MessageSent {
+                from: PeerId(0),
+                to: PeerId(1),
+                kind: "fetch",
+                bytes: 128,
+                at_ms: 2.0,
+            },
+            TraceEvent::RuleAttempted {
+                rule: "R11-push-select",
+                accepted: true,
+                cost: 12.5,
+            },
+            TraceEvent::PlanChosen {
+                site: PeerId(0),
+                explored: 42,
+                cost: 10.0,
+                trace: vec!["R10-delegate", "R11-push-select"],
+            },
+            TraceEvent::ServiceCall {
+                caller: PeerId(0),
+                provider: PeerId(1),
+                service: "news".into(),
+                call_id: 7,
+                at_ms: 3.0,
+            },
+            TraceEvent::SubscriptionDelta {
+                subscription: 7,
+                provider: PeerId(1),
+                fresh: 2,
+                suppressed: 5,
+                at_ms: 4.0,
+            },
+        ];
+        for e in &events {
+            let text = e.to_string();
+            assert!(!text.is_empty());
+            let json = e.to_json();
+            assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
+            assert!(json.contains(&format!("\"kind\":\"{}\"", e.kind())), "{json}");
+        }
+    }
+}

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # axml-query — the declarative XML query language of AXML peers
 //!

@@ -5,8 +5,7 @@ use axml_types::content::Content;
 use axml_types::schema::{Schema, SchemaBuilder, TypeName};
 use axml_xml::tree::{NodeId, Tree};
 use proptest::prelude::*;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use axml_prng::SplitMix64;
 
 /// A recursive catalog-ish schema exercising every combinator.
 fn schema() -> Schema {
@@ -43,14 +42,14 @@ fn schema() -> Schema {
 }
 
 /// Generate a tree that satisfies `ty` by construction.
-fn generate(schema: &Schema, label: &str, ty: &TypeName, rng: &mut StdRng, depth: usize) -> Tree {
+fn generate(schema: &Schema, label: &str, ty: &TypeName, rng: &mut SplitMix64, depth: usize) -> Tree {
     let mut t = Tree::new(label);
     let root = t.root();
     fill(schema, &mut t, root, ty, rng, depth);
     t
 }
 
-fn fill(schema: &Schema, t: &mut Tree, at: NodeId, ty: &TypeName, rng: &mut StdRng, depth: usize) {
+fn fill(schema: &Schema, t: &mut Tree, at: NodeId, ty: &TypeName, rng: &mut SplitMix64, depth: usize) {
     if ty.is_any() {
         return;
     }
@@ -63,7 +62,7 @@ fn emit(
     t: &mut Tree,
     at: NodeId,
     c: &Content,
-    rng: &mut StdRng,
+    rng: &mut SplitMix64,
     depth: usize,
 ) {
     match c {
@@ -130,7 +129,7 @@ proptest! {
     #[test]
     fn generated_instances_validate(seed in any::<u64>()) {
         let s = schema();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let t = generate(&s, "root", &"RootT".into(), &mut rng, 4);
         s.validate(&t, "RootT")
             .unwrap_or_else(|e| panic!("{e}\n{}", t.pretty()));
@@ -141,7 +140,7 @@ proptest! {
     #[test]
     fn dropping_required_meta_invalidates(seed in any::<u64>()) {
         let s = schema();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut t = generate(&s, "root", &"RootT".into(), &mut rng, 4);
         let meta = t.first_child_labeled(t.root(), "meta").expect("meta is required");
         let owner = t.first_child_labeled(meta, "owner").expect("owner is required");
@@ -153,7 +152,7 @@ proptest! {
     #[test]
     fn stray_child_invalidates(seed in any::<u64>()) {
         let s = schema();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let mut t = generate(&s, "root", &"RootT".into(), &mut rng, 4);
         let meta = t.first_child_labeled(t.root(), "meta").unwrap();
         t.add_element(meta, "intruder");
@@ -164,7 +163,7 @@ proptest! {
     #[test]
     fn validation_survives_roundtrip(seed in any::<u64>()) {
         let s = schema();
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SplitMix64::new(seed);
         let t = generate(&s, "root", &"RootT".into(), &mut rng, 3);
         let back = Tree::parse(&t.serialize()).unwrap();
         prop_assert!(s.validate(&back, "RootT").is_ok());

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # axml-xml — the XML data model for distributed AXML
 //!

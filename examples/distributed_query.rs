@@ -41,7 +41,17 @@ fn show(title: &str, build: &dyn Fn() -> AxmlSystem, site: PeerId, naive: &Expr)
     let model = CostModel::from_system(&sys);
     let plan = Optimizer::standard().optimize(&model, site, naive);
     let (n1, b1, t1) = measure(build, site, naive);
-    let (n2, b2, t2) = measure(build, site, &plan.expr);
+    // Measure the optimized plan on a system with metrics flowing, and
+    // re-run the search against the same observer so the report also
+    // carries the rule-application counters.
+    let mut sys2 = build();
+    let _ = Optimizer::standard().optimize_with(&model, site, naive, sys2.obs_mut());
+    let out2 = sys2.eval(site, &plan.expr).unwrap();
+    let (n2, b2, t2) = (
+        out2.len(),
+        sys2.stats().total_bytes(),
+        sys2.stats().makespan_ms(),
+    );
     assert_eq!(n1, n2, "optimizer must preserve answers");
     println!("naive:     {naive}");
     println!("optimized: {}", plan.expr);
@@ -56,6 +66,7 @@ fn show(title: &str, build: &dyn Fn() -> AxmlSystem, site: PeerId, naive: &Expr)
     println!("results:   {n1} trees");
     println!("naive      {b1:>9} B  {t1:>9.1} ms");
     println!("optimized  {b2:>9} B  {t2:>9.1} ms   ({:.1}x bytes)", b1 as f64 / b2.max(1) as f64);
+    println!("{}", sys2.run_report(format!("{title} — optimized plan")));
 }
 
 fn main() {

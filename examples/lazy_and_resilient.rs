@@ -123,7 +123,10 @@ fn main() {
         Ok(_) => unreachable!("the link is down"),
     }
     let model = CostModel::from_system(&sys);
-    let plan = Optimizer::standard().optimize(&model, client, &fetch);
+    // Scope the run report to the rerouted plan: reset both counters, run
+    // the search against the system's observer, then execute.
+    sys.reset_stats();
+    let plan = Optimizer::standard().optimize_with(&model, client, &fetch, sys.obs_mut());
     println!("optimizer reroutes via: {}", plan.trace.join(" → "));
     let out = sys.eval(client, &plan.expr).unwrap();
     println!(
@@ -131,4 +134,5 @@ fn main() {
         out.len()
     );
     assert_eq!(out.len(), 1);
+    println!("\n{}", sys.run_report("act 3: rerouted fetch through the relay"));
 }

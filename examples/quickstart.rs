@@ -1,4 +1,5 @@
-//! Quickstart: two peers, one catalog, one query — naive vs. optimized.
+//! Quickstart: two peers, one catalog, one query — naive vs. optimized,
+//! with the observability layer turned on.
 //!
 //! Run with: `cargo run --example quickstart`
 //!
@@ -7,6 +8,12 @@
 //! whole catalog to the client; the optimizer applies the equivalence
 //! rules of §3.3 (query delegation / pushed selections) and ships only
 //! the selected subset.
+//!
+//! Everything the engine does is recorded twice over: a [`VecSink`]
+//! receives structured [`TraceEvent`]s (definitions fired, rules tried,
+//! messages sent), and the system's [`EvalMetrics`] aggregate them into a
+//! [`RunReport`] that reconciles exactly with the network statistics —
+//! printed at the end as both text and JSON.
 
 use axml::prelude::*;
 use axml::xml::tree::Tree;
@@ -17,6 +24,10 @@ fn main() {
     let client = sys.add_peer("client");
     let server = sys.add_peer("server");
     sys.net_mut().set_link(client, server, LinkCost::wan());
+
+    // Turn tracing on: keep one handle, hand its clone to the system.
+    let sink = VecSink::new();
+    sys.set_trace_sink(Box::new(sink.clone()));
 
     // A catalog with 500 packages, of which only a handful are large.
     let mut xml = String::from("<catalog>");
@@ -55,23 +66,45 @@ fn main() {
     println!("\n== naive strategy (ship the catalog, filter locally) ==");
     println!("results: {} packages", results.len());
     println!("traffic: {}", sys.stats());
+    println!("trace:");
+    for e in sink.take() {
+        println!("  {e}");
+    }
 
     // ---- optimized evaluation -------------------------------------------
     let naive_bytes = sys.stats().total_bytes();
-    sys.reset_stats();
+    sys.reset_stats(); // resets net stats AND metrics together
     let model = CostModel::from_system(&sys);
-    let plan = Optimizer::standard().optimize(&model, client, &naive);
-    println!("== optimizer ==");
+    let plan = Optimizer::standard().optimize_with(&model, client, &naive, sys.obs_mut());
+    println!("\n== optimizer ==");
     println!("{plan}");
     let results2 = sys.eval(client, &plan.expr).unwrap();
     println!("\n== optimized strategy ==");
     println!("results: {} packages", results2.len());
     println!("traffic: {}", sys.stats());
+    // The beam search attempts ~100 candidates; the structured events make
+    // it trivial to filter — show only the accepted rewrites and execution.
+    println!("trace (accepted rewrites + execution):");
+    for e in sink.take() {
+        if matches!(e, TraceEvent::RuleAttempted { accepted: false, .. }) {
+            continue;
+        }
+        println!("  {e}");
+    }
 
     assert!(forest_equiv(&results, &results2), "same answers");
     let opt_bytes = sys.stats().total_bytes();
     println!(
-        "bytes shipped: naive {naive_bytes} → optimized {opt_bytes} ({:.1}x less)",
+        "\nbytes shipped: naive {naive_bytes} → optimized {opt_bytes} ({:.1}x less)",
         naive_bytes as f64 / opt_bytes as f64
     );
+
+    // ---- the run report ---------------------------------------------------
+    // Metrics cover everything since reset_stats: the optimizer search and
+    // the optimized plan's execution. They must reconcile exactly with the
+    // network layer's own accounting.
+    let report = sys.run_report("quickstart: optimized plan");
+    println!("\n{report}");
+    println!("as JSON:\n{}", report.to_json());
+    assert!(report.reconciled, "metrics reconcile with NetStats exactly");
 }

@@ -128,4 +128,7 @@ fn main() {
         assert_eq!(received, 2);
     }
     println!("subscription traffic: {}", sys.stats());
+    // The run report covers everything since the reset above: three feeds,
+    // two subscribers, only critical advisories shipped.
+    println!("\n{}", sys.run_report("advisory stream (two subscribers)"));
 }

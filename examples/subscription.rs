@@ -130,4 +130,8 @@ fn main() {
         alerts.serialize().contains("news-batch-processed"),
         "the @after chain delivered the ack to the pager"
     );
+
+    // The run report covers the last feed (counters were reset per item):
+    // one delta pump, with earlier stories suppressed by the delta cache.
+    println!("\n{}", sys.run_report("last feed item (delta pump)"));
 }

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: everything a PR must keep green, in one shot.
+#
+#   scripts/tier1.sh           # build + tests + docs
+#
+# Runs entirely offline (the workspace has zero external dependencies).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "== tier-1: cargo test --workspace -q =="
+cargo test --workspace -q
+
+echo "== tier-1: cargo doc --no-deps (warnings are errors) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+
+echo "tier-1: all green"

@@ -1,4 +1,4 @@
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 //! # axml — distributed XML data management
 //!
@@ -11,7 +11,7 @@
 //! cost-based distributed optimizer — all running over a deterministic
 //! discrete-event network simulator.
 //!
-//! This facade crate re-exports the five subsystem crates:
+//! This facade crate re-exports the six subsystem crates:
 //!
 //! * [`xml`] (`axml-xml`) — unordered XML trees, parser/serializer,
 //!   documents, canonical equivalence;
@@ -25,7 +25,13 @@
 //! * [`core`] (`axml-core`) — the paper's contribution: AXML documents
 //!   and `sc` elements, peers and services, the expression algebra and
 //!   its evaluator, continuous subscriptions, rewrite rules, cost model
-//!   and optimizer.
+//!   and optimizer;
+//! * [`obs`] (`axml-obs`) — the observability layer: structured
+//!   [`TraceEvent`](obs::TraceEvent)s mapping evaluation back to the
+//!   paper's definitions (1)–(9) and rules (10)–(16), aggregated
+//!   [`EvalMetrics`](obs::EvalMetrics), and the
+//!   [`RunReport`](obs::RunReport) (text + JSON) that reconciles exactly
+//!   with the network statistics. See `OBSERVABILITY.md`.
 //!
 //! ## Quickstart
 //!
@@ -60,6 +66,7 @@
 
 pub use axml_core as core;
 pub use axml_net as net;
+pub use axml_obs as obs;
 pub use axml_query as query;
 pub use axml_types as types;
 pub use axml_xml as xml;

@@ -1,0 +1,208 @@
+//! The observability layer, end to end: traced replay of the paper's
+//! Example 1, and the metrics ↔ network-statistics reconciliation
+//! invariant on a mixed workload.
+
+use axml::obs::TraceEvent;
+use axml::prelude::*;
+use axml::xml::tree::Tree;
+
+fn catalog(n: usize) -> Tree {
+    let mut xml = String::from("<catalog>");
+    for i in 0..n {
+        xml.push_str(&format!(
+            r#"<pkg name="pkg-{i}"><size>{}</size><blurb>some descriptive text for package {i}</blurb></pkg>"#,
+            (i * 37) % 10_000
+        ));
+    }
+    xml.push_str("</catalog>");
+    Tree::parse(&xml).unwrap()
+}
+
+fn build() -> (AxmlSystem, PeerId, PeerId) {
+    let mut sys = AxmlSystem::new();
+    let p = sys.add_peer("p");
+    let p2 = sys.add_peer("p2");
+    sys.net_mut().set_link(p, p2, LinkCost::wan());
+    sys.install_doc(p2, "t", catalog(300)).unwrap();
+    (sys, p, p2)
+}
+
+fn naive(p: PeerId, p2: PeerId) -> Expr {
+    let q = Query::parse(
+        "q",
+        r#"for $x in $0//pkg where $x/size/text() > 9000
+           return <large name="{$x/@name}">{$x/size}</large>"#,
+    )
+    .unwrap();
+    Expr::Apply {
+        query: LocatedQuery::new(q, p),
+        args: vec![Expr::Doc {
+            name: "t".into(),
+            at: PeerRef::At(p2),
+        }],
+    }
+}
+
+/// Example 1's naive plan, traced: the event stream is exactly the
+/// definitions the paper's §3.2 semantics prescribe, in order.
+#[test]
+fn traced_example_one_naive_records_the_definitions() {
+    let (mut sys, p, p2) = build();
+    let sink = VecSink::new();
+    sys.set_trace_sink(Box::new(sink.clone()));
+    sys.eval(p, &naive(p, p2)).unwrap();
+
+    let events = sink.take();
+    let summary: Vec<String> = events
+        .iter()
+        .map(|e| match e {
+            TraceEvent::Definition { def, peer, expr, .. } => {
+                format!("def({def}) {expr} @{peer}")
+            }
+            TraceEvent::MessageSent { from, to, kind, .. } => {
+                format!("msg {kind} {from}->{to}")
+            }
+            other => format!("other {}", other.kind()),
+        })
+        .collect();
+    // (2) apply at p → (5) fetch the remote doc → request to p2 →
+    // (1) local doc at p2 → data back to p.
+    assert_eq!(
+        summary,
+        vec![
+            "def(2) apply @p0",
+            "def(5) fetch @p0",
+            "msg request p0->p1",
+            "def(1) doc @p1",
+            "msg fetch p1->p0",
+        ],
+        "unexpected event stream: {summary:?}"
+    );
+    // Definition counters agree with the event stream.
+    assert_eq!(sys.metrics().def_count(1), 1);
+    assert_eq!(sys.metrics().def_count(2), 1);
+    assert_eq!(sys.metrics().def_count(5), 1);
+}
+
+/// The optimizer's search and the optimized plan's execution, traced:
+/// the winning rule chain appears as accepted `RuleAttempted` events,
+/// the search ends with `PlanChosen`, and execution shows the
+/// delegation the rules introduced.
+#[test]
+fn traced_example_one_optimized_records_rules_and_delegation() {
+    let (mut sys, p, p2) = build();
+    let sink = VecSink::new();
+    sys.set_trace_sink(Box::new(sink.clone()));
+
+    let model = CostModel::from_system(&sys);
+    let plan = Optimizer::standard().optimize_with(&model, p, &naive(p, p2), sys.obs_mut());
+    let search = sink.take();
+    let accepted: Vec<&str> = search
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::RuleAttempted { rule, accepted: true, .. } => Some(*rule),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        accepted.contains(&"R10-delegate") && accepted.contains(&"R11-push-selections"),
+        "Example 1's winning chain uses rules (10) and (11): {accepted:?}"
+    );
+    assert!(
+        matches!(search.last(), Some(TraceEvent::PlanChosen { trace, .. })
+            if trace.contains(&"R10-delegate")),
+        "search ends with the chosen plan"
+    );
+    // Rule counters mirror the events.
+    let r10 = sys.metrics().rule("R10-delegate");
+    assert!(r10.attempted >= r10.accepted && r10.accepted >= 1);
+    assert!(sys.metrics().cost_estimates > 0);
+
+    let out = sys.eval(p, &plan.expr).unwrap();
+    assert!(!out.is_empty());
+    let exec = sink.take();
+    assert!(
+        exec.iter().any(|e| matches!(e, TraceEvent::Delegation { from, to, .. }
+            if *from == p && *to == p2)),
+        "the optimized plan delegates p -> p2"
+    );
+}
+
+/// The reconciliation invariant on a mixed workload — one-shot queries,
+/// an optimizer run, continuous subscriptions and feeds: the evaluator's
+/// own books match the network simulator's, link by link, byte for byte.
+#[test]
+fn metrics_reconcile_with_net_stats_exactly() {
+    let (mut sys, p, p2) = build();
+    let relay = sys.add_peer("relay");
+    sys.net_mut().set_link(p, relay, LinkCost::lan());
+    sys.net_mut().set_link(p2, relay, LinkCost::lan());
+
+    // One-shot: naive and optimized.
+    sys.eval(p, &naive(p, p2)).unwrap();
+    let model = CostModel::from_system(&sys);
+    let plan = Optimizer::standard().optimize_with(&model, p, &naive(p, p2), sys.obs_mut());
+    sys.eval(p, &plan.expr).unwrap();
+
+    // Continuous: subscribe the relay to a feed on p2, stream items.
+    sys.install_doc(p2, "wire", Tree::parse("<wire/>").unwrap()).unwrap();
+    sys.register_declarative_service(p2, "items", r#"doc("wire")/item"#)
+        .unwrap();
+    sys.install_doc(
+        relay,
+        "inbox",
+        Tree::parse(r#"<inbox><sc><peer>p1</peer><service>items</service></sc></inbox>"#).unwrap(),
+    )
+    .unwrap();
+    sys.activate_document(relay, &"inbox".into()).unwrap();
+    for i in 0..3 {
+        sys.feed(p2, "wire", Tree::parse(&format!("<item>{i}</item>")).unwrap())
+            .unwrap();
+    }
+
+    assert!(sys.stats().total_messages() > 0);
+    assert!(
+        sys.metrics().reconciles_with(sys.stats()),
+        "metrics diverged from NetStats:\nmetrics per-link {:?}\nnet {}",
+        sys.metrics().per_link().collect::<Vec<_>>(),
+        sys.stats()
+    );
+    assert_eq!(sys.metrics().total_bytes(), sys.stats().total_bytes());
+    assert_eq!(sys.metrics().total_messages(), sys.stats().total_messages());
+    assert!(sys.metrics().delta_fresh >= 3, "three items streamed");
+
+    let report = sys.run_report("mixed workload");
+    assert!(report.reconciled);
+    let json = report.to_json();
+    assert!(json.contains("\"reconciled\":true"), "{json}");
+
+    // Resetting resets both bookkeepers together: the invariant holds
+    // for a scoped re-measurement too.
+    sys.reset_stats();
+    assert_eq!(sys.metrics().total_bytes(), 0);
+    assert_eq!(sys.stats().total_bytes(), 0);
+    sys.eval(p, &plan.expr).unwrap();
+    assert!(sys.run_report("scoped").reconciled);
+}
+
+/// With no sink installed, evaluation records metrics but no events —
+/// and installing one mid-flight starts the stream without disturbing
+/// the counters.
+#[test]
+fn sink_can_be_attached_and_cleared() {
+    let (mut sys, p, p2) = build();
+    sys.eval(p, &naive(p, p2)).unwrap();
+    let bytes_before = sys.metrics().total_bytes();
+    assert!(bytes_before > 0, "metrics always on");
+
+    let sink = VecSink::new();
+    sys.set_trace_sink(Box::new(sink.clone()));
+    sys.eval(p, &naive(p, p2)).unwrap();
+    assert!(!sink.is_empty(), "events flow once a sink is installed");
+
+    let n = sink.len();
+    sys.clear_trace_sink();
+    sys.eval(p, &naive(p, p2)).unwrap();
+    assert_eq!(sink.len(), n, "no events after clearing the sink");
+    assert_eq!(sys.metrics().total_bytes(), 3 * bytes_before);
+}

@@ -1,0 +1,243 @@
+//! Offline API-subset shim of [criterion](https://crates.io/crates/criterion).
+//!
+//! Benchmarks compile and run unchanged; measurement is a plain
+//! warmup-then-sample loop reporting median and mean wall-clock time per
+//! iteration. There are no HTML reports, no outlier analysis, and no
+//! comparison against saved baselines — this exists so `cargo bench`
+//! works on an air-gapped machine and produces honest numbers.
+//!
+//! Environment knobs: `CRITERION_SAMPLES` (default 31) and
+//! `CRITERION_WARMUP_MS` (default 300) tune the loop; both accept plain
+//! integers.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity, preventing constant folding of
+/// benchmark inputs and results.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput annotation attached to a benchmark group. Recorded and
+/// echoed in output; the shim derives bytes/sec for `Bytes`.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Abstract elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter rendering.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// An id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_count: usize,
+    warmup: Duration,
+}
+
+impl Bencher<'_> {
+    /// Time `routine`, recording one duration sample per measured batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warmup: run until the warmup budget elapses, counting
+        // iterations so we can pick a batch size that lasts ≥ ~1ms.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < self.warmup {
+            black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos().max(1) / u128::from(warm_iters.max(1));
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1_000_000) as u64;
+
+        for _ in 0..self.sample_count {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let total = t0.elapsed();
+            self.samples.push(total / batch as u32);
+        }
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn run_one(full_id: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut samples = Vec::new();
+    let mut b = Bencher {
+        samples: &mut samples,
+        sample_count: env_u64("CRITERION_SAMPLES", 31) as usize,
+        warmup: Duration::from_millis(env_u64("CRITERION_WARMUP_MS", 300)),
+    };
+    f(&mut b);
+    if samples.is_empty() {
+        println!("{full_id:<48} (no samples)");
+        return;
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let mean: Duration = samples.iter().sum::<Duration>() / samples.len() as u32;
+    let line = format!(
+        "{full_id:<48} median {:>12} mean {:>12}",
+        fmt_ns(median),
+        fmt_ns(mean)
+    );
+    match throughput {
+        Some(Throughput::Bytes(n)) if median.as_nanos() > 0 => {
+            let gib = n as f64 / median.as_secs_f64() / (1u64 << 30) as f64;
+            println!("{line}  thrpt {gib:>8.3} GiB/s");
+        }
+        Some(Throughput::Elements(n)) if median.as_nanos() > 0 => {
+            let meps = n as f64 / median.as_secs_f64() / 1e6;
+            println!("{line}  thrpt {meps:>8.3} Melem/s");
+        }
+        _ => println!("{line}"),
+    }
+}
+
+fn fmt_ns(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// The benchmark driver handed to each `criterion_group!` function.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        run_one(id, None, &mut f);
+        self
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and optional
+/// throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Run a benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_one(&full, self.throughput, &mut f);
+        self
+    }
+
+    /// Run a benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.id);
+        run_one(&full, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op in the shim; kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Collect benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_produces_samples() {
+        std::env::set_var("CRITERION_SAMPLES", "5");
+        std::env::set_var("CRITERION_WARMUP_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| black_box(2u64) + 2));
+        let mut g = c.benchmark_group("grp");
+        g.throughput(Throughput::Bytes(1024));
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7u32, |b, &x| {
+            b.iter(|| black_box(x) * 2)
+        });
+        g.finish();
+        std::env::remove_var("CRITERION_SAMPLES");
+        std::env::remove_var("CRITERION_WARMUP_MS");
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("f", 10).id, "f/10");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

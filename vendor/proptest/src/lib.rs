@@ -1,0 +1,173 @@
+//! Offline API-subset shim of [proptest](https://crates.io/crates/proptest).
+//!
+//! Implements exactly the surface this workspace's property tests use,
+//! backed by the deterministic `axml-prng` splitmix64 generator. Each
+//! `proptest!`-generated test derives its seed from its own name, so
+//! every run explores the same cases — failures are reproducible by
+//! re-running the named test. There is no shrinking: a failing case
+//! panics immediately with the case index.
+
+pub mod strategy;
+
+#[doc(hidden)]
+pub use axml_prng;
+
+/// Collection strategies (`proptest::collection::vec`).
+pub mod collection {
+    use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+    /// A strategy for `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size` (a `usize`, `Range` or `RangeInclusive`).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+/// Option strategies (`proptest::option::of`).
+pub mod option {
+    use crate::strategy::{OptionStrategy, Strategy};
+
+    /// A strategy producing `None` or `Some(value)` with equal probability.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+}
+
+/// Char strategies (`proptest::char::range`).
+pub mod char {
+    use crate::strategy::CharRange;
+
+    /// A strategy for chars in `[lo, hi]` (both inclusive).
+    pub fn range(lo: char, hi: char) -> CharRange {
+        CharRange { lo, hi }
+    }
+}
+
+/// Test-runner configuration accepted by `#![proptest_config(..)]`.
+pub mod test_runner {
+    /// Runner configuration; only `cases` is honoured by the shim.
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl Config {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            Config { cases }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config { cases: 256 }
+        }
+    }
+}
+
+/// The glob-import surface: strategies, config, and the macros.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Deterministic per-test seed: FNV-1a of the test's name, so case
+/// streams are stable across runs and machines but distinct per test.
+pub fn seed_for(test_name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Defines `#[test]` functions that run a property over generated cases.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     fn roundtrip(t in arb_tree()) { prop_assert_eq!(parse(&t.ser()), t); }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(@cfg ($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(
+            @cfg (<$crate::test_runner::Config as ::core::default::Default>::default());
+            $($rest)*
+        );
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (@cfg ($cfg:expr);) => {};
+    (@cfg ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($p:pat in $s:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config = $cfg;
+            let mut __rng = $crate::axml_prng::SplitMix64::new(
+                $crate::seed_for(concat!(module_path!(), "::", stringify!($name))),
+            );
+            for __case in 0..__config.cases {
+                let __run = |__rng: &mut $crate::axml_prng::SplitMix64| {
+                    $(let $p = $crate::strategy::Strategy::gen_value(&($s), __rng);)+
+                    $body
+                };
+                let __result = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(|| __run(&mut __rng)),
+                );
+                if let Err(__e) = __result {
+                    eprintln!(
+                        "proptest shim: property {} failed at case {}/{} (no shrinking)",
+                        stringify!($name), __case, __config.cases,
+                    );
+                    ::std::panic::resume_unwind(__e);
+                }
+            }
+        }
+        $crate::__proptest_impl!(@cfg ($cfg); $($rest)*);
+    };
+}
+
+/// Uniform choice between strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            vec![$($crate::strategy::Strategy::boxed($s)),+]
+        )
+    };
+}
+
+/// Property-scoped assertion (panics; the shim has no shrinking pass).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Property-scoped equality assertion.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Property-scoped inequality assertion.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}

@@ -1,0 +1,606 @@
+//! The `Strategy` trait, combinators, and primitive strategies.
+//!
+//! Generation-only (no shrinking): a strategy is anything that can
+//! produce a value from a `SplitMix64`. Combinators mirror proptest's
+//! names and signatures closely enough that the workspace's tests
+//! compile unchanged against either implementation.
+
+use axml_prng::{SampleUniform, SplitMix64};
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generate one value.
+    fn gen_value(&self, rng: &mut SplitMix64) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Keep only values satisfying `pred`; panics (test failure) if no
+    /// accepted value is found in 10 000 draws.
+    fn prop_filter<F>(self, whence: impl Into<String>, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            whence: whence.into(),
+            pred,
+        }
+    }
+
+    /// Recursive strategies: `self` generates leaves, and `f` lifts a
+    /// strategy for depth-`d` values to one for depth-`d+1` values. The
+    /// result draws a depth uniformly from `0..=depth` per value, so
+    /// both leaves and deep trees appear at the top level. `desired_size`
+    /// and `expected_branch_size` are accepted for API compatibility but
+    /// unused (the shim does not do size-driven budgeting).
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2,
+    {
+        let mut levels: Vec<BoxedStrategy<Self::Value>> = vec![self.boxed()];
+        for _ in 0..depth {
+            let prev = levels.last().expect("levels non-empty").clone();
+            levels.push(f(prev).boxed());
+        }
+        BoxedStrategy::new(move |rng| {
+            let d = rng.gen_range(0..levels.len());
+            levels[d].gen_value(rng)
+        })
+    }
+
+    /// Erase the concrete strategy type.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        let s = self;
+        BoxedStrategy::new(move |rng| s.gen_value(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T> {
+    gen: Rc<dyn Fn(&mut SplitMix64) -> T>,
+}
+
+impl<T> BoxedStrategy<T> {
+    /// Wrap a generation closure.
+    pub fn new(gen: impl Fn(&mut SplitMix64) -> T + 'static) -> Self {
+        BoxedStrategy { gen: Rc::new(gen) }
+    }
+}
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            gen: Rc::clone(&self.gen),
+        }
+    }
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut SplitMix64) -> T {
+        (self.gen)(rng)
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut SplitMix64) -> T {
+        self.0.clone()
+    }
+}
+
+/// `strategy.prop_map(f)`.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, U> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> U,
+{
+    type Value = U;
+    fn gen_value(&self, rng: &mut SplitMix64) -> U {
+        (self.f)(self.inner.gen_value(rng))
+    }
+}
+
+/// `strategy.prop_filter(reason, pred)`.
+#[derive(Clone)]
+pub struct Filter<S, F> {
+    inner: S,
+    whence: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn gen_value(&self, rng: &mut SplitMix64) -> S::Value {
+        for _ in 0..10_000 {
+            let v = self.inner.gen_value(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!("prop_filter rejected 10000 consecutive values: {}", self.whence);
+    }
+}
+
+/// `prop_oneof![..]`: uniform choice between same-valued strategies.
+#[derive(Clone)]
+pub struct Union<T> {
+    arms: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over `arms` (must be non-empty).
+    pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut SplitMix64) -> T {
+        let i = rng.gen_range(0..self.arms.len());
+        self.arms[i].gen_value(rng)
+    }
+}
+
+/// `collection::vec(element, size)`.
+#[derive(Clone)]
+pub struct VecStrategy<S> {
+    pub(crate) element: S,
+    pub(crate) size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn gen_value(&self, rng: &mut SplitMix64) -> Vec<S::Value> {
+        let n = rng.gen_range(self.size.lo..=self.size.hi);
+        (0..n).map(|_| self.element.gen_value(rng)).collect()
+    }
+}
+
+/// Inclusive length bounds for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+/// `option::of(inner)`.
+#[derive(Clone)]
+pub struct OptionStrategy<S> {
+    pub(crate) inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn gen_value(&self, rng: &mut SplitMix64) -> Option<S::Value> {
+        if rng.gen_bool(0.5) {
+            Some(self.inner.gen_value(rng))
+        } else {
+            None
+        }
+    }
+}
+
+/// `char::range(lo, hi)`.
+#[derive(Debug, Clone, Copy)]
+pub struct CharRange {
+    pub(crate) lo: char,
+    pub(crate) hi: char,
+}
+
+impl Strategy for CharRange {
+    type Value = char;
+    fn gen_value(&self, rng: &mut SplitMix64) -> char {
+        loop {
+            let cp = rng.gen_range(self.lo as u32..=self.hi as u32);
+            if let Some(c) = char::from_u32(cp) {
+                return c;
+            }
+        }
+    }
+}
+
+// ---- primitive strategies ------------------------------------------------
+
+impl<T> Strategy for Range<T>
+where
+    T: SampleUniform + PartialOrd + Clone + 'static,
+    Range<T>: axml_prng::IntoBounds<T> + Clone,
+{
+    type Value = T;
+    fn gen_value(&self, rng: &mut SplitMix64) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    T: SampleUniform + PartialOrd + Clone + 'static,
+    RangeInclusive<T>: axml_prng::IntoBounds<T> + Clone,
+{
+    type Value = T;
+    fn gen_value(&self, rng: &mut SplitMix64) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// String strategies from a regex subset: `&'static str` patterns like
+/// `"[a-z][a-z0-9_.-]{0,6}"`, `"[a-z]{1,8}"`, or `"\\PC*"` generate
+/// matching strings. Supported syntax: literal chars, `[..]` classes
+/// with ranges, `\PC` (any printable char), and the quantifiers `{n}`,
+/// `{m,n}`, `*`, `+`, `?` (unbounded repetition capped at 16).
+impl Strategy for &'static str {
+    type Value = String;
+    fn gen_value(&self, rng: &mut SplitMix64) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = rng.gen_range(*lo..=*hi);
+            for _ in 0..n {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+/// One pattern atom: candidate chars plus inclusive repetition bounds.
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let cs: Vec<char> = pat.chars().collect();
+    let mut i = 0;
+    let mut atoms = Vec::new();
+    while i < cs.len() {
+        let chars = match cs[i] {
+            '[' => {
+                let (set, next) = parse_class(&cs, i + 1);
+                i = next;
+                set
+            }
+            '\\' => {
+                assert!(i + 1 < cs.len(), "dangling escape in pattern {pat:?}");
+                match cs[i + 1] {
+                    // \PC — "not Unicode category C": printable chars.
+                    'P' => {
+                        assert!(
+                            i + 2 < cs.len() && cs[i + 2] == 'C',
+                            "only \\PC is supported in pattern {pat:?}"
+                        );
+                        i += 3;
+                        printable_chars()
+                    }
+                    c => {
+                        i += 2;
+                        vec![c]
+                    }
+                }
+            }
+            '.' => {
+                i += 1;
+                printable_chars()
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        let (lo, hi) = parse_quantifier(&cs, &mut i, pat);
+        atoms.push((chars, lo, hi));
+    }
+    atoms
+}
+
+fn parse_class(cs: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < cs.len() && cs[i] != ']' {
+        let c = if cs[i] == '\\' {
+            i += 1;
+            cs[i]
+        } else {
+            cs[i]
+        };
+        if i + 2 < cs.len() && cs[i + 1] == '-' && cs[i + 2] != ']' {
+            let hi = cs[i + 2];
+            for cp in c as u32..=hi as u32 {
+                if let Some(ch) = char::from_u32(cp) {
+                    set.push(ch);
+                }
+            }
+            i += 3;
+        } else {
+            set.push(c);
+            i += 1;
+        }
+    }
+    assert!(i < cs.len(), "unterminated character class");
+    (set, i + 1) // skip ']'
+}
+
+fn parse_quantifier(cs: &[char], i: &mut usize, pat: &str) -> (usize, usize) {
+    const UNBOUNDED: usize = 16;
+    if *i >= cs.len() {
+        return (1, 1);
+    }
+    match cs[*i] {
+        '*' => {
+            *i += 1;
+            (0, UNBOUNDED)
+        }
+        '+' => {
+            *i += 1;
+            (1, UNBOUNDED)
+        }
+        '?' => {
+            *i += 1;
+            (0, 1)
+        }
+        '{' => {
+            let close = cs[*i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in {pat:?}"))
+                + *i;
+            let body: String = cs[*i + 1..close].iter().collect();
+            *i = close + 1;
+            match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("bad quantifier"),
+                    hi.trim().parse().expect("bad quantifier"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("bad quantifier");
+                    (n, n)
+                }
+            }
+        }
+        _ => (1, 1),
+    }
+}
+
+/// The candidate set for `\PC` and `.`: ASCII printables plus a sample
+/// of multi-byte printable chars (letters, CJK, emoji, NBSP).
+fn printable_chars() -> Vec<char> {
+    let mut v: Vec<char> = (' '..='~').collect();
+    v.extend(['é', 'ß', 'λ', 'Ж', '中', 'あ', '\u{00A0}', '🙂', '—']);
+    v
+}
+
+// ---- tuples --------------------------------------------------------------
+
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn gen_value(&self, rng: &mut SplitMix64) -> Self::Value {
+                ($(self.$idx.gen_value(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A/0);
+impl_tuple_strategy!(A/0, B/1);
+impl_tuple_strategy!(A/0, B/1, C/2);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
+impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+
+// ---- any::<T>() ----------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// Generate an arbitrary value of this type.
+    fn arbitrary_value(rng: &mut SplitMix64) -> Self;
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// `any::<T>()`: the whole-domain strategy for `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn gen_value(&self, rng: &mut SplitMix64) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut SplitMix64) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut SplitMix64) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary_value(rng: &mut SplitMix64) -> f64 {
+        rng.next_f64()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary_value(rng: &mut SplitMix64) -> char {
+        let cands = printable_chars();
+        cands[rng.gen_range(0..cands.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop_oneof;
+
+    fn rng() -> SplitMix64 {
+        SplitMix64::new(0xA11CE)
+    }
+
+    #[test]
+    fn regex_subset_patterns() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_.-]{0,6}".gen_value(&mut r);
+            assert!((1..=7).contains(&s.chars().count()), "bad len: {s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .skip(1)
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || "_.-".contains(c)));
+
+            let t = "[a-z]{1,8}".gen_value(&mut r);
+            assert!((1..=8).contains(&t.chars().count()));
+            assert!(t.chars().all(|c| c.is_ascii_lowercase()));
+
+            let u = "\\PC*".gen_value(&mut r);
+            assert!(u.chars().count() <= 16);
+            assert!(u.chars().all(|c| !c.is_control()));
+        }
+    }
+
+    #[test]
+    fn map_filter_union_vec() {
+        let mut r = rng();
+        let s = prop_oneof![Just(1u32), Just(2), 10u32..20]
+            .prop_map(|x| x * 2)
+            .prop_filter("even only", |x| x % 2 == 0);
+        for _ in 0..100 {
+            let v = s.gen_value(&mut r);
+            assert!(v == 2 || v == 4 || (20..40).contains(&v));
+        }
+        let vs = crate::collection::vec(0u8..5, 2..4);
+        for _ in 0..50 {
+            let xs = vs.gen_value(&mut r);
+            assert!((2..=3).contains(&xs.len()));
+            assert!(xs.iter().all(|&x| x < 5));
+        }
+    }
+
+    #[test]
+    fn recursive_reaches_depth_and_leaves() {
+        #[derive(Debug)]
+        enum T {
+            Leaf,
+            Node(Vec<T>),
+        }
+        fn depth(t: &T) -> usize {
+            match t {
+                T::Leaf => 0,
+                T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
+            }
+        }
+        let s = Just(()).prop_map(|_| T::Leaf).prop_recursive(3, 16, 3, |inner| {
+            crate::collection::vec(inner, 1..3).prop_map(T::Node)
+        });
+        let mut r = rng();
+        let depths: Vec<usize> = (0..200).map(|_| depth(&s.gen_value(&mut r))).collect();
+        assert!(depths.iter().any(|&d| d == 0), "leaves must appear");
+        assert!(depths.iter().any(|&d| d >= 2), "deep trees must appear");
+        assert!(depths.iter().all(|&d| d <= 3), "depth bound respected");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let s = ("[a-z]{1,5}", 0u32..100, crate::option::of(0u8..9));
+        let mut a = rng();
+        let mut b = rng();
+        for _ in 0..50 {
+            assert_eq!(s.gen_value(&mut a), s.gen_value(&mut b));
+        }
+    }
+
+    #[test]
+    fn char_range_bounds() {
+        let s = crate::char::range('a', 'f');
+        let mut r = rng();
+        for _ in 0..100 {
+            let c = s.gen_value(&mut r);
+            assert!(('a'..='f').contains(&c));
+        }
+    }
+}
