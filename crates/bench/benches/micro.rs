@@ -41,7 +41,11 @@ fn bench_content_model(c: &mut Criterion) {
     let items: Vec<Item> = "ababbaab"
         .chars()
         .map(|ch| Item::Elem(Label::new(&ch.to_string())))
-        .chain([Item::Elem(Label::new("y")), Item::Elem(Label::new("x")), Item::Text])
+        .chain([
+            Item::Elem(Label::new("y")),
+            Item::Elem(Label::new("x")),
+            Item::Text,
+        ])
         .collect();
     c.bench_function("content_model/deriv_match", |b| {
         b.iter(|| black_box(&model).matches(black_box(&items)))

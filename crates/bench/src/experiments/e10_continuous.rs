@@ -18,7 +18,11 @@ pub const LENGTHS: &[usize] = &[10, 50, 100, 250, 500];
 
 fn item(i: usize) -> Tree {
     // every third package is "big" so even short streams produce output
-    let size = if i.is_multiple_of(3) { 150_000 + i } else { i * 100 };
+    let size = if i.is_multiple_of(3) {
+        150_000 + i
+    } else {
+        i * 100
+    };
     Tree::parse(&format!(
         r#"<batch><pkg name="pkg-{i}"><size>{size}</size></pkg></batch>"#
     ))
@@ -38,7 +42,13 @@ pub fn run() -> Report {
     let mut r = Report::new(
         "E10",
         "continuous queries: incremental delta vs recompute-per-arrival",
-        vec!["stream len", "outputs", "incremental µs", "recompute µs", "speedup"],
+        vec![
+            "stream len",
+            "outputs",
+            "incremental µs",
+            "recompute µs",
+            "speedup",
+        ],
     );
     for &n in LENGTHS {
         let q = the_query();
@@ -83,24 +93,24 @@ pub fn run() -> Report {
 /// duplicate, so the delta cache suppresses it).
 fn live_subscription_snapshot() -> axml_core::prelude::RunReport {
     use axml_core::prelude::*;
-    let mut sys = AxmlSystem::new();
-    let provider = sys.add_peer("provider");
-    let client = sys.add_peer("client");
-    sys.net_mut().set_link(provider, client, LinkCost::wan());
-    sys.install_doc(provider, "feed", Tree::parse("<feed/>").unwrap())
+    let mut sys = AxmlSystem::builder()
+        .peers(["provider", "client"])
+        .link("provider", "client", LinkCost::wan())
+        .doc("provider", "feed", "<feed/>")
+        .service(
+            "provider",
+            "items",
+            r#"for $i in doc("feed")/item return {$i}"#,
+        )
+        .doc(
+            "client",
+            "inbox",
+            r#"<inbox><sc><peer>p0</peer><service>items</service></sc></inbox>"#,
+        )
+        .build()
         .unwrap();
-    sys.register_declarative_service(
-        provider,
-        "items",
-        r#"for $i in doc("feed")/item return {$i}"#,
-    )
-    .unwrap();
-    sys.install_doc(
-        client,
-        "inbox",
-        Tree::parse(r#"<inbox><sc><peer>p0</peer><service>items</service></sc></inbox>"#).unwrap(),
-    )
-    .unwrap();
+    let provider = sys.peer_id("provider").unwrap();
+    let client = sys.peer_id("client").unwrap();
     sys.activate_document(client, &"inbox".into()).unwrap();
     sys.feed(provider, "feed", Tree::parse("<item>a</item>").unwrap())
         .unwrap();
@@ -116,10 +126,7 @@ mod tests {
     #[test]
     fn incremental_beats_recompute_on_long_streams() {
         let r = super::run();
-        let speedup_last: f64 = r
-            .rows
-            .last()
-            .unwrap()[4]
+        let speedup_last: f64 = r.rows.last().unwrap()[4]
             .trim_end_matches('x')
             .parse()
             .unwrap();
@@ -128,6 +135,9 @@ mod tests {
             speedup_last > speedup_first,
             "advantage must grow with stream length: {speedup_first} → {speedup_last}"
         );
-        assert!(speedup_last > 2.0, "long streams: clear win ({speedup_last})");
+        assert!(
+            speedup_last > 2.0,
+            "long streams: clear win ({speedup_last})"
+        );
     }
 }

@@ -18,24 +18,23 @@ use axml_core::prelude::*;
 use axml_core::rules::{standard_rules, RewriteRule};
 
 fn build() -> AxmlSystem {
-    let mut sys = AxmlSystem::new();
-    let a = sys.add_peer("client");
-    let b = sys.add_peer("data");
-    let c = sys.add_peer("relay");
-    // data is far; the relay path is decent
-    sys.net_mut().set_link(
-        a,
-        b,
-        LinkCost {
-            latency_ms: 300.0,
-            bytes_per_ms: 100.0,
-            per_msg_bytes: 256,
-        },
-    );
-    sys.net_mut().set_link(a, c, LinkCost::lan());
-    sys.net_mut().set_link(b, c, LinkCost::lan());
-    sys.install_doc(b, "catalog", catalog(300, 0.05, 0xE11)).unwrap();
-    sys
+    AxmlSystem::builder()
+        .peers(["client", "data", "relay"])
+        // data is far; the relay path is decent
+        .link(
+            "client",
+            "data",
+            LinkCost {
+                latency_ms: 300.0,
+                bytes_per_ms: 100.0,
+                per_msg_bytes: 256,
+            },
+        )
+        .link("client", "relay", LinkCost::lan())
+        .link("data", "relay", LinkCost::lan())
+        .doc("data", "catalog", catalog(300, 0.05, 0xE11))
+        .build()
+        .unwrap()
 }
 
 /// The standard rules minus the named one.
@@ -71,8 +70,7 @@ pub fn run() -> Report {
         let sys = build();
         let model = CostModel::from_system(&sys);
         let mut sys2 = build();
-        let plan =
-            Optimizer::standard().optimize_with(&model, site, &naive, sys2.obs_mut());
+        let plan = Optimizer::standard().optimize_with(&model, site, &naive, sys2.obs_mut());
         let _ = sys2.eval(site, &plan.expr).unwrap();
         r.attach_run(sys2.run_report("E11 full rule set"));
     }
@@ -115,10 +113,7 @@ mod tests {
     fn overlapping_rules_cover_each_other() {
         let r = super::run();
         let ms_ratio = |config: &str| -> f64 {
-            r.rows
-                .iter()
-                .find(|row| row[0] == config)
-                .unwrap()[3]
+            r.rows.iter().find(|row| row[0] == config).unwrap()[3]
                 .trim_end_matches('x')
                 .parse()
                 .unwrap()

@@ -19,10 +19,7 @@ pub const N_PKGS: usize = 1000;
 pub const SELECTIVITIES: &[f64] = &[0.01, 0.05, 0.10, 0.25, 0.50, 0.75, 1.00];
 
 /// Build the rewritten (pushed) plan for a fresh scenario.
-pub fn pushed_plan(
-    client: axml_xml::ids::PeerId,
-    server: axml_xml::ids::PeerId,
-) -> Expr {
+pub fn pushed_plan(client: axml_xml::ids::PeerId, server: axml_xml::ids::PeerId) -> Expr {
     let q = selective_query();
     let (outer, pushed) = q.decompose_selection().expect("selective query decomposes");
     Expr::Apply {
@@ -49,8 +46,13 @@ pub fn run() -> Report {
         "E1",
         "pushing selections (Example 1): traffic vs selectivity",
         vec![
-            "sel %", "results", "naive B", "pushed B", "naive/pushed",
-            "naive ms", "pushed ms",
+            "sel %",
+            "results",
+            "naive B",
+            "pushed B",
+            "naive/pushed",
+            "naive ms",
+            "pushed ms",
         ],
     );
     for &sel in SELECTIVITIES {
@@ -91,7 +93,10 @@ mod tests {
         // naive bytes roughly constant, pushed bytes increasing, ratio
         // decreasing with σ.
         let parse = |s: &str| -> f64 {
-            let s = s.trim_end_matches(" B").trim_end_matches(" KB").trim_end_matches(" MB");
+            let s = s
+                .trim_end_matches(" B")
+                .trim_end_matches(" KB")
+                .trim_end_matches(" MB");
             s.parse().unwrap()
         };
         let first_ratio = parse(r.rows[0][4].trim_end_matches('x'));

@@ -70,7 +70,11 @@ mod tests {
         let r = super::run();
         let winners: Vec<&str> = r.rows.iter().map(|row| row[4].as_str()).collect();
         assert_eq!(*winners.first().unwrap(), "naive", "tiny doc: plan > data");
-        assert_eq!(*winners.last().unwrap(), "delegated", "big doc: data > plan");
+        assert_eq!(
+            *winners.last().unwrap(),
+            "delegated",
+            "big doc: data > plan"
+        );
         // monotone: once delegated wins it keeps winning
         let first_del = winners.iter().position(|w| *w == "delegated").unwrap();
         assert!(winners[first_del..].iter().all(|w| *w == "delegated"));

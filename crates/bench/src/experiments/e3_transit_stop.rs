@@ -22,7 +22,12 @@ pub fn run() -> Report {
         "E3",
         "transit stops (rule 12): direct vs relay through a gateway",
         vec![
-            "direct B/ms", "direct ms", "relay ms", "direct B", "relay B", "winner",
+            "direct B/ms",
+            "direct ms",
+            "relay ms",
+            "direct B",
+            "relay B",
+            "winner",
         ],
     );
     for &bw in DIRECT_BANDWIDTHS {

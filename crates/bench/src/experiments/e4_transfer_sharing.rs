@@ -96,9 +96,7 @@ mod tests {
     #[test]
     fn savings_scale_with_k() {
         let r = super::run();
-        let ratio = |row: usize| -> f64 {
-            r.rows[row][4].trim_end_matches('x').parse().unwrap()
-        };
+        let ratio = |row: usize| -> f64 { r.rows[row][4].trim_end_matches('x').parse().unwrap() };
         assert!(ratio(0) <= 1.05, "k=1: nothing to share");
         assert!(ratio(1) > 1.7, "k=2 halves traffic: {}", ratio(1));
         assert!(ratio(3) > 3.4, "k=4 quarters traffic: {}", ratio(3));

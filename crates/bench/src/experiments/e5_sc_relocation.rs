@@ -22,15 +22,6 @@ use axml_xml::tree::Tree;
 pub const PARAM_SIZES: &[usize] = &[1, 10, 50, 200, 800];
 
 fn build(param_entries: usize) -> (AxmlSystem, PeerId, PeerId, PeerId) {
-    let mut sys = AxmlSystem::new();
-    let coordinator = sys.add_peer("coordinator");
-    let provider = sys.add_peer("provider");
-    let archive = sys.add_peer("archive");
-    sys.net_mut().set_link(coordinator, provider, LinkCost::slow());
-    sys.net_mut().set_link(coordinator, archive, LinkCost::slow());
-    sys.net_mut().set_link(provider, archive, LinkCost::lan());
-    sys.install_doc(provider, "catalog", catalog(100, 0.2, 0xE5))
-        .unwrap();
     // The parameter document: a (large) list of wanted packages, hosted
     // next to the provider.
     let mut want = Tree::new("want");
@@ -38,17 +29,26 @@ fn build(param_entries: usize) -> (AxmlSystem, PeerId, PeerId, PeerId) {
     for i in 0..param_entries {
         want.add_text_element(root, "name", format!("pkg-{}", i % 100));
     }
-    sys.install_doc(provider, "wanted", want).unwrap();
-    sys.register_declarative_service(
-        provider,
-        "resolve",
-        r#"for $p in doc("catalog")//pkg for $w in $0/name
-           where $p/@name = $w/text() and $p/size/text() > 100000
-           return <hit>{$p/@name}</hit>"#,
-    )
-    .unwrap();
-    sys.install_doc(archive, "vault", Tree::parse("<vault/>").unwrap())
+    let sys = AxmlSystem::builder()
+        .peers(["coordinator", "provider", "archive"])
+        .link("coordinator", "provider", LinkCost::slow())
+        .link("coordinator", "archive", LinkCost::slow())
+        .link("provider", "archive", LinkCost::lan())
+        .doc("provider", "catalog", catalog(100, 0.2, 0xE5))
+        .doc("provider", "wanted", want)
+        .service(
+            "provider",
+            "resolve",
+            r#"for $p in doc("catalog")//pkg for $w in $0/name
+               where $p/@name = $w/text() and $p/size/text() > 100000
+               return <hit>{$p/@name}</hit>"#,
+        )
+        .doc("archive", "vault", "<vault/>")
+        .build()
         .unwrap();
+    let coordinator = sys.peer_id("coordinator").unwrap();
+    let provider = sys.peer_id("provider").unwrap();
+    let archive = sys.peer_id("archive").unwrap();
     (sys, coordinator, provider, archive)
 }
 
@@ -57,7 +57,13 @@ pub fn run() -> Report {
     let mut r = Report::new(
         "E5",
         "sc relocation (rule 15): activation near the data",
-        vec!["param entries", "at-coord B", "relocated B", "ratio", "results"],
+        vec![
+            "param entries",
+            "at-coord B",
+            "relocated B",
+            "ratio",
+            "results",
+        ],
     );
     for &n in PARAM_SIZES {
         let run_with = |r: &mut Report, relocate: bool| -> (u64, usize) {
@@ -117,9 +123,7 @@ mod tests {
     #[test]
     fn relocation_win_grows_with_param_size() {
         let r = super::run();
-        let ratio = |row: usize| -> f64 {
-            r.rows[row][3].trim_end_matches('x').parse().unwrap()
-        };
+        let ratio = |row: usize| -> f64 { r.rows[row][3].trim_end_matches('x').parse().unwrap() };
         let first = ratio(0);
         let last = ratio(super::PARAM_SIZES.len() - 1);
         assert!(last > first, "win must grow with |param|: {first} → {last}");

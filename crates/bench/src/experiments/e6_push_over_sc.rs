@@ -22,7 +22,14 @@ pub fn run() -> Report {
     let mut r = Report::new(
         "E6",
         "pushing queries over service calls (rule 16)",
-        vec!["final sel %", "results", "naive B", "pushed B", "naive/pushed", "rule fired"],
+        vec![
+            "final sel %",
+            "results",
+            "naive B",
+            "pushed B",
+            "naive/pushed",
+            "rule fired",
+        ],
     );
     for &sel in SELECTIVITIES {
         let tree = catalog(400, sel, 0xE6);
@@ -86,10 +93,12 @@ mod tests {
     #[test]
     fn pushing_wins_when_selective() {
         let r = super::run();
-        let ratio = |row: usize| -> f64 {
-            r.rows[row][4].trim_end_matches('x').parse().unwrap()
-        };
-        assert!(ratio(0) > 5.0, "1% selectivity should win big: {}", ratio(0));
+        let ratio = |row: usize| -> f64 { r.rows[row][4].trim_end_matches('x').parse().unwrap() };
+        assert!(
+            ratio(0) > 5.0,
+            "1% selectivity should win big: {}",
+            ratio(0)
+        );
         assert!(
             ratio(0) > ratio(SEL_LAST),
             "advantage shrinks as selectivity grows"

@@ -20,7 +20,13 @@ pub fn run() -> Report {
     let mut r = Report::new(
         "E7",
         "generic-reference pick policies (definition 9)",
-        vec!["policy", "total B", "makespan ms", "max load", "mirrors used"],
+        vec![
+            "policy",
+            "total B",
+            "makespan ms",
+            "max load",
+            "mirrors used",
+        ],
     );
     let policies: Vec<(&str, PickPolicy)> = vec![
         ("First", PickPolicy::First),
@@ -70,10 +76,7 @@ mod tests {
     fn policies_differ_as_expected() {
         let r = super::run();
         let get = |name: &str, col: usize| -> f64 {
-            r.rows
-                .iter()
-                .find(|row| row[0] == name)
-                .unwrap()[col]
+            r.rows.iter().find(|row| row[0] == name).unwrap()[col]
                 .trim_end_matches(" ms")
                 .parse()
                 .unwrap()
@@ -85,10 +88,7 @@ mod tests {
         assert!(get("Closest", 2) <= get("Random(7)", 2));
         // RoundRobin uses all 4 mirrors; Closest exactly one.
         let used = |name: &str| -> usize {
-            r.rows
-                .iter()
-                .find(|row| row[0] == name)
-                .unwrap()[4]
+            r.rows.iter().find(|row| row[0] == name).unwrap()[4]
                 .parse()
                 .unwrap()
         };

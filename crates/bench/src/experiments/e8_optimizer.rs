@@ -18,23 +18,22 @@ use std::time::Instant;
 pub const BEAMS: &[usize] = &[1, 2, 4, 8, 16];
 
 fn build() -> AxmlSystem {
-    let mut sys = AxmlSystem::new();
-    let a = sys.add_peer("client");
-    let b = sys.add_peer("data-1");
-    let c = sys.add_peer("data-2");
-    sys.net_mut().set_link(a, b, LinkCost::wan());
-    sys.net_mut().set_link(a, c, LinkCost::slow());
-    sys.net_mut().set_link(b, c, LinkCost::lan());
-    sys.install_doc(b, "catalog", catalog(400, 0.05, 0xE8)).unwrap();
-    sys.install_replica(c, "cat-any", "catalog", catalog(400, 0.05, 0xE8))
+    let mut sys = AxmlSystem::builder()
+        .peers(["client", "data-1", "data-2"])
+        .link("client", "data-1", LinkCost::wan())
+        .link("client", "data-2", LinkCost::slow())
+        .link("data-1", "data-2", LinkCost::lan())
+        .doc("data-1", "catalog", catalog(400, 0.05, 0xE8))
+        .replica("data-2", "cat-any", "catalog", catalog(400, 0.05, 0xE8))
+        .service(
+            "data-1",
+            "all-pkgs",
+            r#"for $p in doc("catalog")//pkg return {$p}"#,
+        )
+        .build()
         .unwrap();
+    let b = sys.peer_id("data-1").unwrap();
     sys.catalog_mut().add_doc_replica("cat-any", b, "catalog");
-    sys.register_declarative_service(
-        b,
-        "all-pkgs",
-        r#"for $p in doc("catalog")//pkg return {$p}"#,
-    )
-    .unwrap();
     sys
 }
 
@@ -106,7 +105,15 @@ pub fn run() -> Report {
     let mut r = Report::new(
         "E8",
         "optimizer: measured naive vs optimized + beam ablation",
-        vec!["shape/beam", "naive B", "opt B", "ratio", "explored", "search ms", "trace"],
+        vec![
+            "shape/beam",
+            "naive B",
+            "opt B",
+            "ratio",
+            "explored",
+            "search ms",
+            "trace",
+        ],
     );
     let site = PeerId(0);
     // Part 1: the four shapes at the standard beam.

@@ -1,6 +1,8 @@
 //! The experiment suite E1–E10. See `EXPERIMENTS.md` for the index and
 //! the recorded outcomes.
 
+pub mod e10_continuous;
+pub mod e11_rule_ablation;
 pub mod e1_pushing_selections;
 pub mod e2_delegation_crossover;
 pub mod e3_transit_stop;
@@ -10,8 +12,6 @@ pub mod e6_push_over_sc;
 pub mod e7_pick_policies;
 pub mod e8_optimizer;
 pub mod e9_scalability;
-pub mod e10_continuous;
-pub mod e11_rule_ablation;
 
 use crate::report::Report;
 

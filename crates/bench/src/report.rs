@@ -167,7 +167,11 @@ mod tests {
         assert!(json.contains("\"rows\":[[\"1\",\"100\"]]"), "{json}");
         assert!(json.contains("\\\"note\\\""), "escaped: {json}");
         assert!(json.contains("\"run\":null"), "{json}");
-        let run = RunReport::new("rep", &axml_obs::EvalMetrics::new(), &axml_net::NetStats::new());
+        let run = RunReport::new(
+            "rep",
+            &axml_obs::EvalMetrics::new(),
+            &axml_net::NetStats::new(),
+        );
         r.attach_run(run);
         assert!(r.to_json().contains("\"run\":{\"title\":\"rep\""));
         assert!(r.to_string().contains("=== rep ==="));

@@ -5,9 +5,9 @@
 //! reproducible bit-for-bit.
 
 use axml_core::prelude::*;
+use axml_prng::SplitMix64;
 use axml_query::Query;
 use axml_xml::tree::Tree;
-use axml_prng::SplitMix64;
 
 /// The size threshold used by the standard selective query: packages with
 /// `size > BIG_THRESHOLD` are "selected".
@@ -53,11 +53,16 @@ pub fn selective_query() -> Query {
 /// A client–server pair over one WAN link, the catalog on the server.
 /// Returns `(system, client, server)`.
 pub fn two_peer(catalog_tree: Tree) -> (AxmlSystem, PeerId, PeerId) {
-    let mut sys = AxmlSystem::new();
-    let client = sys.add_peer("client");
-    let server = sys.add_peer("server");
-    sys.net_mut().set_link(client, server, LinkCost::wan());
-    sys.install_doc(server, "catalog", catalog_tree).unwrap();
+    let sys = AxmlSystem::builder()
+        .peers(["client", "server"])
+        .link("client", "server", LinkCost::wan())
+        .doc("server", "catalog", catalog_tree)
+        .build()
+        .unwrap();
+    let (client, server) = (
+        sys.peer_id("client").unwrap(),
+        sys.peer_id("server").unwrap(),
+    );
     (sys, client, server)
 }
 
@@ -65,14 +70,17 @@ pub fn two_peer(catalog_tree: Tree) -> (AxmlSystem, PeerId, PeerId) {
 /// link; both reach `gateway` over ordinary WAN links. Returns
 /// `(system, edge, origin, gateway)`.
 pub fn gateway(direct: LinkCost, catalog_tree: Tree) -> (AxmlSystem, PeerId, PeerId, PeerId) {
-    let mut sys = AxmlSystem::new();
-    let edge = sys.add_peer("edge");
-    let origin = sys.add_peer("origin");
-    let gw = sys.add_peer("gateway");
-    sys.net_mut().set_link(edge, origin, direct);
-    sys.net_mut().set_link(edge, gw, LinkCost::wan());
-    sys.net_mut().set_link(origin, gw, LinkCost::wan());
-    sys.install_doc(origin, "catalog", catalog_tree).unwrap();
+    let sys = AxmlSystem::builder()
+        .peers(["edge", "origin", "gateway"])
+        .link("edge", "origin", direct)
+        .link("edge", "gateway", LinkCost::wan())
+        .link("origin", "gateway", LinkCost::wan())
+        .doc("origin", "catalog", catalog_tree)
+        .build()
+        .unwrap();
+    let edge = sys.peer_id("edge").unwrap();
+    let origin = sys.peer_id("origin").unwrap();
+    let gw = sys.peer_id("gateway").unwrap();
     (sys, edge, origin, gw)
 }
 
@@ -82,20 +90,24 @@ pub fn gateway(direct: LinkCost, catalog_tree: Tree) -> (AxmlSystem, PeerId, Pee
 /// picks the *worst* mirror — separating it from `Closest`. Returns
 /// `(system, client, mirrors)`.
 pub fn mirrors(k: usize, catalog_tree: Tree) -> (AxmlSystem, PeerId, Vec<PeerId>) {
-    let mut sys = AxmlSystem::new();
-    let client = sys.add_peer("client");
-    let mut ms = Vec::with_capacity(k);
+    let mut builder = AxmlSystem::builder().peer("client");
     for i in 0..k {
-        let m = sys.add_peer(format!("mirror-{i}"));
+        let name = format!("mirror-{i}");
         let cost = LinkCost {
             latency_ms: 1.0 + 30.0 * i as f64,
             bytes_per_ms: 12_500.0 / (1.0 + i as f64),
             per_msg_bytes: 64,
         };
-        sys.net_mut().set_link(client, m, cost);
-        sys.install_doc(m, "catalog", catalog_tree.clone()).unwrap();
-        ms.push(m);
+        builder = builder
+            .peer(name.clone())
+            .link("client", name.as_str(), cost)
+            .doc(name.as_str(), "catalog", catalog_tree.clone());
     }
+    let mut sys = builder.build().unwrap();
+    let client = sys.peer_id("client").unwrap();
+    let ms: Vec<PeerId> = (0..k)
+        .map(|i| sys.peer_id(&format!("mirror-{i}")).unwrap())
+        .collect();
     for &m in ms.iter().rev() {
         sys.catalog_mut().add_doc_replica("catalog", m, "catalog");
     }

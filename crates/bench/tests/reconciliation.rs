@@ -1,0 +1,24 @@
+//! The reconciliation invariant across the whole experiment suite: every
+//! observability snapshot an experiment attaches must report that the
+//! evaluator's own books matched the network simulator's, link by link.
+
+use axml_bench::experiments;
+
+#[test]
+fn every_experiment_run_reconciles() {
+    let mut attached = 0;
+    for (id, run) in experiments::all() {
+        let report = run();
+        if let Some(snapshot) = &report.run {
+            attached += 1;
+            assert!(
+                snapshot.reconciled,
+                "{id}: metrics diverged from NetStats\n{snapshot}"
+            );
+        }
+    }
+    assert!(
+        attached >= 3,
+        "expected several experiments to attach run snapshots, got {attached}"
+    );
+}

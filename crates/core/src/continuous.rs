@@ -14,6 +14,7 @@
 //! results (multiset delta over canonical forms) to its sink — the forward
 //! list, or the `sc`'s parent by default.
 
+use crate::engine::{EvalSession, Intent};
 use crate::error::{CoreError, CoreResult};
 use crate::sc::{ActivationMode, ScNode, ScProvider};
 use crate::system::AxmlSystem;
@@ -64,6 +65,25 @@ impl AxmlSystem {
     /// as siblings of each `sc` (or at its `forw` targets); continuous
     /// services keep streaming through [`AxmlSystem::feed`].
     pub fn activate_document(&mut self, at: PeerId, doc: &DocName) -> CoreResult<Vec<u64>> {
+        let mut s = self.new_session();
+        match self.activate_into(&mut s, at, doc) {
+            Ok(ids) => {
+                self.run_session(&mut s)?;
+                Ok(ids)
+            }
+            Err(e) => {
+                self.net_mut().clear_in_flight();
+                Err(e)
+            }
+        }
+    }
+
+    fn activate_into(
+        &mut self,
+        s: &mut EvalSession,
+        at: PeerId,
+        doc: &DocName,
+    ) -> CoreResult<Vec<u64>> {
         self.check_peer(at)?;
         let tree = self.peers[at.index()].doc(doc, at)?.clone();
         let mut created = Vec::new();
@@ -74,9 +94,9 @@ impl AxmlSystem {
             }
             // Default sink: the sc's parent node in this document.
             let sink = if sc.forward.is_empty() {
-                let parent = tree.parent(sc_node).ok_or_else(|| {
-                    CoreError::Malformed("sc element at document root".into())
-                })?;
+                let parent = tree
+                    .parent(sc_node)
+                    .ok_or_else(|| CoreError::Malformed("sc element at document root".into()))?;
                 vec![NodeAddr::new(at, doc.clone(), parent)]
             } else {
                 sc.forward.clone()
@@ -91,18 +111,17 @@ impl AxmlSystem {
             };
             self.check_peer(provider)?;
             let params: Vec<Vec<Tree>> = sc.params.iter().map(|p| vec![p.clone()]).collect();
-            // Step 1 happens once: ship the parameters now.
+            // Step 1 happens once: ship the parameters now. The message
+            // is pure accounting — the subscription machinery reads the
+            // provider's state directly, so no receiver-side intent.
             if provider != at {
-                self.transfer(
-                    at,
-                    provider,
-                    crate::message::AxmlMessage::Invoke {
-                        service: service.clone(),
-                        params: params.iter().map(|f| Self::serialize_forest(f)).collect(),
-                        forward: sink.clone(),
-                        call_id: self.next_call,
-                    },
-                )?;
+                let msg = crate::message::AxmlMessage::Invoke {
+                    service: service.clone(),
+                    params: params.iter().map(|f| Self::serialize_forest(f)).collect(),
+                    forward: sink.clone(),
+                    call_id: self.next_call,
+                };
+                self.send_wire(s, at, provider, msg, Intent::None)?;
             }
             let id = self.fresh_call_id();
             self.obs.metrics.service_calls += 1;
@@ -142,7 +161,7 @@ impl AxmlSystem {
         // *all* subscriptions exist, so `@after` chains see their triggers.
         for &(id, is_after) in &created {
             if !is_after {
-                self.pump_subscription(id)?;
+                self.pump_into(s, id)?;
             }
         }
         Ok(created.into_iter().map(|(id, _)| id).collect())
@@ -152,16 +171,40 @@ impl AxmlSystem {
     /// affected subscriptions. Returns the number of result trees
     /// delivered downstream.
     pub fn feed(&mut self, at: PeerId, doc: impl Into<DocName>, tree: Tree) -> CoreResult<usize> {
-        self.check_peer(at)?;
         let doc = doc.into();
+        let mut s = self.new_session();
+        match self.feed_into(&mut s, at, &doc, tree) {
+            Ok(n) => {
+                self.run_session(&mut s)?;
+                Ok(n)
+            }
+            Err(e) => {
+                self.net_mut().clear_in_flight();
+                Err(e)
+            }
+        }
+    }
+
+    /// [`AxmlSystem::feed`] within an already-running session (used by
+    /// replica maintenance when the update arrives over the wire).
+    pub(crate) fn feed_into(
+        &mut self,
+        s: &mut EvalSession,
+        at: PeerId,
+        doc: &DocName,
+        tree: Tree,
+    ) -> CoreResult<usize> {
+        self.check_peer(at)?;
+        let doc = doc.clone();
         {
-            let d = self.peers[at.index()]
-                .docs
-                .get_mut(&doc)
-                .ok_or_else(|| CoreError::NoSuchDoc {
-                    doc: doc.clone(),
-                    at,
-                })?;
+            let d =
+                self.peers[at.index()]
+                    .docs
+                    .get_mut(&doc)
+                    .ok_or_else(|| CoreError::NoSuchDoc {
+                        doc: doc.clone(),
+                        at,
+                    })?;
             let root = d.tree().root();
             d.tree_mut().graft(root, &tree, tree.root())?;
         }
@@ -176,7 +219,7 @@ impl AxmlSystem {
             .collect();
         let mut delivered = 0;
         for id in affected {
-            delivered += self.pump_subscription(id)?;
+            delivered += self.pump_into(s, id)?;
         }
         Ok(delivered)
     }
@@ -185,6 +228,23 @@ impl AxmlSystem {
     /// `@after` chains. Returns the number of trees delivered (including
     /// chained deliveries).
     pub fn pump_subscription(&mut self, id: u64) -> CoreResult<usize> {
+        let mut s = self.new_session();
+        match self.pump_into(&mut s, id) {
+            Ok(n) => {
+                self.run_session(&mut s)?;
+                Ok(n)
+            }
+            Err(e) => {
+                self.net_mut().clear_in_flight();
+                Err(e)
+            }
+        }
+    }
+
+    /// One pump inside an open session. Chained `@after` calls fire as
+    /// soon as their predecessor's deliveries are *issued* (in flight) —
+    /// they read provider-side documents, so issue order is enough.
+    fn pump_into(&mut self, s: &mut EvalSession, id: u64) -> CoreResult<usize> {
         let idx = self
             .subscriptions
             .iter()
@@ -240,7 +300,7 @@ impl AxmlSystem {
             return Ok(0);
         }
         // Step 3: ship to the sink (repeatedly, for continuous services).
-        self.deliver_to_nodes(provider, &sink, &fresh)?;
+        let _gate = self.deliver_to_nodes(s, provider, &sink, &fresh)?;
         let mut total = fresh.len();
         let _ = caller;
         // §2.2: a call chained `after` this one activates per answer batch.
@@ -248,11 +308,11 @@ impl AxmlSystem {
             let chained: Vec<u64> = self
                 .subscriptions
                 .iter()
-                .filter(|s| matches!(&s.trigger, Trigger::AfterAnswer(p) if *p == my_id))
-                .map(|s| s.id)
+                .filter(|sub| matches!(&sub.trigger, Trigger::AfterAnswer(p) if *p == my_id))
+                .map(|sub| sub.id)
                 .collect();
             for c in chained {
-                total += self.pump_subscription(c)?;
+                total += self.pump_into(s, c)?;
             }
         }
         Ok(total)
@@ -307,10 +367,8 @@ mod tests {
         sys.install_doc(
             client,
             "digest",
-            Tree::parse(
-                r#"<digest><sc><peer>p1</peer><service>db-news</service></sc></digest>"#,
-            )
-            .unwrap(),
+            Tree::parse(r#"<digest><sc><peer>p1</peer><service>db-news</service></sc></digest>"#)
+                .unwrap(),
         )
         .unwrap();
         (sys, client, server)
@@ -373,25 +431,27 @@ mod tests {
         let archive = sys.add_peer("archive");
         sys.install_doc(archive, "log", Tree::parse("<log/>").unwrap())
             .unwrap();
-        let log_root = sys.peer(archive).docs.get(&"log".into()).unwrap().tree().root();
-        sys.install_doc(
-            client,
-            "digest2",
-            {
-                let mut t = Tree::parse("<digest2/>").unwrap();
-                let root = t.root();
-                let sc = ScNode {
-                    id: None,
-                    provider: ScProvider::Peer(server),
-                    service: "db-news".into(),
-                    params: vec![],
-                    forward: vec![NodeAddr::new(archive, "log", log_root)],
-                    mode: ActivationMode::Immediate,
-                };
-                sc.write(&mut t, root);
-                t
-            },
-        )
+        let log_root = sys
+            .peer(archive)
+            .docs
+            .get(&"log".into())
+            .unwrap()
+            .tree()
+            .root();
+        sys.install_doc(client, "digest2", {
+            let mut t = Tree::parse("<digest2/>").unwrap();
+            let root = t.root();
+            let sc = ScNode {
+                id: None,
+                provider: ScProvider::Peer(server),
+                service: "db-news".into(),
+                params: vec![],
+                forward: vec![NodeAddr::new(archive, "log", log_root)],
+                mode: ActivationMode::Immediate,
+            };
+            sc.write(&mut t, root);
+            t
+        })
         .unwrap();
         sys.activate_document(client, &"digest2".into()).unwrap();
         sys.feed(

@@ -128,10 +128,7 @@ impl CostModel {
             let mut all_trees = Vec::new();
             for doc in state.docs.iter() {
                 let tree = doc.tree().clone();
-                doc_sizes.insert(
-                    (pid, doc.name().clone()),
-                    tree.serialized_size() as f64,
-                );
+                doc_sizes.insert((pid, doc.name().clone()), tree.serialized_size() as f64);
                 doc_stats.insert(
                     (pid, doc.name().clone()),
                     ForestStats::collect(std::slice::from_ref(&tree)),
@@ -144,8 +141,7 @@ impl CostModel {
             }
         }
         let mut doc_replicas: HashMap<DocName, Vec<(PeerId, DocName)>> = HashMap::new();
-        let mut service_replicas: HashMap<ServiceName, Vec<(PeerId, ServiceName)>> =
-            HashMap::new();
+        let mut service_replicas: HashMap<ServiceName, Vec<(PeerId, ServiceName)>> = HashMap::new();
         // The catalog is read through its public views.
         for (class, members) in sys.catalog_view() {
             doc_replicas.insert(class, members);
@@ -215,7 +211,12 @@ impl CostModel {
     /// Resolve a generic document reference the way the *runtime* will:
     /// the model mirrors the system's pick policy (definition (9)), so
     /// estimates of `d@any` plans match what evaluation does.
-    pub fn resolve_doc(&self, site: PeerId, name: &DocName, at: &PeerRef) -> Option<(PeerId, DocName)> {
+    pub fn resolve_doc(
+        &self,
+        site: PeerId,
+        name: &DocName,
+        at: &PeerRef,
+    ) -> Option<(PeerId, DocName)> {
         match at {
             PeerRef::At(p) => Some((*p, name.clone())),
             PeerRef::Any => {
@@ -268,9 +269,7 @@ impl CostModel {
                 let Some((home, concrete)) = self.resolve_doc(site, name, at) else {
                     return 0.0;
                 };
-                let size = self
-                    .doc_size(home, &concrete)
-                    .unwrap_or(1024.0);
+                let size = self.doc_size(home, &concrete).unwrap_or(1024.0);
                 if home != site {
                     cost.charge(&self.link(site, home), expr.wire_size() as f64, false);
                     cost.charge(&self.link(home, site), size, false);
@@ -473,7 +472,8 @@ mod tests {
             ));
         }
         xml.push_str("</catalog>");
-        sys.install_doc(b, "catalog", Tree::parse(&xml).unwrap()).unwrap();
+        sys.install_doc(b, "catalog", Tree::parse(&xml).unwrap())
+            .unwrap();
         (sys, a, b)
     }
 
@@ -559,8 +559,12 @@ mod tests {
         let est = m.estimate(a, &e);
         sys.eval(a, &e).unwrap();
         let measured = sys.stats().total_bytes() as f64;
-        assert!(est.cost.bytes > 0.5 * measured && est.cost.bytes < 2.0 * measured,
-            "estimated {} vs measured {}", est.cost.bytes, measured);
+        assert!(
+            est.cost.bytes > 0.5 * measured && est.cost.bytes < 2.0 * measured,
+            "estimated {} vs measured {}",
+            est.cost.bytes,
+            measured
+        );
     }
 
     #[test]
@@ -576,9 +580,7 @@ mod tests {
         sys.install_replica(c, "cat", "cat-c", Tree::parse("<c/>").unwrap())
             .unwrap();
         let m = CostModel::from_system(&sys);
-        let (home, _) = m
-            .resolve_doc(a, &"cat".into(), &PeerRef::Any)
-            .unwrap();
+        let (home, _) = m.resolve_doc(a, &"cat".into(), &PeerRef::Any).unwrap();
         assert_eq!(home, c);
         assert!(m.resolve_doc(a, &"none".into(), &PeerRef::Any).is_none());
     }

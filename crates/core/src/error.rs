@@ -1,6 +1,7 @@
 //! Error type for the AXML core.
 
 use axml_net::NetError;
+use axml_obs::MessageKind;
 use axml_query::QueryError;
 use axml_types::TypeError;
 use axml_xml::ids::{DocName, PeerId, ServiceName};
@@ -10,8 +11,48 @@ use std::fmt;
 /// Result alias for this crate.
 pub type CoreResult<T> = Result<T, CoreError>;
 
+/// Errors from the message-driven evaluation engine.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A message could not be delivered because the link is down.
+    Undeliverable {
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+        /// Kind of the undeliverable message.
+        kind: MessageKind,
+    },
+    /// An evaluation session drained its ready queue and its mailboxes
+    /// but continuations were still waiting — a lost completion.
+    Stalled {
+        /// The peer owning the first orphaned continuation.
+        peer: PeerId,
+        /// How many continuations were left waiting.
+        waiting: usize,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Undeliverable { from, to, kind } => {
+                write!(f, "cannot deliver {kind} — link {from} → {to} is down")
+            }
+            EngineError::Stalled { peer, waiting } => {
+                write!(
+                    f,
+                    "evaluation stalled at {peer}: {waiting} continuation(s) still waiting"
+                )
+            }
+        }
+    }
+}
+
 /// Errors from the AXML system.
 #[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
 pub enum CoreError {
     /// An XML-level failure.
     Xml(XmlError),
@@ -45,6 +86,8 @@ pub enum CoreError {
     Malformed(String),
     /// An evaluation reached an unsupported shape.
     Unsupported(String),
+    /// The evaluation engine failed to drive a session to completion.
+    Engine(EngineError),
 }
 
 impl fmt::Display for CoreError {
@@ -65,6 +108,7 @@ impl fmt::Display for CoreError {
             }
             CoreError::Malformed(m) => write!(f, "malformed: {m}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            CoreError::Engine(e) => write!(f, "engine: {e}"),
         }
     }
 }
@@ -92,6 +136,12 @@ impl From<TypeError> for CoreError {
 impl From<NetError> for CoreError {
     fn from(e: NetError) -> Self {
         CoreError::Net(e)
+    }
+}
+
+impl From<EngineError> for CoreError {
+    fn from(e: EngineError) -> Self {
+        CoreError::Engine(e)
     }
 }
 
@@ -128,5 +178,21 @@ mod tests {
         assert!(CoreError::NoSuchQuery("q".into()).to_string().contains("q"));
         assert!(CoreError::Malformed("x".into()).to_string().contains("x"));
         assert!(CoreError::Unsupported("y".into()).to_string().contains("y"));
+        let e: CoreError = EngineError::Undeliverable {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind: MessageKind::Request,
+        }
+        .into();
+        let text = e.to_string();
+        assert!(text.contains("engine:"), "{text}");
+        assert!(text.contains("down"), "{text}");
+        assert!(text.contains("p0") && text.contains("p1"), "{text}");
+        let text = CoreError::Engine(EngineError::Stalled {
+            peer: PeerId(3),
+            waiting: 2,
+        })
+        .to_string();
+        assert!(text.contains("stalled") && text.contains("p3"), "{text}");
     }
 }

@@ -6,6 +6,11 @@
 //! messages, results accumulating under forward-list nodes, new documents
 //! and services installed.
 //!
+//! Since the engine redesign this function is a thin blocking wrapper:
+//! it opens one `crate::engine::EvalSession`, seeds it with a single
+//! root task, and drives the session to quiescence. The actual
+//! definition-by-definition decomposition lives in [`crate::engine`].
+//!
 //! Mapping to the paper's definitions:
 //!
 //! | def. | case |
@@ -23,461 +28,37 @@
 //! Simplifications vs. a production deployment (documented in DESIGN.md):
 //! evaluation is one-shot over current state (continuous propagation is in
 //! [`crate::continuous`]); remote evaluation requests ship the serialized
-//! expression and are charged like any other message; fan-out transfers
-//! are timed sequentially (the makespan is a sequential upper bound).
+//! expression and are charged like any other message. Independent
+//! transfers **overlap**: each directed link is a resource that carries
+//! one message at a time, so a fan-out's makespan is its critical path
+//! while strictly sequential chains (request → response) keep the exact
+//! timing of a depth-first evaluator.
 
-use crate::error::{CoreError, CoreResult};
-use crate::expr::{Expr, PeerRef, SendDest};
-use crate::message::AxmlMessage;
-use crate::sc::{ActivationMode, ScNode, ScProvider};
+use crate::engine::Runnable;
+use crate::error::CoreResult;
+use crate::expr::Expr;
 use crate::system::AxmlSystem;
-use axml_obs::TraceEvent;
-use axml_xml::ids::{NodeAddr, PeerId, ServiceName};
+use axml_xml::ids::PeerId;
 use axml_xml::tree::{NodeId, Tree};
 
 impl AxmlSystem {
     /// `eval@at(expr)` — evaluate the expression at a peer, returning the
-    /// forest left there.
+    /// forest left there. Blocks until the session is quiescent (every
+    /// task run, every in-flight message delivered).
     pub fn eval(&mut self, at: PeerId, expr: &Expr) -> CoreResult<Vec<Tree>> {
         self.check_peer(at)?;
-        match expr {
-            // ---- definitions (1)/(5): literal trees -------------------
-            Expr::Tree { tree, at: loc } => {
-                if loc == &at {
-                    self.record_def(1, at, "tree");
-                    let t = self.materialize_tree(at, tree)?;
-                    Ok(vec![t])
-                } else {
-                    self.fetch_remote(at, *loc, expr)
-                }
-            }
-
-            // ---- documents (+ definition (9) for d@any) ---------------
-            Expr::Doc { name, at: loc } => {
-                let (home, concrete) = match loc {
-                    PeerRef::At(p) => (*p, name.clone()),
-                    PeerRef::Any => {
-                        self.record_def(9, at, "pickDoc");
-                        let policy = self.pick_policy;
-                        self.catalog.pick_doc(policy, at, name, &self.net)?
-                    }
-                };
-                if home == at {
-                    self.record_def(1, at, "doc");
-                    let tree = self.peers[at.index()].doc(&concrete, at)?.clone();
-                    Ok(vec![tree])
-                } else {
-                    let remote = Expr::Doc {
-                        name: concrete,
-                        at: PeerRef::At(home),
-                    };
-                    self.fetch_remote(at, home, &remote)
-                }
-            }
-
-            // ---- definitions (2)/(7): query application ---------------
-            Expr::Apply { query, args } => {
-                if query.query.arity() != args.len() {
-                    return Err(CoreError::Query(axml_query::QueryError::ArityMismatch {
-                        expected: query.query.arity(),
-                        got: args.len(),
-                    }));
-                }
-                // Definition (7): a remote definition is shipped to the
-                // evaluation site first.
-                if query.def_at != at {
-                    self.record_def(7, at, "apply");
-                    let def = query.query.to_xml().serialize();
-                    self.transfer(
-                        query.def_at,
-                        at,
-                        AxmlMessage::Data {
-                            payload: def,
-                            tag: "query-def",
-                        },
-                    )?;
-                } else {
-                    self.record_def(2, at, "apply");
-                }
-                // Arguments materialize at the evaluation site (remote data
-                // is fetched by the recursive definition (5)).
-                let mut forests = Vec::with_capacity(args.len());
-                for a in args {
-                    forests.push(self.eval(at, a)?);
-                }
-                let out = query
-                    .query
-                    .eval_with_docs(&forests, &self.peers[at.index()])?;
-                Ok(out)
-            }
-
-            // ---- definitions (3)/(4) + send-to-new-doc ----------------
-            Expr::Send { dest, payload } => {
-                let forest = self.eval(at, payload)?;
-                match dest {
-                    SendDest::Peer(q) => {
-                        self.record_def(3, at, "send");
-                        if q != &at {
-                            self.transfer(
-                                at,
-                                *q,
-                                AxmlMessage::Data {
-                                    payload: Self::serialize_forest(&forest),
-                                    tag: "send",
-                                },
-                            )?;
-                        }
-                        // Definition (3): the send expression itself
-                        // evaluates to ∅; the data's arrival is the side
-                        // effect (captured by EvalAt delegation when the
-                        // destination is the delegating peer).
-                        Ok(Vec::new())
-                    }
-                    SendDest::Nodes(addrs) => {
-                        self.record_def(4, at, "send-nodes");
-                        self.deliver_to_nodes(at, addrs, &forest)?;
-                        Ok(Vec::new())
-                    }
-                    SendDest::NewDoc { peer, name } => {
-                        self.record_def(3, at, "send-newdoc");
-                        if *peer != at {
-                            self.transfer(
-                                at,
-                                *peer,
-                                AxmlMessage::InstallDoc {
-                                    name: name.clone(),
-                                    payload: Self::serialize_forest(&forest),
-                                },
-                            )?;
-                        }
-                        let mut doc = Tree::new(name.as_str());
-                        let root = doc.root();
-                        for t in &forest {
-                            doc.graft(root, t, t.root()).expect("fresh root");
-                        }
-                        self.peers[peer.index()]
-                            .install_doc(axml_xml::store::Document::new(name.clone(), doc))?;
-                        Ok(Vec::new())
-                    }
-                }
-            }
-
-            // ---- definition (6): service calls ------------------------
-            Expr::Sc {
-                provider,
-                service,
-                params,
-                forward,
-            } => {
-                let provider = match provider {
-                    PeerRef::At(p) => ScProvider::Peer(*p),
-                    PeerRef::Any => ScProvider::Any,
-                };
-                let mut param_forests = Vec::with_capacity(params.len());
-                for p in params {
-                    param_forests.push(self.eval(at, p)?);
-                }
-                self.call_service(at, provider, service, param_forests, forward)
-            }
-
-            // ---- rules (14)–(16): delegated evaluation ----------------
-            Expr::EvalAt { peer, expr: inner } => {
-                self.obs.metrics.delegations += 1;
-                let now = self.now_ms();
-                let (from, to) = (at, *peer);
-                self.obs
-                    .emit(|| TraceEvent::Delegation { from, to, at_ms: now });
-                let mut shipped;
-                let inner: &Expr = if *peer != at {
-                    // The delegated plan crosses the wire (embedded query
-                    // definitions travel with it).
-                    self.transfer(
-                        at,
-                        *peer,
-                        AxmlMessage::Request {
-                            expr_xml: inner.to_xml().serialize(),
-                        },
-                    )?;
-                    shipped = (**inner).clone();
-                    shipped.relocate_query_defs(*peer);
-                    &shipped
-                } else {
-                    inner
-                };
-                // Capture the common delegation shape: the inner expression
-                // sends its value straight back to us.
-                if let Expr::Send {
-                    dest: SendDest::Peer(back),
-                    payload,
-                } = inner
-                {
-                    if *back == at {
-                        let forest = self.eval(*peer, payload)?;
-                        if *peer != at {
-                            self.transfer(
-                                *peer,
-                                at,
-                                AxmlMessage::Data {
-                                    payload: Self::serialize_forest(&forest),
-                                    tag: "delegated-result",
-                                },
-                            )?;
-                        }
-                        return Ok(forest);
-                    }
-                }
-                // General case: the inner expression's sends address other
-                // locations; nothing lands here.
-                let _ = self.eval(*peer, inner)?;
-                Ok(Vec::new())
-            }
-
-            // ---- definition (8): code shipping ------------------------
-            Expr::Deploy {
-                to,
-                query,
-                as_service,
-            } => {
-                self.record_def(8, at, "deploy");
-                if query.def_at != *to {
-                    self.transfer(
-                        query.def_at,
-                        *to,
-                        AxmlMessage::DeployQuery {
-                            query_xml: query.query.to_xml().serialize(),
-                            as_service: as_service.clone(),
-                        },
-                    )?;
-                }
-                self.peers[to.index()].register_service(crate::service::Service::declarative(
-                    as_service.clone(),
-                    query.query.clone(),
-                ));
-                Ok(Vec::new())
-            }
-
-            // ---- sequencing (rule (13) plans) -------------------------
-            Expr::Seq(es) => {
-                self.obs.metrics.seq_steps += es.len() as u64;
-                let mut last = Vec::new();
-                for e in es {
-                    last = self.eval(at, e)?;
-                }
-                Ok(last)
-            }
-        }
-    }
-
-    /// Definition (5): `eval@at(x@loc)` for remote `x` — ship the request,
-    /// evaluate at the owner, ship the result back.
-    ///
-    /// The request *names* the remote datum rather than serializing it —
-    /// a literal `t@loc` is identified by reference (as the paper's `n@p`
-    /// node identifiers would), so fetching a tree never ships the tree's
-    /// own bytes in the request direction.
-    fn fetch_remote(&mut self, at: PeerId, loc: PeerId, expr: &Expr) -> CoreResult<Vec<Tree>> {
-        self.record_def(5, at, "fetch");
-        let request_xml = match expr {
-            Expr::Tree { tree, .. } => format!(
-                r#"<fetch kind="tree" at="p{}" ref="{:016x}"/>"#,
-                loc.0,
-                axml_xml::equiv::canonical_hash(tree, tree.root())
-            ),
-            other => other.to_xml().serialize(),
-        };
-        self.transfer(
-            at,
-            loc,
-            AxmlMessage::Request {
-                expr_xml: request_xml,
+        let mut s = self.new_session();
+        let root = s.new_slot(1);
+        self.schedule(
+            &mut s,
+            Runnable::Eval {
+                at,
+                expr: expr.clone(),
+                out: (root, 0),
             },
-        )?;
-        let mut local = expr.clone();
-        relocate(&mut local, loc);
-        let forest = self.eval(loc, &local)?;
-        self.transfer(
-            loc,
-            at,
-            AxmlMessage::Data {
-                payload: Self::serialize_forest(&forest),
-                tag: "fetch",
-            },
-        )?;
-        Ok(forest)
-    }
-
-    /// Definition (1) + (6): copy a tree, activating its immediate `sc`
-    /// elements. Results with an explicit forward list leave side effects
-    /// elsewhere; calls without one accumulate as siblings of the `sc`
-    /// node (§2.2 step 3), with the `sc` kept in place (AXML semantics —
-    /// the call may stream more later).
-    fn materialize_tree(&mut self, at: PeerId, tree: &Tree) -> CoreResult<Tree> {
-        let mut out = tree.clone();
-        let sc_nodes = ScNode::find_all(&out, out.root());
-        for sc_id in sc_nodes {
-            let sc = ScNode::parse(&out, sc_id)?;
-            if sc.mode != ActivationMode::Immediate {
-                continue;
-            }
-            let param_forests: Vec<Vec<Tree>> =
-                sc.params.iter().map(|p| vec![p.clone()]).collect();
-            let results =
-                self.call_service(at, sc.provider, &sc.service, param_forests, &sc.forward)?;
-            if sc.forward.is_empty() {
-                // insert as siblings of the sc node
-                let parent = out
-                    .parent(sc_id)
-                    .ok_or_else(|| CoreError::Malformed("sc at document root".into()))?;
-                for r in &results {
-                    out.graft(parent, r, r.root())?;
-                }
-            }
-        }
-        Ok(out)
-    }
-
-    /// §2.2's activation steps 1–3 / definition (6).
-    pub(crate) fn call_service(
-        &mut self,
-        caller: PeerId,
-        provider: ScProvider,
-        service: &ServiceName,
-        param_forests: Vec<Vec<Tree>>,
-        forward: &[NodeAddr],
-    ) -> CoreResult<Vec<Tree>> {
-        let (prov, concrete) = match provider {
-            ScProvider::Peer(p) => (p, service.clone()),
-            ScProvider::Any => {
-                self.record_def(9, caller, "pickService");
-                let policy = self.pick_policy;
-                self.catalog
-                    .pick_service(policy, caller, service, &self.net)?
-            }
-        };
-        self.check_peer(prov)?;
-        self.record_def(6, caller, "sc");
-        self.obs.metrics.service_calls += 1;
-        let call_id = self.fresh_call_id();
-        let now = self.now_ms();
-        self.obs.emit(|| TraceEvent::ServiceCall {
-            caller,
-            provider: prov,
-            service: concrete.as_str().to_string(),
-            call_id,
-            at_ms: now,
-        });
-        // Step 1: params to the provider.
-        if prov != caller {
-            self.transfer(
-                caller,
-                prov,
-                AxmlMessage::Invoke {
-                    service: concrete.clone(),
-                    params: param_forests
-                        .iter()
-                        .map(|f| Self::serialize_forest(f))
-                        .collect(),
-                    forward: forward.to_vec(),
-                    call_id,
-                },
-            )?;
-        }
-        // Step 2: the provider applies its implementation query.
-        let svc = self.peers[prov.index()].service(&concrete, prov)?;
-        if svc.arity() != param_forests.len() {
-            return Err(CoreError::Query(axml_query::QueryError::ArityMismatch {
-                expected: svc.arity(),
-                got: param_forests.len(),
-            }));
-        }
-        let query = svc.query.clone();
-        let results = query.eval_with_docs(&param_forests, &self.peers[prov.index()])?;
-        // Step 3: results to the forward list (or back to the caller).
-        if forward.is_empty() {
-            if prov != caller {
-                self.transfer(
-                    prov,
-                    caller,
-                    AxmlMessage::Response {
-                        call_id,
-                        payload: Self::serialize_forest(&results),
-                    },
-                )?;
-            }
-            Ok(results)
-        } else {
-            self.deliver_to_nodes(prov, forward, &results)?;
-            Ok(Vec::new())
-        }
-    }
-
-    /// Count one firing of paper definition `def` and, when a trace sink
-    /// is attached, stream the matching [`TraceEvent::Definition`].
-    fn record_def(&mut self, def: u8, peer: PeerId, expr: &'static str) {
-        self.obs.metrics.record_def(def);
-        let at_ms = self.net.now_ms();
-        self.obs.emit(|| TraceEvent::Definition {
-            def,
-            peer,
-            expr,
-            at_ms,
-        });
-    }
-
-    /// Definition (4): append a copy of each tree under each `n@p`.
-    pub(crate) fn deliver_to_nodes(
-        &mut self,
-        from: PeerId,
-        addrs: &[NodeAddr],
-        forest: &[Tree],
-    ) -> CoreResult<()> {
-        for addr in addrs {
-            self.check_peer(addr.peer)?;
-            if addr.peer != from {
-                self.transfer(
-                    from,
-                    addr.peer,
-                    AxmlMessage::Data {
-                        payload: Self::serialize_forest(forest),
-                        tag: "forward",
-                    },
-                )?;
-            }
-            self.graft_at(addr, forest)?;
-        }
-        Ok(())
-    }
-
-    /// Graft a forest under the addressed node.
-    pub(crate) fn graft_at(&mut self, addr: &NodeAddr, forest: &[Tree]) -> CoreResult<()> {
-        let peer = &mut self.peers[addr.peer.index()];
-        let doc = peer
-            .docs
-            .get_mut(&addr.doc)
-            .ok_or_else(|| CoreError::NoSuchDoc {
-                doc: addr.doc.clone(),
-                at: addr.peer,
-            })?;
-        let tree = doc.tree_mut();
-        if !tree.contains(addr.node) {
-            return Err(CoreError::Xml(axml_xml::XmlError::InvalidNode {
-                index: addr.node.index() as u32,
-            }));
-        }
-        for t in forest {
-            tree.graft(addr.node, t, t.root())?;
-        }
-        Ok(())
-    }
-}
-
-/// Re-pin the location of the outermost data reference to `loc` (used when
-/// the owner evaluates a fetched expression locally).
-fn relocate(expr: &mut Expr, loc: PeerId) {
-    match expr {
-        Expr::Tree { at, .. } => *at = loc,
-        Expr::Doc { at, .. } => *at = PeerRef::At(loc),
-        _ => {}
+        );
+        self.run_session(&mut s)?;
+        Ok(s.take(root))
     }
 }
 
@@ -494,10 +75,12 @@ pub fn node_by_path(tree: &Tree, path: &[&str]) -> Option<NodeId> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::expr::LocatedQuery;
+    use crate::error::CoreError;
+    use crate::expr::{LocatedQuery, PeerRef, SendDest};
     use axml_net::link::LinkCost;
     use axml_query::Query;
     use axml_xml::equiv::forest_equiv;
+    use axml_xml::ids::NodeAddr;
 
     fn catalog_xml() -> &'static str {
         r#"<catalog>
@@ -548,7 +131,10 @@ mod tests {
             )
             .unwrap();
         assert_eq!(out.len(), 1);
-        assert_eq!(out[0].serialized_size(), Tree::parse(catalog_xml()).unwrap().serialized_size());
+        assert_eq!(
+            out[0].serialized_size(),
+            Tree::parse(catalog_xml()).unwrap().serialized_size()
+        );
         // request + data back
         assert_eq!(sys.stats().total_messages(), 2);
         assert!(sys.stats().total_bytes() > out[0].serialized_size() as u64);
@@ -593,7 +179,8 @@ mod tests {
             ));
         }
         big.push_str("</catalog>");
-        sys.install_doc(b, "catalog", Tree::parse(&big).unwrap()).unwrap();
+        sys.install_doc(b, "catalog", Tree::parse(&big).unwrap())
+            .unwrap();
         let q = Query::parse(
             "big",
             r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#,
@@ -719,7 +306,8 @@ mod tests {
     fn def6_forward_list_redirects_results() {
         let (mut sys, a, b) = two_peer_system();
         let c = sys.add_peer("archive");
-        sys.install_doc(c, "log", Tree::parse("<log/>").unwrap()).unwrap();
+        sys.install_doc(c, "log", Tree::parse("<log/>").unwrap())
+            .unwrap();
         sys.register_declarative_service(b, "scan", r#"doc("catalog")//pkg/@name"#)
             .unwrap();
         let log_root = sys.peer(c).docs.get(&"log".into()).unwrap().tree().root();
@@ -741,8 +329,7 @@ mod tests {
     #[test]
     fn def8_deploy_creates_service() {
         let (mut sys, a, b) = two_peer_system();
-        let q = Query::parse("sel", r#"for $p in doc("catalog")//pkg return {$p/@name}"#)
-            .unwrap();
+        let q = Query::parse("sel", r#"for $p in doc("catalog")//pkg return {$p/@name}"#).unwrap();
         sys.eval(
             a,
             &Expr::Deploy {
@@ -806,9 +393,7 @@ mod tests {
                <sc><peer>p1</peer><service>names</service></sc></report>"#,
         )
         .unwrap();
-        let out = sys
-            .eval(a, &Expr::Tree { tree: doc, at: a })
-            .unwrap();
+        let out = sys.eval(a, &Expr::Tree { tree: doc, at: a }).unwrap();
         assert_eq!(out.len(), 1);
         let t = &out[0];
         // 3 results + title + sc element still present

@@ -356,7 +356,8 @@ impl Expr {
         match self {
             Expr::Tree { tree, at } => {
                 let el = t.add_element(parent, "tree");
-                t.set_attr(el, "at", at.index().to_string()).expect("element");
+                t.set_attr(el, "at", at.index().to_string())
+                    .expect("element");
                 t.graft(el, tree, tree.root()).expect("element");
             }
             Expr::Doc { name, at } => {
@@ -379,7 +380,8 @@ impl Expr {
                 let el = t.add_element(parent, "send");
                 match dest {
                     SendDest::Peer(p) => {
-                        t.set_attr(el, "peer", p.index().to_string()).expect("element");
+                        t.set_attr(el, "peer", p.index().to_string())
+                            .expect("element");
                     }
                     SendDest::Nodes(addrs) => {
                         for a in addrs {
@@ -389,7 +391,8 @@ impl Expr {
                     SendDest::NewDoc { peer, name } => {
                         t.set_attr(el, "newdoc-peer", peer.index().to_string())
                             .expect("element");
-                        t.set_attr(el, "newdoc-name", name.as_str()).expect("element");
+                        t.set_attr(el, "newdoc-name", name.as_str())
+                            .expect("element");
                     }
                 }
                 let pl = t.add_element(el, "payload");
@@ -414,7 +417,8 @@ impl Expr {
             }
             Expr::EvalAt { peer, expr } => {
                 let el = t.add_element(parent, "evalat");
-                t.set_attr(el, "peer", peer.index().to_string()).expect("element");
+                t.set_attr(el, "peer", peer.index().to_string())
+                    .expect("element");
                 expr.write_xml(t, el);
             }
             Expr::Deploy {
@@ -423,7 +427,8 @@ impl Expr {
                 as_service,
             } => {
                 let el = t.add_element(parent, "deploy");
-                t.set_attr(el, "to", to.index().to_string()).expect("element");
+                t.set_attr(el, "to", to.index().to_string())
+                    .expect("element");
                 t.set_attr(el, "as", as_service.as_str()).expect("element");
                 t.set_attr(el, "def-at", query.def_at.index().to_string())
                     .expect("element");
@@ -471,9 +476,11 @@ impl Expr {
                     .ok_or_else(|| CoreError::Malformed("<doc> lacks @name".into()))?;
                 let at = match t.attr(node, "at") {
                     Some("any") => PeerRef::Any,
-                    Some(s) => PeerRef::At(PeerId(s.trim_start_matches('p').parse().map_err(
-                        |_| CoreError::Malformed(format!("bad peer ref `{s}`")),
-                    )?)),
+                    Some(s) => PeerRef::At(PeerId(
+                        s.trim_start_matches('p')
+                            .parse()
+                            .map_err(|_| CoreError::Malformed(format!("bad peer ref `{s}`")))?,
+                    )),
                     None => return Err(CoreError::Malformed("<doc> lacks @at".into())),
                 };
                 Ok(Expr::Doc {
@@ -512,9 +519,10 @@ impl Expr {
                 }
                 let payload = Box::new(Expr::from_xml(t, inner[0])?);
                 let dest = if let Some(p) = t.attr(node, "peer") {
-                    SendDest::Peer(PeerId(p.parse().map_err(|_| {
-                        CoreError::Malformed(format!("bad @peer `{p}`"))
-                    })?))
+                    SendDest::Peer(PeerId(
+                        p.parse()
+                            .map_err(|_| CoreError::Malformed(format!("bad @peer `{p}`")))?,
+                    ))
                 } else if let Some(p) = t.attr(node, "newdoc-peer") {
                     SendDest::NewDoc {
                         peer: PeerId(p.parse().map_err(|_| {
@@ -542,9 +550,11 @@ impl Expr {
                     .ok_or_else(|| CoreError::Malformed("<sc> lacks <peer>".into()))?;
                 let provider = match t.text(peer_el).as_str() {
                     "any" => PeerRef::Any,
-                    s => PeerRef::At(PeerId(s.trim_start_matches('p').parse().map_err(
-                        |_| CoreError::Malformed(format!("bad provider `{s}`")),
-                    )?)),
+                    s => PeerRef::At(PeerId(
+                        s.trim_start_matches('p')
+                            .parse()
+                            .map_err(|_| CoreError::Malformed(format!("bad provider `{s}`")))?,
+                    )),
                 };
                 let svc_el = t
                     .first_child_labeled(node, "service")
@@ -714,11 +724,7 @@ pub fn parse_addr(s: &str) -> CoreResult<NodeAddr> {
     let peer = peer
         .parse::<u32>()
         .map_err(|_| CoreError::Malformed(format!("bad peer in `{s}`")))?;
-    Ok(NodeAddr::new(
-        PeerId(peer),
-        doc,
-        NodeId::from_index(node),
-    ))
+    Ok(NodeAddr::new(PeerId(peer), doc, NodeId::from_index(node)))
 }
 
 #[cfg(test)]
@@ -726,8 +732,11 @@ mod tests {
     use super::*;
 
     fn sample_query() -> Query {
-        Query::parse("sel", r#"for $p in $0//pkg where $p/size/text() > 10 return {$p}"#)
-            .unwrap()
+        Query::parse(
+            "sel",
+            r#"for $p in $0//pkg where $p/size/text() > 10 return {$p}"#,
+        )
+        .unwrap()
     }
 
     fn samples() -> Vec<Expr> {

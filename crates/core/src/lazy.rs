@@ -95,12 +95,7 @@ impl AxmlSystem {
     /// label footprint? Conservative: only a *declared* output root label
     /// that is absent from the footprint proves irrelevance; wildcards
     /// (or `//text()`-only queries) count as relevant.
-    fn call_maybe_relevant(
-        &self,
-        sc: &ScNode,
-        footprint: &HashSet<Label>,
-        wildcard: bool,
-    ) -> bool {
+    fn call_maybe_relevant(&self, sc: &ScNode, footprint: &HashSet<Label>, wildcard: bool) -> bool {
         if wildcard {
             return true;
         }
@@ -180,15 +175,14 @@ impl AxmlSystem {
             // Activate one-shot: results accumulate as siblings of the sc
             // (or at its forward targets).
             let params: Vec<Vec<Tree>> = sc.params.iter().map(|p| vec![p.clone()]).collect();
-            let results =
-                self.call_service(at, sc.provider, &sc.service, params, &sc.forward)?;
+            let results = self.call_service(at, sc.provider, &sc.service, params, &sc.forward)?;
             activated += 1;
             if sc.forward.is_empty() {
                 let parent = {
                     let stored = self.peer(at).doc(doc, at)?;
-                    stored.parent(sc_id).ok_or_else(|| {
-                        CoreError::Malformed("lazy sc at document root".into())
-                    })?
+                    stored
+                        .parent(sc_id)
+                        .ok_or_else(|| CoreError::Malformed("lazy sc at document root".into()))?
                 };
                 let state = self.peer_mut(at);
                 let d = state.docs.require_mut(doc)?;
@@ -232,8 +226,7 @@ impl AxmlSystem {
                 unreachable!("validate just failed above");
             };
             let params: Vec<Vec<Tree>> = sc.params.iter().map(|p| vec![p.clone()]).collect();
-            let results =
-                self.call_service(at, sc.provider, &sc.service, params, &sc.forward)?;
+            let results = self.call_service(at, sc.provider, &sc.service, params, &sc.forward)?;
             activated += 1;
             // Replace the lazy sc with its results (the activated call has
             // done its type-level job; keeping the sc would keep the
@@ -392,7 +385,13 @@ mod tests {
             .build()
             .unwrap();
         // Initially invalid: the digest holds only sc elements.
-        let before = sys.peer(client).docs.get(&"digest".into()).unwrap().tree().clone();
+        let before = sys
+            .peer(client)
+            .docs
+            .get(&"digest".into())
+            .unwrap()
+            .tree()
+            .clone();
         assert!(schema.validate(&before, "DigestT").is_err());
         let activated = sys
             .activate_to_type(client, &"digest".into(), &schema, &"DigestT".into())
@@ -405,10 +404,7 @@ mod tests {
     #[test]
     fn type_driven_activation_stops_early_when_already_valid() {
         let (mut sys, client, _server) = build();
-        let anything = Schema::builder()
-            .ty("T", Content::any())
-            .build()
-            .unwrap();
+        let anything = Schema::builder().ty("T", Content::any()).build().unwrap();
         let activated = sys
             .activate_to_type(client, &"digest".into(), &anything, &"T".into())
             .unwrap();

@@ -18,7 +18,11 @@
 //! * the **equivalence rules (10)–(16)** as rewrite rules ([`rules`]),
 //!   a network-aware **cost model** ([`cost`]) and a **cost-based
 //!   optimizer** with explain traces ([`optimizer`]),
-//! * `pickDoc`/`pickService` policies for generic references ([`pick`]).
+//! * `pickDoc`/`pickService` policies for generic references ([`pick`]),
+//! * a **message-driven evaluation engine** — per-peer mailboxes and
+//!   continuation tasks over the discrete-event network, so independent
+//!   transfers overlap ([`engine`]) — and a fluent [`builder`] for
+//!   declarative system construction.
 //!
 //! ## Observability
 //!
@@ -38,21 +42,21 @@
 //!
 //! ```
 //! use axml_core::prelude::*;
-//! use axml_xml::tree::Tree;
 //!
-//! // Two peers over a WAN.
-//! let mut sys = AxmlSystem::new();
-//! let client = sys.add_peer("client");
-//! let server = sys.add_peer("server");
-//! sys.net_mut().set_link(client, server, LinkCost::wan());
-//!
-//! // The server hosts a catalog and a declarative service over it.
-//! sys.install_doc(server, "catalog", Tree::parse(
-//!     r#"<catalog><pkg name="vim"><size>4000</size></pkg></catalog>"#).unwrap()).unwrap();
-//! sys.register_declarative_service(server, "names",
-//!     r#"doc("catalog")//pkg/@name"#).unwrap();
+//! // Two peers over a WAN: the server hosts a catalog and a
+//! // declarative service over it.
+//! let mut sys = AxmlSystem::builder()
+//!     .peers(["client", "server"])
+//!     .link("client", "server", LinkCost::wan())
+//!     .doc("server", "catalog",
+//!         r#"<catalog><pkg name="vim"><size>4000</size></pkg></catalog>"#)
+//!     .service("server", "names", r#"doc("catalog")//pkg/@name"#)
+//!     .build()
+//!     .unwrap();
 //!
 //! // The client calls it (definition (6)).
+//! let client = sys.peer_id("client").unwrap();
+//! let server = sys.peer_id("server").unwrap();
 //! let out = sys.eval(client, &Expr::Sc {
 //!     provider: PeerRef::At(server),
 //!     service: "names".into(),
@@ -62,8 +66,10 @@
 //! assert_eq!(out[0].text(out[0].root()), "vim");
 //! ```
 
+pub mod builder;
 pub mod continuous;
 pub mod cost;
+pub mod engine;
 pub mod error;
 pub mod eval;
 pub mod expr;
@@ -78,15 +84,17 @@ pub mod sc;
 pub mod service;
 pub mod system;
 
-pub use error::{CoreError, CoreResult};
+pub use builder::{DocSource, PeerSel, SystemBuilder};
+pub use error::{CoreError, CoreResult, EngineError};
 pub use expr::{Expr, LocatedQuery, PeerRef, SendDest};
 pub use system::AxmlSystem;
 
 /// Convenient glob import for applications.
 pub mod prelude {
+    pub use crate::builder::{DocSource, PeerSel, SystemBuilder};
     pub use crate::continuous::{Subscription, Trigger};
     pub use crate::cost::{Cost, CostModel};
-    pub use crate::error::{CoreError, CoreResult};
+    pub use crate::error::{CoreError, CoreResult, EngineError};
     pub use crate::expr::{Expr, LocatedQuery, PeerRef, SendDest};
     pub use crate::optimizer::{Explained, Optimizer};
     pub use crate::pick::{Catalog, PickPolicy};
@@ -94,7 +102,7 @@ pub mod prelude {
     pub use crate::service::Service;
     pub use crate::system::AxmlSystem;
     pub use axml_net::link::{LinkCost, Topology};
-    pub use axml_obs::{EvalMetrics, Obs, RunReport, TraceEvent, VecSink};
+    pub use axml_obs::{DataTag, EvalMetrics, MessageKind, Obs, RunReport, TraceEvent, VecSink};
     pub use axml_query::Query;
     pub use axml_xml::ids::{DocName, NodeAddr, PeerId, QueryName, ServiceName};
 }

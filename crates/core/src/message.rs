@@ -6,6 +6,7 @@
 //! by the links' per-message overhead).
 
 use axml_net::Payload;
+use axml_obs::{DataTag, MessageKind};
 use axml_xml::ids::{DocName, NodeAddr, ServiceName};
 
 /// A message between peers.
@@ -21,8 +22,9 @@ pub enum AxmlMessage {
     Data {
         /// Serialized forest (concatenated tree serializations).
         payload: String,
-        /// Optional human tag for traces.
-        tag: &'static str,
+        /// The exhaustive data refinement ("send", "fetch", …) — which
+        /// definition or subsystem produced the transfer.
+        tag: DataTag,
     },
     /// A service invocation: the `param_i` children shipped to the
     /// provider (§2.2 step 1).
@@ -61,17 +63,18 @@ pub enum AxmlMessage {
 }
 
 impl AxmlMessage {
-    /// A short static label for metrics/traces. `Data` messages report
-    /// their tag ("send", "fetch", "forward", …) so the per-kind traffic
-    /// breakdown distinguishes the definition that produced them.
-    pub fn kind(&self) -> &'static str {
+    /// The typed kind for metrics/traces. `Data` messages report their
+    /// [`DataTag`] ("send", "fetch", "forward", …) so the per-kind
+    /// traffic breakdown distinguishes the definition that produced
+    /// them, and a typo in a kind label is a compile error.
+    pub fn kind(&self) -> MessageKind {
         match self {
-            AxmlMessage::Request { .. } => "request",
-            AxmlMessage::Data { tag, .. } => tag,
-            AxmlMessage::Invoke { .. } => "invoke",
-            AxmlMessage::Response { .. } => "response",
-            AxmlMessage::DeployQuery { .. } => "deploy-query",
-            AxmlMessage::InstallDoc { .. } => "install-doc",
+            AxmlMessage::Request { .. } => MessageKind::Request,
+            AxmlMessage::Data { tag, .. } => MessageKind::Data(*tag),
+            AxmlMessage::Invoke { .. } => MessageKind::Invoke,
+            AxmlMessage::Response { .. } => MessageKind::Response,
+            AxmlMessage::DeployQuery { .. } => MessageKind::DeployQuery,
+            AxmlMessage::InstallDoc { .. } => MessageKind::InstallDoc,
         }
     }
 }
@@ -120,7 +123,7 @@ mod tests {
         assert_eq!(
             AxmlMessage::Data {
                 payload: "x".repeat(100),
-                tag: "t"
+                tag: DataTag::Send
             }
             .wire_size(),
             100

@@ -267,7 +267,10 @@ mod tests {
         };
         let opt = Optimizer::standard();
         let plan = opt.optimize(&model, b, &local);
-        assert!(plan.trace.is_empty(), "local read can't be improved: {plan}");
+        assert!(
+            plan.trace.is_empty(),
+            "local read can't be improved: {plan}"
+        );
         assert_eq!(plan.cost.messages, 0.0);
     }
 
@@ -291,7 +294,9 @@ mod tests {
         let ablated = Optimizer::with_rules(vec![]).optimize(&model, a, &naive);
         assert!(full.cost.scalar() < ablated.cost.scalar());
         assert_eq!(ablated.explored, 1);
-        assert!(Optimizer::standard().rule_names().contains(&"R16-push-over-sc"));
+        assert!(Optimizer::standard()
+            .rule_names()
+            .contains(&"R16-push-over-sc"));
     }
 
     #[test]
@@ -333,12 +338,20 @@ mod tests {
         );
         // and the relayed plan really is equivalent
         let mut sys2 = AxmlSystem::new();
-        let _ = (sys2.add_peer("a"), sys2.add_peer("b"), sys2.add_peer("relay"));
+        let _ = (
+            sys2.add_peer("a"),
+            sys2.add_peer("b"),
+            sys2.add_peer("relay"),
+        );
         sys2.install_doc(b, "catalog", Tree::parse(&catalog_xml(100)).unwrap())
             .unwrap();
         let v1 = sys2.eval(a, &naive).unwrap();
         let mut sys3 = AxmlSystem::new();
-        let _ = (sys3.add_peer("a"), sys3.add_peer("b"), sys3.add_peer("relay"));
+        let _ = (
+            sys3.add_peer("a"),
+            sys3.add_peer("b"),
+            sys3.add_peer("relay"),
+        );
         sys3.install_doc(b, "catalog", Tree::parse(&catalog_xml(100)).unwrap())
             .unwrap();
         let v2 = sys3.eval(a, &plan.expr).unwrap();

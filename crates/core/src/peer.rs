@@ -83,12 +83,7 @@ impl PeerState {
             docs: self
                 .docs
                 .iter()
-                .map(|d| {
-                    (
-                        d.name().clone(),
-                        canonicalize(d.tree(), d.tree().root()),
-                    )
-                })
+                .map(|d| (d.name().clone(), canonicalize(d.tree(), d.tree().root())))
                 .collect(),
             services: self.services.keys().cloned().collect(),
         }
@@ -119,7 +114,9 @@ mod tests {
         let mut p = PeerState::new();
         p.install_doc(Document::new("d", Tree::parse("<a/>").unwrap()))
             .unwrap();
-        assert!(p.install_doc(Document::new("d", Tree::parse("<b/>").unwrap())).is_err());
+        assert!(p
+            .install_doc(Document::new("d", Tree::parse("<b/>").unwrap()))
+            .is_err());
         assert!(p.doc(&"d".into(), PeerId(0)).is_ok());
         assert!(matches!(
             p.doc(&"missing".into(), PeerId(0)),

@@ -11,8 +11,8 @@
 use crate::error::{CoreError, CoreResult};
 use axml_net::sim::Network;
 use axml_net::Payload;
-use axml_xml::ids::{DocName, PeerId, ServiceName};
 use axml_prng::SplitMix64;
+use axml_xml::ids::{DocName, PeerId, ServiceName};
 use std::collections::BTreeMap;
 
 /// How a peer picks among the members of an equivalence class.

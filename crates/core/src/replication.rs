@@ -11,28 +11,49 @@
 //! equivalent — property-tested in `tests/prop_rules.rs`'s sibling suite
 //! and unit-tested here.
 
+use crate::engine::{EvalSession, Intent};
 use crate::error::{CoreError, CoreResult};
 use crate::message::AxmlMessage;
 use crate::system::AxmlSystem;
+use axml_obs::DataTag;
 use axml_xml::ids::{DocName, PeerId};
 use axml_xml::tree::Tree;
 
 impl AxmlSystem {
     /// Propagate an update to every replica of the document class:
     /// append `tree` to the replica at `origin`, ship it to each sibling
-    /// replica, and fire the continuous subscriptions everywhere.
-    /// Returns the total number of result trees delivered downstream.
+    /// replica (the updates travel concurrently — one in-flight message
+    /// per sibling link), and fire the continuous subscriptions
+    /// everywhere. Returns the total number of result trees delivered
+    /// downstream.
     pub fn feed_replicas(
         &mut self,
         origin: PeerId,
         class: &DocName,
         tree: Tree,
     ) -> CoreResult<usize> {
+        let mut s = self.new_session();
+        match self.feed_replicas_into(&mut s, origin, class, tree) {
+            Ok(local) => {
+                self.run_session(&mut s)?;
+                Ok(local + s.delivered)
+            }
+            Err(e) => {
+                self.net_mut().clear_in_flight();
+                Err(e)
+            }
+        }
+    }
+
+    fn feed_replicas_into(
+        &mut self,
+        s: &mut EvalSession,
+        origin: PeerId,
+        class: &DocName,
+        tree: Tree,
+    ) -> CoreResult<usize> {
         self.check_peer(origin)?;
-        let members: Vec<(PeerId, DocName)> = self
-            .catalog
-            .doc_replicas(class)
-            .to_vec();
+        let members: Vec<(PeerId, DocName)> = self.catalog.doc_replicas(class).to_vec();
         if members.is_empty() {
             return Err(CoreError::EmptyEquivalenceClass(class.to_string()));
         }
@@ -44,21 +65,26 @@ impl AxmlSystem {
         };
         let origin_doc = origin_doc.clone();
         // Local write first…
-        let mut delivered = self.feed(origin, origin_doc, tree.clone())?;
-        // …then one charged transfer per sibling replica.
+        let delivered = self.feed_into(s, origin, &origin_doc, tree.clone())?;
+        // …then one charged transfer per sibling replica; the sibling's
+        // own write (and its subscription pumps) happens on arrival.
         for (peer, concrete) in members {
             if peer == origin {
                 continue;
             }
-            self.transfer(
+            self.send_wire(
+                s,
                 origin,
                 peer,
                 AxmlMessage::Data {
                     payload: tree.serialize(),
-                    tag: "replica-update",
+                    tag: DataTag::ReplicaUpdate,
+                },
+                Intent::ReplicaFeed {
+                    doc: concrete,
+                    tree: tree.clone(),
                 },
             )?;
-            delivered += self.feed(peer, concrete, tree.clone())?;
         }
         Ok(delivered)
     }
@@ -96,8 +122,10 @@ mod tests {
             sys.net_mut().set_link(x, y, LinkCost::wan());
         }
         let base = Tree::parse("<catalog/>").unwrap();
-        sys.install_replica(a, "cat", "cat-a", base.clone()).unwrap();
-        sys.install_replica(b, "cat", "cat-b", base.clone()).unwrap();
+        sys.install_replica(a, "cat", "cat-a", base.clone())
+            .unwrap();
+        sys.install_replica(b, "cat", "cat-b", base.clone())
+            .unwrap();
         sys.install_replica(c, "cat", "cat-c", base).unwrap();
         (sys, a, b, c)
     }
@@ -106,10 +134,18 @@ mod tests {
     fn updates_reach_every_replica() {
         let (mut sys, a, _b, _c) = build();
         assert!(sys.replicas_consistent(&"cat".into()).unwrap());
-        sys.feed_replicas(a, &"cat".into(), Tree::parse(r#"<pkg name="vim"/>"#).unwrap())
-            .unwrap();
+        sys.feed_replicas(
+            a,
+            &"cat".into(),
+            Tree::parse(r#"<pkg name="vim"/>"#).unwrap(),
+        )
+        .unwrap();
         assert!(sys.replicas_consistent(&"cat".into()).unwrap());
-        for (peer, name) in [(PeerId(0), "cat-a"), (PeerId(1), "cat-b"), (PeerId(2), "cat-c")] {
+        for (peer, name) in [
+            (PeerId(0), "cat-a"),
+            (PeerId(1), "cat-b"),
+            (PeerId(2), "cat-c"),
+        ] {
             let t = sys.peer(peer).docs.get(&name.into()).unwrap().tree();
             assert_eq!(t.children(t.root()).len(), 1, "{name}");
         }
@@ -120,10 +156,18 @@ mod tests {
     #[test]
     fn updates_can_originate_anywhere() {
         let (mut sys, a, b, _c) = build();
-        sys.feed_replicas(a, &"cat".into(), Tree::parse(r#"<pkg name="one"/>"#).unwrap())
-            .unwrap();
-        sys.feed_replicas(b, &"cat".into(), Tree::parse(r#"<pkg name="two"/>"#).unwrap())
-            .unwrap();
+        sys.feed_replicas(
+            a,
+            &"cat".into(),
+            Tree::parse(r#"<pkg name="one"/>"#).unwrap(),
+        )
+        .unwrap();
+        sys.feed_replicas(
+            b,
+            &"cat".into(),
+            Tree::parse(r#"<pkg name="two"/>"#).unwrap(),
+        )
+        .unwrap();
         assert!(sys.replicas_consistent(&"cat".into()).unwrap());
         // reads from any replica agree
         let mut reads = Vec::new();
@@ -161,7 +205,11 @@ mod tests {
         sys.activate_document(w, &"inbox".into()).unwrap();
         // An update fed at the *origin* replica still reaches the watcher.
         let delivered = sys
-            .feed_replicas(a, &"cat".into(), Tree::parse(r#"<pkg name="new"/>"#).unwrap())
+            .feed_replicas(
+                a,
+                &"cat".into(),
+                Tree::parse(r#"<pkg name="new"/>"#).unwrap(),
+            )
             .unwrap();
         assert_eq!(delivered, 1);
         let inbox = sys.peer(w).docs.get(&"inbox".into()).unwrap().tree();

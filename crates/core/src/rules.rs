@@ -246,7 +246,11 @@ impl RewriteRule for R12RemoveStop {
     fn apply_at(&self, site: PeerId, expr: &Expr, _ctx: &OptContext) -> Vec<Expr> {
         // Shape: eval@v(send(site, eval@p1(send(v, X)))) — fetch via v —
         // rewritten to eval@p1(send(site, X)).
-        let Expr::EvalAt { peer: via, expr: inner } = expr else {
+        let Expr::EvalAt {
+            peer: via,
+            expr: inner,
+        } = expr
+        else {
             return vec![];
         };
         let Expr::Send {
@@ -292,7 +296,11 @@ impl RewriteRule for R12AddStop {
 
     fn apply_at(&self, site: PeerId, expr: &Expr, ctx: &OptContext) -> Vec<Expr> {
         // Shape: eval@p1(send(site, X)) → eval@v(send(site, eval@p1(send(v, X))))
-        let Expr::EvalAt { peer: origin, expr: inner } = expr else {
+        let Expr::EvalAt {
+            peer: origin,
+            expr: inner,
+        } = expr
+        else {
             return vec![];
         };
         let Expr::Send {
@@ -786,7 +794,8 @@ mod tests {
         let (mut sys, a, b, c) = system();
         sys.register_declarative_service(b, "scan", r#"doc("catalog")//pkg/@name"#)
             .unwrap();
-        sys.install_doc(c, "log", Tree::parse("<log/>").unwrap()).unwrap();
+        sys.install_doc(c, "log", Tree::parse("<log/>").unwrap())
+            .unwrap();
         let log_root = sys.peer(c).docs.get(&"log".into()).unwrap().tree().root();
         let model = CostModel::from_system(&sys);
         let ctx = OptContext::new(&model);

@@ -149,7 +149,8 @@ impl ScNode {
         tree.add_text_element(sc, "service", self.service.as_str());
         for (i, p) in self.params.iter().enumerate() {
             let pe = tree.add_element(sc, format!("param{}", i + 1).as_str());
-            tree.graft(pe, p, p.root()).expect("param wrapper is an element");
+            tree.graft(pe, p, p.root())
+                .expect("param wrapper is an element");
         }
         for a in &self.forward {
             tree.add_text_element(sc, "forw", format_addr(a));
@@ -235,7 +236,10 @@ mod tests {
             ..sample()
         };
         let t = sc.to_tree();
-        assert_eq!(ScNode::parse(&t, t.root()).unwrap().mode, ActivationMode::Lazy);
+        assert_eq!(
+            ScNode::parse(&t, t.root()).unwrap().mode,
+            ActivationMode::Lazy
+        );
     }
 
     #[test]

@@ -2,39 +2,45 @@
 //!
 //! An [`AxmlSystem`] owns the simulated network, one [`PeerState`] per
 //! peer, and the generic-reference [`Catalog`]. Evaluation of expressions
-//! (definitions (1)–(9)) lives in [`crate::eval`]; continuous service
-//! machinery in [`crate::continuous`]; both drive every cross-peer byte
-//! through the system's internal `transfer` path so the statistics measure real wire
-//! traffic.
+//! (definitions (1)–(9)) is decomposed into continuation tasks by the
+//! message-driven engine in [`crate::engine`]; continuous service
+//! machinery in [`crate::continuous`]. Both drive every cross-peer byte
+//! through the engine's wire path so the statistics measure real traffic.
 
+use crate::engine::Wire;
 use crate::error::{CoreError, CoreResult};
-use crate::message::AxmlMessage;
 use crate::peer::{PeerSnapshot, PeerState};
 use crate::pick::{Catalog, PickPolicy};
 use crate::service::Service;
 use axml_net::link::Topology;
 use axml_net::sim::Network;
-use axml_net::{NetStats, Payload};
-use axml_obs::{EvalMetrics, Obs, RunReport, TraceEvent, TraceSink};
+use axml_net::NetStats;
+use axml_obs::{EvalMetrics, Obs, RunReport, TraceSink};
 use axml_query::Query;
 use axml_xml::ids::{DocName, PeerId, ServiceName};
 use axml_xml::store::Document;
 use axml_xml::tree::Tree;
 
+/// Default seed for the engine's tie-breaking PRNG (override with
+/// [`AxmlSystem::set_engine_seed`] or the builder's `seed` knob).
+pub(crate) const DEFAULT_ENGINE_SEED: u64 = 0xA001_5EED_0815_4A2F;
+
 /// A complete simulated AXML deployment.
 pub struct AxmlSystem {
-    pub(crate) net: Network<AxmlMessage>,
+    pub(crate) net: Network<Wire>,
     pub(crate) peers: Vec<PeerState>,
     pub(crate) catalog: Catalog,
     pub(crate) pick_policy: PickPolicy,
     pub(crate) next_call: u64,
     pub(crate) subscriptions: Vec<crate::continuous::Subscription>,
     pub(crate) obs: Obs,
+    pub(crate) engine_seed: u64,
+    pub(crate) sessions: u64,
 }
 
 impl AxmlSystem {
     /// A system over an explicit network.
-    pub fn with_network(net: Network<AxmlMessage>) -> Self {
+    pub fn with_network(net: Network<Wire>) -> Self {
         let peers = (0..net.peer_count()).map(|_| PeerState::new()).collect();
         AxmlSystem {
             net,
@@ -44,6 +50,8 @@ impl AxmlSystem {
             next_call: 0,
             subscriptions: Vec::new(),
             obs: Obs::new(),
+            engine_seed: DEFAULT_ENGINE_SEED,
+            sessions: 0,
         }
     }
 
@@ -80,13 +88,20 @@ impl AxmlSystem {
     }
 
     /// The network (for link configuration).
-    pub fn net_mut(&mut self) -> &mut Network<AxmlMessage> {
+    pub fn net_mut(&mut self) -> &mut Network<Wire> {
         &mut self.net
     }
 
     /// The network, read-only.
-    pub fn net(&self) -> &Network<AxmlMessage> {
+    pub fn net(&self) -> &Network<Wire> {
         &self.net
+    }
+
+    /// Set the engine's deterministic tie-breaking seed. Sessions derive
+    /// their PRNG from this seed plus a session counter, so the same
+    /// seed over the same workload reproduces traces byte-for-byte.
+    pub fn set_engine_seed(&mut self, seed: u64) {
+        self.engine_seed = seed;
     }
 
     /// The catalog of generic references.
@@ -183,7 +198,7 @@ impl AxmlSystem {
     }
 
     /// Attach a trace sink; every evaluation step streams
-    /// [`TraceEvent`]s into it until detached.
+    /// [`axml_obs::TraceEvent`]s into it until detached.
     pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
         self.obs.set_sink(sink);
     }
@@ -227,35 +242,6 @@ impl AxmlSystem {
         }
     }
 
-    /// Move one message across the wire: sends it and immediately delivers
-    /// it (evaluation is depth-first, so at most the messages we just sent
-    /// are in flight). Returns the arrival time.
-    pub(crate) fn transfer(
-        &mut self,
-        from: PeerId,
-        to: PeerId,
-        msg: AxmlMessage,
-    ) -> CoreResult<f64> {
-        self.check_peer(from)?;
-        self.check_peer(to)?;
-        let kind = msg.kind();
-        let charged = self.net.link(from, to).charged_bytes(msg.wire_size()) as u64;
-        self.net.try_send(from, to, msg)?;
-        let (_to, _msg, at) = self
-            .net
-            .recv()
-            .expect("transfer: just-sent message must be deliverable");
-        self.obs.metrics.record_message(from, to, kind, charged);
-        self.obs.emit(|| TraceEvent::MessageSent {
-            from,
-            to,
-            kind,
-            bytes: charged,
-            at_ms: at,
-        });
-        Ok(at)
-    }
-
     /// Serialize a forest for the wire (concatenated compact trees).
     pub(crate) fn serialize_forest(forest: &[Tree]) -> String {
         let mut out = String::new();
@@ -291,9 +277,12 @@ mod tests {
         let b = sys.add_peer("bob");
         assert_eq!(sys.peer_count(), 2);
         sys.net_mut().set_link(a, b, LinkCost::wan());
-        sys.install_doc(a, "d", Tree::parse("<x/>").unwrap()).unwrap();
+        sys.install_doc(a, "d", Tree::parse("<x/>").unwrap())
+            .unwrap();
         assert!(sys.peer(a).docs.contains(&"d".into()));
-        assert!(sys.install_doc(a, "d", Tree::parse("<y/>").unwrap()).is_err());
+        assert!(sys
+            .install_doc(a, "d", Tree::parse("<y/>").unwrap())
+            .is_err());
         assert!(sys
             .install_doc(PeerId(9), "e", Tree::parse("<x/>").unwrap())
             .is_err());
@@ -333,17 +322,21 @@ mod tests {
     }
 
     #[test]
-    fn transfer_accounts_bytes() {
+    fn wire_sends_account_bytes() {
+        use crate::expr::{Expr, SendDest};
         let mut sys = AxmlSystem::new();
         let a = sys.add_peer("a");
         let b = sys.add_peer("b");
         sys.net_mut().set_link(a, b, LinkCost::wan());
-        sys.transfer(
+        let payload = Tree::parse(&format!("<x>{}</x>", "y".repeat(100))).unwrap();
+        sys.eval(
             a,
-            b,
-            AxmlMessage::Data {
-                payload: "x".repeat(100),
-                tag: "test",
+            &Expr::Send {
+                dest: SendDest::Peer(b),
+                payload: Box::new(Expr::Tree {
+                    tree: payload,
+                    at: a,
+                }),
             },
         )
         .unwrap();
@@ -360,7 +353,8 @@ mod tests {
         let a = sys.add_peer("a");
         let _b = sys.add_peer("b");
         let before = sys.snapshot();
-        sys.install_doc(a, "d", Tree::parse("<x/>").unwrap()).unwrap();
+        sys.install_doc(a, "d", Tree::parse("<x/>").unwrap())
+            .unwrap();
         let after = sys.snapshot();
         assert_ne!(before, after);
         assert_eq!(after.len(), 2);

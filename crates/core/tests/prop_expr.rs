@@ -12,15 +12,10 @@ use proptest::prelude::*;
 const N_PEERS: u32 = 3;
 
 fn build_system() -> AxmlSystem {
-    let mut sys = AxmlSystem::new();
-    for i in 0..N_PEERS {
-        sys.add_peer(format!("p{i}"));
-    }
-    for a in 0..N_PEERS {
-        for b in (a + 1)..N_PEERS {
-            sys.net_mut().set_link(PeerId(a), PeerId(b), LinkCost::wan());
-        }
-    }
+    let mut builder = AxmlSystem::builder().topology(&Topology::Uniform {
+        n: N_PEERS as usize,
+        cost: LinkCost::wan(),
+    });
     for p in 0..N_PEERS {
         let mut xml = String::from("<catalog>");
         for i in 0..10 {
@@ -30,12 +25,13 @@ fn build_system() -> AxmlSystem {
             ));
         }
         xml.push_str("</catalog>");
-        sys.install_doc(PeerId(p), "catalog", Tree::parse(&xml).unwrap())
-            .unwrap();
-        sys.register_declarative_service(PeerId(p), "all", r#"doc("catalog")//pkg"#)
-            .unwrap();
+        builder = builder.doc(PeerId(p), "catalog", xml).service(
+            PeerId(p),
+            "all",
+            r#"doc("catalog")//pkg"#,
+        );
     }
-    sys
+    builder.build().unwrap()
 }
 
 /// A generator of well-formed expressions over the fixed 3-peer system.

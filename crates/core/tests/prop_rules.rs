@@ -61,31 +61,29 @@ fn arb_scenario() -> impl Strategy<Value = Scenario> {
 }
 
 fn build_system(s: &Scenario) -> (AxmlSystem, PeerId, PeerId, PeerId) {
-    let mut sys = AxmlSystem::new();
-    let a = sys.add_peer("a");
-    let b = sys.add_peer("b");
-    let c = sys.add_peer("c");
     let (ab, ac, bc) = match s.links {
         0 => (LinkCost::wan(), LinkCost::wan(), LinkCost::wan()),
         1 => (LinkCost::slow(), LinkCost::lan(), LinkCost::lan()),
         _ => (LinkCost::lan(), LinkCost::wan(), LinkCost::lan()),
     };
-    sys.net_mut().set_link(a, b, ab);
-    sys.net_mut().set_link(a, c, ac);
-    sys.net_mut().set_link(b, c, bc);
     let mut xml = String::from("<catalog>");
     for (name, size) in &s.pkgs {
         xml.push_str(&format!(r#"<pkg name="{name}"><size>{size}</size></pkg>"#));
     }
     xml.push_str("</catalog>");
     let tree = Tree::parse(&xml).unwrap();
-    sys.install_replica(b, "cat", "catalog", tree.clone()).unwrap();
+    let mut builder = AxmlSystem::builder()
+        .peers(["a", "b", "c"])
+        .link("a", "b", ab)
+        .link("a", "c", ac)
+        .link("b", "c", bc)
+        .replica("b", "cat", "catalog", tree.clone())
+        .service("b", "all-pkgs", r#"doc("catalog")//pkg"#);
     if s.replicated {
-        sys.install_replica(c, "cat", "catalog-c", tree).unwrap();
+        builder = builder.replica("c", "cat", "catalog-c", tree);
     }
-    sys.register_declarative_service(b, "all-pkgs", r#"doc("catalog")//pkg"#)
-        .unwrap();
-    (sys, a, b, c)
+    let sys = builder.build().unwrap();
+    (sys, PeerId(0), PeerId(1), PeerId(2))
 }
 
 /// Naive expressions to seed the rewriting from.

@@ -39,7 +39,10 @@ mod tests {
 
     #[test]
     fn displays() {
-        assert_eq!(NetError::UnknownPeer(PeerId(4)).to_string(), "unknown peer p4");
+        assert_eq!(
+            NetError::UnknownPeer(PeerId(4)).to_string(),
+            "unknown peer p4"
+        );
         assert!(NetError::NoLink(PeerId(0), PeerId(1))
             .to_string()
             .contains("p0"));

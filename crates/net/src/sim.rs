@@ -7,6 +7,12 @@
 //! the clock to it. Ties are broken by send order, so runs are fully
 //! deterministic.
 //!
+//! Each **directed link** carries one message at a time: a second send on
+//! a busy link queues behind the first (`busy_until`), while sends on
+//! *different* links overlap freely. The makespan of a fan-out is
+//! therefore the critical path — the slowest single transfer — not the
+//! byte sum, and per-link FIFO ordering is structural.
+//!
 //! The simulator is generic over the message type ([`crate::Payload`]);
 //! `axml-core` drives it with AXML messages, tests with plain strings.
 
@@ -57,6 +63,10 @@ pub struct Network<M> {
     peer_names: Vec<String>,
     links: Vec<Vec<LinkCost>>,
     down: Vec<Vec<bool>>,
+    /// Per directed link: the time its current transfer finishes. Sends
+    /// on a busy link start when it frees up (per-link serialization);
+    /// sends on distinct links overlap.
+    busy_until: Vec<Vec<f64>>,
     queue: BinaryHeap<Event<M>>,
     stats: NetStats,
     clock_ms: f64,
@@ -70,6 +80,7 @@ impl<M: Payload> Network<M> {
             peer_names: Vec::new(),
             links: Vec::new(),
             down: Vec::new(),
+            busy_until: Vec::new(),
             queue: BinaryHeap::new(),
             stats: NetStats::new(),
             clock_ms: 0.0,
@@ -107,6 +118,10 @@ impl<M: Payload> Network<M> {
             row.push(false);
         }
         self.down.push(vec![false; self.peer_names.len()]);
+        for row in &mut self.busy_until {
+            row.push(0.0);
+        }
+        self.busy_until.push(vec![0.0; self.peer_names.len()]);
         id
     }
 
@@ -175,7 +190,10 @@ impl<M: Payload> Network<M> {
 
     /// Fallible send: errors when the link is down (failure injection).
     pub fn try_send(&mut self, from: PeerId, to: PeerId, msg: M) -> NetResult<f64> {
-        assert!(from.index() < self.peer_names.len(), "unknown sender {from}");
+        assert!(
+            from.index() < self.peer_names.len(),
+            "unknown sender {from}"
+        );
         assert!(to.index() < self.peer_names.len(), "unknown receiver {to}");
         if from != to && self.down[from.index()][to.index()] {
             return Err(NetError::LinkDown(from, to));
@@ -183,7 +201,17 @@ impl<M: Payload> Network<M> {
         let cost = self.links[from.index()][to.index()];
         let size = msg.wire_size();
         let transfer = cost.transfer_ms(size);
-        let at = self.clock_ms + transfer;
+        // The transfer starts when the directed link frees up; local
+        // deliveries never occupy a link.
+        let at = if from == to {
+            self.clock_ms
+        } else {
+            let busy = &mut self.busy_until[from.index()][to.index()];
+            let start = self.clock_ms.max(*busy);
+            let done = start + transfer;
+            *busy = done;
+            done
+        };
         self.stats
             .record(from, to, cost.charged_bytes(size), transfer, at);
         self.queue.push(Event {
@@ -214,6 +242,18 @@ impl<M: Payload> Network<M> {
             self.clock_ms = ev.at;
         }
         Some((ev.from, ev.to, ev.msg, ev.at))
+    }
+
+    /// Arrival time of the earliest pending delivery, if any.
+    pub fn peek_arrival(&self) -> Option<f64> {
+        self.queue.peek().map(|ev| ev.at)
+    }
+
+    /// Drop every in-flight message without delivering it. Statistics
+    /// are unaffected (they are charged at send time) — this is the
+    /// abort path when an evaluation session fails mid-flight.
+    pub fn clear_in_flight(&mut self) {
+        self.queue.clear();
     }
 
     /// Are deliveries pending?
@@ -362,6 +402,58 @@ mod tests {
         net.send(a, b, "hi".to_string());
         let (from, to, msg, _) = net.recv_from().unwrap();
         assert_eq!((from, to, msg.as_str()), (a, b, "hi"));
+    }
+
+    #[test]
+    fn distinct_links_overlap() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        let c = net.add_peer("c");
+        net.set_link(a, b, LinkCost::wan());
+        net.set_link(a, c, LinkCost::wan());
+        let payload = "x".repeat(10_000);
+        let t1 = net.send(a, b, payload.clone());
+        let t2 = net.send(a, c, payload.clone());
+        // Different directed links: both transfers run concurrently.
+        assert!((t1 - t2).abs() < 1e-9, "{t1} vs {t2}");
+        let one = LinkCost::wan().transfer_ms(payload.len());
+        assert!((t1 - one).abs() < 1e-9);
+        while net.recv().is_some() {}
+        assert!((net.stats().makespan_ms() - one).abs() < 1e-9);
+        // The sequential proxy still sums both transfers.
+        assert!(net.stats().weighted_cost_ms() > 1.9 * one);
+    }
+
+    #[test]
+    fn same_link_serializes() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link(a, b, LinkCost::wan());
+        let payload = "x".repeat(10_000);
+        let one = LinkCost::wan().transfer_ms(payload.len());
+        let t1 = net.send(a, b, payload.clone());
+        let t2 = net.send(a, b, payload.clone());
+        assert!((t1 - one).abs() < 1e-9);
+        assert!((t2 - 2.0 * one).abs() < 1e-9, "second waits for the link");
+        // The reverse direction is its own link and does not queue.
+        let t3 = net.send(b, a, payload);
+        assert!((t3 - one).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clear_in_flight_keeps_stats() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link(a, b, LinkCost::wan());
+        net.send(a, b, "doomed".to_string());
+        assert_eq!(net.peek_arrival(), Some(net.stats().makespan_ms()));
+        net.clear_in_flight();
+        assert!(!net.has_pending());
+        assert_eq!(net.peek_arrival(), None);
+        assert_eq!(net.stats().total_messages(), 1, "charged at send");
     }
 
     #[test]

@@ -194,7 +194,14 @@ mod tests {
         assert_eq!(p0.recv_messages, 1);
         assert_eq!(p0.recv_bytes, 7);
         let p2 = pp[2].1;
-        assert_eq!(p2, PeerTraffic { recv_messages: 1, recv_bytes: 10, ..Default::default() });
+        assert_eq!(
+            p2,
+            PeerTraffic {
+                recv_messages: 1,
+                recv_bytes: 10,
+                ..Default::default()
+            }
+        );
     }
 
     #[test]

@@ -7,13 +7,13 @@ use axml_xml::ids::PeerId;
 use proptest::prelude::*;
 
 fn arb_link() -> impl Strategy<Value = LinkCost> {
-    (0.0f64..100.0, 1.0f64..10_000.0, 0usize..512).prop_map(|(latency_ms, bytes_per_ms, per_msg_bytes)| {
-        LinkCost {
+    (0.0f64..100.0, 1.0f64..10_000.0, 0usize..512).prop_map(
+        |(latency_ms, bytes_per_ms, per_msg_bytes)| LinkCost {
             latency_ms,
             bytes_per_ms,
             per_msg_bytes,
-        }
-    })
+        },
+    )
 }
 
 proptest! {

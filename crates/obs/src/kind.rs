@@ -1,0 +1,123 @@
+//! Typed message kinds — the exhaustive vocabulary of wire traffic.
+//!
+//! Every message the evaluator puts on the wire has exactly one
+//! [`MessageKind`]: one variant per `AxmlMessage` constructor, with
+//! `Data` refined by its [`DataTag`] (which definition shipped it).
+//! Keeping the enum here (rather than in the core crate) lets
+//! [`crate::metrics::EvalMetrics`] and [`crate::trace::TraceEvent`] key
+//! their per-kind breakdowns on it without a dependency cycle — and the
+//! breakdown can no longer drift on a typo'd string.
+
+use std::fmt;
+
+/// What a `Data` message carries — the definition (or maintenance path)
+/// that shipped it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DataTag {
+    /// Definition (3): a `send` result shipped to a peer.
+    Send,
+    /// Definition (5): a fetched remote tree/document on its way back.
+    Fetch,
+    /// Definition (4) / forward lists: results shipped to node addresses.
+    Forward,
+    /// A delegated `eval@p` result returning to the delegator.
+    DelegatedResult,
+    /// Definition (7): a query definition shipped to the application site.
+    QueryDef,
+    /// Replica maintenance: an update propagated to a sibling replica.
+    ReplicaUpdate,
+}
+
+impl DataTag {
+    /// Stable lowercase name (the legacy string tag).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            DataTag::Send => "send",
+            DataTag::Fetch => "fetch",
+            DataTag::Forward => "forward",
+            DataTag::DelegatedResult => "delegated-result",
+            DataTag::QueryDef => "query-def",
+            DataTag::ReplicaUpdate => "replica-update",
+        }
+    }
+}
+
+impl fmt::Display for DataTag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The kind of one wire message — exhaustive over the message algebra.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum MessageKind {
+    /// A remote-evaluation request (definitions (5) and `eval@p`).
+    Request,
+    /// A service invocation (definition (6), §2.2 step 1).
+    Invoke,
+    /// A service response (§2.2 step 3).
+    Response,
+    /// A query definition being deployed (definition (8)).
+    DeployQuery,
+    /// A document installation (definition (3) with a `newdoc` target).
+    InstallDoc,
+    /// Result data, refined by which path shipped it.
+    Data(DataTag),
+}
+
+impl MessageKind {
+    /// Stable lowercase name (the legacy string kind).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MessageKind::Request => "request",
+            MessageKind::Invoke => "invoke",
+            MessageKind::Response => "response",
+            MessageKind::DeployQuery => "deploy-query",
+            MessageKind::InstallDoc => "install-doc",
+            MessageKind::Data(tag) => tag.as_str(),
+        }
+    }
+}
+
+impl fmt::Display for MessageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_the_legacy_strings() {
+        assert_eq!(MessageKind::Request.as_str(), "request");
+        assert_eq!(MessageKind::Invoke.as_str(), "invoke");
+        assert_eq!(MessageKind::Response.as_str(), "response");
+        assert_eq!(MessageKind::DeployQuery.as_str(), "deploy-query");
+        assert_eq!(MessageKind::InstallDoc.as_str(), "install-doc");
+        assert_eq!(MessageKind::Data(DataTag::Fetch).as_str(), "fetch");
+        assert_eq!(
+            MessageKind::Data(DataTag::DelegatedResult).to_string(),
+            "delegated-result"
+        );
+        assert_eq!(
+            MessageKind::Data(DataTag::ReplicaUpdate).as_str(),
+            "replica-update"
+        );
+        assert_eq!(MessageKind::Data(DataTag::QueryDef).as_str(), "query-def");
+        assert_eq!(MessageKind::Data(DataTag::Send).as_str(), "send");
+        assert_eq!(MessageKind::Data(DataTag::Forward).as_str(), "forward");
+    }
+
+    #[test]
+    fn usable_as_map_keys() {
+        use std::collections::BTreeMap;
+        let mut m: BTreeMap<MessageKind, u64> = BTreeMap::new();
+        m.insert(MessageKind::Data(DataTag::Fetch), 1);
+        m.insert(MessageKind::Request, 2);
+        *m.entry(MessageKind::Data(DataTag::Fetch)).or_default() += 1;
+        assert_eq!(m[&MessageKind::Data(DataTag::Fetch)], 2);
+        assert_eq!(m.len(), 2);
+    }
+}

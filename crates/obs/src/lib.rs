@@ -26,10 +26,12 @@
 //! See `OBSERVABILITY.md` at the repository root for a guided tour.
 
 pub mod json;
+pub mod kind;
 pub mod metrics;
 pub mod report;
 pub mod trace;
 
+pub use kind::{DataTag, MessageKind};
 pub use metrics::{EvalMetrics, MsgStats, RuleStats};
 pub use report::RunReport;
 pub use trace::{TraceEvent, TraceSink, VecSink};

@@ -8,7 +8,8 @@
 //! payload + per-message link overhead) so the two can be reconciled
 //! exactly; [`EvalMetrics::reconciles_with`] checks it.
 
-use crate::json::{JsonObject, array};
+use crate::json::{array, JsonObject};
+use crate::kind::MessageKind;
 use axml_net::NetStats;
 use axml_xml::ids::PeerId;
 use std::collections::BTreeMap;
@@ -57,7 +58,7 @@ pub struct EvalMetrics {
     /// per-subscription delta cache — re-delivery avoided.
     pub delta_suppressed: u64,
     rules: BTreeMap<&'static str, RuleStats>,
-    by_kind: BTreeMap<&'static str, MsgStats>,
+    by_kind: BTreeMap<MessageKind, MsgStats>,
     per_link: BTreeMap<(PeerId, PeerId), MsgStats>,
 }
 
@@ -110,7 +111,7 @@ impl EvalMetrics {
     /// Count one cross-peer message of `bytes` charged bytes (local
     /// deliveries, `from == to`, are free and ignored — matching
     /// [`NetStats`]).
-    pub fn record_message(&mut self, from: PeerId, to: PeerId, kind: &'static str, bytes: u64) {
+    pub fn record_message(&mut self, from: PeerId, to: PeerId, kind: MessageKind, bytes: u64) {
         if from == to {
             return;
         }
@@ -122,8 +123,8 @@ impl EvalMetrics {
         l.bytes += bytes;
     }
 
-    /// Message counters by kind, in name order.
-    pub fn messages_by_kind(&self) -> impl Iterator<Item = (&'static str, MsgStats)> + '_ {
+    /// Message counters by kind, in kind order.
+    pub fn messages_by_kind(&self) -> impl Iterator<Item = (MessageKind, MsgStats)> + '_ {
         self.by_kind.iter().map(|(&k, &v)| (k, v))
     }
 
@@ -204,7 +205,7 @@ impl EvalMetrics {
         o.num("delta_suppressed", self.delta_suppressed as f64);
         let kinds = array(self.messages_by_kind().map(|(kind, m)| {
             let mut e = JsonObject::new();
-            e.str("kind", kind)
+            e.str("kind", kind.as_str())
                 .num("messages", m.messages as f64)
                 .num("bytes", m.bytes as f64);
             e.finish()
@@ -257,10 +258,12 @@ mod tests {
 
     #[test]
     fn message_counters_skip_local() {
+        use crate::kind::DataTag;
+        let fetch = MessageKind::Data(DataTag::Fetch);
         let mut m = EvalMetrics::new();
-        m.record_message(PeerId(0), PeerId(1), "fetch", 100);
-        m.record_message(PeerId(0), PeerId(1), "fetch", 50);
-        m.record_message(PeerId(2), PeerId(2), "fetch", 999);
+        m.record_message(PeerId(0), PeerId(1), fetch, 100);
+        m.record_message(PeerId(0), PeerId(1), fetch, 50);
+        m.record_message(PeerId(2), PeerId(2), fetch, 999);
         assert_eq!(m.total_messages(), 2);
         assert_eq!(m.total_bytes(), 150);
         let kinds: Vec<_> = m.messages_by_kind().collect();
@@ -272,7 +275,12 @@ mod tests {
     fn reconciliation_against_netstats() {
         let mut m = EvalMetrics::new();
         let mut s = NetStats::new();
-        m.record_message(PeerId(0), PeerId(1), "send", 128);
+        m.record_message(
+            PeerId(0),
+            PeerId(1),
+            MessageKind::Data(crate::kind::DataTag::Send),
+            128,
+        );
         s.record(PeerId(0), PeerId(1), 128, 1.0, 1.0);
         assert!(m.reconciles_with(&s));
         s.record(PeerId(1), PeerId(0), 64, 1.0, 2.0);
@@ -296,10 +304,18 @@ mod tests {
     fn reset_and_json() {
         let mut m = EvalMetrics::new();
         m.record_def(2);
-        m.record_message(PeerId(0), PeerId(1), "send", 10);
+        m.record_message(
+            PeerId(0),
+            PeerId(1),
+            MessageKind::Data(crate::kind::DataTag::Send),
+            10,
+        );
         m.record_rule("R12-add-stop", false);
         let json = m.to_json();
-        assert!(json.contains("\"definitions\":[{\"def\":2,\"count\":1}]"), "{json}");
+        assert!(
+            json.contains("\"definitions\":[{\"def\":2,\"count\":1}]"),
+            "{json}"
+        );
         assert!(json.contains("\"rule\":\"R12-add-stop\""), "{json}");
         m.reset();
         assert_eq!(m.total_messages(), 0);

@@ -8,7 +8,7 @@
 //! layer and the network layer agreed message-for-message and
 //! byte-for-byte.
 
-use crate::json::{JsonObject, array};
+use crate::json::{array, JsonObject};
 use crate::metrics::EvalMetrics;
 use axml_net::NetStats;
 
@@ -78,7 +78,11 @@ impl std::fmt::Display for RunReport {
         writeln!(
             f,
             "reconciled : {}",
-            if self.reconciled { "yes (metrics == net stats)" } else { "NO — counters diverged" }
+            if self.reconciled {
+                "yes (metrics == net stats)"
+            } else {
+                "NO — counters diverged"
+            }
         )?;
         let defs = m.defs();
         if !defs.is_empty() {
@@ -99,7 +103,11 @@ impl std::fmt::Display for RunReport {
         if !rules.is_empty() {
             writeln!(f, "rewrites   : {} cost estimates", m.cost_estimates)?;
             for (name, r) in rules {
-                writeln!(f, "  {name:<24} {:>5} attempted {:>5} accepted", r.attempted, r.accepted)?;
+                writeln!(
+                    f,
+                    "  {name:<24} {:>5} attempted {:>5} accepted",
+                    r.attempted, r.accepted
+                )?;
             }
             if let Some(rate) = m.memo_hit_rate() {
                 writeln!(
@@ -124,7 +132,13 @@ impl std::fmt::Display for RunReport {
         if !kinds.is_empty() {
             writeln!(f, "messages by kind:")?;
             for (kind, s) in kinds {
-                writeln!(f, "  {kind:<18} {:>5} msgs {:>10} bytes", s.messages, s.bytes)?;
+                writeln!(
+                    f,
+                    "  {:<18} {:>5} msgs {:>10} bytes",
+                    kind.as_str(),
+                    s.messages,
+                    s.bytes
+                )?;
             }
         }
         let peers = self.stats.per_peer();
@@ -153,7 +167,12 @@ mod tests {
         m.record_def(1);
         m.record_def(5);
         m.record_rule("R11-push-select", true);
-        m.record_message(PeerId(0), PeerId(1), "fetch", 120);
+        m.record_message(
+            PeerId(0),
+            PeerId(1),
+            crate::kind::MessageKind::Data(crate::kind::DataTag::Fetch),
+            120,
+        );
         s.record(PeerId(0), PeerId(1), 120, 3.0, 3.0);
         RunReport::new("sample", &m, &s)
     }

@@ -12,6 +12,8 @@
 //! | [`TraceEvent::RuleAttempted`] | one application of an equivalence rule (10)–(16) during optimizer search |
 //! | [`TraceEvent::PlanChosen`] | the end of a §3.3 optimization: the winning rewrite chain |
 //! | [`TraceEvent::MessageSent`] | a wire transfer charged by the cost model (any definition that moves data) |
+//! | [`TraceEvent::MessageDelivered`] | the same transfer reaching its peer's mailbox — Σ's asynchronous message exchange, delivered in arrival-time order |
+//! | [`TraceEvent::TaskScheduled`] | one continuation step of `eval@p(e)` entering a peer's ready queue (the engine's decomposition of definitions (1)–(9)) |
 //! | [`TraceEvent::ServiceCall`] | §2.2 activation step 1 (parameters to the provider) |
 //! | [`TraceEvent::SubscriptionDelta`] | §2.2 continuous services: steps 2–3 repeating, shipping only never-delivered results |
 //!
@@ -21,6 +23,7 @@
 //! scalar cost instead of a timestamp — optimization is planning, not
 //! simulated execution.
 
+use crate::kind::MessageKind;
 use axml_xml::ids::PeerId;
 use std::cell::RefCell;
 use std::fmt;
@@ -50,20 +53,46 @@ pub enum TraceEvent {
         /// Simulated time at delegation.
         at_ms: f64,
     },
-    /// A message crossed a link (local deliveries are not traced, they
-    /// are free — matching [`axml_net::NetStats`] semantics).
+    /// A message entered a link (local deliveries are not traced, they
+    /// are free — matching [`axml_net::NetStats`] semantics). Emitted at
+    /// send time; `at_ms` is the scheduled arrival.
     MessageSent {
         /// Sender.
         from: PeerId,
         /// Receiver.
         to: PeerId,
         /// Message kind: the `AxmlMessage` variant, refined by the data
-        /// tag ("request", "fetch", "send", "invoke", "response", …).
-        kind: &'static str,
+        /// tag.
+        kind: MessageKind,
         /// Charged bytes (payload + the link's per-message overhead) —
         /// identical to what [`axml_net::NetStats`] records.
         bytes: u64,
-        /// Simulated arrival time.
+        /// Simulated (scheduled) arrival time.
+        at_ms: f64,
+    },
+    /// A previously sent message reached the receiving peer's mailbox.
+    /// Between the matching [`TraceEvent::MessageSent`] and this event
+    /// the message was in flight — independent transfers overlap.
+    MessageDelivered {
+        /// Sender.
+        from: PeerId,
+        /// Receiver.
+        to: PeerId,
+        /// Message kind (same as the matching send).
+        kind: MessageKind,
+        /// Charged bytes (same as the matching send).
+        bytes: u64,
+        /// Simulated delivery time.
+        at_ms: f64,
+    },
+    /// The engine put one continuation task on a peer's ready queue —
+    /// one pending step of the definitions (1)–(9) decomposition.
+    TaskScheduled {
+        /// The peer that will run the task.
+        peer: PeerId,
+        /// Short task name ("eval", "apply-finish", "sc-finish", …).
+        task: &'static str,
+        /// Simulated time at scheduling.
         at_ms: f64,
     },
     /// The optimizer tried one rewrite-rule application.
@@ -116,12 +145,15 @@ pub enum TraceEvent {
 
 impl TraceEvent {
     /// Short kind tag, stable for filtering ("definition", "delegation",
-    /// "message", "rule", "plan", "service-call", "delta").
+    /// "message", "delivered", "task", "rule", "plan", "service-call",
+    /// "delta").
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::Definition { .. } => "definition",
             TraceEvent::Delegation { .. } => "delegation",
             TraceEvent::MessageSent { .. } => "message",
+            TraceEvent::MessageDelivered { .. } => "delivered",
+            TraceEvent::TaskScheduled { .. } => "task",
             TraceEvent::RuleAttempted { .. } => "rule",
             TraceEvent::PlanChosen { .. } => "plan",
             TraceEvent::ServiceCall { .. } => "service-call",
@@ -157,11 +189,23 @@ impl TraceEvent {
                 kind,
                 bytes,
                 at_ms,
+            }
+            | TraceEvent::MessageDelivered {
+                from,
+                to,
+                kind,
+                bytes,
+                at_ms,
             } => {
                 o.num("from", from.0 as f64);
                 o.num("to", to.0 as f64);
-                o.str("msg", kind);
+                o.str("msg", kind.as_str());
                 o.num("bytes", *bytes as f64);
+                o.num("at_ms", *at_ms);
+            }
+            TraceEvent::TaskScheduled { peer, task, at_ms } => {
+                o.num("peer", peer.0 as f64);
+                o.str("task", task);
                 o.num("at_ms", *at_ms);
             }
             TraceEvent::RuleAttempted {
@@ -234,6 +278,16 @@ impl fmt::Display for TraceEvent {
                 bytes,
                 at_ms,
             } => write!(f, "[{at_ms:9.3}ms] msg {kind} {from} → {to} ({bytes} B)"),
+            TraceEvent::MessageDelivered {
+                from,
+                to,
+                kind,
+                bytes,
+                at_ms,
+            } => write!(f, "[{at_ms:9.3}ms] dlv {kind} {from} → {to} ({bytes} B)"),
+            TraceEvent::TaskScheduled { peer, task, at_ms } => {
+                write!(f, "[{at_ms:9.3}ms] task {task} @{peer}")
+            }
             TraceEvent::RuleAttempted {
                 rule,
                 accepted,
@@ -389,9 +443,21 @@ mod tests {
             TraceEvent::MessageSent {
                 from: PeerId(0),
                 to: PeerId(1),
-                kind: "fetch",
+                kind: MessageKind::Data(crate::kind::DataTag::Fetch),
                 bytes: 128,
                 at_ms: 2.0,
+            },
+            TraceEvent::MessageDelivered {
+                from: PeerId(0),
+                to: PeerId(1),
+                kind: MessageKind::Data(crate::kind::DataTag::Fetch),
+                bytes: 128,
+                at_ms: 2.5,
+            },
+            TraceEvent::TaskScheduled {
+                peer: PeerId(1),
+                task: "eval",
+                at_ms: 2.5,
             },
             TraceEvent::RuleAttempted {
                 rule: "R11-push-select",
@@ -424,7 +490,10 @@ mod tests {
             assert!(!text.is_empty());
             let json = e.to_json();
             assert!(json.starts_with('{') && json.ends_with('}'), "{json}");
-            assert!(json.contains(&format!("\"kind\":\"{}\"", e.kind())), "{json}");
+            assert!(
+                json.contains(&format!("\"kind\":\"{}\"", e.kind())),
+                "{json}"
+            );
         }
     }
 }

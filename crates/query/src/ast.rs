@@ -462,10 +462,7 @@ mod tests {
                 Template::Splice(p(PathStart::Var("x".into()), vec![])),
             ],
         };
-        assert_eq!(
-            t.to_string(),
-            r#"<hit name="{$x/@name}">score: {$x}</hit>"#
-        );
+        assert_eq!(t.to_string(), r#"<hit name="{$x/@name}">score: {$x}</hit>"#);
     }
 
     #[test]

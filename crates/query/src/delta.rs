@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn semi_naive_selected_for_single_scan() {
-        let p = plan(r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#, 1);
+        let p = plan(
+            r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#,
+            1,
+        );
         let c = ContinuousEval::new(p, &NoDocs);
         assert_eq!(c.strategy(0), DeltaStrategy::SemiNaive);
     }
@@ -198,14 +201,20 @@ mod tests {
 
     #[test]
     fn difference_selected_for_let() {
-        let p = plan("let $all := $0//pkg where exists($all) return <n>{$all}</n>", 1);
+        let p = plan(
+            "let $all := $0//pkg where exists($all) return <n>{$all}</n>",
+            1,
+        );
         let c = ContinuousEval::new(p, &NoDocs);
         assert_eq!(c.strategy(0), DeltaStrategy::Difference);
     }
 
     #[test]
     fn incremental_matches_batch_single_scan() {
-        let p = plan(r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#, 1);
+        let p = plan(
+            r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#,
+            1,
+        );
         let stream = [pkg("a", 10), pkg("b", 5000), pkg("c", 2000), pkg("d", 1)];
         let mut cont = ContinuousEval::new(p.clone(), &NoDocs);
         let mut all = Vec::new();

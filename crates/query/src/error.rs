@@ -44,7 +44,10 @@ impl fmt::Display for QueryError {
             QueryError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
             QueryError::DuplicateVariable(v) => write!(f, "variable `{v}` bound twice"),
             QueryError::ArityMismatch { expected, got } => {
-                write!(f, "arity mismatch: query takes {expected} inputs, got {got}")
+                write!(
+                    f,
+                    "arity mismatch: query takes {expected} inputs, got {got}"
+                )
             }
             QueryError::UnresolvedDoc(d) => write!(f, "cannot resolve doc(\"{d}\")"),
             QueryError::NotApplicable(msg) => write!(f, "rewrite not applicable: {msg}"),
@@ -76,11 +79,15 @@ mod tests {
         }
         .to_string()
         .contains("takes 2"));
-        assert!(QueryError::UnresolvedDoc("d".into()).to_string().contains("d"));
+        assert!(QueryError::UnresolvedDoc("d".into())
+            .to_string()
+            .contains("d"));
         assert!(QueryError::NotApplicable("shape".into())
             .to_string()
             .contains("shape"));
-        assert!(QueryError::Internal("bug".into()).to_string().contains("bug"));
+        assert!(QueryError::Internal("bug".into())
+            .to_string()
+            .contains("bug"));
         assert!(QueryError::DuplicateVariable("$x".into())
             .to_string()
             .contains("twice"));

@@ -11,10 +11,10 @@
 //! Estimates are heuristics — property tests assert only sanity (non-
 //! negative, zero on empty input, monotone in input size), not accuracy.
 
+use crate::ast::{Axis, CmpOp};
 use crate::plan::{Op, OperandPlan, PathPlan, Plan, PlanStep, PlanTest, PredPlan, StartRef};
 use axml_xml::label::Label;
 use axml_xml::tree::{NodeKind, Tree};
-use crate::ast::{Axis, CmpOp};
 use std::collections::HashMap;
 
 /// Default selectivity of an equality predicate when the number of

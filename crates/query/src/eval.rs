@@ -16,6 +16,7 @@
 //! * A top-level bare `{path}` template emits one result tree per matched
 //!   item; atoms become `<text>…</text>` trees.
 
+use crate::ast::{Axis, CmpOp};
 use crate::error::{QueryError, QueryResult};
 use crate::plan::{
     AttrTplPlan, Op, OperandPlan, PathPlan, Plan, PlanStep, PlanTest, PredPlan, SourceRef,
@@ -23,7 +24,6 @@ use crate::plan::{
 };
 use axml_xml::ids::DocName;
 use axml_xml::tree::{NodeId, NodeKind, Tree};
-use crate::ast::{Axis, CmpOp};
 
 /// A forest: the trees accumulated so far on one input stream.
 pub type Forest = Vec<Tree>;
@@ -585,10 +585,9 @@ mod tests {
 
     #[test]
     fn join_across_inputs() {
-        let prices = Tree::parse(
-            r#"<prices><price pkg="vim">10</price><price pkg="vi">2</price></prices>"#,
-        )
-        .unwrap();
+        let prices =
+            Tree::parse(r#"<prices><price pkg="vim">10</price><price pkg="vi">2</price></prices>"#)
+                .unwrap();
         let out = run(
             r#"for $p in $0//pkg for $r in $1//price where $p/@name = $r/@pkg
                return <quote name="{$p/@name}">{$r/text()}</quote>"#,
@@ -616,7 +615,10 @@ mod tests {
     fn forest_inputs_iterate_roots() {
         let t1 = Tree::parse("<u><a>1</a></u>").unwrap();
         let t2 = Tree::parse("<u><a>2</a></u>").unwrap();
-        let out = run("for $u in $0 return <got>{$u/a/text()}</got>", &[vec![t1, t2]]);
+        let out = run(
+            "for $u in $0 return <got>{$u/a/text()}</got>",
+            &[vec![t1, t2]],
+        );
         assert_eq!(out, ["<got>1</got>", "<got>2</got>"]);
     }
 
@@ -624,8 +626,11 @@ mod tests {
     fn doc_resolution() {
         let mut docs = std::collections::HashMap::new();
         docs.insert(DocName::new("cat"), catalog());
-        let plan =
-            lower(&parse_query(r#"for $d in doc("cat")//dep return {$d}"#).unwrap(), 0).unwrap();
+        let plan = lower(
+            &parse_query(r#"for $d in doc("cat")//dep return {$d}"#).unwrap(),
+            0,
+        )
+        .unwrap();
         let out = plan.eval(&[], &docs).unwrap();
         assert_eq!(out.len(), 2);
         // and unresolved docs error
@@ -637,7 +642,10 @@ mod tests {
     fn text_steps() {
         let t = Tree::parse("<r><a>x<b>y</b></a></r>").unwrap();
         // /text() → string value of the node
-        let out = run("for $a in $0/a return <v>{$a/text()}</v>", &[vec![t.clone()]]);
+        let out = run(
+            "for $a in $0/a return <v>{$a/text()}</v>",
+            &[vec![t.clone()]],
+        );
         assert_eq!(out, ["<v>xy</v>"]);
         // //text() → each text leaf separately
         let out2 = run("for $a in $0/a return <v>{$a//text()}</v>", &[vec![t]]);
@@ -734,10 +742,7 @@ mod count_tests {
 
     #[test]
     fn count_in_path_predicate() {
-        let out = run(
-            r#"$0//pkg[count(deps/dep) = 1]/@name"#,
-            &[vec![catalog()]],
-        );
+        let out = run(r#"$0//pkg[count(deps/dep) = 1]/@name"#, &[vec![catalog()]]);
         assert_eq!(out, ["<text>vim</text>"]);
     }
 

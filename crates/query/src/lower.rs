@@ -76,11 +76,7 @@ pub fn lower(body: &QueryBody, min_arity: usize) -> QueryResult<Plan> {
             }
         }
     };
-    let arity = lw
-        .max_param
-        .map(|m| m + 1)
-        .unwrap_or(0)
-        .max(min_arity);
+    let arity = lw.max_param.map(|m| m + 1).unwrap_or(0).max(min_arity);
     Ok(Plan { arity, ..plan })
 }
 
@@ -311,10 +307,9 @@ mod tests {
 
     #[test]
     fn join_lowering() {
-        let p = lower_src(
-            r#"for $a in $0/x for $b in $1/y where $a/k = $b/k return <j>{$a}{$b}</j>"#,
-        )
-        .unwrap();
+        let p =
+            lower_src(r#"for $a in $0/x for $b in $1/y where $a/k = $b/k return <j>{$a}{$b}</j>"#)
+                .unwrap();
         assert_eq!(p.arity, 2);
         assert_eq!(p.n_vars, 2);
         assert_eq!(p.ops.chain_len(), 4);
@@ -329,8 +324,7 @@ mod tests {
 
     #[test]
     fn let_lowering() {
-        let p = lower_src("let $all := $0//pkg where exists($all) return <n>{$all}</n>")
-            .unwrap();
+        let p = lower_src("let $all := $0//pkg where exists($all) return <n>{$all}</n>").unwrap();
         let mut found_let = false;
         let mut cur = Some(&p.ops);
         while let Some(op) = cur {

@@ -744,8 +744,8 @@ mod tests {
 
     #[test]
     fn let_clause() {
-        let q = parse_query(r#"let $all := $0//pkg where exists($all) return <n>{$all}</n>"#)
-            .unwrap();
+        let q =
+            parse_query(r#"let $all := $0//pkg where exists($all) return <n>{$all}</n>"#).unwrap();
         match q {
             QueryBody::Flwr { clauses, .. } => {
                 assert!(matches!(&clauses[0], Clause::Let { var, .. } if var == "all"));

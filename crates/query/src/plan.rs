@@ -382,7 +382,8 @@ impl Plan {
     /// predicate or template)?
     pub fn references_param(&self, i: usize) -> bool {
         let mut found = self.template.references_param(i);
-        self.ops.for_each_path(&mut |p| found |= p.references_param(i));
+        self.ops
+            .for_each_path(&mut |p| found |= p.references_param(i));
         found
     }
 }

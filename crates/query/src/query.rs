@@ -82,9 +82,9 @@ impl Query {
             arity: plan.arity,
             kind: Arc::new(QueryKind::Leaf {
                 source: format!("<compiled>\n{plan}"),
-                body: QueryBody::Bare(crate::ast::Path::start_only(
-                    crate::ast::PathStart::Param(0),
-                )),
+                body: QueryBody::Bare(crate::ast::Path::start_only(crate::ast::PathStart::Param(
+                    0,
+                ))),
                 plan,
             }),
         }
@@ -378,8 +378,11 @@ mod tests {
 
     #[test]
     fn parse_and_eval() {
-        let q = Query::parse("big", r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#)
-            .unwrap();
+        let q = Query::parse(
+            "big",
+            r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p/@name}"#,
+        )
+        .unwrap();
         assert_eq!(q.arity(), 1);
         assert_eq!(q.name().as_str(), "big");
         let out = q.eval_batch(&[vec![catalog()]]).unwrap();
@@ -390,8 +393,11 @@ mod tests {
 
     #[test]
     fn composition_evaluates_stagewise() {
-        let inner = Query::parse("sel", r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p}"#)
-            .unwrap();
+        let inner = Query::parse(
+            "sel",
+            r#"for $p in $0//pkg where $p/size/text() > 1000 return {$p}"#,
+        )
+        .unwrap();
         let outer = Query::parse("fmt", "for $t in $0 return <big>{$t/@name}</big>").unwrap();
         let q = Query::compose("pipeline", outer, vec![inner]).unwrap();
         assert!(q.is_composed());
@@ -424,8 +430,11 @@ mod tests {
 
     #[test]
     fn xml_roundtrip_leaf() {
-        let q = Query::parse("lookup", r#"for $p in $0//pkg where $p/@name = "vim" return {$p}"#)
-            .unwrap();
+        let q = Query::parse(
+            "lookup",
+            r#"for $p in $0//pkg where $p/@name = "vim" return {$p}"#,
+        )
+        .unwrap();
         let xml = q.to_xml();
         let back = Query::from_xml(&xml, xml.root()).unwrap();
         assert_eq!(q, back);

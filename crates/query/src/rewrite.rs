@@ -13,8 +13,7 @@
 //! * [`rename_var`]/[`map_paths`] are the supporting plumbing.
 
 use crate::plan::{
-    AttrTplPlan, Op, OperandPlan, PathPlan, Plan, PlanTest, PredPlan, StartRef, TemplatePlan,
-    VarId,
+    AttrTplPlan, Op, OperandPlan, PathPlan, Plan, PlanTest, PredPlan, StartRef, TemplatePlan, VarId,
 };
 
 /// Apply `f` to every path in the plan (operator chain, nested predicates
@@ -141,8 +140,8 @@ pub fn decompose_selection(q: &Plan) -> Option<(Plan, Plan)> {
     for pred in &filters {
         let mut clean = true;
         let mut check = |p: &PathPlan| {
-            clean &= matches!(p.start, StartRef::Var(v) if v == var)
-                || p.start == StartRef::Context;
+            clean &=
+                matches!(p.start, StartRef::Var(v) if v == var) || p.start == StartRef::Context;
         };
         // reuse map_paths on a clone to inspect
         visit_pred_paths(pred, &mut check);
@@ -159,8 +158,8 @@ pub fn decompose_selection(q: &Plan) -> Option<(Plan, Plan)> {
             template: q.template.clone(),
         };
         map_paths(&mut probe_plan, &mut |p| {
-            clean &= matches!(p.start, StartRef::Var(v) if v == var)
-                || p.start == StartRef::Context;
+            clean &=
+                matches!(p.start, StartRef::Var(v) if v == var) || p.start == StartRef::Context;
         });
         if !clean {
             return None;
@@ -239,7 +238,12 @@ pub fn push_filter_into_path(q: &Plan) -> Option<Plan> {
     let Op::Filter { pred, input } = find_filter_over_foreach(&q.ops)? else {
         return None;
     };
-    let Op::ForEach { var, path, input: scan_input } = &**input else {
+    let Op::ForEach {
+        var,
+        path,
+        input: scan_input,
+    } = &**input
+    else {
         return None;
     };
     if path.steps.is_empty() {

@@ -178,8 +178,12 @@ impl Content {
                     if d == Content::Void {
                         continue;
                     }
-                    let mut rest: Vec<Content> =
-                        cs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, c)| c.clone()).collect();
+                    let mut rest: Vec<Content> = cs
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| *j != i)
+                        .map(|(_, c)| c.clone())
+                        .collect();
                     if d != Content::Empty {
                         rest.push(d);
                     }
@@ -394,10 +398,7 @@ mod tests {
     #[test]
     fn mixed_text_model() {
         // text, pkg* — e.g. a description followed by packages
-        let m = Content::seq([
-            Content::Text,
-            Content::star(Content::elem("pkg", "P")),
-        ]);
+        let m = Content::seq([Content::Text, Content::star(Content::elem("pkg", "P"))]);
         assert!(m.matches(&[Item::Text, e("pkg"), e("pkg")]));
         assert!(!m.matches(&[e("pkg")]));
     }
@@ -415,10 +416,7 @@ mod tests {
     #[test]
     fn bindings_found() {
         let m = model_abc();
-        assert_eq!(
-            m.label_binding(&Label::new("b")).unwrap().as_str(),
-            "T"
-        );
+        assert_eq!(m.label_binding(&Label::new("b")).unwrap().as_str(), "T");
         assert!(m.label_binding(&Label::new("z")).is_none());
         let mut count = 0;
         m.for_each_binding(&mut |_, _| count += 1);

@@ -89,7 +89,9 @@ mod tests {
         }
         .to_string()
         .contains("/a/b"));
-        assert!(TypeError::Incompatible("x".into()).to_string().contains("x"));
+        assert!(TypeError::Incompatible("x".into())
+            .to_string()
+            .contains("x"));
         assert!(TypeError::InconsistentLabel {
             label: "l".into(),
             in_type: "T".into(),

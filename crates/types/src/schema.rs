@@ -257,12 +257,7 @@ impl Schema {
     }
 
     /// Validate the subtree of `tree` rooted at `node` against `ty`.
-    pub fn validate_node(
-        &self,
-        tree: &Tree,
-        node: NodeId,
-        ty: &TypeName,
-    ) -> TypeResult<()> {
+    pub fn validate_node(&self, tree: &Tree, node: NodeId, ty: &TypeName) -> TypeResult<()> {
         let mut path = String::new();
         self.validate_rec(tree, node, ty, &mut path)
     }
@@ -387,19 +382,14 @@ mod tests {
 
     fn catalog_schema() -> Schema {
         Schema::builder()
-            .ty(
-                "CatalogT",
-                Content::star(Content::elem("pkg", "PkgT")),
-            )
+            .ty("CatalogT", Content::star(Content::elem("pkg", "PkgT")))
             .element_type(
                 "PkgT",
                 ElementType {
                     attrs: vec![
                         AttrDecl::required("name"),
-                        AttrDecl::optional("arch").with_value(AttrValue::Enum(vec![
-                            "x86_64".into(),
-                            "aarch64".into(),
-                        ])),
+                        AttrDecl::optional("arch")
+                            .with_value(AttrValue::Enum(vec!["x86_64".into(), "aarch64".into()])),
                     ],
                     open_attrs: false,
                     content: Content::seq([
@@ -462,10 +452,9 @@ mod tests {
     #[test]
     fn undeclared_attr_rejected_when_closed() {
         let s = catalog_schema();
-        let t = Tree::parse(
-            r#"<catalog><pkg name="v" extra="1"><version>1</version></pkg></catalog>"#,
-        )
-        .unwrap();
+        let t =
+            Tree::parse(r#"<catalog><pkg name="v" extra="1"><version>1</version></pkg></catalog>"#)
+                .unwrap();
         let e = s.validate(&t, "CatalogT").unwrap_err();
         assert!(e.to_string().contains("undeclared"), "{e}");
     }
@@ -493,10 +482,7 @@ mod tests {
         )
         .unwrap();
         let e = s.validate(&t, "CatalogT").unwrap_err();
-        assert!(
-            e.to_string().contains("/catalog/pkg/deps/dep"),
-            "{e}"
-        );
+        assert!(e.to_string().contains("/catalog/pkg/deps/dep"), "{e}");
     }
 
     #[test]

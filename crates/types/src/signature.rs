@@ -54,7 +54,9 @@ impl TreeType {
                         path: "/".into(),
                         msg: format!(
                             "expected root `{expected}`, found `{}`",
-                            other.map(|l| l.to_string()).unwrap_or_else(|| "#text".into())
+                            other
+                                .map(|l| l.to_string())
+                                .unwrap_or_else(|| "#text".into())
                         ),
                     })
                 }
@@ -126,9 +128,8 @@ impl Signature {
             )));
         }
         for (i, (ty, tree)) in self.inputs.iter().zip(params).enumerate() {
-            ty.check(schema, tree).map_err(|e| {
-                TypeError::Incompatible(format!("parameter {i}: {e}"))
-            })?;
+            ty.check(schema, tree)
+                .map_err(|e| TypeError::Incompatible(format!("parameter {i}: {e}")))?;
         }
         Ok(())
     }

@@ -33,8 +33,7 @@ fn matches_ref(c: &Content, items: &[Item]) -> bool {
                 return matches_ref(c, &[]);
             }
             (1..=items.len()).any(|k| {
-                matches_ref(c, &items[..k])
-                    && matches_ref(&Content::Star(c.clone()), &items[k..])
+                matches_ref(c, &items[..k]) && matches_ref(&Content::Star(c.clone()), &items[k..])
             })
         }
         Content::Interleave(cs) => interleave_ref(cs, items),
@@ -44,8 +43,9 @@ fn matches_ref(c: &Content, items: &[Item]) -> bool {
 fn seq_ref(cs: &[Content], items: &[Item]) -> bool {
     match cs {
         [] => items.is_empty(),
-        [first, rest @ ..] => (0..=items.len())
-            .any(|k| matches_ref(first, &items[..k]) && seq_ref(rest, &items[k..])),
+        [first, rest @ ..] => {
+            (0..=items.len()).any(|k| matches_ref(first, &items[..k]) && seq_ref(rest, &items[k..]))
+        }
     }
 }
 
@@ -90,8 +90,7 @@ fn arb_content() -> impl Strategy<Value = Content> {
         Just(Content::Empty),
         Just(Content::Text),
         Just(Content::AnyItem),
-        prop_oneof![Just("a"), Just("b"), Just("c")]
-            .prop_map(|l| Content::elem(l, "T")),
+        prop_oneof![Just("a"), Just("b"), Just("c")].prop_map(|l| Content::elem(l, "T")),
     ];
     leaf.prop_recursive(3, 16, 3, |inner| {
         prop_oneof![

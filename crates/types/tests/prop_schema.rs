@@ -1,11 +1,11 @@
 //! Property tests for schema validation: instances *generated from* a
 //! schema always validate; targeted mutations always invalidate.
 
+use axml_prng::SplitMix64;
 use axml_types::content::Content;
 use axml_types::schema::{Schema, SchemaBuilder, TypeName};
 use axml_xml::tree::{NodeId, Tree};
 use proptest::prelude::*;
-use axml_prng::SplitMix64;
 
 /// A recursive catalog-ish schema exercising every combinator.
 fn schema() -> Schema {
@@ -42,14 +42,27 @@ fn schema() -> Schema {
 }
 
 /// Generate a tree that satisfies `ty` by construction.
-fn generate(schema: &Schema, label: &str, ty: &TypeName, rng: &mut SplitMix64, depth: usize) -> Tree {
+fn generate(
+    schema: &Schema,
+    label: &str,
+    ty: &TypeName,
+    rng: &mut SplitMix64,
+    depth: usize,
+) -> Tree {
     let mut t = Tree::new(label);
     let root = t.root();
     fill(schema, &mut t, root, ty, rng, depth);
     t
 }
 
-fn fill(schema: &Schema, t: &mut Tree, at: NodeId, ty: &TypeName, rng: &mut SplitMix64, depth: usize) {
+fn fill(
+    schema: &Schema,
+    t: &mut Tree,
+    at: NodeId,
+    ty: &TypeName,
+    rng: &mut SplitMix64,
+    depth: usize,
+) {
     if ty.is_any() {
         return;
     }

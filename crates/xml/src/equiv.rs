@@ -99,10 +99,7 @@ mod tests {
         let a = Tree::parse("<r><x/><y/><z>1</z></r>").unwrap();
         let b = Tree::parse("<r><z>1</z><x/><y/></r>").unwrap();
         assert!(whole_tree_equiv(&a, &b));
-        assert_eq!(
-            canonical_hash(&a, a.root()),
-            canonical_hash(&b, b.root())
-        );
+        assert_eq!(canonical_hash(&a, a.root()), canonical_hash(&b, b.root()));
     }
 
     #[test]

@@ -94,6 +94,8 @@ mod tests {
         assert!(XmlError::NotAnElement { index: 1 }
             .to_string()
             .contains("not an element"));
-        assert!(XmlError::Structure("cycle".into()).to_string().contains("cycle"));
+        assert!(XmlError::Structure("cycle".into())
+            .to_string()
+            .contains("cycle"));
     }
 }

@@ -50,14 +50,14 @@ pub fn resolve_entity(name: &str) -> Option<char> {
         "quot" => Some('"'),
         "apos" => Some('\''),
         _ => {
-            let code = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X"))
-            {
-                u32::from_str_radix(hex, 16).ok()?
-            } else if let Some(dec) = name.strip_prefix('#') {
-                dec.parse::<u32>().ok()?
-            } else {
-                return None;
-            };
+            let code =
+                if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                    u32::from_str_radix(hex, 16).ok()?
+                } else if let Some(dec) = name.strip_prefix('#') {
+                    dec.parse::<u32>().ok()?
+                } else {
+                    return None;
+                };
             char::from_u32(code)
         }
     }

@@ -88,10 +88,7 @@ impl<'a> Parser<'a> {
                 self.bump();
                 Ok(())
             }
-            Some(x) => Err(self.err(format!(
-                "expected `{}`, found `{}`",
-                b as char, x as char
-            ))),
+            Some(x) => Err(self.err(format!("expected `{}`, found `{}`", b as char, x as char))),
             None => Err(self.err(format!("expected `{}`, found end of input", b as char))),
         }
     }
@@ -191,9 +188,7 @@ impl<'a> Parser<'a> {
                     t.set_attr(el, aname.as_str(), value)
                         .expect("el is an element");
                 }
-                Some(c) => {
-                    return Err(self.err(format!("unexpected `{}` in tag", c as char)))
-                }
+                Some(c) => return Err(self.err(format!("unexpected `{}` in tag", c as char))),
                 None => return Err(self.err("unexpected end of input in tag")),
             }
         }

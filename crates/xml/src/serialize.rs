@@ -53,10 +53,7 @@ impl Tree {
                     1 + name + attrs_len + 2
                 } else {
                     // <name attrs> + children + </name>
-                    let inner: usize = children
-                        .iter()
-                        .map(|&c| self.serialized_size_node(c))
-                        .sum();
+                    let inner: usize = children.iter().map(|&c| self.serialized_size_node(c)).sum();
                     (1 + name + attrs_len + 1) + inner + (2 + name + 1)
                 }
             }
@@ -156,10 +153,7 @@ mod tests {
         let b = t.add_element(r, "b");
         t.add_text(b, "x<y");
         t.add_element(r, "c");
-        assert_eq!(
-            t.serialize(),
-            r#"<a k="v&quot;w"><b>x&lt;y</b><c/></a>"#
-        );
+        assert_eq!(t.serialize(), r#"<a k="v&quot;w"><b>x&lt;y</b><c/></a>"#);
     }
 
     #[test]
@@ -171,10 +165,7 @@ mod tests {
         t.add_text(child, "some > text & more");
         t.add_element(r, "empty");
         assert_eq!(t.serialized_size(), t.serialize().len());
-        assert_eq!(
-            t.serialized_size_node(child),
-            t.serialize_node(child).len()
-        );
+        assert_eq!(t.serialized_size_node(child), t.serialize_node(child).len());
     }
 
     #[test]

@@ -195,9 +195,7 @@ impl Tree {
     /// Attach a detached node as a child of `parent`.
     pub fn append_child(&mut self, parent: NodeId, child: NodeId) -> XmlResult<()> {
         if !self.contains(parent) {
-            return Err(XmlError::InvalidNode {
-                index: parent.0,
-            });
+            return Err(XmlError::InvalidNode { index: parent.0 });
         }
         if !self.contains(child) {
             return Err(XmlError::InvalidNode { index: child.0 });
@@ -596,16 +594,10 @@ mod tests {
         let b = t.add_element(r, "b");
         let c = t.add_element(b, "c");
         // b already has a parent
-        assert!(matches!(
-            t.append_child(c, b),
-            Err(XmlError::Structure(_))
-        ));
+        assert!(matches!(t.append_child(c, b), Err(XmlError::Structure(_))));
         t.detach(b).unwrap();
         // now attaching b under its own descendant c is a cycle
-        assert!(matches!(
-            t.append_child(c, b),
-            Err(XmlError::Structure(_))
-        ));
+        assert!(matches!(t.append_child(c, b), Err(XmlError::Structure(_))));
         assert!(t.append_child(r, b).is_ok());
         // self-attachment
         let d = t.new_element("d");

@@ -65,7 +65,10 @@ fn show(title: &str, build: &dyn Fn() -> AxmlSystem, site: PeerId, naive: &Expr)
     );
     println!("results:   {n1} trees");
     println!("naive      {b1:>9} B  {t1:>9.1} ms");
-    println!("optimized  {b2:>9} B  {t2:>9.1} ms   ({:.1}x bytes)", b1 as f64 / b2.max(1) as f64);
+    println!(
+        "optimized  {b2:>9} B  {t2:>9.1} ms   ({:.1}x bytes)",
+        b1 as f64 / b2.max(1) as f64
+    );
     println!("{}", sys2.run_report(format!("{title} — optimized plan")));
 }
 
@@ -76,12 +79,12 @@ fn main() {
 
     // ---- scenario 1: pushing selections (Example 1, rules 10+11) -------
     let build1 = || {
-        let mut sys = AxmlSystem::new();
-        let a = sys.add_peer("client");
-        let b = sys.add_peer("data");
-        sys.net_mut().set_link(a, b, LinkCost::wan());
-        sys.install_doc(b, "catalog", catalog(400)).unwrap();
-        sys
+        AxmlSystem::builder()
+            .peers(["client", "data"])
+            .link("client", "data", LinkCost::wan())
+            .doc("data", "catalog", catalog(400))
+            .build()
+            .unwrap()
     };
     let sel = Query::parse(
         "sel",
@@ -134,24 +137,23 @@ fn main() {
 
     // ---- scenario 3: rule 12 R2L, relaying through a gateway -----------
     let build3 = || {
-        let mut sys = AxmlSystem::new();
-        let a = sys.add_peer("edge");
-        let b = sys.add_peer("origin");
-        let g = sys.add_peer("gateway");
-        // terrible direct link, good links via the gateway
-        sys.net_mut().set_link(
-            a,
-            b,
-            LinkCost {
-                latency_ms: 400.0,
-                bytes_per_ms: 20.0,
-                per_msg_bytes: 256,
-            },
-        );
-        sys.net_mut().set_link(a, g, LinkCost::lan());
-        sys.net_mut().set_link(b, g, LinkCost::lan());
-        sys.install_doc(b, "catalog", catalog(200)).unwrap();
-        sys
+        AxmlSystem::builder()
+            .peers(["edge", "origin", "gateway"])
+            // terrible direct link, good links via the gateway
+            .link(
+                "edge",
+                "origin",
+                LinkCost {
+                    latency_ms: 400.0,
+                    bytes_per_ms: 20.0,
+                    per_msg_bytes: 256,
+                },
+            )
+            .link("edge", "gateway", LinkCost::lan())
+            .link("origin", "gateway", LinkCost::lan())
+            .doc("origin", "catalog", catalog(200))
+            .build()
+            .unwrap()
     };
     show(
         "Rule 12 (R→L): data in transit stops at a gateway",
@@ -194,17 +196,16 @@ fn main() {
 
     // ---- scenario 5: rule 9, replica choice ------------------------------
     let build5 = || {
-        let mut sys = AxmlSystem::new();
-        let a = sys.add_peer("client");
-        let b = sys.add_peer("far-mirror");
-        let c = sys.add_peer("near-mirror");
-        sys.net_mut().set_link(a, b, LinkCost::slow());
-        sys.net_mut().set_link(a, c, LinkCost::lan());
-        sys.net_mut().set_link(b, c, LinkCost::wan());
-        sys.install_replica(b, "cat", "catalog", catalog(200)).unwrap();
-        sys.install_replica(c, "cat", "catalog", catalog(200)).unwrap();
-        sys.set_pick_policy(PickPolicy::First); // naive: first registered (far!)
-        sys
+        AxmlSystem::builder()
+            .peers(["client", "far-mirror", "near-mirror"])
+            .link("client", "far-mirror", LinkCost::slow())
+            .link("client", "near-mirror", LinkCost::lan())
+            .link("far-mirror", "near-mirror", LinkCost::wan())
+            .replica("far-mirror", "cat", "catalog", catalog(200))
+            .replica("near-mirror", "cat", "catalog", catalog(200))
+            .pick_policy(PickPolicy::First) // naive: first registered (far!)
+            .build()
+            .unwrap()
     };
     show(
         "Rule 9: generic document, replica selection",

@@ -17,29 +17,34 @@
 use axml::core::cost::CostModel;
 use axml::prelude::*;
 use axml::types::content::Content;
-use axml::xml::tree::Tree;
 
 fn main() {
-    let mut sys = AxmlSystem::new();
-    let client = sys.add_peer("client");
-    let server = sys.add_peer("server");
-    let relay = sys.add_peer("relay");
-    sys.net_mut().set_link(client, server, LinkCost::wan());
-    sys.net_mut().set_link(client, relay, LinkCost::lan());
-    sys.net_mut().set_link(server, relay, LinkCost::lan());
-
-    // Server-side data + two declarative services with typed outputs.
-    sys.install_doc(
-        server,
-        "wire",
-        Tree::parse(
+    let mut builder = AxmlSystem::builder()
+        .peers(["client", "server", "relay"])
+        .link("client", "server", LinkCost::wan())
+        .link("client", "relay", LinkCost::lan())
+        .link("server", "relay", LinkCost::lan())
+        // Server-side data…
+        .doc(
+            "server",
+            "wire",
             r#"<wire><item kind="news">Algebraic optimizers ship</item>
                      <item kind="stock">AXML +42%</item></wire>"#,
         )
-        .unwrap(),
-    )
-    .unwrap();
-    for (svc, kind, out_label) in [("news-svc", "news", "news"), ("stock-svc", "stock", "stock")] {
+        // …and the portal document: two lazy calls.
+        .doc(
+            "client",
+            "portal",
+            r#"<portal>
+                 <sc mode="lazy"><peer>p1</peer><service>news-svc</service></sc>
+                 <sc mode="lazy"><peer>p1</peer><service>stock-svc</service></sc>
+               </portal>"#,
+        );
+    // Two declarative services with typed outputs.
+    for (svc, kind, out_label) in [
+        ("news-svc", "news", "news"),
+        ("stock-svc", "stock", "stock"),
+    ] {
         let q = Query::parse(
             svc,
             &format!(
@@ -47,29 +52,17 @@ fn main() {
             ),
         )
         .unwrap();
-        sys.register_service(
-            server,
+        builder = builder.service_obj(
+            "server",
             Service::declarative(svc, q).with_signature(Signature::new(
                 vec![],
                 TreeType::new(out_label, axml::types::schema::TypeName::any()),
             )),
-        )
-        .unwrap();
+        );
     }
-
-    // The portal document: two lazy calls.
-    sys.install_doc(
-        client,
-        "portal",
-        Tree::parse(
-            r#"<portal>
-                 <sc mode="lazy"><peer>p1</peer><service>news-svc</service></sc>
-                 <sc mode="lazy"><peer>p1</peer><service>stock-svc</service></sc>
-               </portal>"#,
-        )
-        .unwrap(),
-    )
-    .unwrap();
+    let mut sys = builder.build().unwrap();
+    let client = sys.peer_id("client").unwrap();
+    let server = sys.peer_id("server").unwrap();
 
     // ---- act 1: lazy query evaluation ----------------------------------
     println!("== act 1: lazy activation ==");
@@ -134,5 +127,8 @@ fn main() {
         out.len()
     );
     assert_eq!(out.len(), 1);
-    println!("\n{}", sys.run_report("act 3: rerouted fetch through the relay"));
+    println!(
+        "\n{}",
+        sys.run_report("act 3: rerouted fetch through the relay")
+    );
 }

@@ -19,16 +19,6 @@ use axml::prelude::*;
 use axml::xml::tree::Tree;
 
 fn main() {
-    // ---- build the system --------------------------------------------
-    let mut sys = AxmlSystem::new();
-    let client = sys.add_peer("client");
-    let server = sys.add_peer("server");
-    sys.net_mut().set_link(client, server, LinkCost::wan());
-
-    // Turn tracing on: keep one handle, hand its clone to the system.
-    let sink = VecSink::new();
-    sys.set_trace_sink(Box::new(sink.clone()));
-
     // A catalog with 500 packages, of which only a handful are large.
     let mut xml = String::from("<catalog>");
     for i in 0..500 {
@@ -43,7 +33,20 @@ fn main() {
         "catalog: 500 packages, {} bytes serialized",
         catalog.serialized_size()
     );
-    sys.install_doc(server, "catalog", catalog).unwrap();
+
+    // ---- build the system --------------------------------------------
+    // Tracing on from the start: keep one sink handle, give the builder
+    // its clone.
+    let sink = VecSink::new();
+    let mut sys = AxmlSystem::builder()
+        .peers(["client", "server"])
+        .link("client", "server", LinkCost::wan())
+        .doc("server", "catalog", catalog)
+        .trace(sink.clone())
+        .build()
+        .unwrap();
+    let client = sys.peer_id("client").unwrap();
+    let server = sys.peer_id("server").unwrap();
 
     // ---- the query -----------------------------------------------------
     let q = Query::parse(
@@ -86,7 +89,13 @@ fn main() {
     // it trivial to filter — show only the accepted rewrites and execution.
     println!("trace (accepted rewrites + execution):");
     for e in sink.take() {
-        if matches!(e, TraceEvent::RuleAttempted { accepted: false, .. }) {
+        if matches!(
+            e,
+            TraceEvent::RuleAttempted {
+                accepted: false,
+                ..
+            }
+        ) {
             continue;
         }
         println!("  {e}");

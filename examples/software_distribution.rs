@@ -29,34 +29,36 @@ fn catalog(n: usize) -> Tree {
 fn main() {
     // ---- topology: vendor + 2 mirrors + 2 clients ----------------------
     // Clusters: {vendor, mirror-eu}, {mirror-us, client-us}, {client-eu}
-    let mut sys = AxmlSystem::new();
-    let vendor = sys.add_peer("vendor");
-    let mirror_eu = sys.add_peer("mirror-eu");
-    let mirror_us = sys.add_peer("mirror-us");
-    let client_eu = sys.add_peer("client-eu");
-    let client_us = sys.add_peer("client-us");
-    for (a, b, cost) in [
-        (vendor, mirror_eu, LinkCost::lan()),
-        (vendor, mirror_us, LinkCost::wan()),
-        (vendor, client_eu, LinkCost::wan()),
-        (vendor, client_us, LinkCost::slow()),
-        (mirror_eu, client_eu, LinkCost::lan()),
-        (mirror_eu, mirror_us, LinkCost::wan()),
-        (mirror_eu, client_us, LinkCost::slow()),
-        (mirror_us, client_us, LinkCost::lan()),
-        (mirror_us, client_eu, LinkCost::slow()),
-        (client_eu, client_us, LinkCost::slow()),
-    ] {
-        sys.net_mut().set_link(a, b, cost);
-    }
-
-    // ---- replicated catalog (generic document class) -------------------
     let cat = catalog(300);
     println!("catalog: 300 packages, {} bytes", cat.serialized_size());
-    sys.install_replica(vendor, "catalog", "catalog", cat.clone()).unwrap();
-    sys.install_replica(mirror_eu, "catalog", "catalog", cat.clone()).unwrap();
-    sys.install_replica(mirror_us, "catalog", "catalog", cat).unwrap();
-    sys.set_pick_policy(PickPolicy::Closest);
+    let mut builder =
+        AxmlSystem::builder().peers(["vendor", "mirror-eu", "mirror-us", "client-eu", "client-us"]);
+    for (a, b, cost) in [
+        ("vendor", "mirror-eu", LinkCost::lan()),
+        ("vendor", "mirror-us", LinkCost::wan()),
+        ("vendor", "client-eu", LinkCost::wan()),
+        ("vendor", "client-us", LinkCost::slow()),
+        ("mirror-eu", "client-eu", LinkCost::lan()),
+        ("mirror-eu", "mirror-us", LinkCost::wan()),
+        ("mirror-eu", "client-us", LinkCost::slow()),
+        ("mirror-us", "client-us", LinkCost::lan()),
+        ("mirror-us", "client-eu", LinkCost::slow()),
+        ("client-eu", "client-us", LinkCost::slow()),
+    ] {
+        builder = builder.link(a, b, cost);
+    }
+    // A replicated catalog (generic document class) on the vendor and
+    // both mirrors.
+    let mut sys = builder
+        .replica("vendor", "catalog", "catalog", cat.clone())
+        .replica("mirror-eu", "catalog", "catalog", cat.clone())
+        .replica("mirror-us", "catalog", "catalog", cat)
+        .pick_policy(PickPolicy::Closest)
+        .build()
+        .unwrap();
+    let vendor = sys.peer_id("vendor").unwrap();
+    let client_eu = sys.peer_id("client-eu").unwrap();
+    let client_us = sys.peer_id("client-us").unwrap();
 
     // ---- a client queries the generic catalog --------------------------
     let q = Query::parse(

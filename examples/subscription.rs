@@ -19,38 +19,29 @@ use axml::prelude::*;
 use axml::xml::tree::Tree;
 
 fn main() {
-    let mut sys = AxmlSystem::new();
-    let reader = sys.add_peer("reader");
-    let newsroom = sys.add_peer("newsroom");
-    let pager = sys.add_peer("pager");
-    sys.net_mut().set_link(reader, newsroom, LinkCost::wan());
-    sys.net_mut().set_link(reader, pager, LinkCost::lan());
-    sys.net_mut().set_link(newsroom, pager, LinkCost::wan());
-
-    // The newsroom state: a stream of items, plus a marker board.
-    sys.install_doc(newsroom, "wire", Tree::parse("<wire/>").unwrap())
+    let mut sys = AxmlSystem::builder()
+        .peers(["reader", "newsroom", "pager"])
+        .link("reader", "newsroom", LinkCost::wan())
+        .link("reader", "pager", LinkCost::lan())
+        .link("newsroom", "pager", LinkCost::wan())
+        // The newsroom state: a stream of items, plus a marker board.
+        .doc("newsroom", "wire", "<wire/>")
+        .doc("newsroom", "board", "<board><mark>news-batch-processed</mark></board>")
+        // Continuous service: database-topic items only.
+        .service(
+            "newsroom",
+            "db-news",
+            r#"for $i in doc("wire")/item where $i/@topic = "databases" return <story>{$i/title}</story>"#,
+        )
+        // A second service used by the @after chain.
+        .service("newsroom", "ack", r#"doc("board")/mark"#)
+        // The pager's inbox (forward-list target).
+        .doc("pager", "alerts", "<alerts/>")
+        .build()
         .unwrap();
-    sys.install_doc(
-        newsroom,
-        "board",
-        Tree::parse("<board><mark>news-batch-processed</mark></board>").unwrap(),
-    )
-    .unwrap();
-
-    // Continuous service: database-topic items only.
-    sys.register_declarative_service(
-        newsroom,
-        "db-news",
-        r#"for $i in doc("wire")/item where $i/@topic = "databases" return <story>{$i/title}</story>"#,
-    )
-    .unwrap();
-    // A second service used by the @after chain.
-    sys.register_declarative_service(newsroom, "ack", r#"doc("board")/mark"#)
-        .unwrap();
-
-    // The pager's inbox (forward-list target).
-    sys.install_doc(pager, "alerts", Tree::parse("<alerts/>").unwrap())
-        .unwrap();
+    let reader = sys.peer_id("reader").unwrap();
+    let newsroom = sys.peer_id("newsroom").unwrap();
+    let pager = sys.peer_id("pager").unwrap();
     let alerts_root = sys
         .peer(pager)
         .docs
@@ -122,10 +113,7 @@ fn main() {
     assert_eq!(stories, 3, "three database stories were streamed");
 
     let alerts = sys.peer(pager).docs.get(&"alerts".into()).unwrap().tree();
-    println!(
-        "pager alerts document: {}",
-        alerts.serialize()
-    );
+    println!("pager alerts document: {}", alerts.serialize());
     assert!(
         alerts.serialize().contains("news-batch-processed"),
         "the @after chain delivered the ack to the pager"

@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: everything a PR must keep green, in one shot.
 #
-#   scripts/tier1.sh           # build + tests + docs
+#   scripts/tier1.sh           # lint + build + tests + docs
 #
 # Runs entirely offline (the workspace has zero external dependencies).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+echo "== tier-1: cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== tier-1: cargo clippy (warnings are errors) =="
+cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier-1: cargo build --release =="
 cargo build --release

@@ -37,14 +37,15 @@
 //!
 //! ```
 //! use axml::prelude::*;
-//! use axml::xml::tree::Tree;
 //!
-//! let mut sys = AxmlSystem::new();
-//! let client = sys.add_peer("client");
-//! let server = sys.add_peer("server");
-//! sys.net_mut().set_link(client, server, LinkCost::wan());
-//! sys.install_doc(server, "catalog", Tree::parse(
-//!     r#"<catalog><pkg name="vim"><size>4000</size></pkg></catalog>"#).unwrap()).unwrap();
+//! let mut sys = AxmlSystem::builder()
+//!     .peers(["client", "server"])
+//!     .link("client", "server", LinkCost::wan())
+//!     .doc("server", "catalog",
+//!         r#"<catalog><pkg name="vim"><size>4000</size></pkg></catalog>"#)
+//!     .build()
+//!     .unwrap();
+//! let (client, server) = (sys.peer_id("client").unwrap(), sys.peer_id("server").unwrap());
 //!
 //! // Naive plan: fetch the whole catalog, filter at the client.
 //! let q = Query::parse("big",
@@ -73,8 +74,8 @@ pub use axml_xml as xml;
 
 /// One-stop import for applications.
 pub mod prelude {
-    pub use axml_core::prelude::*;
     pub use axml_core::cost::CostModel;
+    pub use axml_core::prelude::*;
     pub use axml_query::Query;
     pub use axml_types::{Content, Schema, SchemaBuilder, Signature, TreeType};
     pub use axml_xml::equiv::{forest_equiv, tree_equiv, whole_tree_equiv};

@@ -9,10 +9,12 @@ use axml::prelude::*;
 use axml::xml::tree::Tree;
 
 fn duo() -> (AxmlSystem, PeerId, PeerId) {
-    let mut sys = AxmlSystem::new();
-    let p0 = sys.add_peer("p0");
-    let p1 = sys.add_peer("p1");
-    sys.net_mut().set_link(p0, p1, LinkCost::wan());
+    let sys = AxmlSystem::builder()
+        .peers(["p0", "p1"])
+        .link("p0", "p1", LinkCost::wan())
+        .build()
+        .unwrap();
+    let (p0, p1) = (sys.peer_id("p0").unwrap(), sys.peer_id("p1").unwrap());
     (sys, p0, p1)
 }
 
@@ -23,7 +25,13 @@ fn definition_1_plain_tree_identity() {
     let (mut sys, p0, _) = duo();
     let t = Tree::parse("<a><b>x</b><c/></a>").unwrap();
     let out = sys
-        .eval(p0, &Expr::Tree { tree: t.clone(), at: p0 })
+        .eval(
+            p0,
+            &Expr::Tree {
+                tree: t.clone(),
+                at: p0,
+            },
+        )
         .unwrap();
     assert_eq!(out.len(), 1);
     assert!(whole_tree_equiv(&out[0], &t));
@@ -76,7 +84,8 @@ fn definition_4_send_to_node_list() {
     let p2 = sys.add_peer("p2");
     sys.install_doc(p1, "d1", Tree::parse("<d1><slot/></d1>").unwrap())
         .unwrap();
-    sys.install_doc(p2, "d2", Tree::parse("<d2/>").unwrap()).unwrap();
+    sys.install_doc(p2, "d2", Tree::parse("<d2/>").unwrap())
+        .unwrap();
     let slot = {
         let t = sys.peer(p1).docs.get(&"d1".into()).unwrap().tree();
         t.first_child_labeled(t.root(), "slot").unwrap()
@@ -97,11 +106,21 @@ fn definition_4_send_to_node_list() {
     )
     .unwrap();
     assert_eq!(
-        sys.peer(p1).docs.get(&"d1".into()).unwrap().tree().serialize(),
+        sys.peer(p1)
+            .docs
+            .get(&"d1".into())
+            .unwrap()
+            .tree()
+            .serialize(),
         "<d1><slot><x/></slot></d1>"
     );
     assert_eq!(
-        sys.peer(p2).docs.get(&"d2".into()).unwrap().tree().serialize(),
+        sys.peer(p2)
+            .docs
+            .get(&"d2".into())
+            .unwrap()
+            .tree()
+            .serialize(),
         "<d2><x/></d2>"
     );
     // one message per destination
@@ -137,8 +156,12 @@ fn definition_5_remote_evaluation() {
 #[test]
 fn definition_6_service_call_steps() {
     let (mut sys, p0, p1) = duo();
-    sys.install_doc(p1, "data", Tree::parse("<data><n>5</n><n>9</n></data>").unwrap())
-        .unwrap();
+    sys.install_doc(
+        p1,
+        "data",
+        Tree::parse("<data><n>5</n><n>9</n></data>").unwrap(),
+    )
+    .unwrap();
     sys.register_declarative_service(
         p1,
         "over",
@@ -218,7 +241,8 @@ fn definition_9_generic_resolution() {
     let p2 = sys.add_peer("p2");
     sys.net_mut().set_link(p0, p2, LinkCost::lan());
     let content = Tree::parse("<c><v>1</v></c>").unwrap();
-    sys.install_replica(p1, "cls", "c1", content.clone()).unwrap();
+    sys.install_replica(p1, "cls", "c1", content.clone())
+        .unwrap();
     sys.install_replica(p2, "cls", "c2", content).unwrap();
     sys.set_pick_policy(PickPolicy::Closest);
     let q = Query::parse("q", "$0//v").unwrap();

@@ -41,12 +41,6 @@ fn typed_catalog_distribution() {
     let cat = catalog(50);
     schema.validate(&cat, "CatalogT").expect("catalog is valid");
 
-    let mut sys = AxmlSystem::new();
-    let a = sys.add_peer("a");
-    let b = sys.add_peer("b");
-    sys.net_mut().set_link(a, b, LinkCost::wan());
-    sys.install_doc(b, "catalog", cat).unwrap();
-
     // A typed service: the signature constrains input and output.
     let q = Query::parse(
         "lookup",
@@ -63,7 +57,15 @@ fn typed_catalog_distribution() {
         .signature
         .check_input(&schema, std::slice::from_ref(&sample))
         .unwrap();
-    sys.register_service(b, service).unwrap();
+
+    let mut sys = AxmlSystem::builder()
+        .peers(["a", "b"])
+        .link("a", "b", LinkCost::wan())
+        .doc("b", "catalog", cat)
+        .service_obj("b", service)
+        .build()
+        .unwrap();
+    let (a, b) = (sys.peer_id("a").unwrap(), sys.peer_id("b").unwrap());
 
     let out = sys
         .eval(
@@ -88,31 +90,38 @@ use axml::types::schema::TypeName;
 
 fn service_output_checks(schema: &Schema, tree: &Tree) {
     let tt = TreeType::new("version", "TextT");
-    tt.check(schema, tree).expect("response validates against τout");
+    tt.check(schema, tree)
+        .expect("response validates against τout");
 }
 
 #[test]
 fn three_peer_pipeline_with_forward_lists() {
     // source → filter service → archive, with the archive never talking
     // to the source directly (results routed by forward lists).
-    let mut sys = AxmlSystem::new();
-    let coordinator = sys.add_peer("coordinator");
-    let data = sys.add_peer("data");
-    let archive = sys.add_peer("archive");
-    sys.net_mut().set_link(coordinator, data, LinkCost::wan());
-    sys.net_mut().set_link(coordinator, archive, LinkCost::wan());
-    sys.net_mut().set_link(data, archive, LinkCost::lan());
-
-    sys.install_doc(data, "catalog", catalog(100)).unwrap();
-    sys.register_declarative_service(
-        data,
-        "big-pkgs",
-        r#"for $p in doc("catalog")//pkg where $p/size/text() > 15000 return {$p}"#,
-    )
-    .unwrap();
-    sys.install_doc(archive, "vault", Tree::parse("<vault/>").unwrap())
+    let mut sys = AxmlSystem::builder()
+        .peers(["coordinator", "data", "archive"])
+        .link("coordinator", "data", LinkCost::wan())
+        .link("coordinator", "archive", LinkCost::wan())
+        .link("data", "archive", LinkCost::lan())
+        .doc("data", "catalog", catalog(100))
+        .service(
+            "data",
+            "big-pkgs",
+            r#"for $p in doc("catalog")//pkg where $p/size/text() > 15000 return {$p}"#,
+        )
+        .doc("archive", "vault", "<vault/>")
+        .build()
         .unwrap();
-    let vault_root = sys.peer(archive).docs.get(&"vault".into()).unwrap().tree().root();
+    let coordinator = sys.peer_id("coordinator").unwrap();
+    let data = sys.peer_id("data").unwrap();
+    let archive = sys.peer_id("archive").unwrap();
+    let vault_root = sys
+        .peer(archive)
+        .docs
+        .get(&"vault".into())
+        .unwrap()
+        .tree()
+        .root();
 
     // The coordinator fires the call; results flow data → archive only.
     let out = sys
@@ -141,17 +150,16 @@ fn three_peer_pipeline_with_forward_lists() {
 #[test]
 fn replicated_generic_documents_with_policies() {
     let build = |policy: PickPolicy| {
-        let mut sys = AxmlSystem::new();
-        let client = sys.add_peer("client");
-        let far = sys.add_peer("far");
-        let near = sys.add_peer("near");
-        sys.net_mut().set_link(client, far, LinkCost::slow());
-        sys.net_mut().set_link(client, near, LinkCost::lan());
-        sys.net_mut().set_link(far, near, LinkCost::wan());
-        sys.install_replica(far, "cat", "catalog", catalog(80)).unwrap();
-        sys.install_replica(near, "cat", "catalog", catalog(80)).unwrap();
-        sys.set_pick_policy(policy);
-        sys
+        AxmlSystem::builder()
+            .peers(["client", "far", "near"])
+            .link("client", "far", LinkCost::slow())
+            .link("client", "near", LinkCost::lan())
+            .link("far", "near", LinkCost::wan())
+            .replica("far", "cat", "catalog", catalog(80))
+            .replica("near", "cat", "catalog", catalog(80))
+            .pick_policy(policy)
+            .build()
+            .unwrap()
     };
     let e = Expr::Doc {
         name: "cat".into(),
@@ -174,14 +182,16 @@ fn replicated_generic_documents_with_policies() {
 fn code_shipping_then_continuous_use() {
     // Deploy a query as a service on the data peer (definition (8)),
     // then subscribe to it from another peer and stream updates.
-    let mut sys = AxmlSystem::new();
-    let dev = sys.add_peer("dev");
-    let data = sys.add_peer("data");
-    let watcher = sys.add_peer("watcher");
-    sys.net_mut().set_link(dev, data, LinkCost::wan());
-    sys.net_mut().set_link(watcher, data, LinkCost::wan());
-    sys.install_doc(data, "events", Tree::parse("<events/>").unwrap())
+    let mut sys = AxmlSystem::builder()
+        .peers(["dev", "data", "watcher"])
+        .link("dev", "data", LinkCost::wan())
+        .link("watcher", "data", LinkCost::wan())
+        .doc("data", "events", "<events/>")
+        .build()
         .unwrap();
+    let dev = sys.peer_id("dev").unwrap();
+    let data = sys.peer_id("data").unwrap();
+    let watcher = sys.peer_id("watcher").unwrap();
 
     let monitor = Query::parse(
         "monitor",
@@ -201,8 +211,10 @@ fn code_shipping_then_continuous_use() {
     sys.install_doc(
         watcher,
         "dashboard",
-        Tree::parse(r#"<dashboard><sc><peer>p1</peer><service>error-feed</service></sc></dashboard>"#)
-            .unwrap(),
+        Tree::parse(
+            r#"<dashboard><sc><peer>p1</peer><service>error-feed</service></sc></dashboard>"#,
+        )
+        .unwrap(),
     )
     .unwrap();
     sys.activate_document(watcher, &"dashboard".into()).unwrap();
@@ -217,7 +229,12 @@ fn code_shipping_then_continuous_use() {
             .unwrap();
         assert_eq!(delivered, n, "level {level}");
     }
-    let dash = sys.peer(watcher).docs.get(&"dashboard".into()).unwrap().tree();
+    let dash = sys
+        .peer(watcher)
+        .docs
+        .get(&"dashboard".into())
+        .unwrap()
+        .tree();
     assert_eq!(dash.descendants_labeled(dash.root(), "event").count(), 2);
 }
 
@@ -252,9 +269,11 @@ fn optimizer_consistency_across_topologies() {
     ];
     for (name, topo) in topologies {
         let build = || {
-            let mut sys = AxmlSystem::with_topology(&topo);
-            sys.install_doc(PeerId(3), "catalog", catalog(150)).unwrap();
-            sys
+            AxmlSystem::builder()
+                .topology(&topo)
+                .doc("p3", "catalog", catalog(150))
+                .build()
+                .unwrap()
         };
         let q = Query::parse(
             "sel",

@@ -29,11 +29,13 @@ fn catalog(n: usize) -> Tree {
 }
 
 fn build() -> (AxmlSystem, PeerId, PeerId) {
-    let mut sys = AxmlSystem::new();
-    let p = sys.add_peer("p");
-    let p2 = sys.add_peer("p2");
-    sys.net_mut().set_link(p, p2, LinkCost::wan());
-    sys.install_doc(p2, "t", catalog(300)).unwrap();
+    let sys = AxmlSystem::builder()
+        .peers(["p", "p2"])
+        .link("p", "p2", LinkCost::wan())
+        .doc("p2", "t", catalog(300))
+        .build()
+        .unwrap();
+    let (p, p2) = (sys.peer_id("p").unwrap(), sys.peer_id("p2").unwrap());
     (sys, p, p2)
 }
 
@@ -124,7 +126,9 @@ fn optimizer_rediscovers_example_one() {
     let model = CostModel::from_system(&sys);
     let plan = Optimizer::standard().optimize(&model, p, &naive);
     assert!(
-        plan.trace.iter().any(|r| r.starts_with("R10") || r.starts_with("R11")),
+        plan.trace
+            .iter()
+            .any(|r| r.starts_with("R10") || r.starts_with("R11")),
         "optimizer should find the Example-1 strategy, got {:?}",
         plan.trace
     );

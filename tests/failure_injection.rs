@@ -18,14 +18,17 @@ fn catalog(n: usize) -> Tree {
 }
 
 fn triangle() -> (AxmlSystem, PeerId, PeerId, PeerId) {
-    let mut sys = AxmlSystem::new();
-    let a = sys.add_peer("a");
-    let b = sys.add_peer("b");
-    let c = sys.add_peer("relay");
-    sys.net_mut().set_link(a, b, LinkCost::wan());
-    sys.net_mut().set_link(a, c, LinkCost::wan());
-    sys.net_mut().set_link(b, c, LinkCost::wan());
-    sys.install_doc(b, "catalog", catalog(100)).unwrap();
+    let sys = AxmlSystem::builder()
+        .peers(["a", "b", "relay"])
+        .link("a", "b", LinkCost::wan())
+        .link("a", "relay", LinkCost::wan())
+        .link("b", "relay", LinkCost::wan())
+        .doc("b", "catalog", catalog(100))
+        .build()
+        .unwrap();
+    let a = sys.peer_id("a").unwrap();
+    let b = sys.peer_id("b").unwrap();
+    let c = sys.peer_id("relay").unwrap();
     (sys, a, b, c)
 }
 
@@ -61,7 +64,11 @@ fn continuous_delivery_fails_when_partitioned() {
     sys.activate_document(a, &"inbox".into()).unwrap();
     sys.net_mut().fail_link(a, b);
     let err = sys
-        .feed(b, "catalog", Tree::parse(r#"<pkg name="new"><size>1</size></pkg>"#).unwrap())
+        .feed(
+            b,
+            "catalog",
+            Tree::parse(r#"<pkg name="new"><size>1</size></pkg>"#).unwrap(),
+        )
         .unwrap_err();
     assert!(err.to_string().contains("down"), "{err}");
 }

@@ -19,11 +19,13 @@ fn catalog(n: usize) -> Tree {
 }
 
 fn build() -> (AxmlSystem, PeerId, PeerId) {
-    let mut sys = AxmlSystem::new();
-    let p = sys.add_peer("p");
-    let p2 = sys.add_peer("p2");
-    sys.net_mut().set_link(p, p2, LinkCost::wan());
-    sys.install_doc(p2, "t", catalog(300)).unwrap();
+    let sys = AxmlSystem::builder()
+        .peers(["p", "p2"])
+        .link("p", "p2", LinkCost::wan())
+        .doc("p2", "t", catalog(300))
+        .build()
+        .unwrap();
+    let (p, p2) = (sys.peer_id("p").unwrap(), sys.peer_id("p2").unwrap());
     (sys, p, p2)
 }
 
@@ -56,25 +58,42 @@ fn traced_example_one_naive_records_the_definitions() {
     let summary: Vec<String> = events
         .iter()
         .map(|e| match e {
-            TraceEvent::Definition { def, peer, expr, .. } => {
+            TraceEvent::Definition {
+                def, peer, expr, ..
+            } => {
                 format!("def({def}) {expr} @{peer}")
             }
             TraceEvent::MessageSent { from, to, kind, .. } => {
-                format!("msg {kind} {from}->{to}")
+                format!("msg {} {from}->{to}", kind.as_str())
+            }
+            TraceEvent::MessageDelivered { from, to, kind, .. } => {
+                format!("dlv {} {from}->{to}", kind.as_str())
+            }
+            TraceEvent::TaskScheduled { peer, task, .. } => {
+                format!("task {task} @{peer}")
             }
             other => format!("other {}", other.kind()),
         })
         .collect();
-    // (2) apply at p → (5) fetch the remote doc → request to p2 →
-    // (1) local doc at p2 → data back to p.
+    // The engine's task stream for the naive plan: the root eval task
+    // fires (2) apply at p, the argument eval fires (5) fetch, the
+    // request crosses to p2 where (1) reads the doc locally, a reply
+    // task ships the data back, and its delivery resumes the apply.
     assert_eq!(
         summary,
         vec![
+            "task eval @p0",
             "def(2) apply @p0",
+            "task eval @p0",
             "def(5) fetch @p0",
             "msg request p0->p1",
+            "dlv request p0->p1",
+            "task eval @p1",
             "def(1) doc @p1",
+            "task reply @p1",
             "msg fetch p1->p0",
+            "dlv fetch p1->p0",
+            "task apply @p0",
         ],
         "unexpected event stream: {summary:?}"
     );
@@ -100,7 +119,11 @@ fn traced_example_one_optimized_records_rules_and_delegation() {
     let accepted: Vec<&str> = search
         .iter()
         .filter_map(|e| match e {
-            TraceEvent::RuleAttempted { rule, accepted: true, .. } => Some(*rule),
+            TraceEvent::RuleAttempted {
+                rule,
+                accepted: true,
+                ..
+            } => Some(*rule),
             _ => None,
         })
         .collect();
@@ -122,7 +145,8 @@ fn traced_example_one_optimized_records_rules_and_delegation() {
     assert!(!out.is_empty());
     let exec = sink.take();
     assert!(
-        exec.iter().any(|e| matches!(e, TraceEvent::Delegation { from, to, .. }
+        exec.iter()
+            .any(|e| matches!(e, TraceEvent::Delegation { from, to, .. }
             if *from == p && *to == p2)),
         "the optimized plan delegates p -> p2"
     );
@@ -145,7 +169,8 @@ fn metrics_reconcile_with_net_stats_exactly() {
     sys.eval(p, &plan.expr).unwrap();
 
     // Continuous: subscribe the relay to a feed on p2, stream items.
-    sys.install_doc(p2, "wire", Tree::parse("<wire/>").unwrap()).unwrap();
+    sys.install_doc(p2, "wire", Tree::parse("<wire/>").unwrap())
+        .unwrap();
     sys.register_declarative_service(p2, "items", r#"doc("wire")/item"#)
         .unwrap();
     sys.install_doc(
@@ -156,8 +181,12 @@ fn metrics_reconcile_with_net_stats_exactly() {
     .unwrap();
     sys.activate_document(relay, &"inbox".into()).unwrap();
     for i in 0..3 {
-        sys.feed(p2, "wire", Tree::parse(&format!("<item>{i}</item>")).unwrap())
-            .unwrap();
+        sys.feed(
+            p2,
+            "wire",
+            Tree::parse(&format!("<item>{i}</item>")).unwrap(),
+        )
+        .unwrap();
     }
 
     assert!(sys.stats().total_messages() > 0);

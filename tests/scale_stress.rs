@@ -20,22 +20,21 @@ fn catalog(n: usize, seed: usize) -> Tree {
 
 /// A 24-peer clustered system: 3 sites of 8; data on one peer per site.
 fn big_system() -> AxmlSystem {
-    let mut sys = AxmlSystem::with_topology(&Topology::Clustered {
+    let mut b = AxmlSystem::builder().topology(&Topology::Clustered {
         clusters: vec![8, 8, 8],
         intra: LinkCost::lan(),
         inter: LinkCost::wan(),
     });
     for (site, data_peer) in [(0u32, 0u32), (1, 8), (2, 16)] {
         // Replicas are equivalent (same content) — the §2.3 premise.
-        sys.install_replica(
+        b = b.replica(
             PeerId(data_peer),
             "cat",
             format!("cat-{site}"),
             catalog(120, 0),
-        )
-        .unwrap();
+        );
     }
-    sys
+    b.build().unwrap()
 }
 
 #[test]
@@ -113,11 +112,17 @@ fn long_update_sequences_keep_replicas_consistent() {
         sys.feed_replicas(
             origin,
             &"cat".into(),
-            Tree::parse(&format!(r#"<pkg name="upd-{i}"><size>{}</size></pkg>"#, i * 1000))
-                .unwrap(),
+            Tree::parse(&format!(
+                r#"<pkg name="upd-{i}"><size>{}</size></pkg>"#,
+                i * 1000
+            ))
+            .unwrap(),
         )
         .unwrap();
-        assert!(sys.replicas_consistent(&"cat".into()).unwrap(), "after update {i}");
+        assert!(
+            sys.replicas_consistent(&"cat".into()).unwrap(),
+            "after update {i}"
+        );
     }
     // 30 updates × 2 sibling transfers each
     assert_eq!(sys.stats().total_messages(), 60);
@@ -145,8 +150,12 @@ fn whole_runs_are_deterministic() {
             let out = sys.eval(PeerId(p), &e).unwrap();
             transcript.push_str(&format!("{p}:{};", out.len()));
         }
-        sys.feed_replicas(PeerId(0), &"cat".into(), Tree::parse("<pkg name=\"x\"/>").unwrap())
-            .unwrap();
+        sys.feed_replicas(
+            PeerId(0),
+            &"cat".into(),
+            Tree::parse("<pkg name=\"x\"/>").unwrap(),
+        )
+        .unwrap();
         (
             transcript,
             sys.stats().total_bytes(),

@@ -157,7 +157,10 @@ where
                 return v;
             }
         }
-        panic!("prop_filter rejected 10000 consecutive values: {}", self.whence);
+        panic!(
+            "prop_filter rejected 10000 consecutive values: {}",
+            self.whence
+        );
     }
 }
 
@@ -445,12 +448,12 @@ macro_rules! impl_tuple_strategy {
     };
 }
 
-impl_tuple_strategy!(A/0);
-impl_tuple_strategy!(A/0, B/1);
-impl_tuple_strategy!(A/0, B/1, C/2);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4);
-impl_tuple_strategy!(A/0, B/1, C/2, D/3, E/4, F/5);
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
 
 // ---- any::<T>() ----------------------------------------------------------
 
@@ -574,12 +577,14 @@ mod tests {
                 T::Node(cs) => 1 + cs.iter().map(depth).max().unwrap_or(0),
             }
         }
-        let s = Just(()).prop_map(|_| T::Leaf).prop_recursive(3, 16, 3, |inner| {
-            crate::collection::vec(inner, 1..3).prop_map(T::Node)
-        });
+        let s = Just(())
+            .prop_map(|_| T::Leaf)
+            .prop_recursive(3, 16, 3, |inner| {
+                crate::collection::vec(inner, 1..3).prop_map(T::Node)
+            });
         let mut r = rng();
         let depths: Vec<usize> = (0..200).map(|_| depth(&s.gen_value(&mut r))).collect();
-        assert!(depths.iter().any(|&d| d == 0), "leaves must appear");
+        assert!(depths.contains(&0), "leaves must appear");
         assert!(depths.iter().any(|&d| d >= 2), "deep trees must appear");
         assert!(depths.iter().all(|&d| d <= 3), "depth bound respected");
     }
