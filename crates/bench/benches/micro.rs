@@ -126,6 +126,26 @@ fn bench_observability(c: &mut Criterion) {
             n
         })
     });
+    // Streaming sinks: same workload, events encoded and written to a
+    // discarding writer — the serialization cost without disk noise.
+    g.bench_function("eval/jsonl_sink", |b| {
+        use axml_core::prelude::JsonlSink;
+        let (mut sys, client, server) = two_peer(catalog(200, 0.05, 4));
+        sys.set_trace_sink(Box::new(JsonlSink::new(std::io::sink())));
+        b.iter(|| {
+            sys.reset_stats();
+            naive(&mut sys, client, server).len()
+        })
+    });
+    g.bench_function("eval/bin_sink", |b| {
+        use axml_core::prelude::BinSink;
+        let (mut sys, client, server) = two_peer(catalog(200, 0.05, 4));
+        sys.set_trace_sink(Box::new(BinSink::new(std::io::sink())));
+        b.iter(|| {
+            sys.reset_stats();
+            naive(&mut sys, client, server).len()
+        })
+    });
     g.finish();
 }
 

@@ -55,52 +55,60 @@ pub fn run() -> Report {
     let site = PeerId(0);
     let naive = naive_apply(selective_query(), site, PeerId(1));
 
-    let evaluate = |rules: Vec<Box<dyn RewriteRule>>| -> (u64, f64, Vec<&'static str>) {
+    let evaluate = |config: &str, rules: Vec<Box<dyn RewriteRule>>| {
         let sys = build();
         let model = CostModel::from_system(&sys);
-        let plan = Optimizer::with_rules(rules).optimize(&model, site, &naive);
+        let opt = Optimizer::with_rules(rules);
+        let plan = opt.optimize(&model, site, &naive);
         let mut sys2 = build();
         let (_, bytes, _, ms) = measure(&mut sys2, site, &plan.expr);
-        (bytes, ms, plan.trace)
+        // the row's snapshot: re-run the search against this system's
+        // observability handle (for the rule counters) on top of the
+        // already-measured execution traffic
+        let _ = opt.optimize_with(&model, site, &naive, sys2.obs_mut());
+        let run = sys2.run_report(format!("E11 {config}"));
+        (bytes, ms, plan.trace, run)
     };
 
-    let (full_bytes, full_ms, full_trace) = evaluate(standard_rules());
-    // observability snapshot of the full-rule-set configuration
-    {
-        let sys = build();
-        let model = CostModel::from_system(&sys);
-        let mut sys2 = build();
-        let plan = Optimizer::standard().optimize_with(&model, site, &naive, sys2.obs_mut());
-        let _ = sys2.eval(site, &plan.expr).unwrap();
-        r.attach_run(sys2.run_report("E11 full rule set"));
-    }
-    r.row(vec![
-        "full rule set".into(),
-        fmt_bytes(full_bytes),
-        format!("{full_ms:.1}"),
-        "1.00x".into(),
-        full_trace.join("+"),
-    ]);
+    let (full_bytes, full_ms, full_trace, full_run) = evaluate("full rule set", standard_rules());
+    r.attach_run(full_run.clone());
+    r.row_with_run(
+        vec![
+            "full rule set".into(),
+            fmt_bytes(full_bytes),
+            format!("{full_ms:.1}"),
+            "1.00x".into(),
+            full_trace.join("+"),
+        ],
+        full_run,
+    );
     let mut names: Vec<&'static str> = standard_rules().iter().map(|r| r.name()).collect();
     names.sort_unstable();
     for name in names {
-        let (bytes, ms, trace) = evaluate(rules_without(name));
-        r.row(vec![
-            format!("without {name}"),
-            fmt_bytes(bytes),
-            format!("{ms:.1}"),
-            format!("{:.2}x", ms / full_ms),
-            trace.join("+"),
-        ]);
+        let config = format!("without {name}");
+        let (bytes, ms, trace, run) = evaluate(&config, rules_without(name));
+        r.row_with_run(
+            vec![
+                config,
+                fmt_bytes(bytes),
+                format!("{ms:.1}"),
+                format!("{:.2}x", ms / full_ms),
+                trace.join("+"),
+            ],
+            run,
+        );
     }
-    let (none_bytes, none_ms, _) = evaluate(vec![]);
-    r.row(vec![
-        "no rules (naive)".into(),
-        fmt_bytes(none_bytes),
-        format!("{none_ms:.1}"),
-        format!("{:.2}x", none_ms / full_ms),
-        String::new(),
-    ]);
+    let (none_bytes, none_ms, _, none_run) = evaluate("no rules (naive)", vec![]);
+    r.row_with_run(
+        vec![
+            "no rules (naive)".into(),
+            fmt_bytes(none_bytes),
+            format!("{none_ms:.1}"),
+            format!("{:.2}x", none_ms / full_ms),
+            String::new(),
+        ],
+        none_run,
+    );
     r.note("the optimizer minimizes time; removing a rule can trade bytes for time");
     r.note("ms vs full ≈ 1 for redundant rules; >> 1 when the ablated rule was load-bearing");
     r.note("the naive row shows the total head-room the rule set captures");

@@ -66,17 +66,22 @@ pub fn run() -> Report {
         let (n2, b2, _m2, t2) = measure(&mut sys2, client2, &plan);
 
         assert_eq!(n1, n2, "strategies must agree");
-        // representative observability snapshot (last σ wins)
-        r.attach_run(sys2.run_report(format!("E1 pushed plan (σ={:.0}%)", sel * 100.0)));
-        r.row(vec![
-            format!("{:.0}", sel * 100.0),
-            n1.to_string(),
-            fmt_bytes(b1),
-            fmt_bytes(b2),
-            fmt_ratio(b1, b2),
-            format!("{t1:.1}"),
-            format!("{t2:.1}"),
-        ]);
+        // this row's observability snapshot (also the representative one
+        // — last σ wins)
+        let run = sys2.run_report(format!("E1 pushed plan (σ={:.0}%)", sel * 100.0));
+        r.attach_run(run.clone());
+        r.row_with_run(
+            vec![
+                format!("{:.0}", sel * 100.0),
+                n1.to_string(),
+                fmt_bytes(b1),
+                fmt_bytes(b2),
+                fmt_ratio(b1, b2),
+                format!("{t1:.1}"),
+                format!("{t2:.1}"),
+            ],
+            run,
+        );
     }
     r.note("naive ships the whole catalog regardless of σ; pushed ships ~σ·|catalog|");
     r.note("the advantage shrinks as σ → 1 (both strategies ship everything)");

@@ -48,15 +48,19 @@ pub fn run() -> Report {
         };
         let (mut sys2, client2, _server2) = two_peer(tree);
         let (_n2, b2, _m2, _t2) = measure(&mut sys2, client2, &delegated);
-        r.attach_run(sys2.run_report(format!("E2 delegated plan ({n} pkgs)")));
+        let run = sys2.run_report(format!("E2 delegated plan ({n} pkgs)"));
+        r.attach_run(run.clone());
 
-        r.row(vec![
-            n.to_string(),
-            fmt_bytes(doc_bytes),
-            fmt_bytes(b1),
-            fmt_bytes(b2),
-            if b2 < b1 { "delegated" } else { "naive" }.to_string(),
-        ]);
+        r.row_with_run(
+            vec![
+                n.to_string(),
+                fmt_bytes(doc_bytes),
+                fmt_bytes(b1),
+                fmt_bytes(b2),
+                if b2 < b1 { "delegated" } else { "naive" }.to_string(),
+            ],
+            run,
+        );
     }
     r.note("delegation ships the serialized plan (~constant); naive ships the document (linear)");
     r.note("crossover sits where the document outgrows the plan");

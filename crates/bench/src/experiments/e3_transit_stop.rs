@@ -37,7 +37,7 @@ pub fn run() -> Report {
             per_msg_bytes: 256,
         };
         let tree = catalog(300, 0.1, 0xE3);
-        let fetch = |r: &mut Report, via_gateway: bool| {
+        let fetch = |via_gateway: bool| {
             let (mut sys, edge, origin, gw) = gateway(direct_link, tree.clone());
             let inner = Expr::Doc {
                 name: "catalog".into(),
@@ -68,21 +68,24 @@ pub fn run() -> Report {
                 }
             };
             let out = measure(&mut sys, edge, &plan);
-            if via_gateway {
-                r.attach_run(sys.run_report(format!("E3 relay plan (direct {bw:.0} B/ms)")));
-            }
-            out
+            let tag = if via_gateway { "relay" } else { "direct" };
+            let run = sys.run_report(format!("E3 {tag} plan (direct {bw:.0} B/ms)"));
+            (out, run)
         };
-        let (_, bd, _, td) = fetch(&mut r, false);
-        let (_, br, _, tr) = fetch(&mut r, true);
-        r.row(vec![
-            format!("{bw:.0}"),
-            format!("{td:.1}"),
-            format!("{tr:.1}"),
-            fmt_bytes(bd),
-            fmt_bytes(br),
-            if tr < td { "relay" } else { "direct" }.to_string(),
-        ]);
+        let ((_, bd, _, td), _direct_run) = fetch(false);
+        let ((_, br, _, tr), relay_run) = fetch(true);
+        r.attach_run(relay_run.clone());
+        r.row_with_run(
+            vec![
+                format!("{bw:.0}"),
+                format!("{td:.1}"),
+                format!("{tr:.1}"),
+                fmt_bytes(bd),
+                fmt_bytes(br),
+                if tr < td { "relay" } else { "direct" }.to_string(),
+            ],
+            relay_run,
+        );
     }
     r.note("relay always moves ~2x the bytes but uses only fast links");
     r.note("crossover where the direct link's slowness outweighs the doubled volume");

@@ -77,14 +77,18 @@ pub fn run() -> Report {
         ]);
         let (n2, b2, _m2, _t2) = measure(&mut sys2, client2, &shared);
         assert_eq!(n1, n2, "strategies must agree at k={k}");
-        r.attach_run(sys2.run_report(format!("E4 shared plan (k={k})")));
-        r.row(vec![
-            k.to_string(),
-            n1.to_string(),
-            fmt_bytes(b1),
-            fmt_bytes(b2),
-            fmt_ratio(b1, b2),
-        ]);
+        let run = sys2.run_report(format!("E4 shared plan (k={k})"));
+        r.attach_run(run.clone());
+        r.row_with_run(
+            vec![
+                k.to_string(),
+                n1.to_string(),
+                fmt_bytes(b1),
+                fmt_bytes(b2),
+                fmt_ratio(b1, b2),
+            ],
+            run,
+        );
     }
     r.note("naive transfers the document once per use; shared once total");
     r.note("the shared plan leaves a temp document behind (Σ extension)");

@@ -66,7 +66,7 @@ pub fn run() -> Report {
         ],
     );
     for &n in PARAM_SIZES {
-        let run_with = |r: &mut Report, relocate: bool| -> (u64, usize) {
+        let run_with = |relocate: bool| {
             let (mut sys, coordinator, provider, archive) = build(n);
             let vault_root = sys
                 .peer(archive)
@@ -93,25 +93,29 @@ pub fn run() -> Report {
                 sc
             };
             sys.eval(coordinator, &plan).unwrap();
-            if relocate {
-                r.attach_run(sys.run_report(format!("E5 relocated plan ({n} param entries)")));
-            }
+            let tag = if relocate { "relocated" } else { "at-coord" };
+            let run = sys.run_report(format!("E5 {tag} plan ({n} param entries)"));
             let vault = sys.peer(archive).docs.get(&"vault".into()).unwrap().tree();
             (
                 sys.stats().total_bytes(),
                 vault.children(vault.root()).len(),
+                run,
             )
         };
-        let (naive_b, n1) = run_with(&mut r, false);
-        let (reloc_b, n2) = run_with(&mut r, true);
+        let (naive_b, n1, _naive_run) = run_with(false);
+        let (reloc_b, n2, reloc_run) = run_with(true);
         assert_eq!(n1, n2, "identical results from either site");
-        r.row(vec![
-            n.to_string(),
-            fmt_bytes(naive_b),
-            fmt_bytes(reloc_b),
-            fmt_ratio(naive_b, reloc_b),
-            n1.to_string(),
-        ]);
+        r.attach_run(reloc_run.clone());
+        r.row_with_run(
+            vec![
+                n.to_string(),
+                fmt_bytes(naive_b),
+                fmt_bytes(reloc_b),
+                fmt_ratio(naive_b, reloc_b),
+                n1.to_string(),
+            ],
+            reloc_run,
+        );
     }
     r.note("naive drags the parameter over the slow link twice; relocated ships one small sc tree");
     r.note("results always land at the archive via the forward list — identical final Σ");

@@ -73,16 +73,20 @@ pub fn run() -> Report {
         // alongside the pushed plan's traffic.
         let model2 = CostModel::from_system(&sys2);
         let _ = Optimizer::standard().optimize_with(&model2, client2, &naive, sys2.obs_mut());
-        r.attach_run(sys2.run_report(format!("E6 pushed plan (σ={:.0}%)", sel * 100.0)));
+        let run = sys2.run_report(format!("E6 pushed plan (σ={:.0}%)", sel * 100.0));
+        r.attach_run(run.clone());
 
-        r.row(vec![
-            format!("{:.0}", sel * 100.0),
-            n1.to_string(),
-            fmt_bytes(b1),
-            fmt_bytes(b2),
-            fmt_ratio(b1, b2),
-            plan.trace.join("+"),
-        ]);
+        r.row_with_run(
+            vec![
+                format!("{:.0}", sel * 100.0),
+                n1.to_string(),
+                fmt_bytes(b1),
+                fmt_bytes(b2),
+                fmt_ratio(b1, b2),
+                plan.trace.join("+"),
+            ],
+            run,
+        );
     }
     r.note("naive ships the service's entire answer; pushed ships only the post-processed subset");
     r

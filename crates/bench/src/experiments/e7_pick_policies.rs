@@ -56,14 +56,18 @@ pub fn run() -> Report {
             }
         }
         let max_load = load.values().copied().max().unwrap_or(0);
-        r.attach_run(sys.run_report(format!("E7 policy {name}")));
-        r.row(vec![
-            name.to_string(),
-            fmt_bytes(sys.stats().total_bytes()),
-            format!("{:.0}", sys.stats().makespan_ms()),
-            max_load.to_string(),
-            load.len().to_string(),
-        ]);
+        let run = sys.run_report(format!("E7 policy {name}"));
+        r.attach_run(run.clone());
+        r.row_with_run(
+            vec![
+                name.to_string(),
+                fmt_bytes(sys.stats().total_bytes()),
+                format!("{:.0}", sys.stats().makespan_ms()),
+                max_load.to_string(),
+                load.len().to_string(),
+            ],
+            run,
+        );
     }
     r.note("Closest minimizes latency; First honors registration order (farthest-first here)");
     r.note("RoundRobin spreads load across all mirrors at a latency cost");

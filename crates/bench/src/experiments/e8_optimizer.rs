@@ -128,18 +128,22 @@ pub fn run() -> Report {
         let mut s2 = build();
         let (n2, b2, _, _) = measure(&mut s2, site, &plan.expr);
         assert_eq!(n1, n2, "{name}: answers must agree");
-        // attach the search + optimized-run snapshot for this shape
+        // this row's search + optimized-run snapshot
         let _ = Optimizer::standard().optimize_with(&model, site, &naive, s2.obs_mut());
-        r.attach_run(s2.run_report(format!("E8 optimized plan ({name})")));
-        r.row(vec![
-            name.to_string(),
-            fmt_bytes(b1),
-            fmt_bytes(b2),
-            fmt_ratio(b1, b2),
-            plan.explored.to_string(),
-            format!("{search_ms:.1}"),
-            plan.trace.join("+"),
-        ]);
+        let run = s2.run_report(format!("E8 optimized plan ({name})"));
+        r.attach_run(run.clone());
+        r.row_with_run(
+            vec![
+                name.to_string(),
+                fmt_bytes(b1),
+                fmt_bytes(b2),
+                fmt_ratio(b1, b2),
+                plan.explored.to_string(),
+                format!("{search_ms:.1}"),
+                plan.trace.join("+"),
+            ],
+            run,
+        );
     }
     // Part 2: beam ablation on the first shape.
     let naive = shapes().remove(0).1;
@@ -155,15 +159,20 @@ pub fn run() -> Report {
         let (_, b1, _, _) = measure(&mut s1, site, &naive);
         let mut s2 = build();
         let (_, b2, _, _) = measure(&mut s2, site, &plan.expr);
-        r.row(vec![
-            format!("beam={beam}"),
-            fmt_bytes(b1),
-            fmt_bytes(b2),
-            fmt_ratio(b1, b2),
-            plan.explored.to_string(),
-            format!("{search_ms:.1}"),
-            plan.trace.join("+"),
-        ]);
+        let _ = opt.optimize_with(&model, site, &naive, s2.obs_mut());
+        let run = s2.run_report(format!("E8 beam ablation (beam={beam})"));
+        r.row_with_run(
+            vec![
+                format!("beam={beam}"),
+                fmt_bytes(b1),
+                fmt_bytes(b2),
+                fmt_ratio(b1, b2),
+                plan.explored.to_string(),
+                format!("{search_ms:.1}"),
+                plan.trace.join("+"),
+            ],
+            run,
+        );
     }
     r.note("ratios > 1 mean the optimizer shipped fewer bytes than naive");
     r.note("small beams already capture most of the win (shallow rule space)");

@@ -87,22 +87,26 @@ pub fn run() -> Report {
                 wan.latency_ms + b as f64 / wan.bytes_per_ms
             })
             .sum();
-        r.attach_run(sys.run_report(format!("E9 fan-out ({n} subscribers, one item)")));
-        r.row(vec![
-            "fan-out".into(),
-            n.to_string(),
-            fmt_bytes(sys.stats().total_bytes()),
-            sys.stats().total_messages().to_string(),
-            format!("{makespan:.1}"),
-            format!("{serial_ms:.1}"),
-            "-".into(),
-            "-".into(),
-        ]);
+        let run = sys.run_report(format!("E9 fan-out ({n} subscribers, one item)"));
+        r.attach_run(run.clone());
+        r.row_with_run(
+            vec![
+                "fan-out".into(),
+                n.to_string(),
+                fmt_bytes(sys.stats().total_bytes()),
+                sys.stats().total_messages().to_string(),
+                format!("{makespan:.1}"),
+                format!("{serial_ms:.1}"),
+                "-".into(),
+                "-".into(),
+            ],
+            run,
+        );
     }
     // --- series 2: optimizer search vs peer count --------------------------
     for &n in PEERS {
         let data = PeerId((n - 1) as u32);
-        let sys = AxmlSystem::builder()
+        let mut sys = AxmlSystem::builder()
             .topology(&Topology::Uniform {
                 n,
                 cost: LinkCost::wan(),
@@ -115,16 +119,24 @@ pub fn run() -> Report {
         let t0 = Instant::now();
         let plan = Optimizer::standard().optimize(&model, PeerId(0), &naive);
         let ms = t0.elapsed().as_secs_f64() * 1e3;
-        r.row(vec![
-            "optimizer".into(),
-            n.to_string(),
-            "-".into(),
-            "-".into(),
-            "-".into(),
-            "-".into(),
-            plan.explored.to_string(),
-            format!("{ms:.1}"),
-        ]);
+        // the row's snapshot: the search (for the rule counters) plus one
+        // execution of the winning plan (for reconciling traffic)
+        let _ = Optimizer::standard().optimize_with(&model, PeerId(0), &naive, sys.obs_mut());
+        sys.eval(PeerId(0), &plan.expr).unwrap();
+        let run = sys.run_report(format!("E9 optimizer ({n} peers)"));
+        r.row_with_run(
+            vec![
+                "optimizer".into(),
+                n.to_string(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                plan.explored.to_string(),
+                format!("{ms:.1}"),
+            ],
+            run,
+        );
     }
     r.note("fan-out: one published item costs exactly n deliveries (delta semantics)");
     r.note("fan-out makespan: deliveries overlap — critical path, not the serial byte sum");

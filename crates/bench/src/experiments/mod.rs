@@ -37,14 +37,30 @@ pub fn all() -> Vec<Experiment> {
 
 #[cfg(test)]
 mod tests {
-    /// Every experiment runs and produces a non-empty table. This is the
-    /// smoke test keeping the whole harness green.
+    /// Every experiment runs, produces a non-empty table, and every sweep
+    /// row carries its own reconciling [`axml_obs::RunReport`] — the
+    /// per-row history the `--json` export publishes. This is the smoke
+    /// test keeping the whole harness green.
     #[test]
     fn all_experiments_run() {
         for (id, run) in super::all() {
             let r = run();
             assert!(!r.rows.is_empty(), "{id} produced no rows");
             assert!(!r.to_string().is_empty());
+            assert_eq!(
+                r.rows.len(),
+                r.row_runs.len(),
+                "{id}: row_runs parallel to rows"
+            );
+            for (i, (row, run)) in r.rows_with_runs().enumerate() {
+                let run = run.unwrap_or_else(|| panic!("{id} row {i} ({row:?}) has no run"));
+                assert!(
+                    run.reconciled,
+                    "{id} row {i} ({:?}): run {:?} does not reconcile",
+                    row[0], run.title
+                );
+            }
+            assert!(r.run.is_some(), "{id} has no representative run");
         }
     }
 }

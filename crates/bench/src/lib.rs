@@ -16,7 +16,16 @@
 //! ```
 //!
 //! Wall-clock micro-benchmarks (criterion) live in `benches/`.
+//!
+//! The crate also ships `axml-trace`, a replay CLI that decodes a trace
+//! file (JSONL or AXTR binary, auto-detected) and renders a per-peer
+//! timeline / message sequence chart from [`timeline`]:
+//!
+//! ```text
+//! cargo run -p axml-bench --bin axml-trace -- run.trc --width 120 --svg run.svg
+//! ```
 
 pub mod experiments;
 pub mod report;
+pub mod timeline;
 pub mod workload;

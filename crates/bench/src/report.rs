@@ -23,6 +23,11 @@ pub struct Report {
     /// Observability snapshot of one representative configuration
     /// (definition counts, rule applications, per-peer traffic).
     pub run: Option<RunReport>,
+    /// One observability snapshot per table row (parallel to `rows`),
+    /// so `--json` carries the full history of the sweep, not just a
+    /// representative endpoint. Rows appended with [`Report::row`] get
+    /// `None`; use [`Report::row_with_run`] to attach one.
+    pub row_runs: Vec<Option<RunReport>>,
 }
 
 impl Report {
@@ -35,6 +40,7 @@ impl Report {
             rows: Vec::new(),
             notes: Vec::new(),
             run: None,
+            row_runs: Vec::new(),
         }
     }
 
@@ -46,6 +52,21 @@ impl Report {
             "row width must match headers"
         );
         self.rows.push(cells);
+        self.row_runs.push(None);
+    }
+
+    /// Append a row together with the [`RunReport`] measured for it.
+    pub fn row_with_run(&mut self, cells: Vec<String>, run: RunReport) {
+        self.row(cells);
+        *self.row_runs.last_mut().unwrap() = Some(run);
+    }
+
+    /// Rows paired with their runs (for reconciliation checks).
+    pub fn rows_with_runs(&self) -> impl Iterator<Item = (&[String], Option<&RunReport>)> + '_ {
+        self.rows
+            .iter()
+            .map(Vec::as_slice)
+            .zip(self.row_runs.iter().map(Option::as_ref))
     }
 
     /// Append an interpretation note.
@@ -77,7 +98,65 @@ impl Report {
             Some(run) => o.raw("run", &run.to_json()),
             None => o.raw("run", "null"),
         };
+        let row_runs = array(self.row_runs.iter().map(|r| match r {
+            Some(run) => run.to_json(),
+            None => "null".to_string(),
+        }));
+        o.raw("row_runs", &row_runs);
         o.finish()
+    }
+
+    /// The per-row sweep history as a small text plot: for every row
+    /// with an attached run, the sweep value (first cell) against total
+    /// definitions fired and rewrite rules accepted in that row's
+    /// measurement — the shape of the semantics across the sweep, next
+    /// to the byte counts the table already shows.
+    fn sweep_plot(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let runs: Vec<(&str, &RunReport)> = self
+            .rows
+            .iter()
+            .zip(&self.row_runs)
+            .filter_map(|(row, run)| Some((row[0].as_str(), run.as_ref()?)))
+            .collect();
+        if runs.is_empty() {
+            return Ok(());
+        }
+        let defs = |r: &RunReport| r.metrics.defs().iter().map(|&(_, n)| n).sum::<u64>();
+        let rules = |r: &RunReport| r.metrics.rules().map(|(_, s)| s.accepted).sum::<u64>();
+        let max_defs = runs.iter().map(|(_, r)| defs(r)).max().unwrap_or(0).max(1);
+        let max_rules = runs.iter().map(|(_, r)| rules(r)).max().unwrap_or(0).max(1);
+        let axis_w = runs
+            .iter()
+            .map(|(v, _)| v.len())
+            .max()
+            .unwrap_or(0)
+            .max(self.headers[0].len());
+        const BAR: usize = 24;
+        let bar = |n: u64, max: u64| {
+            let filled = ((n as f64 / max as f64) * BAR as f64).round() as usize;
+            format!("{:█<filled$}{:·<rest$}", "", "", rest = BAR - filled)
+        };
+        writeln!(
+            f,
+            "  per-row runs ({} vs definitions fired / rules accepted):",
+            self.headers[0]
+        )?;
+        for (v, r) in &runs {
+            writeln!(
+                f,
+                "  {v:>axis_w$}  defs {} {:>4}   rules {} {:>4}{}",
+                bar(defs(r), max_defs),
+                defs(r),
+                bar(rules(r), max_rules),
+                rules(r),
+                if r.reconciled {
+                    ""
+                } else {
+                    "  ⚠ unreconciled"
+                }
+            )?;
+        }
+        Ok(())
     }
 }
 
@@ -103,6 +182,7 @@ impl fmt::Display for Report {
         for row in &self.rows {
             line(f, row)?;
         }
+        self.sweep_plot(f)?;
         for n in &self.notes {
             writeln!(f, "  · {n}")?;
         }
@@ -175,6 +255,41 @@ mod tests {
         r.attach_run(run);
         assert!(r.to_json().contains("\"run\":{\"title\":\"rep\""));
         assert!(r.to_string().contains("=== rep ==="));
+    }
+
+    #[test]
+    fn per_row_runs_plot_and_export() {
+        let mut metrics = axml_obs::EvalMetrics::new();
+        metrics.record_def(1);
+        metrics.record_def(7);
+        metrics.record_rule("R10-delegate", true);
+        let stats = axml_net::NetStats::new();
+        let mut r = Report::new("E0", "demo", vec!["k", "bytes"]);
+        r.row(vec!["1".into(), "100".into()]);
+        r.row_with_run(
+            vec!["2".into(), "50".into()],
+            RunReport::new("k=2", &metrics, &stats),
+        );
+        assert_eq!(r.row_runs.len(), 2);
+        assert!(r.row_runs[0].is_none() && r.row_runs[1].is_some());
+        let pairs: Vec<_> = r.rows_with_runs().collect();
+        assert_eq!(pairs[1].0[0], "2");
+        assert_eq!(pairs[1].1.unwrap().title, "k=2");
+        // JSON: one entry per row, null for run-less rows.
+        let json = r.to_json();
+        assert!(
+            json.contains("\"row_runs\":[null,{\"title\":\"k=2\""),
+            "{json}"
+        );
+        // Display: sweep plot shows the run row's defs/rules bars.
+        let text = r.to_string();
+        assert!(text.contains("per-row runs"), "{text}");
+        assert!(text.contains("defs") && text.contains("rules"), "{text}");
+        assert!(text.contains('█'), "bars drawn: {text}");
+        // A run-less report draws no plot.
+        let mut plain = Report::new("E0", "plain", vec!["a"]);
+        plain.row(vec!["x".into()]);
+        assert!(!plain.to_string().contains("per-row runs"));
     }
 
     #[test]

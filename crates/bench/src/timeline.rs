@@ -1,0 +1,541 @@
+//! Per-peer timeline / message sequence chart rendering over decoded
+//! trace events.
+//!
+//! The engine's overlap claim — independent transfers are in flight
+//! *simultaneously* — is exactly what a timeline makes checkable by
+//! eye. [`Timeline::from_events`] folds a trace into per-peer lanes of
+//! point marks (definitions, tasks, service calls, deltas) plus one
+//! in-flight window per [`TraceEvent::MessageSent`] (its
+//! `sent_ms → at_ms` span); [`Timeline::render_ascii`] draws aligned
+//! text, [`Timeline::render_svg`] a hand-rolled SVG sequence chart (no
+//! dependencies — the offline-build rule applies to tooling too).
+//!
+//! All positions come from the simulator-exact `at_ms`/`sent_ms`
+//! fields: the chart is a scaled plot of the discrete-event clock, not
+//! an artist's impression. Optimizer events (`RuleAttempted`,
+//! `PlanChosen`) carry estimated cost instead of simulated time and are
+//! summarized in the footer rather than drawn.
+
+use axml_obs::TraceEvent;
+use std::fmt::Write as _;
+
+/// One point mark on a peer's lane.
+#[derive(Debug, Clone)]
+pub struct Mark {
+    /// The lane (peer index).
+    pub peer: u32,
+    /// Simulated time.
+    pub at_ms: f64,
+    /// Single-character glyph for the ASCII lane.
+    pub glyph: char,
+    /// Human label (used for SVG tooltips).
+    pub label: String,
+}
+
+/// One message's in-flight window.
+#[derive(Debug, Clone)]
+pub struct Flight {
+    /// Sender lane.
+    pub from: u32,
+    /// Receiver lane.
+    pub to: u32,
+    /// Message kind name.
+    pub kind: String,
+    /// Charged bytes.
+    pub bytes: u64,
+    /// Window start (simulated send time).
+    pub sent_ms: f64,
+    /// Window end (simulated arrival).
+    pub at_ms: f64,
+}
+
+/// A trace folded into renderable lanes and flights.
+#[derive(Debug, Default)]
+pub struct Timeline {
+    /// Number of lanes (highest peer index seen + 1).
+    pub peers: u32,
+    /// Per-lane point marks, in trace order.
+    pub marks: Vec<Mark>,
+    /// In-flight windows, in trace order.
+    pub flights: Vec<Flight>,
+    /// Optimizer events (no simulated timestamp; summarized, not drawn).
+    pub untimed: usize,
+    /// Deliveries observed (cross-checkable against `flights.len()`).
+    pub delivered: usize,
+}
+
+/// Glyphs for the ASCII lanes, one per drawn event kind.
+pub const GLYPH_DEFINITION: char = '●';
+/// Task-scheduled mark.
+pub const GLYPH_TASK: char = '·';
+/// Delegation mark (drawn on both lanes).
+pub const GLYPH_DELEGATION: char = '◇';
+/// Service-call mark (drawn on caller and provider lanes).
+pub const GLYPH_SERVICE: char = '§';
+/// Subscription-delta mark.
+pub const GLYPH_DELTA: char = '▲';
+
+impl Timeline {
+    /// Fold a decoded event stream into a timeline.
+    pub fn from_events(events: &[TraceEvent]) -> Self {
+        let mut tl = Timeline::default();
+        let lane = |tl: &mut Timeline, p: u32| tl.peers = tl.peers.max(p + 1);
+        for e in events {
+            match e {
+                TraceEvent::Definition {
+                    def,
+                    peer,
+                    expr,
+                    at_ms,
+                } => {
+                    lane(&mut tl, peer.0);
+                    tl.marks.push(Mark {
+                        peer: peer.0,
+                        at_ms: *at_ms,
+                        glyph: GLYPH_DEFINITION,
+                        label: format!("def({def}) {expr}"),
+                    });
+                }
+                TraceEvent::TaskScheduled { peer, task, at_ms } => {
+                    lane(&mut tl, peer.0);
+                    tl.marks.push(Mark {
+                        peer: peer.0,
+                        at_ms: *at_ms,
+                        glyph: GLYPH_TASK,
+                        label: format!("task {task}"),
+                    });
+                }
+                TraceEvent::Delegation { from, to, at_ms } => {
+                    lane(&mut tl, from.0);
+                    lane(&mut tl, to.0);
+                    for p in [from.0, to.0] {
+                        tl.marks.push(Mark {
+                            peer: p,
+                            at_ms: *at_ms,
+                            glyph: GLYPH_DELEGATION,
+                            label: format!("delegate p{}→p{}", from.0, to.0),
+                        });
+                    }
+                }
+                TraceEvent::ServiceCall {
+                    caller,
+                    provider,
+                    service,
+                    call_id,
+                    at_ms,
+                } => {
+                    lane(&mut tl, caller.0);
+                    lane(&mut tl, provider.0);
+                    tl.marks.push(Mark {
+                        peer: caller.0,
+                        at_ms: *at_ms,
+                        glyph: GLYPH_SERVICE,
+                        label: format!("call #{call_id} {service}"),
+                    });
+                }
+                TraceEvent::SubscriptionDelta {
+                    subscription,
+                    provider,
+                    fresh,
+                    suppressed,
+                    at_ms,
+                } => {
+                    lane(&mut tl, provider.0);
+                    tl.marks.push(Mark {
+                        peer: provider.0,
+                        at_ms: *at_ms,
+                        glyph: GLYPH_DELTA,
+                        label: format!(
+                            "sub#{subscription}: {fresh} fresh, {suppressed} suppressed"
+                        ),
+                    });
+                }
+                TraceEvent::MessageSent {
+                    from,
+                    to,
+                    kind,
+                    bytes,
+                    sent_ms,
+                    at_ms,
+                } => {
+                    lane(&mut tl, from.0);
+                    lane(&mut tl, to.0);
+                    tl.flights.push(Flight {
+                        from: from.0,
+                        to: to.0,
+                        kind: kind.as_str().to_string(),
+                        bytes: *bytes,
+                        sent_ms: *sent_ms,
+                        at_ms: *at_ms,
+                    });
+                }
+                TraceEvent::MessageDelivered { from, to, .. } => {
+                    lane(&mut tl, from.0);
+                    lane(&mut tl, to.0);
+                    tl.delivered += 1;
+                }
+                TraceEvent::RuleAttempted { .. } | TraceEvent::PlanChosen { .. } => {
+                    tl.untimed += 1;
+                }
+            }
+        }
+        tl
+    }
+
+    /// Whether nothing is drawable (no timed events at all).
+    pub fn is_empty(&self) -> bool {
+        self.marks.is_empty() && self.flights.is_empty()
+    }
+
+    /// The simulated time range `[t0, t1]` covered by drawn events.
+    pub fn time_range(&self) -> (f64, f64) {
+        let mut t0 = f64::INFINITY;
+        let mut t1 = f64::NEG_INFINITY;
+        for m in &self.marks {
+            t0 = t0.min(m.at_ms);
+            t1 = t1.max(m.at_ms);
+        }
+        for f in &self.flights {
+            t0 = t0.min(f.sent_ms);
+            t1 = t1.max(f.at_ms);
+        }
+        if t0 > t1 {
+            (0.0, 0.0)
+        } else {
+            (t0, t1)
+        }
+    }
+
+    /// The largest number of messages simultaneously in flight — the
+    /// overlap the message-driven engine exists to create. 0 or 1 on a
+    /// strictly sequential trace.
+    pub fn max_concurrent_flights(&self) -> usize {
+        self.flights
+            .iter()
+            .map(|probe| {
+                self.flights
+                    .iter()
+                    .filter(|f| f.sent_ms <= probe.sent_ms && probe.sent_ms < f.at_ms)
+                    .count()
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Render aligned ASCII: one lane per peer with glyph marks, then
+    /// one row per in-flight window, positioned on a shared time scale
+    /// of `width` columns. Vertically aligned overlapping bars are the
+    /// visual proof of transfer concurrency.
+    pub fn render_ascii(&self, width: usize) -> String {
+        let width = width.clamp(20, 4000);
+        let mut out = String::new();
+        if self.is_empty() {
+            out.push_str("(no timed events)\n");
+            return out;
+        }
+        let (t0, t1) = self.time_range();
+        let span = (t1 - t0).max(f64::MIN_POSITIVE);
+        let col = |t: f64| -> usize { (((t - t0) / span) * (width - 1) as f64).round() as usize };
+        let label_w = format!("p{}", self.peers.saturating_sub(1)).len().max(4);
+        let _ = writeln!(
+            out,
+            "time {t0:.3} ms .. {t1:.3} ms  ({width} cols, {} peers, {} flights)",
+            self.peers,
+            self.flights.len()
+        );
+        // Lanes.
+        for p in 0..self.peers {
+            let mut lane: Vec<char> = vec!['─'; width];
+            for m in self.marks.iter().filter(|m| m.peer == p) {
+                let c = col(m.at_ms);
+                // Definitions outrank tasks when both land on one column.
+                if lane[c] == '─' || m.glyph != GLYPH_TASK {
+                    lane[c] = m.glyph;
+                }
+            }
+            let _ = writeln!(
+                out,
+                "{:<label_w$} {}",
+                format!("p{p}"),
+                lane.into_iter().collect::<String>()
+            );
+        }
+        // Flight rows, ordered by send time.
+        if !self.flights.is_empty() {
+            let _ = writeln!(out, "{:-<w$}", "", w = label_w + 1 + width);
+            let mut order: Vec<&Flight> = self.flights.iter().collect();
+            order.sort_by(|a, b| {
+                a.sent_ms
+                    .partial_cmp(&b.sent_ms)
+                    .unwrap_or(std::cmp::Ordering::Equal)
+            });
+            let tag_w = order
+                .iter()
+                .map(|f| flight_tag(f).len())
+                .max()
+                .unwrap_or(0)
+                .max(label_w);
+            for f in order {
+                let (a, b) = (col(f.sent_ms), col(f.at_ms).max(col(f.sent_ms)));
+                let mut row: Vec<char> = vec![' '; width];
+                for (i, cell) in row.iter_mut().enumerate().take(b + 1).skip(a) {
+                    *cell = if i == b {
+                        '►'
+                    } else if i == a {
+                        '├'
+                    } else {
+                        '─'
+                    };
+                }
+                let _ = writeln!(
+                    out,
+                    "{:<tag_w$} {}",
+                    flight_tag(f),
+                    row.into_iter().collect::<String>()
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "marks: {} definition  {} task  {} delegation  {} service-call  {} delta   flight: ├──►  (send → arrival)",
+            GLYPH_DEFINITION, GLYPH_TASK, GLYPH_DELEGATION, GLYPH_SERVICE, GLYPH_DELTA
+        );
+        let _ = writeln!(
+            out,
+            "max concurrent flights: {}{}",
+            self.max_concurrent_flights(),
+            if self.untimed > 0 {
+                format!("   ({} optimizer events not drawn)", self.untimed)
+            } else {
+                String::new()
+            }
+        );
+        out
+    }
+
+    /// Render a self-contained SVG message sequence chart: one
+    /// horizontal lane per peer, circles for marks, slanted arrows from
+    /// `(sent_ms, from)` to `(at_ms, to)` for each flight. Every shape
+    /// carries a `<title>` tooltip with the exact simulated times.
+    pub fn render_svg(&self) -> String {
+        const W: f64 = 1000.0;
+        const LANE_H: f64 = 48.0;
+        const PAD_X: f64 = 60.0;
+        const PAD_Y: f64 = 40.0;
+        let h = PAD_Y * 2.0 + LANE_H * self.peers.max(1) as f64;
+        let (t0, t1) = self.time_range();
+        let span = (t1 - t0).max(f64::MIN_POSITIVE);
+        let x = |t: f64| PAD_X + (t - t0) / span * (W - 2.0 * PAD_X);
+        let y = |p: u32| PAD_Y + (p as f64 + 0.5) * LANE_H;
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" viewBox="0 0 {W} {h}" font-family="monospace" font-size="12">"#
+        );
+        let _ = writeln!(
+            s,
+            r##"<defs><marker id="arrow" viewBox="0 0 10 10" refX="9" refY="5" markerWidth="7" markerHeight="7" orient="auto-start-reverse"><path d="M 0 0 L 10 5 L 0 10 z" fill="#555"/></marker></defs>"##
+        );
+        let _ = writeln!(
+            s,
+            r##"<text x="{PAD_X}" y="20" fill="#333">trace timeline: {:.3} ms .. {:.3} ms, {} peers, {} flights, max {} concurrent</text>"##,
+            t0,
+            t1,
+            self.peers,
+            self.flights.len(),
+            self.max_concurrent_flights()
+        );
+        // Lanes.
+        for p in 0..self.peers {
+            let yy = y(p);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{PAD_X}" y1="{yy}" x2="{:.1}" y2="{yy}" stroke="#bbb"/><text x="10" y="{:.1}" fill="#333">p{p}</text>"##,
+                W - PAD_X,
+                yy + 4.0
+            );
+        }
+        // Flights: slanted arrows with the in-flight window annotated.
+        for f in &self.flights {
+            let _ = writeln!(
+                s,
+                r##"<line x1="{:.2}" y1="{:.2}" x2="{:.2}" y2="{:.2}" stroke="#555" marker-end="url(#arrow)"><title>{} p{}→p{} {} B, sent {:.3} ms, arrives {:.3} ms</title></line>"##,
+                x(f.sent_ms),
+                y(f.from),
+                x(f.at_ms),
+                y(f.to),
+                esc(&f.kind),
+                f.from,
+                f.to,
+                f.bytes,
+                f.sent_ms,
+                f.at_ms
+            );
+        }
+        // Marks on top of lanes.
+        for m in &self.marks {
+            let fill = match m.glyph {
+                GLYPH_DEFINITION => "#1f77b4",
+                GLYPH_DELEGATION => "#9467bd",
+                GLYPH_SERVICE => "#2ca02c",
+                GLYPH_DELTA => "#d62728",
+                _ => "#999",
+            };
+            let _ = writeln!(
+                s,
+                r#"<circle cx="{:.2}" cy="{:.2}" r="{}" fill="{fill}"><title>p{} @{:.3} ms: {}</title></circle>"#,
+                x(m.at_ms),
+                y(m.peer),
+                if m.glyph == GLYPH_TASK { 2.0 } else { 3.5 },
+                m.peer,
+                m.at_ms,
+                esc(&m.label)
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+fn flight_tag(f: &Flight) -> String {
+    format!("p{}→p{} {} {}B", f.from, f.to, f.kind, f.bytes)
+}
+
+/// Minimal XML text escaping for SVG content.
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use axml_obs::{DataTag, MessageKind};
+    use axml_xml::ids::PeerId;
+
+    fn sample() -> Vec<TraceEvent> {
+        vec![
+            TraceEvent::TaskScheduled {
+                peer: PeerId(0),
+                task: "eval".into(),
+                at_ms: 0.0,
+            },
+            TraceEvent::Definition {
+                def: 5,
+                peer: PeerId(0),
+                expr: "fetch".into(),
+                at_ms: 0.0,
+            },
+            // Two overlapping transfers out of p0.
+            TraceEvent::MessageSent {
+                from: PeerId(0),
+                to: PeerId(1),
+                kind: MessageKind::Request,
+                bytes: 100,
+                sent_ms: 0.0,
+                at_ms: 10.0,
+            },
+            TraceEvent::MessageSent {
+                from: PeerId(0),
+                to: PeerId(2),
+                kind: MessageKind::Request,
+                bytes: 100,
+                sent_ms: 0.0,
+                at_ms: 12.0,
+            },
+            TraceEvent::MessageDelivered {
+                from: PeerId(0),
+                to: PeerId(1),
+                kind: MessageKind::Request,
+                bytes: 100,
+                at_ms: 10.0,
+            },
+            TraceEvent::MessageDelivered {
+                from: PeerId(0),
+                to: PeerId(2),
+                kind: MessageKind::Request,
+                bytes: 100,
+                at_ms: 12.0,
+            },
+            TraceEvent::MessageSent {
+                from: PeerId(2),
+                to: PeerId(0),
+                kind: MessageKind::Data(DataTag::Fetch),
+                bytes: 500,
+                sent_ms: 12.0,
+                at_ms: 30.0,
+            },
+            TraceEvent::RuleAttempted {
+                rule: "R10-delegate".into(),
+                accepted: true,
+                cost: 1.0,
+            },
+        ]
+    }
+
+    #[test]
+    fn folds_events_into_lanes_and_flights() {
+        let tl = Timeline::from_events(&sample());
+        assert_eq!(tl.peers, 3);
+        assert_eq!(tl.flights.len(), 3);
+        assert_eq!(tl.delivered, 2);
+        assert_eq!(tl.marks.len(), 2);
+        assert_eq!(tl.untimed, 1);
+        assert_eq!(tl.time_range(), (0.0, 30.0));
+        assert_eq!(tl.max_concurrent_flights(), 2);
+    }
+
+    #[test]
+    fn ascii_rendering_shape() {
+        let tl = Timeline::from_events(&sample());
+        let text = tl.render_ascii(60);
+        // One lane per peer.
+        for p in ["p0 ", "p1 ", "p2 "] {
+            assert!(text.contains(p), "{text}");
+        }
+        // One row per flight (tagged "pA→pB kind"), ending in an arrow.
+        let flights: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with('p') && l.contains('→'))
+            .collect();
+        assert_eq!(flights.len(), 3, "{text}");
+        assert!(flights.iter().all(|l| l.contains('►')), "{text}");
+        assert!(text.contains("max concurrent flights: 2"), "{text}");
+        // All lane lines (peer label, no arrow tag) have the same width.
+        let lanes: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with('p') && !l.contains('→'))
+            .collect();
+        assert_eq!(lanes.len(), 3, "{text}");
+        let widths: Vec<usize> = lanes.iter().map(|l| l.chars().count()).collect();
+        assert!(widths.windows(2).all(|w| w[0] == w[1]), "{widths:?}");
+    }
+
+    #[test]
+    fn empty_trace_renders_placeholder() {
+        let tl = Timeline::from_events(&[]);
+        assert!(tl.is_empty());
+        assert!(tl.render_ascii(80).contains("no timed events"));
+        assert!(tl.render_svg().starts_with("<svg"));
+    }
+
+    #[test]
+    fn svg_rendering_shape() {
+        let tl = Timeline::from_events(&sample());
+        let svg = tl.render_svg();
+        assert!(svg.starts_with("<svg") && svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<line").count(), 3 + 3, "3 lanes + 3 flights");
+        assert_eq!(svg.matches("<circle").count(), 2);
+        assert!(svg.contains("max 2 concurrent"), "{svg}");
+        // Tooltips carry exact times.
+        assert!(svg.contains("sent 12.000 ms, arrives 30.000 ms"), "{svg}");
+    }
+
+    #[test]
+    fn width_is_clamped() {
+        let tl = Timeline::from_events(&sample());
+        let narrow = tl.render_ascii(1);
+        assert!(narrow.contains("20 cols"), "{narrow}");
+    }
+}

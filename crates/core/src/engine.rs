@@ -307,7 +307,7 @@ impl AxmlSystem {
         let at_ms = self.net.now_ms();
         self.obs.emit(|| TraceEvent::TaskScheduled {
             peer,
-            task: name,
+            task: name.into(),
             at_ms,
         });
         s.ready.push_back(task);
@@ -316,11 +316,16 @@ impl AxmlSystem {
     /// Drive the session to quiescence: run ready tasks, then deliver
     /// the earliest batch of in-flight messages, until both are empty.
     /// On error the network's in-flight queue is cleared (statistics are
-    /// kept — the bytes were charged when they entered the link).
+    /// kept — the bytes were charged when they entered the link). Either
+    /// way the trace sink is flushed (best effort) so file-backed sinks
+    /// are durable up to every quiescence point.
     pub(crate) fn run_session(&mut self, s: &mut EvalSession) -> CoreResult<()> {
         let r = self.run_session_inner(s);
         if r.is_err() {
             self.net.clear_in_flight();
+        }
+        if let Err(e) = self.obs.flush() {
+            eprintln!("axml-core: trace flush at session quiescence failed: {e}");
         }
         r
     }
@@ -404,6 +409,7 @@ impl AxmlSystem {
         }
         let kind = msg.kind();
         let charged = self.net.link(from, to).charged_bytes(msg.wire_size()) as u64;
+        let sent = self.net.now_ms();
         let at = match self.net.try_send(from, to, Wire { msg, intent }) {
             Ok(at) => at,
             Err(NetError::LinkDown(..)) => {
@@ -417,6 +423,7 @@ impl AxmlSystem {
             to,
             kind,
             bytes: charged,
+            sent_ms: sent,
             at_ms: at,
         });
         Ok(())
@@ -1333,7 +1340,7 @@ impl AxmlSystem {
         self.obs.emit(|| TraceEvent::Definition {
             def,
             peer,
-            expr,
+            expr: expr.into(),
             at_ms,
         });
     }

@@ -102,7 +102,10 @@ pub mod prelude {
     pub use crate::service::Service;
     pub use crate::system::AxmlSystem;
     pub use axml_net::link::{LinkCost, Topology};
-    pub use axml_obs::{DataTag, EvalMetrics, MessageKind, Obs, RunReport, TraceEvent, VecSink};
+    pub use axml_obs::{
+        BinSink, DataTag, EvalMetrics, FanoutSink, JsonlSink, MessageKind, Obs, RunReport,
+        SharedBuf, TraceEvent, TraceReader, TraceSink, VecSink,
+    };
     pub use axml_query::Query;
     pub use axml_xml::ids::{DocName, NodeAddr, PeerId, QueryName, ServiceName};
 }

@@ -145,7 +145,7 @@ impl Optimizer {
                     let accepted = cost.scalar() < best.cost.scalar();
                     obs.metrics.record_rule(rule, accepted);
                     obs.emit(|| TraceEvent::RuleAttempted {
-                        rule,
+                        rule: rule.into(),
                         accepted,
                         cost: cost.scalar(),
                     });
@@ -175,7 +175,7 @@ impl Optimizer {
             site,
             explored,
             cost: best.cost.scalar(),
-            trace: best.trace.clone(),
+            trace: best.trace.iter().map(|&r| r.into()).collect(),
         });
         best
     }

@@ -203,9 +203,18 @@ impl AxmlSystem {
         self.obs.set_sink(sink);
     }
 
-    /// Detach the trace sink (tracing reverts to zero-cost).
+    /// Detach the trace sink (tracing reverts to zero-cost). The sink
+    /// is flushed before it is returned, so buffered file sinks lose no
+    /// tail events on detach.
     pub fn clear_trace_sink(&mut self) -> Option<Box<dyn TraceSink>> {
         self.obs.clear_sink()
+    }
+
+    /// Flush the attached trace sink, if any (see
+    /// [`axml_obs::TraceSink::flush`]). The engine also flushes at
+    /// every session quiescence point.
+    pub fn flush_trace(&mut self) -> std::io::Result<()> {
+        self.obs.flush()
     }
 
     /// Snapshot metrics + network stats as a [`RunReport`].

@@ -1,0 +1,460 @@
+//! The `AXTR` binary trace encoding: compact, self-describing,
+//! append-friendly.
+//!
+//! # File layout
+//!
+//! ```text
+//! +-------------------+----------------------------------------------+
+//! | header (5 bytes)  | magic "AXTR" (0x41 0x58 0x54 0x52) + version |
+//! +-------------------+----------------------------------------------+
+//! | record 0          | u32 LE payload length, then the payload      |
+//! | record 1          |                                              |
+//! | …                 |                                              |
+//! +-------------------+----------------------------------------------+
+//! ```
+//!
+//! The current version byte is [`VERSION`] (`0x01`). Readers reject
+//! other versions; writers always stamp the current one. Length-prefix
+//! framing makes the format tolerant of truncated tails: a file cut
+//! mid-record still yields every complete record before the cut.
+//!
+//! # Record payload
+//!
+//! One byte of event tag (1–9, [`TraceEvent::kind`] order), then the
+//! variant's fields in declaration order, each fixed-width
+//! little-endian:
+//!
+//! | field type | encoding |
+//! |------------|----------|
+//! | `PeerId`   | `u32` LE |
+//! | `u64` / timestamps (`f64`) | 8 bytes LE (floats as IEEE-754 bits — bit-exact, NaN included) |
+//! | `u8` (definition number) / `bool` | 1 byte |
+//! | `usize` counts | `u32` LE |
+//! | strings | `u32` LE byte length + UTF-8 bytes |
+//! | `Vec<String>` | `u32` LE element count + each string |
+//! | [`MessageKind`] | 1 byte ([`MessageKind::wire_code`]) |
+//!
+//! The encoding is intentionally *not* general-purpose: it knows the
+//! nine event shapes and nothing else, which keeps records 3–10×
+//! smaller than their JSONL rendering and decoding allocation-free for
+//! all-numeric events.
+
+use crate::kind::MessageKind;
+use crate::trace::{TraceEvent, TraceStr};
+use axml_xml::ids::PeerId;
+
+/// The 4-byte magic at offset 0 of every binary trace file.
+pub const MAGIC: [u8; 4] = *b"AXTR";
+
+/// The current format version byte (offset 4).
+pub const VERSION: u8 = 0x01;
+
+/// Event tag bytes, in [`TraceEvent::kind`] documentation order.
+mod tag {
+    pub const DEFINITION: u8 = 1;
+    pub const DELEGATION: u8 = 2;
+    pub const MESSAGE_SENT: u8 = 3;
+    pub const MESSAGE_DELIVERED: u8 = 4;
+    pub const TASK_SCHEDULED: u8 = 5;
+    pub const RULE_ATTEMPTED: u8 = 6;
+    pub const PLAN_CHOSEN: u8 = 7;
+    pub const SERVICE_CALL: u8 = 8;
+    pub const SUBSCRIPTION_DELTA: u8 = 9;
+}
+
+/// Append the 5-byte file header to `out`.
+pub fn write_header(out: &mut Vec<u8>) {
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+}
+
+/// Check a file header. Returns the number of header bytes consumed.
+pub fn check_header(bytes: &[u8]) -> Result<usize, String> {
+    if bytes.len() < 5 {
+        return Err("file shorter than the 5-byte AXTR header".into());
+    }
+    if bytes[..4] != MAGIC {
+        return Err("bad magic (not an AXTR trace)".into());
+    }
+    if bytes[4] != VERSION {
+        return Err(format!(
+            "unsupported AXTR version {} (this reader speaks {VERSION})",
+            bytes[4]
+        ));
+    }
+    Ok(5)
+}
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_peer(out: &mut Vec<u8>, p: PeerId) {
+    put_u32(out, p.0);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+/// Encode one event as a record payload (no length prefix).
+pub fn encode_payload(event: &TraceEvent, out: &mut Vec<u8>) {
+    match event {
+        TraceEvent::Definition {
+            def,
+            peer,
+            expr,
+            at_ms,
+        } => {
+            out.push(tag::DEFINITION);
+            out.push(*def);
+            put_peer(out, *peer);
+            put_str(out, expr);
+            put_f64(out, *at_ms);
+        }
+        TraceEvent::Delegation { from, to, at_ms } => {
+            out.push(tag::DELEGATION);
+            put_peer(out, *from);
+            put_peer(out, *to);
+            put_f64(out, *at_ms);
+        }
+        TraceEvent::MessageSent {
+            from,
+            to,
+            kind,
+            bytes,
+            sent_ms,
+            at_ms,
+        } => {
+            out.push(tag::MESSAGE_SENT);
+            put_peer(out, *from);
+            put_peer(out, *to);
+            out.push(kind.wire_code());
+            put_u64(out, *bytes);
+            put_f64(out, *sent_ms);
+            put_f64(out, *at_ms);
+        }
+        TraceEvent::MessageDelivered {
+            from,
+            to,
+            kind,
+            bytes,
+            at_ms,
+        } => {
+            out.push(tag::MESSAGE_DELIVERED);
+            put_peer(out, *from);
+            put_peer(out, *to);
+            out.push(kind.wire_code());
+            put_u64(out, *bytes);
+            put_f64(out, *at_ms);
+        }
+        TraceEvent::TaskScheduled { peer, task, at_ms } => {
+            out.push(tag::TASK_SCHEDULED);
+            put_peer(out, *peer);
+            put_str(out, task);
+            put_f64(out, *at_ms);
+        }
+        TraceEvent::RuleAttempted {
+            rule,
+            accepted,
+            cost,
+        } => {
+            out.push(tag::RULE_ATTEMPTED);
+            put_str(out, rule);
+            out.push(*accepted as u8);
+            put_f64(out, *cost);
+        }
+        TraceEvent::PlanChosen {
+            site,
+            explored,
+            cost,
+            trace,
+        } => {
+            out.push(tag::PLAN_CHOSEN);
+            put_peer(out, *site);
+            put_u32(out, *explored as u32);
+            put_f64(out, *cost);
+            put_u32(out, trace.len() as u32);
+            for rule in trace {
+                put_str(out, rule);
+            }
+        }
+        TraceEvent::ServiceCall {
+            caller,
+            provider,
+            service,
+            call_id,
+            at_ms,
+        } => {
+            out.push(tag::SERVICE_CALL);
+            put_peer(out, *caller);
+            put_peer(out, *provider);
+            put_str(out, service);
+            put_u64(out, *call_id);
+            put_f64(out, *at_ms);
+        }
+        TraceEvent::SubscriptionDelta {
+            subscription,
+            provider,
+            fresh,
+            suppressed,
+            at_ms,
+        } => {
+            out.push(tag::SUBSCRIPTION_DELTA);
+            put_u64(out, *subscription);
+            put_peer(out, *provider);
+            put_u32(out, *fresh as u32);
+            put_u32(out, *suppressed as u32);
+            put_f64(out, *at_ms);
+        }
+    }
+}
+
+/// Encode one event as a complete framed record (u32 LE length prefix +
+/// payload), appended to `out`.
+pub fn encode_record(event: &TraceEvent, out: &mut Vec<u8>) {
+    let start = out.len();
+    put_u32(out, 0); // patched below
+    encode_payload(event, out);
+    let len = (out.len() - start - 4) as u32;
+    out[start..start + 4].copy_from_slice(&len.to_le_bytes());
+}
+
+/// A cursor over one record payload.
+struct Cur<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cur<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        if self.pos + n > self.bytes.len() {
+            return Err("record payload too short".into());
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn peer(&mut self) -> Result<PeerId, String> {
+        Ok(PeerId(self.u32()?))
+    }
+
+    fn str(&mut self) -> Result<TraceStr, String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        let s = std::str::from_utf8(bytes).map_err(|_| "invalid UTF-8 in string".to_string())?;
+        Ok(TraceStr::Owned(s.to_string()))
+    }
+
+    fn kind(&mut self) -> Result<MessageKind, String> {
+        let code = self.u8()?;
+        MessageKind::from_wire_code(code).ok_or_else(|| format!("unknown message-kind code {code}"))
+    }
+
+    fn finish(self) -> Result<(), String> {
+        if self.pos == self.bytes.len() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} trailing bytes after record payload",
+                self.bytes.len() - self.pos
+            ))
+        }
+    }
+}
+
+/// Decode one record payload (the bytes after the length prefix).
+pub fn decode_payload(payload: &[u8]) -> Result<TraceEvent, String> {
+    let mut c = Cur {
+        bytes: payload,
+        pos: 0,
+    };
+    let event = match c.u8()? {
+        tag::DEFINITION => TraceEvent::Definition {
+            def: c.u8()?,
+            peer: c.peer()?,
+            expr: c.str()?,
+            at_ms: c.f64()?,
+        },
+        tag::DELEGATION => TraceEvent::Delegation {
+            from: c.peer()?,
+            to: c.peer()?,
+            at_ms: c.f64()?,
+        },
+        tag::MESSAGE_SENT => TraceEvent::MessageSent {
+            from: c.peer()?,
+            to: c.peer()?,
+            kind: c.kind()?,
+            bytes: c.u64()?,
+            sent_ms: c.f64()?,
+            at_ms: c.f64()?,
+        },
+        tag::MESSAGE_DELIVERED => TraceEvent::MessageDelivered {
+            from: c.peer()?,
+            to: c.peer()?,
+            kind: c.kind()?,
+            bytes: c.u64()?,
+            at_ms: c.f64()?,
+        },
+        tag::TASK_SCHEDULED => TraceEvent::TaskScheduled {
+            peer: c.peer()?,
+            task: c.str()?,
+            at_ms: c.f64()?,
+        },
+        tag::RULE_ATTEMPTED => TraceEvent::RuleAttempted {
+            rule: c.str()?,
+            accepted: c.u8()? != 0,
+            cost: c.f64()?,
+        },
+        tag::PLAN_CHOSEN => {
+            let site = c.peer()?;
+            let explored = c.u32()? as usize;
+            let cost = c.f64()?;
+            let n = c.u32()? as usize;
+            if n > payload.len() {
+                return Err("rule-chain length exceeds payload".into());
+            }
+            let mut trace = Vec::with_capacity(n);
+            for _ in 0..n {
+                trace.push(c.str()?);
+            }
+            TraceEvent::PlanChosen {
+                site,
+                explored,
+                cost,
+                trace,
+            }
+        }
+        tag::SERVICE_CALL => TraceEvent::ServiceCall {
+            caller: c.peer()?,
+            provider: c.peer()?,
+            service: c.str()?.into_owned(),
+            call_id: c.u64()?,
+            at_ms: c.f64()?,
+        },
+        tag::SUBSCRIPTION_DELTA => TraceEvent::SubscriptionDelta {
+            subscription: c.u64()?,
+            provider: c.peer()?,
+            fresh: c.u32()? as usize,
+            suppressed: c.u32()? as usize,
+            at_ms: c.f64()?,
+        },
+        other => return Err(format!("unknown event tag {other}")),
+    };
+    c.finish()?;
+    Ok(event)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::tests::one_of_each;
+
+    #[test]
+    fn payload_round_trip_every_kind() {
+        for e in &one_of_each() {
+            let mut buf = Vec::new();
+            encode_payload(e, &mut buf);
+            let back = decode_payload(&buf).unwrap();
+            assert_eq!(&back, e, "payload {buf:?}");
+        }
+    }
+
+    #[test]
+    fn record_framing() {
+        let e = &one_of_each()[0];
+        let mut buf = Vec::new();
+        encode_record(e, &mut buf);
+        let len = u32::from_le_bytes(buf[..4].try_into().unwrap()) as usize;
+        assert_eq!(len, buf.len() - 4);
+        assert_eq!(&decode_payload(&buf[4..]).unwrap(), e);
+    }
+
+    #[test]
+    fn header_checks() {
+        let mut buf = Vec::new();
+        write_header(&mut buf);
+        assert_eq!(check_header(&buf), Ok(5));
+        assert!(check_header(b"AXT").is_err());
+        assert!(check_header(b"NOPE\x01").is_err());
+        assert!(check_header(b"AXTR\x7f").unwrap_err().contains("version"));
+    }
+
+    #[test]
+    fn binary_beats_jsonl_on_size() {
+        let mut bin = Vec::new();
+        let mut jsonl = 0usize;
+        for e in &one_of_each() {
+            encode_record(e, &mut bin);
+            jsonl += e.to_json().len() + 1;
+        }
+        assert!(
+            bin.len() * 2 < jsonl,
+            "binary {} vs jsonl {jsonl}",
+            bin.len()
+        );
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(decode_payload(&[]).is_err());
+        assert!(decode_payload(&[0]).is_err());
+        assert!(decode_payload(&[99]).is_err());
+        assert!(decode_payload(&[tag::DELEGATION, 1]).is_err());
+        // Trailing junk after a valid payload is an error.
+        let mut buf = Vec::new();
+        encode_payload(&one_of_each()[1], &mut buf);
+        buf.push(0xAB);
+        assert!(decode_payload(&buf).unwrap_err().contains("trailing"));
+        // Invalid UTF-8 inside a string field.
+        let mut bad = vec![tag::RULE_ATTEMPTED];
+        bad.extend_from_slice(&2u32.to_le_bytes());
+        bad.extend_from_slice(&[0xFF, 0xFE]);
+        bad.push(1);
+        bad.extend_from_slice(&1.0f64.to_bits().to_le_bytes());
+        assert!(decode_payload(&bad).unwrap_err().contains("UTF-8"));
+    }
+
+    #[test]
+    fn nan_timestamps_are_bit_exact() {
+        let e = TraceEvent::Delegation {
+            from: axml_xml::ids::PeerId(0),
+            to: axml_xml::ids::PeerId(1),
+            at_ms: f64::NAN,
+        };
+        let mut buf = Vec::new();
+        encode_payload(&e, &mut buf);
+        match decode_payload(&buf).unwrap() {
+            TraceEvent::Delegation { at_ms, .. } => {
+                assert_eq!(at_ms.to_bits(), f64::NAN.to_bits())
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+}

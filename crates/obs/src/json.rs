@@ -1,13 +1,27 @@
-//! A minimal hand-rolled JSON writer (no serde in the dependency tree).
+//! A minimal hand-rolled JSON writer **and reader** (no serde in the
+//! dependency tree).
 //!
 //! Produces compact, valid JSON: string escaping per RFC 8259, numbers
 //! rendered via Rust's shortest-roundtrip float formatting (integers
 //! stay integral), `NaN`/infinities — which JSON cannot represent —
-//! rendered as `null`.
+//! rendered as `null`. 64-bit counters go through [`JsonObject::num_u64`]
+//! so values above 2⁵³ never round through a float.
+//!
+//! The reader side ([`parse`] → [`JsonValue`]) exists for the trace
+//! pipeline: `TraceEvent`s written by a `JsonlSink` are decoded back by
+//! `crate::reader::TraceReader` without ever leaving this crate. Numbers
+//! keep their raw token, so `u64::MAX` survives a round trip exactly.
 
 use std::fmt::Write;
 
 /// Escape a string for embedding in a JSON document (without quotes).
+///
+/// Everything RFC 8259 *requires* escaped (`"`, `\`, C0 controls) is
+/// escaped; additionally DEL, the C1 range (`U+007F`–`U+009F`) and the
+/// Unicode line separators (`U+2028`/`U+2029`) are `\u`-escaped so
+/// adversarial peer/service names survive log pipelines and JS `eval`-ish
+/// consumers that choke on raw control characters. All other non-ASCII
+/// passes through as UTF-8 (valid JSON).
 pub fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -17,7 +31,13 @@ pub fn escape(s: &str) -> String {
             '\n' => out.push_str("\\n"),
             '\r' => out.push_str("\\r"),
             '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
+            '\u{8}' => out.push_str("\\b"),
+            '\u{c}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20
+                || (0x7f..=0x9f).contains(&(c as u32))
+                || c == '\u{2028}'
+                || c == '\u{2029}' =>
+            {
                 let _ = write!(out, "\\u{:04x}", c as u32);
             }
             c => out.push(c),
@@ -71,6 +91,14 @@ impl JsonObject {
         self
     }
 
+    /// Add a 64-bit unsigned integer field, emitted exactly — never
+    /// routed through `f64`, so counters above 2⁵³ keep every digit.
+    pub fn num_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
     /// Add a boolean field.
     pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
         self.key(k);
@@ -106,6 +134,307 @@ pub fn array(items: impl IntoIterator<Item = String>) -> String {
     format!("[{}]", items.join(","))
 }
 
+/// A parsed JSON value.
+///
+/// Numbers keep their **raw source token** so integer fields re-parse
+/// exactly (`u64::MAX` does not round through `f64`); use [`JsonValue::as_u64`]
+/// or [`JsonValue::as_f64`] to interpret them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, stored as its raw token text.
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<JsonValue>),
+    /// An object, in source order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// The value as a float (`Null` reads as NaN — the writer encodes
+    /// non-finite floats as `null`).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            JsonValue::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact unsigned 64-bit integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Look up a field of an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a complete JSON document (one value, optionally surrounded by
+/// whitespace). Returns a description of the first problem on failure.
+pub fn parse(src: &str) -> Result<JsonValue, String> {
+    let mut p = Parser {
+        bytes: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing garbage at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!("expected '{}' at byte {}", b as char, self.pos))
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'"') => self.string().map(JsonValue::Str),
+            Some(b'[') => self.arr(),
+            Some(b'{') => self.obj(),
+            Some(b'-') | Some(b'0'..=b'9') => self.num(),
+            _ => Err(format!("unexpected input at byte {}", self.pos)),
+        }
+    }
+
+    fn num(&mut self) -> Result<JsonValue, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let digits_start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        if self.pos == digits_start {
+            return Err(format!("malformed number at byte {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e') | Some(b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        if raw.parse::<f64>().is_err() {
+            return Err(format!("malformed number at byte {start}"));
+        }
+        Ok(JsonValue::Num(raw.to_string()))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xd800..0xdc00).contains(&hi) {
+                                // Surrogate pair: a low surrogate must follow.
+                                if self.peek() == Some(b'\\') {
+                                    self.pos += 1;
+                                    self.expect(b'u')
+                                        .map_err(|_| "lone high surrogate".to_string())?;
+                                    let lo = self.hex4()?;
+                                    if !(0xdc00..0xe000).contains(&lo) {
+                                        return Err("invalid low surrogate".into());
+                                    }
+                                    let cp = 0x10000 + ((hi - 0xd800) << 10) + (lo - 0xdc00);
+                                    char::from_u32(cp).ok_or("invalid surrogate pair")?
+                                } else {
+                                    return Err("lone high surrogate".into());
+                                }
+                            } else if (0xdc00..0xe000).contains(&hi) {
+                                return Err("lone low surrogate".into());
+                            } else {
+                                char::from_u32(hi).ok_or("invalid \\u escape")?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(format!("bad escape '\\{}'", esc as char)),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err("raw control character in string".into()),
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is a &str, so
+                    // boundaries are valid by construction).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8".to_string())?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return Err("truncated \\u escape".into());
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| "invalid \\u escape".to_string())?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| "invalid \\u escape".to_string())?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn arr(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn obj(&mut self) -> Result<JsonValue, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Obj(fields));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -115,6 +444,94 @@ mod tests {
         assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
         assert_eq!(escape("x\ny\t\u{1}"), "x\\ny\\t\\u0001");
         assert_eq!(escape("plain é 中"), "plain é 中");
+    }
+
+    #[test]
+    fn escaping_adversarial() {
+        // DEL and the C1 range must not pass through raw.
+        assert_eq!(escape("\u{7f}"), "\\u007f");
+        assert_eq!(escape("\u{9f}"), "\\u009f");
+        // JS line separators are legal JSON but break eval-ish consumers.
+        assert_eq!(escape("\u{2028}\u{2029}"), "\\u2028\\u2029");
+        // Backspace / form feed use the short escapes.
+        assert_eq!(escape("\u{8}\u{c}"), "\\b\\f");
+        // NUL.
+        assert_eq!(escape("\0"), "\\u0000");
+        // Astral-plane names survive untouched.
+        assert_eq!(escape("peer-𝒜-🦀"), "peer-𝒜-🦀");
+    }
+
+    #[test]
+    fn adversarial_names_round_trip() {
+        for name in [
+            "peer\nwith\nnewlines",
+            "quote\"back\\slash",
+            "ctl\u{1}\u{1f}\u{7f}\u{9f}",
+            "unicode é 中 🦀 \u{2028}",
+            "",
+            "\0\0\0",
+        ] {
+            let mut o = JsonObject::new();
+            o.str("name", name);
+            let doc = o.finish();
+            let v = parse(&doc).unwrap();
+            assert_eq!(v.get("name").unwrap().as_str().unwrap(), name, "{doc}");
+        }
+    }
+
+    #[test]
+    fn u64_exact() {
+        let mut o = JsonObject::new();
+        o.num_u64("bytes", u64::MAX).num_u64("zero", 0);
+        let doc = o.finish();
+        assert_eq!(doc, format!(r#"{{"bytes":{},"zero":0}}"#, u64::MAX));
+        let v = parse(&doc).unwrap();
+        assert_eq!(v.get("bytes").unwrap().as_u64(), Some(u64::MAX));
+        // Would NOT survive the f64 path:
+        assert_ne!(number(u64::MAX as f64), format!("{}", u64::MAX));
+    }
+
+    #[test]
+    fn parser_basics() {
+        assert_eq!(parse("null").unwrap(), JsonValue::Null);
+        assert_eq!(parse(" true ").unwrap(), JsonValue::Bool(true));
+        assert_eq!(parse("-1.5e3").unwrap().as_f64(), Some(-1500.0));
+        assert_eq!(parse(r#"["a",1,null]"#).unwrap().as_arr().unwrap().len(), 3);
+        let v = parse(r#"{"a":{"b":[1,2]},"c":"d"}"#).unwrap();
+        assert_eq!(
+            v.get("a").unwrap().get("b").unwrap().as_arr().unwrap()[1].as_u64(),
+            Some(2)
+        );
+        assert_eq!(v.get("c").unwrap().as_str(), Some("d"));
+    }
+
+    #[test]
+    fn parser_escapes() {
+        let v = parse(r#""a\"b\\c\ndA🦀""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA🦀"));
+        assert!(parse(r#""\ud800""#).is_err()); // lone high surrogate
+        assert!(parse(r#""\udc00""#).is_err()); // lone low surrogate
+        assert!(parse(r#""\q""#).is_err());
+        assert!(parse("\"raw\u{1}\"").is_err());
+    }
+
+    #[test]
+    fn parser_rejects_garbage() {
+        assert!(parse("").is_err());
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\":1} extra").is_err());
+        assert!(parse("nul").is_err());
+        assert!(parse("01").is_ok()); // lenient: leading zeros accepted
+        assert!(parse("-").is_err());
+    }
+
+    #[test]
+    fn non_finite_round_trip_as_null() {
+        let mut o = JsonObject::new();
+        o.num("t", f64::NAN);
+        let v = parse(&o.finish()).unwrap();
+        assert!(v.get("t").unwrap().as_f64().unwrap().is_nan());
     }
 
     #[test]

@@ -66,6 +66,22 @@ pub enum MessageKind {
 }
 
 impl MessageKind {
+    /// Every concrete kind, in wire-code order (see
+    /// [`MessageKind::wire_code`]).
+    pub const ALL: [MessageKind; 11] = [
+        MessageKind::Request,
+        MessageKind::Invoke,
+        MessageKind::Response,
+        MessageKind::DeployQuery,
+        MessageKind::InstallDoc,
+        MessageKind::Data(DataTag::Send),
+        MessageKind::Data(DataTag::Fetch),
+        MessageKind::Data(DataTag::Forward),
+        MessageKind::Data(DataTag::DelegatedResult),
+        MessageKind::Data(DataTag::QueryDef),
+        MessageKind::Data(DataTag::ReplicaUpdate),
+    ];
+
     /// Stable lowercase name (the legacy string kind).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -76,6 +92,23 @@ impl MessageKind {
             MessageKind::InstallDoc => "install-doc",
             MessageKind::Data(tag) => tag.as_str(),
         }
+    }
+
+    /// Inverse of [`MessageKind::as_str`].
+    pub fn parse(name: &str) -> Option<Self> {
+        Self::ALL.into_iter().find(|k| k.as_str() == name)
+    }
+
+    /// Stable 1-byte code for the binary trace encoding. Codes are
+    /// append-only: existing values never change across trace-format
+    /// versions.
+    pub fn wire_code(self) -> u8 {
+        Self::ALL.iter().position(|k| *k == self).unwrap() as u8
+    }
+
+    /// Inverse of [`MessageKind::wire_code`].
+    pub fn from_wire_code(code: u8) -> Option<Self> {
+        Self::ALL.get(code as usize).copied()
     }
 }
 
@@ -108,6 +141,20 @@ mod tests {
         assert_eq!(MessageKind::Data(DataTag::QueryDef).as_str(), "query-def");
         assert_eq!(MessageKind::Data(DataTag::Send).as_str(), "send");
         assert_eq!(MessageKind::Data(DataTag::Forward).as_str(), "forward");
+    }
+
+    #[test]
+    fn parse_and_wire_codes_round_trip() {
+        for kind in MessageKind::ALL {
+            assert_eq!(MessageKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(MessageKind::from_wire_code(kind.wire_code()), Some(kind));
+        }
+        assert_eq!(MessageKind::parse("nope"), None);
+        assert_eq!(MessageKind::from_wire_code(200), None);
+        // Codes are stable, append-only: pin the current assignment.
+        assert_eq!(MessageKind::Request.wire_code(), 0);
+        assert_eq!(MessageKind::Data(DataTag::Send).wire_code(), 5);
+        assert_eq!(MessageKind::Data(DataTag::ReplicaUpdate).wire_code(), 10);
     }
 
     #[test]

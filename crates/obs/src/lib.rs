@@ -25,16 +25,26 @@
 //!
 //! See `OBSERVABILITY.md` at the repository root for a guided tour.
 
+//! For out-of-process analysis, [`sink`] streams events to files
+//! ([`sink::JsonlSink`] / [`sink::BinSink`]), [`codec`] defines the
+//! binary record format, and [`reader::TraceReader`] decodes either
+//! format back into [`trace::TraceEvent`]s.
+
+pub mod codec;
 pub mod json;
 pub mod kind;
 pub mod metrics;
+pub mod reader;
 pub mod report;
+pub mod sink;
 pub mod trace;
 
 pub use kind::{DataTag, MessageKind};
 pub use metrics::{EvalMetrics, MsgStats, RuleStats};
+pub use reader::{ReadError, TraceFormat, TraceReader};
 pub use report::RunReport;
-pub use trace::{TraceEvent, TraceSink, VecSink};
+pub use sink::{BinSink, FanoutSink, JsonlSink, SharedBuf};
+pub use trace::{TraceEvent, TraceSink, TraceStr, VecSink};
 
 /// The observability handle: metrics plus an optional trace sink.
 ///
@@ -60,9 +70,24 @@ impl Obs {
         self.sink.replace(sink)
     }
 
-    /// Detach the current sink (tracing reverts to zero-cost).
+    /// Detach the current sink (tracing reverts to zero-cost). The sink
+    /// is flushed first — per the [`TraceSink`] contract, no buffered
+    /// tail event is lost by detaching. A flush failure is reported on
+    /// stderr (the sink is still returned so the caller can retry).
     pub fn clear_sink(&mut self) -> Option<Box<dyn TraceSink>> {
-        self.sink.take()
+        let mut sink = self.sink.take()?;
+        if let Err(e) = sink.flush() {
+            eprintln!("axml-obs: flush on sink detach failed: {e}");
+        }
+        Some(sink)
+    }
+
+    /// Flush the attached sink, if any (see [`TraceSink::flush`]).
+    pub fn flush(&mut self) -> std::io::Result<()> {
+        match self.sink.as_mut() {
+            Some(sink) => sink.flush(),
+            None => Ok(()),
+        }
     }
 
     /// Whether a sink is attached.
@@ -103,7 +128,7 @@ mod tests {
             TraceEvent::Definition {
                 def: 1,
                 peer: PeerId(0),
-                expr: "tree",
+                expr: "tree".into(),
                 at_ms: 0.0,
             }
         });
@@ -120,12 +145,37 @@ mod tests {
         obs.emit(|| TraceEvent::Definition {
             def: 5,
             peer: PeerId(2),
-            expr: "doc",
+            expr: "doc".into(),
             at_ms: 1.5,
         });
         assert_eq!(sink.len(), 1);
         assert!(obs.clear_sink().is_some());
         obs.emit(|| unreachable!("sink detached"));
         assert_eq!(sink.len(), 1);
+    }
+
+    #[test]
+    fn clear_sink_flushes_first() {
+        struct CountingSink {
+            flushes: std::rc::Rc<std::cell::Cell<u32>>,
+        }
+        impl TraceSink for CountingSink {
+            fn record(&mut self, _: TraceEvent) {}
+            fn flush(&mut self) -> std::io::Result<()> {
+                self.flushes.set(self.flushes.get() + 1);
+                Ok(())
+            }
+        }
+        let flushes = std::rc::Rc::new(std::cell::Cell::new(0));
+        let mut obs = Obs::new();
+        obs.set_sink(Box::new(CountingSink {
+            flushes: flushes.clone(),
+        }));
+        assert_eq!(flushes.get(), 0);
+        obs.flush().unwrap();
+        assert_eq!(flushes.get(), 1);
+        assert!(obs.clear_sink().is_some());
+        assert_eq!(flushes.get(), 2, "detach must flush");
+        assert!(obs.flush().is_ok(), "flush with no sink is a no-op");
     }
 }

@@ -183,31 +183,31 @@ impl EvalMetrics {
         let mut o = JsonObject::new();
         let defs = array(self.defs().into_iter().map(|(d, n)| {
             let mut e = JsonObject::new();
-            e.num("def", d as f64).num("count", n as f64);
+            e.num("def", d as f64).num_u64("count", n);
             e.finish()
         }));
         o.raw("definitions", &defs);
-        o.num("delegations", self.delegations as f64);
-        o.num("seq_steps", self.seq_steps as f64);
-        o.num("service_calls", self.service_calls as f64);
+        o.num_u64("delegations", self.delegations);
+        o.num_u64("seq_steps", self.seq_steps);
+        o.num_u64("service_calls", self.service_calls);
         let rules = array(self.rules().map(|(name, r)| {
             let mut e = JsonObject::new();
             e.str("rule", name)
-                .num("attempted", r.attempted as f64)
-                .num("accepted", r.accepted as f64);
+                .num_u64("attempted", r.attempted)
+                .num_u64("accepted", r.accepted);
             e.finish()
         }));
         o.raw("rules", &rules);
-        o.num("cost_estimates", self.cost_estimates as f64);
-        o.num("memo_hits", self.memo_hits as f64);
-        o.num("memo_misses", self.memo_misses as f64);
-        o.num("delta_fresh", self.delta_fresh as f64);
-        o.num("delta_suppressed", self.delta_suppressed as f64);
+        o.num_u64("cost_estimates", self.cost_estimates);
+        o.num_u64("memo_hits", self.memo_hits);
+        o.num_u64("memo_misses", self.memo_misses);
+        o.num_u64("delta_fresh", self.delta_fresh);
+        o.num_u64("delta_suppressed", self.delta_suppressed);
         let kinds = array(self.messages_by_kind().map(|(kind, m)| {
             let mut e = JsonObject::new();
             e.str("kind", kind.as_str())
-                .num("messages", m.messages as f64)
-                .num("bytes", m.bytes as f64);
+                .num_u64("messages", m.messages)
+                .num_u64("bytes", m.bytes);
             e.finish()
         }));
         o.raw("messages_by_kind", &kinds);
@@ -215,8 +215,8 @@ impl EvalMetrics {
             let mut e = JsonObject::new();
             e.num("from", a.0 as f64)
                 .num("to", b.0 as f64)
-                .num("messages", m.messages as f64)
-                .num("bytes", m.bytes as f64);
+                .num_u64("messages", m.messages)
+                .num_u64("bytes", m.bytes);
             e.finish()
         }));
         o.raw("per_link", &links);

@@ -1,0 +1,462 @@
+//! Decoding trace files back into [`TraceEvent`]s.
+//!
+//! [`TraceReader`] sniffs the format from the first bytes — `AXTR`
+//! magic means the binary format of [`crate::codec`], anything starting
+//! with `{` means JSON lines — and then streams events one at a time,
+//! so arbitrarily large traces decode in constant memory.
+//!
+//! # Truncation tolerance
+//!
+//! Traces from killed runs end mid-record. The reader yields every
+//! complete event before the cut, then exactly one
+//! [`ReadError::Truncated`], then ends: the decodable prefix is never
+//! lost and the tail damage is typed, not a panic. A malformed record
+//! in an otherwise intact file yields [`ReadError::Malformed`] and
+//! decoding continues with the next record (framing — line breaks or
+//! length prefixes — is unaffected by one bad payload).
+
+use crate::codec;
+use crate::trace::TraceEvent;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Read};
+
+/// Which encoding a trace file uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceFormat {
+    /// One JSON object per line ([`crate::sink::JsonlSink`]).
+    Jsonl,
+    /// The `AXTR` length-prefixed binary format
+    /// ([`crate::sink::BinSink`]).
+    Binary,
+}
+
+impl fmt::Display for TraceFormat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TraceFormat::Jsonl => "jsonl",
+            TraceFormat::Binary => "binary",
+        })
+    }
+}
+
+/// A decoding failure.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The file does not start like any known trace format.
+    BadHeader(String),
+    /// The file ends mid-record — typical of a killed run. Every event
+    /// before the cut was already yielded; nothing follows this error.
+    Truncated {
+        /// Index of the record that was cut off.
+        record: u64,
+        /// What exactly was missing.
+        detail: String,
+    },
+    /// A complete record failed to decode; decoding continues after it.
+    Malformed {
+        /// Index of the bad record.
+        record: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "trace I/O error: {e}"),
+            ReadError::BadHeader(d) => write!(f, "unrecognized trace file: {d}"),
+            ReadError::Truncated { record, detail } => {
+                write!(f, "trace truncated at record {record}: {detail}")
+            }
+            ReadError::Malformed { record, detail } => {
+                write!(f, "malformed trace record {record}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// A streaming decoder over either trace format.
+///
+/// Iterate it for `Result<TraceEvent, ReadError>` items:
+///
+/// ```
+/// use axml_obs::{BinSink, TraceReader, TraceSink, TraceEvent, SharedBuf};
+/// use axml_xml::ids::PeerId;
+/// let buf = SharedBuf::new();
+/// let mut sink = BinSink::new(buf.clone());
+/// sink.record(TraceEvent::Delegation { from: PeerId(0), to: PeerId(1), at_ms: 1.0 });
+/// sink.flush().unwrap();
+/// let events: Vec<TraceEvent> = TraceReader::new(&buf.bytes()[..])
+///     .unwrap()
+///     .collect::<Result<_, _>>()
+///     .unwrap();
+/// assert_eq!(events.len(), 1);
+/// ```
+pub struct TraceReader<R: Read> {
+    inner: BufReader<io::Chain<io::Cursor<Vec<u8>>, R>>,
+    format: TraceFormat,
+    record: u64,
+    done: bool,
+}
+
+/// Largest accepted binary record payload (16 MiB). Real records are a
+/// few dozen bytes; a larger length prefix means corruption, and the
+/// cap keeps a corrupt prefix from forcing a giant allocation.
+const MAX_RECORD_LEN: u32 = 16 << 20;
+
+impl TraceReader<std::fs::File> {
+    /// Open a trace file and sniff its format.
+    pub fn open(path: impl AsRef<std::path::Path>) -> Result<Self, ReadError> {
+        Self::new(std::fs::File::open(path)?)
+    }
+}
+
+impl<R: Read> TraceReader<R> {
+    /// Wrap a reader, sniffing the format from the first bytes. An
+    /// empty input is a valid (JSONL) trace with no events.
+    pub fn new(mut reader: R) -> Result<Self, ReadError> {
+        // Pull at most 5 bytes to sniff, then chain them back in front.
+        let mut head = [0u8; 5];
+        let mut have = 0;
+        while have < head.len() {
+            match reader.read(&mut head[have..]) {
+                Ok(0) => break,
+                Ok(n) => have += n,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let head = &head[..have];
+        // Empty input is a valid zero-event (JSONL) trace.
+        let format = if have == 0 || head[0] == b'{' {
+            TraceFormat::Jsonl
+        } else if codec::MAGIC.starts_with(&head[..have.min(4)]) {
+            codec::check_header(head).map_err(ReadError::BadHeader)?;
+            TraceFormat::Binary
+        } else {
+            return Err(ReadError::BadHeader(
+                "neither AXTR magic nor a JSON line".into(),
+            ));
+        };
+        // Chain the sniffed bytes (minus a consumed binary header) back.
+        let replay = match format {
+            TraceFormat::Binary => Vec::new(), // header consumed
+            TraceFormat::Jsonl => head.to_vec(),
+        };
+        Ok(Self {
+            inner: BufReader::new(io::Cursor::new(replay).chain(reader)),
+            format,
+            record: 0,
+            done: false,
+        })
+    }
+
+    /// The sniffed format.
+    pub fn format(&self) -> TraceFormat {
+        self.format
+    }
+
+    /// Records yielded so far (events plus malformed records).
+    pub fn records_read(&self) -> u64 {
+        self.record
+    }
+
+    fn next_jsonl(&mut self) -> Option<Result<TraceEvent, ReadError>> {
+        loop {
+            let mut line = String::new();
+            match self.inner.read_line(&mut line) {
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e.into()));
+                }
+                Ok(0) => return None,
+                Ok(_) => {}
+            }
+            let terminated = line.ends_with('\n');
+            let trimmed = line.trim_end_matches(['\n', '\r']);
+            if trimmed.trim().is_empty() {
+                continue;
+            }
+            let record = self.record;
+            self.record += 1;
+            match TraceEvent::from_json(trimmed) {
+                Ok(e) => return Some(Ok(e)),
+                Err(detail) if terminated => {
+                    // A complete-but-bad line: framing is intact, keep going.
+                    return Some(Err(ReadError::Malformed { record, detail }));
+                }
+                Err(detail) => {
+                    // Unterminated final line that does not parse: the
+                    // writer was killed mid-line.
+                    self.done = true;
+                    return Some(Err(ReadError::Truncated {
+                        record,
+                        detail: format!("final line incomplete: {detail}"),
+                    }));
+                }
+            }
+        }
+    }
+
+    fn next_binary(&mut self) -> Option<Result<TraceEvent, ReadError>> {
+        let mut len_buf = [0u8; 4];
+        match read_full(&mut self.inner, &mut len_buf) {
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e.into()));
+            }
+            Ok(0) => return None, // clean EOF at a record boundary
+            Ok(n) if n < 4 => {
+                self.done = true;
+                return Some(Err(ReadError::Truncated {
+                    record: self.record,
+                    detail: format!("length prefix cut after {n} of 4 bytes"),
+                }));
+            }
+            Ok(_) => {}
+        }
+        let len = u32::from_le_bytes(len_buf);
+        if len > MAX_RECORD_LEN {
+            self.done = true;
+            return Some(Err(ReadError::Malformed {
+                record: self.record,
+                detail: format!("record length {len} exceeds the {MAX_RECORD_LEN}-byte cap"),
+            }));
+        }
+        let mut payload = vec![0u8; len as usize];
+        match read_full(&mut self.inner, &mut payload) {
+            Err(e) => {
+                self.done = true;
+                return Some(Err(e.into()));
+            }
+            Ok(n) if n < len as usize => {
+                self.done = true;
+                return Some(Err(ReadError::Truncated {
+                    record: self.record,
+                    detail: format!("payload cut after {n} of {len} bytes"),
+                }));
+            }
+            Ok(_) => {}
+        }
+        let record = self.record;
+        self.record += 1;
+        Some(match codec::decode_payload(&payload) {
+            Ok(e) => Ok(e),
+            Err(detail) => Err(ReadError::Malformed { record, detail }),
+        })
+    }
+}
+
+/// Read until `buf` is full or EOF; returns bytes read.
+fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut have = 0;
+    while have < buf.len() {
+        match r.read(&mut buf[have..]) {
+            Ok(0) => break,
+            Ok(n) => have += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(have)
+}
+
+impl<R: Read> Iterator for TraceReader<R> {
+    type Item = Result<TraceEvent, ReadError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match self.format {
+            TraceFormat::Jsonl => self.next_jsonl(),
+            TraceFormat::Binary => self.next_binary(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::{BinSink, JsonlSink, SharedBuf};
+    use crate::trace::tests::one_of_each;
+    use crate::trace::TraceSink;
+
+    fn jsonl_bytes() -> Vec<u8> {
+        let buf = SharedBuf::new();
+        let mut sink = JsonlSink::new(buf.clone());
+        for e in one_of_each() {
+            sink.record(e);
+        }
+        sink.flush().unwrap();
+        buf.bytes()
+    }
+
+    fn bin_bytes() -> Vec<u8> {
+        let buf = SharedBuf::new();
+        let mut sink = BinSink::new(buf.clone());
+        for e in one_of_each() {
+            sink.record(e);
+        }
+        sink.flush().unwrap();
+        buf.bytes()
+    }
+
+    #[test]
+    fn decodes_both_formats() {
+        for (bytes, format) in [
+            (jsonl_bytes(), TraceFormat::Jsonl),
+            (bin_bytes(), TraceFormat::Binary),
+        ] {
+            let r = TraceReader::new(&bytes[..]).unwrap();
+            assert_eq!(r.format(), format);
+            let events: Vec<_> = r.collect::<Result<_, _>>().unwrap();
+            assert_eq!(events, one_of_each(), "{format}");
+        }
+    }
+
+    #[test]
+    fn empty_input_is_an_empty_trace() {
+        let mut r = TraceReader::new(&b""[..]).unwrap();
+        assert!(r.next().is_none());
+    }
+
+    #[test]
+    fn rejects_alien_files() {
+        assert!(matches!(
+            TraceReader::new(&b"PK\x03\x04zipzip"[..]),
+            Err(ReadError::BadHeader(_))
+        ));
+        assert!(matches!(
+            TraceReader::new(&b"AXTR\x63"[..]),
+            Err(ReadError::BadHeader(_))
+        ));
+        // A bare truncated magic is a bad header, not a crash.
+        assert!(TraceReader::new(&b"AXT"[..]).is_err());
+    }
+
+    #[test]
+    fn binary_truncation_yields_prefix_then_typed_error() {
+        let bytes = bin_bytes();
+        // Cut the file inside the 4th record's payload.
+        let full: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(full.len(), 9);
+        let cut = bytes.len() - 11;
+        let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
+        let (ok, errs): (Vec<_>, Vec<_>) = items.into_iter().partition(Result::is_ok);
+        assert_eq!(ok.len(), 8, "all complete records decode");
+        assert_eq!(errs.len(), 1, "exactly one tail error");
+        assert!(
+            matches!(errs[0], Err(ReadError::Truncated { record: 8, .. })),
+            "{:?}",
+            errs[0]
+        );
+    }
+
+    #[test]
+    fn binary_truncation_inside_length_prefix() {
+        let bytes = bin_bytes();
+        // Find the start of record 1 and cut 2 bytes into its prefix.
+        let rec0_len = u32::from_le_bytes(bytes[5..9].try_into().unwrap()) as usize;
+        let cut = 5 + 4 + rec0_len + 2;
+        let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
+        assert_eq!(items.len(), 2);
+        assert!(items[0].is_ok());
+        assert!(matches!(
+            items[1],
+            Err(ReadError::Truncated { record: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn jsonl_truncation_yields_prefix_then_typed_error() {
+        let bytes = jsonl_bytes();
+        let cut = bytes.len() - 25; // mid-way through the last line
+        let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
+        let (ok, errs): (Vec<_>, Vec<_>) = items.into_iter().partition(Result::is_ok);
+        assert_eq!(ok.len(), 8);
+        assert_eq!(errs.len(), 1);
+        assert!(matches!(errs[0], Err(ReadError::Truncated { .. })));
+    }
+
+    #[test]
+    fn jsonl_missing_final_newline_still_decodes() {
+        let mut bytes = jsonl_bytes();
+        assert_eq!(bytes.pop(), Some(b'\n'));
+        let events: Vec<_> = TraceReader::new(&bytes[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(events.len(), 9);
+    }
+
+    #[test]
+    fn jsonl_malformed_line_is_skippable() {
+        let mut bytes = jsonl_bytes();
+        let insert_at = bytes.iter().position(|&b| b == b'\n').unwrap() + 1;
+        bytes.splice(
+            insert_at..insert_at,
+            b"{\"kind\":\"martian\"}\n".iter().copied(),
+        );
+        let items: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(items.len(), 10);
+        assert!(matches!(
+            items[1],
+            Err(ReadError::Malformed { record: 1, .. })
+        ));
+        assert_eq!(items.iter().filter(|i| i.is_ok()).count(), 9, "rest decode");
+    }
+
+    #[test]
+    fn binary_absurd_length_prefix_is_malformed() {
+        let mut bytes = Vec::new();
+        codec::write_header(&mut bytes);
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+        bytes.extend_from_slice(&[0u8; 16]);
+        let items: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
+        assert_eq!(items.len(), 1);
+        assert!(matches!(items[0], Err(ReadError::Malformed { .. })));
+    }
+
+    #[test]
+    fn lossless_jsonl_binary_round_trip() {
+        // JSONL → events → binary → events → JSONL: both renderings and
+        // both event streams must agree.
+        let via_jsonl: Vec<TraceEvent> = TraceReader::new(&jsonl_bytes()[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        let buf = SharedBuf::new();
+        let mut sink = BinSink::new(buf.clone());
+        for e in &via_jsonl {
+            sink.record(e.clone());
+        }
+        sink.flush().unwrap();
+        let via_binary: Vec<TraceEvent> = TraceReader::new(&buf.bytes()[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(via_jsonl, via_binary);
+        let jsonl_again: Vec<String> = via_binary.iter().map(TraceEvent::to_json).collect();
+        let jsonl_orig: Vec<String> = one_of_each().iter().map(TraceEvent::to_json).collect();
+        assert_eq!(jsonl_again, jsonl_orig);
+    }
+}

@@ -44,17 +44,17 @@ impl RunReport {
         o.bool("reconciled", self.reconciled);
         o.raw("metrics", &self.metrics.to_json());
         let mut net = JsonObject::new();
-        net.num("messages", self.stats.total_messages() as f64)
-            .num("bytes", self.stats.total_bytes() as f64)
+        net.num_u64("messages", self.stats.total_messages())
+            .num_u64("bytes", self.stats.total_bytes())
             .num("makespan_ms", self.stats.makespan_ms())
             .num("weighted_cost_ms", self.stats.weighted_cost_ms());
         let peers = array(self.stats.per_peer().into_iter().map(|(p, t)| {
             let mut e = JsonObject::new();
             e.num("peer", p.0 as f64)
-                .num("sent_messages", t.sent_messages as f64)
-                .num("sent_bytes", t.sent_bytes as f64)
-                .num("recv_messages", t.recv_messages as f64)
-                .num("recv_bytes", t.recv_bytes as f64);
+                .num_u64("sent_messages", t.sent_messages)
+                .num_u64("sent_bytes", t.sent_bytes)
+                .num_u64("recv_messages", t.recv_messages)
+                .num_u64("recv_bytes", t.recv_bytes);
             e.finish()
         }));
         net.raw("per_peer", &peers);
@@ -201,6 +201,19 @@ mod tests {
         assert!(json.contains("\"reconciled\":true"), "{json}");
         assert!(json.contains("\"per_peer\":[{\"peer\":0"), "{json}");
         assert!(json.contains("\"makespan_ms\":3"), "{json}");
+    }
+
+    #[test]
+    fn adversarial_title_escapes_cleanly() {
+        let m = EvalMetrics::new();
+        let s = NetStats::new();
+        let title = "E99 \"inject\"\n\u{1}\u{7f} — ünïcode 中 🦀";
+        let r = RunReport::new(title, &m, &s);
+        let json = r.to_json();
+        let v = crate::json::parse(&json).expect("report JSON must parse");
+        assert_eq!(v.get("title").unwrap().as_str().unwrap(), title);
+        // No raw control characters may appear anywhere in the output.
+        assert!(json.chars().all(|c| c >= ' '), "{json}");
     }
 
     #[test]

@@ -1,0 +1,398 @@
+//! Streaming trace sinks: events out of the process as they happen.
+//!
+//! Two wire formats, one contract (see [`TraceSink`]):
+//!
+//! * [`JsonlSink`] — one JSON object per line, the exact
+//!   [`TraceEvent::to_json`] rendering. Greppable, diffable, readable
+//!   by anything.
+//! * [`BinSink`] — the `AXTR` binary format of [`crate::codec`]:
+//!   versioned header + length-prefixed records, 3–10× smaller.
+//!
+//! Both write through an internal [`BufWriter`], so long or continuous
+//! runs stream incrementally and never hold the whole trace in memory;
+//! both flush on [`TraceSink::flush`], on [`Drop`] (best effort) and on
+//! a consuming [`JsonlSink::finish`]/[`BinSink::finish`] that also
+//! returns the writer and the first deferred I/O error, if any.
+//!
+//! I/O errors are *deferred*: `record` stays infallible (it is called
+//! from the evaluator's hot path), the first error is stashed, later
+//! records become no-ops, and the error surfaces from `flush`/`finish`.
+//!
+//! [`FanoutSink`] tees one event stream into several sinks;
+//! [`SharedBuf`] is an `Rc`-shared in-memory writer for tests and
+//! examples that need the encoded bytes back from a boxed sink.
+
+use crate::codec;
+use crate::trace::{TraceEvent, TraceSink};
+use std::cell::RefCell;
+use std::io::{self, BufWriter, Write};
+use std::rc::Rc;
+
+/// A sink writing one [`TraceEvent::to_json`] line per event.
+pub struct JsonlSink<W: Write> {
+    writer: Option<BufWriter<W>>,
+    err: Option<io::Error>,
+    written: u64,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Stream events into `writer` as JSON lines.
+    pub fn new(writer: W) -> Self {
+        Self {
+            writer: Some(BufWriter::new(writer)),
+            err: None,
+            written: 0,
+        }
+    }
+
+    /// Events successfully encoded so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the writer, surfacing any deferred I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        finish(&mut self.writer, &mut self.err)
+    }
+}
+
+impl JsonlSink<std::fs::File> {
+    /// Create (truncate) `path` and stream JSON lines into it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> TraceSink for JsonlSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        let Some(w) = writer_if_ok(&mut self.writer, &self.err) else {
+            return;
+        };
+        let mut line = event.to_json();
+        line.push('\n');
+        if let Err(e) = w.write_all(line.as_bytes()) {
+            self.err = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        flush(&mut self.writer, &mut self.err)
+    }
+}
+
+impl<W: Write> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        let _ = flush(&mut self.writer, &mut self.err);
+    }
+}
+
+/// A sink writing the `AXTR` binary format (see [`crate::codec`]).
+pub struct BinSink<W: Write> {
+    writer: Option<BufWriter<W>>,
+    err: Option<io::Error>,
+    written: u64,
+    scratch: Vec<u8>,
+}
+
+impl<W: Write> BinSink<W> {
+    /// Stream events into `writer`; the versioned header is written
+    /// immediately.
+    pub fn new(writer: W) -> Self {
+        let mut sink = Self {
+            writer: Some(BufWriter::new(writer)),
+            err: None,
+            written: 0,
+            scratch: Vec::with_capacity(64),
+        };
+        let mut header = Vec::with_capacity(5);
+        codec::write_header(&mut header);
+        if let Some(w) = writer_if_ok(&mut sink.writer, &sink.err) {
+            if let Err(e) = w.write_all(&header) {
+                sink.err = Some(e);
+            }
+        }
+        sink
+    }
+
+    /// Events successfully encoded so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flush and return the writer, surfacing any deferred I/O error.
+    pub fn finish(mut self) -> io::Result<W> {
+        finish(&mut self.writer, &mut self.err)
+    }
+}
+
+impl BinSink<std::fs::File> {
+    /// Create (truncate) `path` and stream binary records into it.
+    pub fn create(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        Ok(Self::new(std::fs::File::create(path)?))
+    }
+}
+
+impl<W: Write> TraceSink for BinSink<W> {
+    fn record(&mut self, event: TraceEvent) {
+        if self.err.is_some() {
+            return;
+        }
+        self.scratch.clear();
+        codec::encode_record(&event, &mut self.scratch);
+        let Some(w) = writer_if_ok(&mut self.writer, &self.err) else {
+            return;
+        };
+        if let Err(e) = w.write_all(&self.scratch) {
+            self.err = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        flush(&mut self.writer, &mut self.err)
+    }
+}
+
+impl<W: Write> Drop for BinSink<W> {
+    fn drop(&mut self) {
+        let _ = flush(&mut self.writer, &mut self.err);
+    }
+}
+
+fn writer_if_ok<'a, W: Write>(
+    writer: &'a mut Option<BufWriter<W>>,
+    err: &Option<io::Error>,
+) -> Option<&'a mut BufWriter<W>> {
+    if err.is_some() {
+        return None;
+    }
+    writer.as_mut()
+}
+
+fn take_err(err: &mut Option<io::Error>) -> io::Error {
+    err.take()
+        .unwrap_or_else(|| io::Error::other("trace sink error already taken"))
+}
+
+fn flush<W: Write>(
+    writer: &mut Option<BufWriter<W>>,
+    err: &mut Option<io::Error>,
+) -> io::Result<()> {
+    if err.is_some() {
+        return Err(take_err(err));
+    }
+    match writer.as_mut() {
+        Some(w) => w.flush(),
+        None => Ok(()),
+    }
+}
+
+fn finish<W: Write>(
+    writer: &mut Option<BufWriter<W>>,
+    err: &mut Option<io::Error>,
+) -> io::Result<W> {
+    flush(writer, err)?;
+    let w = writer
+        .take()
+        .expect("finish called once, after flush succeeded");
+    w.into_inner().map_err(|e| e.into_error())
+}
+
+/// A sink that tees every event into several child sinks.
+///
+/// `flush` flushes all children and reports the first error; `record`
+/// clones the event for every child past the first.
+#[derive(Default)]
+pub struct FanoutSink {
+    sinks: Vec<Box<dyn TraceSink>>,
+}
+
+impl FanoutSink {
+    /// An empty fan-out (records go nowhere until children are added).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a child sink, builder-style.
+    pub fn with(mut self, sink: impl TraceSink + 'static) -> Self {
+        self.sinks.push(Box::new(sink));
+        self
+    }
+
+    /// Add a child sink.
+    pub fn push(&mut self, sink: Box<dyn TraceSink>) {
+        self.sinks.push(sink);
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&mut self, event: TraceEvent) {
+        let Some((last, rest)) = self.sinks.split_last_mut() else {
+            return;
+        };
+        for sink in rest {
+            sink.record(event.clone());
+        }
+        last.record(event);
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        let mut first_err = None;
+        for sink in &mut self.sinks {
+            if let Err(e) = sink.flush() {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// An `Rc`-shared growable byte buffer implementing [`Write`].
+///
+/// Hand one clone to a [`JsonlSink`]/[`BinSink`] that disappears into a
+/// `Box<dyn TraceSink>`, keep the other, and read the encoded bytes
+/// back after the run — the trick tests and examples use since boxed
+/// sinks cannot be downcast.
+#[derive(Clone, Default)]
+pub struct SharedBuf {
+    buf: Rc<RefCell<Vec<u8>>>,
+}
+
+impl SharedBuf {
+    /// An empty shared buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A copy of the bytes written so far.
+    pub fn bytes(&self) -> Vec<u8> {
+        self.buf.borrow().clone()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.borrow().len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.borrow().is_empty()
+    }
+}
+
+impl Write for SharedBuf {
+    fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+        self.buf.borrow_mut().extend_from_slice(data);
+        Ok(data.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reader::TraceReader;
+    use crate::trace::tests::one_of_each;
+
+    #[test]
+    fn jsonl_sink_writes_lines() {
+        let buf = SharedBuf::new();
+        let mut sink = JsonlSink::new(buf.clone());
+        for e in one_of_each() {
+            sink.record(e);
+        }
+        assert_eq!(sink.written(), 9);
+        sink.flush().unwrap();
+        let text = String::from_utf8(buf.bytes()).unwrap();
+        assert_eq!(text.lines().count(), 9);
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+    }
+
+    #[test]
+    fn bin_sink_writes_header_and_records() {
+        let buf = SharedBuf::new();
+        let mut sink = BinSink::new(buf.clone());
+        for e in one_of_each() {
+            sink.record(e);
+        }
+        sink.flush().unwrap();
+        let bytes = buf.bytes();
+        assert_eq!(&bytes[..4], b"AXTR");
+        assert_eq!(bytes[4], codec::VERSION);
+        let events: Vec<_> = TraceReader::new(&bytes[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(events, one_of_each());
+    }
+
+    #[test]
+    fn drop_flushes_buffered_tail() {
+        let buf = SharedBuf::new();
+        {
+            let mut sink = JsonlSink::new(buf.clone());
+            sink.record(one_of_each()[0].clone());
+            // No explicit flush: the event is smaller than the BufWriter
+            // buffer, so only Drop can push it through.
+            assert!(buf.is_empty(), "still buffered before drop");
+        }
+        assert!(!buf.is_empty(), "Drop must flush the tail");
+    }
+
+    #[test]
+    fn finish_returns_writer_and_deferred_errors() {
+        let buf = SharedBuf::new();
+        let mut sink = BinSink::new(buf.clone());
+        sink.record(one_of_each()[0].clone());
+        let w = sink.finish().unwrap();
+        assert_eq!(w.bytes(), buf.bytes());
+
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::other("disk on fire"))
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let mut sink = JsonlSink::new(FailingWriter);
+        for e in one_of_each() {
+            sink.record(e); // errors are deferred, not panics
+        }
+        // Events land in the BufWriter without error; the failure
+        // surfaces once flush pushes them at the writer.
+        let err = sink.flush().unwrap_err();
+        assert_eq!(err.to_string(), "disk on fire");
+    }
+
+    #[test]
+    fn fanout_tees_and_flushes() {
+        let jl = SharedBuf::new();
+        let bin = SharedBuf::new();
+        let mut fan = FanoutSink::new()
+            .with(JsonlSink::new(jl.clone()))
+            .with(BinSink::new(bin.clone()));
+        for e in one_of_each() {
+            fan.record(e);
+        }
+        fan.flush().unwrap();
+        assert_eq!(String::from_utf8(jl.bytes()).unwrap().lines().count(), 9);
+        let events: Vec<_> = TraceReader::new(&bin.bytes()[..])
+            .unwrap()
+            .collect::<Result<_, _>>()
+            .unwrap();
+        assert_eq!(events.len(), 9);
+    }
+}

@@ -25,9 +25,15 @@
 
 use crate::kind::MessageKind;
 use axml_xml::ids::PeerId;
+use std::borrow::Cow;
 use std::cell::RefCell;
 use std::fmt;
 use std::rc::Rc;
+
+/// A name-like trace field: `&'static str` at emission time (the engine
+/// only ever emits static names — zero allocation on the hot path), an
+/// owned `String` when decoded back from a trace file.
+pub type TraceStr = Cow<'static, str>;
 
 /// One observed step of evaluation, optimization, or streaming.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,7 +46,7 @@ pub enum TraceEvent {
         peer: PeerId,
         /// The expression-node kind ("tree", "doc", "apply", "send",
         /// "sc", "deploy", …).
-        expr: &'static str,
+        expr: TraceStr,
         /// Simulated time when evaluation of this node began.
         at_ms: f64,
     },
@@ -55,7 +61,9 @@ pub enum TraceEvent {
     },
     /// A message entered a link (local deliveries are not traced, they
     /// are free — matching [`axml_net::NetStats`] semantics). Emitted at
-    /// send time; `at_ms` is the scheduled arrival.
+    /// send time; `sent_ms` is the moment it left, `at_ms` the scheduled
+    /// arrival — the `[sent_ms, at_ms]` window is the in-flight span
+    /// timeline renderers draw.
     MessageSent {
         /// Sender.
         from: PeerId,
@@ -67,6 +75,8 @@ pub enum TraceEvent {
         /// Charged bytes (payload + the link's per-message overhead) —
         /// identical to what [`axml_net::NetStats`] records.
         bytes: u64,
+        /// Simulated time when the message entered the link.
+        sent_ms: f64,
         /// Simulated (scheduled) arrival time.
         at_ms: f64,
     },
@@ -91,14 +101,14 @@ pub enum TraceEvent {
         /// The peer that will run the task.
         peer: PeerId,
         /// Short task name ("eval", "apply-finish", "sc-finish", …).
-        task: &'static str,
+        task: TraceStr,
         /// Simulated time at scheduling.
         at_ms: f64,
     },
     /// The optimizer tried one rewrite-rule application.
     RuleAttempted {
         /// Rule name (e.g. `"R11-push-select"`).
-        rule: &'static str,
+        rule: TraceStr,
         /// Whether the candidate became the new best plan.
         accepted: bool,
         /// The candidate's estimated scalar cost.
@@ -113,7 +123,7 @@ pub enum TraceEvent {
         /// Estimated scalar cost of the winner.
         cost: f64,
         /// The winning rewrite chain (paper rule names).
-        trace: Vec<&'static str>,
+        trace: Vec<TraceStr>,
     },
     /// A service call activated (§2.2 step 1 / definition (6)).
     ServiceCall {
@@ -188,9 +198,17 @@ impl TraceEvent {
                 to,
                 kind,
                 bytes,
+                sent_ms,
                 at_ms,
+            } => {
+                o.num("from", from.0 as f64);
+                o.num("to", to.0 as f64);
+                o.str("msg", kind.as_str());
+                o.num_u64("bytes", *bytes);
+                o.num("sent_ms", *sent_ms);
+                o.num("at_ms", *at_ms);
             }
-            | TraceEvent::MessageDelivered {
+            TraceEvent::MessageDelivered {
                 from,
                 to,
                 kind,
@@ -200,7 +218,7 @@ impl TraceEvent {
                 o.num("from", from.0 as f64);
                 o.num("to", to.0 as f64);
                 o.str("msg", kind.as_str());
-                o.num("bytes", *bytes as f64);
+                o.num_u64("bytes", *bytes);
                 o.num("at_ms", *at_ms);
             }
             TraceEvent::TaskScheduled { peer, task, at_ms } => {
@@ -226,7 +244,7 @@ impl TraceEvent {
                 o.num("site", site.0 as f64);
                 o.num("explored", *explored as f64);
                 o.num("cost", *cost);
-                o.str_array("trace", trace.iter().copied());
+                o.str_array("trace", trace.iter().map(|s| s.as_ref()));
             }
             TraceEvent::ServiceCall {
                 caller,
@@ -238,7 +256,7 @@ impl TraceEvent {
                 o.num("caller", caller.0 as f64);
                 o.num("provider", provider.0 as f64);
                 o.str("service", service);
-                o.num("call_id", *call_id as f64);
+                o.num_u64("call_id", *call_id);
                 o.num("at_ms", *at_ms);
             }
             TraceEvent::SubscriptionDelta {
@@ -248,7 +266,7 @@ impl TraceEvent {
                 suppressed,
                 at_ms,
             } => {
-                o.num("subscription", *subscription as f64);
+                o.num_u64("subscription", *subscription);
                 o.num("provider", provider.0 as f64);
                 o.num("fresh", *fresh as f64);
                 o.num("suppressed", *suppressed as f64);
@@ -256,6 +274,123 @@ impl TraceEvent {
             }
         }
         o.finish()
+    }
+
+    /// Parse one event back from the JSON produced by
+    /// [`TraceEvent::to_json`] (the `JsonlSink` line format). Inverse of
+    /// `to_json` for every finite-timestamp event; non-finite floats were
+    /// written as `null` and decode as NaN.
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        use crate::json::{parse, JsonValue};
+        let v = parse(src)?;
+        let kind = v
+            .get("kind")
+            .and_then(JsonValue::as_str)
+            .ok_or("missing \"kind\" field")?;
+        let peer = |field: &str| -> Result<PeerId, String> {
+            v.get(field)
+                .and_then(JsonValue::as_u64)
+                .map(|n| PeerId(n as u32))
+                .ok_or_else(|| format!("missing peer field \"{field}\""))
+        };
+        let f64_field = |field: &str| -> Result<f64, String> {
+            v.get(field)
+                .and_then(JsonValue::as_f64)
+                .ok_or_else(|| format!("missing numeric field \"{field}\""))
+        };
+        let u64_field = |field: &str| -> Result<u64, String> {
+            v.get(field)
+                .and_then(JsonValue::as_u64)
+                .ok_or_else(|| format!("missing integer field \"{field}\""))
+        };
+        let str_field = |field: &str| -> Result<TraceStr, String> {
+            v.get(field)
+                .and_then(JsonValue::as_str)
+                .map(|s| TraceStr::Owned(s.to_string()))
+                .ok_or_else(|| format!("missing string field \"{field}\""))
+        };
+        let msg_kind = || -> Result<MessageKind, String> {
+            let name = v
+                .get("msg")
+                .and_then(JsonValue::as_str)
+                .ok_or("missing \"msg\" field")?;
+            MessageKind::parse(name).ok_or_else(|| format!("unknown message kind {name:?}"))
+        };
+        match kind {
+            "definition" => Ok(TraceEvent::Definition {
+                def: u64_field("def")? as u8,
+                peer: peer("peer")?,
+                expr: str_field("expr")?,
+                at_ms: f64_field("at_ms")?,
+            }),
+            "delegation" => Ok(TraceEvent::Delegation {
+                from: peer("from")?,
+                to: peer("to")?,
+                at_ms: f64_field("at_ms")?,
+            }),
+            "message" => Ok(TraceEvent::MessageSent {
+                from: peer("from")?,
+                to: peer("to")?,
+                kind: msg_kind()?,
+                bytes: u64_field("bytes")?,
+                sent_ms: f64_field("sent_ms")?,
+                at_ms: f64_field("at_ms")?,
+            }),
+            "delivered" => Ok(TraceEvent::MessageDelivered {
+                from: peer("from")?,
+                to: peer("to")?,
+                kind: msg_kind()?,
+                bytes: u64_field("bytes")?,
+                at_ms: f64_field("at_ms")?,
+            }),
+            "task" => Ok(TraceEvent::TaskScheduled {
+                peer: peer("peer")?,
+                task: str_field("task")?,
+                at_ms: f64_field("at_ms")?,
+            }),
+            "rule" => Ok(TraceEvent::RuleAttempted {
+                rule: str_field("rule")?,
+                accepted: v
+                    .get("accepted")
+                    .and_then(JsonValue::as_bool)
+                    .ok_or("missing \"accepted\" field")?,
+                cost: f64_field("cost")?,
+            }),
+            "plan" => {
+                let trace = v
+                    .get("trace")
+                    .and_then(JsonValue::as_arr)
+                    .ok_or("missing \"trace\" array")?
+                    .iter()
+                    .map(|e| {
+                        e.as_str()
+                            .map(|s| TraceStr::Owned(s.to_string()))
+                            .ok_or_else(|| "non-string rule in \"trace\"".to_string())
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(TraceEvent::PlanChosen {
+                    site: peer("site")?,
+                    explored: u64_field("explored")? as usize,
+                    cost: f64_field("cost")?,
+                    trace,
+                })
+            }
+            "service-call" => Ok(TraceEvent::ServiceCall {
+                caller: peer("caller")?,
+                provider: peer("provider")?,
+                service: str_field("service")?.into_owned(),
+                call_id: u64_field("call_id")?,
+                at_ms: f64_field("at_ms")?,
+            }),
+            "delta" => Ok(TraceEvent::SubscriptionDelta {
+                subscription: u64_field("subscription")?,
+                provider: peer("provider")?,
+                fresh: u64_field("fresh")? as usize,
+                suppressed: u64_field("suppressed")? as usize,
+                at_ms: f64_field("at_ms")?,
+            }),
+            other => Err(format!("unknown event kind {other:?}")),
+        }
     }
 }
 
@@ -277,6 +412,7 @@ impl fmt::Display for TraceEvent {
                 kind,
                 bytes,
                 at_ms,
+                ..
             } => write!(f, "[{at_ms:9.3}ms] msg {kind} {from} → {to} ({bytes} B)"),
             TraceEvent::MessageDelivered {
                 from,
@@ -339,9 +475,34 @@ impl fmt::Display for TraceEvent {
 ///
 /// Implementations should be cheap: `record` is called inline from the
 /// evaluator's hot path whenever tracing is enabled.
+///
+/// # The flush / `Drop` contract
+///
+/// A sink MAY buffer events between `record` calls (the file sinks in
+/// [`crate::sink`] do). Every buffering sink must uphold:
+///
+/// 1. **`flush` makes the trace durable.** After `flush` returns `Ok`,
+///    every event recorded so far has been pushed through to the
+///    underlying writer (and on to the OS for file-backed writers).
+/// 2. **`Drop` is a best-effort flush.** Dropping a sink must attempt
+///    the same flush so tail events are not silently lost, but — being
+///    `Drop` — cannot report failure. Callers that care about errors
+///    call `flush` (or a consuming `finish`, where offered) first.
+/// 3. **Callers flush at quiescence.** The engine flushes the installed
+///    sink when a session runs to quiescence, and
+///    `AxmlSystem::clear_trace_sink` flushes before detaching, so a
+///    sink handed to a system never relies on (2) alone.
+///
+/// The default implementation is a no-op `Ok(())`: unbuffered sinks
+/// ([`VecSink`], [`StderrSink`]) need nothing more.
 pub trait TraceSink {
     /// Consume one event.
     fn record(&mut self, event: TraceEvent);
+
+    /// Push all buffered events through to the underlying writer.
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 /// A sink that buffers events in memory, shareable by cloning.
@@ -395,6 +556,19 @@ impl TraceSink for VecSink {
     }
 }
 
+/// Boxed sinks forward transparently, so APIs taking
+/// `impl TraceSink + 'static` also accept a `Box<dyn TraceSink>` chosen
+/// at runtime.
+impl TraceSink for Box<dyn TraceSink> {
+    fn record(&mut self, event: TraceEvent) {
+        (**self).record(event);
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        (**self).flush()
+    }
+}
+
 /// A sink that prints each event to stderr as it happens (debugging).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct StderrSink;
@@ -406,7 +580,7 @@ impl TraceSink for StderrSink {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
 
     #[test]
@@ -426,13 +600,13 @@ mod tests {
         assert_eq!(evs[0].kind(), "delegation");
     }
 
-    #[test]
-    fn display_and_json_render_every_kind() {
-        let events = [
+    /// One event of every kind, exercising every field.
+    pub(crate) fn one_of_each() -> Vec<TraceEvent> {
+        vec![
             TraceEvent::Definition {
                 def: 6,
                 peer: PeerId(1),
-                expr: "sc",
+                expr: "sc".into(),
                 at_ms: 0.5,
             },
             TraceEvent::Delegation {
@@ -445,6 +619,7 @@ mod tests {
                 to: PeerId(1),
                 kind: MessageKind::Data(crate::kind::DataTag::Fetch),
                 bytes: 128,
+                sent_ms: 1.5,
                 at_ms: 2.0,
             },
             TraceEvent::MessageDelivered {
@@ -456,11 +631,11 @@ mod tests {
             },
             TraceEvent::TaskScheduled {
                 peer: PeerId(1),
-                task: "eval",
+                task: "eval".into(),
                 at_ms: 2.5,
             },
             TraceEvent::RuleAttempted {
-                rule: "R11-push-select",
+                rule: "R11-push-select".into(),
                 accepted: true,
                 cost: 12.5,
             },
@@ -468,7 +643,7 @@ mod tests {
                 site: PeerId(0),
                 explored: 42,
                 cost: 10.0,
-                trace: vec!["R10-delegate", "R11-push-select"],
+                trace: vec!["R10-delegate".into(), "R11-push-select".into()],
             },
             TraceEvent::ServiceCall {
                 caller: PeerId(0),
@@ -484,8 +659,12 @@ mod tests {
                 suppressed: 5,
                 at_ms: 4.0,
             },
-        ];
-        for e in &events {
+        ]
+    }
+
+    #[test]
+    fn display_and_json_render_every_kind() {
+        for e in &one_of_each() {
             let text = e.to_string();
             assert!(!text.is_empty());
             let json = e.to_json();
@@ -495,5 +674,38 @@ mod tests {
                 "{json}"
             );
         }
+    }
+
+    #[test]
+    fn json_round_trip_every_kind() {
+        for e in &one_of_each() {
+            let back = TraceEvent::from_json(&e.to_json()).unwrap();
+            assert_eq!(&back, e);
+        }
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(TraceEvent::from_json("not json").is_err());
+        assert!(TraceEvent::from_json("{}").is_err());
+        assert!(TraceEvent::from_json(r#"{"kind":"martian"}"#).is_err());
+        assert!(TraceEvent::from_json(r#"{"kind":"delegation","from":0}"#).is_err());
+        assert!(TraceEvent::from_json(
+            r#"{"kind":"message","from":0,"to":1,"msg":"warp","bytes":1,"sent_ms":0,"at_ms":1}"#
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn adversarial_strings_round_trip_json() {
+        let e = TraceEvent::ServiceCall {
+            caller: PeerId(0),
+            provider: PeerId(1),
+            service: "svc\"\\\n\u{1}\u{7f} 中🦀".into(),
+            call_id: u64::MAX,
+            at_ms: 1.0,
+        };
+        let back = TraceEvent::from_json(&e.to_json()).unwrap();
+        assert_eq!(back, e);
     }
 }

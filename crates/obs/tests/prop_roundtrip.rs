@@ -1,0 +1,274 @@
+//! Property tests: arbitrary event streams round-trip bit-exactly
+//! through both file sinks, and truncated files decode to the intact
+//! prefix plus one typed tail error.
+//!
+//! Generation is hand-rolled over `axml-prng`'s SplitMix64 — the
+//! workspace's only randomness source — with fixed seeds, so every run
+//! checks the same (large) sample deterministically.
+
+use axml_obs::{BinSink, JsonlSink, ReadError, SharedBuf, TraceEvent, TraceReader, TraceSink};
+use axml_prng::SplitMix64;
+use axml_xml::ids::PeerId;
+
+/// Names stressing the escaping paths: controls, quotes, non-ASCII,
+/// astral plane, empty.
+const NAMES: &[&str] = &[
+    "eval",
+    "apply-finish",
+    "R11-push-select",
+    "",
+    "with space",
+    "quote\"back\\slash",
+    "line\nbreak\ttab\r",
+    "ctl\u{1}\u{1f}\u{7f}\u{9f}",
+    "unicode é 中 \u{2028}",
+    "astral 𝒜🦀",
+];
+
+fn arb_peer(rng: &mut SplitMix64) -> PeerId {
+    PeerId(rng.gen_range(0u32..200))
+}
+
+fn arb_name(rng: &mut SplitMix64) -> std::borrow::Cow<'static, str> {
+    (*rng.choose(NAMES).unwrap()).into()
+}
+
+/// Finite times only: the JSONL format writes non-finite floats as
+/// `null` (documented caveat), so bit-exactness is promised for the
+/// finite timestamps real runs produce.
+fn arb_time(rng: &mut SplitMix64) -> f64 {
+    match rng.gen_range(0u32..10) {
+        0 => 0.0,
+        1 => rng.gen_range(0u64..1_000_000) as f64, // integral
+        _ => rng.next_f64() * 1.0e6,                // arbitrary mantissa
+    }
+}
+
+fn arb_bytes(rng: &mut SplitMix64) -> u64 {
+    match rng.gen_range(0u32..8) {
+        0 => 0,
+        1 => u64::MAX, // exercises exact integer JSON emission
+        _ => rng.gen_range(0u64..1_000_000_000),
+    }
+}
+
+fn arb_kind(rng: &mut SplitMix64) -> axml_obs::MessageKind {
+    *rng.choose(&axml_obs::MessageKind::ALL).unwrap()
+}
+
+fn arb_event(rng: &mut SplitMix64) -> TraceEvent {
+    match rng.gen_range(0u32..9) {
+        0 => TraceEvent::Definition {
+            def: rng.gen_range(1u32..=9) as u8,
+            peer: arb_peer(rng),
+            expr: arb_name(rng),
+            at_ms: arb_time(rng),
+        },
+        1 => TraceEvent::Delegation {
+            from: arb_peer(rng),
+            to: arb_peer(rng),
+            at_ms: arb_time(rng),
+        },
+        2 => TraceEvent::MessageSent {
+            from: arb_peer(rng),
+            to: arb_peer(rng),
+            kind: arb_kind(rng),
+            bytes: arb_bytes(rng),
+            sent_ms: arb_time(rng),
+            at_ms: arb_time(rng),
+        },
+        3 => TraceEvent::MessageDelivered {
+            from: arb_peer(rng),
+            to: arb_peer(rng),
+            kind: arb_kind(rng),
+            bytes: arb_bytes(rng),
+            at_ms: arb_time(rng),
+        },
+        4 => TraceEvent::TaskScheduled {
+            peer: arb_peer(rng),
+            task: arb_name(rng),
+            at_ms: arb_time(rng),
+        },
+        5 => TraceEvent::RuleAttempted {
+            rule: arb_name(rng),
+            accepted: rng.gen_bool(0.5),
+            cost: arb_time(rng),
+        },
+        6 => {
+            let n = rng.gen_range(0usize..6);
+            TraceEvent::PlanChosen {
+                site: arb_peer(rng),
+                explored: rng.gen_range(0usize..10_000),
+                cost: arb_time(rng),
+                trace: (0..n).map(|_| arb_name(rng)).collect(),
+            }
+        }
+        7 => TraceEvent::ServiceCall {
+            caller: arb_peer(rng),
+            provider: arb_peer(rng),
+            service: arb_name(rng).into_owned(),
+            call_id: arb_bytes(rng),
+            at_ms: arb_time(rng),
+        },
+        _ => TraceEvent::SubscriptionDelta {
+            subscription: arb_bytes(rng),
+            provider: arb_peer(rng),
+            fresh: rng.gen_range(0usize..1000),
+            suppressed: rng.gen_range(0usize..1000),
+            at_ms: arb_time(rng),
+        },
+    }
+}
+
+fn arb_stream(rng: &mut SplitMix64, max_len: usize) -> Vec<TraceEvent> {
+    let n = rng.gen_range(0..=max_len);
+    (0..n).map(|_| arb_event(rng)).collect()
+}
+
+fn encode_jsonl(events: &[TraceEvent]) -> Vec<u8> {
+    let buf = SharedBuf::new();
+    let mut sink = JsonlSink::new(buf.clone());
+    for e in events {
+        sink.record(e.clone());
+    }
+    sink.flush().unwrap();
+    buf.bytes()
+}
+
+fn encode_bin(events: &[TraceEvent]) -> Vec<u8> {
+    let buf = SharedBuf::new();
+    let mut sink = BinSink::new(buf.clone());
+    for e in events {
+        sink.record(e.clone());
+    }
+    sink.flush().unwrap();
+    buf.bytes()
+}
+
+fn decode(bytes: &[u8]) -> Vec<TraceEvent> {
+    TraceReader::new(bytes)
+        .unwrap()
+        .collect::<Result<_, _>>()
+        .unwrap()
+}
+
+/// Bit-level equality: `PartialEq` on `f64` treats `-0.0 == 0.0`, so
+/// compare timestamps through their bit patterns via the binary codec.
+fn assert_bit_exact(a: &[TraceEvent], b: &[TraceEvent]) {
+    assert_eq!(a, b);
+    assert_eq!(encode_bin(a), encode_bin(b), "bitwise encodings differ");
+}
+
+#[test]
+fn prop_bin_round_trip() {
+    let mut rng = SplitMix64::new(0xB1A5_0001);
+    for case in 0..200 {
+        let events = arb_stream(&mut rng, 50);
+        let decoded = decode(&encode_bin(&events));
+        assert_bit_exact(&events, &decoded);
+        let _ = case;
+    }
+}
+
+#[test]
+fn prop_jsonl_round_trip() {
+    let mut rng = SplitMix64::new(0xB1A5_0002);
+    for _ in 0..200 {
+        let events = arb_stream(&mut rng, 50);
+        let decoded = decode(&encode_jsonl(&events));
+        assert_bit_exact(&events, &decoded);
+    }
+}
+
+#[test]
+fn prop_jsonl_binary_cross_format() {
+    // JSONL-decoded and binary-decoded streams of the same source are
+    // identical, and re-encoding the JSONL-decoded stream as binary
+    // reproduces the original binary file byte for byte.
+    let mut rng = SplitMix64::new(0xB1A5_0003);
+    for _ in 0..100 {
+        let events = arb_stream(&mut rng, 40);
+        let via_jsonl = decode(&encode_jsonl(&events));
+        let bin = encode_bin(&events);
+        let via_bin = decode(&bin);
+        assert_bit_exact(&via_jsonl, &via_bin);
+        assert_eq!(encode_bin(&via_jsonl), bin);
+    }
+}
+
+#[test]
+fn prop_truncated_binary_yields_prefix_and_typed_error() {
+    let mut rng = SplitMix64::new(0xB1A5_0004);
+    for _ in 0..100 {
+        let mut events = arb_stream(&mut rng, 30);
+        if events.is_empty() {
+            events.push(arb_event(&mut rng));
+        }
+        let bytes = encode_bin(&events);
+        // Cut strictly inside the record region (after the 5-byte
+        // header, before the end).
+        let cut = rng.gen_range(5..bytes.len());
+        let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
+        let n_ok = items.iter().take_while(|i| i.is_ok()).count();
+        // The decodable prefix is a prefix of the original stream…
+        let prefix: Vec<_> = items.into_iter().take(n_ok).map(Result::unwrap).collect();
+        assert_eq!(prefix[..], events[..n_ok]);
+        // …and re-reading tells us what follows it: either the cut fell
+        // exactly on a record boundary (clean end) or one typed
+        // Truncated error and nothing after.
+        let mut reader = TraceReader::new(&bytes[..cut]).unwrap();
+        for _ in 0..n_ok {
+            reader.next().unwrap().unwrap();
+        }
+        match reader.next() {
+            None => {} // boundary cut
+            Some(Err(ReadError::Truncated { record, .. })) => {
+                assert_eq!(record as usize, n_ok);
+                assert!(
+                    reader.next().is_none(),
+                    "reader must fuse after the tail error"
+                );
+            }
+            Some(other) => panic!("expected truncation, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn prop_truncated_jsonl_yields_prefix_and_typed_error() {
+    let mut rng = SplitMix64::new(0xB1A5_0005);
+    for _ in 0..100 {
+        let mut events = arb_stream(&mut rng, 30);
+        if events.is_empty() {
+            events.push(arb_event(&mut rng));
+        }
+        let bytes = encode_jsonl(&events);
+        let cut = rng.gen_range(1..bytes.len());
+        // Avoid cutting in the middle of a multi-byte UTF-8 scalar:
+        // back off to a char boundary (a killed writer can truncate
+        // mid-scalar; the reader then reports an I/O-level error, which
+        // is legitimate but not the case under test here).
+        let mut cut = cut;
+        while cut > 0 && (bytes[cut] & 0xC0) == 0x80 {
+            cut -= 1;
+        }
+        if cut == 0 {
+            continue;
+        }
+        let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
+        let n_ok = items.iter().take_while(|i| i.is_ok()).count();
+        let prefix: Vec<_> = items
+            .iter()
+            .take(n_ok)
+            .map(|i| i.as_ref().unwrap().clone())
+            .collect();
+        assert_eq!(prefix[..], events[..n_ok]);
+        match items.get(n_ok) {
+            None => {}
+            Some(Err(ReadError::Truncated { .. })) => {
+                assert_eq!(items.len(), n_ok + 1, "nothing after the tail error");
+            }
+            Some(other) => panic!("expected truncation, got {other:?}"),
+        }
+    }
+}

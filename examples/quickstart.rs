@@ -14,6 +14,10 @@
 //! messages sent), and the system's [`EvalMetrics`] aggregate them into a
 //! [`RunReport`] that reconciles exactly with the network statistics —
 //! printed at the end as both text and JSON.
+//!
+//! Set `AXML_TRACE_OUT=run.trc` to additionally stream the whole trace
+//! to a binary file (via a [`FanoutSink`] tee) and replay it with
+//! `cargo run -p axml-bench --bin axml-trace -- run.trc`.
 
 use axml::prelude::*;
 use axml::xml::tree::Tree;
@@ -36,13 +40,23 @@ fn main() {
 
     // ---- build the system --------------------------------------------
     // Tracing on from the start: keep one sink handle, give the builder
-    // its clone.
+    // its clone. With AXML_TRACE_OUT set, tee the same stream into a
+    // binary trace file for offline replay with `axml-trace`.
     let sink = VecSink::new();
+    let trace_out = std::env::var("AXML_TRACE_OUT").ok();
+    let tee: Box<dyn TraceSink> = match &trace_out {
+        Some(path) => Box::new(
+            FanoutSink::new()
+                .with(sink.clone())
+                .with(BinSink::create(path).expect("create trace file")),
+        ),
+        None => Box::new(sink.clone()),
+    };
     let mut sys = AxmlSystem::builder()
         .peers(["client", "server"])
         .link("client", "server", LinkCost::wan())
         .doc("server", "catalog", catalog)
-        .trace(sink.clone())
+        .trace(tee)
         .build()
         .unwrap();
     let client = sys.peer_id("client").unwrap();
@@ -70,7 +84,9 @@ fn main() {
     println!("results: {} packages", results.len());
     println!("traffic: {}", sys.stats());
     println!("trace:");
-    for e in sink.take() {
+    let events = sink.take();
+    let mut traced = events.len();
+    for e in events {
         println!("  {e}");
     }
 
@@ -88,7 +104,9 @@ fn main() {
     // The beam search attempts ~100 candidates; the structured events make
     // it trivial to filter — show only the accepted rewrites and execution.
     println!("trace (accepted rewrites + execution):");
-    for e in sink.take() {
+    let events = sink.take();
+    traced += events.len();
+    for e in events {
         if matches!(
             e,
             TraceEvent::RuleAttempted {
@@ -116,4 +134,20 @@ fn main() {
     println!("\n{report}");
     println!("as JSON:\n{}", report.to_json());
     assert!(report.reconciled, "metrics reconcile with NetStats exactly");
+
+    // ---- the trace file ---------------------------------------------------
+    // The tee'd binary file holds the same stream the VecSink saw:
+    // detaching flushes it, and decoding it back gives event parity.
+    if let Some(path) = trace_out {
+        sys.clear_trace_sink();
+        traced += sink.len();
+        let mut n_file = 0usize;
+        for record in TraceReader::open(&path).expect("trace file readable") {
+            record.expect("every record decodes");
+            n_file += 1;
+        }
+        assert_eq!(n_file, traced, "file trace has every in-memory event");
+        println!("\ntrace file {path}: {n_file} events");
+        println!("replay: cargo run -p axml-bench --bin axml-trace -- {path}");
+    }
 }

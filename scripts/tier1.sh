@@ -25,4 +25,20 @@ cargo test --workspace -q
 echo "== tier-1: cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+echo "== tier-1: trace pipeline round-trip + timeline render smoke =="
+TRACE_TMP="$(mktemp -d)"
+trap 'rm -rf "$TRACE_TMP"' EXIT
+# quickstart with a binary trace file tee'd in; it asserts the decoded
+# file carries every in-memory event before exiting.
+AXML_TRACE_OUT="$TRACE_TMP/quickstart.trc" \
+    cargo run --release -q --example quickstart > "$TRACE_TMP/quickstart.out"
+grep -q "trace file" "$TRACE_TMP/quickstart.out"
+# replay it: ASCII timeline on stdout, SVG on disk.
+cargo run --release -q -p axml-bench --bin axml-trace -- \
+    "$TRACE_TMP/quickstart.trc" --stats --svg "$TRACE_TMP/quickstart.svg" \
+    > "$TRACE_TMP/render.out"
+grep -q "binary trace" "$TRACE_TMP/render.out"
+grep -q "max concurrent flights" "$TRACE_TMP/render.out"
+grep -q "<svg" "$TRACE_TMP/quickstart.svg"
+
 echo "tier-1: all green"
