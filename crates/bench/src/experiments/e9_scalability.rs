@@ -1,4 +1,4 @@
-//! **E9 — scalability with the number of peers.** Two series:
+//! **E9 — scalability with the number of peers.** Three series:
 //!
 //! 1. *Subscription fan-out*: `n` clients subscribe to one provider's
 //!    continuous feed; one published item must cost Θ(n) deliveries —
@@ -6,6 +6,10 @@
 //! 2. *Optimizer vs peer count*: the search space grows with candidate
 //!    relocation targets; measure explored candidates and search time as
 //!    peers are added.
+//! 3. *Parallel evaluation driver*: `n` identical service calls fan in
+//!    on one provider; the sequential reference evaluates the service
+//!    `n` times while the parallel driver collapses the duplicates onto
+//!    one evaluation — wall-clock speedup with bit-identical reports.
 
 use crate::report::{fmt_bytes, Report};
 use crate::workload::{catalog, naive_apply, selective_query};
@@ -19,6 +23,88 @@ pub const CLIENTS: &[usize] = &[2, 4, 8, 16, 32];
 
 /// Peer counts swept in the optimizer series.
 pub const PEERS: &[usize] = &[2, 4, 8, 16];
+
+/// Duplicate-call counts swept in the parallel-evaluation series.
+pub const FANIN: &[usize] = &[2, 4, 8];
+
+/// One measured configuration of the parallel-evaluation series.
+pub struct ParEvalRun {
+    /// Wall-clock milliseconds under the sequential reference driver.
+    pub seq_wall_ms: f64,
+    /// Wall-clock milliseconds under `Parallel { threads: 4 }`.
+    pub par_wall_ms: f64,
+    /// The sequential run's report.
+    pub seq_report: RunReport,
+    /// The parallel run's report — must serialize identically to
+    /// `seq_report`.
+    pub par_report: RunReport,
+    /// Network bytes (identical across drivers by construction).
+    pub bytes: u64,
+    /// Network messages.
+    pub msgs: u64,
+    /// Virtual-clock makespan (ms).
+    pub makespan: f64,
+}
+
+/// Build the fan-in system (coordinator + provider, WAN) and run the
+/// `n`-duplicate batch under `driver`, timing the evaluation.
+fn par_eval_once(
+    n: usize,
+    catalog_size: usize,
+    driver: DriverKind,
+) -> (f64, RunReport, u64, u64, f64) {
+    let mut sys = AxmlSystem::builder()
+        .peers(["coord", "provider"])
+        .link("coord", "provider", LinkCost::wan())
+        .doc("provider", "catalog", catalog(catalog_size, 0.05, 0xE9))
+        .service(
+            "provider",
+            "scan",
+            r#"for $p in doc("catalog")//pkg where $p/size/text() > 100000 return {$p/@name}"#,
+        )
+        .seed(0xE9)
+        .driver(driver)
+        .build()
+        .unwrap();
+    let coord = sys.peer_id("coord").unwrap();
+    let mut batch = String::from("<batch>");
+    for _ in 0..n {
+        batch.push_str("<sc><peer>p1</peer><service>scan</service></sc>");
+    }
+    batch.push_str("</batch>");
+    let e = Expr::Tree {
+        tree: Tree::parse(&batch).unwrap(),
+        at: coord,
+    };
+    let t0 = Instant::now();
+    sys.eval(coord, &e).unwrap();
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let report = sys.run_report(format!("E9 par-eval ({n} duplicate calls)"));
+    (
+        wall_ms,
+        report,
+        sys.stats().total_bytes(),
+        sys.stats().total_messages(),
+        sys.stats().makespan_ms(),
+    )
+}
+
+/// Measure one fan-in configuration under both drivers.
+pub fn par_eval(n: usize, catalog_size: usize) -> ParEvalRun {
+    let (seq_wall_ms, seq_report, bytes, msgs, makespan) =
+        par_eval_once(n, catalog_size, DriverKind::Sequential);
+    let (par_wall_ms, par_report, ..) =
+        par_eval_once(n, catalog_size, DriverKind::Parallel { threads: 4 });
+    ParEvalRun {
+        seq_wall_ms,
+        par_wall_ms,
+        seq_report,
+        par_report,
+        bytes,
+        msgs,
+        makespan,
+    }
+}
 
 /// Run E9.
 pub fn run() -> Report {
@@ -34,6 +120,9 @@ pub fn run() -> Report {
             "serial ms",
             "explored",
             "search ms",
+            "seq wall ms",
+            "par4 wall ms",
+            "speedup",
         ],
     );
     // --- series 1: fan-out ------------------------------------------------
@@ -99,6 +188,9 @@ pub fn run() -> Report {
                 format!("{serial_ms:.1}"),
                 "-".into(),
                 "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
             ],
             run,
         );
@@ -134,18 +226,67 @@ pub fn run() -> Report {
                 "-".into(),
                 plan.explored.to_string(),
                 format!("{ms:.1}"),
+                "-".into(),
+                "-".into(),
+                "-".into(),
             ],
             run,
+        );
+    }
+    // --- series 3: sequential vs parallel evaluation driver -----------------
+    for &n in FANIN {
+        let m = par_eval(n, 1500);
+        assert_eq!(
+            m.seq_report.to_json(),
+            m.par_report.to_json(),
+            "par-eval n={n}: drivers must produce identical reports"
+        );
+        let speedup = m.seq_wall_ms / m.par_wall_ms.max(1e-9);
+        r.row_with_run(
+            vec![
+                "par-eval".into(),
+                n.to_string(),
+                fmt_bytes(m.bytes),
+                m.msgs.to_string(),
+                format!("{:.1}", m.makespan),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                format!("{:.1}", m.seq_wall_ms),
+                format!("{:.1}", m.par_wall_ms),
+                format!("{speedup:.1}x"),
+            ],
+            m.par_report,
         );
     }
     r.note("fan-out: one published item costs exactly n deliveries (delta semantics)");
     r.note("fan-out makespan: deliveries overlap — critical path, not the serial byte sum");
     r.note("optimizer: candidates grow with relocation targets; memoization bounds the blow-up");
+    r.note("par-eval: n duplicate calls collapse onto one evaluation; reports stay bit-identical");
     r
 }
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn par_eval_reports_match_and_duplicates_collapse() {
+        let m = super::par_eval(8, 400);
+        assert_eq!(
+            m.seq_report.to_json(),
+            m.par_report.to_json(),
+            "drivers diverged"
+        );
+        // 8 duplicate evaluations collapse to 1 under the parallel
+        // driver; even on one core the wall clock must reflect it.
+        let speedup = m.seq_wall_ms / m.par_wall_ms.max(1e-9);
+        assert!(
+            speedup > 1.2,
+            "expected collapsing to win clearly: seq {:.2} ms vs par {:.2} ms ({speedup:.2}x)",
+            m.seq_wall_ms,
+            m.par_wall_ms
+        );
+    }
+
     #[test]
     fn fanout_is_linear_and_delta_clean() {
         let r = super::run();

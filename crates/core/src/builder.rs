@@ -32,6 +32,7 @@
 //! returned by `build()`; later steps are skipped, so a chain never
 //! panics halfway through.
 
+use crate::driver::DriverKind;
 use crate::error::{CoreError, CoreResult};
 use crate::pick::PickPolicy;
 use crate::service::Service;
@@ -173,9 +174,11 @@ impl SystemBuilder {
         let trace = self.sys.obs.clear_sink();
         let seed = self.sys.engine_seed;
         let policy = self.sys.pick_policy;
+        let driver = self.sys.driver;
         self.sys = AxmlSystem::with_topology(t);
         self.sys.engine_seed = seed;
         self.sys.pick_policy = policy;
+        self.sys.driver = driver;
         if let Some(s) = trace {
             self.sys.obs.set_sink(s);
         }
@@ -295,6 +298,20 @@ impl SystemBuilder {
     pub fn seed(mut self, seed: u64) -> Self {
         self.sys.set_engine_seed(seed);
         self
+    }
+
+    /// Select the evaluation driver ([`DriverKind`]). Both drivers
+    /// produce bit-identical results, stats and reports; the parallel
+    /// one precomputes independent work on a worker pool.
+    pub fn driver(mut self, driver: DriverKind) -> Self {
+        self.sys.set_driver(driver);
+        self
+    }
+
+    /// Shorthand for `.driver(DriverKind::Parallel { threads })`
+    /// (`threads == 0` means "use the machine's available parallelism").
+    pub fn parallel(self, threads: usize) -> Self {
+        self.driver(DriverKind::Parallel { threads })
     }
 
     /// Attach a trace sink from the first evaluation on.

@@ -196,6 +196,7 @@ impl AxmlSystem {
     ) -> CoreResult<usize> {
         self.check_peer(at)?;
         let doc = doc.clone();
+        self.touch_peer(at);
         {
             let d =
                 self.peers[at.index()]

@@ -58,7 +58,7 @@ impl Cost {
         if local {
             return;
         }
-        let n = payload_bytes.max(0.0) as usize;
+        let n = axml_net::link::saturating_bytes_f64(payload_bytes);
         self.bytes += link.charged_bytes(n) as f64;
         self.messages += 1.0;
         self.time_ms += link.transfer_ms(n);
@@ -243,6 +243,12 @@ impl CostModel {
     pub fn estimate(&self, site: PeerId, expr: &Expr) -> EstimatedEval {
         let mut cost = Cost::zero();
         let value_bytes = self.est(site, expr, &mut cost);
+        // Infinities are legal (unreachable links price a plan out), but a
+        // NaN would poison every comparison downstream of the beam search.
+        debug_assert!(
+            !cost.scalar().is_nan() && !value_bytes.is_nan(),
+            "cost model produced NaN for {expr:?} at {site:?}"
+        );
         EstimatedEval { value_bytes, cost }
     }
 

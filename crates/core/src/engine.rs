@@ -31,6 +31,9 @@
 //! Sequential chains (request → response) even keep identical timing;
 //! only independent transfers finish earlier.
 
+use crate::driver::{
+    precompute, DriverKind, Job, ParallelDriver, Precomp, SequentialDriver, SessionDriver,
+};
 use crate::error::{CoreError, CoreResult, EngineError};
 use crate::expr::{Expr, PeerRef, SendDest};
 use crate::message::AxmlMessage;
@@ -218,11 +221,11 @@ impl Cont {
 }
 
 /// A message popped off the network, parked in its receiver's mailbox.
-struct Delivery {
-    from: PeerId,
-    to: PeerId,
-    wire: Wire,
-    at: f64,
+pub(crate) struct Delivery {
+    pub(crate) from: PeerId,
+    pub(crate) to: PeerId,
+    pub(crate) wire: Wire,
+    pub(crate) at: f64,
 }
 
 /// One service activation as handed to `start_service_call`: who calls
@@ -241,17 +244,32 @@ struct ScCall<'a> {
 /// the driver can borrow peers, network and observability freely.
 pub(crate) struct EvalSession {
     slots: Vec<Slot>,
-    ready: VecDeque<Runnable>,
+    pub(crate) ready: VecDeque<Runnable>,
     waiting: Vec<Pending>,
-    mailboxes: Vec<VecDeque<Delivery>>,
+    pub(crate) mailboxes: Vec<VecDeque<Delivery>>,
     rng: SplitMix64,
     /// Result trees delivered by arrival-side subscription pumps
     /// (replica maintenance accumulates its downstream count here).
     pub(crate) delivered: usize,
+    /// Whether this session collapses identical service calls (parallel
+    /// driver only — the sequential reference never caches).
+    collapse: bool,
+    /// Session-scoped service-result cache: `(provider, service,
+    /// canonical params) → result @ epoch`. Entries are only reused
+    /// while the provider's state epoch is unchanged, so a hit is
+    /// bit-identical to recomputing.
+    svc_cache: std::collections::HashMap<(PeerId, ServiceName, String), CachedCall>,
+}
+
+/// One memoized service evaluation (see `EvalSession::svc_cache`).
+struct CachedCall {
+    epoch: u64,
+    results: Vec<Tree>,
+    payload: Option<String>,
 }
 
 impl EvalSession {
-    fn new(peers: usize, seed: u64) -> Self {
+    fn new(peers: usize, seed: u64, collapse: bool) -> Self {
         EvalSession {
             slots: Vec::new(),
             ready: VecDeque::new(),
@@ -259,6 +277,8 @@ impl EvalSession {
             mailboxes: (0..peers).map(|_| VecDeque::new()).collect(),
             rng: SplitMix64::new(seed),
             delivered: 0,
+            collapse,
+            svc_cache: std::collections::HashMap::new(),
         }
     }
 
@@ -272,19 +292,25 @@ impl EvalSession {
     }
 
     /// Take the first part of a finished slot (the session's result).
-    pub(crate) fn take(&mut self, slot: usize) -> Vec<Tree> {
+    ///
+    /// A part that was never filled means a delivery was lost somewhere
+    /// between the peers — that is a [`EngineError::LostResult`], not an
+    /// empty answer. (A part filled with an empty forest is a perfectly
+    /// valid result and comes back as `Ok(vec![])`.)
+    pub(crate) fn take(&mut self, slot: usize) -> Result<Vec<Tree>, EngineError> {
         self.slots[slot]
             .parts
             .get_mut(0)
             .and_then(Option::take)
-            .unwrap_or_default()
+            .ok_or(EngineError::LostResult { slot, part: 0 })
     }
 
-    fn gather(&mut self, slot: usize) -> Vec<Vec<Tree>> {
+    fn gather(&mut self, slot: usize) -> Result<Vec<Vec<Tree>>, EngineError> {
         self.slots[slot]
             .parts
             .iter_mut()
-            .map(|p| p.take().unwrap_or_default())
+            .enumerate()
+            .map(|(part, p)| p.take().ok_or(EngineError::LostResult { slot, part }))
             .collect()
     }
 }
@@ -297,6 +323,7 @@ impl AxmlSystem {
         EvalSession::new(
             self.peers.len(),
             self.engine_seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            matches!(self.driver, DriverKind::Parallel { .. }),
         )
     }
 
@@ -320,7 +347,10 @@ impl AxmlSystem {
     /// way the trace sink is flushed (best effort) so file-backed sinks
     /// are durable up to every quiescence point.
     pub(crate) fn run_session(&mut self, s: &mut EvalSession) -> CoreResult<()> {
-        let r = self.run_session_inner(s);
+        let r = match self.driver {
+            DriverKind::Sequential => SequentialDriver.drive(self, s),
+            DriverKind::Parallel { threads } => ParallelDriver { threads }.drive(self, s),
+        };
         if r.is_err() {
             self.net.clear_in_flight();
         }
@@ -330,37 +360,108 @@ impl AxmlSystem {
         r
     }
 
-    fn run_session_inner(&mut self, s: &mut EvalSession) -> CoreResult<()> {
+    /// The single-threaded reference loop (see [`crate::driver`]).
+    pub(crate) fn run_session_sequential(&mut self, s: &mut EvalSession) -> CoreResult<()> {
         loop {
             while let Some(task) = s.ready.pop_front() {
-                self.run_task(s, task)?;
+                self.run_task(s, task, None)?;
             }
-            if !self.net.has_pending() {
+            if !self.next_arrival_batch(s) {
                 break;
-            }
-            // Deliver every message arriving at the earliest instant as
-            // one batch; the session PRNG breaks ordering ties so runs
-            // are deterministic but not biased by send order.
-            let t = self
-                .net
-                .peek_arrival()
-                .expect("pending messages have an arrival time");
-            let mut batch = Vec::new();
-            while self.net.peek_arrival() == Some(t) {
-                let (from, to, wire, at) = self.net.recv_from().expect("peeked arrival must pop");
-                batch.push(Delivery { from, to, wire, at });
-            }
-            s.rng.shuffle(&mut batch);
-            for d in batch {
-                let ix = d.to.index();
-                s.mailboxes[ix].push_back(d);
             }
             for p in 0..s.mailboxes.len() {
                 while let Some(d) = s.mailboxes[p].pop_front() {
-                    self.deliver(s, d)?;
+                    self.deliver(s, d, None)?;
                 }
             }
         }
+        self.check_quiescent(s)
+    }
+
+    /// The wave-based parallel driver (see [`crate::driver`] for the
+    /// precompute/commit split and the equivalence argument). Spawned
+    /// tasks land on `s.ready` *behind* the wave being committed, so
+    /// the global task order is exactly the sequential FIFO; deliveries
+    /// never push into mailboxes, so draining all mailboxes up front is
+    /// order-equivalent to the sequential per-peer drain.
+    pub(crate) fn run_session_parallel(
+        &mut self,
+        s: &mut EvalSession,
+        threads: usize,
+    ) -> CoreResult<()> {
+        loop {
+            while !s.ready.is_empty() {
+                let wave: Vec<Runnable> = s.ready.drain(..).collect();
+                let jobs: Vec<(usize, Job<'_>)> = wave
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| Job::for_task(t).map(|j| (i, j)))
+                    .collect();
+                let (mut pre, wstats) =
+                    precompute(&self.peers, &self.state_epochs, jobs, wave.len(), threads);
+                self.note_wave(&wstats);
+                for (i, task) in wave.into_iter().enumerate() {
+                    let p = pre[i].take();
+                    self.run_task(s, task, p)?;
+                }
+            }
+            if !self.next_arrival_batch(s) {
+                break;
+            }
+            let mut wave: Vec<Delivery> = Vec::new();
+            for mb in &mut s.mailboxes {
+                wave.extend(mb.drain(..));
+            }
+            let jobs: Vec<(usize, Job<'_>)> = wave
+                .iter()
+                .enumerate()
+                .filter_map(|(i, d)| Job::for_delivery(d).map(|j| (i, j)))
+                .collect();
+            let (mut pre, wstats) =
+                precompute(&self.peers, &self.state_epochs, jobs, wave.len(), threads);
+            self.note_wave(&wstats);
+            for (i, d) in wave.into_iter().enumerate() {
+                let p = pre[i].take();
+                self.deliver(s, d, p)?;
+            }
+        }
+        self.check_quiescent(s)
+    }
+
+    fn note_wave(&mut self, w: &crate::driver::WaveStats) {
+        self.par_stats.waves += 1;
+        self.par_stats.jobs += w.jobs;
+        self.par_stats.dedup_hits += w.dedup_hits;
+    }
+
+    /// Pop every message arriving at the earliest pending instant,
+    /// shuffle the batch with the session PRNG (deterministic
+    /// tie-breaking, not biased by send order) and enqueue each message
+    /// into its receiver's mailbox. Returns `false` when nothing is in
+    /// flight. Both drivers share this — it is the *only* consumer of
+    /// the session PRNG, which keeps the stream identical across them.
+    fn next_arrival_batch(&mut self, s: &mut EvalSession) -> bool {
+        if !self.net.has_pending() {
+            return false;
+        }
+        let t = self
+            .net
+            .peek_arrival()
+            .expect("pending messages have an arrival time");
+        let mut batch = Vec::new();
+        while self.net.peek_arrival() == Some(t) {
+            let (from, to, wire, at) = self.net.recv_from().expect("peeked arrival must pop");
+            batch.push(Delivery { from, to, wire, at });
+        }
+        s.rng.shuffle(&mut batch);
+        for d in batch {
+            let ix = d.to.index();
+            s.mailboxes[ix].push_back(d);
+        }
+        true
+    }
+
+    fn check_quiescent(&self, s: &EvalSession) -> CoreResult<()> {
         if let Some(p) = s.waiting.first() {
             return Err(EngineError::Stalled {
                 peer: p.peer,
@@ -371,17 +472,30 @@ impl AxmlSystem {
         Ok(())
     }
 
-    fn run_task(&mut self, s: &mut EvalSession, task: Runnable) -> CoreResult<()> {
+    pub(crate) fn run_task(
+        &mut self,
+        s: &mut EvalSession,
+        task: Runnable,
+        pre: Option<Precomp>,
+    ) -> CoreResult<()> {
         match task {
             Runnable::Eval { at, expr, out } => self.step_eval(s, at, expr, out),
-            Runnable::Resume { peer, cont, input } => self.resume(s, peer, cont, input),
+            Runnable::Resume { peer, cont, input } => self.resume(s, peer, cont, input, pre),
         }
     }
 
-    fn deliver(&mut self, s: &mut EvalSession, d: Delivery) -> CoreResult<()> {
+    pub(crate) fn deliver(
+        &mut self,
+        s: &mut EvalSession,
+        d: Delivery,
+        pre: Option<Precomp>,
+    ) -> CoreResult<()> {
         let Delivery { from, to, wire, at } = d;
         let kind = wire.msg.kind();
-        let charged = self.net.link(from, to).charged_bytes(wire.msg.wire_size()) as u64;
+        let charged = self
+            .net
+            .link(from, to)
+            .charged_bytes_u64(wire.msg.wire_size());
         self.obs.emit(|| TraceEvent::MessageDelivered {
             from,
             to,
@@ -389,7 +503,7 @@ impl AxmlSystem {
             bytes: charged,
             at_ms: at,
         });
-        self.apply_intent(s, to, wire.intent)
+        self.apply_intent(s, to, wire.intent, pre)
     }
 
     /// Send a message with its receiver-side intent. Local sends are
@@ -405,10 +519,10 @@ impl AxmlSystem {
         self.check_peer(from)?;
         self.check_peer(to)?;
         if from == to {
-            return self.apply_intent(s, to, intent);
+            return self.apply_intent(s, to, intent, None);
         }
         let kind = msg.kind();
-        let charged = self.net.link(from, to).charged_bytes(msg.wire_size()) as u64;
+        let charged = self.net.link(from, to).charged_bytes_u64(msg.wire_size());
         let sent = self.net.now_ms();
         let at = match self.net.try_send(from, to, Wire { msg, intent }) {
             Ok(at) => at,
@@ -429,11 +543,17 @@ impl AxmlSystem {
         Ok(())
     }
 
-    fn apply_intent(&mut self, s: &mut EvalSession, to: PeerId, intent: Intent) -> CoreResult<()> {
+    fn apply_intent(
+        &mut self,
+        s: &mut EvalSession,
+        to: PeerId,
+        intent: Intent,
+        pre: Option<Precomp>,
+    ) -> CoreResult<()> {
         match intent {
             Intent::None => Ok(()),
             Intent::Reply { forest, out } => {
-                self.fill(s, out, forest);
+                self.fill(s, out, forest)?;
                 Ok(())
             }
             Intent::EvalAndReply {
@@ -460,7 +580,7 @@ impl AxmlSystem {
                         tag,
                         remote_out: out,
                     },
-                );
+                )?;
                 Ok(())
             }
             Intent::EvalHere { expr, done } => {
@@ -473,7 +593,7 @@ impl AxmlSystem {
                         out: (slot, 0),
                     },
                 );
-                self.register_pending(s, slot, to, Cont::Discard { out: done });
+                self.register_pending(s, slot, to, Cont::Discard { out: done })?;
                 Ok(())
             }
             Intent::Graft {
@@ -483,7 +603,7 @@ impl AxmlSystem {
             } => {
                 self.graft_at(&addr, &forest)?;
                 if let Some(n) = notify {
-                    self.fill(s, n, Vec::new());
+                    self.fill(s, n, Vec::new())?;
                 }
                 Ok(())
             }
@@ -493,7 +613,7 @@ impl AxmlSystem {
                 notify,
             } => {
                 self.install_new_doc(to, &name, &forest)?;
-                self.fill(s, notify, Vec::new());
+                self.fill(s, notify, Vec::new())?;
                 Ok(())
             }
             Intent::Deploy {
@@ -502,7 +622,8 @@ impl AxmlSystem {
                 notify,
             } => {
                 self.peers[to.index()].register_service(Service::declarative(as_service, query));
-                self.fill(s, notify, Vec::new());
+                self.touch_peer(to);
+                self.fill(s, notify, Vec::new())?;
                 Ok(())
             }
             Intent::Invoke {
@@ -512,7 +633,7 @@ impl AxmlSystem {
                 forward,
                 call_id,
                 out,
-            } => self.run_service_at(s, to, caller, &service, params, &forward, call_id, out),
+            } => self.run_service_at(s, to, caller, &service, params, &forward, call_id, out, pre),
             Intent::ReplicaFeed { doc, tree } => {
                 let n = self.feed_into(s, to, &doc, tree)?;
                 s.delivered += n;
@@ -524,29 +645,37 @@ impl AxmlSystem {
     /// Fill one slot part; a slot whose last part arrives wakes its
     /// waiting continuation (if registered — otherwise the parts stay
     /// for a later [`AxmlSystem::register_pending`] or `take`).
-    fn fill(&mut self, s: &mut EvalSession, out: Out, forest: Vec<Tree>) {
+    fn fill(&mut self, s: &mut EvalSession, out: Out, forest: Vec<Tree>) -> CoreResult<()> {
         let slot = &mut s.slots[out.0];
         debug_assert!(slot.parts[out.1].is_none(), "slot part filled twice");
         slot.parts[out.1] = Some(forest);
         slot.missing -= 1;
         if slot.missing == 0 {
-            self.wake(s, out.0);
+            self.wake(s, out.0)?;
         }
+        Ok(())
     }
 
-    fn wake(&mut self, s: &mut EvalSession, slot: usize) {
+    fn wake(&mut self, s: &mut EvalSession, slot: usize) -> CoreResult<()> {
         if let Some(ix) = s.waiting.iter().position(|p| p.wait == slot) {
             let Pending { peer, cont, .. } = s.waiting.swap_remove(ix);
-            let input = s.gather(slot);
+            let input = s.gather(slot)?;
             self.schedule(s, Runnable::Resume { peer, cont, input });
         }
+        Ok(())
     }
 
     /// Park `cont` until `slot` is ready (resuming immediately if it
     /// already is — e.g. zero-part gates or all-local fills).
-    fn register_pending(&mut self, s: &mut EvalSession, slot: usize, peer: PeerId, cont: Cont) {
+    fn register_pending(
+        &mut self,
+        s: &mut EvalSession,
+        slot: usize,
+        peer: PeerId,
+        cont: Cont,
+    ) -> CoreResult<()> {
         if s.slots[slot].missing == 0 {
-            let input = s.gather(slot);
+            let input = s.gather(slot)?;
             self.schedule(s, Runnable::Resume { peer, cont, input });
         } else {
             s.waiting.push(Pending {
@@ -555,6 +684,7 @@ impl AxmlSystem {
                 cont,
             });
         }
+        Ok(())
     }
 
     /// Decompose one expression node — the task form of definitions
@@ -591,7 +721,7 @@ impl AxmlSystem {
                 if home == at {
                     self.record_def(1, at, "doc");
                     let tree = self.peers[at.index()].doc(&concrete, at)?.clone();
-                    self.fill(s, out, vec![tree]);
+                    self.fill(s, out, vec![tree])?;
                     Ok(())
                 } else {
                     self.fetch_remote(
@@ -660,7 +790,7 @@ impl AxmlSystem {
                         skip,
                         out,
                     },
-                );
+                )?;
                 Ok(())
             }
 
@@ -680,7 +810,7 @@ impl AxmlSystem {
                     SendDest::Nodes(addrs) => Cont::SendNodes { addrs, out },
                     SendDest::NewDoc { peer, name } => Cont::SendNewDoc { peer, name, out },
                 };
-                self.register_pending(s, slot, at, cont);
+                self.register_pending(s, slot, at, cont)?;
                 Ok(())
             }
 
@@ -716,7 +846,7 @@ impl AxmlSystem {
                         forward,
                         out,
                     },
-                );
+                )?;
                 Ok(())
             }
 
@@ -779,7 +909,7 @@ impl AxmlSystem {
                                     out: (slot, 0),
                                 },
                             );
-                            self.register_pending(s, slot, peer, Cont::Discard { out });
+                            self.register_pending(s, slot, peer, Cont::Discard { out })?;
                         }
                     }
                     Ok(())
@@ -809,11 +939,12 @@ impl AxmlSystem {
                             notify: (gate, 0),
                         },
                     )?;
-                    self.register_pending(s, gate, at, Cont::Discard { out });
+                    self.register_pending(s, gate, at, Cont::Discard { out })?;
                 } else {
                     self.peers[to.index()]
                         .register_service(Service::declarative(as_service, query.query));
-                    self.fill(s, out, Vec::new());
+                    self.touch_peer(to);
+                    self.fill(s, out, Vec::new())?;
                 }
                 Ok(())
             }
@@ -824,7 +955,7 @@ impl AxmlSystem {
                 let mut rest: VecDeque<Expr> = es.into();
                 match rest.pop_front() {
                     None => {
-                        self.fill(s, out, Vec::new());
+                        self.fill(s, out, Vec::new())?;
                         Ok(())
                     }
                     Some(first) => {
@@ -837,7 +968,7 @@ impl AxmlSystem {
                                 out: (slot, 0),
                             },
                         );
-                        self.register_pending(s, slot, at, Cont::SeqStep { rest, out });
+                        self.register_pending(s, slot, at, Cont::SeqStep { rest, out })?;
                         Ok(())
                     }
                 }
@@ -851,12 +982,15 @@ impl AxmlSystem {
         peer: PeerId,
         cont: Cont,
         input: Vec<Vec<Tree>>,
+        mut pre: Option<Precomp>,
     ) -> CoreResult<()> {
         match cont {
             Cont::ApplyFinish { query, skip, out } => {
-                let forests = &input[skip..];
-                let res = query.eval_with_docs(forests, &self.peers[peer.index()])?;
-                self.fill(s, out, res);
+                let res = match self.take_forest_precomp(peer, &mut pre) {
+                    Some(result) => result?,
+                    None => query.eval_with_docs(&input[skip..], &self.peers[peer.index()])?,
+                };
+                self.fill(s, out, res)?;
                 Ok(())
             }
             Cont::ScReady {
@@ -879,12 +1013,13 @@ impl AxmlSystem {
                 self.record_def(3, peer, "send");
                 let forest = input.into_iter().next().unwrap_or_default();
                 if dest != peer {
+                    let payload = self.take_payload_precomp(&mut pre, &forest);
                     self.send_wire(
                         s,
                         peer,
                         dest,
                         AxmlMessage::Data {
-                            payload: Self::serialize_forest(&forest),
+                            payload,
                             tag: DataTag::Send,
                         },
                         Intent::None,
@@ -894,14 +1029,14 @@ impl AxmlSystem {
                 // to ∅; the data's arrival is the side effect (captured
                 // by EvalAt delegation when the destination is the
                 // delegating peer).
-                self.fill(s, out, Vec::new());
+                self.fill(s, out, Vec::new())?;
                 Ok(())
             }
             Cont::SendNodes { addrs, out } => {
                 self.record_def(4, peer, "send-nodes");
                 let forest = input.into_iter().next().unwrap_or_default();
                 let gate = self.deliver_to_nodes(s, peer, &addrs, &forest)?;
-                self.register_pending(s, gate, peer, Cont::Discard { out });
+                self.register_pending(s, gate, peer, Cont::Discard { out })?;
                 Ok(())
             }
             Cont::SendNewDoc {
@@ -913,13 +1048,14 @@ impl AxmlSystem {
                 let forest = input.into_iter().next().unwrap_or_default();
                 if dest != peer {
                     let gate = s.new_slot(1);
+                    let payload = self.take_payload_precomp(&mut pre, &forest);
                     self.send_wire(
                         s,
                         peer,
                         dest,
                         AxmlMessage::InstallDoc {
                             name: name.clone(),
-                            payload: Self::serialize_forest(&forest),
+                            payload,
                         },
                         Intent::InstallDoc {
                             name,
@@ -927,10 +1063,10 @@ impl AxmlSystem {
                             notify: (gate, 0),
                         },
                     )?;
-                    self.register_pending(s, gate, peer, Cont::Discard { out });
+                    self.register_pending(s, gate, peer, Cont::Discard { out })?;
                 } else {
                     self.install_new_doc(dest, &name, &forest)?;
-                    self.fill(s, out, Vec::new());
+                    self.fill(s, out, Vec::new())?;
                 }
                 Ok(())
             }
@@ -946,14 +1082,14 @@ impl AxmlSystem {
                         }
                     }
                 }
-                self.fill(s, out, vec![tree]);
+                self.fill(s, out, vec![tree])?;
                 Ok(())
             }
             Cont::SeqStep { mut rest, out } => {
                 match rest.pop_front() {
                     None => {
                         let last = input.into_iter().next().unwrap_or_default();
-                        self.fill(s, out, last);
+                        self.fill(s, out, last)?;
                     }
                     Some(next) => {
                         let slot = s.new_slot(1);
@@ -965,7 +1101,7 @@ impl AxmlSystem {
                                 out: (slot, 0),
                             },
                         );
-                        self.register_pending(s, slot, peer, Cont::SeqStep { rest, out });
+                        self.register_pending(s, slot, peer, Cont::SeqStep { rest, out })?;
                     }
                 }
                 Ok(())
@@ -977,26 +1113,24 @@ impl AxmlSystem {
             } => {
                 let forest = input.into_iter().next().unwrap_or_default();
                 if reply_to != peer {
+                    let payload = self.take_payload_precomp(&mut pre, &forest);
                     self.send_wire(
                         s,
                         peer,
                         reply_to,
-                        AxmlMessage::Data {
-                            payload: Self::serialize_forest(&forest),
-                            tag,
-                        },
+                        AxmlMessage::Data { payload, tag },
                         Intent::Reply {
                             forest,
                             out: remote_out,
                         },
                     )?;
                 } else {
-                    self.fill(s, remote_out, forest);
+                    self.fill(s, remote_out, forest)?;
                 }
                 Ok(())
             }
             Cont::Discard { out } => {
-                self.fill(s, out, Vec::new());
+                self.fill(s, out, Vec::new())?;
                 Ok(())
             }
         }
@@ -1072,7 +1206,7 @@ impl AxmlSystem {
             active.push((sc, parent));
         }
         if active.is_empty() {
-            self.fill(s, out, vec![copy]);
+            self.fill(s, out, vec![copy])?;
             return Ok(());
         }
         let slot = s.new_slot(active.len());
@@ -1101,7 +1235,7 @@ impl AxmlSystem {
                 grafts,
                 out,
             },
-        );
+        )?;
         Ok(())
     }
 
@@ -1178,8 +1312,103 @@ impl AxmlSystem {
                 forward,
                 call_id,
                 out,
+                None,
             )
         }
+    }
+
+    /// A valid (same peer, same epoch) precomputed forest, or `None` to
+    /// compute inline. Stale precomps are counted and discarded.
+    fn take_forest_precomp(
+        &mut self,
+        peer: PeerId,
+        pre: &mut Option<Precomp>,
+    ) -> Option<CoreResult<Vec<Tree>>> {
+        match pre.take() {
+            Some(Precomp::Forest {
+                peer: p,
+                epoch,
+                result,
+            }) if p == peer && epoch == self.state_epochs[peer.index()] => {
+                self.par_stats.precomp_used += 1;
+                Some(result)
+            }
+            Some(_) => {
+                self.par_stats.invalidated += 1;
+                None
+            }
+            None => None,
+        }
+    }
+
+    /// A precomputed wire payload (pure in the forest, so never stale),
+    /// or serialize inline.
+    fn take_payload_precomp(&mut self, pre: &mut Option<Precomp>, forest: &[Tree]) -> String {
+        match pre.take() {
+            Some(Precomp::Payload(p)) => {
+                self.par_stats.precomp_used += 1;
+                p
+            }
+            other => {
+                if other.is_some() {
+                    self.par_stats.invalidated += 1;
+                }
+                Self::serialize_forest(forest)
+            }
+        }
+    }
+
+    /// The provider-side evaluation of one service call: results plus
+    /// (when the call must be answered over the wire) the serialized
+    /// response payload. Resolution order: a valid precomputed result
+    /// from the parallel driver's workers, then — in collapsing
+    /// sessions — the epoch-guarded session cache, then inline
+    /// evaluation. All three produce bit-identical values: service
+    /// bodies are pure in (parameters, provider state @ epoch).
+    fn service_results(
+        &mut self,
+        s: &mut EvalSession,
+        prov: PeerId,
+        service: &ServiceName,
+        params: &[Vec<Tree>],
+        need_payload: bool,
+    ) -> CoreResult<(Vec<Tree>, Option<String>)> {
+        let epoch = self.state_epochs[prov.index()];
+        let key = s
+            .collapse
+            .then(|| (prov, service.clone(), crate::driver::params_key(params)));
+        if let Some(k) = &key {
+            if let Some(hit) = s.svc_cache.get_mut(k) {
+                if hit.epoch == epoch {
+                    self.par_stats.cache_hits += 1;
+                    if need_payload && hit.payload.is_none() {
+                        hit.payload = Some(Self::serialize_forest(&hit.results));
+                    }
+                    return Ok((hit.results.clone(), hit.payload.clone()));
+                }
+            }
+        }
+        let svc = self.peers[prov.index()].service(service, prov)?;
+        if svc.arity() != params.len() {
+            return Err(CoreError::Query(axml_query::QueryError::ArityMismatch {
+                expected: svc.arity(),
+                got: params.len(),
+            }));
+        }
+        let query = svc.query.clone();
+        let results = query.eval_with_docs(params, &self.peers[prov.index()])?;
+        let payload = need_payload.then(|| Self::serialize_forest(&results));
+        if let Some(k) = key {
+            s.svc_cache.insert(
+                k,
+                CachedCall {
+                    epoch,
+                    results: results.clone(),
+                    payload: payload.clone(),
+                },
+            );
+        }
+        Ok((results, payload))
     }
 
     /// §2.2 steps 2–3 at the provider: apply the implementation query,
@@ -1195,38 +1424,62 @@ impl AxmlSystem {
         forward: &[NodeAddr],
         call_id: u64,
         out: Out,
+        mut pre: Option<Precomp>,
     ) -> CoreResult<()> {
-        let svc = self.peers[prov.index()].service(service, prov)?;
-        if svc.arity() != params.len() {
-            return Err(CoreError::Query(axml_query::QueryError::ArityMismatch {
-                expected: svc.arity(),
-                got: params.len(),
-            }));
-        }
-        let query = svc.query.clone();
-        let results = query.eval_with_docs(&params, &self.peers[prov.index()])?;
+        let need_payload = forward.is_empty() && prov != caller;
+        let epoch = self.state_epochs[prov.index()];
+        let precomputed = match pre.take() {
+            Some(Precomp::Service {
+                peer,
+                epoch: e,
+                result,
+            }) if peer == prov && e == epoch => {
+                self.par_stats.precomp_used += 1;
+                let value = result?;
+                // Feed the session cache so later identical calls
+                // collapse onto this evaluation.
+                if s.collapse {
+                    s.svc_cache.insert(
+                        (prov, service.clone(), crate::driver::params_key(&params)),
+                        CachedCall {
+                            epoch,
+                            results: value.0.clone(),
+                            payload: value.1.clone(),
+                        },
+                    );
+                }
+                Some(value)
+            }
+            Some(_) => {
+                self.par_stats.invalidated += 1;
+                None
+            }
+            None => None,
+        };
+        let (results, payload) = match precomputed {
+            Some(v) => v,
+            None => self.service_results(s, prov, service, &params, need_payload)?,
+        };
         if forward.is_empty() {
             if prov != caller {
+                let payload = payload.unwrap_or_else(|| Self::serialize_forest(&results));
                 self.send_wire(
                     s,
                     prov,
                     caller,
-                    AxmlMessage::Response {
-                        call_id,
-                        payload: Self::serialize_forest(&results),
-                    },
+                    AxmlMessage::Response { call_id, payload },
                     Intent::Reply {
                         forest: results,
                         out,
                     },
                 )
             } else {
-                self.fill(s, out, results);
+                self.fill(s, out, results)?;
                 Ok(())
             }
         } else {
             let gate = self.deliver_to_nodes(s, prov, forward, &results)?;
-            self.register_pending(s, gate, prov, Cont::Discard { out });
+            self.register_pending(s, gate, prov, Cont::Discard { out })?;
             Ok(())
         }
     }
@@ -1257,7 +1510,7 @@ impl AxmlSystem {
         ) {
             Ok(()) => {
                 self.run_session(&mut s)?;
-                Ok(s.take(slot))
+                Ok(s.take(slot)?)
             }
             Err(e) => {
                 self.net.clear_in_flight();
@@ -1295,7 +1548,7 @@ impl AxmlSystem {
                 )?;
             } else {
                 self.graft_at(addr, forest)?;
-                self.fill(s, (gate, i), Vec::new());
+                self.fill(s, (gate, i), Vec::new())?;
             }
         }
         Ok(gate)
@@ -1320,6 +1573,7 @@ impl AxmlSystem {
         for t in forest {
             tree.graft(addr.node, t, t.root())?;
         }
+        self.touch_peer(addr.peer);
         Ok(())
     }
 
@@ -1329,6 +1583,7 @@ impl AxmlSystem {
         for t in forest {
             doc.graft(root, t, t.root()).expect("fresh root");
         }
+        self.touch_peer(at);
         self.peers[at.index()].install_doc(Document::new(name.clone(), doc))
     }
 

@@ -32,6 +32,16 @@ pub enum EngineError {
         /// How many continuations were left waiting.
         waiting: usize,
     },
+    /// A result slot part was never filled: the delivery that should
+    /// have produced it was lost. (An *empty forest* part is a perfectly
+    /// valid result and does not raise this — only a part nothing ever
+    /// wrote to.)
+    LostResult {
+        /// The session-local slot index.
+        slot: usize,
+        /// The unfilled part within the slot.
+        part: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -44,6 +54,12 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "evaluation stalled at {peer}: {waiting} continuation(s) still waiting"
+                )
+            }
+            EngineError::LostResult { slot, part } => {
+                write!(
+                    f,
+                    "result slot {slot} part {part} was never filled — a delivery was lost"
                 )
             }
         }
@@ -194,5 +210,7 @@ mod tests {
         })
         .to_string();
         assert!(text.contains("stalled") && text.contains("p3"), "{text}");
+        let text = CoreError::Engine(EngineError::LostResult { slot: 4, part: 1 }).to_string();
+        assert!(text.contains("slot 4") && text.contains("part 1"), "{text}");
     }
 }

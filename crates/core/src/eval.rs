@@ -58,7 +58,7 @@ impl AxmlSystem {
             },
         );
         self.run_session(&mut s)?;
-        Ok(s.take(root))
+        Ok(s.take(root)?)
     }
 }
 
@@ -98,6 +98,38 @@ mod tests {
         sys.install_doc(b, "catalog", Tree::parse(catalog_xml()).unwrap())
             .unwrap();
         (sys, a, b)
+    }
+
+    #[test]
+    fn unfilled_slot_is_a_lost_result_not_an_empty_one() {
+        use crate::error::EngineError;
+        // A slot part nothing ever wrote to must surface as a typed
+        // error: with deliveries coming from worker threads, silently
+        // turning a lost delivery into an empty forest would be the
+        // worst kind of bug to chase.
+        let mut sys = AxmlSystem::new();
+        sys.add_peer("a");
+        let mut s = sys.new_session();
+        let slot = s.new_slot(1);
+        assert_eq!(s.take(slot), Err(EngineError::LostResult { slot, part: 0 }));
+        // ...whereas an *empty forest* part is a perfectly valid result.
+        let a = PeerId(0);
+        let out = sys
+            .eval(
+                a,
+                &Expr::Apply {
+                    query: LocatedQuery::new(
+                        Query::parse("none", "for $p in $0//nope return {$p}").unwrap(),
+                        a,
+                    ),
+                    args: vec![Expr::Tree {
+                        tree: Tree::parse("<x/>").unwrap(),
+                        at: a,
+                    }],
+                },
+            )
+            .unwrap();
+        assert!(out.is_empty(), "empty forest results stay Ok");
     }
 
     #[test]

@@ -69,6 +69,7 @@
 pub mod builder;
 pub mod continuous;
 pub mod cost;
+pub mod driver;
 pub mod engine;
 pub mod error;
 pub mod eval;
@@ -85,6 +86,7 @@ pub mod service;
 pub mod system;
 
 pub use builder::{DocSource, PeerSel, SystemBuilder};
+pub use driver::{DriverKind, ParallelDriver, ParallelStats, SequentialDriver};
 pub use error::{CoreError, CoreResult, EngineError};
 pub use expr::{Expr, LocatedQuery, PeerRef, SendDest};
 pub use system::AxmlSystem;
@@ -94,6 +96,7 @@ pub mod prelude {
     pub use crate::builder::{DocSource, PeerSel, SystemBuilder};
     pub use crate::continuous::{Subscription, Trigger};
     pub use crate::cost::{Cost, CostModel};
+    pub use crate::driver::{DriverKind, ParallelDriver, ParallelStats, SequentialDriver};
     pub use crate::error::{CoreError, CoreResult, EngineError};
     pub use crate::expr::{Expr, LocatedQuery, PeerRef, SendDest};
     pub use crate::optimizer::{Explained, Optimizer};

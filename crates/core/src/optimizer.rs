@@ -13,9 +13,30 @@
 use crate::cost::{Cost, CostModel};
 use crate::expr::Expr;
 use crate::rules::{all_rewrites, standard_rules, OptContext, RewriteRule};
-use axml_obs::{Obs, TraceEvent};
+use axml_obs::{EvalMetrics, Obs, TraceEvent};
 use axml_xml::ids::PeerId;
 use std::collections::HashSet;
+
+/// Total order on scalar plan costs for the beam's open list.
+///
+/// `partial_cmp(..).unwrap_or(Equal)` would treat a NaN estimate as equal
+/// to everything, letting it float anywhere in the beam (and potentially
+/// evict finite candidates non-deterministically). `f64::total_cmp` sorts
+/// positive NaN after `+∞`, so poisoned candidates sink to the back and
+/// finite plans keep a well-defined order. Infinite costs stay legal —
+/// they are how the model prices unreachable links.
+pub(crate) fn beam_order(a: f64, b: f64) -> std::cmp::Ordering {
+    a.total_cmp(&b)
+}
+
+/// A fresh expression fingerprint is simultaneously a memo *miss* and an
+/// *explored* candidate. Bumping both counters here — and only here —
+/// makes `memo_misses == explored` structural, so the reconciliation
+/// check in [`axml_obs::RunReport`] can rely on it.
+fn note_unique_candidate(metrics: &mut EvalMetrics) {
+    metrics.memo_misses += 1;
+    metrics.explored += 1;
+}
 
 /// An optimized plan with provenance.
 #[derive(Debug, Clone)]
@@ -106,6 +127,8 @@ impl Optimizer {
         obs: &mut Obs,
     ) -> Explained {
         let ctx = OptContext::new(model);
+        let misses_before = obs.metrics.memo_misses;
+        let explored_before = obs.metrics.explored;
         obs.metrics.cost_estimates += 1;
         let initial_cost = model.estimate(site, expr).cost;
         let mut best = Explained {
@@ -117,7 +140,7 @@ impl Optimizer {
         };
         let mut seen: HashSet<String> = HashSet::new();
         seen.insert(expr.fingerprint());
-        obs.metrics.memo_misses += 1;
+        note_unique_candidate(&mut obs.metrics);
         // Open list: (scalar cost, expr, trace). Kept sorted; cheap first.
         let mut open: Vec<(f64, Expr, Vec<&'static str>)> =
             vec![(initial_cost.scalar(), expr.clone(), Vec::new())];
@@ -126,7 +149,7 @@ impl Optimizer {
         while !open.is_empty() && explored < self.max_explored && stale <= self.stale_rounds {
             let best_before = best.cost.scalar();
             // Expand up to beam_width cheapest open plans.
-            open.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal));
+            open.sort_by(|a, b| beam_order(a.0, b.0));
             open.truncate(self.beam_width.max(1) * 4);
             let batch: Vec<_> = open.drain(..open.len().min(self.beam_width)).collect();
             for (_, cur, trace) in batch {
@@ -136,7 +159,7 @@ impl Optimizer {
                         obs.metrics.memo_hits += 1;
                         continue;
                     }
-                    obs.metrics.memo_misses += 1;
+                    note_unique_candidate(&mut obs.metrics);
                     explored += 1;
                     obs.metrics.cost_estimates += 1;
                     let cost = model.estimate(site, &candidate).cost;
@@ -171,6 +194,16 @@ impl Optimizer {
             }
         }
         best.explored = explored;
+        debug_assert_eq!(
+            obs.metrics.memo_misses - misses_before,
+            explored as u64,
+            "every explored candidate is exactly one memo miss"
+        );
+        debug_assert_eq!(
+            obs.metrics.explored - explored_before,
+            explored as u64,
+            "metric and search agree on the explored count"
+        );
         obs.emit(|| TraceEvent::PlanChosen {
             site,
             explored,
@@ -297,6 +330,64 @@ mod tests {
         assert!(Optimizer::standard()
             .rule_names()
             .contains(&"R16-push-over-sc"));
+    }
+
+    #[test]
+    fn beam_order_keeps_nan_behind_finite_costs() {
+        let mut costs = [f64::NAN, 1.0, f64::INFINITY, 0.5, f64::NAN];
+        costs.sort_by(|a, b| beam_order(*a, *b));
+        assert_eq!(costs[0], 0.5);
+        assert_eq!(costs[1], 1.0);
+        assert!(costs[2].is_infinite());
+        assert!(costs[3].is_nan() && costs[4].is_nan());
+        // and the order is total: equal NaNs compare Equal, not "anything"
+        assert_eq!(beam_order(f64::NAN, f64::NAN), std::cmp::Ordering::Equal);
+        assert_eq!(beam_order(0.0, f64::NAN), std::cmp::Ordering::Less);
+    }
+
+    #[test]
+    fn degenerate_cost_model_keeps_search_deterministic() {
+        // A pathological link prices every remote transfer at +∞; the
+        // search must still terminate with a well-defined plan instead of
+        // letting non-finite comparisons corrupt the beam.
+        let mut sys = AxmlSystem::new();
+        let a = sys.add_peer("client");
+        let b = sys.add_peer("server");
+        sys.net_mut().set_link(
+            a,
+            b,
+            LinkCost {
+                latency_ms: f64::INFINITY,
+                bytes_per_ms: f64::MIN_POSITIVE,
+                per_msg_bytes: 0,
+            },
+        );
+        sys.install_doc(b, "catalog", Tree::parse(&catalog_xml(20)).unwrap())
+            .unwrap();
+        let model = CostModel::from_system(&sys);
+        let naive = selective_apply(a, b);
+        let p1 = Optimizer::standard().optimize(&model, a, &naive);
+        let p2 = Optimizer::standard().optimize(&model, a, &naive);
+        assert!(p1.cost.scalar().is_infinite(), "all plans are remote: {p1}");
+        assert_eq!(p1.expr.fingerprint(), p2.expr.fingerprint(), "stable");
+        assert_eq!(p1.explored, p2.explored);
+    }
+
+    #[test]
+    fn memo_counters_reconcile_with_explored() {
+        let (sys, a, b) = system();
+        let model = CostModel::from_system(&sys);
+        let mut obs = Obs::new();
+        let plan = Optimizer::standard().optimize_with(&model, a, &selective_apply(a, b), &mut obs);
+        // every unique fingerprint is one miss + one explored candidate;
+        // every duplicate is one hit — so hits + misses = explored + dups.
+        assert_eq!(obs.metrics.memo_misses, plan.explored as u64);
+        assert_eq!(obs.metrics.explored, plan.explored as u64);
+        assert!(obs.metrics.memo_consistent());
+        // and the invariant survives a second, cumulative search
+        Optimizer::standard().optimize_with(&model, a, &selective_apply(a, b), &mut obs);
+        assert_eq!(obs.metrics.explored, 2 * plan.explored as u64);
+        assert!(obs.metrics.memo_consistent());
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! machinery in [`crate::continuous`]. Both drive every cross-peer byte
 //! through the engine's wire path so the statistics measure real traffic.
 
+use crate::driver::{DriverKind, ParallelStats};
 use crate::engine::Wire;
 use crate::error::{CoreError, CoreResult};
 use crate::peer::{PeerSnapshot, PeerState};
@@ -36,12 +37,16 @@ pub struct AxmlSystem {
     pub(crate) obs: Obs,
     pub(crate) engine_seed: u64,
     pub(crate) sessions: u64,
+    pub(crate) driver: DriverKind,
+    pub(crate) state_epochs: Vec<u64>,
+    pub(crate) par_stats: ParallelStats,
 }
 
 impl AxmlSystem {
     /// A system over an explicit network.
     pub fn with_network(net: Network<Wire>) -> Self {
-        let peers = (0..net.peer_count()).map(|_| PeerState::new()).collect();
+        let peers: Vec<PeerState> = (0..net.peer_count()).map(|_| PeerState::new()).collect();
+        let state_epochs = vec![0; peers.len()];
         AxmlSystem {
             net,
             peers,
@@ -52,6 +57,9 @@ impl AxmlSystem {
             obs: Obs::new(),
             engine_seed: DEFAULT_ENGINE_SEED,
             sessions: 0,
+            driver: DriverKind::Sequential,
+            state_epochs,
+            par_stats: ParallelStats::default(),
         }
     }
 
@@ -69,6 +77,7 @@ impl AxmlSystem {
     pub fn add_peer(&mut self, name: impl Into<String>) -> PeerId {
         let id = self.net.add_peer(name);
         self.peers.push(PeerState::new());
+        self.state_epochs.push(0);
         id
     }
 
@@ -84,7 +93,35 @@ impl AxmlSystem {
 
     /// Mutable access to a peer's state.
     pub fn peer_mut(&mut self, p: PeerId) -> &mut PeerState {
+        self.touch_peer(p);
         &mut self.peers[p.index()]
+    }
+
+    /// Select the evaluation driver (see [`crate::driver`]). The default
+    /// is [`DriverKind::Sequential`], the reference implementation; the
+    /// parallel driver produces bit-identical results and reports.
+    pub fn set_driver(&mut self, driver: DriverKind) {
+        self.driver = driver;
+    }
+
+    /// The currently selected evaluation driver.
+    pub fn driver(&self) -> DriverKind {
+        self.driver
+    }
+
+    /// Cumulative parallel-driver counters (all zero while the
+    /// sequential driver is selected).
+    pub fn parallel_stats(&self) -> ParallelStats {
+        self.par_stats
+    }
+
+    /// Record a mutation of `p`'s state Σ|p: bumps the peer's epoch so
+    /// speculative results computed against the old state are discarded
+    /// instead of committed (see [`crate::driver`]).
+    pub(crate) fn touch_peer(&mut self, p: PeerId) {
+        if let Some(e) = self.state_epochs.get_mut(p.index()) {
+            *e += 1;
+        }
     }
 
     /// The network (for link configuration).
@@ -132,6 +169,7 @@ impl AxmlSystem {
         tree: Tree,
     ) -> CoreResult<()> {
         self.check_peer(at)?;
+        self.touch_peer(at);
         self.peers[at.index()].install_doc(Document::new(name, tree))
     }
 
@@ -153,6 +191,7 @@ impl AxmlSystem {
     /// Register a declarative service on a peer.
     pub fn register_service(&mut self, at: PeerId, service: Service) -> CoreResult<()> {
         self.check_peer(at)?;
+        self.touch_peer(at);
         self.peers[at.index()].register_service(service);
         Ok(())
     }

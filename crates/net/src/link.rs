@@ -84,6 +84,28 @@ impl LinkCost {
     pub fn charged_bytes(&self, n: usize) -> usize {
         n + self.per_msg_bytes
     }
+
+    /// [`LinkCost::charged_bytes`] as a `u64` counter increment, saturating
+    /// instead of wrapping: engine statistics must never wrap on an
+    /// adversarially huge payload. The sum is formed in `u128` so even
+    /// `usize::MAX + per_msg_bytes` clamps cleanly.
+    pub fn charged_bytes_u64(&self, n: usize) -> u64 {
+        let total = n as u128 + self.per_msg_bytes as u128;
+        u64::try_from(total).unwrap_or(u64::MAX)
+    }
+}
+
+/// Convert an estimated payload size in (possibly non-finite) `f64` bytes
+/// to a `usize` without the UB-adjacent surprises of a bare `as` cast:
+/// NaN and negatives clamp to 0, values beyond `usize::MAX` saturate.
+pub fn saturating_bytes_f64(x: f64) -> usize {
+    if x.is_nan() || x <= 0.0 {
+        0
+    } else if x >= usize::MAX as f64 {
+        usize::MAX
+    } else {
+        x as usize
+    }
 }
 
 impl Default for LinkCost {
@@ -202,6 +224,31 @@ mod tests {
         let n = 100_000;
         assert!(LinkCost::lan().transfer_ms(n) < LinkCost::wan().transfer_ms(n));
         assert!(LinkCost::wan().transfer_ms(n) < LinkCost::slow().transfer_ms(n));
+    }
+
+    #[test]
+    fn charged_bytes_u64_saturates_instead_of_wrapping() {
+        let link = LinkCost {
+            per_msg_bytes: usize::MAX,
+            ..LinkCost::lan()
+        };
+        // usize::MAX + usize::MAX overflows u64 on 64-bit targets; the
+        // counter increment must clamp, not wrap or panic.
+        assert_eq!(link.charged_bytes_u64(usize::MAX), u64::MAX);
+        assert_eq!(LinkCost::wan().charged_bytes_u64(100), 356);
+        assert_eq!(LinkCost::local().charged_bytes_u64(0), 0);
+    }
+
+    #[test]
+    fn saturating_bytes_f64_handles_nan_and_extremes() {
+        assert_eq!(saturating_bytes_f64(f64::NAN), 0);
+        assert_eq!(saturating_bytes_f64(-5.3), 0);
+        assert_eq!(saturating_bytes_f64(-0.0), 0);
+        assert_eq!(saturating_bytes_f64(0.0), 0);
+        assert_eq!(saturating_bytes_f64(42.9), 42);
+        assert_eq!(saturating_bytes_f64(1e300), usize::MAX);
+        assert_eq!(saturating_bytes_f64(f64::INFINITY), usize::MAX);
+        assert_eq!(saturating_bytes_f64(f64::NEG_INFINITY), 0);
     }
 
     #[test]

@@ -52,6 +52,12 @@ pub struct EvalMetrics {
     pub memo_hits: u64,
     /// Optimizer memo misses: fingerprints seen for the first time.
     pub memo_misses: u64,
+    /// Optimizer candidates explored (estimated). Every explored
+    /// candidate is exactly one memo miss, so `memo_misses == explored`
+    /// — equivalently, hits + misses = explored + duplicates — is an
+    /// invariant; [`EvalMetrics::memo_consistent`] checks it and
+    /// [`crate::RunReport`] folds it into `reconciled`.
+    pub explored: u64,
     /// Continuous-subscription results delivered (never seen before).
     pub delta_fresh: u64,
     /// Continuous-subscription results recomputed but suppressed by the
@@ -173,6 +179,51 @@ impl EvalMetrics {
         theirs == ours
     }
 
+    /// The optimizer memo-counter invariant: every explored candidate is
+    /// exactly one memo miss (and every pruned duplicate one hit), so
+    /// `memo_hits + memo_misses == explored + duplicates` reduces to
+    /// `memo_misses == explored`. A divergence means the search's
+    /// accounting drifted and the beam-tuning numbers can't be trusted.
+    pub fn memo_consistent(&self) -> bool {
+        self.memo_misses == self.explored
+    }
+
+    /// Merge another accumulator into this one — the primitive behind
+    /// per-worker metric accumulators in a concurrent driver: workers
+    /// count into private `EvalMetrics` and the coordinator merges them
+    /// at a barrier. Merging is commutative and associative, and
+    /// [`EvalMetrics::reconciles_with`] holds for the merged metrics
+    /// whenever each part reconciled against its share of the traffic.
+    pub fn merge(&mut self, other: &EvalMetrics) {
+        for (d, n) in other.defs.iter().enumerate() {
+            self.defs[d] += n;
+        }
+        self.delegations += other.delegations;
+        self.seq_steps += other.seq_steps;
+        self.service_calls += other.service_calls;
+        self.cost_estimates += other.cost_estimates;
+        self.memo_hits += other.memo_hits;
+        self.memo_misses += other.memo_misses;
+        self.explored += other.explored;
+        self.delta_fresh += other.delta_fresh;
+        self.delta_suppressed += other.delta_suppressed;
+        for (&rule, r) in &other.rules {
+            let e = self.rules.entry(rule).or_default();
+            e.attempted += r.attempted;
+            e.accepted += r.accepted;
+        }
+        for (&kind, m) in &other.by_kind {
+            let e = self.by_kind.entry(kind).or_default();
+            e.messages += m.messages;
+            e.bytes += m.bytes;
+        }
+        for (&link, m) in &other.per_link {
+            let e = self.per_link.entry(link).or_default();
+            e.messages += m.messages;
+            e.bytes += m.bytes;
+        }
+    }
+
     /// Zero every counter.
     pub fn reset(&mut self) {
         *self = Self::default();
@@ -201,6 +252,7 @@ impl EvalMetrics {
         o.num_u64("cost_estimates", self.cost_estimates);
         o.num_u64("memo_hits", self.memo_hits);
         o.num_u64("memo_misses", self.memo_misses);
+        o.num_u64("explored", self.explored);
         o.num_u64("delta_fresh", self.delta_fresh);
         o.num_u64("delta_suppressed", self.delta_suppressed);
         let kinds = array(self.messages_by_kind().map(|(kind, m)| {
@@ -298,6 +350,64 @@ mod tests {
         m.delta_suppressed = 3;
         assert_eq!(m.memo_hit_rate(), Some(0.75));
         assert_eq!(m.delta_suppression_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn memo_invariant() {
+        let mut m = EvalMetrics::new();
+        assert!(m.memo_consistent(), "zeroed metrics are consistent");
+        m.memo_misses = 4;
+        m.explored = 4;
+        m.memo_hits = 7;
+        assert!(m.memo_consistent());
+        m.memo_misses = 5;
+        assert!(!m.memo_consistent(), "a drifted miss count must be caught");
+    }
+
+    #[test]
+    fn merge_is_per_worker_sum() {
+        use crate::kind::DataTag;
+        let send = MessageKind::Data(DataTag::Send);
+        let mut a = EvalMetrics::new();
+        a.record_def(2);
+        a.record_rule("R10-delegate", true);
+        a.record_message(PeerId(0), PeerId(1), send, 100);
+        a.memo_misses = 2;
+        a.explored = 2;
+        let mut b = EvalMetrics::new();
+        b.record_def(2);
+        b.record_def(7);
+        b.record_rule("R10-delegate", false);
+        b.record_message(PeerId(0), PeerId(1), send, 50);
+        b.record_message(PeerId(1), PeerId(0), send, 10);
+        b.memo_hits = 3;
+        b.memo_misses = 1;
+        b.explored = 1;
+        let mut merged = a.clone();
+        merged.merge(&b);
+        assert_eq!(merged.def_count(2), 2);
+        assert_eq!(merged.def_count(7), 1);
+        assert_eq!(
+            merged.rule("R10-delegate"),
+            RuleStats {
+                attempted: 2,
+                accepted: 1
+            }
+        );
+        assert_eq!(merged.total_messages(), 3);
+        assert_eq!(merged.total_bytes(), 160);
+        assert!(merged.memo_consistent());
+        // merge is commutative: the barrier order of workers can't matter
+        let mut flipped = b.clone();
+        flipped.merge(&a);
+        assert_eq!(merged.to_json(), flipped.to_json());
+        // and reconciliation holds for the merged whole when each worker
+        // reconciled against its share of the traffic
+        let mut stats = NetStats::new();
+        stats.record(PeerId(0), PeerId(1), 100, 1.0, 1.0);
+        stats.record(PeerId(0), PeerId(1), 50, 1.0, 2.0);
+        stats.record(PeerId(1), PeerId(0), 10, 1.0, 3.0);
+        assert!(merged.reconciles_with(&stats));
     }
 
     #[test]

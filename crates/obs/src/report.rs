@@ -21,8 +21,9 @@ pub struct RunReport {
     pub metrics: EvalMetrics,
     /// The network-statistics snapshot.
     pub stats: NetStats,
-    /// Whether `metrics`' per-link counters matched `stats` exactly at
-    /// snapshot time.
+    /// Whether, at snapshot time, `metrics`' per-link counters matched
+    /// `stats` exactly *and* the optimizer memo counters satisfied their
+    /// own invariant ([`EvalMetrics::memo_consistent`]).
     pub reconciled: bool,
 }
 
@@ -33,7 +34,7 @@ impl RunReport {
             title: title.into(),
             metrics: metrics.clone(),
             stats: stats.clone(),
-            reconciled: metrics.reconciles_with(stats),
+            reconciled: metrics.reconciles_with(stats) && metrics.memo_consistent(),
         }
     }
 
@@ -224,5 +225,16 @@ mod tests {
         let r = RunReport::new("bad", &m, &s);
         assert!(!r.reconciled);
         assert!(r.to_string().contains("NO — counters diverged"));
+    }
+
+    #[test]
+    fn memo_drift_is_flagged_too() {
+        let mut m = EvalMetrics::new();
+        let s = NetStats::new();
+        m.memo_misses = 3;
+        m.explored = 3;
+        assert!(RunReport::new("ok", &m, &s).reconciled);
+        m.memo_misses = 4; // accounting drifted: a miss without an explore
+        assert!(!RunReport::new("drift", &m, &s).reconciled);
     }
 }

@@ -25,6 +25,10 @@ cargo test --workspace -q
 echo "== tier-1: cargo doc --no-deps (warnings are errors) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
 
+echo "== tier-1: driver equivalence (sequential vs parallel, bit-for-bit) =="
+RUST_BACKTRACE=1 cargo test --release -q -p axml-bench --test driver_equivalence
+RUST_BACKTRACE=1 cargo test --release -q -p axml-bench --test driver_equivalence -- --ignored
+
 echo "== tier-1: trace pipeline round-trip + timeline render smoke =="
 TRACE_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP"' EXIT
