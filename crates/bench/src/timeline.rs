@@ -74,6 +74,12 @@ pub const GLYPH_DELEGATION: char = '◇';
 pub const GLYPH_SERVICE: char = '§';
 /// Subscription-delta mark.
 pub const GLYPH_DELTA: char = '▲';
+/// Injected-fault mark (dropped message, drawn on the sender's lane).
+pub const GLYPH_DROP: char = '✗';
+/// Retry mark (drawn on the sender's lane).
+pub const GLYPH_RETRY: char = '↻';
+/// Failover mark (drawn on the picking peer's lane).
+pub const GLYPH_FAILOVER: char = '⇄';
 
 impl Timeline {
     /// Fold a decoded event stream into a timeline.
@@ -173,6 +179,51 @@ impl Timeline {
                     lane(&mut tl, from.0);
                     lane(&mut tl, to.0);
                     tl.delivered += 1;
+                }
+                TraceEvent::MessageDropped {
+                    from,
+                    to,
+                    kind,
+                    at_ms,
+                    ..
+                } => {
+                    lane(&mut tl, from.0);
+                    lane(&mut tl, to.0);
+                    tl.marks.push(Mark {
+                        peer: from.0,
+                        at_ms: *at_ms,
+                        glyph: GLYPH_DROP,
+                        label: format!("drop {kind} p{}→p{}", from.0, to.0),
+                    });
+                }
+                TraceEvent::RetryScheduled {
+                    from,
+                    to,
+                    attempt,
+                    at_ms,
+                    ..
+                } => {
+                    lane(&mut tl, from.0);
+                    tl.marks.push(Mark {
+                        peer: from.0,
+                        at_ms: *at_ms,
+                        glyph: GLYPH_RETRY,
+                        label: format!("retry #{attempt} p{}→p{}", from.0, to.0),
+                    });
+                }
+                TraceEvent::Failover {
+                    peer,
+                    class,
+                    dead,
+                    at_ms,
+                } => {
+                    lane(&mut tl, peer.0);
+                    tl.marks.push(Mark {
+                        peer: peer.0,
+                        at_ms: *at_ms,
+                        glyph: GLYPH_FAILOVER,
+                        label: format!("failover {class}@any: drop p{}", dead.0),
+                    });
                 }
                 TraceEvent::RuleAttempted { .. } | TraceEvent::PlanChosen { .. } => {
                     tl.untimed += 1;
@@ -297,8 +348,15 @@ impl Timeline {
         }
         let _ = writeln!(
             out,
-            "marks: {} definition  {} task  {} delegation  {} service-call  {} delta   flight: ├──►  (send → arrival)",
-            GLYPH_DEFINITION, GLYPH_TASK, GLYPH_DELEGATION, GLYPH_SERVICE, GLYPH_DELTA
+            "marks: {} definition  {} task  {} delegation  {} service-call  {} delta  {} drop  {} retry  {} failover   flight: ├──►  (send → arrival)",
+            GLYPH_DEFINITION,
+            GLYPH_TASK,
+            GLYPH_DELEGATION,
+            GLYPH_SERVICE,
+            GLYPH_DELTA,
+            GLYPH_DROP,
+            GLYPH_RETRY,
+            GLYPH_FAILOVER
         );
         let _ = writeln!(
             out,

@@ -5,7 +5,9 @@
 //! after the experiment suite (E1–E11): remote query application,
 //! optimized plans, delegation chains, service calls with parameters
 //! and forward lists, deployment, generic references, subscription
-//! fan-out and duplicate-heavy fan-in.
+//! fan-out and duplicate-heavy fan-in — plus faulted rows (E12-style):
+//! seeded drops, outage windows, retries and replica failover must play
+//! out identically under both drivers.
 //!
 //! Every workload builds its system twice from the same seed, runs it
 //! once under each driver and compares a composite fingerprint:
@@ -291,6 +293,70 @@ fn w_seq_mixed(d: DriverKind) -> String {
     seal(sys, out)
 }
 
+/// Faulted E12-style: repeated remote fetches through a lossy link
+/// (10% seeded drops + jitter) with the standard retry policy. Both
+/// drivers must observe the *same* drops at the same attempts: same
+/// outcomes, same retry counters, same `NetStats` (the report JSON in
+/// the fingerprint embeds all three, drop maps included).
+fn w_faulted_fetch(d: DriverKind) -> String {
+    let (mut sys, client, server) = two_peer(catalog(30, 0.2, 0xDB));
+    sys.set_driver(d);
+    sys.set_retry_policy(RetryPolicy::standard());
+    sys.net_mut()
+        .set_fault_plan(FaultPlan::new(0xFA_117).drop_prob(0.10).jitter_ms(0.5));
+    let e = Expr::Doc {
+        name: "catalog".into(),
+        at: PeerRef::At(server),
+    };
+    let out: String = (0..10)
+        .map(|i| match sys.eval(client, &e) {
+            Ok(f) => format!("[{i} ok {}]", forest(&f)),
+            Err(err) => format!("[{i} err {err}]"),
+        })
+        .collect();
+    seal(sys, out)
+}
+
+/// Faulted generic references: `cat@any` over two mirrors while the
+/// route to the near one blinks through outage windows — failover
+/// re-picks the far mirror. The failover decisions (and their trace
+/// counters) must be identical under both drivers.
+fn w_faulted_failover(d: DriverKind) -> String {
+    let mut sys = AxmlSystem::builder()
+        .peers(["client", "near", "far"])
+        .link("client", "near", LinkCost::lan())
+        .link("client", "far", LinkCost::wan())
+        .build()
+        .unwrap();
+    sys.set_driver(d);
+    sys.set_retry_policy(RetryPolicy::standard());
+    sys.set_failover(true);
+    let client = sys.peer_id("client").unwrap();
+    let near = sys.peer_id("near").unwrap();
+    let far = sys.peer_id("far").unwrap();
+    let body = catalog(15, 0.2, 0xDC);
+    sys.install_replica(near, "cat", "cat-near", body.clone())
+        .unwrap();
+    sys.install_replica(far, "cat", "cat-far", body).unwrap();
+    let mut plan = FaultPlan::new(0xFA_118).drop_prob(0.05);
+    for k in 0..8 {
+        let start = 20.0 + 600.0 * k as f64;
+        plan = plan.outage_directed(client, near, start, start + 300.0);
+    }
+    sys.net_mut().set_fault_plan(plan);
+    let e = Expr::Doc {
+        name: "cat".into(),
+        at: PeerRef::Any,
+    };
+    let out: String = (0..10)
+        .map(|i| match sys.eval(client, &e) {
+            Ok(f) => format!("[{i} ok {}]", forest(&f)),
+            Err(err) => format!("[{i} err {err}]"),
+        })
+        .collect();
+    seal(sys, out)
+}
+
 const WORKLOADS: &[(&str, Workload)] = &[
     ("apply-naive", w_apply_naive),
     ("apply-optimized", w_apply_optimized),
@@ -302,6 +368,8 @@ const WORKLOADS: &[(&str, Workload)] = &[
     ("fanout-feed", w_fanout_feed),
     ("fanin-collapse", w_fanin_collapse),
     ("seq-mixed", w_seq_mixed),
+    ("faulted-fetch", w_faulted_fetch),
+    ("faulted-failover", w_faulted_failover),
 ];
 
 #[test]

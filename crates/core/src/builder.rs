@@ -35,9 +35,11 @@
 use crate::driver::DriverKind;
 use crate::error::{CoreError, CoreResult};
 use crate::pick::PickPolicy;
+use crate::retry::RetryPolicy;
 use crate::service::Service;
 use crate::system::AxmlSystem;
 use axml_net::link::{LinkCost, Topology};
+use axml_net::FaultPlan;
 use axml_obs::TraceSink;
 use axml_xml::ids::{DocName, PeerId, ServiceName};
 use axml_xml::tree::Tree;
@@ -175,10 +177,18 @@ impl SystemBuilder {
         let seed = self.sys.engine_seed;
         let policy = self.sys.pick_policy;
         let driver = self.sys.driver;
+        let retry = self.sys.retry;
+        let failover = self.sys.failover;
+        let fault = self.sys.net.fault_plan().cloned();
         self.sys = AxmlSystem::with_topology(t);
         self.sys.engine_seed = seed;
         self.sys.pick_policy = policy;
         self.sys.driver = driver;
+        self.sys.retry = retry;
+        self.sys.failover = failover;
+        if let Some(p) = fault {
+            self.sys.net.set_fault_plan(p);
+        }
         if let Some(s) = trace {
             self.sys.obs.set_sink(s);
         }
@@ -317,6 +327,27 @@ impl SystemBuilder {
     /// Attach a trace sink from the first evaluation on.
     pub fn trace(mut self, sink: impl TraceSink + 'static) -> Self {
         self.sys.set_trace_sink(Box::new(sink));
+        self
+    }
+
+    /// Set the engine's [`RetryPolicy`] for failed send attempts.
+    pub fn retry(mut self, policy: RetryPolicy) -> Self {
+        self.sys.set_retry_policy(policy);
+        self
+    }
+
+    /// Enable replica failover for `@any` references (see
+    /// [`AxmlSystem::set_failover`]).
+    pub fn failover(mut self, enabled: bool) -> Self {
+        self.sys.set_failover(enabled);
+        self
+    }
+
+    /// Install a seeded [`FaultPlan`] on the network: injected drops,
+    /// outage windows, latency jitter and crash schedules, all
+    /// reproducible from the plan's seed.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.sys.net_mut().set_fault_plan(plan);
         self
     }
 

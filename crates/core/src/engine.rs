@@ -52,6 +52,10 @@ use std::collections::VecDeque;
 /// A result destination: `(slot, part)` inside the session's slot table.
 pub(crate) type Out = (usize, usize);
 
+/// Salt separating the retry-jitter PRNG stream from the session
+/// tie-breaking stream and the network fault stream.
+const RETRY_STREAM_SALT: u64 = 0xBACC_0FF5_1077_E55A;
+
 /// What travels on a link: the charged message plus the receiver-side
 /// continuation. Only `msg` contributes to the wire size — intents are
 /// bookkeeping for the simulation, not payload.
@@ -508,6 +512,14 @@ impl AxmlSystem {
 
     /// Send a message with its receiver-side intent. Local sends are
     /// free (matching `NetStats` semantics): the intent applies now.
+    ///
+    /// Cross-peer sends go through the retry loop: each failed attempt
+    /// with a *transient* [`NetError`] (injected drop, outage window,
+    /// crashed peer) charges the policy's timeout plus a deterministic
+    /// jittered backoff on the simulated clock and tries again, until
+    /// the [`crate::retry::RetryPolicy`] budget runs out. With the
+    /// default `RetryPolicy::none()` a down link still surfaces as the
+    /// historical `EngineError::Undeliverable`.
     pub(crate) fn send_wire(
         &mut self,
         s: &mut EvalSession,
@@ -523,13 +535,60 @@ impl AxmlSystem {
         }
         let kind = msg.kind();
         let charged = self.net.link(from, to).charged_bytes_u64(msg.wire_size());
-        let sent = self.net.now_ms();
-        let at = match self.net.try_send(from, to, Wire { msg, intent }) {
-            Ok(at) => at,
-            Err(NetError::LinkDown(..)) => {
-                return Err(EngineError::Undeliverable { from, to, kind }.into());
+        let mut wire = Wire { msg, intent };
+        let mut attempt: u32 = 0;
+        let (sent, at) = loop {
+            let sent = self.net.now_ms();
+            match self.net.send_attempt(from, to, wire) {
+                Ok(at) => break (sent, at),
+                Err((e, w)) => {
+                    wire = w;
+                    let dropped = matches!(e, NetError::Dropped(..));
+                    let transient =
+                        dropped || matches!(e, NetError::LinkDown(..) | NetError::PeerDown(..));
+                    if !transient {
+                        return Err(e.into());
+                    }
+                    if dropped {
+                        // A drop consumed the attempt on the wire; both
+                        // layers must agree it happened (reconciliation).
+                        self.obs.metrics.record_drop(from, to);
+                        self.obs.emit(|| TraceEvent::MessageDropped {
+                            from,
+                            to,
+                            kind,
+                            bytes: charged,
+                            at_ms: sent,
+                        });
+                    }
+                    if attempt >= self.retry.max_retries {
+                        if attempt == 0 && !dropped {
+                            // No-retry config, structurally dead link:
+                            // keep the historical typed error.
+                            return Err(EngineError::Undeliverable { from, to, kind }.into());
+                        }
+                        return Err(EngineError::Exhausted {
+                            from,
+                            to,
+                            kind,
+                            attempts: attempt + 1,
+                        }
+                        .into());
+                    }
+                    let backoff_ms = self.retry_backoff_ms(from, to, attempt);
+                    attempt += 1;
+                    self.obs.metrics.retries += 1;
+                    self.obs.emit(|| TraceEvent::RetryScheduled {
+                        from,
+                        to,
+                        kind,
+                        attempt,
+                        backoff_ms,
+                        at_ms: sent,
+                    });
+                    self.net.advance(self.retry.timeout_ms + backoff_ms);
+                }
             }
-            Err(e) => return Err(e.into()),
         };
         self.obs.metrics.record_message(from, to, kind, charged);
         self.obs.emit(|| TraceEvent::MessageSent {
@@ -541,6 +600,26 @@ impl AxmlSystem {
             at_ms: at,
         });
         Ok(())
+    }
+
+    /// The jittered backoff before 0-based retry `attempt` on the
+    /// `from → to` link. The jitter stream is derived from the engine
+    /// seed, the link, and the global retry counter — never from the
+    /// session PRNG — so it is identical across drivers and reproducible
+    /// from the seed.
+    fn retry_backoff_ms(&self, from: PeerId, to: PeerId, attempt: u32) -> f64 {
+        let base = self.retry.backoff_ms(attempt);
+        if self.retry.jitter <= 0.0 || base <= 0.0 {
+            return base;
+        }
+        let link = ((from.0 as u64) << 32) | to.0 as u64;
+        let mut rng = SplitMix64::new(
+            self.engine_seed
+                ^ RETRY_STREAM_SALT
+                ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ self.obs.metrics.retries.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        );
+        base * (1.0 + self.retry.jitter * rng.next_f64())
     }
 
     fn apply_intent(
@@ -712,11 +791,7 @@ impl AxmlSystem {
             Expr::Doc { name, at: loc } => {
                 let (home, concrete) = match loc {
                     PeerRef::At(p) => (p, name),
-                    PeerRef::Any => {
-                        self.record_def(9, at, "pickDoc");
-                        let policy = self.pick_policy;
-                        self.catalog.pick_doc(policy, at, &name, &self.net)?
-                    }
+                    PeerRef::Any => return self.fetch_doc_any(s, at, name, out),
                 };
                 if home == at {
                     self.record_def(1, at, "doc");
@@ -1136,6 +1211,81 @@ impl AxmlSystem {
         }
     }
 
+    /// Definition (9) for `d@any`, with optional replica failover: pick
+    /// a replica, try to reach it, and — when failover is enabled — on
+    /// an unreachable provider (down link even after retries, retry
+    /// budget exhausted) exclude it and re-pick among the remaining
+    /// *live* replicas. With failover disabled this is the plain
+    /// single-pick behavior.
+    fn fetch_doc_any(
+        &mut self,
+        s: &mut EvalSession,
+        at: PeerId,
+        name: DocName,
+        out: Out,
+    ) -> CoreResult<()> {
+        let mut excluded: Vec<PeerId> = Vec::new();
+        let mut last_err: Option<CoreError> = None;
+        loop {
+            self.record_def(9, at, "pickDoc");
+            let policy = self.pick_policy;
+            // The first pick is blind (a peer only discovers a dead
+            // replica by timing out on it); re-picks after a failover
+            // exclude the dead and filter to currently-live members.
+            let picked = if excluded.is_empty() {
+                self.catalog.pick_doc(policy, at, &name, &self.net)
+            } else {
+                self.catalog
+                    .pick_doc_excluding(policy, at, &name, &self.net, &excluded)
+            };
+            let (home, concrete) = match picked {
+                Ok(pick) => pick,
+                // Every replica excluded or dead: surface why we got
+                // here, not the bare empty-class error.
+                Err(e) => return Err(last_err.unwrap_or(e)),
+            };
+            if home == at {
+                self.record_def(1, at, "doc");
+                let tree = self.peers[at.index()].doc(&concrete, at)?.clone();
+                self.fill(s, out, vec![tree])?;
+                return Ok(());
+            }
+            let attempt = self.fetch_remote(
+                s,
+                at,
+                home,
+                Expr::Doc {
+                    name: concrete,
+                    at: PeerRef::At(home),
+                },
+                out,
+            );
+            match attempt {
+                Ok(()) => return Ok(()),
+                Err(e) if self.failover && unreachable_provider(&e) => {
+                    excluded.push(home);
+                    self.note_failover(at, name.as_str(), home);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Count and trace one failover decision: `class@any` at `peer`
+    /// abandons the unreachable replica `dead`.
+    fn note_failover(&mut self, peer: PeerId, class: &str, dead: PeerId) {
+        self.obs.metrics.failovers += 1;
+        let now = self.net.now_ms();
+        let class = class.to_string();
+        self.obs.emit(|| TraceEvent::Failover {
+            peer,
+            class,
+            dead,
+            at_ms: now,
+        });
+    }
+
     /// Definition (5): `eval@at(x@loc)` for remote `x` — ship a request
     /// that *names* the datum (a literal `t@loc` is identified by
     /// reference, as the paper's `n@p` identifiers would, so fetching a
@@ -1255,15 +1405,76 @@ impl AxmlSystem {
             param_forests,
             forward,
         } = call;
-        let (prov, concrete) = match provider {
-            ScProvider::Peer(p) => (p, service.clone()),
-            ScProvider::Any => {
-                self.record_def(9, caller, "pickService");
-                let policy = self.pick_policy;
-                self.catalog
-                    .pick_service(policy, caller, service, &self.net)?
+        let class = match provider {
+            ScProvider::Peer(p) => {
+                let concrete = service.clone();
+                return self.dispatch_service_call(
+                    s,
+                    caller,
+                    p,
+                    concrete,
+                    param_forests,
+                    forward,
+                    out,
+                );
             }
+            ScProvider::Any => service,
         };
+        // Definition (9) + failover: pick, dispatch, and on an
+        // unreachable provider exclude it and re-pick among the live
+        // members (params are re-shipped to the new provider).
+        let mut excluded: Vec<PeerId> = Vec::new();
+        let mut last_err: Option<CoreError> = None;
+        loop {
+            self.record_def(9, caller, "pickService");
+            let policy = self.pick_policy;
+            // First pick blind, re-picks exclude the dead and filter to
+            // live members — see `fetch_doc_any`.
+            let picked = if excluded.is_empty() {
+                self.catalog.pick_service(policy, caller, class, &self.net)
+            } else {
+                self.catalog
+                    .pick_service_excluding(policy, caller, class, &self.net, &excluded)
+            };
+            let (prov, concrete) = match picked {
+                Ok(pick) => pick,
+                Err(e) => return Err(last_err.unwrap_or(e)),
+            };
+            let attempt = self.dispatch_service_call(
+                s,
+                caller,
+                prov,
+                concrete,
+                param_forests.clone(),
+                forward,
+                out,
+            );
+            match attempt {
+                Ok(()) => return Ok(()),
+                Err(e) if self.failover && unreachable_provider(&e) => {
+                    excluded.push(prov);
+                    self.note_failover(caller, class.as_str(), prov);
+                    last_err = Some(e);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The resolved-provider half of definition (6): charge the call,
+    /// ship the parameters (or run locally when the provider is the
+    /// caller).
+    #[allow(clippy::too_many_arguments)]
+    fn dispatch_service_call(
+        &mut self,
+        s: &mut EvalSession,
+        caller: PeerId,
+        prov: PeerId,
+        concrete: ServiceName,
+        param_forests: Vec<Vec<Tree>>,
+        forward: &[NodeAddr],
+        out: Out,
+    ) -> CoreResult<()> {
         self.check_peer(prov)?;
         self.record_def(6, caller, "sc");
         self.obs.metrics.service_calls += 1;
@@ -1603,6 +1814,17 @@ impl AxmlSystem {
 
 /// Re-pin the location of the outermost data reference to `loc` (used
 /// when the owner evaluates a fetched expression locally).
+/// Does this error mean "the picked provider cannot be reached" — the
+/// condition replica failover reacts to? Structural errors (unknown
+/// peer, missing doc, malformed expression) must *not* trigger a
+/// re-pick: a different replica would fail the same way or mask a bug.
+fn unreachable_provider(e: &CoreError) -> bool {
+    matches!(
+        e,
+        CoreError::Engine(EngineError::Undeliverable { .. } | EngineError::Exhausted { .. })
+    )
+}
+
 fn relocate(expr: &mut Expr, loc: PeerId) {
     match expr {
         Expr::Tree { at, .. } => *at = loc,

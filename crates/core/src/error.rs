@@ -42,6 +42,18 @@ pub enum EngineError {
         /// The unfilled part within the slot.
         part: usize,
     },
+    /// The retry budget ran out: every attempt at a logical send failed
+    /// with a transient error (drop, outage, crashed peer).
+    Exhausted {
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+        /// Kind of the message that could not be delivered.
+        kind: MessageKind,
+        /// Total attempts made (first try + retries).
+        attempts: u32,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -60,6 +72,17 @@ impl fmt::Display for EngineError {
                 write!(
                     f,
                     "result slot {slot} part {part} was never filled — a delivery was lost"
+                )
+            }
+            EngineError::Exhausted {
+                from,
+                to,
+                kind,
+                attempts,
+            } => {
+                write!(
+                    f,
+                    "retry budget exhausted: {kind} {from} → {to} failed after {attempts} attempt(s)"
                 )
             }
         }
@@ -212,5 +235,15 @@ mod tests {
         assert!(text.contains("stalled") && text.contains("p3"), "{text}");
         let text = CoreError::Engine(EngineError::LostResult { slot: 4, part: 1 }).to_string();
         assert!(text.contains("slot 4") && text.contains("part 1"), "{text}");
+        let text = CoreError::Engine(EngineError::Exhausted {
+            from: PeerId(0),
+            to: PeerId(2),
+            kind: MessageKind::Request,
+            attempts: 5,
+        })
+        .to_string();
+        assert!(text.contains("exhausted"), "{text}");
+        assert!(text.contains("5 attempt(s)"), "{text}");
+        assert!(text.contains("p0") && text.contains("p2"), "{text}");
     }
 }

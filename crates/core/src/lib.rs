@@ -80,6 +80,7 @@ pub mod optimizer;
 pub mod peer;
 pub mod pick;
 pub mod replication;
+pub mod retry;
 pub mod rules;
 pub mod sc;
 pub mod service;
@@ -89,6 +90,7 @@ pub use builder::{DocSource, PeerSel, SystemBuilder};
 pub use driver::{DriverKind, ParallelDriver, ParallelStats, SequentialDriver};
 pub use error::{CoreError, CoreResult, EngineError};
 pub use expr::{Expr, LocatedQuery, PeerRef, SendDest};
+pub use retry::RetryPolicy;
 pub use system::AxmlSystem;
 
 /// Convenient glob import for applications.
@@ -101,10 +103,12 @@ pub mod prelude {
     pub use crate::expr::{Expr, LocatedQuery, PeerRef, SendDest};
     pub use crate::optimizer::{Explained, Optimizer};
     pub use crate::pick::{Catalog, PickPolicy};
+    pub use crate::retry::RetryPolicy;
     pub use crate::sc::{ActivationMode, ScNode, ScProvider};
     pub use crate::service::Service;
     pub use crate::system::AxmlSystem;
     pub use axml_net::link::{LinkCost, Topology};
+    pub use axml_net::{CrashSchedule, FaultPlan, Outage};
     pub use axml_obs::{
         BinSink, DataTag, EvalMetrics, FanoutSink, JsonlSink, MessageKind, Obs, RunReport,
         SharedBuf, TraceEvent, TraceReader, TraceSink, VecSink,

@@ -124,6 +124,42 @@ impl Catalog {
         Ok(members[idx].clone())
     }
 
+    /// `pickDoc(d@any)` restricted to *live* candidates: members whose
+    /// peer is not in `excluded` and is currently reachable from `at`
+    /// (link administratively up, no fault-plan outage, peer not
+    /// crashed). This is the failover variant of [`Catalog::pick_doc`]:
+    /// the engine excludes replicas it has already failed to reach and
+    /// re-picks among the rest.
+    pub fn pick_doc_excluding<M: Payload>(
+        &mut self,
+        policy: PickPolicy,
+        at: PeerId,
+        class: &DocName,
+        net: &Network<M>,
+        excluded: &[PeerId],
+    ) -> CoreResult<(PeerId, DocName)> {
+        let members = self
+            .docs
+            .get(class)
+            .ok_or_else(|| CoreError::EmptyEquivalenceClass(class.to_string()))?;
+        let live: Vec<(PeerId, DocName)> = members
+            .iter()
+            .filter(|(p, _)| !excluded.contains(p) && net.reachable(at, *p))
+            .cloned()
+            .collect();
+        if live.is_empty() {
+            return Err(CoreError::EmptyEquivalenceClass(class.to_string()));
+        }
+        let idx = pick_index(
+            policy,
+            at,
+            live.iter().map(|(p, _)| *p),
+            net,
+            self.rr_state.entry(class.clone()).or_insert(0),
+        );
+        Ok(live[idx].clone())
+    }
+
     /// `pickService(s@any)` evaluated at `at`.
     pub fn pick_service<M: Payload>(
         &mut self,
@@ -145,6 +181,39 @@ impl Catalog {
             self.rr_state_svc.entry(class.clone()).or_insert(0),
         );
         Ok(members[idx].clone())
+    }
+
+    /// `pickService(s@any)` restricted to live candidates — the failover
+    /// variant of [`Catalog::pick_service`]; see
+    /// [`Catalog::pick_doc_excluding`].
+    pub fn pick_service_excluding<M: Payload>(
+        &mut self,
+        policy: PickPolicy,
+        at: PeerId,
+        class: &ServiceName,
+        net: &Network<M>,
+        excluded: &[PeerId],
+    ) -> CoreResult<(PeerId, ServiceName)> {
+        let members = self
+            .services
+            .get(class)
+            .ok_or_else(|| CoreError::EmptyEquivalenceClass(class.to_string()))?;
+        let live: Vec<(PeerId, ServiceName)> = members
+            .iter()
+            .filter(|(p, _)| !excluded.contains(p) && net.reachable(at, *p))
+            .cloned()
+            .collect();
+        if live.is_empty() {
+            return Err(CoreError::EmptyEquivalenceClass(class.to_string()));
+        }
+        let idx = pick_index(
+            policy,
+            at,
+            live.iter().map(|(p, _)| *p),
+            net,
+            self.rr_state_svc.entry(class.clone()).or_insert(0),
+        );
+        Ok(live[idx].clone())
     }
 }
 
@@ -226,6 +295,40 @@ mod tests {
             .pick_doc(PickPolicy::Closest, PeerId(0), &"cat".into(), &net)
             .unwrap();
         assert_eq!(p, PeerId(2), "lan link to c beats slow link to b");
+    }
+
+    #[test]
+    fn excluding_pick_skips_dead_and_unreachable_replicas() {
+        let mut net = net3();
+        let mut cat = catalog();
+        // Excluding the closest replica re-picks the other one.
+        let (p, name) = cat
+            .pick_doc_excluding(
+                PickPolicy::Closest,
+                PeerId(0),
+                &"cat".into(),
+                &net,
+                &[PeerId(2)],
+            )
+            .unwrap();
+        assert_eq!((p, name.as_str()), (PeerId(1), "cat-on-b"));
+        // An unreachable replica is skipped even when not excluded.
+        net.fail_link(PeerId(0), PeerId(1));
+        let err = cat
+            .pick_doc_excluding(
+                PickPolicy::Closest,
+                PeerId(0),
+                &"cat".into(),
+                &net,
+                &[PeerId(2)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::EmptyEquivalenceClass(_)));
+        // With nothing excluded, the down link still filters b out.
+        let (p, _) = cat
+            .pick_doc_excluding(PickPolicy::First, PeerId(0), &"cat".into(), &net, &[])
+            .unwrap();
+        assert_eq!(p, PeerId(2), "down link to b filters it out");
     }
 
     #[test]

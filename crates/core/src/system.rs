@@ -12,6 +12,7 @@ use crate::engine::Wire;
 use crate::error::{CoreError, CoreResult};
 use crate::peer::{PeerSnapshot, PeerState};
 use crate::pick::{Catalog, PickPolicy};
+use crate::retry::RetryPolicy;
 use crate::service::Service;
 use axml_net::link::Topology;
 use axml_net::sim::Network;
@@ -40,6 +41,8 @@ pub struct AxmlSystem {
     pub(crate) driver: DriverKind,
     pub(crate) state_epochs: Vec<u64>,
     pub(crate) par_stats: ParallelStats,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) failover: bool,
 }
 
 impl AxmlSystem {
@@ -60,6 +63,8 @@ impl AxmlSystem {
             driver: DriverKind::Sequential,
             state_epochs,
             par_stats: ParallelStats::default(),
+            retry: RetryPolicy::none(),
+            failover: false,
         }
     }
 
@@ -149,6 +154,33 @@ impl AxmlSystem {
     /// The catalog, read-only.
     pub fn catalog(&self) -> &Catalog {
         &self.catalog
+    }
+
+    /// Set the engine's [`RetryPolicy`] for failed send attempts. The
+    /// default is [`RetryPolicy::none`]: the first transient failure
+    /// surfaces immediately as a typed error, the engine's historical
+    /// behavior. Both drivers honor the policy identically.
+    pub fn set_retry_policy(&mut self, policy: RetryPolicy) {
+        self.retry = policy;
+    }
+
+    /// The engine's current retry policy.
+    pub fn retry_policy(&self) -> RetryPolicy {
+        self.retry
+    }
+
+    /// Enable or disable replica failover for generic (`@any`)
+    /// references: when a picked replica turns out to be unreachable
+    /// (even after retries), `pickDoc`/`pickService` re-resolve to the
+    /// next live replica instead of failing the evaluation. Off by
+    /// default.
+    pub fn set_failover(&mut self, enabled: bool) {
+        self.failover = enabled;
+    }
+
+    /// Whether replica failover is enabled.
+    pub fn failover_enabled(&self) -> bool {
+        self.failover
     }
 
     /// Set the `pickDoc`/`pickService` policy (definition (9)).

@@ -16,6 +16,13 @@ pub enum NetError {
     /// The link between two peers is administratively down (failure
     /// injection / partition).
     LinkDown(PeerId, PeerId),
+    /// A peer is crashed per the installed fault plan: nothing can be
+    /// sent to or from it until its restart interval begins.
+    PeerDown(PeerId),
+    /// The message was lost in transit (seeded fault injection). Unlike
+    /// [`NetError::LinkDown`] this is transient by construction: an
+    /// immediate retry of the same send may succeed.
+    Dropped(PeerId, PeerId),
     /// A malformed configuration (e.g. zero bandwidth).
     BadConfig(String),
 }
@@ -26,6 +33,10 @@ impl fmt::Display for NetError {
             NetError::UnknownPeer(p) => write!(f, "unknown peer {p}"),
             NetError::NoLink(a, b) => write!(f, "no link between {a} and {b}"),
             NetError::LinkDown(a, b) => write!(f, "link {a} ↔ {b} is down"),
+            NetError::PeerDown(p) => write!(f, "peer {p} is crashed"),
+            NetError::Dropped(a, b) => {
+                write!(f, "message {a} → {b} was dropped (injected fault)")
+            }
             NetError::BadConfig(msg) => write!(f, "bad network config: {msg}"),
         }
     }
@@ -49,6 +60,10 @@ mod tests {
         assert!(NetError::LinkDown(PeerId(0), PeerId(1))
             .to_string()
             .contains("down"));
+        assert!(NetError::PeerDown(PeerId(2)).to_string().contains("p2"));
+        assert!(NetError::Dropped(PeerId(0), PeerId(1))
+            .to_string()
+            .contains("dropped"));
         assert!(NetError::BadConfig("x".into()).to_string().contains("x"));
     }
 }

@@ -51,7 +51,7 @@ pub mod stats;
 
 pub use error::{NetError, NetResult};
 pub use link::{LinkCost, Topology};
-pub use sim::Network;
+pub use sim::{CrashSchedule, FaultPlan, Network, Outage};
 pub use stats::{LinkStats, NetStats, PeerTraffic};
 
 /// Anything that can cross a link: reports its own wire size in bytes.

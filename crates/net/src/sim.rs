@@ -15,14 +15,237 @@
 //!
 //! The simulator is generic over the message type ([`crate::Payload`]);
 //! `axml-core` drives it with AXML messages, tests with plain strings.
+//!
+//! ## Fault injection
+//!
+//! A seeded [`FaultPlan`] can be installed with
+//! [`Network::set_fault_plan`]: per-message drop probability, latency
+//! jitter, transient outage windows on the virtual clock, and periodic
+//! peer crash/restart schedules. All randomness derives statelessly from
+//! `(seed, from, to, attempt#)` via `axml-prng`, so a run reproduces
+//! bit-exactly from its seed regardless of how the caller interleaves
+//! other PRNG draws.
 
 use crate::error::{NetError, NetResult};
 use crate::link::{LinkCost, Topology};
 use crate::stats::NetStats;
 use crate::Payload;
+use axml_prng::SplitMix64;
 use axml_xml::ids::PeerId;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
+
+/// A transient outage window: the **directed** link `from → to` is
+/// unusable while `start_ms <= now < end_ms` on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Outage {
+    /// Sending side of the affected directed link.
+    pub from: PeerId,
+    /// Receiving side of the affected directed link.
+    pub to: PeerId,
+    /// Window start (inclusive), in virtual milliseconds.
+    pub start_ms: f64,
+    /// Window end (exclusive), in virtual milliseconds.
+    pub end_ms: f64,
+}
+
+impl Outage {
+    fn covers(&self, from: PeerId, to: PeerId, now: f64) -> bool {
+        self.from == from && self.to == to && now >= self.start_ms && now < self.end_ms
+    }
+}
+
+/// A periodic crash/restart schedule for one peer: starting at
+/// `first_ms`, the peer crashes every `period_ms` and stays down for
+/// `down_ms` each time. While crashed, every send to *or* from the peer
+/// fails with [`NetError::PeerDown`]; local computation is unaffected
+/// (the model is a NIC outage, not state loss).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashSchedule {
+    /// The crashing peer.
+    pub peer: PeerId,
+    /// Virtual time of the first crash.
+    pub first_ms: f64,
+    /// How long each crash lasts.
+    pub down_ms: f64,
+    /// Distance between crash starts (must be ≥ `down_ms`).
+    pub period_ms: f64,
+}
+
+impl CrashSchedule {
+    fn down_at(&self, p: PeerId, now: f64) -> bool {
+        if p != self.peer || now < self.first_ms {
+            return false;
+        }
+        let phase = (now - self.first_ms) % self.period_ms;
+        phase < self.down_ms
+    }
+}
+
+/// A seeded, fully deterministic fault-injection plan.
+///
+/// Install with [`Network::set_fault_plan`]. Faults are applied at send
+/// time, in this order:
+///
+/// 1. **Crash windows** — sender or receiver crashed now ⇒
+///    [`NetError::PeerDown`];
+/// 2. **Outage windows** — directed link inside a window ⇒
+///    [`NetError::LinkDown`];
+/// 3. **Drops** — with probability `drop_prob` the message is lost:
+///    the network counts a drop ([`NetStats::total_dropped`]) and
+///    returns [`NetError::Dropped`] without occupying the link;
+/// 4. **Jitter** — surviving messages gain a uniform extra delay in
+///    `[0, jitter_ms)`.
+///
+/// Drop and jitter draws come from a PRNG seeded by
+/// `(seed, from, to, attempt#)`, where `attempt#` is a monotone
+/// per-network counter of faultable send attempts — two runs with the
+/// same seed and the same send sequence fault identically, on both
+/// evaluation drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    seed: u64,
+    drop_prob: f64,
+    jitter_ms: f64,
+    outages: Vec<Outage>,
+    crashes: Vec<CrashSchedule>,
+}
+
+/// Domain separator for per-attempt fault streams.
+const FAULT_STREAM_SALT: u64 = 0xFA17_1A7E_D00D_5EED;
+/// Domain separator for the random-outage generator.
+const OUTAGE_GEN_SALT: u64 = 0x007A_6E5C_07ED_CA5E;
+
+impl FaultPlan {
+    /// A plan with no faults; compose with the builder methods.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            drop_prob: 0.0,
+            jitter_ms: 0.0,
+            outages: Vec::new(),
+            crashes: Vec::new(),
+        }
+    }
+
+    /// Set the per-message drop probability (applied to every
+    /// cross-peer send).
+    pub fn drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability must be in [0,1]"
+        );
+        self.drop_prob = p;
+        self
+    }
+
+    /// Add up to `ms` of uniform latency jitter to every delivery.
+    pub fn jitter_ms(mut self, ms: f64) -> Self {
+        assert!(ms >= 0.0, "jitter must be non-negative");
+        self.jitter_ms = ms;
+        self
+    }
+
+    /// Add an outage window covering **both** directions of a link.
+    pub fn outage(mut self, a: PeerId, b: PeerId, start_ms: f64, end_ms: f64) -> Self {
+        assert!(start_ms <= end_ms, "outage window must not be inverted");
+        self.outages.push(Outage {
+            from: a,
+            to: b,
+            start_ms,
+            end_ms,
+        });
+        self.outages.push(Outage {
+            from: b,
+            to: a,
+            start_ms,
+            end_ms,
+        });
+        self
+    }
+
+    /// Add an outage window on a single directed link.
+    pub fn outage_directed(mut self, from: PeerId, to: PeerId, start_ms: f64, end_ms: f64) -> Self {
+        assert!(start_ms <= end_ms, "outage window must not be inverted");
+        self.outages.push(Outage {
+            from,
+            to,
+            start_ms,
+            end_ms,
+        });
+        self
+    }
+
+    /// Generate `count` seeded outage windows over the given links:
+    /// each picks a link uniformly, a start in `[0, horizon_ms)` and a
+    /// length in `(0, max_len_ms]`, derived from this plan's seed.
+    pub fn random_outages(
+        mut self,
+        links: &[(PeerId, PeerId)],
+        count: usize,
+        horizon_ms: f64,
+        max_len_ms: f64,
+    ) -> Self {
+        assert!(!links.is_empty(), "random_outages needs candidate links");
+        let mut rng = SplitMix64::new(self.seed ^ OUTAGE_GEN_SALT);
+        for _ in 0..count {
+            let &(a, b) = rng.choose(links).expect("non-empty links");
+            let start = rng.gen_range(0.0..horizon_ms);
+            let len = rng.gen_range(0.0..max_len_ms).max(1e-3);
+            self = self.outage(a, b, start, start + len);
+        }
+        self
+    }
+
+    /// Add a periodic crash/restart schedule for one peer.
+    pub fn crash(mut self, peer: PeerId, first_ms: f64, down_ms: f64, period_ms: f64) -> Self {
+        assert!(down_ms >= 0.0 && period_ms > 0.0, "bad crash schedule");
+        assert!(period_ms >= down_ms, "crash period must cover the downtime");
+        self.crashes.push(CrashSchedule {
+            peer,
+            first_ms,
+            down_ms,
+            period_ms,
+        });
+        self
+    }
+
+    /// The plan's seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Installed outage windows.
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Installed crash schedules.
+    pub fn crashes(&self) -> &[CrashSchedule] {
+        &self.crashes
+    }
+
+    /// Is the directed link inside any outage window at `now`?
+    pub fn link_out(&self, from: PeerId, to: PeerId, now: f64) -> bool {
+        self.outages.iter().any(|o| o.covers(from, to, now))
+    }
+
+    /// Is the peer inside any crash window at `now`?
+    pub fn peer_down(&self, p: PeerId, now: f64) -> bool {
+        self.crashes.iter().any(|c| c.down_at(p, now))
+    }
+
+    /// The deterministic per-attempt fault stream.
+    fn attempt_rng(&self, from: PeerId, to: PeerId, attempt: u64) -> SplitMix64 {
+        let link = ((from.0 as u64) << 32) | to.0 as u64;
+        SplitMix64::new(
+            self.seed
+                ^ FAULT_STREAM_SALT
+                ^ link.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                ^ attempt.wrapping_mul(0xBF58_476D_1CE4_E5B9),
+        )
+    }
+}
 
 struct Event<M> {
     at: f64,
@@ -71,6 +294,10 @@ pub struct Network<M> {
     stats: NetStats,
     clock_ms: f64,
     seq: u64,
+    fault: Option<FaultPlan>,
+    /// Monotone counter of faultable (cross-peer, plan-installed) send
+    /// attempts — the index into the plan's per-attempt fault streams.
+    attempts: u64,
 }
 
 impl<M: Payload> Network<M> {
@@ -85,6 +312,8 @@ impl<M: Payload> Network<M> {
             stats: NetStats::new(),
             clock_ms: 0.0,
             seq: 0,
+            fault: None,
+            attempts: 0,
         }
     }
 
@@ -145,6 +374,44 @@ impl<M: Payload> Network<M> {
         !self.down[from.index()][to.index()]
     }
 
+    /// Install a fault plan; replaces any previous plan and resets the
+    /// attempt counter so the plan's fault streams start from zero.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+        self.attempts = 0;
+    }
+
+    /// Remove the installed fault plan, returning it.
+    pub fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.attempts = 0;
+        self.fault.take()
+    }
+
+    /// The installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.fault.as_ref()
+    }
+
+    /// Is `to` reachable from `from` *right now* — link administratively
+    /// up, no covering outage window, neither peer crashed? Probabilistic
+    /// drops are not considered (they are per-message, not per-link).
+    pub fn reachable(&self, from: PeerId, to: PeerId) -> bool {
+        if from == to {
+            return true;
+        }
+        if self.down[from.index()][to.index()] {
+            return false;
+        }
+        match &self.fault {
+            None => true,
+            Some(plan) => {
+                !plan.link_out(from, to, self.clock_ms)
+                    && !plan.peer_down(from, self.clock_ms)
+                    && !plan.peer_down(to, self.clock_ms)
+            }
+        }
+    }
+
     /// Number of peers.
     pub fn peer_count(&self) -> usize {
         self.peer_names.len()
@@ -188,19 +455,53 @@ impl<M: Payload> Network<M> {
             .expect("send over a down link — use try_send to handle failures")
     }
 
-    /// Fallible send: errors when the link is down (failure injection).
+    /// Fallible send: errors when the link is down or the installed
+    /// [`FaultPlan`] intervenes (failure injection).
     pub fn try_send(&mut self, from: PeerId, to: PeerId, msg: M) -> NetResult<f64> {
+        self.send_attempt(from, to, msg).map_err(|(e, _)| e)
+    }
+
+    /// Like [`Network::try_send`], but returns the undelivered message
+    /// alongside the error so callers can retry the same payload.
+    pub fn send_attempt(&mut self, from: PeerId, to: PeerId, msg: M) -> Result<f64, (NetError, M)> {
         assert!(
             from.index() < self.peer_names.len(),
             "unknown sender {from}"
         );
         assert!(to.index() < self.peer_names.len(), "unknown receiver {to}");
-        if from != to && self.down[from.index()][to.index()] {
-            return Err(NetError::LinkDown(from, to));
+        let mut jitter = 0.0;
+        if from != to {
+            if self.down[from.index()][to.index()] {
+                return Err((NetError::LinkDown(from, to), msg));
+            }
+            if let Some(plan) = &self.fault {
+                // Crash and outage windows are clock-driven and burn no
+                // randomness; drops and jitter draw from the per-attempt
+                // stream indexed by a monotone counter, so the fault
+                // sequence is a pure function of (seed, send sequence).
+                for p in [from, to] {
+                    if plan.peer_down(p, self.clock_ms) {
+                        return Err((NetError::PeerDown(p), msg));
+                    }
+                }
+                if plan.link_out(from, to, self.clock_ms) {
+                    return Err((NetError::LinkDown(from, to), msg));
+                }
+                let mut rng = plan.attempt_rng(from, to, self.attempts);
+                let dropped = plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob);
+                if plan.jitter_ms > 0.0 {
+                    jitter = rng.gen_range(0.0..plan.jitter_ms);
+                }
+                self.attempts += 1;
+                if dropped {
+                    self.stats.record_drop(from, to);
+                    return Err((NetError::Dropped(from, to), msg));
+                }
+            }
         }
         let cost = self.links[from.index()][to.index()];
         let size = msg.wire_size();
-        let transfer = cost.transfer_ms(size);
+        let transfer = cost.transfer_ms(size) + jitter;
         // The transfer starts when the directed link frees up; local
         // deliveries never occupy a link.
         let at = if from == to {
@@ -454,6 +755,134 @@ mod tests {
         assert!(!net.has_pending());
         assert_eq!(net.peek_arrival(), None);
         assert_eq!(net.stats().total_messages(), 1, "charged at send");
+    }
+
+    /// Drive every queued send of `msgs` bytes through the network,
+    /// retrying drops, and return (delivered, dropped-before-success).
+    fn pump(net: &mut Network<String>, a: PeerId, b: PeerId, n: usize) -> (u64, u64) {
+        let mut delivered = 0;
+        for i in 0..n {
+            loop {
+                match net.try_send(a, b, format!("m{i}")) {
+                    Ok(_) => break,
+                    Err(NetError::Dropped(..)) => continue,
+                    Err(e) => panic!("unexpected {e}"),
+                }
+            }
+        }
+        while net.recv().is_some() {
+            delivered += 1;
+        }
+        (delivered, net.stats().total_dropped())
+    }
+
+    #[test]
+    fn fault_plan_drops_reproduce_from_seed() {
+        let run = |seed: u64| {
+            let mut net: Network<String> = Network::new();
+            let a = net.add_peer("a");
+            let b = net.add_peer("b");
+            net.set_fault_plan(FaultPlan::new(seed).drop_prob(0.3));
+            let (delivered, dropped) = pump(&mut net, a, b, 50);
+            (delivered, dropped, net.stats().total_bytes())
+        };
+        let first = run(7);
+        assert_eq!(first, run(7), "same seed ⇒ identical faults");
+        assert_eq!(first.0, 50, "retries eventually deliver everything");
+        assert!(first.1 > 0, "a 30% drop rate must drop something");
+        assert_ne!(first.1, run(8).1, "different seed ⇒ different faults");
+    }
+
+    #[test]
+    fn outage_window_opens_and_closes() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_fault_plan(FaultPlan::new(1).outage(a, b, 10.0, 20.0));
+        assert!(net.try_send(a, b, "before".into()).is_ok());
+        assert!(net.reachable(a, b));
+        net.advance(10.0 - net.now_ms()); // into the window
+        assert!(!net.reachable(a, b));
+        assert_eq!(
+            net.try_send(a, b, "during".into()),
+            Err(NetError::LinkDown(a, b))
+        );
+        net.advance(10.0); // now 20.0: window closed
+        assert!(net.reachable(a, b));
+        assert!(net.try_send(a, b, "after".into()).is_ok());
+    }
+
+    #[test]
+    fn crash_schedule_is_periodic() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        // b crashes at t=5 for 2ms, every 10ms.
+        net.set_fault_plan(FaultPlan::new(1).crash(b, 5.0, 2.0, 10.0));
+        assert!(net.try_send(a, b, "up".into()).is_ok());
+        net.advance(6.0 - net.now_ms());
+        assert_eq!(net.try_send(a, b, "x".into()), Err(NetError::PeerDown(b)));
+        assert_eq!(net.try_send(b, a, "x".into()), Err(NetError::PeerDown(b)));
+        assert!(!net.reachable(a, b));
+        net.advance(2.0); // t=8: restarted
+        assert!(net.try_send(a, b, "back".into()).is_ok());
+        net.advance(8.0); // t=16: second crash window
+        assert_eq!(net.try_send(a, b, "x".into()), Err(NetError::PeerDown(b)));
+    }
+
+    #[test]
+    fn jitter_delays_but_preserves_charges() {
+        let base = {
+            let mut net: Network<String> = Network::new();
+            let a = net.add_peer("a");
+            let b = net.add_peer("b");
+            net.set_link(a, b, LinkCost::wan());
+            net.send(a, b, "x".repeat(500));
+            (net.peek_arrival().unwrap(), net.stats().total_bytes())
+        };
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link(a, b, LinkCost::wan());
+        net.set_fault_plan(FaultPlan::new(42).jitter_ms(25.0));
+        let at = net.send(a, b, "x".repeat(500));
+        assert!(at >= base.0, "jitter only adds delay");
+        assert!(at < base.0 + 25.0);
+        assert_eq!(net.stats().total_bytes(), base.1, "charges unchanged");
+    }
+
+    #[test]
+    fn random_outages_derive_from_seed() {
+        let a = PeerId(0);
+        let b = PeerId(1);
+        let p1 = FaultPlan::new(9).random_outages(&[(a, b)], 3, 100.0, 10.0);
+        let p2 = FaultPlan::new(9).random_outages(&[(a, b)], 3, 100.0, 10.0);
+        assert_eq!(p1.outages(), p2.outages());
+        assert_eq!(p1.outages().len(), 6, "both directions per window");
+        let p3 = FaultPlan::new(10).random_outages(&[(a, b)], 3, 100.0, 10.0);
+        assert_ne!(p1.outages(), p3.outages());
+    }
+
+    #[test]
+    fn clearing_the_plan_restores_calm() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_fault_plan(FaultPlan::new(3).drop_prob(1.0));
+        assert_eq!(net.try_send(a, b, "x".into()), Err(NetError::Dropped(a, b)));
+        let plan = net.clear_fault_plan().unwrap();
+        assert_eq!(plan.seed(), 3);
+        assert!(net.try_send(a, b, "x".into()).is_ok());
+        assert_eq!(net.stats().total_dropped(), 1);
+    }
+
+    #[test]
+    fn local_sends_never_fault() {
+        let mut net: Network<String> = Network::new();
+        let a = net.add_peer("a");
+        net.set_fault_plan(FaultPlan::new(3).drop_prob(1.0).crash(a, 0.0, 10.0, 10.0));
+        assert!(net.try_send(a, a, "self".into()).is_ok());
+        assert!(net.reachable(a, a));
     }
 
     #[test]

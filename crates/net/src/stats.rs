@@ -30,6 +30,10 @@ pub struct PeerTraffic {
 #[derive(Debug, Clone, Default)]
 pub struct NetStats {
     per_link: BTreeMap<(PeerId, PeerId), LinkStats>,
+    /// Messages lost to injected faults, per directed link. Kept apart
+    /// from [`LinkStats`] so delivered-traffic counters still reconcile
+    /// one-to-one with the engine's metrics.
+    dropped: BTreeMap<(PeerId, PeerId), u64>,
     makespan_ms: f64,
     weighted_cost_ms: f64,
 }
@@ -60,6 +64,30 @@ impl NetStats {
         if arrival_ms > self.makespan_ms {
             self.makespan_ms = arrival_ms;
         }
+    }
+
+    /// Record one message lost to fault injection on `from → to`.
+    /// Dropped messages never occupy the link and are charged no bytes;
+    /// they count only here.
+    pub fn record_drop(&mut self, from: PeerId, to: PeerId) {
+        if from != to {
+            *self.dropped.entry((from, to)).or_default() += 1;
+        }
+    }
+
+    /// Messages lost to fault injection on one directed link.
+    pub fn dropped_on(&self, from: PeerId, to: PeerId) -> u64 {
+        self.dropped.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Total messages lost to fault injection.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Iterate per-link drop counters in deterministic order.
+    pub fn dropped_links(&self) -> impl Iterator<Item = (PeerId, PeerId, u64)> + '_ {
+        self.dropped.iter().map(|(&(a, b), &n)| (a, b, n))
     }
 
     /// Counters of one directed link.
@@ -111,6 +139,7 @@ impl NetStats {
     /// Reset all counters (e.g. between benchmark phases).
     pub fn reset(&mut self) {
         self.per_link.clear();
+        self.dropped.clear();
         self.makespan_ms = 0.0;
         self.weighted_cost_ms = 0.0;
     }
@@ -127,6 +156,13 @@ impl fmt::Display for NetStats {
         )?;
         for (a, b, s) in self.links() {
             writeln!(f, "  {a} → {b}: {} msgs, {} bytes", s.messages, s.bytes)?;
+        }
+        if self.total_dropped() > 0 {
+            writeln!(
+                f,
+                "  dropped: {} msgs (injected faults)",
+                self.total_dropped()
+            )?;
         }
         Ok(())
     }
@@ -202,6 +238,24 @@ mod tests {
                 ..Default::default()
             }
         );
+    }
+
+    #[test]
+    fn drops_counted_apart_from_traffic() {
+        let mut s = NetStats::new();
+        s.record(PeerId(0), PeerId(1), 100, 5.0, 5.0);
+        s.record_drop(PeerId(0), PeerId(1));
+        s.record_drop(PeerId(1), PeerId(0));
+        s.record_drop(PeerId(2), PeerId(2)); // local: ignored
+        assert_eq!(s.total_dropped(), 2);
+        assert_eq!(s.dropped_on(PeerId(0), PeerId(1)), 1);
+        assert_eq!(s.dropped_on(PeerId(2), PeerId(0)), 0);
+        assert_eq!(s.total_messages(), 1, "drops never count as traffic");
+        let order: Vec<_> = s.dropped_links().map(|(a, b, n)| (a.0, b.0, n)).collect();
+        assert_eq!(order, [(0, 1, 1), (1, 0, 1)]);
+        assert!(s.to_string().contains("dropped: 2 msgs"));
+        s.reset();
+        assert_eq!(s.total_dropped(), 0);
     }
 
     #[test]

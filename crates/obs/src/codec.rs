@@ -20,7 +20,7 @@
 //!
 //! # Record payload
 //!
-//! One byte of event tag (1–9, [`TraceEvent::kind`] order), then the
+//! One byte of event tag (1–12, [`TraceEvent::kind`] order), then the
 //! variant's fields in declaration order, each fixed-width
 //! little-endian:
 //!
@@ -35,7 +35,7 @@
 //! | [`MessageKind`] | 1 byte ([`MessageKind::wire_code`]) |
 //!
 //! The encoding is intentionally *not* general-purpose: it knows the
-//! nine event shapes and nothing else, which keeps records 3–10×
+//! twelve event shapes and nothing else, which keeps records 3–10×
 //! smaller than their JSONL rendering and decoding allocation-free for
 //! all-numeric events.
 
@@ -50,6 +50,8 @@ pub const MAGIC: [u8; 4] = *b"AXTR";
 pub const VERSION: u8 = 0x01;
 
 /// Event tag bytes, in [`TraceEvent::kind`] documentation order.
+/// Append-only: new variants take the next free byte, existing bytes
+/// never change meaning.
 mod tag {
     pub const DEFINITION: u8 = 1;
     pub const DELEGATION: u8 = 2;
@@ -60,6 +62,9 @@ mod tag {
     pub const PLAN_CHOSEN: u8 = 7;
     pub const SERVICE_CALL: u8 = 8;
     pub const SUBSCRIPTION_DELTA: u8 = 9;
+    pub const MESSAGE_DROPPED: u8 = 10;
+    pub const RETRY_SCHEDULED: u8 = 11;
+    pub const FAILOVER: u8 = 12;
 }
 
 /// Append the 5-byte file header to `out`.
@@ -216,6 +221,48 @@ pub fn encode_payload(event: &TraceEvent, out: &mut Vec<u8>) {
             put_u32(out, *suppressed as u32);
             put_f64(out, *at_ms);
         }
+        TraceEvent::MessageDropped {
+            from,
+            to,
+            kind,
+            bytes,
+            at_ms,
+        } => {
+            out.push(tag::MESSAGE_DROPPED);
+            put_peer(out, *from);
+            put_peer(out, *to);
+            out.push(kind.wire_code());
+            put_u64(out, *bytes);
+            put_f64(out, *at_ms);
+        }
+        TraceEvent::RetryScheduled {
+            from,
+            to,
+            kind,
+            attempt,
+            backoff_ms,
+            at_ms,
+        } => {
+            out.push(tag::RETRY_SCHEDULED);
+            put_peer(out, *from);
+            put_peer(out, *to);
+            out.push(kind.wire_code());
+            put_u32(out, *attempt);
+            put_f64(out, *backoff_ms);
+            put_f64(out, *at_ms);
+        }
+        TraceEvent::Failover {
+            peer,
+            class,
+            dead,
+            at_ms,
+        } => {
+            out.push(tag::FAILOVER);
+            put_peer(out, *peer);
+            put_str(out, class);
+            put_peer(out, *dead);
+            put_f64(out, *at_ms);
+        }
     }
 }
 
@@ -363,6 +410,27 @@ pub fn decode_payload(payload: &[u8]) -> Result<TraceEvent, String> {
             provider: c.peer()?,
             fresh: c.u32()? as usize,
             suppressed: c.u32()? as usize,
+            at_ms: c.f64()?,
+        },
+        tag::MESSAGE_DROPPED => TraceEvent::MessageDropped {
+            from: c.peer()?,
+            to: c.peer()?,
+            kind: c.kind()?,
+            bytes: c.u64()?,
+            at_ms: c.f64()?,
+        },
+        tag::RETRY_SCHEDULED => TraceEvent::RetryScheduled {
+            from: c.peer()?,
+            to: c.peer()?,
+            kind: c.kind()?,
+            attempt: c.u32()?,
+            backoff_ms: c.f64()?,
+            at_ms: c.f64()?,
+        },
+        tag::FAILOVER => TraceEvent::Failover {
+            peer: c.peer()?,
+            class: c.str()?.into_owned(),
+            dead: c.peer()?,
             at_ms: c.f64()?,
         },
         other => return Err(format!("unknown event tag {other}")),

@@ -63,9 +63,19 @@ pub struct EvalMetrics {
     /// Continuous-subscription results recomputed but suppressed by the
     /// per-subscription delta cache — re-delivery avoided.
     pub delta_suppressed: u64,
+    /// Backoff retries the engine armed after failed send attempts.
+    pub retries: u64,
+    /// Generic-reference failovers: `@any` resolutions abandoned an
+    /// unreachable replica and re-ran the pick.
+    pub failovers: u64,
     rules: BTreeMap<&'static str, RuleStats>,
     by_kind: BTreeMap<MessageKind, MsgStats>,
     per_link: BTreeMap<(PeerId, PeerId), MsgStats>,
+    /// Send attempts the engine observed being dropped by fault
+    /// injection, per directed link — must mirror
+    /// [`NetStats::dropped_links`] exactly (checked by
+    /// [`EvalMetrics::reconciles_with`]).
+    dropped: BTreeMap<(PeerId, PeerId), u64>,
 }
 
 impl EvalMetrics {
@@ -129,6 +139,25 @@ impl EvalMetrics {
         l.bytes += bytes;
     }
 
+    /// Count one send attempt the network dropped (fault injection).
+    /// Local sends never fault and are ignored for symmetry with
+    /// [`EvalMetrics::record_message`].
+    pub fn record_drop(&mut self, from: PeerId, to: PeerId) {
+        if from != to {
+            *self.dropped.entry((from, to)).or_default() += 1;
+        }
+    }
+
+    /// Dropped-attempt counters per directed link, in id order.
+    pub fn dropped_links(&self) -> impl Iterator<Item = (PeerId, PeerId, u64)> + '_ {
+        self.dropped.iter().map(|(&(a, b), &n)| (a, b, n))
+    }
+
+    /// Total send attempts observed dropped.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
     /// Message counters by kind, in kind order.
     pub fn messages_by_kind(&self) -> impl Iterator<Item = (MessageKind, MsgStats)> + '_ {
         self.by_kind.iter().map(|(&k, &v)| (k, v))
@@ -166,7 +195,10 @@ impl EvalMetrics {
     /// Whether the per-link message/byte counters agree **exactly** with
     /// the network statistics — they must, whenever metrics and stats
     /// were reset together (both count payload + per-message overhead on
-    /// every cross-peer transfer).
+    /// every cross-peer transfer). Under fault injection the per-link
+    /// *drop* counters must agree too: the network counts a drop the
+    /// moment it loses an attempt, the engine when it observes the
+    /// failure — same moment, same link.
     pub fn reconciles_with(&self, stats: &NetStats) -> bool {
         let theirs: Vec<(PeerId, PeerId, u64, u64)> = stats
             .links()
@@ -176,7 +208,9 @@ impl EvalMetrics {
             .per_link()
             .map(|(a, b, s)| (a, b, s.messages, s.bytes))
             .collect();
-        theirs == ours
+        let their_drops: Vec<(PeerId, PeerId, u64)> = stats.dropped_links().collect();
+        let our_drops: Vec<(PeerId, PeerId, u64)> = self.dropped_links().collect();
+        theirs == ours && their_drops == our_drops
     }
 
     /// The optimizer memo-counter invariant: every explored candidate is
@@ -207,6 +241,11 @@ impl EvalMetrics {
         self.explored += other.explored;
         self.delta_fresh += other.delta_fresh;
         self.delta_suppressed += other.delta_suppressed;
+        self.retries += other.retries;
+        self.failovers += other.failovers;
+        for (&link, n) in &other.dropped {
+            *self.dropped.entry(link).or_default() += n;
+        }
         for (&rule, r) in &other.rules {
             let e = self.rules.entry(rule).or_default();
             e.attempted += r.attempted;
@@ -255,6 +294,9 @@ impl EvalMetrics {
         o.num_u64("explored", self.explored);
         o.num_u64("delta_fresh", self.delta_fresh);
         o.num_u64("delta_suppressed", self.delta_suppressed);
+        o.num_u64("retries", self.retries);
+        o.num_u64("failovers", self.failovers);
+        o.num_u64("dropped", self.total_dropped());
         let kinds = array(self.messages_by_kind().map(|(kind, m)| {
             let mut e = JsonObject::new();
             e.str("kind", kind.as_str())
@@ -337,6 +379,21 @@ mod tests {
         assert!(m.reconciles_with(&s));
         s.record(PeerId(1), PeerId(0), 64, 1.0, 2.0);
         assert!(!m.reconciles_with(&s), "diverged counters must not pass");
+    }
+
+    #[test]
+    fn reconciliation_covers_drop_counters() {
+        let mut m = EvalMetrics::new();
+        let mut s = NetStats::new();
+        s.record_drop(PeerId(0), PeerId(1));
+        assert!(!m.reconciles_with(&s), "unobserved drop must not pass");
+        m.record_drop(PeerId(0), PeerId(1));
+        assert!(m.reconciles_with(&s));
+        assert_eq!(m.total_dropped(), 1);
+        m.record_drop(PeerId(2), PeerId(2)); // local: ignored
+        assert!(m.reconciles_with(&s));
+        m.record_drop(PeerId(0), PeerId(1));
+        assert!(!m.reconciles_with(&s), "count mismatch must not pass");
     }
 
     #[test]

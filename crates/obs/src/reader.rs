@@ -356,16 +356,21 @@ mod tests {
     #[test]
     fn binary_truncation_yields_prefix_then_typed_error() {
         let bytes = bin_bytes();
-        // Cut the file inside the 4th record's payload.
+        // Cut the file inside the last record's payload.
         let full: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
-        assert_eq!(full.len(), 9);
+        assert_eq!(full.len(), one_of_each().len());
         let cut = bytes.len() - 11;
         let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
         let (ok, errs): (Vec<_>, Vec<_>) = items.into_iter().partition(Result::is_ok);
-        assert_eq!(ok.len(), 8, "all complete records decode");
+        assert_eq!(
+            ok.len(),
+            one_of_each().len() - 1,
+            "all complete records decode"
+        );
         assert_eq!(errs.len(), 1, "exactly one tail error");
+        let last = (one_of_each().len() - 1) as u64;
         assert!(
-            matches!(errs[0], Err(ReadError::Truncated { record: 8, .. })),
+            matches!(errs[0], Err(ReadError::Truncated { record, .. }) if record == last),
             "{:?}",
             errs[0]
         );
@@ -392,7 +397,7 @@ mod tests {
         let cut = bytes.len() - 25; // mid-way through the last line
         let items: Vec<_> = TraceReader::new(&bytes[..cut]).unwrap().collect();
         let (ok, errs): (Vec<_>, Vec<_>) = items.into_iter().partition(Result::is_ok);
-        assert_eq!(ok.len(), 8);
+        assert_eq!(ok.len(), one_of_each().len() - 1);
         assert_eq!(errs.len(), 1);
         assert!(matches!(errs[0], Err(ReadError::Truncated { .. })));
     }
@@ -405,7 +410,7 @@ mod tests {
             .unwrap()
             .collect::<Result<_, _>>()
             .unwrap();
-        assert_eq!(events.len(), 9);
+        assert_eq!(events.len(), one_of_each().len());
     }
 
     #[test]
@@ -417,12 +422,16 @@ mod tests {
             b"{\"kind\":\"martian\"}\n".iter().copied(),
         );
         let items: Vec<_> = TraceReader::new(&bytes[..]).unwrap().collect();
-        assert_eq!(items.len(), 10);
+        assert_eq!(items.len(), one_of_each().len() + 1);
         assert!(matches!(
             items[1],
             Err(ReadError::Malformed { record: 1, .. })
         ));
-        assert_eq!(items.iter().filter(|i| i.is_ok()).count(), 9, "rest decode");
+        assert_eq!(
+            items.iter().filter(|i| i.is_ok()).count(),
+            one_of_each().len(),
+            "rest decode"
+        );
     }
 
     #[test]

@@ -47,6 +47,7 @@ impl RunReport {
         let mut net = JsonObject::new();
         net.num_u64("messages", self.stats.total_messages())
             .num_u64("bytes", self.stats.total_bytes())
+            .num_u64("dropped", self.stats.total_dropped())
             .num("makespan_ms", self.stats.makespan_ms())
             .num("weighted_cost_ms", self.stats.weighted_cost_ms());
         let peers = array(self.stats.per_peer().into_iter().map(|(p, t)| {
@@ -127,6 +128,15 @@ impl std::fmt::Display for RunReport {
                 m.delta_fresh,
                 m.delta_suppressed,
                 rate * 100.0
+            )?;
+        }
+        if m.total_dropped() + m.retries + m.failovers > 0 {
+            writeln!(
+                f,
+                "faults     : {} dropped, {} retries, {} failovers",
+                m.total_dropped(),
+                m.retries,
+                m.failovers
             )?;
         }
         let kinds: Vec<_> = m.messages_by_kind().collect();
@@ -225,6 +235,27 @@ mod tests {
         let r = RunReport::new("bad", &m, &s);
         assert!(!r.reconciled);
         assert!(r.to_string().contains("NO — counters diverged"));
+    }
+
+    #[test]
+    fn fault_counters_render_when_present() {
+        let mut m = EvalMetrics::new();
+        let mut s = NetStats::new();
+        s.record_drop(PeerId(0), PeerId(1));
+        m.record_drop(PeerId(0), PeerId(1));
+        m.retries = 2;
+        m.failovers = 1;
+        let r = RunReport::new("faulty", &m, &s);
+        assert!(r.reconciled, "matched drop counters reconcile");
+        let text = r.to_string();
+        assert!(
+            text.contains("faults     : 1 dropped, 2 retries, 1 failovers"),
+            "{text}"
+        );
+        assert!(r.to_json().contains("\"dropped\":1"), "{}", r.to_json());
+        // A drop the engine never observed breaks reconciliation.
+        s.record_drop(PeerId(0), PeerId(1));
+        assert!(!RunReport::new("bad", &m, &s).reconciled);
     }
 
     #[test]

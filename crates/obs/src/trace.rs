@@ -16,6 +16,9 @@
 //! | [`TraceEvent::TaskScheduled`] | one continuation step of `eval@p(e)` entering a peer's ready queue (the engine's decomposition of definitions (1)–(9)) |
 //! | [`TraceEvent::ServiceCall`] | §2.2 activation step 1 (parameters to the provider) |
 //! | [`TraceEvent::SubscriptionDelta`] | §2.2 continuous services: steps 2–3 repeating, shipping only never-delivered results |
+//! | [`TraceEvent::MessageDropped`] | a send attempt lost to seeded fault injection (the operational reading of an unreliable Σ) |
+//! | [`TraceEvent::RetryScheduled`] | the engine arming a capped-backoff retry after a failed attempt |
+//! | [`TraceEvent::Failover`] | a `@any` generic reference re-resolving away from an unreachable replica — the paper's equivalence classes as graceful degradation |
 //!
 //! Events carry the acting peer(s), the expression-node kind where
 //! meaningful, and the simulated timestamp (`at_ms`, from the
@@ -151,12 +154,56 @@ pub enum TraceEvent {
         /// Simulated time of the pump.
         at_ms: f64,
     },
+    /// A send attempt was lost to the network's seeded fault plan. The
+    /// network counted a drop but charged no bytes; the matching
+    /// [`TraceEvent::MessageSent`] (if any) is the later, successful
+    /// attempt.
+    MessageDropped {
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+        /// Message kind of the lost attempt.
+        kind: MessageKind,
+        /// Charged bytes the attempt *would* have cost.
+        bytes: u64,
+        /// Simulated time of the failed attempt.
+        at_ms: f64,
+    },
+    /// The engine armed a capped-exponential-backoff retry after a
+    /// failed send attempt (drop, outage or crash window).
+    RetryScheduled {
+        /// Sender.
+        from: PeerId,
+        /// Intended receiver.
+        to: PeerId,
+        /// Message kind being retried.
+        kind: MessageKind,
+        /// 1-based retry number (attempt 1 is the first *re*try).
+        attempt: u32,
+        /// The backoff delay about to be waited, jitter included.
+        backoff_ms: f64,
+        /// Simulated time the retry was armed (before the backoff).
+        at_ms: f64,
+    },
+    /// A generic (`@any`) reference abandoned an unreachable replica and
+    /// re-ran `pickDoc`/`pickService` over the remaining candidates.
+    Failover {
+        /// The peer resolving the generic reference.
+        peer: PeerId,
+        /// The equivalence-class name being resolved.
+        class: String,
+        /// The replica peer that was given up on.
+        dead: PeerId,
+        /// Simulated time of the failover decision.
+        at_ms: f64,
+    },
 }
 
 impl TraceEvent {
     /// Short kind tag, stable for filtering ("definition", "delegation",
     /// "message", "delivered", "task", "rule", "plan", "service-call",
-    /// "delta").
+    /// "delta", "dropped", "retry", "failover").
     pub fn kind(&self) -> &'static str {
         match self {
             TraceEvent::Definition { .. } => "definition",
@@ -168,6 +215,9 @@ impl TraceEvent {
             TraceEvent::PlanChosen { .. } => "plan",
             TraceEvent::ServiceCall { .. } => "service-call",
             TraceEvent::SubscriptionDelta { .. } => "delta",
+            TraceEvent::MessageDropped { .. } => "dropped",
+            TraceEvent::RetryScheduled { .. } => "retry",
+            TraceEvent::Failover { .. } => "failover",
         }
     }
 
@@ -270,6 +320,45 @@ impl TraceEvent {
                 o.num("provider", provider.0 as f64);
                 o.num("fresh", *fresh as f64);
                 o.num("suppressed", *suppressed as f64);
+                o.num("at_ms", *at_ms);
+            }
+            TraceEvent::MessageDropped {
+                from,
+                to,
+                kind,
+                bytes,
+                at_ms,
+            } => {
+                o.num("from", from.0 as f64);
+                o.num("to", to.0 as f64);
+                o.str("msg", kind.as_str());
+                o.num_u64("bytes", *bytes);
+                o.num("at_ms", *at_ms);
+            }
+            TraceEvent::RetryScheduled {
+                from,
+                to,
+                kind,
+                attempt,
+                backoff_ms,
+                at_ms,
+            } => {
+                o.num("from", from.0 as f64);
+                o.num("to", to.0 as f64);
+                o.str("msg", kind.as_str());
+                o.num("attempt", *attempt as f64);
+                o.num("backoff_ms", *backoff_ms);
+                o.num("at_ms", *at_ms);
+            }
+            TraceEvent::Failover {
+                peer,
+                class,
+                dead,
+                at_ms,
+            } => {
+                o.num("peer", peer.0 as f64);
+                o.str("class", class);
+                o.num("dead", dead.0 as f64);
                 o.num("at_ms", *at_ms);
             }
         }
@@ -389,6 +478,27 @@ impl TraceEvent {
                 suppressed: u64_field("suppressed")? as usize,
                 at_ms: f64_field("at_ms")?,
             }),
+            "dropped" => Ok(TraceEvent::MessageDropped {
+                from: peer("from")?,
+                to: peer("to")?,
+                kind: msg_kind()?,
+                bytes: u64_field("bytes")?,
+                at_ms: f64_field("at_ms")?,
+            }),
+            "retry" => Ok(TraceEvent::RetryScheduled {
+                from: peer("from")?,
+                to: peer("to")?,
+                kind: msg_kind()?,
+                attempt: u64_field("attempt")? as u32,
+                backoff_ms: f64_field("backoff_ms")?,
+                at_ms: f64_field("at_ms")?,
+            }),
+            "failover" => Ok(TraceEvent::Failover {
+                peer: peer("peer")?,
+                class: str_field("class")?.into_owned(),
+                dead: peer("dead")?,
+                at_ms: f64_field("at_ms")?,
+            }),
             other => Err(format!("unknown event kind {other:?}")),
         }
     }
@@ -466,6 +576,33 @@ impl fmt::Display for TraceEvent {
             } => write!(
                 f,
                 "[{at_ms:9.3}ms] delta sub#{subscription} @{provider}: {fresh} fresh, {suppressed} suppressed"
+            ),
+            TraceEvent::MessageDropped {
+                from,
+                to,
+                kind,
+                bytes,
+                at_ms,
+            } => write!(f, "[{at_ms:9.3}ms] drop {kind} {from} → {to} ({bytes} B)"),
+            TraceEvent::RetryScheduled {
+                from,
+                to,
+                kind,
+                attempt,
+                backoff_ms,
+                at_ms,
+            } => write!(
+                f,
+                "[{at_ms:9.3}ms] retry #{attempt} {kind} {from} → {to} after {backoff_ms:.2} ms"
+            ),
+            TraceEvent::Failover {
+                peer,
+                class,
+                dead,
+                at_ms,
+            } => write!(
+                f,
+                "[{at_ms:9.3}ms] failover {class}@any @{peer}: abandoning {dead}"
             ),
         }
     }
@@ -658,6 +795,27 @@ pub(crate) mod tests {
                 fresh: 2,
                 suppressed: 5,
                 at_ms: 4.0,
+            },
+            TraceEvent::MessageDropped {
+                from: PeerId(0),
+                to: PeerId(1),
+                kind: MessageKind::Request,
+                bytes: 96,
+                at_ms: 5.0,
+            },
+            TraceEvent::RetryScheduled {
+                from: PeerId(0),
+                to: PeerId(1),
+                kind: MessageKind::Request,
+                attempt: 2,
+                backoff_ms: 12.5,
+                at_ms: 5.0,
+            },
+            TraceEvent::Failover {
+                peer: PeerId(0),
+                class: "catalog".into(),
+                dead: PeerId(1),
+                at_ms: 6.0,
             },
         ]
     }

@@ -29,6 +29,15 @@ echo "== tier-1: driver equivalence (sequential vs parallel, bit-for-bit) =="
 RUST_BACKTRACE=1 cargo test --release -q -p axml-bench --test driver_equivalence
 RUST_BACKTRACE=1 cargo test --release -q -p axml-bench --test driver_equivalence -- --ignored
 
+echo "== tier-1: chaos matrix under two extra pinned fault seeds =="
+# tests/chaos.rs always covers its three built-in seeds; AXML_CHAOS_SEED
+# appends one more per run. Any non-reconciling report, driver
+# divergence, or fault-transparency violation fails the test.
+AXML_CHAOS_SEED=0x7E570001 \
+    RUST_BACKTRACE=1 cargo test --release -q --test chaos
+AXML_CHAOS_SEED=0x7E570002 \
+    RUST_BACKTRACE=1 cargo test --release -q --test chaos
+
 echo "== tier-1: trace pipeline round-trip + timeline render smoke =="
 TRACE_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP"' EXIT

@@ -42,8 +42,12 @@ fn eval_across_down_link_fails_cleanly() {
     };
     let err = sys.eval(a, &e).unwrap_err();
     assert!(
-        err.to_string().contains("down"),
-        "expected a LinkDown error, got: {err}"
+        matches!(
+            err,
+            CoreError::Engine(EngineError::Undeliverable { from, to, .. })
+                if from == a && to == b
+        ),
+        "expected Undeliverable {{a → b}}, got: {err:?}"
     );
     // restore and retry: works again
     sys.net_mut().restore_link(a, b);
@@ -70,7 +74,13 @@ fn continuous_delivery_fails_when_partitioned() {
             Tree::parse(r#"<pkg name="new"><size>1</size></pkg>"#).unwrap(),
         )
         .unwrap_err();
-    assert!(err.to_string().contains("down"), "{err}");
+    assert!(
+        matches!(
+            err,
+            CoreError::Engine(EngineError::Undeliverable { .. }) | CoreError::Net(_)
+        ),
+        "expected a typed delivery error, got: {err:?}"
+    );
 }
 
 #[test]
