@@ -1,0 +1,41 @@
+//! `peerd` — a standalone AXML peer endpoint process.
+//!
+//! Binds a loopback TCP listener on an ephemeral port, announces it as
+//! `PORT <n>` on stdout, then serves one client connection with the
+//! AXTR endpoint protocol ([`axml_net::socket::serve_connection`]):
+//! parse frames, count them, acknowledge each message with a content
+//! digest, report counters on request, and exit cleanly on `Bye`.
+//!
+//! `axml-bench`'s [`axml_bench::cluster::ProcessCluster`] launches one
+//! of these per peer to stand up a real multi-process loopback cluster;
+//! see `TRANSPORT.md` for the walkthrough.
+//!
+//! ```text
+//! $ peerd
+//! PORT 40213
+//! served 17 frames, 43210 payload bytes
+//! ```
+
+use axml_net::socket::serve_connection;
+use std::io::Write;
+use std::net::TcpListener;
+
+fn main() -> std::io::Result<()> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let port = listener.local_addr()?.port();
+    // The launcher reads this line to learn the endpoint's address;
+    // flush so it is not stuck in a pipe buffer.
+    println!("PORT {port}");
+    std::io::stdout().flush()?;
+    let (stream, _) = listener.accept()?;
+    match serve_connection(stream) {
+        Ok((frames, payload_bytes)) => {
+            println!("served {frames} frames, {payload_bytes} payload bytes");
+            Ok(())
+        }
+        Err(e) => {
+            eprintln!("peerd: protocol error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

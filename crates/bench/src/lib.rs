@@ -25,6 +25,7 @@
 //! cargo run -p axml-bench --bin axml-trace -- run.trc --width 120 --svg run.svg
 //! ```
 
+pub mod cluster;
 pub mod experiments;
 pub mod report;
 pub mod timeline;

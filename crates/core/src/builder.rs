@@ -39,6 +39,7 @@ use crate::retry::RetryPolicy;
 use crate::service::Service;
 use crate::system::AxmlSystem;
 use axml_net::link::{LinkCost, Topology};
+use axml_net::transport::Transport;
 use axml_net::FaultPlan;
 use axml_obs::TraceSink;
 use axml_xml::ids::{DocName, PeerId, ServiceName};
@@ -125,8 +126,8 @@ impl AxmlSystem {
 
     /// Look up a peer id by the name it was registered under.
     pub fn peer_id(&self, name: &str) -> Option<PeerId> {
-        self.net
-            .peers()
+        (0..self.net.peer_count())
+            .map(|i| PeerId(i as u32))
             .find(|p| self.net.peer_name(*p) == Ok(name))
     }
 }
@@ -164,8 +165,27 @@ impl SystemBuilder {
         self
     }
 
+    /// Swap the network substrate for an explicit [`Transport`] backend
+    /// (e.g. a socket-backed one). Must come first — peers registered so
+    /// far live on the transport being replaced.
+    pub fn transport(mut self, net: Box<dyn Transport<crate::engine::Wire> + Send>) -> Self {
+        if self.sys.peer_count() > 0 || net.peer_count() > 0 {
+            if self.err.is_none() {
+                self.err = Some(CoreError::Malformed(
+                    "builder: transport() must precede peer declarations and take an empty \
+                     transport"
+                        .into(),
+                ));
+            }
+            return self;
+        }
+        self.sys.net = net;
+        self
+    }
+
     /// Lay down a whole standard topology at once (peers named `p0`…
-    /// `pN-1`). Must come first — it replaces any peers declared so far.
+    /// `pN-1`) on the current transport backend. Must come first — ids
+    /// are assigned assuming an empty peer set.
     pub fn topology(mut self, t: &Topology) -> Self {
         if self.sys.peer_count() > 0 && self.err.is_none() {
             self.err = Some(CoreError::Malformed(
@@ -173,24 +193,12 @@ impl SystemBuilder {
             ));
             return self;
         }
-        let trace = self.sys.obs.clear_sink();
-        let seed = self.sys.engine_seed;
-        let policy = self.sys.pick_policy;
-        let driver = self.sys.driver;
-        let retry = self.sys.retry;
-        let failover = self.sys.failover;
-        let fault = self.sys.net.fault_plan().cloned();
-        self.sys = AxmlSystem::with_topology(t);
-        self.sys.engine_seed = seed;
-        self.sys.pick_policy = policy;
-        self.sys.driver = driver;
-        self.sys.retry = retry;
-        self.sys.failover = failover;
-        if let Some(p) = fault {
-            self.sys.net.set_fault_plan(p);
-        }
-        if let Some(s) = trace {
-            self.sys.obs.set_sink(s);
+        if self.err.is_none() {
+            self.sys.net.install_topology(t);
+            for _ in 0..t.peer_count() {
+                self.sys.peers.push(crate::peer::PeerState::new());
+                self.sys.state_epochs.push(0);
+            }
         }
         self
     }

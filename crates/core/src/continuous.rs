@@ -106,7 +106,7 @@ impl AxmlSystem {
                 ScProvider::Any => {
                     let policy = self.pick_policy;
                     self.catalog
-                        .pick_service(policy, at, &sc.service, &self.net)?
+                        .pick_service(policy, at, &sc.service, &*self.net)?
                 }
             };
             self.check_peer(provider)?;

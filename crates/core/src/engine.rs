@@ -40,7 +40,7 @@ use crate::message::AxmlMessage;
 use crate::sc::{ActivationMode, ScNode, ScProvider};
 use crate::service::Service;
 use crate::system::AxmlSystem;
-use axml_net::{NetError, Payload};
+use axml_net::{FramedPayload, NetError, Payload};
 use axml_obs::{DataTag, TraceEvent};
 use axml_prng::SplitMix64;
 use axml_query::Query;
@@ -67,6 +67,16 @@ pub struct Wire {
 impl Payload for Wire {
     fn wire_size(&self) -> usize {
         self.msg.wire_size()
+    }
+}
+
+impl FramedPayload for Wire {
+    /// Only the [`AxmlMessage`] crosses the wire: the `Intent` is the
+    /// sender-side continuation bookkeeping (which slot a reply fills),
+    /// not message content — a real remote peer would reconstruct it
+    /// from correlation ids.
+    fn frame_payload(&self) -> Vec<u8> {
+        self.msg.frame_bytes()
     }
 }
 
@@ -1233,10 +1243,10 @@ impl AxmlSystem {
             // replica by timing out on it); re-picks after a failover
             // exclude the dead and filter to currently-live members.
             let picked = if excluded.is_empty() {
-                self.catalog.pick_doc(policy, at, &name, &self.net)
+                self.catalog.pick_doc(policy, at, &name, &*self.net)
             } else {
                 self.catalog
-                    .pick_doc_excluding(policy, at, &name, &self.net, &excluded)
+                    .pick_doc_excluding(policy, at, &name, &*self.net, &excluded)
             };
             let (home, concrete) = match picked {
                 Ok(pick) => pick,
@@ -1431,10 +1441,10 @@ impl AxmlSystem {
             // First pick blind, re-picks exclude the dead and filter to
             // live members — see `fetch_doc_any`.
             let picked = if excluded.is_empty() {
-                self.catalog.pick_service(policy, caller, class, &self.net)
+                self.catalog.pick_service(policy, caller, class, &*self.net)
             } else {
                 self.catalog
-                    .pick_service_excluding(policy, caller, class, &self.net, &excluded)
+                    .pick_service_excluding(policy, caller, class, &*self.net, &excluded)
             };
             let (prov, concrete) = match picked {
                 Ok(pick) => pick,

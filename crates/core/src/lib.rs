@@ -108,7 +108,9 @@ pub mod prelude {
     pub use crate::service::Service;
     pub use crate::system::AxmlSystem;
     pub use axml_net::link::{LinkCost, Topology};
-    pub use axml_net::{CrashSchedule, FaultPlan, Outage};
+    pub use axml_net::{
+        CrashSchedule, FaultPlan, FramedPayload, Outage, SimTransport, SocketTransport, Transport,
+    };
     pub use axml_obs::{
         BinSink, DataTag, EvalMetrics, FanoutSink, JsonlSink, MessageKind, Obs, RunReport,
         SharedBuf, TraceEvent, TraceReader, TraceSink, VecSink,

@@ -79,6 +79,71 @@ impl AxmlMessage {
     }
 }
 
+impl AxmlMessage {
+    /// Deterministic byte encoding for the AXTR wire: a variant tag
+    /// followed by length-prefixed (u32 LE) fields. Socket-backed
+    /// transports ship exactly these bytes across the process boundary
+    /// and verify the endpoint's digest over them, so equal messages
+    /// must always encode equally.
+    pub fn frame_bytes(&self) -> Vec<u8> {
+        fn put_str(out: &mut Vec<u8>, s: &str) {
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        let mut out = Vec::new();
+        match self {
+            AxmlMessage::Request { expr_xml } => {
+                out.push(1);
+                put_str(&mut out, expr_xml);
+            }
+            AxmlMessage::Data { payload, tag } => {
+                out.push(2);
+                put_str(&mut out, tag.as_str());
+                put_str(&mut out, payload);
+            }
+            AxmlMessage::Invoke {
+                service,
+                params,
+                forward,
+                call_id,
+            } => {
+                out.push(3);
+                put_str(&mut out, service.as_str());
+                out.extend_from_slice(&(params.len() as u32).to_le_bytes());
+                for p in params {
+                    put_str(&mut out, p);
+                }
+                out.extend_from_slice(&(forward.len() as u32).to_le_bytes());
+                for addr in forward {
+                    out.extend_from_slice(&addr.peer.0.to_le_bytes());
+                    put_str(&mut out, addr.doc.as_str());
+                    out.extend_from_slice(&(addr.node.index() as u32).to_le_bytes());
+                }
+                out.extend_from_slice(&call_id.to_le_bytes());
+            }
+            AxmlMessage::Response { call_id, payload } => {
+                out.push(4);
+                out.extend_from_slice(&call_id.to_le_bytes());
+                put_str(&mut out, payload);
+            }
+            AxmlMessage::DeployQuery {
+                query_xml,
+                as_service,
+            } => {
+                out.push(5);
+                put_str(&mut out, as_service.as_str());
+                put_str(&mut out, query_xml);
+            }
+            AxmlMessage::InstallDoc { name, payload } => {
+                out.push(6);
+                put_str(&mut out, name.as_str());
+                put_str(&mut out, payload);
+            }
+        }
+        out
+    }
+}
+
 impl Payload for AxmlMessage {
     fn wire_size(&self) -> usize {
         match self {

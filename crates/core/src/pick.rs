@@ -9,7 +9,7 @@
 //! and benchmark them against each other (experiment E7).
 
 use crate::error::{CoreError, CoreResult};
-use axml_net::sim::Network;
+use axml_net::transport::Transport;
 use axml_net::Payload;
 use axml_prng::SplitMix64;
 use axml_xml::ids::{DocName, PeerId, ServiceName};
@@ -107,7 +107,7 @@ impl Catalog {
         policy: PickPolicy,
         at: PeerId,
         class: &DocName,
-        net: &Network<M>,
+        net: &dyn Transport<M>,
     ) -> CoreResult<(PeerId, DocName)> {
         let members = self
             .docs
@@ -135,7 +135,7 @@ impl Catalog {
         policy: PickPolicy,
         at: PeerId,
         class: &DocName,
-        net: &Network<M>,
+        net: &dyn Transport<M>,
         excluded: &[PeerId],
     ) -> CoreResult<(PeerId, DocName)> {
         let members = self
@@ -166,7 +166,7 @@ impl Catalog {
         policy: PickPolicy,
         at: PeerId,
         class: &ServiceName,
-        net: &Network<M>,
+        net: &dyn Transport<M>,
     ) -> CoreResult<(PeerId, ServiceName)> {
         let members = self
             .services
@@ -191,7 +191,7 @@ impl Catalog {
         policy: PickPolicy,
         at: PeerId,
         class: &ServiceName,
-        net: &Network<M>,
+        net: &dyn Transport<M>,
         excluded: &[PeerId],
     ) -> CoreResult<(PeerId, ServiceName)> {
         let members = self
@@ -223,7 +223,7 @@ fn pick_index<M: Payload>(
     policy: PickPolicy,
     at: PeerId,
     peers: impl Iterator<Item = PeerId>,
-    net: &Network<M>,
+    net: &dyn Transport<M>,
     rr: &mut usize,
 ) -> usize {
     let peers: Vec<PeerId> = peers.collect();
@@ -258,6 +258,7 @@ fn pick_index<M: Payload>(
 mod tests {
     use super::*;
     use axml_net::link::LinkCost;
+    use axml_net::sim::SimTransport as Network;
 
     fn net3() -> Network<String> {
         let mut net: Network<String> = Network::new();

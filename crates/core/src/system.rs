@@ -1,11 +1,13 @@
 //! The AXML system: peers + network + catalog — the paper's state Σ.
 //!
-//! An [`AxmlSystem`] owns the simulated network, one [`PeerState`] per
-//! peer, and the generic-reference [`Catalog`]. Evaluation of expressions
-//! (definitions (1)–(9)) is decomposed into continuation tasks by the
-//! message-driven engine in [`crate::engine`]; continuous service
-//! machinery in [`crate::continuous`]. Both drive every cross-peer byte
-//! through the engine's wire path so the statistics measure real traffic.
+//! An [`AxmlSystem`] owns the network — behind the pluggable
+//! [`Transport`] trait, so the engine is transport-blind — one
+//! [`PeerState`] per peer, and the generic-reference [`Catalog`].
+//! Evaluation of expressions (definitions (1)–(9)) is decomposed into
+//! continuation tasks by the message-driven engine in [`crate::engine`];
+//! continuous service machinery in [`crate::continuous`]. Both drive
+//! every cross-peer byte through the engine's wire path so the
+//! statistics measure real traffic.
 
 use crate::driver::{DriverKind, ParallelStats};
 use crate::engine::Wire;
@@ -16,6 +18,7 @@ use crate::retry::RetryPolicy;
 use crate::service::Service;
 use axml_net::link::Topology;
 use axml_net::sim::Network;
+use axml_net::transport::Transport;
 use axml_net::NetStats;
 use axml_obs::{EvalMetrics, Obs, RunReport, TraceSink};
 use axml_query::Query;
@@ -27,9 +30,10 @@ use axml_xml::tree::Tree;
 /// [`AxmlSystem::set_engine_seed`] or the builder's `seed` knob).
 pub(crate) const DEFAULT_ENGINE_SEED: u64 = 0xA001_5EED_0815_4A2F;
 
-/// A complete simulated AXML deployment.
+/// A complete AXML deployment over a pluggable transport (simulated by
+/// default; socket-backed via [`AxmlSystem::with_transport`]).
 pub struct AxmlSystem {
-    pub(crate) net: Network<Wire>,
+    pub(crate) net: Box<dyn Transport<Wire> + Send>,
     pub(crate) peers: Vec<PeerState>,
     pub(crate) catalog: Catalog,
     pub(crate) pick_policy: PickPolicy,
@@ -46,8 +50,17 @@ pub struct AxmlSystem {
 }
 
 impl AxmlSystem {
-    /// A system over an explicit network.
+    /// A system over an explicit simulated network (the historical
+    /// constructor; see [`AxmlSystem::with_transport`] for arbitrary
+    /// backends).
     pub fn with_network(net: Network<Wire>) -> Self {
+        Self::with_transport(Box::new(net))
+    }
+
+    /// A system over any [`Transport`] backend. Peers already connected
+    /// to the transport get fresh [`PeerState`]s; the engine never
+    /// learns which backend it is driving.
+    pub fn with_transport(net: Box<dyn Transport<Wire> + Send>) -> Self {
         let peers: Vec<PeerState> = (0..net.peer_count()).map(|_| PeerState::new()).collect();
         let state_epochs = vec![0; peers.len()];
         AxmlSystem {
@@ -80,7 +93,8 @@ impl AxmlSystem {
 
     /// Register a new peer.
     pub fn add_peer(&mut self, name: impl Into<String>) -> PeerId {
-        let id = self.net.add_peer(name);
+        let name = name.into();
+        let id = self.net.add_peer(&name);
         self.peers.push(PeerState::new());
         self.state_epochs.push(0);
         id
@@ -129,14 +143,21 @@ impl AxmlSystem {
         }
     }
 
-    /// The network (for link configuration).
-    pub fn net_mut(&mut self) -> &mut Network<Wire> {
-        &mut self.net
+    /// The transport (for link configuration, fault plans, clock
+    /// control — everything on the [`Transport`] trait).
+    pub fn net_mut(&mut self) -> &mut (dyn Transport<Wire> + Send) {
+        &mut *self.net
     }
 
-    /// The network, read-only.
-    pub fn net(&self) -> &Network<Wire> {
-        &self.net
+    /// The transport, read-only.
+    pub fn net(&self) -> &(dyn Transport<Wire> + Send) {
+        &*self.net
+    }
+
+    /// The short label of the transport backend under this system
+    /// (`"sim"` or `"socket"`).
+    pub fn transport_backend(&self) -> &'static str {
+        self.net.backend()
     }
 
     /// Set the engine's deterministic tie-breaking seed. Sessions derive

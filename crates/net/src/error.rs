@@ -25,6 +25,18 @@ pub enum NetError {
     Dropped(PeerId, PeerId),
     /// A malformed configuration (e.g. zero bandwidth).
     BadConfig(String),
+    /// The real wire under a socket-backed transport failed: the peer
+    /// process disconnected, a frame was malformed, or an
+    /// acknowledgement did not match what was sent. Unlike the
+    /// simulated fault variants this is *not* part of the deterministic
+    /// model — it means the physical cluster itself broke.
+    Wire {
+        /// The peer whose endpoint the failure was observed on.
+        peer: PeerId,
+        /// Human-readable failure detail (I/O error, frame decode
+        /// error, acknowledgement mismatch).
+        detail: String,
+    },
 }
 
 impl fmt::Display for NetError {
@@ -38,6 +50,9 @@ impl fmt::Display for NetError {
                 write!(f, "message {a} → {b} was dropped (injected fault)")
             }
             NetError::BadConfig(msg) => write!(f, "bad network config: {msg}"),
+            NetError::Wire { peer, detail } => {
+                write!(f, "wire failure at endpoint of {peer}: {detail}")
+            }
         }
     }
 }

@@ -1,29 +1,42 @@
 #![deny(missing_docs)]
 
-//! # axml-net — the simulated peer network substrate
+//! # axml-net — the pluggable peer network substrate
 //!
 //! The paper assumes *"a finite set of peers"*, each a context of
 //! computation hosting documents and services (§2), exchanging service
 //! calls, responses, data trees and shipped queries. Its §3 optimizations
 //! trade **messages × bytes × link costs** against each other; to measure
-//! them reproducibly we substitute the authors' real WAN with a
-//! **discrete-event simulator**:
+//! them reproducibly the engine talks to the network only through the
+//! [`transport::Transport`] trait, which has two backends:
 //!
-//! * [`sim::Network`] — peers, a virtual clock, and an event queue
+//! * [`sim::SimTransport`] — the **discrete-event reference
+//!   implementation**: peers, a virtual clock, and an event queue
 //!   delivering messages in timestamp order (deterministic tie-breaking);
+//! * [`socket::SocketTransport`] — the **real multi-process loopback
+//!   backend**: every accepted message is additionally shipped as AXTR
+//!   frames ([`frame`]) over kernel TCP to a per-peer endpoint process
+//!   and digest-acknowledged, while the deterministic model keeps
+//!   governing time, faults and statistics so sim and socket runs stay
+//!   bit-identical (see `TRANSPORT.md`).
+//!
+//! Shared across backends:
+//!
 //! * [`link::LinkCost`] — per-link latency, bandwidth and per-message
 //!   overhead; [`link::Topology`] builders for uniform, star and
 //!   clustered-WAN shapes;
 //! * [`stats::NetStats`] — per-link and global bytes/message counters and
 //!   the simulated makespan: exactly the quantities every experiment in
-//!   `EXPERIMENTS.md` reports.
+//!   `EXPERIMENTS.md` reports;
+//! * [`sim::FaultPlan`] — seeded drops, jitter, outages and crashes.
 //!
-//! The simulator is generic over the message type (anything implementing
-//! [`Payload`]), so this crate stays independent of the AXML semantics —
-//! `axml-core` instantiates it with its own message enum.
+//! Backends are generic over the message type (anything implementing
+//! [`Payload`]; the socket backend also wants
+//! [`transport::FramedPayload`] to put bytes on the wire), so this crate
+//! stays independent of the AXML semantics — `axml-core` instantiates it
+//! with its own message enum.
 //!
 //! ```
-//! use axml_net::sim::Network;
+//! use axml_net::sim::SimTransport;
 //! use axml_net::link::LinkCost;
 //! use axml_net::Payload;
 //!
@@ -32,7 +45,7 @@
 //!     fn wire_size(&self) -> usize { self.0.len() }
 //! }
 //!
-//! let mut net: Network<Msg> = Network::new();
+//! let mut net: SimTransport<Msg> = SimTransport::new();
 //! let a = net.add_peer("a");
 //! let b = net.add_peer("b");
 //! net.set_link(a, b, LinkCost::wan());
@@ -45,14 +58,19 @@
 //! ```
 
 pub mod error;
+pub mod frame;
 pub mod link;
 pub mod sim;
+pub mod socket;
 pub mod stats;
+pub mod transport;
 
 pub use error::{NetError, NetResult};
 pub use link::{LinkCost, Topology};
-pub use sim::{CrashSchedule, FaultPlan, Network, Outage};
+pub use sim::{CrashSchedule, FaultPlan, Network, Outage, SimTransport};
+pub use socket::SocketTransport;
 pub use stats::{LinkStats, NetStats, PeerTraffic};
+pub use transport::{FramedPayload, Transport};
 
 /// Anything that can cross a link: reports its own wire size in bytes.
 pub trait Payload {

@@ -115,7 +115,9 @@ impl Default for LinkCost {
 }
 
 /// Declarative topology descriptions, turned into link matrices by
-/// [`crate::sim::Network::with_topology`].
+/// [`crate::sim::SimTransport::with_topology`] (or laid down through
+/// any backend with
+/// [`Transport::install_topology`](crate::transport::Transport::install_topology)).
 #[derive(Debug, Clone)]
 pub enum Topology {
     /// Every pair of distinct peers connected with the same cost.

@@ -1,11 +1,30 @@
-//! The discrete-event network simulator.
+//! The discrete-event network simulator — the reference
+//! [`Transport`](crate::transport::Transport) implementation.
 //!
-//! A [`Network`] owns the peer table, the link matrix, a virtual clock and
-//! an event queue. [`Network::send`] computes the message's arrival time
+//! A [`SimTransport`] owns the peer table, the link matrix, a virtual clock and
+//! an event queue. [`SimTransport::send`] computes the message's arrival time
 //! from the link cost, charges the statistics, and enqueues a delivery
-//! event; [`Network::recv`] pops the earliest pending delivery and advances
+//! event; [`SimTransport::recv`] pops the earliest pending delivery and advances
 //! the clock to it. Ties are broken by send order, so runs are fully
 //! deterministic.
+//!
+//! ```
+//! use axml_net::sim::SimTransport;
+//! use axml_net::transport::Transport;
+//! use axml_net::link::LinkCost;
+//!
+//! // Drive the simulator through the transport-blind trait surface:
+//! // the same calls work verbatim against the socket backend.
+//! let mut net: SimTransport<String> = SimTransport::new();
+//! let t: &mut dyn Transport<String> = &mut net;
+//! let a = t.add_peer("a");
+//! let b = t.add_peer("b");
+//! t.set_link(a, b, LinkCost::wan());
+//! t.try_send(a, b, "hello".to_string()).unwrap();
+//! let (to, msg, at) = t.recv().unwrap();
+//! assert_eq!((to, msg.as_str()), (b, "hello"));
+//! assert_eq!(t.now_ms(), at);
+//! ```
 //!
 //! Each **directed link** carries one message at a time: a second send on
 //! a busy link queues behind the first (`busy_until`), while sends on
@@ -19,7 +38,7 @@
 //! ## Fault injection
 //!
 //! A seeded [`FaultPlan`] can be installed with
-//! [`Network::set_fault_plan`]: per-message drop probability, latency
+//! [`SimTransport::set_fault_plan`]: per-message drop probability, latency
 //! jitter, transient outage windows on the virtual clock, and periodic
 //! peer crash/restart schedules. All randomness derives statelessly from
 //! `(seed, from, to, attempt#)` via `axml-prng`, so a run reproduces
@@ -84,7 +103,7 @@ impl CrashSchedule {
 
 /// A seeded, fully deterministic fault-injection plan.
 ///
-/// Install with [`Network::set_fault_plan`]. Faults are applied at send
+/// Install with [`SimTransport::set_fault_plan`]. Faults are applied at send
 /// time, in this order:
 ///
 /// 1. **Crash windows** — sender or receiver crashed now ⇒
@@ -281,8 +300,13 @@ impl<M> Ord for Event<M> {
     }
 }
 
+/// The historical name of [`SimTransport`]: the simulator began life as
+/// plain `Network` before the transport layer became pluggable, and the
+/// alias keeps every existing call site compiling unchanged.
+pub type Network<M> = SimTransport<M>;
+
 /// A simulated network of peers.
-pub struct Network<M> {
+pub struct SimTransport<M> {
     peer_names: Vec<String>,
     links: Vec<Vec<LinkCost>>,
     down: Vec<Vec<bool>>,
@@ -300,10 +324,10 @@ pub struct Network<M> {
     attempts: u64,
 }
 
-impl<M: Payload> Network<M> {
+impl<M: Payload> SimTransport<M> {
     /// An empty network.
     pub fn new() -> Self {
-        Network {
+        SimTransport {
             peer_names: Vec::new(),
             links: Vec::new(),
             down: Vec::new(),
@@ -319,7 +343,7 @@ impl<M: Payload> Network<M> {
 
     /// Build a network from a topology; peers are named `p0 … pn-1`.
     pub fn with_topology(topology: &Topology) -> Self {
-        let mut net = Network::new();
+        let mut net = SimTransport::new();
         let n = topology.peer_count();
         for i in 0..n {
             net.add_peer(format!("p{i}"));
@@ -355,15 +379,15 @@ impl<M: Payload> Network<M> {
     }
 
     /// Inject a failure: both directions of the link become unusable
-    /// until [`Network::restore_link`]. Sending over a down link returns
-    /// [`NetError::LinkDown`] from [`Network::try_send`] (the infallible
-    /// [`Network::send`] panics).
+    /// until [`SimTransport::restore_link`]. Sending over a down link returns
+    /// [`NetError::LinkDown`] from [`SimTransport::try_send`] (the infallible
+    /// [`SimTransport::send`] panics).
     pub fn fail_link(&mut self, a: PeerId, b: PeerId) {
         self.down[a.index()][b.index()] = true;
         self.down[b.index()][a.index()] = true;
     }
 
-    /// Undo a [`Network::fail_link`].
+    /// Undo a [`SimTransport::fail_link`].
     pub fn restore_link(&mut self, a: PeerId, b: PeerId) {
         self.down[a.index()][b.index()] = false;
         self.down[b.index()][a.index()] = false;
@@ -449,7 +473,7 @@ impl<M: Payload> Network<M> {
     /// Send `msg` from `from` to `to`; returns the arrival time (ms).
     ///
     /// The message is charged against the link immediately and delivered
-    /// when the clock reaches the arrival time ([`Network::recv`]).
+    /// when the clock reaches the arrival time ([`SimTransport::recv`]).
     pub fn send(&mut self, from: PeerId, to: PeerId, msg: M) -> f64 {
         self.try_send(from, to, msg)
             .expect("send over a down link — use try_send to handle failures")
@@ -461,9 +485,22 @@ impl<M: Payload> Network<M> {
         self.send_attempt(from, to, msg).map_err(|(e, _)| e)
     }
 
-    /// Like [`Network::try_send`], but returns the undelivered message
+    /// Like [`SimTransport::try_send`], but returns the undelivered message
     /// alongside the error so callers can retry the same payload.
     pub fn send_attempt(&mut self, from: PeerId, to: PeerId, msg: M) -> Result<f64, (NetError, M)> {
+        match self.fault_gate(from, to) {
+            Ok(jitter) => Ok(self.enqueue(from, to, msg, jitter)),
+            Err(e) => Err((e, msg)),
+        }
+    }
+
+    /// The fault half of a send attempt: link state, crash/outage
+    /// windows and the seeded drop/jitter draw, in exactly the order
+    /// [`SimTransport::send_attempt`] applies them. Returns the jitter to
+    /// add to the transfer. Split out so layered transports (the socket
+    /// backend) can run the deterministic gate, ship real bytes, and
+    /// only then [`SimTransport::enqueue`] the accepted message.
+    pub(crate) fn fault_gate(&mut self, from: PeerId, to: PeerId) -> NetResult<f64> {
         assert!(
             from.index() < self.peer_names.len(),
             "unknown sender {from}"
@@ -472,7 +509,7 @@ impl<M: Payload> Network<M> {
         let mut jitter = 0.0;
         if from != to {
             if self.down[from.index()][to.index()] {
-                return Err((NetError::LinkDown(from, to), msg));
+                return Err(NetError::LinkDown(from, to));
             }
             if let Some(plan) = &self.fault {
                 // Crash and outage windows are clock-driven and burn no
@@ -481,11 +518,11 @@ impl<M: Payload> Network<M> {
                 // sequence is a pure function of (seed, send sequence).
                 for p in [from, to] {
                     if plan.peer_down(p, self.clock_ms) {
-                        return Err((NetError::PeerDown(p), msg));
+                        return Err(NetError::PeerDown(p));
                     }
                 }
                 if plan.link_out(from, to, self.clock_ms) {
-                    return Err((NetError::LinkDown(from, to), msg));
+                    return Err(NetError::LinkDown(from, to));
                 }
                 let mut rng = plan.attempt_rng(from, to, self.attempts);
                 let dropped = plan.drop_prob > 0.0 && rng.gen_bool(plan.drop_prob);
@@ -495,10 +532,17 @@ impl<M: Payload> Network<M> {
                 self.attempts += 1;
                 if dropped {
                     self.stats.record_drop(from, to);
-                    return Err((NetError::Dropped(from, to), msg));
+                    return Err(NetError::Dropped(from, to));
                 }
             }
         }
+        Ok(jitter)
+    }
+
+    /// The delivery half of a send attempt: charge the link, compute the
+    /// arrival time and queue the delivery event. Must only run after
+    /// [`SimTransport::fault_gate`] accepted the attempt.
+    pub(crate) fn enqueue(&mut self, from: PeerId, to: PeerId, msg: M, jitter: f64) -> f64 {
         let cost = self.links[from.index()][to.index()];
         let size = msg.wire_size();
         let transfer = cost.transfer_ms(size) + jitter;
@@ -523,7 +567,7 @@ impl<M: Payload> Network<M> {
             msg,
         });
         self.seq += 1;
-        Ok(at)
+        at
     }
 
     /// Deliver the earliest pending message, advancing the clock to its
@@ -589,7 +633,7 @@ impl<M: Payload> Network<M> {
     }
 }
 
-impl<M: Payload> Default for Network<M> {
+impl<M: Payload> Default for SimTransport<M> {
     fn default() -> Self {
         Self::new()
     }
@@ -601,7 +645,7 @@ mod tests {
 
     #[test]
     fn fifo_per_send_order_on_ties() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_link(a, b, LinkCost::local());
@@ -614,7 +658,7 @@ mod tests {
 
     #[test]
     fn arrival_order_by_time() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         let c = net.add_peer("c");
@@ -632,7 +676,7 @@ mod tests {
 
     #[test]
     fn stats_are_charged_on_send() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_link(a, b, LinkCost::wan());
@@ -646,7 +690,7 @@ mod tests {
 
     #[test]
     fn local_send_is_free() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let at = net.send(a, a, "self".to_string());
         assert_eq!(at, 0.0);
@@ -657,7 +701,7 @@ mod tests {
 
     #[test]
     fn topology_construction() {
-        let net: Network<String> = Network::with_topology(&Topology::Clustered {
+        let net: SimTransport<String> = SimTransport::with_topology(&Topology::Clustered {
             clusters: vec![2, 2],
             intra: LinkCost::lan(),
             inter: LinkCost::wan(),
@@ -672,7 +716,7 @@ mod tests {
 
     #[test]
     fn clock_advances_monotonically() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_link(a, b, LinkCost::lan());
@@ -686,7 +730,7 @@ mod tests {
 
     #[test]
     fn directed_links() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_link_directed(a, b, LinkCost::slow());
@@ -697,7 +741,7 @@ mod tests {
 
     #[test]
     fn recv_from_reports_sender() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.send(a, b, "hi".to_string());
@@ -707,7 +751,7 @@ mod tests {
 
     #[test]
     fn distinct_links_overlap() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         let c = net.add_peer("c");
@@ -728,7 +772,7 @@ mod tests {
 
     #[test]
     fn same_link_serializes() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_link(a, b, LinkCost::wan());
@@ -745,7 +789,7 @@ mod tests {
 
     #[test]
     fn clear_in_flight_keeps_stats() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_link(a, b, LinkCost::wan());
@@ -759,7 +803,7 @@ mod tests {
 
     /// Drive every queued send of `msgs` bytes through the network,
     /// retrying drops, and return (delivered, dropped-before-success).
-    fn pump(net: &mut Network<String>, a: PeerId, b: PeerId, n: usize) -> (u64, u64) {
+    fn pump(net: &mut SimTransport<String>, a: PeerId, b: PeerId, n: usize) -> (u64, u64) {
         let mut delivered = 0;
         for i in 0..n {
             loop {
@@ -779,7 +823,7 @@ mod tests {
     #[test]
     fn fault_plan_drops_reproduce_from_seed() {
         let run = |seed: u64| {
-            let mut net: Network<String> = Network::new();
+            let mut net: SimTransport<String> = SimTransport::new();
             let a = net.add_peer("a");
             let b = net.add_peer("b");
             net.set_fault_plan(FaultPlan::new(seed).drop_prob(0.3));
@@ -795,7 +839,7 @@ mod tests {
 
     #[test]
     fn outage_window_opens_and_closes() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_fault_plan(FaultPlan::new(1).outage(a, b, 10.0, 20.0));
@@ -814,7 +858,7 @@ mod tests {
 
     #[test]
     fn crash_schedule_is_periodic() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         // b crashes at t=5 for 2ms, every 10ms.
@@ -833,14 +877,14 @@ mod tests {
     #[test]
     fn jitter_delays_but_preserves_charges() {
         let base = {
-            let mut net: Network<String> = Network::new();
+            let mut net: SimTransport<String> = SimTransport::new();
             let a = net.add_peer("a");
             let b = net.add_peer("b");
             net.set_link(a, b, LinkCost::wan());
             net.send(a, b, "x".repeat(500));
             (net.peek_arrival().unwrap(), net.stats().total_bytes())
         };
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_link(a, b, LinkCost::wan());
@@ -865,7 +909,7 @@ mod tests {
 
     #[test]
     fn clearing_the_plan_restores_calm() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         let b = net.add_peer("b");
         net.set_fault_plan(FaultPlan::new(3).drop_prob(1.0));
@@ -878,7 +922,7 @@ mod tests {
 
     #[test]
     fn local_sends_never_fault() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         net.set_fault_plan(FaultPlan::new(3).drop_prob(1.0).crash(a, 0.0, 10.0, 10.0));
         assert!(net.try_send(a, a, "self".into()).is_ok());
@@ -887,7 +931,7 @@ mod tests {
 
     #[test]
     fn pending_introspection() {
-        let mut net: Network<String> = Network::new();
+        let mut net: SimTransport<String> = SimTransport::new();
         let a = net.add_peer("a");
         assert!(!net.has_pending());
         net.send(a, a, "x".to_string());

@@ -1,0 +1,770 @@
+//! [`SocketTransport`]: the real multi-process loopback backend.
+//!
+//! Each peer of a [`SocketTransport`] is backed by an **endpoint** — an
+//! OS process (or, for unit tests, a thread) owning a loopback TCP
+//! listener and speaking the AXTR wire protocol of [`crate::frame`].
+//! Every message the deterministic model accepts is *additionally*
+//! shipped as real bytes through the kernel to the receiving peer's
+//! endpoint, which parses the frame, counts it, and acknowledges with a
+//! content digest the sender verifies before the message is allowed to
+//! proceed. A mismatch or connection failure surfaces as the typed
+//! [`NetError::Wire`] — a *physical* failure, distinct from the
+//! modelled fault variants.
+//!
+//! # Layering and determinism
+//!
+//! The engine is a single-process discrete-event coordinator, so the
+//! socket backend keeps the **model** — virtual clock, [`LinkCost`]
+//! timing, seeded [`FaultPlan`] draws, [`NetStats`] charging — in an
+//! inner [`SimTransport`], and layers the wire underneath it:
+//!
+//! ```text
+//! send_attempt ──► fault_gate (deterministic: drops, outages, jitter)
+//!                    │ accepted
+//!                    ▼
+//!                  AXTR Msg frame ──TCP──► endpoint process ──► Ack
+//!                    │ digest verified               (counts frames)
+//!                    ▼
+//!                  enqueue (virtual arrival time, stats charge)
+//! ```
+//!
+//! Rejected attempts (drops, outages, crashes) never touch the wire, so
+//! the fault stream remains a pure function of `(seed, send sequence)`
+//! and a sim run and a socket run with the same seed observe **bit
+//! identical** virtual time, statistics and results — that equivalence
+//! is enforced by `crates/bench/tests/transport_equivalence.rs`. What
+//! the socket backend adds is proof that every charged message really
+//! crossed a process boundary intact: [`SocketTransport::reconcile`]
+//! fetches each endpoint's counters and checks them against the
+//! client-side ledger.
+//!
+//! # Example
+//!
+//! ```
+//! use axml_net::socket::SocketTransport;
+//! use axml_net::transport::Transport;
+//! use axml_net::link::LinkCost;
+//!
+//! // Endpoints default to spawned loopback threads; a real cluster
+//! // registers `peerd` process addresses first (see TRANSPORT.md).
+//! let mut net: SocketTransport<String> = SocketTransport::new();
+//! let a = net.add_peer("a");
+//! let b = net.add_peer("b");
+//! net.set_link(a, b, LinkCost::wan());
+//! let at = net.send(a, b, "hello".to_string());
+//! assert!(at > 0.0);
+//! let (to, msg, _) = net.recv().unwrap();
+//! assert_eq!((to, msg.as_str()), (b, "hello"));
+//! // Every accepted message crossed the kernel: the endpoint saw it.
+//! let reports = net.reconcile().unwrap();
+//! assert_eq!(reports[b.index()].frames, 1);
+//! net.shutdown();
+//! ```
+
+use crate::error::{NetError, NetResult};
+use crate::frame::{
+    fnv1a64, read_frame, read_preamble, write_frame, write_preamble, Frame, FrameError,
+};
+use crate::link::LinkCost;
+use crate::sim::{FaultPlan, SimTransport};
+use crate::stats::NetStats;
+use crate::transport::{FramedPayload, Transport};
+use crate::Payload;
+use axml_xml::ids::PeerId;
+use std::collections::VecDeque;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+/// Client-side ledger of real wire traffic, kept separately from
+/// [`NetStats`] so the deterministic statistics stay bit-identical to
+/// the simulator's. One entry per peer endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WireStats {
+    /// AXTR `Msg` frames shipped to this peer's endpoint.
+    pub frames: u64,
+    /// Total payload bytes inside those frames (headers excluded).
+    pub payload_bytes: u64,
+}
+
+/// An endpoint's own account of the traffic it served, as returned by
+/// its `Stats` frame. [`SocketTransport::reconcile`] checks this against
+/// the client-side [`WireStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EndpointReport {
+    /// The peer this endpoint backs.
+    pub peer: PeerId,
+    /// The peer's display name (from the `Hello` handshake).
+    pub name: String,
+    /// `Msg` frames the endpoint parsed and acknowledged.
+    pub frames: u64,
+    /// Payload bytes the endpoint received inside those frames.
+    pub payload_bytes: u64,
+}
+
+/// One live connection to a peer's endpoint.
+struct Endpoint {
+    addr: SocketAddr,
+    name: String,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    /// Next frame sequence number on this connection.
+    seq: u64,
+    wire: WireStats,
+    /// Join handle when the endpoint is a locally spawned thread (the
+    /// unit-test default); `None` for external processes.
+    thread: Option<JoinHandle<()>>,
+}
+
+/// The endpoint table, shared between a [`SocketTransport`] and any
+/// [`SocketHandle`]s cloned off it (so callers that hand the transport
+/// to an engine can still reconcile and shut down afterwards).
+struct Shared {
+    endpoints: Vec<Endpoint>,
+    closed: bool,
+}
+
+impl Shared {
+    /// Write one frame to endpoint `idx`, flush, read the reply.
+    fn roundtrip(&mut self, idx: usize, frame: &Frame) -> Result<Frame, FrameError> {
+        let ep = &mut self.endpoints[idx];
+        let seq = ep.seq;
+        ep.seq += 1;
+        write_frame(&mut ep.writer, seq, frame)?;
+        ep.writer.flush()?;
+        let (reply_seq, reply) = read_frame(&mut ep.reader)?;
+        if reply_seq != seq {
+            return Err(FrameError::Malformed(format!(
+                "reply seq {reply_seq} does not match request seq {seq}"
+            )));
+        }
+        Ok(reply)
+    }
+
+    fn ship(&mut self, from: PeerId, to: PeerId, payload: &[u8]) -> NetResult<()> {
+        let reply = self
+            .roundtrip(
+                to.index(),
+                &Frame::Msg {
+                    from: from.0,
+                    to: to.0,
+                    payload: payload.to_vec(),
+                },
+            )
+            .map_err(|e| wire_err(to, e))?;
+        match reply {
+            Frame::Ack { digest, len }
+                if digest == fnv1a64(payload) && len as usize == payload.len() =>
+            {
+                let ep = &mut self.endpoints[to.index()];
+                ep.wire.frames += 1;
+                ep.wire.payload_bytes += payload.len() as u64;
+                Ok(())
+            }
+            Frame::Ack { digest, len } => Err(NetError::Wire {
+                peer: to,
+                detail: format!(
+                    "acknowledgement mismatch: endpoint saw digest {digest:#018x} / {len} bytes, \
+                     sent digest {:#018x} / {} bytes",
+                    fnv1a64(payload),
+                    payload.len()
+                ),
+            }),
+            other => Err(NetError::Wire {
+                peer: to,
+                detail: format!("expected Ack, got {other:?}"),
+            }),
+        }
+    }
+
+    fn reconcile(&mut self) -> NetResult<Vec<EndpointReport>> {
+        let mut reports = Vec::with_capacity(self.endpoints.len());
+        for idx in 0..self.endpoints.len() {
+            let peer = PeerId(idx as u32);
+            let reply = self
+                .roundtrip(
+                    idx,
+                    &Frame::Stats {
+                        frames: 0,
+                        payload_bytes: 0,
+                    },
+                )
+                .map_err(|e| wire_err(peer, e))?;
+            let (frames, payload_bytes) = match reply {
+                Frame::Stats {
+                    frames,
+                    payload_bytes,
+                } => (frames, payload_bytes),
+                other => {
+                    return Err(NetError::Wire {
+                        peer,
+                        detail: format!("expected Stats reply, got {other:?}"),
+                    })
+                }
+            };
+            let ep = &self.endpoints[idx];
+            if frames != ep.wire.frames || payload_bytes != ep.wire.payload_bytes {
+                return Err(NetError::Wire {
+                    peer,
+                    detail: format!(
+                        "endpoint counted {frames} frames / {payload_bytes} payload bytes, \
+                         client shipped {} / {}",
+                        ep.wire.frames, ep.wire.payload_bytes
+                    ),
+                });
+            }
+            reports.push(EndpointReport {
+                peer,
+                name: ep.name.clone(),
+                frames,
+                payload_bytes,
+            });
+        }
+        Ok(reports)
+    }
+
+    fn shutdown(&mut self) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        for idx in 0..self.endpoints.len() {
+            let _ = self.roundtrip(idx, &Frame::Bye); // endpoint echoes Bye
+            if let Some(handle) = self.endpoints[idx].thread.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+/// The real loopback socket backend. See the [module docs](self).
+///
+/// Generic over any message that is both a [`Payload`] (for the cost
+/// model) and a [`FramedPayload`] (so its bytes can cross the wire).
+pub struct SocketTransport<M: Payload + FramedPayload> {
+    sim: SimTransport<M>,
+    shared: Arc<Mutex<Shared>>,
+    /// Endpoint addresses registered ahead of [`Transport::add_peer`]
+    /// calls, claimed in FIFO order (the process-cluster path).
+    pending_endpoints: VecDeque<SocketAddr>,
+}
+
+/// A cloneable handle on a [`SocketTransport`]'s endpoint connections.
+///
+/// Obtain one with [`SocketTransport::handle`] **before** moving the
+/// transport into an engine (e.g. `AxmlSystem::with_transport` boxes it
+/// away behind the `Transport` trait); afterwards the handle still
+/// reconciles endpoint counters and shuts the cluster down.
+#[derive(Clone)]
+pub struct SocketHandle {
+    shared: Arc<Mutex<Shared>>,
+}
+
+impl SocketHandle {
+    /// See [`SocketTransport::reconcile`].
+    pub fn reconcile(&self) -> NetResult<Vec<EndpointReport>> {
+        self.shared.lock().expect("endpoint table lock").reconcile()
+    }
+
+    /// See [`SocketTransport::wire_stats`].
+    pub fn wire_stats(&self, p: PeerId) -> WireStats {
+        self.shared.lock().expect("endpoint table lock").endpoints[p.index()].wire
+    }
+
+    /// See [`SocketTransport::shutdown`].
+    pub fn shutdown(&self) {
+        self.shared.lock().expect("endpoint table lock").shutdown()
+    }
+}
+
+impl<M: Payload + FramedPayload> SocketTransport<M> {
+    /// An empty socket-backed network. Peers added without a
+    /// pre-registered endpoint get a freshly spawned loopback *thread*
+    /// endpoint; call [`SocketTransport::register_endpoint`] first to
+    /// attach real processes instead.
+    pub fn new() -> Self {
+        SocketTransport {
+            sim: SimTransport::new(),
+            shared: Arc::new(Mutex::new(Shared {
+                endpoints: Vec::new(),
+                closed: false,
+            })),
+            pending_endpoints: VecDeque::new(),
+        }
+    }
+
+    /// Register the listener address of an external endpoint process
+    /// (e.g. a `peerd` from `axml-bench`'s process cluster). The next
+    /// [`Transport::add_peer`] call claims it; addresses are claimed in
+    /// registration order.
+    pub fn register_endpoint(&mut self, addr: SocketAddr) {
+        self.pending_endpoints.push_back(addr);
+    }
+
+    /// A handle that can reconcile and shut down this transport's
+    /// endpoints after the transport itself has been moved away.
+    pub fn handle(&self) -> SocketHandle {
+        SocketHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Client-side wire ledger for one peer's endpoint.
+    pub fn wire_stats(&self, p: PeerId) -> WireStats {
+        self.shared.lock().expect("endpoint table lock").endpoints[p.index()].wire
+    }
+
+    /// Ask every endpoint for its own traffic counters and verify them
+    /// against the client-side ledger. This is the physical half of the
+    /// differential oracle: the deterministic [`NetStats`] prove the
+    /// *model* matched the simulator, the reconciled reports prove the
+    /// counted messages really crossed the process boundary.
+    pub fn reconcile(&mut self) -> NetResult<Vec<EndpointReport>> {
+        self.shared.lock().expect("endpoint table lock").reconcile()
+    }
+
+    /// Send `Bye` to every endpoint and join locally spawned threads.
+    /// Idempotent; also runs on drop (best effort, errors ignored).
+    pub fn shutdown(&mut self) {
+        self.shared.lock().expect("endpoint table lock").shutdown()
+    }
+
+    /// Connect to `addr`, write the wire preamble and perform the
+    /// `Hello` handshake for `peer`.
+    fn connect_endpoint(
+        peer: PeerId,
+        name: &str,
+        addr: SocketAddr,
+        thread: Option<JoinHandle<()>>,
+    ) -> Result<Endpoint, FrameError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let mut ep = Endpoint {
+            addr,
+            name: name.to_string(),
+            reader: BufReader::new(stream.try_clone()?),
+            writer: BufWriter::new(stream),
+            seq: 0,
+            wire: WireStats::default(),
+            thread,
+        };
+        write_preamble(&mut ep.writer)?;
+        let seq = ep.seq;
+        ep.seq += 1;
+        write_frame(
+            &mut ep.writer,
+            seq,
+            &Frame::Hello {
+                peer: peer.0,
+                name: name.to_string(),
+            },
+        )?;
+        ep.writer.flush()?;
+        let (reply_seq, reply) = read_frame(&mut ep.reader)?;
+        match reply {
+            Frame::Ack { digest, len }
+                if reply_seq == seq
+                    && digest == fnv1a64(name.as_bytes())
+                    && len as usize == name.len() => {}
+            other => {
+                return Err(FrameError::Malformed(format!(
+                    "bad Hello acknowledgement: {other:?}"
+                )))
+            }
+        }
+        Ok(ep)
+    }
+
+    /// The listener address of a peer's endpoint.
+    pub fn endpoint_addr(&self, p: PeerId) -> SocketAddr {
+        self.shared.lock().expect("endpoint table lock").endpoints[p.index()].addr
+    }
+}
+
+impl<M: Payload + FramedPayload> Default for SocketTransport<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M: Payload + FramedPayload> Drop for SocketTransport<M> {
+    fn drop(&mut self) {
+        // Outstanding SocketHandles keep the endpoints alive (the whole
+        // point of a handle is reconciling *after* the transport was
+        // consumed); the last owner cleans up.
+        if Arc::strong_count(&self.shared) == 1 {
+            self.shutdown();
+        }
+    }
+}
+
+fn wire_err(peer: PeerId, e: FrameError) -> NetError {
+    NetError::Wire {
+        peer,
+        detail: e.to_string(),
+    }
+}
+
+impl<M: Payload + FramedPayload> Transport<M> for SocketTransport<M> {
+    fn backend(&self) -> &'static str {
+        "socket"
+    }
+
+    /// Connects a real endpoint for the new peer: the next address
+    /// registered with [`SocketTransport::register_endpoint`], or a
+    /// freshly spawned loopback thread endpoint when none is pending.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the endpoint cannot be reached or fails the `Hello`
+    /// handshake — peer setup is configuration, not a runtime fault.
+    fn add_peer(&mut self, name: &str) -> PeerId {
+        let peer = self.sim.add_peer(name);
+        let (addr, thread) = match self.pending_endpoints.pop_front() {
+            Some(addr) => (addr, None),
+            None => {
+                let (addr, handle) =
+                    spawn_endpoint_thread().expect("failed to spawn loopback endpoint thread");
+                (addr, Some(handle))
+            }
+        };
+        let ep = Self::connect_endpoint(peer, name, addr, thread)
+            .unwrap_or_else(|e| panic!("endpoint handshake for {peer} at {addr} failed: {e}"));
+        self.shared
+            .lock()
+            .expect("endpoint table lock")
+            .endpoints
+            .push(ep);
+        peer
+    }
+
+    fn peer_count(&self) -> usize {
+        self.sim.peer_count()
+    }
+
+    fn peer_name(&self, p: PeerId) -> NetResult<&str> {
+        self.sim.peer_name(p)
+    }
+
+    fn set_link(&mut self, a: PeerId, b: PeerId, cost: LinkCost) {
+        self.sim.set_link(a, b, cost)
+    }
+
+    fn set_link_directed(&mut self, from: PeerId, to: PeerId, cost: LinkCost) {
+        self.sim.set_link_directed(from, to, cost)
+    }
+
+    fn link(&self, from: PeerId, to: PeerId) -> LinkCost {
+        self.sim.link(from, to)
+    }
+
+    fn fail_link(&mut self, a: PeerId, b: PeerId) {
+        self.sim.fail_link(a, b)
+    }
+
+    fn restore_link(&mut self, a: PeerId, b: PeerId) {
+        self.sim.restore_link(a, b)
+    }
+
+    fn link_up(&self, from: PeerId, to: PeerId) -> bool {
+        self.sim.link_up(from, to)
+    }
+
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.sim.set_fault_plan(plan)
+    }
+
+    fn clear_fault_plan(&mut self) -> Option<FaultPlan> {
+        self.sim.clear_fault_plan()
+    }
+
+    fn fault_plan(&self) -> Option<&FaultPlan> {
+        self.sim.fault_plan()
+    }
+
+    fn reachable(&self, from: PeerId, to: PeerId) -> bool {
+        self.sim.reachable(from, to)
+    }
+
+    /// Runs the deterministic fault gate, ships the accepted message's
+    /// bytes to the receiving endpoint (local `from == to` deliveries
+    /// skip the wire, exactly as the simulator skips charging them),
+    /// verifies the acknowledgement and only then enqueues the virtual
+    /// delivery. Wire failures return [`NetError::Wire`] with the
+    /// message, like every other refused attempt.
+    fn send_attempt(&mut self, from: PeerId, to: PeerId, msg: M) -> Result<f64, (NetError, M)> {
+        let jitter = match self.sim.fault_gate(from, to) {
+            Ok(j) => j,
+            Err(e) => return Err((e, msg)),
+        };
+        if from != to {
+            let payload = msg.frame_payload();
+            let shipped = self
+                .shared
+                .lock()
+                .expect("endpoint table lock")
+                .ship(from, to, &payload);
+            if let Err(e) = shipped {
+                return Err((e, msg));
+            }
+        }
+        Ok(self.sim.enqueue(from, to, msg, jitter))
+    }
+
+    fn recv_from(&mut self) -> Option<(PeerId, PeerId, M, f64)> {
+        self.sim.recv_from()
+    }
+
+    fn peek_arrival(&self) -> Option<f64> {
+        self.sim.peek_arrival()
+    }
+
+    fn clear_in_flight(&mut self) {
+        self.sim.clear_in_flight()
+    }
+
+    fn has_pending(&self) -> bool {
+        self.sim.has_pending()
+    }
+
+    fn pending_len(&self) -> usize {
+        self.sim.pending_len()
+    }
+
+    fn now_ms(&self) -> f64 {
+        self.sim.now_ms()
+    }
+
+    fn advance(&mut self, ms: f64) {
+        self.sim.advance(ms)
+    }
+
+    fn stats(&self) -> &NetStats {
+        self.sim.stats()
+    }
+
+    fn reset_stats(&mut self) {
+        self.sim.reset_stats()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Endpoint side
+// ---------------------------------------------------------------------
+
+/// Serve one client connection with the endpoint half of the AXTR wire
+/// protocol, until a `Bye` frame or EOF. Returns the final
+/// `(frames, payload_bytes)` counters.
+///
+/// This is the loop both the in-process thread endpoints below and the
+/// external `peerd` binary (in `axml-bench`) run:
+///
+/// * `Hello` → `Ack` over the peer name's digest;
+/// * `Msg` → count it, `Ack` over the payload digest;
+/// * `Stats` (request; fields ignored) → `Stats` with the counters;
+/// * `Bye` → `Bye` echo, then return.
+///
+/// Replies reuse the request's sequence number so the client can match
+/// them up.
+pub fn serve_connection(stream: TcpStream) -> Result<(u64, u64), FrameError> {
+    stream.set_nodelay(true)?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    read_preamble(&mut reader)?;
+    let mut frames: u64 = 0;
+    let mut payload_bytes: u64 = 0;
+    loop {
+        let (seq, frame) = match read_frame(&mut reader) {
+            Ok(f) => f,
+            // EOF between frames is a clean disconnect.
+            Err(FrameError::Io(e)) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                return Ok((frames, payload_bytes))
+            }
+            Err(e) => return Err(e),
+        };
+        let reply = match frame {
+            Frame::Hello { name, .. } => Frame::Ack {
+                digest: fnv1a64(name.as_bytes()),
+                len: name.len() as u32,
+            },
+            Frame::Msg { payload, .. } => {
+                frames += 1;
+                payload_bytes += payload.len() as u64;
+                Frame::Ack {
+                    digest: fnv1a64(&payload),
+                    len: payload.len() as u32,
+                }
+            }
+            Frame::Stats { .. } => Frame::Stats {
+                frames,
+                payload_bytes,
+            },
+            Frame::Bye => {
+                write_frame(&mut writer, seq, &Frame::Bye)?;
+                writer.flush()?;
+                return Ok((frames, payload_bytes));
+            }
+            Frame::Ack { .. } => {
+                return Err(FrameError::Malformed(
+                    "endpoint received an Ack frame (acks only flow endpoint → client)".into(),
+                ))
+            }
+        };
+        write_frame(&mut writer, seq, &reply)?;
+        writer.flush()?;
+    }
+}
+
+/// Bind a loopback listener and serve a single connection on a spawned
+/// thread. Returns the listener address and the thread's join handle.
+/// This is the unit-test / single-process stand-in for a real `peerd`
+/// endpoint process.
+pub fn spawn_endpoint_thread() -> io::Result<(SocketAddr, JoinHandle<()>)> {
+    let listener = TcpListener::bind(("127.0.0.1", 0))?;
+    let addr = listener.local_addr()?;
+    let handle = std::thread::spawn(move || {
+        if let Ok((stream, _)) = listener.accept() {
+            // Protocol errors end the endpoint; the client observes the
+            // disconnect as a typed wire error on its next send.
+            let _ = serve_connection(stream);
+        }
+    });
+    Ok((addr, handle))
+}
+
+/// Read a whole stream to EOF (helper for endpoints draining a dying
+/// connection). Kept crate-internal behaviour but public for reuse by
+/// the bench launcher's diagnostics.
+pub fn drain(stream: &mut TcpStream) -> io::Result<u64> {
+    let mut sink = Vec::new();
+    let n = stream.read_to_end(&mut sink)?;
+    Ok(n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ships_every_accepted_message_and_reconciles() {
+        let mut net: SocketTransport<String> = SocketTransport::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link(a, b, LinkCost::lan());
+        for i in 0..5 {
+            net.send(a, b, format!("m{i}"));
+        }
+        net.send(b, a, "reply".to_string());
+        // Local delivery: no wire traffic.
+        net.send(a, a, "loop".to_string());
+        assert_eq!(
+            net.wire_stats(b),
+            WireStats {
+                frames: 5,
+                payload_bytes: 10
+            }
+        );
+        assert_eq!(
+            net.wire_stats(a),
+            WireStats {
+                frames: 1,
+                payload_bytes: 5
+            }
+        );
+        let reports = net.reconcile().unwrap();
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[b.index()].frames, 5);
+        assert_eq!(reports[a.index()].name, "a");
+        net.shutdown();
+    }
+
+    #[test]
+    fn matches_simulator_timing_and_stats_exactly() {
+        let mut sim: SimTransport<String> = SimTransport::new();
+        let mut sock: SocketTransport<String> = SocketTransport::new();
+        for name in ["a", "b", "c"] {
+            sim.add_peer(name);
+            Transport::<String>::add_peer(&mut sock, name);
+        }
+        let (a, b, c) = (PeerId(0), PeerId(1), PeerId(2));
+        for net in [&mut sim as &mut dyn Transport<String>, &mut sock] {
+            net.set_link(a, b, LinkCost::wan());
+            net.set_link(b, c, LinkCost::lan());
+            net.set_fault_plan(FaultPlan::new(7).drop_prob(0.3).jitter_ms(4.0));
+        }
+        for i in 0..20 {
+            let msg = format!("payload-{i:04}");
+            let r1 = sim.send_attempt(a, b, msg.clone());
+            let r2 = Transport::<String>::send_attempt(&mut sock, a, b, msg);
+            match (r1, r2) {
+                (Ok(t1), Ok(t2)) => assert_eq!(t1, t2, "arrival {i}"),
+                (Err((e1, _)), Err((e2, _))) => assert_eq!(e1, e2, "fault {i}"),
+                (x, y) => panic!("diverged at {i}: {:?} vs {:?}", x.is_ok(), y.is_ok()),
+            }
+        }
+        while let (Some(x), Some(y)) = (sim.recv_from(), Transport::<String>::recv_from(&mut sock))
+        {
+            assert_eq!((x.0, x.1, x.3), (y.0, y.1, y.3));
+            assert_eq!(x.2, y.2);
+        }
+        assert_eq!(sim.now_ms(), Transport::<String>::now_ms(&sock));
+        assert_eq!(
+            sim.stats().total_bytes(),
+            Transport::<String>::stats(&sock).total_bytes()
+        );
+        assert_eq!(
+            sim.stats().total_messages(),
+            Transport::<String>::stats(&sock).total_messages()
+        );
+        sock.reconcile().unwrap();
+        sock.shutdown();
+    }
+
+    #[test]
+    fn dead_endpoint_surfaces_as_typed_wire_error() {
+        let mut net: SocketTransport<String> = SocketTransport::new();
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        net.set_link(a, b, LinkCost::lan());
+        net.send(a, b, "warmup".to_string());
+        // Kill b's endpoint out from under the transport.
+        {
+            let mut shared = net.shared.lock().unwrap();
+            shared.roundtrip(b.index(), &Frame::Bye).unwrap();
+            if let Some(h) = shared.endpoints[b.index()].thread.take() {
+                h.join().unwrap();
+            }
+        }
+        let err = match net.send_attempt(a, b, "after".to_string()) {
+            Err((e, msg)) => {
+                assert_eq!(msg, "after", "message handed back for retry");
+                e
+            }
+            Ok(_) => panic!("send over a dead endpoint succeeded"),
+        };
+        match err {
+            NetError::Wire { peer, .. } => assert_eq!(peer, b),
+            other => panic!("expected NetError::Wire, got {other}"),
+        }
+        // a's endpoint is still live; shut it down cleanly. b's Bye on
+        // drop fails silently against the closed socket, which is fine.
+        net.shutdown();
+    }
+
+    #[test]
+    fn pre_registered_endpoints_are_claimed_in_order() {
+        let (addr1, h1) = spawn_endpoint_thread().unwrap();
+        let (addr2, h2) = spawn_endpoint_thread().unwrap();
+        let mut net: SocketTransport<String> = SocketTransport::new();
+        net.register_endpoint(addr1);
+        net.register_endpoint(addr2);
+        let a = net.add_peer("a");
+        let b = net.add_peer("b");
+        assert_eq!(net.endpoint_addr(a), addr1);
+        assert_eq!(net.endpoint_addr(b), addr2);
+        net.shutdown();
+        h1.join().unwrap();
+        h2.join().unwrap();
+    }
+}

@@ -38,6 +38,16 @@ AXML_CHAOS_SEED=0x7E570001 \
 AXML_CHAOS_SEED=0x7E570002 \
     RUST_BACKTRACE=1 cargo test --release -q --test chaos
 
+echo "== tier-1: socket transport smoke (real peerd processes, hard timeout) =="
+# The sim-vs-socket differential oracle (topology × driver × seed matrix,
+# every socket row against real endpoint processes), then the runnable
+# 3-peer loopback cluster demo, each under a hard timeout so a wedged
+# endpoint process can never hang the gate.
+timeout 300 env RUST_BACKTRACE=1 \
+    cargo test --release -q -p axml-bench --test transport_equivalence
+timeout 120 cargo run --release -q -p axml-bench --bin axml-cluster \
+    > /dev/null
+
 echo "== tier-1: trace pipeline round-trip + timeline render smoke =="
 TRACE_TMP="$(mktemp -d)"
 trap 'rm -rf "$TRACE_TMP"' EXIT
