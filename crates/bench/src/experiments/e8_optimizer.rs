@@ -65,7 +65,7 @@ fn shapes() -> Vec<(&'static str, Expr)> {
         (
             "generic-doc-selection",
             Expr::Apply {
-                query: LocatedQuery::new(sel.clone(), a),
+                query: LocatedQuery::new(sel, a),
                 args: vec![Expr::Doc {
                     name: "cat-any".into(),
                     at: PeerRef::Any,

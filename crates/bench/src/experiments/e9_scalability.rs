@@ -270,12 +270,27 @@ pub fn run() -> Report {
 mod tests {
     #[test]
     fn par_eval_reports_match_and_duplicates_collapse() {
+        let before = axml_xml::stats::CopyStats::snapshot();
         let m = super::par_eval(8, 400);
+        let d = axml_xml::stats::CopyStats::snapshot().delta_since(&before);
         assert_eq!(
             m.seq_report.to_json(),
             m.par_report.to_json(),
             "drivers diverged"
         );
+        // Deep-clone regression gate. Remaining copies are the required
+        // result materializations in the output trees (~45 KB here plus
+        // one COW of the small batch tree per driver); the pre-redesign
+        // clone tax (whole-catalog deep clones, ~35 KB per clone at this
+        // size) must stay gone, and sharing must be doing real work.
+        assert!(
+            d.bytes_copied <= 60_000,
+            "fan-in deep-copies too much (clone tax is back?): copied {} bytes",
+            d.bytes_copied
+        );
+        // Sharing must be doing real work (the provider's catalog arena
+        // moves as a handle, never as a deep clone).
+        assert!(d.bytes_shared > 0, "fan-in moved nothing by handle: {d:?}");
         // 8 duplicate evaluations collapse to 1 under the parallel
         // driver; even on one core the wall clock must reflect it.
         let speedup = m.seq_wall_ms / m.par_wall_ms.max(1e-9);

@@ -347,9 +347,10 @@ impl Expr {
         let mut t = Tree::new("expr");
         let root = t.root();
         self.write_xml(&mut t, root);
-        // unwrap the single-child wrapper: root becomes the constructor
+        // unwrap the single-child wrapper: root becomes the constructor.
+        // A zero-copy view: the wrapper node stays in the arena, unreached.
         let only = t.children(root)[0];
-        t.deep_copy(only)
+        t.subtree(only).expect("wrapper child is a valid node")
     }
 
     fn write_xml(&self, t: &mut Tree, parent: NodeId) {
@@ -466,7 +467,9 @@ impl Expr {
                     ));
                 }
                 Ok(Expr::Tree {
-                    tree: t.deep_copy(children[0]),
+                    // Zero-copy: share the decoded message arena rather
+                    // than re-materializing the literal tree.
+                    tree: t.subtree(children[0])?,
                     at,
                 })
             }
@@ -724,7 +727,9 @@ pub fn parse_addr(s: &str) -> CoreResult<NodeAddr> {
     let peer = peer
         .parse::<u32>()
         .map_err(|_| CoreError::Malformed(format!("bad peer in `{s}`")))?;
-    Ok(NodeAddr::new(PeerId(peer), doc, NodeId::from_index(node)))
+    // The index came off the wire: an overflow is a typed decode error
+    // (`CoreError::Xml(IndexOverflow)`), not a panic.
+    Ok(NodeAddr::new(PeerId(peer), doc, NodeId::from_index(node)?))
 }
 
 #[cfg(test)]
@@ -770,8 +775,8 @@ mod tests {
             },
             Expr::Send {
                 dest: SendDest::Nodes(vec![
-                    NodeAddr::new(PeerId(1), "d1", NodeId::from_index(4)),
-                    NodeAddr::new(PeerId(2), "d2", NodeId::from_index(0)),
+                    NodeAddr::new(PeerId(1), "d1", NodeId::from_index(4).unwrap()),
+                    NodeAddr::new(PeerId(2), "d2", NodeId::from_index(0).unwrap()),
                 ]),
                 payload: Box::new(Expr::Tree {
                     tree: Tree::parse("<x/>").unwrap(),
@@ -795,7 +800,11 @@ mod tests {
                     tree: Tree::parse("<q>vim</q>").unwrap(),
                     at: PeerId(0),
                 }],
-                forward: vec![NodeAddr::new(PeerId(0), "inbox", NodeId::from_index(0))],
+                forward: vec![NodeAddr::new(
+                    PeerId(0),
+                    "inbox",
+                    NodeId::from_index(0).unwrap(),
+                )],
             },
             Expr::EvalAt {
                 peer: PeerId(1),
@@ -843,7 +852,7 @@ mod tests {
 
     #[test]
     fn addresses_roundtrip() {
-        let a = NodeAddr::new(PeerId(3), "doc-x", NodeId::from_index(42));
+        let a = NodeAddr::new(PeerId(3), "doc-x", NodeId::from_index(42).unwrap());
         assert_eq!(parse_addr(&format_addr(&a)).unwrap(), a);
         assert!(parse_addr("garbage").is_err());
         assert!(parse_addr("d#x@p1").is_err());

@@ -37,7 +37,7 @@ pub fn query_label_footprint(q: &Query) -> HashSet<Label> {
         let mut record = |p: &axml_query::plan::PathPlan| {
             for s in &p.steps {
                 if let PlanTest::Label(l) = &s.test {
-                    labels.insert(l.clone());
+                    labels.insert(*l);
                 }
             }
         };

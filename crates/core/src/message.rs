@@ -196,7 +196,11 @@ mod tests {
         let inv = AxmlMessage::Invoke {
             service: "svc".into(),
             params: vec!["<a/>".into(), "<b/>".into()],
-            forward: vec![NodeAddr::new(PeerId(0), "d", NodeId::from_index(0))],
+            forward: vec![NodeAddr::new(
+                PeerId(0),
+                "d",
+                NodeId::from_index(0).unwrap(),
+            )],
             call_id: 7,
         };
         assert_eq!(inv.wire_size(), 3 + 8 + 24 + 8);

@@ -98,7 +98,8 @@ impl ScNode {
                             "<param{i}> must wrap exactly one tree"
                         )));
                     }
-                    params.push(tree.deep_copy(inner[0]));
+                    // Zero-copy view into the host document's arena.
+                    params.push(tree.subtree(inner[0])?);
                 }
                 None => break,
             }
@@ -164,7 +165,7 @@ impl ScNode {
         let mut t = Tree::new("holder");
         let root = t.root();
         let sc = self.write(&mut t, root);
-        t.deep_copy(sc)
+        t.subtree(sc).expect("freshly written node is valid")
     }
 
     /// Find every `sc` element in the subtree of `node` (preorder),
@@ -200,7 +201,7 @@ mod tests {
                 Tree::parse("<q>vim</q>").unwrap(),
                 Tree::parse("<opts><max>10</max></opts>").unwrap(),
             ],
-            forward: vec![NodeAddr::new(PeerId(0), "inbox", N::from_index(0))],
+            forward: vec![NodeAddr::new(PeerId(0), "inbox", N::from_index(0).unwrap())],
             mode: ActivationMode::After("c0".into()),
         }
     }

@@ -43,7 +43,7 @@ fn arb_expr() -> impl Strategy<Value = Expr> {
             name: "catalog".into(),
             at: PeerRef::At(p),
         }),
-        (peer.clone(), 0usize..5).prop_map(|(p, k)| Expr::Tree {
+        (peer, 0usize..5).prop_map(|(p, k)| Expr::Tree {
             tree: Tree::parse(&format!("<lit><v>{k}</v></lit>")).unwrap(),
             at: p,
         }),

@@ -283,7 +283,7 @@ mod tests {
             r#"for $a in $0//pkg for $b in $0//pkg where $a/@name = $b/@name return <hit/>"#,
             1,
         );
-        let mut cont = ContinuousEval::new(p.clone(), &NoDocs);
+        let mut cont = ContinuousEval::new(p, &NoDocs);
         assert_eq!(cont.strategy(0), DeltaStrategy::Difference);
         let a = cont.push(0, pkg("x", 1)).unwrap();
         assert_eq!(a.len(), 1);

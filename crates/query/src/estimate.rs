@@ -64,10 +64,10 @@ impl ForestStats {
             for n in t.descendants_with_self(t.root()) {
                 if let NodeKind::Element { label, .. } = t.node(n).kind() {
                     stats.total_elements += 1;
-                    let entry = stats.labels.entry(label.clone()).or_default();
+                    let entry = stats.labels.entry(*label).or_default();
                     entry.count += 1;
                     entry.total_bytes += t.serialized_size_node(n);
-                    let vals = values.entry(label.clone()).or_default();
+                    let vals = values.entry(*label).or_default();
                     if vals.len() < 256 {
                         vals.insert(t.text(n));
                     }

@@ -415,7 +415,11 @@ pub fn construct<'a>(
             Ok(items
                 .into_iter()
                 .map(|it| match it {
-                    PItem::Node { tree, node } => tree.deep_copy(node),
+                    // Zero-copy: result trees are views into the input
+                    // document's arena (copy-on-write if mutated later).
+                    PItem::Node { tree, node } => tree
+                        .subtree(node)
+                        .expect("path items reference valid nodes"),
                     PItem::Atom(s) => {
                         let mut t = Tree::new("text");
                         let r = t.root();
@@ -432,7 +436,7 @@ pub fn construct<'a>(
             Ok(vec![t])
         }
         TemplatePlan::Element { label, .. } => {
-            let mut t = Tree::new(label.clone());
+            let mut t = Tree::new(*label);
             let root = t.root();
             fill_element(template, &mut t, root, ctx, binds)?;
             Ok(vec![t])
@@ -465,7 +469,7 @@ fn fill_element<'a>(
                 atoms.join(" ")
             }
         };
-        t.set_attr(at, name.clone(), value)
+        t.set_attr(at, *name, value)
             .map_err(|e| QueryError::Internal(e.to_string()))?;
     }
     for c in children {
@@ -474,7 +478,7 @@ fn fill_element<'a>(
                 t.add_text(at, s.clone());
             }
             TemplatePlan::Element { label, .. } => {
-                let el = t.add_element(at, label.clone());
+                let el = t.add_element(at, *label);
                 fill_element(c, t, el, ctx, binds)?;
             }
             TemplatePlan::Splice(p) => {

@@ -223,7 +223,7 @@ impl SchemaBuilder {
                     }
                     Some(_) => {}
                     None => {
-                        seen.insert(l.clone(), t.clone());
+                        seen.insert(*l, t.clone());
                     }
                 }
             });
@@ -282,7 +282,7 @@ impl Schema {
             msg: format!("unknown type `{ty}`"),
         })?;
         let label = match tree.node(node).kind() {
-            NodeKind::Element { label, .. } => label.clone(),
+            NodeKind::Element { label, .. } => *label,
             NodeKind::Text(_) => {
                 return Err(TypeError::Invalid {
                     path: display_path(path),
@@ -332,7 +332,7 @@ impl Schema {
             .children(node)
             .iter()
             .map(|&c| match tree.node(c).kind() {
-                NodeKind::Element { label, .. } => Item::Elem(label.clone()),
+                NodeKind::Element { label, .. } => Item::Elem(*label),
                 NodeKind::Text(_) => Item::Text,
             })
             .collect();

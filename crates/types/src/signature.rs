@@ -48,7 +48,7 @@ impl TreeType {
     pub fn check(&self, schema: &Schema, tree: &Tree) -> TypeResult<()> {
         if let Some(expected) = &self.root_label {
             match tree.label(tree.root()) {
-                Some(l) if l == expected => {}
+                Some(l) if l == *expected => {}
                 other => {
                     return Err(TypeError::Invalid {
                         path: "/".into(),

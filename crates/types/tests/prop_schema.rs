@@ -87,7 +87,7 @@ fn emit(
             t.add_element(at, "anything");
         }
         Content::Elem(label, child_ty) => {
-            let el = t.add_element(at, label.clone());
+            let el = t.add_element(at, *label);
             if depth > 0 {
                 fill(schema, t, el, child_ty, rng, depth - 1);
             } else if let Some(et) = schema.get(child_ty) {

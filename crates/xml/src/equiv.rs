@@ -50,7 +50,7 @@ pub fn canonicalize(tree: &Tree, node: NodeId) -> Canon {
                 .collect();
             children.sort();
             Canon::Elem {
-                label: label.clone(),
+                label: *label,
                 attrs,
                 children,
             }

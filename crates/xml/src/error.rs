@@ -35,6 +35,12 @@ pub enum XmlError {
     DuplicateDocument(String),
     /// A document name was not found in a [`crate::store::DocStore`].
     NoSuchDocument(String),
+    /// A raw node index (typically decoded from a network frame) exceeded
+    /// the `u32` arena space of [`crate::tree::NodeId`].
+    IndexOverflow {
+        /// The raw index that did not fit.
+        index: u64,
+    },
 }
 
 impl fmt::Display for XmlError {
@@ -50,6 +56,9 @@ impl fmt::Display for XmlError {
             XmlError::Structure(msg) => write!(f, "tree structure error: {msg}"),
             XmlError::DuplicateDocument(d) => write!(f, "document `{d}` already exists"),
             XmlError::NoSuchDocument(d) => write!(f, "document `{d}` not found"),
+            XmlError::IndexOverflow { index } => {
+                write!(f, "node index {index} exceeds the u32 arena space")
+            }
         }
     }
 }
@@ -97,5 +106,10 @@ mod tests {
         assert!(XmlError::Structure("cycle".into())
             .to_string()
             .contains("cycle"));
+        assert!(XmlError::IndexOverflow {
+            index: u64::from(u32::MAX) + 1
+        }
+        .to_string()
+        .contains("exceeds"));
     }
 }

@@ -177,7 +177,7 @@ mod tests {
 
     #[test]
     fn node_addr_display() {
-        let a = NodeAddr::new(PeerId(1), "doc", NodeId::from_index(4));
+        let a = NodeAddr::new(PeerId(1), "doc", NodeId::from_index(4).unwrap());
         assert_eq!(a.to_string(), "doc#4@p1");
     }
 }

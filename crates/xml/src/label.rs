@@ -1,156 +1,34 @@
 //! Interned labels — the paper's label alphabet `L`.
 //!
-//! Every element node carries a label from `L`. Labels repeat massively
-//! across a document (think of `<pkg>` in a 10⁵-entry catalog), so we intern
-//! them: a [`Label`] is a cheap-to-clone `Arc<str>` deduplicated through a
-//! process-wide interner. Equality first compares pointers, falling back to
-//! string comparison only for labels created before/after interner resets
-//! (which never happens in practice — the interner is append-only).
+//! Historically `Label` was an `Arc<str>` deduplicated through a mutexed
+//! interner; it is now an alias for [`crate::symbol::Symbol`], a `u32`
+//! handle into a sharded, lock-free-read interner. The alias keeps the
+//! established vocabulary (`Label` in data-model positions) while the
+//! implementation lives in [`crate::symbol`]. All old call patterns —
+//! `Label::new`, `as_str`, `From<&str>`, `Display` — still work; the
+//! type is additionally `Copy` now, so clones are unnecessary.
 
-use std::collections::HashMap;
-use std::fmt;
-use std::hash::{Hash, Hasher};
-use std::sync::{Arc, Mutex, OnceLock};
-
-/// An interned element/attribute label (a symbol of the alphabet `L`).
-///
-/// Cloning is an `Arc` bump; comparing two labels for equality is usually a
-/// pointer comparison.
-#[derive(Clone)]
-pub struct Label(Arc<str>);
-
-fn interner() -> &'static Mutex<HashMap<Box<str>, Arc<str>>> {
-    static INTERNER: OnceLock<Mutex<HashMap<Box<str>, Arc<str>>>> = OnceLock::new();
-    INTERNER.get_or_init(|| Mutex::new(HashMap::new()))
-}
-
-impl Label {
-    /// Intern `s` and return its canonical handle.
-    pub fn new(s: &str) -> Self {
-        let mut map = interner().lock().expect("label interner poisoned");
-        if let Some(a) = map.get(s) {
-            return Label(Arc::clone(a));
-        }
-        let arc: Arc<str> = Arc::from(s);
-        map.insert(Box::from(s), Arc::clone(&arc));
-        Label(arc)
-    }
-
-    /// View the label as a string slice.
-    pub fn as_str(&self) -> &str {
-        &self.0
-    }
-
-    /// Length of the label text in bytes (used for wire-size accounting).
-    pub fn len(&self) -> usize {
-        self.0.len()
-    }
-
-    /// Whether the label is the empty string (never produced by the parser,
-    /// but constructible through the API).
-    pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
-    }
-}
-
-impl PartialEq for Label {
-    fn eq(&self, other: &Self) -> bool {
-        // Interning guarantees pointer equality for equal strings created
-        // through `Label::new`; compare contents as a safety net.
-        Arc::ptr_eq(&self.0, &other.0) || self.0 == other.0
-    }
-}
-
-impl Eq for Label {}
-
-impl PartialOrd for Label {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for Label {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.0.cmp(&other.0)
-    }
-}
-
-impl Hash for Label {
-    fn hash<H: Hasher>(&self, state: &mut H) {
-        self.0.hash(state);
-    }
-}
-
-impl fmt::Debug for Label {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "Label({:?})", &*self.0)
-    }
-}
-
-impl fmt::Display for Label {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(self.as_str())
-    }
-}
-
-impl From<&str> for Label {
-    fn from(s: &str) -> Self {
-        Label::new(s)
-    }
-}
-
-impl From<String> for Label {
-    fn from(s: String) -> Self {
-        Label::new(&s)
-    }
-}
-
-impl AsRef<str> for Label {
-    fn as_ref(&self) -> &str {
-        self.as_str()
-    }
-}
+pub use crate::symbol::Symbol as Label;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn interning_dedups() {
-        let a = Label::new("catalog");
-        let b = Label::new("catalog");
-        assert!(Arc::ptr_eq(&a.0, &b.0));
+    fn alias_is_the_symbol_type() {
+        let a: Label = Label::new("catalog");
+        let b: crate::symbol::Symbol = a;
         assert_eq!(a, b);
+        assert_eq!(a.as_str(), "catalog");
     }
 
     #[test]
-    fn distinct_labels_differ() {
-        assert_ne!(Label::new("a"), Label::new("b"));
-    }
-
-    #[test]
-    fn ordering_is_lexicographic() {
-        assert!(Label::new("aaa") < Label::new("aab"));
-        assert!(Label::new("b") > Label::new("azzz"));
-    }
-
-    #[test]
-    fn display_and_len() {
-        let l = Label::new("pkg");
+    fn old_call_patterns_still_work() {
+        let l: Label = "pkg".into();
         assert_eq!(l.to_string(), "pkg");
         assert_eq!(l.len(), 3);
         assert!(!l.is_empty());
-        assert!(Label::new("").is_empty());
-    }
-
-    #[test]
-    fn hash_consistent_with_eq() {
-        use std::collections::hash_map::DefaultHasher;
-        let h = |l: &Label| {
-            let mut s = DefaultHasher::new();
-            l.hash(&mut s);
-            s.finish()
-        };
-        assert_eq!(h(&Label::new("x")), h(&Label::new("x")));
+        let owned: Label = String::from("pkg").into();
+        assert_eq!(l, owned);
     }
 }

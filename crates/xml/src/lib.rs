@@ -18,7 +18,12 @@
 //!   (simulated) wire as text, and
 //! * the **unordered deep-equivalence** and canonical hashing used as the
 //!   structural basis for the paper's document-equivalence classes
-//!   ([`equiv`]).
+//!   ([`equiv`]),
+//! * the **zero-copy substrate**: labels are interned [`symbol::Symbol`]s
+//!   (`u32` handles, O(1) equality/hash, `Copy`), trees are copy-on-write
+//!   handles over a shared arena, and subtrees move between layers as
+//!   immutable [`frag::Frag`] handles — with every copy and avoided copy
+//!   accounted in [`stats`].
 //!
 //! Everything above sits below the type system (`axml-types`), the query
 //! language (`axml-query`), the network substrate (`axml-net`) and the
@@ -41,15 +46,21 @@
 pub mod equiv;
 pub mod error;
 pub mod escape;
+pub mod frag;
 pub mod ids;
 pub mod label;
 pub mod parse;
 pub mod serialize;
+pub mod stats;
 pub mod store;
+pub mod symbol;
 pub mod tree;
 
 pub use error::{XmlError, XmlResult};
+pub use frag::Frag;
 pub use ids::{DocName, NodeAddr, PeerId, QueryName, ServiceName};
 pub use label::Label;
+pub use stats::CopyStats;
 pub use store::{DocStore, Document};
+pub use symbol::Symbol;
 pub use tree::{Node, NodeId, NodeKind, Tree};

@@ -5,6 +5,7 @@
 //! a [`DocStore`] enforces exactly that uniqueness for one peer.
 
 use crate::error::{XmlError, XmlResult};
+use crate::frag::Frag;
 use crate::ids::DocName;
 use crate::tree::{NodeId, Tree};
 use std::collections::BTreeMap;
@@ -43,6 +44,19 @@ impl Document {
     /// Consume the document, yielding its tree.
     pub fn into_tree(self) -> Tree {
         self.tree
+    }
+
+    /// Share the whole document as an immutable [`Frag`] handle — O(1).
+    /// This is how a document crosses engine layers without copying:
+    /// the frag stays valid (snapshot semantics) even if the document
+    /// is mutated afterwards.
+    pub fn frag(&self) -> Frag {
+        self.tree.share_root()
+    }
+
+    /// Share the subtree rooted at `node` as a [`Frag`] — O(1).
+    pub fn frag_at(&self, node: NodeId) -> XmlResult<Frag> {
+        self.tree.share(node)
     }
 }
 
@@ -208,9 +222,11 @@ mod tests {
         let mut s = DocStore::new();
         s.insert(doc("d", "<a><b/></a>")).unwrap();
         use crate::tree::NodeId;
-        assert!(s.node(&"d".into(), NodeId::from_index(0)).is_ok());
-        assert!(s.node(&"d".into(), NodeId::from_index(99)).is_err());
-        assert!(s.node(&"x".into(), NodeId::from_index(0)).is_err());
+        assert!(s.node(&"d".into(), NodeId::from_index(0).unwrap()).is_ok());
+        assert!(s
+            .node(&"d".into(), NodeId::from_index(99).unwrap())
+            .is_err());
+        assert!(s.node(&"x".into(), NodeId::from_index(0).unwrap()).is_err());
     }
 
     #[test]
@@ -220,5 +236,19 @@ mod tests {
         d.tree_mut().add_text_element(r, "b", "1");
         assert_eq!(d.tree().serialize(), "<a><b>1</b></a>");
         assert_eq!(d.name().as_str(), "d");
+    }
+
+    #[test]
+    fn document_frag_is_a_snapshot() {
+        let mut d = doc("d", "<a><b/></a>");
+        let f = d.frag();
+        let b = d.tree().first_child_labeled(d.tree().root(), "b").unwrap();
+        let fb = d.frag_at(b).unwrap();
+        // mutate the document: the frags keep the old snapshot
+        let r = d.tree().root();
+        d.tree_mut().add_text_element(r, "c", "2");
+        assert_eq!(f.serialize(), "<a><b/></a>");
+        assert_eq!(fb.serialize(), "<b/>");
+        assert!(d.tree().serialize().contains("<c>2</c>"));
     }
 }

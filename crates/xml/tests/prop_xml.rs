@@ -103,7 +103,7 @@ fn build(t: &mut Tree, at: NodeId, spec: &NodeSpec) {
 fn reversed(t: &Tree) -> Tree {
     fn rec(src: &Tree, s: NodeId, dst: &mut Tree, d: NodeId) {
         for (k, v) in src.attrs(s) {
-            dst.set_attr(d, k.clone(), v.clone()).unwrap();
+            dst.set_attr(d, *k, v.clone()).unwrap();
         }
         for &c in src.children(s).iter().rev() {
             match src.node(c).as_text() {
@@ -111,13 +111,13 @@ fn reversed(t: &Tree) -> Tree {
                     dst.add_text(d, txt);
                 }
                 None => {
-                    let el = dst.add_element(d, src.label(c).unwrap().clone());
+                    let el = dst.add_element(d, src.label(c).unwrap());
                     rec(src, c, dst, el);
                 }
             }
         }
     }
-    let mut out = Tree::new(t.label(t.root()).unwrap().clone());
+    let mut out = Tree::new(t.label(t.root()).unwrap());
     let root = out.root();
     rec(t, t.root(), &mut out, root);
     out

@@ -73,7 +73,7 @@ fn main() {
 
     // ---- naive evaluation ----------------------------------------------
     let naive = Expr::Apply {
-        query: LocatedQuery::new(q.clone(), client),
+        query: LocatedQuery::new(q, client),
         args: vec![Expr::Doc {
             name: "catalog".into(),
             at: PeerRef::At(server),

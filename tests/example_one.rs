@@ -64,7 +64,7 @@ fn example_one_derivation_chain() {
 
     // Step 0: eval@p(q(t@p2)) — the naive plan.
     let step0 = Expr::Apply {
-        query: LocatedQuery::new(q.clone(), p),
+        query: LocatedQuery::new(q, p),
         args: vec![arg.clone()],
     };
     let v0 = s0.eval(p, &step0).unwrap();
