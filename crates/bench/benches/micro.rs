@@ -146,6 +146,32 @@ fn bench_observability(c: &mut Criterion) {
             naive(&mut sys, client, server).len()
         })
     });
+    // The live streaming path: frames over a real TCP socket to a local
+    // discard listener, encoded off-thread by the sink's writer. The
+    // hot path only clones the event into a bounded channel, so this
+    // must sit within the same < 2 % band as the in-process sinks.
+    g.bench_function("eval/socket_sink", |b| {
+        use axml_core::prelude::SocketSink;
+        use std::io::Read as _;
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            // discard everything the sink streams at us
+            for conn in listener.incoming() {
+                let Ok(mut conn) = conn else { break };
+                std::thread::spawn(move || {
+                    let mut buf = [0u8; 64 * 1024];
+                    while matches!(conn.read(&mut buf), Ok(n) if n > 0) {}
+                });
+            }
+        });
+        let (mut sys, client, server) = two_peer(catalog(200, 0.05, 4));
+        sys.set_trace_sink(Box::new(SocketSink::connect(addr).unwrap()));
+        b.iter(|| {
+            sys.reset_stats();
+            naive(&mut sys, client, server).len()
+        })
+    });
     g.finish();
 }
 

@@ -105,6 +105,7 @@ const LIVE_ITEM_CAP: usize = 25;
 /// plus one duplicate (which the delta cache suppresses).
 fn live_subscription_snapshot(n_items: usize) -> axml_core::prelude::RunReport {
     use axml_core::prelude::*;
+    let copy0 = axml_xml::stats::CopyStats::snapshot();
     let mut sys = AxmlSystem::builder()
         .peers(["provider", "client"])
         .link("provider", "client", LinkCost::wan())
@@ -139,6 +140,7 @@ fn live_subscription_snapshot(n_items: usize) -> axml_core::prelude::RunReport {
     sys.run_report(format!(
         "E10 live subscription ({n_items} items + 1 duplicate)"
     ))
+    .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0))
 }
 
 #[cfg(test)]

@@ -56,6 +56,7 @@ pub fn run() -> Report {
     let naive = naive_apply(selective_query(), site, PeerId(1));
 
     let evaluate = |config: &str, rules: Vec<Box<dyn RewriteRule>>| {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let sys = build();
         let model = CostModel::from_system(&sys);
         let opt = Optimizer::with_rules(rules);
@@ -66,7 +67,9 @@ pub fn run() -> Report {
         // observability handle (for the rule counters) on top of the
         // already-measured execution traffic
         let _ = opt.optimize_with(&model, site, &naive, sys2.obs_mut());
-        let run = sys2.run_report(format!("E11 {config}"));
+        let run = sys2
+            .run_report(format!("E11 {config}"))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         (bytes, ms, plan.trace, run)
     };
 

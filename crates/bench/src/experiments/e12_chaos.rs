@@ -12,7 +12,7 @@
 //! the drop rate; every row's report reconciles metrics ↔ net stats
 //! drop-for-drop.
 
-use crate::report::Report;
+use crate::report::{tail_cells, Report};
 use crate::workload::{catalog, mirrors};
 use axml_core::prelude::*;
 
@@ -61,11 +61,18 @@ pub fn run() -> Report {
             "retries",
             "failovers",
             "makespan ms",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "goodput",
         ],
     );
     for &drop in &DROP_RATES {
         for failover in [false, true] {
+            let copy0 = axml_xml::stats::CopyStats::snapshot();
             let (mut sys, client) = chaotic_mirrors(drop, failover);
+            let sink = VecSink::new();
+            sys.set_trace_sink(Box::new(sink.clone()));
             let mut ok = 0usize;
             for _ in 0..EVALS {
                 let res = sys.eval(
@@ -79,28 +86,35 @@ pub fn run() -> Report {
             }
             let m = sys.metrics();
             let (drops, retries, failovers) = (m.total_dropped(), m.retries, m.failovers);
-            let run = sys.run_report(format!(
-                "E12 drop={drop:.2} failover={}",
-                if failover { "on" } else { "off" }
-            ));
+            sys.flush_trace().unwrap();
+            let mut live = LiveStats::new();
+            for e in &sink.take() {
+                live.fold(e);
+            }
+            let run = sys
+                .run_report(format!(
+                    "E12 drop={drop:.2} failover={}",
+                    if failover { "on" } else { "off" }
+                ))
+                .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
             r.attach_run(run.clone());
-            r.row_with_run(
-                vec![
-                    format!("{:.0}%", drop * 100.0),
-                    if failover { "on" } else { "off" }.to_string(),
-                    format!("{ok}/{EVALS}"),
-                    format!("{:.0}", ok as f64 / EVALS as f64 * 100.0),
-                    drops.to_string(),
-                    retries.to_string(),
-                    failovers.to_string(),
-                    format!("{:.0}", sys.stats().makespan_ms()),
-                ],
-                run,
-            );
+            let mut cells = vec![
+                format!("{:.0}%", drop * 100.0),
+                if failover { "on" } else { "off" }.to_string(),
+                format!("{ok}/{EVALS}"),
+                format!("{:.0}", ok as f64 / EVALS as f64 * 100.0),
+                drops.to_string(),
+                retries.to_string(),
+                failovers.to_string(),
+                format!("{:.0}", sys.stats().makespan_ms()),
+            ];
+            cells.extend(tail_cells(&live));
+            r.row_with_run(cells, run);
         }
     }
     r.note("route to the nearest mirror is down half the time; without failover those evals exhaust their retry budget");
     r.note("failover re-picks a live mirror: goodput returns to 100% at a latency cost");
+    r.note("tail columns: delivery-latency quantiles + goodput folded live from the trace stream");
     r
 }
 

@@ -56,6 +56,7 @@ pub fn run() -> Report {
         ],
     );
     for &sel in SELECTIVITIES {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let tree = catalog(N_PKGS, sel, 0xE1);
         let (mut sys, client, server) = two_peer(tree.clone());
         let naive = naive_apply(selective_query(), client, server);
@@ -68,7 +69,9 @@ pub fn run() -> Report {
         assert_eq!(n1, n2, "strategies must agree");
         // this row's observability snapshot (also the representative one
         // — last σ wins)
-        let run = sys2.run_report(format!("E1 pushed plan (σ={:.0}%)", sel * 100.0));
+        let run = sys2
+            .run_report(format!("E1 pushed plan (σ={:.0}%)", sel * 100.0))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.attach_run(run.clone());
         r.row_with_run(
             vec![

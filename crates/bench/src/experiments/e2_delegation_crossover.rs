@@ -25,6 +25,7 @@ pub fn run() -> Report {
         vec!["pkgs", "doc B", "naive B", "delegated B", "winner"],
     );
     for &n in SIZES {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let tree = catalog(n, SELECTIVITY, 0xE2);
         let doc_bytes = tree.serialized_size() as u64;
         let q = selective_query();
@@ -48,7 +49,9 @@ pub fn run() -> Report {
         };
         let (mut sys2, client2, _server2) = two_peer(tree);
         let (_n2, b2, _m2, _t2) = measure(&mut sys2, client2, &delegated);
-        let run = sys2.run_report(format!("E2 delegated plan ({n} pkgs)"));
+        let run = sys2
+            .run_report(format!("E2 delegated plan ({n} pkgs)"))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.attach_run(run.clone());
 
         r.row_with_run(

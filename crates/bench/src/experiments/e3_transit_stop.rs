@@ -38,6 +38,7 @@ pub fn run() -> Report {
         };
         let tree = catalog(300, 0.1, 0xE3);
         let fetch = |via_gateway: bool| {
+            let copy0 = axml_xml::stats::CopyStats::snapshot();
             let (mut sys, edge, origin, gw) = gateway(direct_link, tree.clone());
             let inner = Expr::Doc {
                 name: "catalog".into(),
@@ -69,7 +70,9 @@ pub fn run() -> Report {
             };
             let out = measure(&mut sys, edge, &plan);
             let tag = if via_gateway { "relay" } else { "direct" };
-            let run = sys.run_report(format!("E3 {tag} plan (direct {bw:.0} B/ms)"));
+            let run = sys
+                .run_report(format!("E3 {tag} plan (direct {bw:.0} B/ms)"))
+                .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
             (out, run)
         };
         let ((_, bd, _, td), _direct_run) = fetch(false);

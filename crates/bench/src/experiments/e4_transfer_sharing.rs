@@ -43,6 +43,7 @@ pub fn run() -> Report {
         vec!["k", "results", "naive B", "shared B", "naive/shared"],
     );
     for &k in USES {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let tree = catalog(150, 0.1, 0xE4);
         let q = multi_use_query(k);
         let remote = Expr::Doc {
@@ -77,7 +78,9 @@ pub fn run() -> Report {
         ]);
         let (n2, b2, _m2, _t2) = measure(&mut sys2, client2, &shared);
         assert_eq!(n1, n2, "strategies must agree at k={k}");
-        let run = sys2.run_report(format!("E4 shared plan (k={k})"));
+        let run = sys2
+            .run_report(format!("E4 shared plan (k={k})"))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.attach_run(run.clone());
         r.row_with_run(
             vec![

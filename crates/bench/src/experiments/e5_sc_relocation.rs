@@ -67,6 +67,7 @@ pub fn run() -> Report {
     );
     for &n in PARAM_SIZES {
         let run_with = |relocate: bool| {
+            let copy0 = axml_xml::stats::CopyStats::snapshot();
             let (mut sys, coordinator, provider, archive) = build(n);
             let vault_root = sys
                 .peer(archive)
@@ -94,7 +95,9 @@ pub fn run() -> Report {
             };
             sys.eval(coordinator, &plan).unwrap();
             let tag = if relocate { "relocated" } else { "at-coord" };
-            let run = sys.run_report(format!("E5 {tag} plan ({n} param entries)"));
+            let run = sys
+                .run_report(format!("E5 {tag} plan ({n} param entries)"))
+                .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
             let vault = sys.peer(archive).docs.get(&"vault".into()).unwrap().tree();
             (
                 sys.stats().total_bytes(),

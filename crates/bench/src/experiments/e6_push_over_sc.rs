@@ -32,6 +32,7 @@ pub fn run() -> Report {
         ],
     );
     for &sel in SELECTIVITIES {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let tree = catalog(400, sel, 0xE6);
         let build = || {
             let (mut sys, client, server) = two_peer(tree.clone());
@@ -73,7 +74,9 @@ pub fn run() -> Report {
         // alongside the pushed plan's traffic.
         let model2 = CostModel::from_system(&sys2);
         let _ = Optimizer::standard().optimize_with(&model2, client2, &naive, sys2.obs_mut());
-        let run = sys2.run_report(format!("E6 pushed plan (σ={:.0}%)", sel * 100.0));
+        let run = sys2
+            .run_report(format!("E6 pushed plan (σ={:.0}%)", sel * 100.0))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.attach_run(run.clone());
 
         r.row_with_run(

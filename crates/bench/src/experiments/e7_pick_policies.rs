@@ -35,6 +35,7 @@ pub fn run() -> Report {
         ("RoundRobin", PickPolicy::RoundRobin),
     ];
     for (name, policy) in policies {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let (mut sys, client, ms) = mirrors(4, catalog(120, 0.1, 0xE7));
         sys.set_pick_policy(policy);
         for _ in 0..FETCHES {
@@ -56,7 +57,9 @@ pub fn run() -> Report {
             }
         }
         let max_load = load.values().copied().max().unwrap_or(0);
-        let run = sys.run_report(format!("E7 policy {name}"));
+        let run = sys
+            .run_report(format!("E7 policy {name}"))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.attach_run(run.clone());
         r.row_with_run(
             vec![

@@ -118,6 +118,7 @@ pub fn run() -> Report {
     let site = PeerId(0);
     // Part 1: the four shapes at the standard beam.
     for (name, naive) in shapes() {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let sys = build();
         let model = CostModel::from_system(&sys);
         let t0 = Instant::now();
@@ -130,7 +131,9 @@ pub fn run() -> Report {
         assert_eq!(n1, n2, "{name}: answers must agree");
         // this row's search + optimized-run snapshot
         let _ = Optimizer::standard().optimize_with(&model, site, &naive, s2.obs_mut());
-        let run = s2.run_report(format!("E8 optimized plan ({name})"));
+        let run = s2
+            .run_report(format!("E8 optimized plan ({name})"))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.attach_run(run.clone());
         r.row_with_run(
             vec![
@@ -148,6 +151,7 @@ pub fn run() -> Report {
     // Part 2: beam ablation on the first shape.
     let naive = shapes().remove(0).1;
     for &beam in BEAMS {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let sys = build();
         let model = CostModel::from_system(&sys);
         let mut opt = Optimizer::standard();
@@ -160,7 +164,9 @@ pub fn run() -> Report {
         let mut s2 = build();
         let (_, b2, _, _) = measure(&mut s2, site, &plan.expr);
         let _ = opt.optimize_with(&model, site, &naive, s2.obs_mut());
-        let run = s2.run_report(format!("E8 beam ablation (beam={beam})"));
+        let run = s2
+            .run_report(format!("E8 beam ablation (beam={beam})"))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.row_with_run(
             vec![
                 format!("beam={beam}"),

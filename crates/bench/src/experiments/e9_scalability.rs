@@ -11,7 +11,7 @@
 //!    `n` times while the parallel driver collapses the duplicates onto
 //!    one evaluation — wall-clock speedup with bit-identical reports.
 
-use crate::report::{fmt_bytes, Report};
+use crate::report::{fmt_bytes, tail_cells, Report};
 use crate::workload::{catalog, naive_apply, selective_query};
 use axml_core::cost::CostModel;
 use axml_core::prelude::*;
@@ -44,6 +44,9 @@ pub struct ParEvalRun {
     pub msgs: u64,
     /// Virtual-clock makespan (ms).
     pub makespan: f64,
+    /// Trace events from the sequential run (the drivers' reports are
+    /// bit-identical, so one stream stands for both).
+    pub events: Vec<TraceEvent>,
 }
 
 /// Build the fan-in system (coordinator + provider, WAN) and run the
@@ -52,7 +55,7 @@ fn par_eval_once(
     n: usize,
     catalog_size: usize,
     driver: DriverKind,
-) -> (f64, RunReport, u64, u64, f64) {
+) -> (f64, RunReport, u64, u64, f64, Vec<TraceEvent>) {
     let mut sys = AxmlSystem::builder()
         .peers(["coord", "provider"])
         .link("coord", "provider", LinkCost::wan())
@@ -67,6 +70,13 @@ fn par_eval_once(
         .build()
         .unwrap();
     let coord = sys.peer_id("coord").unwrap();
+    // Trace only the sequential run: VecSink is single-threaded, and the
+    // drivers' reports are asserted bit-identical anyway.
+    let sink = VecSink::new();
+    let traced = matches!(driver, DriverKind::Sequential);
+    if traced {
+        sys.set_trace_sink(Box::new(sink.clone()));
+    }
     let mut batch = String::from("<batch>");
     for _ in 0..n {
         batch.push_str("<sc><peer>p1</peer><service>scan</service></sc>");
@@ -79,6 +89,9 @@ fn par_eval_once(
     let t0 = Instant::now();
     sys.eval(coord, &e).unwrap();
     let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if traced {
+        sys.flush_trace().unwrap();
+    }
     let report = sys.run_report(format!("E9 par-eval ({n} duplicate calls)"));
     (
         wall_ms,
@@ -86,12 +99,13 @@ fn par_eval_once(
         sys.stats().total_bytes(),
         sys.stats().total_messages(),
         sys.stats().makespan_ms(),
+        sink.take(),
     )
 }
 
 /// Measure one fan-in configuration under both drivers.
 pub fn par_eval(n: usize, catalog_size: usize) -> ParEvalRun {
-    let (seq_wall_ms, seq_report, bytes, msgs, makespan) =
+    let (seq_wall_ms, seq_report, bytes, msgs, makespan, events) =
         par_eval_once(n, catalog_size, DriverKind::Sequential);
     let (par_wall_ms, par_report, ..) =
         par_eval_once(n, catalog_size, DriverKind::Parallel { threads: 4 });
@@ -103,6 +117,7 @@ pub fn par_eval(n: usize, catalog_size: usize) -> ParEvalRun {
         bytes,
         msgs,
         makespan,
+        events,
     }
 }
 
@@ -123,10 +138,15 @@ pub fn run() -> Report {
             "seq wall ms",
             "par4 wall ms",
             "speedup",
+            "p50 ms",
+            "p95 ms",
+            "p99 ms",
+            "goodput",
         ],
     );
     // --- series 1: fan-out ------------------------------------------------
     for &n in CLIENTS {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let mut builder = AxmlSystem::builder()
             .peer("provider")
             .doc("provider", "feed", "<feed/>")
@@ -156,6 +176,10 @@ pub fn run() -> Report {
         sys.feed(provider, "feed", Tree::parse("<item>warm</item>").unwrap())
             .unwrap();
         sys.reset_stats();
+        // Trace only the measured item so the tail columns describe the
+        // marginal deliveries, not the warm-up.
+        let sink = VecSink::new();
+        sys.set_trace_sink(Box::new(sink.clone()));
         let t0 = sys.now_ms();
         sys.feed(
             provider,
@@ -176,27 +200,34 @@ pub fn run() -> Report {
                 wan.latency_ms + b as f64 / wan.bytes_per_ms
             })
             .sum();
-        let run = sys.run_report(format!("E9 fan-out ({n} subscribers, one item)"));
+        sys.flush_trace().unwrap();
+        let mut live = LiveStats::new();
+        for e in &sink.take() {
+            live.fold(e);
+        }
+        let run = sys
+            .run_report(format!("E9 fan-out ({n} subscribers, one item)"))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.attach_run(run.clone());
-        r.row_with_run(
-            vec![
-                "fan-out".into(),
-                n.to_string(),
-                fmt_bytes(sys.stats().total_bytes()),
-                sys.stats().total_messages().to_string(),
-                format!("{makespan:.1}"),
-                format!("{serial_ms:.1}"),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-            ],
-            run,
-        );
+        let mut cells = vec![
+            "fan-out".into(),
+            n.to_string(),
+            fmt_bytes(sys.stats().total_bytes()),
+            sys.stats().total_messages().to_string(),
+            format!("{makespan:.1}"),
+            format!("{serial_ms:.1}"),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+        ];
+        cells.extend(tail_cells(&live));
+        r.row_with_run(cells, run);
     }
     // --- series 2: optimizer search vs peer count --------------------------
     for &n in PEERS {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let data = PeerId((n - 1) as u32);
         let mut sys = AxmlSystem::builder()
             .topology(&Topology::Uniform {
@@ -215,7 +246,9 @@ pub fn run() -> Report {
         // execution of the winning plan (for reconciling traffic)
         let _ = Optimizer::standard().optimize_with(&model, PeerId(0), &naive, sys.obs_mut());
         sys.eval(PeerId(0), &plan.expr).unwrap();
-        let run = sys.run_report(format!("E9 optimizer ({n} peers)"));
+        let run = sys
+            .run_report(format!("E9 optimizer ({n} peers)"))
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
         r.row_with_run(
             vec![
                 "optimizer".into(),
@@ -229,40 +262,56 @@ pub fn run() -> Report {
                 "-".into(),
                 "-".into(),
                 "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
             ],
             run,
         );
     }
     // --- series 3: sequential vs parallel evaluation driver -----------------
     for &n in FANIN {
+        let copy0 = axml_xml::stats::CopyStats::snapshot();
         let m = par_eval(n, 1500);
         assert_eq!(
             m.seq_report.to_json(),
             m.par_report.to_json(),
             "par-eval n={n}: drivers must produce identical reports"
         );
+        // Attach the copy delta only after the drivers' reports have been
+        // compared bit-for-bit (the delta spans both runs).
+        let run = m
+            .par_report
+            .with_copy(axml_xml::stats::CopyStats::snapshot().delta_since(&copy0));
+        let mut live = LiveStats::new();
+        for e in &m.events {
+            live.fold(e);
+        }
         let speedup = m.seq_wall_ms / m.par_wall_ms.max(1e-9);
-        r.row_with_run(
-            vec![
-                "par-eval".into(),
-                n.to_string(),
-                fmt_bytes(m.bytes),
-                m.msgs.to_string(),
-                format!("{:.1}", m.makespan),
-                "-".into(),
-                "-".into(),
-                "-".into(),
-                format!("{:.1}", m.seq_wall_ms),
-                format!("{:.1}", m.par_wall_ms),
-                format!("{speedup:.1}x"),
-            ],
-            m.par_report,
-        );
+        let mut cells = vec![
+            "par-eval".into(),
+            n.to_string(),
+            fmt_bytes(m.bytes),
+            m.msgs.to_string(),
+            format!("{:.1}", m.makespan),
+            "-".into(),
+            "-".into(),
+            "-".into(),
+            format!("{:.1}", m.seq_wall_ms),
+            format!("{:.1}", m.par_wall_ms),
+            format!("{speedup:.1}x"),
+        ];
+        cells.extend(tail_cells(&live));
+        r.row_with_run(cells, run);
     }
     r.note("fan-out: one published item costs exactly n deliveries (delta semantics)");
     r.note("fan-out makespan: deliveries overlap — critical path, not the serial byte sum");
     r.note("optimizer: candidates grow with relocation targets; memoization bounds the blow-up");
     r.note("par-eval: n duplicate calls collapse onto one evaluation; reports stay bit-identical");
+    r.note(
+        "tail columns: per-message latency quantiles + goodput folded live from the trace stream",
+    );
     r
 }
 

@@ -24,8 +24,18 @@
 //! ```text
 //! cargo run -p axml-bench --bin axml-trace -- run.trc --width 120 --svg run.svg
 //! ```
+//!
+//! …and `axml-top`, a live dashboard that follows a growing trace file
+//! (or accepts a `SocketSink` TCP stream with `--listen`) and renders
+//! per-peer latency quantiles and goodput sparklines from [`dashboard`]:
+//!
+//! ```text
+//! cargo run -p axml-bench --bin axml-top -- run.trc --follow
+//! cargo run -p axml-bench --bin axml-top -- run.trc --once   # CI snapshot
+//! ```
 
 pub mod cluster;
+pub mod dashboard;
 pub mod experiments;
 pub mod report;
 pub mod timeline;

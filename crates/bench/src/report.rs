@@ -194,6 +194,25 @@ impl fmt::Display for Report {
     }
 }
 
+/// Tail-latency and goodput cells for a sweep row, from a live-folded
+/// event stream: p50/p95/p99 delivery latency (ms, log₂-bucket upper
+/// bounds — ≤ 2× relative error, exact at the max) and goodput as
+/// delivered bytes per *virtual* second over the folded span. Returns
+/// `["-"; 4]` when the stream carried no cross-peer deliveries.
+pub fn tail_cells(live: &axml_obs::LiveStats) -> Vec<String> {
+    let h = live.latency();
+    if h.count() == 0 || live.last_ms() <= 0.0 {
+        return vec!["-".into(); 4];
+    }
+    let goodput = live.total_bytes() as f64 / live.last_ms() * 1000.0;
+    vec![
+        format!("{:.1}", h.p50_ms()),
+        format!("{:.1}", h.p95_ms()),
+        format!("{:.1}", h.p99_ms()),
+        format!("{}/s", fmt_bytes(goodput as u64)),
+    ]
+}
+
 /// Format a byte count compactly.
 pub fn fmt_bytes(b: u64) -> String {
     if b >= 1_000_000 {

@@ -112,8 +112,9 @@ pub mod prelude {
         CrashSchedule, FaultPlan, FramedPayload, Outage, SimTransport, SocketTransport, Transport,
     };
     pub use axml_obs::{
-        BinSink, DataTag, EvalMetrics, FanoutSink, JsonlSink, MessageKind, Obs, RunReport,
-        SharedBuf, TraceEvent, TraceReader, TraceSink, VecSink,
+        BinSink, DataTag, EvalMetrics, FanoutSink, FollowReader, FollowStep, JsonlSink,
+        LatencyHistogram, LiveStats, MessageKind, Obs, RateWindow, RunReport, SharedBuf,
+        SocketSink, SocketSinkConfig, TraceEvent, TraceReader, TraceSink, VecSink,
     };
     pub use axml_query::Query;
     pub use axml_xml::ids::{DocName, NodeAddr, PeerId, QueryName, ServiceName};

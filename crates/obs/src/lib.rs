@@ -29,21 +29,34 @@
 //! ([`sink::JsonlSink`] / [`sink::BinSink`]), [`codec`] defines the
 //! binary record format, and [`reader::TraceReader`] decodes either
 //! format back into [`trace::TraceEvent`]s.
+//!
+//! For *live* observability, [`socket_sink::SocketSink`] streams AXTR
+//! frames over TCP to a consumer, [`reader::FollowReader`] tails a
+//! growing file or socket incrementally, and [`live::LiveStats`] folds
+//! the event stream into rolling latency histograms ([`hist`]), goodput
+//! windows and per-peer gauges — reconciling with the batch
+//! [`metrics::EvalMetrics`] when the stream ends.
 
 pub mod codec;
+pub mod hist;
 pub mod json;
 pub mod kind;
+pub mod live;
 pub mod metrics;
 pub mod reader;
 pub mod report;
 pub mod sink;
+pub mod socket_sink;
 pub mod trace;
 
+pub use hist::{LatencyHistogram, RateWindow};
 pub use kind::{DataTag, MessageKind};
+pub use live::{LiveStats, PeerLive};
 pub use metrics::{EvalMetrics, MsgStats, RuleStats};
-pub use reader::{ReadError, TraceFormat, TraceReader};
+pub use reader::{FollowReader, FollowStep, ReadError, TraceFormat, TraceReader};
 pub use report::RunReport;
 pub use sink::{BinSink, FanoutSink, JsonlSink, SharedBuf};
+pub use socket_sink::{SocketSink, SocketSinkConfig};
 pub use trace::{TraceEvent, TraceSink, TraceStr, VecSink};
 
 /// The observability handle: metrics plus an optional trace sink.

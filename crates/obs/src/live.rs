@@ -1,0 +1,570 @@
+//! [`LiveStats`] — the streaming counterpart of [`crate::EvalMetrics`].
+//!
+//! `EvalMetrics` is incremented *inside* the engine; `LiveStats` is
+//! folded *outside* it, one [`TraceEvent`] at a time, by whoever is
+//! consuming the trace stream — a follow-mode reader tailing a growing
+//! file, the `axml-top` dashboard on a live socket, or a batch replay.
+//! Because every reconcilable counter in `EvalMetrics` has exactly one
+//! paired event emission in the engine, folding the complete stream
+//! must land on the same numbers: [`LiveStats::reconcile`] checks that
+//! claim counter-for-counter and is asserted at stream end by the
+//! property tests and the dashboard's `--once` mode.
+//!
+//! On top of the reconcilable counters, `LiveStats` derives what the
+//! batch layer cannot: per-message latency quantiles (from the
+//! `[sent_ms, at_ms]` in-flight window of every [`TraceEvent::MessageSent`]),
+//! sliding goodput windows over virtual time, per-peer in-flight
+//! gauges, and per-peer × per-[`MessageKind`] breakdowns.
+
+use crate::hist::{LatencyHistogram, RateWindow};
+use crate::kind::MessageKind;
+use crate::metrics::{EvalMetrics, MsgStats, RuleStats};
+use crate::trace::TraceEvent;
+use axml_net::NetStats;
+use axml_xml::ids::PeerId;
+use std::collections::BTreeMap;
+
+/// Live per-peer gauges and windows — one dashboard row.
+#[derive(Debug, Clone, Default)]
+pub struct PeerLive {
+    /// Cross-peer messages this peer has sent.
+    pub sent_messages: u64,
+    /// Charged bytes this peer has sent.
+    pub sent_bytes: u64,
+    /// Cross-peer messages delivered to this peer.
+    pub recv_messages: u64,
+    /// Charged bytes delivered to this peer.
+    pub recv_bytes: u64,
+    /// Messages sent by this peer not yet delivered (in-flight gauge;
+    /// returns to 0 at quiescence).
+    pub inflight: u64,
+    /// Continuation tasks scheduled on this peer (queue-depth proxy).
+    pub tasks: u64,
+    /// Send attempts from this peer the network dropped.
+    pub drops: u64,
+    /// Retries armed for sends from this peer.
+    pub retries: u64,
+    /// Failovers decided at this peer.
+    pub failovers: u64,
+    /// Latency of messages *delivered to* this peer (from the matching
+    /// send's in-flight window).
+    pub latency: LatencyHistogram,
+    /// Bytes/s delivered to this peer over the sliding window.
+    pub goodput: RateWindow,
+    /// Per-kind traffic sent by this peer.
+    pub by_kind: BTreeMap<MessageKind, MsgStats>,
+}
+
+/// Streaming aggregator over a [`TraceEvent`] stream.
+///
+/// Fold events in arrival order with [`LiveStats::fold`]; query gauges
+/// any time; at stream end, [`LiveStats::reconcile`] against the run's
+/// `EvalMetrics`/`NetStats` proves the stream was complete and the fold
+/// correct.
+#[derive(Debug, Clone)]
+pub struct LiveStats {
+    events: u64,
+    defs: [u64; 10],
+    delegations: u64,
+    service_calls: u64,
+    delta_fresh: u64,
+    delta_suppressed: u64,
+    retries: u64,
+    failovers: u64,
+    rules: BTreeMap<String, RuleStats>,
+    by_kind: BTreeMap<MessageKind, MsgStats>,
+    per_link: BTreeMap<(PeerId, PeerId), MsgStats>,
+    dropped: BTreeMap<(PeerId, PeerId), u64>,
+    delivered: BTreeMap<(PeerId, PeerId), MsgStats>,
+    peers: BTreeMap<PeerId, PeerLive>,
+    latency: LatencyHistogram,
+    goodput_bytes: RateWindow,
+    goodput_msgs: RateWindow,
+    last_ms: f64,
+    window_slot_ms: f64,
+    window_slots: usize,
+}
+
+impl Default for LiveStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LiveStats {
+    /// A fresh aggregator with the default goodput window geometry.
+    pub fn new() -> Self {
+        Self::with_window(crate::hist::DEFAULT_SLOT_MS, crate::hist::DEFAULT_SLOTS)
+    }
+
+    /// A fresh aggregator whose goodput windows use `slots` slots of
+    /// `slot_ms` virtual milliseconds each.
+    pub fn with_window(slot_ms: f64, slots: usize) -> Self {
+        Self {
+            events: 0,
+            defs: [0; 10],
+            delegations: 0,
+            service_calls: 0,
+            delta_fresh: 0,
+            delta_suppressed: 0,
+            retries: 0,
+            failovers: 0,
+            rules: BTreeMap::new(),
+            by_kind: BTreeMap::new(),
+            per_link: BTreeMap::new(),
+            dropped: BTreeMap::new(),
+            delivered: BTreeMap::new(),
+            peers: BTreeMap::new(),
+            latency: LatencyHistogram::new(),
+            goodput_bytes: RateWindow::new(slot_ms, slots),
+            goodput_msgs: RateWindow::new(slot_ms, slots),
+            last_ms: 0.0,
+            window_slot_ms: slot_ms,
+            window_slots: slots,
+        }
+    }
+
+    fn peer(&mut self, p: PeerId) -> &mut PeerLive {
+        let (slot_ms, slots) = (self.window_slot_ms, self.window_slots);
+        self.peers.entry(p).or_insert_with(|| PeerLive {
+            goodput: RateWindow::new(slot_ms, slots),
+            ..PeerLive::default()
+        })
+    }
+
+    fn touch_clock(&mut self, at_ms: f64) {
+        if at_ms.is_finite() && at_ms > self.last_ms {
+            self.last_ms = at_ms;
+        }
+    }
+
+    /// Fold one event into the aggregate.
+    pub fn fold(&mut self, e: &TraceEvent) {
+        self.events += 1;
+        match e {
+            TraceEvent::Definition { def, at_ms, .. } => {
+                if let Some(slot) = self.defs.get_mut(*def as usize) {
+                    *slot += 1;
+                }
+                self.touch_clock(*at_ms);
+            }
+            TraceEvent::Delegation { at_ms, .. } => {
+                self.delegations += 1;
+                self.touch_clock(*at_ms);
+            }
+            TraceEvent::MessageSent {
+                from,
+                to,
+                kind,
+                bytes,
+                sent_ms,
+                at_ms,
+            } => {
+                let l = self.per_link.entry((*from, *to)).or_default();
+                l.messages += 1;
+                l.bytes += bytes;
+                let k = self.by_kind.entry(*kind).or_default();
+                k.messages += 1;
+                k.bytes += bytes;
+                let flight_ms = at_ms - sent_ms;
+                self.latency.record_ms(flight_ms);
+                {
+                    let s = self.peer(*from);
+                    s.sent_messages += 1;
+                    s.sent_bytes += bytes;
+                    s.inflight += 1;
+                    let sk = s.by_kind.entry(*kind).or_default();
+                    sk.messages += 1;
+                    sk.bytes += bytes;
+                }
+                self.peer(*to).latency.record_ms(flight_ms);
+                self.touch_clock(*sent_ms);
+            }
+            TraceEvent::MessageDelivered {
+                from,
+                to,
+                bytes,
+                at_ms,
+                ..
+            } => {
+                let d = self.delivered.entry((*from, *to)).or_default();
+                d.messages += 1;
+                d.bytes += bytes;
+                self.goodput_bytes.record(*at_ms, *bytes);
+                self.goodput_msgs.record(*at_ms, 1);
+                {
+                    let s = self.peer(*from);
+                    s.inflight = s.inflight.saturating_sub(1);
+                }
+                let r = self.peer(*to);
+                r.recv_messages += 1;
+                r.recv_bytes += bytes;
+                r.goodput.record(*at_ms, *bytes);
+                self.touch_clock(*at_ms);
+            }
+            TraceEvent::TaskScheduled { peer, at_ms, .. } => {
+                self.peer(*peer).tasks += 1;
+                self.touch_clock(*at_ms);
+            }
+            TraceEvent::RuleAttempted { rule, accepted, .. } => {
+                let r = self.rules.entry(rule.as_ref().to_string()).or_default();
+                r.attempted += 1;
+                if *accepted {
+                    r.accepted += 1;
+                }
+            }
+            TraceEvent::PlanChosen { .. } => {}
+            TraceEvent::ServiceCall { at_ms, .. } => {
+                self.service_calls += 1;
+                self.touch_clock(*at_ms);
+            }
+            TraceEvent::SubscriptionDelta {
+                fresh,
+                suppressed,
+                at_ms,
+                ..
+            } => {
+                self.delta_fresh += *fresh as u64;
+                self.delta_suppressed += *suppressed as u64;
+                self.touch_clock(*at_ms);
+            }
+            TraceEvent::MessageDropped {
+                from, to, at_ms, ..
+            } => {
+                *self.dropped.entry((*from, *to)).or_default() += 1;
+                self.peer(*from).drops += 1;
+                self.touch_clock(*at_ms);
+            }
+            TraceEvent::RetryScheduled { from, at_ms, .. } => {
+                self.retries += 1;
+                self.peer(*from).retries += 1;
+                self.touch_clock(*at_ms);
+            }
+            TraceEvent::Failover { peer, at_ms, .. } => {
+                self.failovers += 1;
+                self.peer(*peer).failovers += 1;
+                self.touch_clock(*at_ms);
+            }
+        }
+    }
+
+    /// Events folded so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// Latest virtual timestamp observed on any event.
+    pub fn last_ms(&self) -> f64 {
+        self.last_ms
+    }
+
+    /// Global latency histogram over every traced message's in-flight
+    /// window.
+    pub fn latency(&self) -> &LatencyHistogram {
+        &self.latency
+    }
+
+    /// Sliding bytes-delivered window (goodput, bytes/s of virtual time).
+    pub fn goodput_bytes(&self) -> &RateWindow {
+        &self.goodput_bytes
+    }
+
+    /// Sliding deliveries window (deliveries/s of virtual time).
+    pub fn goodput_msgs(&self) -> &RateWindow {
+        &self.goodput_msgs
+    }
+
+    /// Per-peer rows, in peer-id order.
+    pub fn peers(&self) -> impl Iterator<Item = (PeerId, &PeerLive)> + '_ {
+        self.peers.iter().map(|(&p, row)| (p, row))
+    }
+
+    /// One peer's row, if the stream mentioned it.
+    pub fn peer_row(&self, p: PeerId) -> Option<&PeerLive> {
+        self.peers.get(&p)
+    }
+
+    /// Per-kind traffic totals, in kind order.
+    pub fn by_kind(&self) -> impl Iterator<Item = (MessageKind, MsgStats)> + '_ {
+        self.by_kind.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Total messages sent (cross-peer).
+    pub fn total_messages(&self) -> u64 {
+        self.per_link.values().map(|s| s.messages).sum()
+    }
+
+    /// Total charged bytes sent.
+    pub fn total_bytes(&self) -> u64 {
+        self.per_link.values().map(|s| s.bytes).sum()
+    }
+
+    /// Messages sent but not yet delivered, across all peers.
+    pub fn inflight(&self) -> u64 {
+        self.peers.values().map(|p| p.inflight).sum()
+    }
+
+    /// Total send attempts observed dropped.
+    pub fn total_dropped(&self) -> u64 {
+        self.dropped.values().sum()
+    }
+
+    /// Retries observed.
+    pub fn retries(&self) -> u64 {
+        self.retries
+    }
+
+    /// Failovers observed.
+    pub fn failovers(&self) -> u64 {
+        self.failovers
+    }
+
+    /// Check the stream-equals-batch claim: every counter that has a
+    /// paired event emission must agree exactly with `metrics`, the
+    /// per-link send/drop ledgers must agree with `stats`, every sent
+    /// message must have been delivered (quiescent stream), and the
+    /// goodput windows must conserve bytes. Returns the first
+    /// divergence as a message, `Ok(())` if the fold reconciles.
+    ///
+    /// Counters with *no* event emission (`seq_steps`,
+    /// `cost_estimates`, the memo counters) are deliberately out of
+    /// scope — they are not derivable from any trace.
+    pub fn reconcile(&self, metrics: &EvalMetrics, stats: &NetStats) -> Result<(), String> {
+        fn diff(what: &str, ours: impl std::fmt::Debug, theirs: impl std::fmt::Debug) -> String {
+            format!("{what}: stream {ours:?} != batch {theirs:?}")
+        }
+        let our_defs: Vec<(u8, u64)> = (1..=9u8)
+            .filter_map(|d| {
+                let n = self.defs[d as usize];
+                (n > 0).then_some((d, n))
+            })
+            .collect();
+        if our_defs != metrics.defs() {
+            return Err(diff("definitions", &our_defs, metrics.defs()));
+        }
+        if self.delegations != metrics.delegations {
+            return Err(diff("delegations", self.delegations, metrics.delegations));
+        }
+        if self.service_calls != metrics.service_calls {
+            return Err(diff(
+                "service_calls",
+                self.service_calls,
+                metrics.service_calls,
+            ));
+        }
+        if (self.delta_fresh, self.delta_suppressed)
+            != (metrics.delta_fresh, metrics.delta_suppressed)
+        {
+            return Err(diff(
+                "deltas",
+                (self.delta_fresh, self.delta_suppressed),
+                (metrics.delta_fresh, metrics.delta_suppressed),
+            ));
+        }
+        if self.retries != metrics.retries {
+            return Err(diff("retries", self.retries, metrics.retries));
+        }
+        if self.failovers != metrics.failovers {
+            return Err(diff("failovers", self.failovers, metrics.failovers));
+        }
+        let their_rules: Vec<(String, RuleStats)> =
+            metrics.rules().map(|(n, r)| (n.to_string(), r)).collect();
+        let our_rules: Vec<(String, RuleStats)> =
+            self.rules.iter().map(|(n, &r)| (n.clone(), r)).collect();
+        if our_rules != their_rules {
+            return Err(diff("rules", &our_rules, &their_rules));
+        }
+        let our_kinds: Vec<(MessageKind, MsgStats)> = self.by_kind().collect();
+        let their_kinds: Vec<(MessageKind, MsgStats)> = metrics.messages_by_kind().collect();
+        if our_kinds != their_kinds {
+            return Err(diff("by_kind", &our_kinds, &their_kinds));
+        }
+        let ours: Vec<(PeerId, PeerId, u64, u64)> = self
+            .per_link
+            .iter()
+            .map(|(&(a, b), s)| (a, b, s.messages, s.bytes))
+            .collect();
+        let theirs: Vec<(PeerId, PeerId, u64, u64)> = metrics
+            .per_link()
+            .map(|(a, b, s)| (a, b, s.messages, s.bytes))
+            .collect();
+        if ours != theirs {
+            return Err(diff("per_link (vs metrics)", &ours, &theirs));
+        }
+        let net_links: Vec<(PeerId, PeerId, u64, u64)> = stats
+            .links()
+            .map(|(a, b, s)| (a, b, s.messages, s.bytes))
+            .collect();
+        if ours != net_links {
+            return Err(diff("per_link (vs net)", &ours, &net_links));
+        }
+        let our_drops: Vec<(PeerId, PeerId, u64)> =
+            self.dropped.iter().map(|(&(a, b), &n)| (a, b, n)).collect();
+        let net_drops: Vec<(PeerId, PeerId, u64)> = stats.dropped_links().collect();
+        if our_drops != net_drops {
+            return Err(diff("drops", &our_drops, &net_drops));
+        }
+        // Quiescence: every traced send has its matching delivery.
+        let delivered: Vec<(PeerId, PeerId, u64, u64)> = self
+            .delivered
+            .iter()
+            .map(|(&(a, b), s)| (a, b, s.messages, s.bytes))
+            .collect();
+        if ours != delivered {
+            return Err(diff("sent vs delivered", &ours, &delivered));
+        }
+        if self.inflight() != 0 {
+            return Err(format!("{} messages still in flight", self.inflight()));
+        }
+        // Goodput byte conservation: windows never lose a byte, and the
+        // delivered total is exactly the wire total.
+        if !self.goodput_bytes.conserves() || !self.goodput_msgs.conserves() {
+            return Err("goodput window leaked amounts".into());
+        }
+        if self.goodput_bytes.total() != stats.total_bytes() {
+            return Err(diff(
+                "goodput bytes",
+                self.goodput_bytes.total(),
+                stats.total_bytes(),
+            ));
+        }
+        // The virtual clock only moves forward: no event can postdate
+        // the network's makespan (local deliveries advance the makespan
+        // without being traced, so `<=`, not `==`).
+        if self.last_ms > stats.makespan_ms() {
+            return Err(diff("last event time", self.last_ms, stats.makespan_ms()));
+        }
+        Ok(())
+    }
+
+    /// `true` when [`LiveStats::reconcile`] passes.
+    pub fn reconciles_with(&self, metrics: &EvalMetrics, stats: &NetStats) -> bool {
+        self.reconcile(metrics, stats).is_ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kind::DataTag;
+    use crate::trace::tests::one_of_each;
+
+    #[test]
+    fn folds_every_event_kind_without_panicking() {
+        let mut live = LiveStats::new();
+        for e in one_of_each() {
+            live.fold(&e);
+        }
+        assert_eq!(live.events(), one_of_each().len() as u64);
+        assert!(live.last_ms() > 0.0);
+    }
+
+    #[test]
+    fn sent_and_delivered_balance_inflight() {
+        let mut live = LiveStats::new();
+        let kind = MessageKind::Data(DataTag::Send);
+        live.fold(&TraceEvent::MessageSent {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind,
+            bytes: 100,
+            sent_ms: 1.0,
+            at_ms: 5.0,
+        });
+        assert_eq!(live.inflight(), 1);
+        assert_eq!(live.peer_row(PeerId(0)).unwrap().sent_messages, 1);
+        live.fold(&TraceEvent::MessageDelivered {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind,
+            bytes: 100,
+            at_ms: 5.0,
+        });
+        assert_eq!(live.inflight(), 0);
+        let p1 = live.peer_row(PeerId(1)).unwrap();
+        assert_eq!(p1.recv_bytes, 100);
+        assert_eq!(p1.latency.count(), 1);
+        assert_eq!(p1.latency.max_ms(), 4.0, "in-flight window is 4 ms");
+        assert_eq!(live.goodput_bytes().total(), 100);
+    }
+
+    #[test]
+    fn reconciles_with_a_hand_built_run() {
+        let kind = MessageKind::Invoke;
+        let mut live = LiveStats::new();
+        let mut m = EvalMetrics::new();
+        let mut s = NetStats::new();
+        // one definition, one message sent+delivered, one drop+retry
+        m.record_def(6);
+        live.fold(&TraceEvent::Definition {
+            def: 6,
+            peer: PeerId(0),
+            expr: "sc".into(),
+            at_ms: 0.5,
+        });
+        m.record_drop(PeerId(0), PeerId(1));
+        s.record_drop(PeerId(0), PeerId(1));
+        live.fold(&TraceEvent::MessageDropped {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind,
+            bytes: 64,
+            at_ms: 1.0,
+        });
+        m.retries += 1;
+        live.fold(&TraceEvent::RetryScheduled {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind,
+            attempt: 1,
+            backoff_ms: 2.0,
+            at_ms: 1.0,
+        });
+        m.record_message(PeerId(0), PeerId(1), kind, 64);
+        s.record(PeerId(0), PeerId(1), 64, 4.0, 7.0);
+        live.fold(&TraceEvent::MessageSent {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind,
+            bytes: 64,
+            sent_ms: 3.0,
+            at_ms: 7.0,
+        });
+        live.fold(&TraceEvent::MessageDelivered {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind,
+            bytes: 64,
+            at_ms: 7.0,
+        });
+        live.reconcile(&m, &s).unwrap();
+        assert!(live.reconciles_with(&m, &s));
+    }
+
+    #[test]
+    fn divergence_is_reported_not_masked() {
+        let mut live = LiveStats::new();
+        let mut m = EvalMetrics::new();
+        let s = NetStats::new();
+        m.record_def(1);
+        let err = live.reconcile(&m, &s).unwrap_err();
+        assert!(err.contains("definitions"), "{err}");
+        live.fold(&TraceEvent::Definition {
+            def: 1,
+            peer: PeerId(0),
+            expr: "tree".into(),
+            at_ms: 0.0,
+        });
+        live.reconcile(&m, &s).unwrap();
+        // an undelivered send breaks quiescence
+        live.fold(&TraceEvent::MessageSent {
+            from: PeerId(0),
+            to: PeerId(1),
+            kind: MessageKind::Request,
+            bytes: 8,
+            sent_ms: 0.0,
+            at_ms: 1.0,
+        });
+        assert!(!live.reconciles_with(&m, &s));
+    }
+}

@@ -265,6 +265,269 @@ impl<R: Read> TraceReader<R> {
     }
 }
 
+/// One step of a [`FollowReader`] poll.
+#[derive(Debug)]
+pub enum FollowStep {
+    /// A complete event decoded from newly arrived bytes.
+    Event(TraceEvent),
+    /// A complete record that failed to decode — skippable, exactly
+    /// like [`ReadError::Malformed`] in batch mode.
+    Malformed {
+        /// Index of the bad record.
+        record: u64,
+        /// What was wrong with it.
+        detail: String,
+    },
+    /// No complete record is available right now. Check
+    /// [`FollowReader::hit_eof`] to see whether the source reported
+    /// end-of-data (a file: caught up, poll again later; a socket:
+    /// the writer closed, call [`FollowReader::finish`]).
+    Pending,
+}
+
+/// An incremental decoder for a *growing* trace: a file another process
+/// is still appending to, or a live socket fed by
+/// [`crate::socket_sink::SocketSink`].
+///
+/// Unlike [`TraceReader`] — which treats end-of-input as the end of the
+/// trace and types the damage — a `FollowReader` treats end-of-input as
+/// *"no more bytes yet"*: partial records stay buffered until the rest
+/// arrives. [`FollowReader::poll`] never blocks beyond the underlying
+/// reader's own blocking behavior (set a read timeout on sockets;
+/// `WouldBlock`/`TimedOut` are absorbed as [`FollowStep::Pending`]),
+/// and never panics on torn writes: a mid-record cut simply stays
+/// pending, and [`FollowReader::finish`] types the leftover tail as
+/// [`ReadError::Truncated`].
+pub struct FollowReader<R: Read> {
+    source: R,
+    /// Bytes received but not yet decoded.
+    buf: Vec<u8>,
+    format: Option<TraceFormat>,
+    record: u64,
+    hit_eof: bool,
+    /// A fatal decode error happened; the stream is dead.
+    failed: bool,
+}
+
+impl FollowReader<std::fs::File> {
+    /// Follow a trace file from its beginning. The file may still be
+    /// empty — the format is sniffed lazily as bytes arrive.
+    pub fn open(path: impl AsRef<std::path::Path>) -> io::Result<Self> {
+        Ok(Self::new(std::fs::File::open(path)?))
+    }
+}
+
+impl<R: Read> FollowReader<R> {
+    /// Follow `source`. Nothing is read until the first poll.
+    pub fn new(source: R) -> Self {
+        Self {
+            source,
+            buf: Vec::new(),
+            format: None,
+            record: 0,
+            hit_eof: false,
+            failed: false,
+        }
+    }
+
+    /// The sniffed format (`None` until enough bytes arrived).
+    pub fn format(&self) -> Option<TraceFormat> {
+        self.format
+    }
+
+    /// Records yielded so far (events plus malformed records).
+    pub fn records_read(&self) -> u64 {
+        self.record
+    }
+
+    /// Whether the most recent read from the source returned 0 bytes.
+    /// For a file this means "caught up with the writer" (cleared as
+    /// soon as a later poll reads fresh bytes); for a socket it means
+    /// the peer closed the connection.
+    pub fn hit_eof(&self) -> bool {
+        self.hit_eof
+    }
+
+    /// Pull newly available bytes into the buffer. Returns `Ok(true)`
+    /// if any byte arrived. `WouldBlock`/`TimedOut` (a socket read
+    /// timeout expiring) count as "nothing available", not errors.
+    fn fill(&mut self) -> io::Result<bool> {
+        let mut chunk = [0u8; 8192];
+        match self.source.read(&mut chunk) {
+            Ok(0) => {
+                self.hit_eof = true;
+                Ok(false)
+            }
+            Ok(n) => {
+                self.hit_eof = false;
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(true)
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                Ok(false)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Try to decode the next record; pulls fresh bytes whenever the
+    /// buffer runs dry. Fatal errors ([`ReadError::Io`] on a hard read
+    /// failure, [`ReadError::BadHeader`], a corrupt binary length
+    /// prefix) poison the reader: every later poll returns `Pending`
+    /// with [`FollowReader::hit_eof`] set.
+    pub fn poll(&mut self) -> Result<FollowStep, ReadError> {
+        if self.failed {
+            self.hit_eof = true;
+            return Ok(FollowStep::Pending);
+        }
+        loop {
+            match self.try_decode() {
+                Ok(Some(step)) => return Ok(step),
+                Ok(None) => {}
+                Err(e) => {
+                    self.failed = true;
+                    return Err(e);
+                }
+            }
+            match self.fill() {
+                Ok(true) => continue,
+                Ok(false) => return Ok(FollowStep::Pending),
+                Err(e) => {
+                    self.failed = true;
+                    return Err(e.into());
+                }
+            }
+        }
+    }
+
+    /// Decode one record from the buffer, if a complete one is there.
+    /// `Ok(None)` means "need more bytes".
+    fn try_decode(&mut self) -> Result<Option<FollowStep>, ReadError> {
+        if self.format.is_none() && !self.sniff()? {
+            return Ok(None);
+        }
+        match self.format {
+            Some(TraceFormat::Jsonl) => self.decode_jsonl_line(),
+            Some(TraceFormat::Binary) => self.decode_binary_record(),
+            None => Ok(None),
+        }
+    }
+
+    /// Sniff the format once enough bytes are buffered. Returns whether
+    /// the format is now known.
+    fn sniff(&mut self) -> Result<bool, ReadError> {
+        let Some(&first) = self.buf.first() else {
+            return Ok(false);
+        };
+        if first == b'{' {
+            self.format = Some(TraceFormat::Jsonl);
+            return Ok(true);
+        }
+        if codec::MAGIC.starts_with(&self.buf[..self.buf.len().min(4)]) {
+            if self.buf.len() < 5 {
+                return Ok(false); // a prefix of the magic: wait for more
+            }
+            codec::check_header(&self.buf[..5]).map_err(ReadError::BadHeader)?;
+            self.buf.drain(..5);
+            self.format = Some(TraceFormat::Binary);
+            return Ok(true);
+        }
+        Err(ReadError::BadHeader(
+            "neither AXTR magic nor a JSON line".into(),
+        ))
+    }
+
+    fn decode_jsonl_line(&mut self) -> Result<Option<FollowStep>, ReadError> {
+        loop {
+            let Some(nl) = self.buf.iter().position(|&b| b == b'\n') else {
+                if self.buf.len() as u32 > MAX_RECORD_LEN {
+                    return Err(ReadError::Malformed {
+                        record: self.record,
+                        detail: format!("unterminated line exceeds the {MAX_RECORD_LEN}-byte cap"),
+                    });
+                }
+                return Ok(None);
+            };
+            let line: Vec<u8> = self.buf.drain(..=nl).collect();
+            let text = String::from_utf8_lossy(&line);
+            let trimmed = text.trim_end_matches(['\n', '\r']);
+            if trimmed.trim().is_empty() {
+                continue;
+            }
+            let record = self.record;
+            self.record += 1;
+            return Ok(Some(match TraceEvent::from_json(trimmed) {
+                Ok(e) => FollowStep::Event(e),
+                Err(detail) => FollowStep::Malformed { record, detail },
+            }));
+        }
+    }
+
+    fn decode_binary_record(&mut self) -> Result<Option<FollowStep>, ReadError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_le_bytes(self.buf[..4].try_into().unwrap());
+        if len > MAX_RECORD_LEN {
+            // Framing is unrecoverable mid-stream: fatal, unlike the
+            // skippable complete-record Malformed below.
+            return Err(ReadError::Malformed {
+                record: self.record,
+                detail: format!("record length {len} exceeds the {MAX_RECORD_LEN}-byte cap"),
+            });
+        }
+        let total = 4 + len as usize;
+        if self.buf.len() < total {
+            return Ok(None);
+        }
+        let payload: Vec<u8> = self.buf.drain(..total).skip(4).collect();
+        let record = self.record;
+        self.record += 1;
+        Ok(Some(match codec::decode_payload(&payload) {
+            Ok(e) => FollowStep::Event(e),
+            Err(detail) => FollowStep::Malformed { record, detail },
+        }))
+    }
+
+    /// Declare the stream over (the writer exited, the socket closed)
+    /// and account for the tail. A clean boundary returns `Ok(None)`;
+    /// a final *complete* JSONL line missing only its newline decodes
+    /// and is returned; anything else — a torn binary record, a
+    /// half-written line — is a typed [`ReadError::Truncated`].
+    pub fn finish(mut self) -> Result<Option<TraceEvent>, ReadError> {
+        if self.buf.is_empty() {
+            return Ok(None);
+        }
+        match self.format {
+            Some(TraceFormat::Jsonl) | None => {
+                let text = String::from_utf8_lossy(&std::mem::take(&mut self.buf)).into_owned();
+                let trimmed = text.trim();
+                if trimmed.is_empty() {
+                    return Ok(None);
+                }
+                match TraceEvent::from_json(trimmed) {
+                    Ok(e) => Ok(Some(e)),
+                    Err(detail) => Err(ReadError::Truncated {
+                        record: self.record,
+                        detail: format!("final line incomplete: {detail}"),
+                    }),
+                }
+            }
+            Some(TraceFormat::Binary) => Err(ReadError::Truncated {
+                record: self.record,
+                detail: format!("{} bytes of a partial record remain", self.buf.len()),
+            }),
+        }
+    }
+}
+
 /// Read until `buf` is full or EOF; returns bytes read.
 fn read_full(r: &mut impl Read, buf: &mut [u8]) -> io::Result<usize> {
     let mut have = 0;

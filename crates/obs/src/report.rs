@@ -11,6 +11,7 @@
 use crate::json::{array, JsonObject};
 use crate::metrics::EvalMetrics;
 use axml_net::NetStats;
+use axml_xml::stats::CopyStats;
 
 /// A snapshot summary of one run: evaluation metrics + network stats.
 #[derive(Debug, Clone)]
@@ -25,6 +26,14 @@ pub struct RunReport {
     /// `stats` exactly *and* the optimizer memo counters satisfied their
     /// own invariant ([`EvalMetrics::memo_consistent`]).
     pub reconciled: bool,
+    /// Zero-copy substrate accounting for the run, when the harness
+    /// measured it (a [`CopyStats::delta_since`] spanning the run).
+    /// `None` by default: the counters are process-wide, so a system
+    /// cannot attribute them to itself — the measuring harness attaches
+    /// the delta explicitly via [`RunReport::with_copy`]. Rendered as
+    /// `"copy":null` in JSON when absent, keeping reports from
+    /// different drivers byte-comparable.
+    pub copy: Option<CopyStats>,
 }
 
 impl RunReport {
@@ -35,7 +44,14 @@ impl RunReport {
             metrics: metrics.clone(),
             stats: stats.clone(),
             reconciled: metrics.reconciles_with(stats) && metrics.memo_consistent(),
+            copy: None,
         }
+    }
+
+    /// Attach a measured copy/share delta (builder style).
+    pub fn with_copy(mut self, copy: CopyStats) -> Self {
+        self.copy = Some(copy);
+        self
     }
 
     /// The report as a compact JSON object.
@@ -44,6 +60,19 @@ impl RunReport {
         o.str("title", &self.title);
         o.bool("reconciled", self.reconciled);
         o.raw("metrics", &self.metrics.to_json());
+        match &self.copy {
+            None => o.raw("copy", "null"),
+            Some(c) => {
+                let mut e = JsonObject::new();
+                e.num_u64("bytes_copied", c.bytes_copied)
+                    .num_u64("nodes_copied", c.nodes_copied)
+                    .num_u64("bytes_shared", c.bytes_shared)
+                    .num_u64("nodes_shared", c.nodes_shared)
+                    .num_u64("cow_materializations", c.cow_materializations)
+                    .num_u64("handle_shares", c.handle_shares);
+                o.raw("copy", &e.finish())
+            }
+        };
         let mut net = JsonObject::new();
         net.num_u64("messages", self.stats.total_messages())
             .num_u64("bytes", self.stats.total_bytes())
@@ -137,6 +166,18 @@ impl std::fmt::Display for RunReport {
                 m.total_dropped(),
                 m.retries,
                 m.failovers
+            )?;
+        }
+        if let Some(c) = &self.copy {
+            writeln!(
+                f,
+                "zero-copy  : {} B copied ({} nodes), {} B shared ({} nodes), {} COW, {} handle shares",
+                c.bytes_copied,
+                c.nodes_copied,
+                c.bytes_shared,
+                c.nodes_shared,
+                c.cow_materializations,
+                c.handle_shares
             )?;
         }
         let kinds: Vec<_> = m.messages_by_kind().collect();
@@ -256,6 +297,33 @@ mod tests {
         // A drop the engine never observed breaks reconciliation.
         s.record_drop(PeerId(0), PeerId(1));
         assert!(!RunReport::new("bad", &m, &s).reconciled);
+    }
+
+    #[test]
+    fn copy_stats_render_when_attached() {
+        let base = sample();
+        let json = base.to_json();
+        assert!(json.contains("\"copy\":null"), "{json}");
+        assert!(!base.to_string().contains("zero-copy"), "absent by default");
+        let with = sample().with_copy(CopyStats {
+            bytes_copied: 100,
+            nodes_copied: 3,
+            bytes_shared: 4096,
+            nodes_shared: 128,
+            cow_materializations: 2,
+            handle_shares: 7,
+        });
+        let json = with.to_json();
+        assert!(json.contains("\"copy\":{\"bytes_copied\":100"), "{json}");
+        assert!(json.contains("\"handle_shares\":7"), "{json}");
+        let text = with.to_string();
+        assert!(
+            text.contains("zero-copy  : 100 B copied (3 nodes), 4096 B shared (128 nodes), 2 COW, 7 handle shares"),
+            "{text}"
+        );
+        // parity: two unattached reports stay byte-identical even though
+        // the field exists (the driver-equivalence assertions rely on it)
+        assert_eq!(sample().to_json(), sample().to_json());
     }
 
     #[test]

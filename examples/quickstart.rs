@@ -18,6 +18,11 @@
 //! Set `AXML_TRACE_OUT=run.trc` to additionally stream the whole trace
 //! to a binary file (via a [`FanoutSink`] tee) and replay it with
 //! `cargo run -p axml-bench --bin axml-trace -- run.trc`.
+//!
+//! Set `AXML_TRACE_TCP=127.0.0.1:PORT` to *also* stream the trace live
+//! over TCP with a [`SocketSink`] — start
+//! `cargo run -p axml-bench --bin axml-top -- --listen 127.0.0.1:PORT`
+//! first and watch the run as it happens.
 
 use axml::prelude::*;
 use axml::xml::tree::Tree;
@@ -44,13 +49,19 @@ fn main() {
     // binary trace file for offline replay with `axml-trace`.
     let sink = VecSink::new();
     let trace_out = std::env::var("AXML_TRACE_OUT").ok();
-    let tee: Box<dyn TraceSink> = match &trace_out {
-        Some(path) => Box::new(
-            FanoutSink::new()
-                .with(sink.clone())
-                .with(BinSink::create(path).expect("create trace file")),
-        ),
-        None => Box::new(sink.clone()),
+    let trace_tcp = std::env::var("AXML_TRACE_TCP").ok();
+    let tee: Box<dyn TraceSink> = if trace_out.is_some() || trace_tcp.is_some() {
+        let mut fan = FanoutSink::new().with(sink.clone());
+        if let Some(path) = &trace_out {
+            fan = fan.with(BinSink::create(path).expect("create trace file"));
+        }
+        if let Some(addr) = &trace_tcp {
+            let addr = addr.parse().expect("AXML_TRACE_TCP is host:port");
+            fan = fan.with(SocketSink::connect(addr).expect("trace consumer listening"));
+        }
+        Box::new(fan)
+    } else {
+        Box::new(sink.clone())
     };
     let mut sys = AxmlSystem::builder()
         .peers(["client", "server"])

@@ -66,5 +66,15 @@ cargo run --release -q -p axml-bench --bin axml-trace -- \
 grep -q "binary trace" "$TRACE_TMP/render.out"
 grep -q "max concurrent flights" "$TRACE_TMP/render.out"
 grep -q "<svg" "$TRACE_TMP/quickstart.svg"
+# live dashboard snapshot over the same trace: --once must be
+# byte-deterministic (two runs, compared exactly) and carry the rolling
+# latency/goodput summary the histogram engine folds from the stream.
+cargo run --release -q -p axml-bench --bin axml-top -- \
+    "$TRACE_TMP/quickstart.trc" --once > "$TRACE_TMP/top1.out"
+cargo run --release -q -p axml-bench --bin axml-top -- \
+    "$TRACE_TMP/quickstart.trc" --once > "$TRACE_TMP/top2.out"
+cmp "$TRACE_TMP/top1.out" "$TRACE_TMP/top2.out"
+grep -q "axml-top" "$TRACE_TMP/top1.out"
+grep -q "latency" "$TRACE_TMP/top1.out"
 
 echo "tier-1: all green"
