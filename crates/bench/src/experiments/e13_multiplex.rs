@@ -1,0 +1,164 @@
+//! **E13 — multiplexed subscription matching at scale.** Sweep the number
+//! of concurrent subscriptions over one churning document and compare the
+//! shared matching index (one automaton probe per delta, only touched
+//! subscriptions re-evaluate) against the naive loop (every subscription
+//! re-evaluates on every delta).
+//!
+//! Expected shape: naive per-delta cost is linear in the subscription
+//! count; the shared matcher's cost tracks the number of subscriptions the
+//! delta actually *touches* (here `subs / TOPICS`), so the speedup grows
+//! with the population. Deliveries must be bit-identical between the two
+//! modes — asserted on every row by serializing the client inbox.
+
+use crate::report::Report;
+use axml_core::prelude::*;
+use axml_xml::tree::Tree;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Subscription counts swept. The debug build (the `all_experiments_run`
+/// smoke test) stops at 1 000; release sweeps to 10 000.
+pub fn subs_sweep() -> &'static [usize] {
+    if cfg!(debug_assertions) {
+        &[10, 100, 1_000]
+    } else {
+        &[10, 100, 1_000, 10_000]
+    }
+}
+
+/// Distinct topics: each subscription watches `watch-{k % TOPICS}`, so a
+/// delta tagged with one topic touches roughly `subs / TOPICS` of them.
+pub const TOPICS: usize = 50;
+
+/// Deltas fed per timed arm.
+pub const FEEDS: usize = 6;
+
+/// A system with `n` subscriptions (topics round-robin) in `mode`,
+/// already activated, stats reset — ready for the timed feed loop.
+fn build(n: usize, mode: MatcherMode) -> (AxmlSystem, PeerId, PeerId) {
+    let mut b = AxmlSystem::builder()
+        .peers(["provider", "client"])
+        .link("provider", "client", LinkCost::lan())
+        .doc("provider", "board", "<board/>");
+    for t in 0..TOPICS.min(n) {
+        b = b.service(
+            "provider",
+            format!("watch-{t}"),
+            &format!(r#"for $i in doc("board")/item where $i/@topic = "t{t}" return {{$i}}"#),
+        );
+    }
+    let mut inbox = String::from("<inbox>");
+    for k in 0..n {
+        let t = k % TOPICS;
+        let _ = write!(
+            inbox,
+            r#"<sc><peer>p0</peer><service>watch-{t}</service></sc>"#
+        );
+    }
+    inbox.push_str("</inbox>");
+    let mut sys = b.doc("client", "inbox", inbox.as_str()).build().unwrap();
+    sys.set_matcher_mode(mode);
+    let provider = sys.peer_id("provider").unwrap();
+    let client = sys.peer_id("client").unwrap();
+    let ids = sys.activate_document(client, &"inbox".into()).unwrap();
+    assert_eq!(ids.len(), n);
+    sys.reset_stats();
+    (sys, provider, client)
+}
+
+/// Feed `FEEDS` deltas (topics round-robin) and return (delivered, µs).
+fn drive(sys: &mut AxmlSystem, provider: PeerId, n: usize) -> (usize, f64) {
+    let t0 = Instant::now();
+    let mut delivered = 0;
+    for f in 0..FEEDS {
+        let t = f % TOPICS.min(n);
+        delivered += sys
+            .feed(
+                provider,
+                "board",
+                Tree::parse(&format!(r#"<item topic="t{t}">u{f}</item>"#)).unwrap(),
+            )
+            .unwrap();
+    }
+    (delivered, t0.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Run E13.
+pub fn run() -> Report {
+    let mut r = Report::new(
+        "E13",
+        "multiplexed subscription matching: shared index vs naive loop",
+        vec![
+            "subs",
+            "feeds",
+            "delivered",
+            "shared µs/Δ",
+            "naive µs/Δ",
+            "speedup",
+            "hits",
+            "skips",
+        ],
+    );
+    for &n in subs_sweep() {
+        let (mut shared, sp, sc) = build(n, MatcherMode::Shared);
+        let (mut naive, np, nc) = build(n, MatcherMode::Naive);
+        let (d_shared, us_shared) = drive(&mut shared, sp, n);
+        let (d_naive, us_naive) = drive(&mut naive, np, n);
+        assert_eq!(d_shared, d_naive, "modes must deliver the same count");
+        let a = shared.peer(sc).docs.get(&"inbox".into()).unwrap().tree();
+        let b = naive.peer(nc).docs.get(&"inbox".into()).unwrap().tree();
+        assert_eq!(
+            a.serialize(),
+            b.serialize(),
+            "deliveries must be bit-identical between modes"
+        );
+        let m = shared.metrics();
+        assert!(m.matcher_consistent());
+        let (hits, skips) = (m.matcher_hits, m.matcher_skips);
+        let run = shared.run_report(format!("E13 shared matcher ({n} subscriptions)"));
+        r.row_with_run(
+            vec![
+                n.to_string(),
+                FEEDS.to_string(),
+                d_shared.to_string(),
+                format!("{:.0}", us_shared / FEEDS as f64),
+                format!("{:.0}", us_naive / FEEDS as f64),
+                format!("{:.1}x", us_naive / us_shared.max(1.0)),
+                hits.to_string(),
+                skips.to_string(),
+            ],
+            run,
+        );
+    }
+    r.note("naive re-evaluates every subscription per delta: cost linear in subs");
+    r.note("the shared index probes one automaton per delta and pumps only touched subscriptions");
+    r.note("deliveries are byte-identical between modes on every row (asserted)");
+    let representative = {
+        let (mut sys, p, _) = build(100, MatcherMode::Shared);
+        drive(&mut sys, p, 100);
+        sys.run_report("E13 representative (100 subscriptions, shared)")
+    };
+    r.attach_run(representative);
+    r
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn shared_index_wins_and_the_gap_grows() {
+        let r = super::run();
+        let speedup = |row: &[String]| -> f64 { row[5].trim_end_matches('x').parse().unwrap() };
+        let first = speedup(&r.rows[0]);
+        let last = speedup(r.rows.last().unwrap());
+        assert!(
+            last > first,
+            "advantage must grow with the population: {first} → {last}"
+        );
+        assert!(last > 3.0, "large populations: clear win ({last})");
+        // At the largest size the skip counter dominates: most
+        // subscriptions never re-evaluate.
+        let hits: u64 = r.rows.last().unwrap()[6].parse().unwrap();
+        let skips: u64 = r.rows.last().unwrap()[7].parse().unwrap();
+        assert!(skips > hits * 10, "skips {skips} should dwarf hits {hits}");
+    }
+}

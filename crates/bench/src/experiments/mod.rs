@@ -1,9 +1,10 @@
-//! The experiment suite E1–E12. See `EXPERIMENTS.md` for the index and
+//! The experiment suite E1–E13. See `EXPERIMENTS.md` for the index and
 //! the recorded outcomes.
 
 pub mod e10_continuous;
 pub mod e11_rule_ablation;
 pub mod e12_chaos;
+pub mod e13_multiplex;
 pub mod e1_pushing_selections;
 pub mod e2_delegation_crossover;
 pub mod e3_transit_stop;
@@ -34,6 +35,7 @@ pub fn all() -> Vec<Experiment> {
         ("e10", e10_continuous::run),
         ("e11", e11_rule_ablation::run),
         ("e12", e12_chaos::run),
+        ("e13", e13_multiplex::run),
     ]
 }
 

@@ -31,7 +31,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment id; available: e1 … e12");
+        eprintln!("unknown experiment id; available: e1 … e13");
         std::process::exit(2);
     }
     let reports: Vec<_> = selected.into_iter().map(|(_, run)| run()).collect();

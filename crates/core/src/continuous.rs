@@ -19,10 +19,12 @@ use crate::error::{CoreError, CoreResult};
 use crate::sc::{ActivationMode, ScNode, ScProvider};
 use crate::system::AxmlSystem;
 use axml_obs::TraceEvent;
+use axml_query::matcher::MatchIndex;
+use axml_query::Query;
 use axml_xml::equiv::{canonicalize, Canon};
 use axml_xml::ids::{DocName, NodeAddr, PeerId, ServiceName};
 use axml_xml::tree::Tree;
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// What causes a subscription to re-evaluate.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,6 +34,49 @@ pub enum Trigger {
     /// New answers of the sibling call with this `@id` (§2.2's
     /// activate-after chaining).
     AfterAnswer(String),
+}
+
+/// How [`AxmlSystem::feed`] decides which affected subscriptions to
+/// re-evaluate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatcherMode {
+    /// Probe the shared matching index once per delta and re-evaluate
+    /// only the subscriptions it reports (plus any it cannot reason
+    /// about). The default.
+    #[default]
+    Shared,
+    /// Re-evaluate every affected subscription — the per-subscription
+    /// reference loop the shared matcher must stay bit-identical to.
+    Naive,
+}
+
+/// The per-(provider, document) shared matching indexes, plus the mode
+/// switch. Deliveries are identical in both modes; only evaluation work
+/// (and the `matcher_*` counters) differ.
+#[derive(Debug, Default)]
+pub(crate) struct MatcherRegistry {
+    pub(crate) mode: MatcherMode,
+    pub(crate) indexes: HashMap<(PeerId, DocName), MatchIndex>,
+}
+
+impl MatcherRegistry {
+    /// Register a doc-triggered subscription's query under every
+    /// document it reads.
+    fn register(&mut self, id: u64, provider: PeerId, query: &Query, deps: &[DocName]) {
+        for d in deps {
+            self.indexes
+                .entry((provider, d.clone()))
+                .or_insert_with(|| MatchIndex::new(d.clone()))
+                .register(id, query);
+        }
+    }
+
+    /// Drop a subscription from every index.
+    fn remove(&mut self, id: u64) {
+        for ix in self.indexes.values_mut() {
+            ix.remove(id);
+        }
+    }
 }
 
 /// A live (continuous) service call.
@@ -64,11 +109,27 @@ impl AxmlSystem {
     /// activation, returning the new subscription ids. Results accumulate
     /// as siblings of each `sc` (or at its `forw` targets); continuous
     /// services keep streaming through [`AxmlSystem::feed`].
+    ///
+    /// Re-activation is idempotent: activating a document whose
+    /// subscriptions are still live returns their existing ids instead
+    /// of duplicating them (and double-delivering every feed). Once all
+    /// of them have been cancelled, activating again starts fresh.
     pub fn activate_document(&mut self, at: PeerId, doc: &DocName) -> CoreResult<Vec<u64>> {
+        if let Some(prior) = self.activations.get(&(at, doc.clone())) {
+            let live: Vec<u64> = prior
+                .iter()
+                .copied()
+                .filter(|id| self.subscriptions.iter().any(|s| s.id == *id))
+                .collect();
+            if !live.is_empty() {
+                return Ok(live);
+            }
+        }
         let mut s = self.new_session();
         match self.activate_into(&mut s, at, doc) {
             Ok(ids) => {
                 self.run_session(&mut s)?;
+                self.activations.insert((at, doc.clone()), ids.clone());
                 Ok(ids)
             }
             Err(e) => {
@@ -76,6 +137,18 @@ impl AxmlSystem {
                 Err(e)
             }
         }
+    }
+
+    /// Which strategy [`AxmlSystem::feed`] uses to pick subscriptions to
+    /// re-evaluate. [`MatcherMode::Naive`] forces the per-subscription
+    /// reference loop (useful for differential testing and benchmarks).
+    pub fn set_matcher_mode(&mut self, mode: MatcherMode) {
+        self.matcher.mode = mode;
+    }
+
+    /// The active matcher mode.
+    pub fn matcher_mode(&self) -> MatcherMode {
+        self.matcher.mode
     }
 
     fn activate_into(
@@ -86,6 +159,22 @@ impl AxmlSystem {
     ) -> CoreResult<Vec<u64>> {
         self.check_peer(at)?;
         let tree = self.peers[at.index()].doc(doc, at)?.clone();
+        // Reject `@after` cycles across existing *and* about-to-exist
+        // subscriptions before any wire traffic or state mutation; a
+        // cyclic chain used to recurse `pump_into` without bound.
+        let mut tentative = Vec::new();
+        for sc_node in ScNode::find_all(&tree, tree.root()) {
+            let sc = ScNode::parse(&tree, sc_node)?;
+            if sc.mode == ActivationMode::Lazy {
+                continue;
+            }
+            let after = match &sc.mode {
+                ActivationMode::After(pred) => Some(pred.clone()),
+                _ => None,
+            };
+            tentative.push((sc.id.clone(), after));
+        }
+        self.check_after_cycles(&tentative)?;
         let mut created = Vec::new();
         for sc_node in ScNode::find_all(&tree, tree.root()) {
             let sc = ScNode::parse(&tree, sc_node)?;
@@ -111,6 +200,10 @@ impl AxmlSystem {
             };
             self.check_peer(provider)?;
             let params: Vec<Vec<Tree>> = sc.params.iter().map(|p| vec![p.clone()]).collect();
+            // The subscription id doubles as the call id of the wire
+            // frame and of the `ServiceCall` trace event — assign it
+            // *before* building either, so all three always agree.
+            let id = self.fresh_call_id();
             // Step 1 happens once: ship the parameters now. The message
             // is pure accounting — the subscription machinery reads the
             // provider's state directly, so no receiver-side intent.
@@ -119,11 +212,10 @@ impl AxmlSystem {
                     service: service.clone(),
                     params: params.iter().map(|f| Self::serialize_forest(f)).collect(),
                     forward: sink.clone(),
-                    call_id: self.next_call,
+                    call_id: id,
                 };
                 self.send_wire(s, at, provider, msg, Intent::None)?;
             }
-            let id = self.fresh_call_id();
             self.obs.metrics.service_calls += 1;
             let now = self.now_ms();
             let service_name = service.as_str().to_string();
@@ -138,7 +230,10 @@ impl AxmlSystem {
                 ActivationMode::After(pred) => Trigger::AfterAnswer(pred.clone()),
                 _ => {
                     let svc = self.peers[provider.index()].service(&service, provider)?;
-                    Trigger::DocChange(svc.query.doc_dependencies())
+                    let query = svc.query.clone();
+                    let deps = query.doc_dependencies();
+                    self.matcher.register(id, provider, &query, &deps);
+                    Trigger::DocChange(deps)
                 }
             };
             let sub = Subscription {
@@ -165,6 +260,64 @@ impl AxmlSystem {
             }
         }
         Ok(created.into_iter().map(|(id, _)| id).collect())
+    }
+
+    /// Detect cycles in the `@after` graph spanned by the current
+    /// subscriptions plus the `(sc_id, after)` pairs about to activate.
+    /// Pumping a subscription whose `sc_id` is `p` fires every
+    /// subscription `after="p"`, which in turn fires chains off its own
+    /// `sc_id` — so there is an edge `p → s` for every subscription with
+    /// trigger `AfterAnswer(p)` and id `s`, and a cycle means the pump
+    /// recursion need not terminate.
+    fn check_after_cycles(&self, tentative: &[(Option<String>, Option<String>)]) -> CoreResult<()> {
+        let mut edges: HashMap<&str, Vec<&str>> = HashMap::new();
+        for sub in &self.subscriptions {
+            if let (Some(sid), Trigger::AfterAnswer(pred)) = (&sub.sc_id, &sub.trigger) {
+                edges.entry(pred.as_str()).or_default().push(sid.as_str());
+            }
+        }
+        for (sid, after) in tentative {
+            if let (Some(sid), Some(pred)) = (sid, after) {
+                edges.entry(pred.as_str()).or_default().push(sid.as_str());
+            }
+        }
+        // Iterative DFS with white/grey/black coloring; on a grey hit,
+        // report the cycle by name.
+        let mut color: HashMap<&str, u8> = HashMap::new(); // 1 = on stack, 2 = done
+        for &start in edges.keys() {
+            if color.get(start).copied() == Some(2) {
+                continue;
+            }
+            let mut stack: Vec<(&str, usize)> = vec![(start, 0)];
+            color.insert(start, 1);
+            while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+                let succs = edges.get(node).map_or(&[][..], |v| v.as_slice());
+                if *next < succs.len() {
+                    let succ = succs[*next];
+                    *next += 1;
+                    match color.get(succ).copied() {
+                        Some(1) => {
+                            let mut names: Vec<&str> = stack
+                                .iter()
+                                .map(|(n, _)| *n)
+                                .skip_while(|n| *n != succ)
+                                .collect();
+                            names.push(succ);
+                            return Err(CoreError::AfterCycle(names.join(" -> ")));
+                        }
+                        Some(2) => {}
+                        _ => {
+                            color.insert(succ, 1);
+                            stack.push((succ, 0));
+                        }
+                    }
+                } else {
+                    color.insert(node, 2);
+                    stack.pop();
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Append `tree` under the root of `doc@at` and propagate through all
@@ -218,8 +371,33 @@ impl AxmlSystem {
             })
             .map(|s| s.id)
             .collect();
+        // Shared-matcher probe: one automaton pass over the delta decides,
+        // for every *indexed* subscription, whether its results can possibly
+        // have changed. Subscriptions never registered with the index (or
+        // registered as fallbacks) always pump.
+        let skip: Option<BTreeSet<u64>> = match self.matcher.mode {
+            MatcherMode::Shared if !affected.is_empty() => {
+                self.matcher.indexes.get(&(at, doc)).map(|ix| {
+                    let hits = ix.probe(&tree);
+                    affected
+                        .iter()
+                        .copied()
+                        .filter(|id| ix.is_registered(*id) && !hits.contains(id))
+                        .collect()
+                })
+            }
+            _ => None,
+        };
         let mut delivered = 0;
         for id in affected {
+            if let Some(skip) = &skip {
+                self.obs.metrics.matcher_probes += 1;
+                if skip.contains(&id) {
+                    self.obs.metrics.matcher_skips += 1;
+                    continue;
+                }
+                self.obs.metrics.matcher_hits += 1;
+            }
             delivered += self.pump_into(s, id)?;
         }
         Ok(delivered)
@@ -242,10 +420,30 @@ impl AxmlSystem {
         }
     }
 
-    /// One pump inside an open session. Chained `@after` calls fire as
-    /// soon as their predecessor's deliveries are *issued* (in flight) —
-    /// they read provider-side documents, so issue order is enough.
+    /// One pump inside an open session, guarded against `@after` cycles:
+    /// a subscription already on the pump stack means the chain closed on
+    /// itself, so the pump would recurse without bound.
     fn pump_into(&mut self, s: &mut EvalSession, id: u64) -> CoreResult<usize> {
+        if self.pump_stack.contains(&id) {
+            let chain: Vec<String> = self
+                .pump_stack
+                .iter()
+                .skip_while(|p| **p != id)
+                .map(|p| format!("#{p}"))
+                .chain(std::iter::once(format!("#{id}")))
+                .collect();
+            return Err(CoreError::AfterCycle(chain.join(" -> ")));
+        }
+        self.pump_stack.push(id);
+        let out = self.pump_inner(s, id);
+        self.pump_stack.pop();
+        out
+    }
+
+    /// The pump body. Chained `@after` calls fire as soon as their
+    /// predecessor's deliveries are *issued* (in flight) — they read
+    /// provider-side documents, so issue order is enough.
+    fn pump_inner(&mut self, s: &mut EvalSession, id: u64) -> CoreResult<usize> {
         let idx = self
             .subscriptions
             .iter()
@@ -330,15 +528,27 @@ impl AxmlSystem {
     pub fn unsubscribe(&mut self, id: u64) -> bool {
         let before = self.subscriptions.len();
         self.subscriptions.retain(|s| s.id != id);
-        self.subscriptions.len() != before
+        let removed = self.subscriptions.len() != before;
+        if removed {
+            self.matcher.remove(id);
+        }
+        removed
     }
 
     /// Cancel every subscription created by documents hosted at `caller`.
     /// Returns how many were removed.
     pub fn unsubscribe_peer(&mut self, caller: PeerId) -> usize {
-        let before = self.subscriptions.len();
+        let gone: Vec<u64> = self
+            .subscriptions
+            .iter()
+            .filter(|s| s.caller == caller)
+            .map(|s| s.id)
+            .collect();
         self.subscriptions.retain(|s| s.caller != caller);
-        before - self.subscriptions.len()
+        for id in &gone {
+            self.matcher.remove(*id);
+        }
+        gone.len()
     }
 }
 
@@ -593,6 +803,173 @@ mod unsubscribe_tests {
     }
 
     #[test]
+    fn after_cycle_rejected_at_activation() {
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.install_doc(server, "feed", Tree::parse("<feed/>").unwrap())
+            .unwrap();
+        sys.register_declarative_service(server, "items", r#"doc("feed")/item"#)
+            .unwrap();
+        sys.install_doc(
+            client,
+            "loop",
+            Tree::parse(
+                r#"<loop>
+                     <sc id="a" after="b"><peer>p1</peer><service>items</service></sc>
+                     <sc id="b" after="a"><peer>p1</peer><service>items</service></sc>
+                   </loop>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let err = sys.activate_document(client, &"loop".into()).unwrap_err();
+        match &err {
+            CoreError::AfterCycle(c) => {
+                assert!(c.contains("a") && c.contains("b"), "{c}")
+            }
+            other => panic!("expected AfterCycle, got {other:?}"),
+        }
+        assert!(
+            sys.subscriptions().is_empty(),
+            "nothing half-activated after rejection"
+        );
+    }
+
+    #[test]
+    fn after_self_cycle_rejected() {
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.install_doc(server, "feed", Tree::parse("<feed/>").unwrap())
+            .unwrap();
+        sys.register_declarative_service(server, "items", r#"doc("feed")/item"#)
+            .unwrap();
+        sys.install_doc(
+            client,
+            "selfloop",
+            Tree::parse(
+                r#"<selfloop><sc id="a" after="a"><peer>p1</peer><service>items</service></sc></selfloop>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let err = sys
+            .activate_document(client, &"selfloop".into())
+            .unwrap_err();
+        assert!(matches!(err, CoreError::AfterCycle(_)), "{err:?}");
+    }
+
+    #[test]
+    fn after_cycle_across_documents_rejected() {
+        // `a after b` alone is fine (a dangling predecessor); closing the
+        // loop from a *second* document must be rejected against the
+        // already-live subscription set.
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.install_doc(server, "feed", Tree::parse("<feed/>").unwrap())
+            .unwrap();
+        sys.register_declarative_service(server, "items", r#"doc("feed")/item"#)
+            .unwrap();
+        sys.install_doc(
+            client,
+            "one",
+            Tree::parse(
+                r#"<one><sc id="a" after="b"><peer>p1</peer><service>items</service></sc></one>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        sys.activate_document(client, &"one".into()).unwrap();
+        sys.install_doc(
+            client,
+            "two",
+            Tree::parse(
+                r#"<two><sc id="b" after="a"><peer>p1</peer><service>items</service></sc></two>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let err = sys.activate_document(client, &"two".into()).unwrap_err();
+        assert!(matches!(err, CoreError::AfterCycle(_)), "{err:?}");
+    }
+
+    #[test]
+    fn reactivation_is_idempotent() {
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.install_doc(server, "feed", Tree::parse("<feed/>").unwrap())
+            .unwrap();
+        sys.register_declarative_service(server, "items", r#"doc("feed")/item"#)
+            .unwrap();
+        sys.install_doc(
+            client,
+            "inbox",
+            Tree::parse(r#"<inbox><sc><peer>p1</peer><service>items</service></sc></inbox>"#)
+                .unwrap(),
+        )
+        .unwrap();
+        let first = sys.activate_document(client, &"inbox".into()).unwrap();
+        let second = sys.activate_document(client, &"inbox".into()).unwrap();
+        assert_eq!(first, second, "re-activation returns the existing ids");
+        assert_eq!(sys.subscriptions().len(), 1, "no duplicate subscription");
+        let delivered = sys
+            .feed(server, "feed", Tree::parse("<item>a</item>").unwrap())
+            .unwrap();
+        assert_eq!(delivered, 1, "each update delivered exactly once");
+        // Once every subscription from the first activation is cancelled,
+        // activating again starts a fresh one.
+        assert!(sys.unsubscribe(first[0]));
+        let third = sys.activate_document(client, &"inbox".into()).unwrap();
+        assert_eq!(third.len(), 1);
+        assert_ne!(third[0], first[0]);
+    }
+
+    #[test]
+    fn call_id_agrees_across_trace_wire_and_subscription() {
+        // Replay the trace: the `ServiceCall` correlation id must be the
+        // subscription id (which is also the wire frame's `call_id` — all
+        // three are assigned from the same counter draw).
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.net_mut().set_link(client, server, LinkCost::wan());
+        sys.install_doc(server, "feed", Tree::parse("<feed/>").unwrap())
+            .unwrap();
+        sys.register_declarative_service(server, "items", r#"doc("feed")/item"#)
+            .unwrap();
+        sys.install_doc(
+            client,
+            "inbox",
+            Tree::parse(
+                r#"<inbox>
+                     <sc><peer>p1</peer><service>items</service></sc>
+                     <sc><peer>p1</peer><service>items</service></sc>
+                   </inbox>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let sink = axml_obs::VecSink::new();
+        sys.set_trace_sink(Box::new(sink.clone()));
+        let ids = sys.activate_document(client, &"inbox".into()).unwrap();
+        assert_eq!(ids.len(), 2);
+        let traced: Vec<u64> = sink
+            .events()
+            .into_iter()
+            .filter_map(|e| match e {
+                TraceEvent::ServiceCall { call_id, .. } => Some(call_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(traced, ids, "trace call ids are the subscription ids");
+        let live: Vec<u64> = sys.subscriptions().iter().map(|s| s.id).collect();
+        assert_eq!(live, ids);
+    }
+
+    #[test]
     fn unsubscribe_peer_sweeps_all() {
         let mut sys = AxmlSystem::new();
         let client = sys.add_peer("client");
@@ -617,5 +994,113 @@ mod unsubscribe_tests {
         assert_eq!(sys.unsubscribe_peer(client), 2);
         assert!(sys.subscriptions().is_empty());
         assert_eq!(sys.unsubscribe_peer(client), 0);
+    }
+}
+
+#[cfg(test)]
+mod matcher_tests {
+    use super::*;
+    use axml_net::link::LinkCost;
+
+    /// Two clients watch disjoint topics of one board.
+    fn board_system() -> (AxmlSystem, PeerId, PeerId) {
+        let mut sys = AxmlSystem::new();
+        let client = sys.add_peer("client");
+        let server = sys.add_peer("server");
+        sys.net_mut().set_link(client, server, LinkCost::lan());
+        sys.install_doc(server, "board", Tree::parse("<board/>").unwrap())
+            .unwrap();
+        for t in ["db", "ai"] {
+            sys.register_declarative_service(
+                server,
+                format!("watch-{t}"),
+                &format!(r#"for $i in doc("board")/item where $i/@topic = "{t}" return {{$i}}"#),
+            )
+            .unwrap();
+        }
+        sys.install_doc(
+            client,
+            "inbox",
+            Tree::parse(
+                r#"<inbox>
+                     <sc><peer>p1</peer><service>watch-db</service></sc>
+                     <sc><peer>p1</peer><service>watch-ai</service></sc>
+                   </inbox>"#,
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        (sys, client, server)
+    }
+
+    #[test]
+    fn shared_matcher_skips_off_topic_subscriptions() {
+        let (mut sys, client, server) = board_system();
+        sys.activate_document(client, &"inbox".into()).unwrap();
+        sys.reset_stats();
+        let delivered = sys
+            .feed(
+                server,
+                "board",
+                Tree::parse(r#"<item topic="db">v1</item>"#).unwrap(),
+            )
+            .unwrap();
+        assert_eq!(delivered, 1);
+        let m = sys.metrics();
+        assert_eq!(m.matcher_probes, 2, "both subscriptions probed");
+        assert_eq!(m.matcher_hits, 1, "only the db watcher pumps");
+        assert_eq!(m.matcher_skips, 1, "the ai watcher never re-evaluates");
+        assert!(m.matcher_consistent());
+        let inbox = sys.peer(client).docs.get(&"inbox".into()).unwrap().tree();
+        assert!(inbox.serialize().contains("v1"));
+    }
+
+    #[test]
+    fn naive_mode_delivers_identically_without_probing() {
+        let (mut shared, sc, ss) = board_system();
+        let (mut naive, nc, ns) = board_system();
+        naive.set_matcher_mode(MatcherMode::Naive);
+        assert_eq!(naive.matcher_mode(), MatcherMode::Naive);
+        for sys_at in [(&mut shared, sc), (&mut naive, nc)] {
+            sys_at
+                .0
+                .activate_document(sys_at.1, &"inbox".into())
+                .unwrap();
+        }
+        for (sys, server) in [(&mut shared, ss), (&mut naive, ns)] {
+            for (topic, text) in [("db", "x"), ("ai", "y"), ("db", "z")] {
+                sys.feed(
+                    server,
+                    "board",
+                    Tree::parse(&format!(r#"<item topic="{topic}">{text}</item>"#)).unwrap(),
+                )
+                .unwrap();
+            }
+        }
+        let a = shared.peer(sc).docs.get(&"inbox".into()).unwrap().tree();
+        let b = naive.peer(nc).docs.get(&"inbox".into()).unwrap().tree();
+        assert_eq!(
+            a.serialize(),
+            b.serialize(),
+            "deliveries are bit-identical across modes"
+        );
+        assert!(shared.metrics().matcher_skips > 0);
+        assert_eq!(naive.metrics().matcher_probes, 0, "naive mode never probes");
+    }
+
+    #[test]
+    fn unsubscribe_unregisters_from_the_index() {
+        let (mut sys, client, server) = board_system();
+        let ids = sys.activate_document(client, &"inbox".into()).unwrap();
+        sys.unsubscribe(ids[0]);
+        sys.reset_stats();
+        sys.feed(
+            server,
+            "board",
+            Tree::parse(r#"<item topic="db">v1</item>"#).unwrap(),
+        )
+        .unwrap();
+        // Only the surviving subscription is probed.
+        assert_eq!(sys.metrics().matcher_probes, 1);
     }
 }

@@ -123,6 +123,10 @@ pub enum CoreError {
     EmptyEquivalenceClass(String),
     /// Malformed `sc` element or expression tree.
     Malformed(String),
+    /// An `@after` chain closes on itself (e.g. `sc A after B`,
+    /// `sc B after A`): activating or pumping it would recurse without
+    /// bound. The payload names the cycle.
+    AfterCycle(String),
     /// An evaluation reached an unsupported shape.
     Unsupported(String),
     /// The evaluation engine failed to drive a session to completion.
@@ -146,6 +150,7 @@ impl fmt::Display for CoreError {
                 write!(f, "generic reference `{c}@any` has no replica")
             }
             CoreError::Malformed(m) => write!(f, "malformed: {m}"),
+            CoreError::AfterCycle(c) => write!(f, "`@after` cycle: {c}"),
             CoreError::Unsupported(m) => write!(f, "unsupported: {m}"),
             CoreError::Engine(e) => write!(f, "engine: {e}"),
         }
@@ -216,6 +221,11 @@ mod tests {
         assert!(CoreError::UnknownPeer(PeerId(7)).to_string().contains("p7"));
         assert!(CoreError::NoSuchQuery("q".into()).to_string().contains("q"));
         assert!(CoreError::Malformed("x".into()).to_string().contains("x"));
+        let text = CoreError::AfterCycle("a -> b -> a".into()).to_string();
+        assert!(
+            text.contains("cycle") && text.contains("a -> b -> a"),
+            "{text}"
+        );
         assert!(CoreError::Unsupported("y".into()).to_string().contains("y"));
         let e: CoreError = EngineError::Undeliverable {
             from: PeerId(0),

@@ -96,7 +96,7 @@ pub use system::AxmlSystem;
 /// Convenient glob import for applications.
 pub mod prelude {
     pub use crate::builder::{DocSource, PeerSel, SystemBuilder};
-    pub use crate::continuous::{Subscription, Trigger};
+    pub use crate::continuous::{MatcherMode, Subscription, Trigger};
     pub use crate::cost::{Cost, CostModel};
     pub use crate::driver::{DriverKind, ParallelDriver, ParallelStats, SequentialDriver};
     pub use crate::error::{CoreError, CoreResult, EngineError};

@@ -47,6 +47,15 @@ pub struct AxmlSystem {
     pub(crate) par_stats: ParallelStats,
     pub(crate) retry: RetryPolicy,
     pub(crate) failover: bool,
+    /// Shared subscription-matching indexes, per (provider, document).
+    pub(crate) matcher: crate::continuous::MatcherRegistry,
+    /// Subscription ids currently being pumped — the re-entrancy guard
+    /// that turns an undetected `@after` cycle into a typed error
+    /// instead of a stack overflow.
+    pub(crate) pump_stack: Vec<u64>,
+    /// Subscription ids created by each activation, keyed by
+    /// (hosting peer, document) — makes re-activation idempotent.
+    pub(crate) activations: std::collections::HashMap<(PeerId, DocName), Vec<u64>>,
 }
 
 impl AxmlSystem {
@@ -78,6 +87,9 @@ impl AxmlSystem {
             par_stats: ParallelStats::default(),
             retry: RetryPolicy::none(),
             failover: false,
+            matcher: crate::continuous::MatcherRegistry::default(),
+            pump_stack: Vec::new(),
+            activations: std::collections::HashMap::new(),
         }
     }
 

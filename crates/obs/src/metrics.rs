@@ -68,6 +68,15 @@ pub struct EvalMetrics {
     /// Generic-reference failovers: `@any` resolutions abandoned an
     /// unreachable replica and re-ran the pick.
     pub failovers: u64,
+    /// Subscriptions considered by the shared matching index across all
+    /// feeds (`matcher_probes == matcher_hits + matcher_skips` is an
+    /// invariant; [`EvalMetrics::matcher_consistent`] checks it and
+    /// [`crate::RunReport`] folds it into `reconciled`).
+    pub matcher_probes: u64,
+    /// Subscriptions the index reported as possibly changed (re-evaluated).
+    pub matcher_hits: u64,
+    /// Subscriptions the index proved untouched (evaluation skipped).
+    pub matcher_skips: u64,
     rules: BTreeMap<&'static str, RuleStats>,
     by_kind: BTreeMap<MessageKind, MsgStats>,
     per_link: BTreeMap<(PeerId, PeerId), MsgStats>,
@@ -222,6 +231,21 @@ impl EvalMetrics {
         self.memo_misses == self.explored
     }
 
+    /// The shared-matcher accounting invariant: every subscription a
+    /// probe considered was either reported (and re-evaluated) or
+    /// skipped — `matcher_probes == matcher_hits + matcher_skips`. A
+    /// divergence means feeds lost track of subscriptions and the
+    /// multiplexing numbers can't be trusted.
+    pub fn matcher_consistent(&self) -> bool {
+        self.matcher_probes == self.matcher_hits + self.matcher_skips
+    }
+
+    /// Fraction of probed subscriptions the index kept from re-evaluating
+    /// (`None` before any probe).
+    pub fn matcher_skip_rate(&self) -> Option<f64> {
+        (self.matcher_probes > 0).then(|| self.matcher_skips as f64 / self.matcher_probes as f64)
+    }
+
     /// Merge another accumulator into this one — the primitive behind
     /// per-worker metric accumulators in a concurrent driver: workers
     /// count into private `EvalMetrics` and the coordinator merges them
@@ -243,6 +267,9 @@ impl EvalMetrics {
         self.delta_suppressed += other.delta_suppressed;
         self.retries += other.retries;
         self.failovers += other.failovers;
+        self.matcher_probes += other.matcher_probes;
+        self.matcher_hits += other.matcher_hits;
+        self.matcher_skips += other.matcher_skips;
         for (&link, n) in &other.dropped {
             *self.dropped.entry(link).or_default() += n;
         }
@@ -296,6 +323,9 @@ impl EvalMetrics {
         o.num_u64("delta_suppressed", self.delta_suppressed);
         o.num_u64("retries", self.retries);
         o.num_u64("failovers", self.failovers);
+        o.num_u64("matcher_probes", self.matcher_probes);
+        o.num_u64("matcher_hits", self.matcher_hits);
+        o.num_u64("matcher_skips", self.matcher_skips);
         o.num_u64("dropped", self.total_dropped());
         let kinds = array(self.messages_by_kind().map(|(kind, m)| {
             let mut e = JsonObject::new();
@@ -407,6 +437,23 @@ mod tests {
         m.delta_suppressed = 3;
         assert_eq!(m.memo_hit_rate(), Some(0.75));
         assert_eq!(m.delta_suppression_rate(), Some(0.75));
+    }
+
+    #[test]
+    fn matcher_invariant() {
+        let mut m = EvalMetrics::new();
+        assert!(m.matcher_consistent(), "zeroed metrics are consistent");
+        assert_eq!(m.matcher_skip_rate(), None);
+        m.matcher_probes = 10;
+        m.matcher_hits = 3;
+        m.matcher_skips = 7;
+        assert!(m.matcher_consistent());
+        assert_eq!(m.matcher_skip_rate(), Some(0.7));
+        m.matcher_skips = 6;
+        assert!(
+            !m.matcher_consistent(),
+            "a lost subscription must be caught"
+        );
     }
 
     #[test]

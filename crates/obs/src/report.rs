@@ -43,7 +43,9 @@ impl RunReport {
             title: title.into(),
             metrics: metrics.clone(),
             stats: stats.clone(),
-            reconciled: metrics.reconciles_with(stats) && metrics.memo_consistent(),
+            reconciled: metrics.reconciles_with(stats)
+                && metrics.memo_consistent()
+                && metrics.matcher_consistent(),
             copy: None,
         }
     }
@@ -156,6 +158,16 @@ impl std::fmt::Display for RunReport {
                 "deltas     : {} fresh, {} suppressed ({:.1}% suppression)",
                 m.delta_fresh,
                 m.delta_suppressed,
+                rate * 100.0
+            )?;
+        }
+        if let Some(rate) = m.matcher_skip_rate() {
+            writeln!(
+                f,
+                "matcher    : {} probed, {} hit, {} skipped ({:.1}% skipped)",
+                m.matcher_probes,
+                m.matcher_hits,
+                m.matcher_skips,
                 rate * 100.0
             )?;
         }

@@ -45,10 +45,12 @@ pub mod error;
 pub mod estimate;
 pub mod eval;
 pub mod lower;
+pub mod matcher;
 pub mod parser;
 pub mod plan;
 pub mod query;
 pub mod rewrite;
 
 pub use error::{QueryError, QueryResult};
+pub use matcher::{MatchIndex, Registration};
 pub use query::Query;

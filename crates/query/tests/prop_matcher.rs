@@ -1,0 +1,109 @@
+//! Property test for the shared matching index: random queries from the
+//! supported family, random base documents, random deltas — whenever the
+//! probe reports a *miss* for a registered query, evaluating it before
+//! and after grafting the delta must give identical results. This is the
+//! soundness contract `feed` relies on to skip re-evaluation.
+
+use axml_prng::SplitMix64;
+use axml_query::{MatchIndex, Query};
+use axml_xml::ids::DocName;
+use axml_xml::tree::Tree;
+use std::collections::HashMap;
+
+const TOPICS: &[&str] = &["db", "ai", "os", "pl"];
+const LABELS: &[&str] = &["item", "pkg", "entry", "note"];
+
+/// One random query from the family the matcher claims to cover:
+/// selective attribute filters, descendant paths, text/attr tails,
+/// count/negation folds, joins, and the bare-doc fallback.
+fn random_query(rng: &mut SplitMix64, i: usize) -> Query {
+    let topic = TOPICS[rng.gen_range(0..TOPICS.len())];
+    let label = LABELS[rng.gen_range(0..LABELS.len())];
+    let src = match rng.gen_range(0..8u32) {
+        0 => format!(r#"for $i in doc("d")/{label} where $i/@topic = "{topic}" return {{$i}}"#),
+        1 => format!(r#"for $i in doc("d")//{label} where $i/@topic = "{topic}" return {{$i}}"#),
+        2 => format!(r#"doc("d")/{label}/text()"#),
+        3 => format!(r#"doc("d")//{label}/@topic"#),
+        4 => {
+            format!(r#"for $i in doc("d")/{label} where not(exists($i/hide)) return <r>{{$i}}</r>"#)
+        }
+        5 => format!(r#"for $i in doc("d")/{label} where count($i/sub) > 1 return {{$i}}"#),
+        6 => format!(
+            r#"for $a in doc("d")/{label} for $b in doc("d")/entry where $a/@topic = $b/@topic return {{$a}}"#
+        ),
+        _ => r#"doc("d")"#.to_string(),
+    };
+    Query::parse(format!("q{i}"), &src).unwrap()
+}
+
+/// A random delta tree drawn from shapes that sometimes touch the query
+/// family above and sometimes miss it entirely.
+fn random_delta(rng: &mut SplitMix64) -> Tree {
+    let topic = TOPICS[rng.gen_range(0..TOPICS.len())];
+    let label = LABELS[rng.gen_range(0..LABELS.len())];
+    let src = match rng.gen_range(0..6u32) {
+        0 => format!(r#"<{label} topic="{topic}">x</{label}>"#),
+        1 => format!(r#"<{label}><sub/><sub/></{label}>"#),
+        2 => format!(r#"<wrap><{label} topic="{topic}">deep</{label}></wrap>"#),
+        3 => format!("<{label}><hide/></{label}>"),
+        4 => "<noise attr=\"v\">plain</noise>".to_string(),
+        _ => format!("<{label}>t</{label}>"),
+    };
+    Tree::parse(&src).unwrap()
+}
+
+fn serialize_all(ts: &[Tree]) -> Vec<String> {
+    ts.iter().map(|t| t.serialize()).collect()
+}
+
+#[test]
+fn probe_misses_never_hide_result_changes() {
+    let mut rng = SplitMix64::new(0x5EED_CAFE);
+    let mut total_skips = 0usize;
+    for round in 0..60 {
+        let mut seed_rng = rng.split();
+        let queries: Vec<Query> = (0..8).map(|i| random_query(&mut seed_rng, i)).collect();
+        let mut index = MatchIndex::new("d".into());
+        for (i, q) in queries.iter().enumerate() {
+            index.register(i as u64, q);
+        }
+        // Random base document: a handful of delta-shaped children.
+        let mut base = Tree::parse("<d/>").unwrap();
+        for _ in 0..seed_rng.gen_range(0..4usize) {
+            let child = random_delta(&mut seed_rng);
+            let root = base.root();
+            base.graft(root, &child, child.root()).unwrap();
+        }
+        // Several deltas against the same registration set.
+        for _ in 0..4 {
+            let delta = random_delta(&mut seed_rng);
+            let hits = index.probe(&delta);
+            let mut grafted = base.clone();
+            let root = grafted.root();
+            grafted.graft(root, &delta, delta.root()).unwrap();
+            let before: HashMap<DocName, Tree> = [("d".into(), base.clone())].into();
+            let after: HashMap<DocName, Tree> = [("d".into(), grafted.clone())].into();
+            for (i, q) in queries.iter().enumerate() {
+                if hits.contains(&(i as u64)) {
+                    continue;
+                }
+                total_skips += 1;
+                let a = serialize_all(&q.eval_with_docs(&[], &before).unwrap());
+                let b = serialize_all(&q.eval_with_docs(&[], &after).unwrap());
+                assert_eq!(
+                    a,
+                    b,
+                    "round {round}: probe missed query {i} ({:?}) but the \
+                     delta {:?} changed its results",
+                    q.name(),
+                    delta.serialize()
+                );
+            }
+            base = grafted;
+        }
+    }
+    assert!(
+        total_skips > 100,
+        "the generator must exercise the skip path, got {total_skips}"
+    );
+}

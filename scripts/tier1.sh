@@ -77,4 +77,16 @@ cmp "$TRACE_TMP/top1.out" "$TRACE_TMP/top2.out"
 grep -q "axml-top" "$TRACE_TMP/top1.out"
 grep -q "latency" "$TRACE_TMP/top1.out"
 
+echo "== tier-1: shared matcher differential (churn suite, both drivers) =="
+# Shared vs naive matcher modes must deliver bit-identical results under
+# interleaved activation/unsubscription/feed churn at 1k+ subscriptions.
+timeout 300 env RUST_BACKTRACE=1 \
+    cargo test --release -q --test continuous_churn
+
+echo "== tier-1: E13 smoke (shared matcher beats the naive loop) =="
+timeout 300 cargo run --release -q -p axml-bench --bin experiments -- e13 \
+    > "$TRACE_TMP/e13.out"
+grep -q "E13" "$TRACE_TMP/e13.out"
+grep -q "skipped" "$TRACE_TMP/e13.out"
+
 echo "tier-1: all green"
