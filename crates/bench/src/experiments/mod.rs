@@ -1,10 +1,11 @@
-//! The experiment suite E1–E13. See `EXPERIMENTS.md` for the index and
+//! The experiment suite E1–E14. See `EXPERIMENTS.md` for the index and
 //! the recorded outcomes.
 
 pub mod e10_continuous;
 pub mod e11_rule_ablation;
 pub mod e12_chaos;
 pub mod e13_multiplex;
+pub mod e14_edos;
 pub mod e1_pushing_selections;
 pub mod e2_delegation_crossover;
 pub mod e3_transit_stop;
@@ -36,6 +37,7 @@ pub fn all() -> Vec<Experiment> {
         ("e11", e11_rule_ablation::run),
         ("e12", e12_chaos::run),
         ("e13", e13_multiplex::run),
+        ("e14", e14_edos::run),
     ]
 }
 

@@ -4,17 +4,23 @@
 //! cargo run --release -p axml-bench --bin experiments            # all
 //! cargo run --release -p axml-bench --bin experiments -- e1 e8   # subset
 //! cargo run --release -p axml-bench --bin experiments -- --json  # JSON array
+//! cargo run --release -p axml-bench --bin experiments -- e14 --smoke
+//!                          # CI mode: E14 enforces its peak-RSS budget
 //! ```
 
 use axml_bench::experiments;
 
 fn main() {
     let mut json = false;
+    let mut smoke = false;
     let wanted: Vec<String> = std::env::args()
         .skip(1)
         .filter(|a| {
             if a == "--json" {
                 json = true;
+                false
+            } else if a == "--smoke" {
+                smoke = true;
                 false
             } else {
                 true
@@ -22,6 +28,11 @@ fn main() {
         })
         .map(|s| s.to_lowercase())
         .collect();
+    if smoke {
+        // E14 reads this to enforce its peak-RSS budget and emit the
+        // `rss-budget-ok` marker the tier-1 gate greps for.
+        std::env::set_var("AXML_E14", "smoke");
+    }
     let all = experiments::all();
     let selected: Vec<_> = if wanted.is_empty() {
         all
@@ -31,7 +42,7 @@ fn main() {
             .collect()
     };
     if selected.is_empty() {
-        eprintln!("unknown experiment id; available: e1 … e13");
+        eprintln!("unknown experiment id; available: e1 … e14");
         std::process::exit(2);
     }
     let reports: Vec<_> = selected.into_iter().map(|(_, run)| run()).collect();

@@ -114,6 +114,41 @@ pub fn mirrors(k: usize, catalog_tree: Tree) -> (AxmlSystem, PeerId, Vec<PeerId>
     (sys, client, ms)
 }
 
+/// A seeded Zipf sampler over ranks `0..n` (rank 0 most popular).
+///
+/// Client polls in the EDOS-scale replica experiment (E14) follow a
+/// Zipf law: a handful of hot clients issue most of the traffic while
+/// the long tail stays mostly idle. The sampler precomputes the
+/// cumulative generalized-harmonic table once and draws by inverse-CDF
+/// binary search, so sampling is O(log n) and — fed from a
+/// [`SplitMix64`] — bit-reproducible.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cum: Vec<f64>,
+}
+
+impl Zipf {
+    /// A Zipf distribution over `n` ranks with exponent `s` (> 0;
+    /// `s ≈ 1` is the classic web-traffic shape).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        let mut cum = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for r in 1..=n {
+            acc += 1.0 / (r as f64).powf(s);
+            cum.push(acc);
+        }
+        Zipf { cum }
+    }
+
+    /// Draw one rank in `0..n`.
+    pub fn sample(&self, rng: &mut SplitMix64) -> usize {
+        let total = *self.cum.last().expect("non-empty table");
+        let u = rng.next_f64() * total;
+        self.cum.partition_point(|&c| c < u).min(self.cum.len() - 1)
+    }
+}
+
 /// The naive `q(catalog@server)` expression.
 pub fn naive_apply(q: Query, client: PeerId, server: PeerId) -> Expr {
     Expr::Apply {
@@ -173,6 +208,25 @@ mod tests {
         let (n, bytes, msgs, ms) = measure(&mut sys, client, &e);
         assert_eq!(n, 5);
         assert!(bytes > 0 && msgs == 2 && ms > 0.0);
+    }
+
+    #[test]
+    fn zipf_is_deterministic_and_head_heavy() {
+        let z = Zipf::new(100, 1.1);
+        let draw = |seed| {
+            let mut rng = SplitMix64::new(seed);
+            (0..2000).map(|_| z.sample(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(draw(7), draw(7), "same seed, same sequence");
+        assert_ne!(draw(7), draw(8));
+        let sample = draw(7);
+        assert!(sample.iter().all(|&r| r < 100));
+        let head = sample.iter().filter(|&&r| r < 10).count();
+        let tail = sample.iter().filter(|&&r| r >= 90).count();
+        assert!(
+            head > 10 * tail.max(1),
+            "rank 0–9 must dwarf rank 90–99: {head} vs {tail}"
+        );
     }
 
     #[test]

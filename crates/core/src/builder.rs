@@ -332,6 +332,14 @@ impl SystemBuilder {
         self.driver(DriverKind::Parallel { threads })
     }
 
+    /// Select the transport's event-scheduler backend (see
+    /// [`AxmlSystem::set_scheduler`]): the reference priority queue or
+    /// the O(1)-advance event wheel, bit-identical in delivery order.
+    pub fn scheduler(mut self, kind: axml_net::wheel::SchedulerKind) -> Self {
+        self.sys.set_scheduler(kind);
+        self
+    }
+
     /// Attach a trace sink from the first evaluation on.
     pub fn trace(mut self, sink: impl TraceSink + 'static) -> Self {
         self.sys.set_trace_sink(Box::new(sink));

@@ -260,7 +260,11 @@ pub(crate) struct EvalSession {
     slots: Vec<Slot>,
     pub(crate) ready: VecDeque<Runnable>,
     waiting: Vec<Pending>,
-    pub(crate) mailboxes: Vec<VecDeque<Delivery>>,
+    /// Per-peer arrival mailboxes, keyed by peer index. Sparse — only
+    /// peers that actually receive something get an entry, so a session
+    /// over 10⁵ peers costs O(touched peers), and the ascending key
+    /// iteration reproduces the dense `0..n` drain order bit-exactly.
+    pub(crate) mailboxes: std::collections::BTreeMap<u32, VecDeque<Delivery>>,
     rng: SplitMix64,
     /// Result trees delivered by arrival-side subscription pumps
     /// (replica maintenance accumulates its downstream count here).
@@ -283,12 +287,12 @@ struct CachedCall {
 }
 
 impl EvalSession {
-    fn new(peers: usize, seed: u64, collapse: bool) -> Self {
+    fn new(seed: u64, collapse: bool) -> Self {
         EvalSession {
             slots: Vec::new(),
             ready: VecDeque::new(),
             waiting: Vec::new(),
-            mailboxes: (0..peers).map(|_| VecDeque::new()).collect(),
+            mailboxes: std::collections::BTreeMap::new(),
             rng: SplitMix64::new(seed),
             delivered: 0,
             collapse,
@@ -335,7 +339,6 @@ impl AxmlSystem {
         let n = self.sessions;
         self.sessions += 1;
         EvalSession::new(
-            self.peers.len(),
             self.engine_seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             matches!(self.driver, DriverKind::Parallel { .. }),
         )
@@ -383,8 +386,12 @@ impl AxmlSystem {
             if !self.next_arrival_batch(s) {
                 break;
             }
-            for p in 0..s.mailboxes.len() {
-                while let Some(d) = s.mailboxes[p].pop_front() {
+            // Deliveries never push into mailboxes (only
+            // `next_arrival_batch` does), so taking the whole map and
+            // draining in ascending peer order is exactly the old dense
+            // `0..n` per-peer scan.
+            for (_, mut mb) in std::mem::take(&mut s.mailboxes) {
+                while let Some(d) = mb.pop_front() {
                     self.deliver(s, d, None)?;
                 }
             }
@@ -423,8 +430,8 @@ impl AxmlSystem {
                 break;
             }
             let mut wave: Vec<Delivery> = Vec::new();
-            for mb in &mut s.mailboxes {
-                wave.extend(mb.drain(..));
+            for (_, mb) in std::mem::take(&mut s.mailboxes) {
+                wave.extend(mb);
             }
             let jobs: Vec<(usize, Job<'_>)> = wave
                 .iter()
@@ -469,8 +476,7 @@ impl AxmlSystem {
         }
         s.rng.shuffle(&mut batch);
         for d in batch {
-            let ix = d.to.index();
-            s.mailboxes[ix].push_back(d);
+            s.mailboxes.entry(d.to.0).or_default().push_back(d);
         }
         true
     }

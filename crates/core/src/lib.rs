@@ -109,12 +109,13 @@ pub mod prelude {
     pub use crate::system::AxmlSystem;
     pub use axml_net::link::{LinkCost, Topology};
     pub use axml_net::{
-        CrashSchedule, FaultPlan, FramedPayload, Outage, SimTransport, SocketTransport, Transport,
+        CrashSchedule, FaultPlan, FramedPayload, Outage, SchedStats, SchedulerKind, SimTransport,
+        SocketTransport, Transport,
     };
     pub use axml_obs::{
         BinSink, DataTag, EvalMetrics, FanoutSink, FollowReader, FollowStep, JsonlSink,
-        LatencyHistogram, LiveStats, MessageKind, Obs, RateWindow, RunReport, SharedBuf,
-        SocketSink, SocketSinkConfig, TraceEvent, TraceReader, TraceSink, VecSink,
+        LatencyHistogram, LiveSink, LiveStats, MemStats, MessageKind, Obs, RateWindow, RunReport,
+        SharedBuf, SocketSink, SocketSinkConfig, TraceEvent, TraceReader, TraceSink, VecSink,
     };
     pub use axml_query::Query;
     pub use axml_xml::ids::{DocName, NodeAddr, PeerId, QueryName, ServiceName};

@@ -19,6 +19,7 @@ use crate::service::Service;
 use axml_net::link::Topology;
 use axml_net::sim::Network;
 use axml_net::transport::Transport;
+use axml_net::wheel::SchedulerKind;
 use axml_net::NetStats;
 use axml_obs::{EvalMetrics, Obs, RunReport, TraceSink};
 use axml_query::Query;
@@ -172,6 +173,19 @@ impl AxmlSystem {
         self.net.backend()
     }
 
+    /// Select the transport's event-scheduler backend (the reference
+    /// priority queue or the O(1)-advance event wheel). Delivery order
+    /// is bit-identical across backends, so results never depend on
+    /// this choice — only scheduler cost does.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        self.net.set_scheduler(kind);
+    }
+
+    /// The active event-scheduler backend.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.net.scheduler_kind()
+    }
+
     /// Set the engine's deterministic tie-breaking seed. Sessions derive
     /// their PRNG from this seed plus a session counter, so the same
     /// seed over the same workload reproduces traces byte-for-byte.
@@ -321,9 +335,14 @@ impl AxmlSystem {
         self.obs.flush()
     }
 
-    /// Snapshot metrics + network stats as a [`RunReport`].
+    /// Snapshot metrics + network stats as a [`RunReport`]. The
+    /// scheduler ledger is attached automatically: its push/pop/clear
+    /// counters are a function of the message sequence alone, so they
+    /// stay byte-identical across drivers (memory snapshots, which are
+    /// not, must be attached explicitly with `RunReport::with_mem`).
     pub fn run_report(&self, title: impl Into<String>) -> RunReport {
         RunReport::new(title, &self.obs.metrics, self.net.stats())
+            .with_sched(self.net.sched_stats())
     }
 
     /// Simulated time (ms).

@@ -180,7 +180,23 @@ fn put_u64(out: &mut Vec<u8>, v: u64) {
 }
 
 /// Encode `frame` with sequence number `seq` into a byte vector.
+///
+/// # Panics
+///
+/// Panics when the frame body exceeds [`MAX_FRAME_LEN`] — use
+/// [`try_encode_frame`] on paths that carry unbounded payloads. (Before
+/// this check existed, `body.len() as u32` silently truncated the
+/// length prefix past 4 GiB, producing a frame every reader would
+/// misparse.)
 pub fn encode_frame(seq: u64, frame: &Frame) -> Vec<u8> {
+    try_encode_frame(seq, frame).expect("frame body exceeds MAX_FRAME_LEN")
+}
+
+/// Encode `frame` with sequence number `seq`, rejecting bodies larger
+/// than [`MAX_FRAME_LEN`] with a typed [`FrameError::Malformed`] — the
+/// write-side mirror of the read-side length-cap check, so an oversized
+/// payload fails at the producer instead of poisoning the stream.
+pub fn try_encode_frame(seq: u64, frame: &Frame) -> Result<Vec<u8>, FrameError> {
     let (ty, body) = match frame {
         Frame::Hello { peer, name } => {
             let mut b = Vec::with_capacity(8 + name.len());
@@ -213,19 +229,28 @@ pub fn encode_frame(seq: u64, frame: &Frame) -> Vec<u8> {
             (ftype::STATS, b)
         }
     };
+    if body.len() > MAX_FRAME_LEN as usize {
+        return Err(FrameError::Malformed(format!(
+            "frame body of {} bytes exceeds the {MAX_FRAME_LEN}-byte cap",
+            body.len()
+        )));
+    }
     let mut out = Vec::with_capacity(13 + body.len());
     out.push(ty);
     put_u64(&mut out, seq);
     put_u32(&mut out, body.len() as u32);
     out.extend_from_slice(&body);
-    out
+    Ok(out)
 }
 
 /// Write one frame to a stream (a single `write_all` — short writes are
 /// retried by the standard library until the frame is fully on the
-/// wire).
+/// wire). An oversized body surfaces as `InvalidInput`, never as a
+/// truncated length prefix on the wire.
 pub fn write_frame(w: &mut impl Write, seq: u64, frame: &Frame) -> io::Result<()> {
-    w.write_all(&encode_frame(seq, frame))
+    let bytes = try_encode_frame(seq, frame)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidInput, e.to_string()))?;
+    w.write_all(&bytes)
 }
 
 fn get_u32(body: &[u8], at: usize) -> Result<u32, FrameError> {
@@ -375,6 +400,34 @@ mod tests {
         bytes.extend_from_slice(&u32::MAX.to_le_bytes());
         let err = read_frame(&mut Cursor::new(&bytes)).unwrap_err();
         assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_at_encode_time() {
+        // Regression: `body.len() as u32` used to truncate silently;
+        // now any body past the cap fails typed on the producer side.
+        let frame = Frame::Msg {
+            from: 0,
+            to: 1,
+            payload: vec![0u8; MAX_FRAME_LEN as usize - 8 + 1],
+        };
+        let err = try_encode_frame(0, &frame).unwrap_err();
+        assert!(matches!(err, FrameError::Malformed(_)), "{err}");
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        let mut out = Vec::new();
+        let io_err = write_frame(&mut out, 0, &frame).unwrap_err();
+        assert_eq!(io_err.kind(), std::io::ErrorKind::InvalidInput);
+        assert!(out.is_empty(), "nothing reaches the wire");
+        // One byte under the cap still encodes and round-trips.
+        let ok = Frame::Msg {
+            from: 0,
+            to: 1,
+            payload: vec![0u8; MAX_FRAME_LEN as usize - 8],
+        };
+        let bytes = try_encode_frame(7, &ok).unwrap();
+        let (seq, back) = read_frame(&mut Cursor::new(&bytes)).unwrap();
+        assert_eq!(seq, 7);
+        assert_eq!(back, ok);
     }
 
     #[test]

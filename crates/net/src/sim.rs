@@ -1,12 +1,21 @@
 //! The discrete-event network simulator — the reference
 //! [`Transport`](crate::transport::Transport) implementation.
 //!
-//! A [`SimTransport`] owns the peer table, the link matrix, a virtual clock and
-//! an event queue. [`SimTransport::send`] computes the message's arrival time
+//! A [`SimTransport`] owns the peer table, the link model, a virtual clock and
+//! an event scheduler. [`SimTransport::send`] computes the message's arrival time
 //! from the link cost, charges the statistics, and enqueues a delivery
 //! event; [`SimTransport::recv`] pops the earliest pending delivery and advances
 //! the clock to it. Ties are broken by send order, so runs are fully
 //! deterministic.
+//!
+//! Storage is **sparse** so EDOS-scale networks (10⁴–10⁵ peers) fit in
+//! memory: link costs resolve from an optional base [`Topology`] plus
+//! point overrides, and per-link busy/failed state exists only for
+//! links actually touched — O(peers + touched links), never O(peers²).
+//! The delivery queue itself is pluggable
+//! ([`SimTransport::set_scheduler`]): the reference binary heap or the
+//! O(1)-advance hierarchical event wheel of [`crate::wheel`], which
+//! deliver in **bit-identical** order.
 //!
 //! ```
 //! use axml_net::sim::SimTransport;
@@ -48,11 +57,11 @@
 use crate::error::{NetError, NetResult};
 use crate::link::{LinkCost, Topology};
 use crate::stats::NetStats;
+use crate::wheel::{SchedStats, Scheduler, SchedulerKind};
 use crate::Payload;
 use axml_prng::SplitMix64;
 use axml_xml::ids::PeerId;
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{HashMap, HashSet};
 
 /// A transient outage window: the **directed** link `from → to` is
 /// unusable while `start_ms <= now < end_ms` on the virtual clock.
@@ -266,55 +275,33 @@ impl FaultPlan {
     }
 }
 
-struct Event<M> {
-    at: f64,
-    seq: u64,
-    from: PeerId,
-    to: PeerId,
-    msg: M,
-}
-
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-
-impl<M> Eq for Event<M> {}
-
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap: invert so the earliest event wins;
-        // equal times resolve in send order.
-        other
-            .at
-            .partial_cmp(&self.at)
-            .unwrap_or(Ordering::Equal)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// The historical name of [`SimTransport`]: the simulator began life as
 /// plain `Network` before the transport layer became pluggable, and the
 /// alias keeps every existing call site compiling unchanged.
 pub type Network<M> = SimTransport<M>;
 
 /// A simulated network of peers.
+///
+/// Storage is sparse (see the [module docs](self)): link costs come
+/// from an optional base [`Topology`] plus point overrides, and
+/// busy/failed link state is kept only for links actually touched.
 pub struct SimTransport<M> {
     peer_names: Vec<String>,
-    links: Vec<Vec<LinkCost>>,
-    down: Vec<Vec<bool>>,
-    /// Per directed link: the time its current transfer finishes. Sends
-    /// on a busy link start when it frees up (per-link serialization);
-    /// sends on distinct links overlap.
-    busy_until: Vec<Vec<f64>>,
-    queue: BinaryHeap<Event<M>>,
+    /// Base pairwise costs for the first `.1` peers (installed by
+    /// [`SimTransport::with_topology`]); links involving later peers
+    /// default to [`LinkCost::lan`] / [`LinkCost::local`].
+    base: Option<(Topology, usize)>,
+    /// Point link-cost overrides, directed.
+    overrides: HashMap<(u32, u32), LinkCost>,
+    /// Administratively failed directed links.
+    admin_down: HashSet<(u32, u32)>,
+    /// Per touched directed link: the time its current transfer
+    /// finishes. Sends on a busy link start when it frees up (per-link
+    /// serialization); sends on distinct links overlap. Point-queried
+    /// only — map iteration order is never observed, so the map's
+    /// nondeterministic ordering cannot leak into a run.
+    busy_until: HashMap<(u32, u32), f64>,
+    sched: Scheduler<(PeerId, PeerId, M)>,
     stats: NetStats,
     clock_ms: f64,
     seq: u64,
@@ -329,10 +316,11 @@ impl<M: Payload> SimTransport<M> {
     pub fn new() -> Self {
         SimTransport {
             peer_names: Vec::new(),
-            links: Vec::new(),
-            down: Vec::new(),
-            busy_until: Vec::new(),
-            queue: BinaryHeap::new(),
+            base: None,
+            overrides: HashMap::new(),
+            admin_down: HashSet::new(),
+            busy_until: HashMap::new(),
+            sched: Scheduler::new(SchedulerKind::Queue),
             stats: NetStats::new(),
             clock_ms: 0.0,
             seq: 0,
@@ -342,39 +330,52 @@ impl<M: Payload> SimTransport<M> {
     }
 
     /// Build a network from a topology; peers are named `p0 … pn-1`.
+    ///
+    /// O(n): the topology is stored by rule, not materialized into a
+    /// link matrix — this is the 10⁵-peer construction path.
     pub fn with_topology(topology: &Topology) -> Self {
         let mut net = SimTransport::new();
         let n = topology.peer_count();
+        assert!(n <= u32::MAX as usize, "peer table exceeds u32 indices");
+        net.peer_names = (0..n).map(|i| format!("p{i}")).collect();
+        net.base = Some((topology.clone(), n));
+        net
+    }
+
+    /// Append a whole [`Topology`] block of peers named
+    /// `p{base} … p{base+n-1}`. On an empty network this is exactly
+    /// [`SimTransport::with_topology`] (O(n), by rule); on a non-empty
+    /// one the block's pairwise costs are laid down as point overrides.
+    pub fn install_topology(&mut self, topology: &Topology) {
+        let at = self.peer_count();
+        let n = topology.peer_count();
+        if at == 0 && self.base.is_none() && self.overrides.is_empty() {
+            assert!(n <= u32::MAX as usize, "peer table exceeds u32 indices");
+            self.peer_names = (0..n).map(|i| format!("p{i}")).collect();
+            self.base = Some((topology.clone(), n));
+            return;
+        }
         for i in 0..n {
-            net.add_peer(format!("p{i}"));
+            self.add_peer(format!("p{}", at + i));
         }
         for a in 0..n {
             for b in 0..n {
-                net.links[a][b] = topology.link(a, b);
+                if a != b {
+                    self.set_link_directed(
+                        PeerId((at + a) as u32),
+                        PeerId((at + b) as u32),
+                        topology.link(a, b),
+                    );
+                }
             }
         }
-        net
     }
 
     /// Register a peer; links to every existing peer default to
     /// [`LinkCost::lan`] (and to [`LinkCost::local`] for itself).
     pub fn add_peer(&mut self, name: impl Into<String>) -> PeerId {
-        let id = PeerId(self.peer_names.len() as u32);
+        let id = PeerId::from_index(self.peer_names.len()).expect("peer table exceeds u32 indices");
         self.peer_names.push(name.into());
-        for row in &mut self.links {
-            row.push(LinkCost::lan());
-        }
-        let mut row = vec![LinkCost::lan(); self.peer_names.len()];
-        row[id.index()] = LinkCost::local();
-        self.links.push(row);
-        for row in &mut self.down {
-            row.push(false);
-        }
-        self.down.push(vec![false; self.peer_names.len()]);
-        for row in &mut self.busy_until {
-            row.push(0.0);
-        }
-        self.busy_until.push(vec![0.0; self.peer_names.len()]);
         id
     }
 
@@ -383,19 +384,19 @@ impl<M: Payload> SimTransport<M> {
     /// [`NetError::LinkDown`] from [`SimTransport::try_send`] (the infallible
     /// [`SimTransport::send`] panics).
     pub fn fail_link(&mut self, a: PeerId, b: PeerId) {
-        self.down[a.index()][b.index()] = true;
-        self.down[b.index()][a.index()] = true;
+        self.admin_down.insert((a.0, b.0));
+        self.admin_down.insert((b.0, a.0));
     }
 
     /// Undo a [`SimTransport::fail_link`].
     pub fn restore_link(&mut self, a: PeerId, b: PeerId) {
-        self.down[a.index()][b.index()] = false;
-        self.down[b.index()][a.index()] = false;
+        self.admin_down.remove(&(a.0, b.0));
+        self.admin_down.remove(&(b.0, a.0));
     }
 
     /// Is the directed link currently usable?
     pub fn link_up(&self, from: PeerId, to: PeerId) -> bool {
-        !self.down[from.index()][to.index()]
+        !self.admin_down.contains(&(from.0, to.0))
     }
 
     /// Install a fault plan; replaces any previous plan and resets the
@@ -423,7 +424,7 @@ impl<M: Payload> SimTransport<M> {
         if from == to {
             return true;
         }
-        if self.down[from.index()][to.index()] {
+        if self.admin_down.contains(&(from.0, to.0)) {
             return false;
         }
         match &self.fault {
@@ -456,18 +457,31 @@ impl<M: Payload> SimTransport<M> {
 
     /// Configure both directions of a link.
     pub fn set_link(&mut self, a: PeerId, b: PeerId, cost: LinkCost) {
-        self.links[a.index()][b.index()] = cost;
-        self.links[b.index()][a.index()] = cost;
+        self.overrides.insert((a.0, b.0), cost);
+        self.overrides.insert((b.0, a.0), cost);
     }
 
     /// Configure one direction of a link.
     pub fn set_link_directed(&mut self, from: PeerId, to: PeerId, cost: LinkCost) {
-        self.links[from.index()][to.index()] = cost;
+        self.overrides.insert((from.0, to.0), cost);
     }
 
-    /// The cost of the directed link `from → to`.
+    /// The cost of the directed link `from → to`: a point override if
+    /// one was set, the base topology's pairwise cost if both ends are
+    /// in it, [`LinkCost::local`] to self, [`LinkCost::lan`] otherwise.
     pub fn link(&self, from: PeerId, to: PeerId) -> LinkCost {
-        self.links[from.index()][to.index()]
+        if let Some(&c) = self.overrides.get(&(from.0, to.0)) {
+            return c;
+        }
+        if from == to {
+            return LinkCost::local();
+        }
+        if let Some((topo, n)) = &self.base {
+            if from.index() < *n && to.index() < *n {
+                return topo.link(from.index(), to.index());
+            }
+        }
+        LinkCost::lan()
     }
 
     /// Send `msg` from `from` to `to`; returns the arrival time (ms).
@@ -508,7 +522,7 @@ impl<M: Payload> SimTransport<M> {
         assert!(to.index() < self.peer_names.len(), "unknown receiver {to}");
         let mut jitter = 0.0;
         if from != to {
-            if self.down[from.index()][to.index()] {
+            if self.admin_down.contains(&(from.0, to.0)) {
                 return Err(NetError::LinkDown(from, to));
             }
             if let Some(plan) = &self.fault {
@@ -543,7 +557,7 @@ impl<M: Payload> SimTransport<M> {
     /// arrival time and queue the delivery event. Must only run after
     /// [`SimTransport::fault_gate`] accepted the attempt.
     pub(crate) fn enqueue(&mut self, from: PeerId, to: PeerId, msg: M, jitter: f64) -> f64 {
-        let cost = self.links[from.index()][to.index()];
+        let cost = self.link(from, to);
         let size = msg.wire_size();
         let transfer = cost.transfer_ms(size) + jitter;
         // The transfer starts when the directed link frees up; local
@@ -551,7 +565,7 @@ impl<M: Payload> SimTransport<M> {
         let at = if from == to {
             self.clock_ms
         } else {
-            let busy = &mut self.busy_until[from.index()][to.index()];
+            let busy = self.busy_until.entry((from.0, to.0)).or_insert(0.0);
             let start = self.clock_ms.max(*busy);
             let done = start + transfer;
             *busy = done;
@@ -559,13 +573,7 @@ impl<M: Payload> SimTransport<M> {
         };
         self.stats
             .record(from, to, cost.charged_bytes(size), transfer, at);
-        self.queue.push(Event {
-            at,
-            seq: self.seq,
-            from,
-            to,
-            msg,
-        });
+        self.sched.push(at, self.seq, (from, to, msg));
         self.seq += 1;
         at
     }
@@ -573,42 +581,64 @@ impl<M: Payload> SimTransport<M> {
     /// Deliver the earliest pending message, advancing the clock to its
     /// arrival time. Returns `(recipient, message, arrival_ms)`.
     pub fn recv(&mut self) -> Option<(PeerId, M, f64)> {
-        let ev = self.queue.pop()?;
-        if ev.at > self.clock_ms {
-            self.clock_ms = ev.at;
+        let (at, _, (_, to, msg)) = self.sched.pop()?;
+        if at > self.clock_ms {
+            self.clock_ms = at;
         }
-        Some((ev.to, ev.msg, ev.at))
+        Some((to, msg, at))
     }
 
     /// Deliver the earliest pending message together with its sender.
     pub fn recv_from(&mut self) -> Option<(PeerId, PeerId, M, f64)> {
-        let ev = self.queue.pop()?;
-        if ev.at > self.clock_ms {
-            self.clock_ms = ev.at;
+        let (at, _, (from, to, msg)) = self.sched.pop()?;
+        if at > self.clock_ms {
+            self.clock_ms = at;
         }
-        Some((ev.from, ev.to, ev.msg, ev.at))
+        Some((from, to, msg, at))
     }
 
     /// Arrival time of the earliest pending delivery, if any.
     pub fn peek_arrival(&self) -> Option<f64> {
-        self.queue.peek().map(|ev| ev.at)
+        self.sched.peek_at()
     }
 
     /// Drop every in-flight message without delivering it. Statistics
     /// are unaffected (they are charged at send time) — this is the
-    /// abort path when an evaluation session fails mid-flight.
+    /// abort path when an evaluation session fails mid-flight. The
+    /// discarded events are counted in [`SchedStats::cleared`].
     pub fn clear_in_flight(&mut self) {
-        self.queue.clear();
+        self.sched.clear();
     }
 
     /// Are deliveries pending?
     pub fn has_pending(&self) -> bool {
-        !self.queue.is_empty()
+        !self.sched.is_empty()
     }
 
     /// Number of queued deliveries.
     pub fn pending_len(&self) -> usize {
-        self.queue.len()
+        self.sched.len()
+    }
+
+    /// The active event-scheduler backend.
+    pub fn scheduler_kind(&self) -> SchedulerKind {
+        self.sched.kind()
+    }
+
+    /// Select the event-scheduler backend, migrating any pending
+    /// events and carrying the counters over. Delivery order is
+    /// bit-identical across backends, so this is safe mid-run.
+    pub fn set_scheduler(&mut self, kind: SchedulerKind) {
+        if self.sched.kind() == kind {
+            return;
+        }
+        let sched = std::mem::replace(&mut self.sched, Scheduler::new(kind));
+        self.sched = sched.convert(kind);
+    }
+
+    /// Event-scheduler counters (pushes, pops, clears, wheel cascades).
+    pub fn sched_stats(&self) -> SchedStats {
+        self.sched.stats()
     }
 
     /// Current simulated time in milliseconds.

@@ -40,6 +40,7 @@ use crate::error::{NetError, NetResult};
 use crate::link::{LinkCost, Topology};
 use crate::sim::FaultPlan;
 use crate::stats::NetStats;
+use crate::wheel::{SchedStats, SchedulerKind};
 use crate::Payload;
 use axml_xml::ids::PeerId;
 
@@ -157,6 +158,25 @@ pub trait Transport<M: Payload> {
     fn reset_stats(&mut self);
 
     // ---- provided conveniences ------------------------------------
+
+    /// The active event-scheduler backend. Backends without a pluggable
+    /// scheduler report the reference [`SchedulerKind::Queue`].
+    fn scheduler_kind(&self) -> SchedulerKind {
+        SchedulerKind::Queue
+    }
+
+    /// Select the event-scheduler backend, migrating any pending
+    /// events. Delivery order is bit-identical across backends (the
+    /// equivalence contract of [`crate::wheel`]), so this is safe
+    /// mid-run. Backends without a pluggable scheduler ignore the call.
+    fn set_scheduler(&mut self, kind: SchedulerKind) {
+        let _ = kind;
+    }
+
+    /// Event-scheduler counters (zeros for backends without one).
+    fn sched_stats(&self) -> SchedStats {
+        SchedStats::default()
+    }
 
     /// Fallible send discarding the returned message on error.
     fn try_send(&mut self, from: PeerId, to: PeerId, msg: M) -> NetResult<f64> {
@@ -290,6 +310,24 @@ impl<M: Payload> Transport<M> for crate::sim::SimTransport<M> {
 
     fn reset_stats(&mut self) {
         crate::sim::SimTransport::reset_stats(self)
+    }
+
+    fn scheduler_kind(&self) -> SchedulerKind {
+        crate::sim::SimTransport::scheduler_kind(self)
+    }
+
+    fn set_scheduler(&mut self, kind: SchedulerKind) {
+        crate::sim::SimTransport::set_scheduler(self, kind)
+    }
+
+    fn sched_stats(&self) -> SchedStats {
+        crate::sim::SimTransport::sched_stats(self)
+    }
+
+    fn install_topology(&mut self, topology: &Topology) {
+        // O(n) fast path: the simulator stores topologies by rule
+        // instead of materializing the n² link matrix.
+        crate::sim::SimTransport::install_topology(self, topology)
     }
 }
 

@@ -42,6 +42,7 @@ pub mod hist;
 pub mod json;
 pub mod kind;
 pub mod live;
+pub mod mem;
 pub mod metrics;
 pub mod reader;
 pub mod report;
@@ -51,7 +52,8 @@ pub mod trace;
 
 pub use hist::{LatencyHistogram, RateWindow};
 pub use kind::{DataTag, MessageKind};
-pub use live::{LiveStats, PeerLive};
+pub use live::{LiveSink, LiveStats, PeerLive};
+pub use mem::MemStats;
 pub use metrics::{EvalMetrics, MsgStats, RuleStats};
 pub use reader::{FollowReader, FollowStep, ReadError, TraceFormat, TraceReader};
 pub use report::RunReport;

@@ -443,6 +443,61 @@ impl LiveStats {
     }
 }
 
+/// A [`TraceSink`](crate::trace::TraceSink) that folds each event into
+/// a shared [`LiveStats`] as it is recorded — O(1) memory regardless of
+/// stream length, where a `VecSink` would buffer every event.
+///
+/// At EDOS scale (10⁵ peers, ~10⁶ wire events per experiment row) this
+/// is the only sane way to get latency quantiles and goodput out of a
+/// run: keep a clone, hand the other to the system, and read the
+/// aggregator after quiescence.
+///
+/// ```
+/// use axml_obs::{LiveSink, Obs};
+/// let sink = LiveSink::new();
+/// let mut obs = Obs::new();
+/// obs.set_sink(Box::new(sink.clone()));
+/// // ... run something that emits ...
+/// assert!(sink.stats().events() == 0 || sink.stats().last_ms() >= 0.0);
+/// ```
+#[derive(Clone, Default)]
+pub struct LiveSink {
+    live: std::rc::Rc<std::cell::RefCell<LiveStats>>,
+}
+
+impl LiveSink {
+    /// A sink folding into a fresh [`LiveStats`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A sink whose goodput windows use a custom geometry (see
+    /// [`LiveStats::with_window`]).
+    pub fn with_window(slot_ms: f64, slots: usize) -> Self {
+        Self {
+            live: std::rc::Rc::new(std::cell::RefCell::new(LiveStats::with_window(
+                slot_ms, slots,
+            ))),
+        }
+    }
+
+    /// A snapshot of the aggregator so far.
+    pub fn stats(&self) -> LiveStats {
+        self.live.borrow().clone()
+    }
+
+    /// Borrow the aggregator for a read without cloning histograms.
+    pub fn with_stats<R>(&self, f: impl FnOnce(&LiveStats) -> R) -> R {
+        f(&self.live.borrow())
+    }
+}
+
+impl crate::trace::TraceSink for LiveSink {
+    fn record(&mut self, event: TraceEvent) {
+        self.live.borrow_mut().fold(&event);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -457,6 +512,24 @@ mod tests {
         }
         assert_eq!(live.events(), one_of_each().len() as u64);
         assert!(live.last_ms() > 0.0);
+    }
+
+    #[test]
+    fn live_sink_folds_like_a_direct_fold() {
+        use crate::trace::TraceSink;
+        let sink = LiveSink::new();
+        let mut handle = sink.clone();
+        let mut direct = LiveStats::new();
+        for e in one_of_each() {
+            handle.record(e.clone());
+            direct.fold(&e);
+        }
+        let folded = sink.stats();
+        assert_eq!(folded.events(), direct.events());
+        assert_eq!(folded.total_messages(), direct.total_messages());
+        assert_eq!(folded.total_bytes(), direct.total_bytes());
+        assert_eq!(folded.last_ms(), direct.last_ms());
+        sink.with_stats(|s| assert_eq!(s.events(), direct.events()));
     }
 
     #[test]

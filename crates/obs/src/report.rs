@@ -9,8 +9,9 @@
 //! byte-for-byte.
 
 use crate::json::{array, JsonObject};
+use crate::mem::MemStats;
 use crate::metrics::EvalMetrics;
-use axml_net::NetStats;
+use axml_net::{NetStats, SchedStats};
 use axml_xml::stats::CopyStats;
 
 /// A snapshot summary of one run: evaluation metrics + network stats.
@@ -34,6 +35,19 @@ pub struct RunReport {
     /// `"copy":null` in JSON when absent, keeping reports from
     /// different drivers byte-comparable.
     pub copy: Option<CopyStats>,
+    /// The event scheduler's ledger for the run, attached via
+    /// [`RunReport::with_sched`]. The push/pop/clear counters are a
+    /// function of the message sequence alone and therefore identical
+    /// across drivers; `backend`/`cascades`/`overflowed` differ across
+    /// scheduler *kinds*, so byte-comparisons spanning scheduler
+    /// backends must strip this field. `"sched":null` in JSON when
+    /// absent.
+    pub sched: Option<SchedStats>,
+    /// Memory snapshot (peak RSS + interner pressure), attached via
+    /// [`RunReport::with_mem`]. Strictly opt-in: RSS is process-wide
+    /// and monotone, so attaching it breaks byte-comparability between
+    /// otherwise identical runs. `"mem":null` in JSON when absent.
+    pub mem: Option<MemStats>,
 }
 
 impl RunReport {
@@ -47,12 +61,30 @@ impl RunReport {
                 && metrics.memo_consistent()
                 && metrics.matcher_consistent(),
             copy: None,
+            sched: None,
+            mem: None,
         }
     }
 
     /// Attach a measured copy/share delta (builder style).
     pub fn with_copy(mut self, copy: CopyStats) -> Self {
         self.copy = Some(copy);
+        self
+    }
+
+    /// Attach the scheduler ledger (builder style). The ledger's own
+    /// invariant — every scheduled event is delivered, cleared or still
+    /// pending ([`SchedStats::consistent`]) — is folded into
+    /// `reconciled`, so a leaky scheduler flags the whole report.
+    pub fn with_sched(mut self, sched: SchedStats) -> Self {
+        self.reconciled = self.reconciled && sched.consistent();
+        self.sched = Some(sched);
+        self
+    }
+
+    /// Attach a memory snapshot (builder style).
+    pub fn with_mem(mut self, mem: MemStats) -> Self {
+        self.mem = Some(mem);
         self
     }
 
@@ -73,6 +105,32 @@ impl RunReport {
                     .num_u64("cow_materializations", c.cow_materializations)
                     .num_u64("handle_shares", c.handle_shares);
                 o.raw("copy", &e.finish())
+            }
+        };
+        match &self.sched {
+            None => o.raw("sched", "null"),
+            Some(s) => {
+                let mut e = JsonObject::new();
+                e.str("backend", s.backend);
+                e.num_u64("scheduled", s.scheduled)
+                    .num_u64("delivered", s.delivered)
+                    .num_u64("cleared", s.cleared)
+                    .num_u64("pending", s.pending)
+                    .num_u64("peak_pending", s.peak_pending)
+                    .num_u64("cascades", s.cascades)
+                    .num_u64("overflowed", s.overflowed);
+                o.raw("sched", &e.finish())
+            }
+        };
+        match &self.mem {
+            None => o.raw("mem", "null"),
+            Some(m) => {
+                let mut e = JsonObject::new();
+                e.num_u64("peak_rss_bytes", m.peak_rss_bytes)
+                    .num_u64("current_rss_bytes", m.current_rss_bytes)
+                    .num_u64("interner_symbols", m.interner_symbols)
+                    .num_u64("interner_bytes", m.interner_bytes);
+                o.raw("mem", &e.finish())
             }
         };
         let mut net = JsonObject::new();
@@ -190,6 +248,30 @@ impl std::fmt::Display for RunReport {
                 c.nodes_shared,
                 c.cow_materializations,
                 c.handle_shares
+            )?;
+        }
+        if let Some(s) = &self.sched {
+            writeln!(
+                f,
+                "scheduler  : {} — {} scheduled, {} delivered, {} cleared, {} pending (peak {}), {} cascades, {} overflowed",
+                s.backend,
+                s.scheduled,
+                s.delivered,
+                s.cleared,
+                s.pending,
+                s.peak_pending,
+                s.cascades,
+                s.overflowed
+            )?;
+        }
+        if let Some(mem) = &self.mem {
+            writeln!(
+                f,
+                "memory     : peak RSS {:.1} MiB (now {:.1} MiB), interner {} symbols / {} B",
+                mem.peak_rss_mb(),
+                mem.current_rss_bytes as f64 / (1024.0 * 1024.0),
+                mem.interner_symbols,
+                mem.interner_bytes
             )?;
         }
         let kinds: Vec<_> = m.messages_by_kind().collect();
@@ -336,6 +418,65 @@ mod tests {
         // parity: two unattached reports stay byte-identical even though
         // the field exists (the driver-equivalence assertions rely on it)
         assert_eq!(sample().to_json(), sample().to_json());
+    }
+
+    #[test]
+    fn sched_stats_render_and_gate_reconciliation() {
+        let base = sample();
+        let json = base.to_json();
+        assert!(json.contains("\"sched\":null"), "{json}");
+        assert!(json.contains("\"mem\":null"), "{json}");
+        let good = SchedStats {
+            backend: "wheel",
+            scheduled: 10,
+            delivered: 7,
+            cleared: 2,
+            pending: 1,
+            cascades: 3,
+            overflowed: 1,
+            peak_pending: 4,
+        };
+        let r = sample().with_sched(good);
+        assert!(r.reconciled, "a balanced ledger keeps the report green");
+        let json = r.to_json();
+        assert!(json.contains("\"sched\":{\"backend\":\"wheel\""), "{json}");
+        assert!(json.contains("\"peak_pending\":4"), "{json}");
+        let text = r.to_string();
+        assert!(
+            text.contains(
+                "scheduler  : wheel — 10 scheduled, 7 delivered, 2 cleared, 1 pending (peak 4), 3 cascades, 1 overflowed"
+            ),
+            "{text}"
+        );
+        // A leaky ledger (scheduled != delivered + cleared + pending)
+        // must flag the whole report.
+        let mut leaky = good;
+        leaky.delivered = 6;
+        assert!(!sample().with_sched(leaky).reconciled);
+    }
+
+    #[test]
+    fn mem_stats_render_when_attached() {
+        let m = MemStats {
+            peak_rss_bytes: 64 * 1024 * 1024,
+            current_rss_bytes: 32 * 1024 * 1024,
+            interner_symbols: 12,
+            interner_bytes: 99,
+        };
+        let r = sample().with_mem(m);
+        assert!(r.reconciled, "mem never affects reconciliation");
+        let json = r.to_json();
+        assert!(
+            json.contains("\"mem\":{\"peak_rss_bytes\":67108864"),
+            "{json}"
+        );
+        let text = r.to_string();
+        assert!(
+            text.contains(
+                "memory     : peak RSS 64.0 MiB (now 32.0 MiB), interner 12 symbols / 99 B"
+            ),
+            "{text}"
+        );
     }
 
     #[test]

@@ -23,6 +23,17 @@ impl PeerId {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Fallible conversion from a table index: peer ids are `u32`, so a
+    /// table beyond 2³² peers cannot be addressed. Mirrors
+    /// [`crate::tree::NodeId::from_index`] — a typed error instead of a
+    /// silent `as` truncation that would alias two peers.
+    pub fn from_index(i: usize) -> crate::error::XmlResult<Self> {
+        match u32::try_from(i) {
+            Ok(v) => Ok(PeerId(v)),
+            Err(_) => Err(crate::error::XmlError::IndexOverflow { index: i as u64 }),
+        }
+    }
 }
 
 impl fmt::Display for PeerId {
@@ -153,6 +164,17 @@ mod tests {
     fn peer_display() {
         assert_eq!(PeerId(3).to_string(), "p3");
         assert_eq!(PeerId(3).index(), 3);
+    }
+
+    #[test]
+    fn peer_from_index_is_fallible() {
+        assert_eq!(PeerId::from_index(42).unwrap(), PeerId(42));
+        assert_eq!(PeerId::from_index(u32::MAX as usize).unwrap().0, u32::MAX);
+        let too_big = u32::MAX as usize + 1;
+        assert!(matches!(
+            PeerId::from_index(too_big),
+            Err(crate::error::XmlError::IndexOverflow { index }) if index == too_big as u64
+        ));
     }
 
     #[test]

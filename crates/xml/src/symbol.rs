@@ -252,6 +252,24 @@ impl AsRef<str> for Symbol {
     }
 }
 
+/// Interner pressure counters: `(distinct symbols, interned text
+/// bytes)` across all shards. Lock-free — reads each shard's published
+/// snapshot, so the result is a consistent-enough lower bound while
+/// writers are racing (memory-discipline accounting, not a barrier).
+pub fn interner_stats() -> (u64, u64) {
+    let (mut symbols, mut bytes) = (0u64, 0u64);
+    for shard in shards() {
+        let snap = unsafe { &*shard.current.load(Ordering::Acquire) };
+        symbols += snap.entries.len() as u64;
+        bytes += snap
+            .entries
+            .iter()
+            .map(|e| e.text.len() as u64)
+            .sum::<u64>();
+    }
+    (symbols, bytes)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -263,6 +281,19 @@ mod tests {
         assert_eq!(a.0, b.0);
         assert_eq!(a, b);
         assert_eq!(a.as_str(), "catalog");
+    }
+
+    #[test]
+    fn interner_stats_count_distinct_symbols() {
+        let (s0, b0) = interner_stats();
+        Symbol::new("interner-stats-probe-alpha");
+        Symbol::new("interner-stats-probe-alpha"); // dup: no growth
+        Symbol::new("interner-stats-probe-beta");
+        let (s1, b1) = interner_stats();
+        // Other tests intern concurrently, so assert growth bounds, not
+        // exact values.
+        assert!(s1 >= s0 + 2, "two new distinct symbols: {s0} -> {s1}");
+        assert!(b1 >= b0 + 2 * "interner-stats-probe-alpha".len() as u64 - 1);
     }
 
     #[test]

@@ -1,8 +1,17 @@
-//! Scale and determinism stress tests: larger peer counts, replicated
-//! classes under concurrent-looking update sequences, and bit-for-bit
-//! reproducibility of whole runs.
+//! Scale and determinism stress tests, in two tiers:
+//!
+//! * the original 24-peer tier — replicated classes under
+//!   concurrent-looking update sequences and bit-for-bit reproducibility
+//!   of whole runs;
+//! * the **EDOS tier** — a 10⁴-peer replica network (mirroring the E14
+//!   experiment's structure) asserting that run fingerprints are
+//!   bit-identical across the `Sequential`/`Parallel` engine drivers
+//!   *and* both event-scheduler backends (`queue`/`wheel`), plus exact
+//!   `RunReport` ↔ `NetStats` ↔ `LiveStats` reconciliation under a
+//!   nonzero drop rate, and O(n) construction at 10⁵ peers.
 
 use axml::core::cost::CostModel;
+use axml::net::frame::fnv1a64;
 use axml::prelude::*;
 use axml::xml::tree::Tree;
 
@@ -163,4 +172,203 @@ fn whole_runs_are_deterministic() {
         )
     };
     assert_eq!(run(), run(), "simulation must be bit-for-bit reproducible");
+}
+
+// ---------------------------------------------------------------------
+// EDOS tier: 10⁴–10⁵ peers, sparse structures, scheduler equivalence.
+// ---------------------------------------------------------------------
+
+/// Peers in the EDOS smoke network.
+const EDOS_PEERS: usize = 10_000;
+/// Mirrors hosting the replicated catalog + service.
+const EDOS_MIRRORS: usize = 8;
+/// Clients issuing polls.
+const EDOS_CLIENTS: usize = 64;
+/// Polls per run.
+const EDOS_POLLS: usize = 200;
+/// Background drop probability (drop-only faults: every poll still
+/// succeeds through retry + failover, so the trace stream stays
+/// complete and `LiveStats` reconciliation is *exact*).
+const EDOS_DROP: f64 = 0.03;
+
+/// Build the E14-shaped network: uniform WAN, mirrored catalog +
+/// declarative service, clients with LAN home routes, seeded drop-only
+/// faults. Construction is O(peers + mirrors + clients).
+fn edos_system(driver: DriverKind, sched: SchedulerKind) -> (AxmlSystem, Vec<PeerId>) {
+    let mut sys = AxmlSystem::with_topology(&Topology::Uniform {
+        n: EDOS_PEERS,
+        cost: LinkCost::wan(),
+    });
+    sys.set_driver(driver);
+    sys.set_scheduler(sched);
+    sys.set_pick_policy(PickPolicy::Closest);
+    sys.set_retry_policy(RetryPolicy::standard());
+    sys.set_failover(true);
+    let tree = catalog(40, 14);
+    let mirrors: Vec<PeerId> = (0..EDOS_MIRRORS)
+        .map(|j| PeerId((j * EDOS_PEERS / EDOS_MIRRORS) as u32))
+        .collect();
+    for &m in &mirrors {
+        sys.install_replica(m, "cat", "cat", tree.clone()).unwrap();
+        sys.register_declarative_service(m, "names", r#"doc("cat")//pkg/@name"#)
+            .unwrap();
+        sys.catalog_mut().add_service_replica("names", m, "names");
+    }
+    let clients: Vec<PeerId> = (0..EDOS_CLIENTS)
+        .map(|i| PeerId((1 + (i + 1) * EDOS_PEERS / (EDOS_CLIENTS + 1)) as u32))
+        .collect();
+    for (r, &cl) in clients.iter().enumerate() {
+        sys.net_mut()
+            .set_link(cl, mirrors[r % EDOS_MIRRORS], LinkCost::lan());
+    }
+    sys.net_mut()
+        .set_fault_plan(FaultPlan::new(0xED05).drop_prob(EDOS_DROP));
+    (sys, clients)
+}
+
+/// Run the deterministic poll schedule; return the transcript
+/// fingerprint plus everything needed for reconciliation checks.
+fn edos_run(driver: DriverKind, sched: SchedulerKind) -> (u64, usize, AxmlSystem, LiveStats) {
+    let (mut sys, clients) = edos_system(driver, sched);
+    let sink = LiveSink::new();
+    sys.set_trace_sink(Box::new(sink.clone()));
+    let mut transcript = String::new();
+    let mut ok = 0usize;
+    for i in 0..EDOS_POLLS {
+        let client = clients[(7 * i) % clients.len()];
+        let expr = if i % 5 < 4 {
+            Expr::Doc {
+                name: "cat".into(),
+                at: PeerRef::Any,
+            }
+        } else {
+            Expr::Sc {
+                provider: PeerRef::Any,
+                service: "names".into(),
+                params: vec![],
+                forward: vec![],
+            }
+        };
+        let outcome = match sys.eval(client, &expr) {
+            Ok(f) => {
+                ok += 1;
+                f.iter().map(|t| t.serialize()).collect::<Vec<_>>().join("")
+            }
+            Err(e) => format!("err:{e}"),
+        };
+        transcript.push_str(&format!("{}:{outcome};", client.0));
+    }
+    transcript.push_str(&format!(
+        "msgs={} bytes={} dropped={} makespan={:016x}",
+        sys.stats().total_messages(),
+        sys.stats().total_bytes(),
+        sys.stats().total_dropped(),
+        sys.stats().makespan_ms().to_bits()
+    ));
+    sys.flush_trace().unwrap();
+    (fnv1a64(transcript.as_bytes()), ok, sys, sink.stats())
+}
+
+#[test]
+fn edos_fingerprints_match_across_drivers_and_schedulers() {
+    let combos = [
+        (DriverKind::Sequential, SchedulerKind::Queue, "seq/queue"),
+        (DriverKind::Sequential, SchedulerKind::Wheel, "seq/wheel"),
+        (
+            DriverKind::Parallel { threads: 0 },
+            SchedulerKind::Queue,
+            "par/queue",
+        ),
+        (
+            DriverKind::Parallel { threads: 0 },
+            SchedulerKind::Wheel,
+            "par/wheel",
+        ),
+    ];
+    let mut reference = None;
+    for (driver, sched, label) in combos {
+        let (fp, ok, sys, _) = edos_run(driver, sched);
+        assert_eq!(
+            sys.scheduler_kind(),
+            sched,
+            "{label}: scheduler backend must stick"
+        );
+        assert_eq!(
+            ok, EDOS_POLLS,
+            "{label}: drop-only faults with retry + failover lose nothing"
+        );
+        match reference {
+            None => reference = Some(fp),
+            Some(r) => assert_eq!(fp, r, "{label}: fingerprint diverged from seq/queue"),
+        }
+    }
+}
+
+#[test]
+fn edos_reports_reconcile_exactly_under_drops() {
+    let (_, ok, sys, live) = edos_run(DriverKind::Sequential, SchedulerKind::Wheel);
+    assert_eq!(ok, EDOS_POLLS);
+    // The drop rate actually bit — this is reconciliation *under
+    // faults*, not a calm-network tautology.
+    assert!(sys.stats().total_dropped() > 0, "drop rate must bite");
+
+    // RunReport ↔ NetStats ↔ EvalMetrics, plus the scheduler ledger.
+    let report = sys.run_report("edos reconcile");
+    assert!(report.reconciled, "metrics, net stats and ledger agree");
+    let sched = report.sched.expect("run_report attaches the ledger");
+    assert_eq!(sched.backend, "wheel");
+    assert!(
+        sched.consistent(),
+        "scheduled == delivered + cleared + pending"
+    );
+    assert_eq!(sched.pending, 0, "quiescent network holds no events");
+    assert!(sched.scheduled >= sys.stats().total_messages());
+
+    // LiveStats (folded from the trace stream) ↔ both batch layers,
+    // counter-for-counter.
+    live.reconcile(sys.metrics(), sys.stats())
+        .expect("live fold must land on the batch counters exactly");
+    assert_eq!(live.total_messages(), sys.stats().total_messages());
+    assert_eq!(live.total_bytes(), sys.stats().total_bytes());
+    assert_eq!(live.total_dropped(), sys.stats().total_dropped());
+    assert_eq!(live.inflight(), 0, "every sent message was delivered");
+    assert!(live.retries() > 0, "drops forced retries");
+}
+
+#[test]
+fn edos_scale_construction_is_sparse_at_1e5() {
+    // 10⁵ peers: O(n) construction (a rule-based topology, not a dense
+    // matrix) and u64 counters throughout. A regression to dense
+    // per-peer structures turns this from milliseconds into minutes of
+    // allocation — the timeout is generous but finite.
+    let t0 = std::time::Instant::now();
+    let mut sys = AxmlSystem::with_topology(&Topology::Uniform {
+        n: 100_000,
+        cost: LinkCost::wan(),
+    });
+    assert_eq!(sys.peer_count(), 100_000);
+    let hi = PeerId(99_999);
+    sys.install_replica(hi, "cat", "cat", catalog(5, 1))
+        .unwrap();
+    let out = sys
+        .eval(
+            PeerId(3),
+            &Expr::Doc {
+                name: "cat".into(),
+                at: PeerRef::Any,
+            },
+        )
+        .unwrap();
+    assert_eq!(out.len(), 1);
+    assert!(
+        t0.elapsed() < std::time::Duration::from_secs(30),
+        "1e5-peer construction + one eval took {:?}",
+        t0.elapsed()
+    );
+    let mem = MemStats::snapshot();
+    assert!(
+        mem.peak_rss_bytes == 0 || mem.peak_rss_bytes < 4 << 30,
+        "1e5 peers must not cost gigabytes: {} B",
+        mem.peak_rss_bytes
+    );
 }
